@@ -1,0 +1,65 @@
+// Ablation of the stream batch size (pipelining granularity): small
+// batches reduce pipeline delay but pay more per-batch overhead; large
+// batches amortize overhead but delay downstream operators. FP, which
+// lives off pipelining, is the most sensitive strategy.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "engine/database.h"
+#include "engine/sim_executor.h"
+#include "plan/wisconsin_query.h"
+#include "strategy/strategy.h"
+
+using namespace mjoin;
+
+namespace {
+
+double Run(StrategyKind kind, const JoinQuery& query, const Database& db,
+           uint32_t procs, uint32_t batch) {
+  auto plan = MakeStrategy(kind)->Parallelize(query, procs, TotalCostModel());
+  MJOIN_CHECK(plan.ok()) << plan.status();
+  SimExecutor executor(&db);
+  SimExecOptions options;
+  options.costs.batch_size = batch;
+  auto run = executor.Execute(*plan, options);
+  MJOIN_CHECK(run.ok()) << run.status();
+  return run->response_seconds;
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRelations = 10;
+  constexpr uint32_t kCardinality = 5000;
+  constexpr uint32_t kProcs = 60;
+  Database db = MakeWisconsinDatabase(kRelations, kCardinality, /*seed=*/29);
+  auto query = MakeWisconsinChainQuery(QueryShape::kRightLinear, kRelations,
+                                       kCardinality);
+  MJOIN_CHECK(query.ok());
+
+  const uint32_t batches[] = {1, 4, 16, 64, 256, 1024};
+
+  std::printf(
+      "Batch-size ablation, right-linear tree (longest pipeline), P=%u, "
+      "%u tuples/relation.\n\n",
+      kProcs, kCardinality);
+
+  TablePrinter table({"batch [tuples]", "FP [s]", "RD [s]", "SP [s]"});
+  for (uint32_t batch : batches) {
+    table.AddRow({StrCat(batch),
+                  FormatDouble(Run(StrategyKind::kFP, *query, db, kProcs,
+                                   batch), 1),
+                  FormatDouble(Run(StrategyKind::kRD, *query, db, kProcs,
+                                   batch), 1),
+                  FormatDouble(Run(StrategyKind::kSP, *query, db, kProcs,
+                                   batch), 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected: pipelined strategies (FP, RD) have a sweet spot; tiny "
+      "batches drown in\nper-batch overhead, huge batches turn the "
+      "pipeline into bulk phases. SP, which\nmaterializes everything, "
+      "only sees the per-batch overhead shrink.\n");
+  return 0;
+}

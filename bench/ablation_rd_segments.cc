@@ -1,0 +1,82 @@
+// Ablation: [CLY92]'s memory-driven segmentation of right-deep trees. The
+// plain RD strategy turns a right-linear tree into ONE segment, keeping
+// all nine build tables in memory at once; with a per-node memory budget
+// that does not fit them, its work pays the disk-traffic penalty. The
+// memory-constrained variant splits the chain into segments whose build
+// tables fit, materializing the handoff between segments instead.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "engine/database.h"
+#include "engine/sim_executor.h"
+#include "plan/wisconsin_query.h"
+#include "strategy/rd.h"
+
+using namespace mjoin;
+
+namespace {
+
+struct RunResult {
+  double seconds;
+  size_t segments_hint;  // number of stored results = segment handoffs + 1
+};
+
+RunResult Run(const JoinQuery& query, const Database& db, uint32_t procs,
+              double max_build_tuples, size_t memory_limit) {
+  SegmentedRightDeepStrategy strategy(max_build_tuples);
+  auto plan = strategy.Parallelize(query, procs, TotalCostModel());
+  MJOIN_CHECK(plan.ok()) << plan.status();
+  SimExecutor executor(&db);
+  SimExecOptions options;
+  options.costs.memory_per_node_bytes = memory_limit;
+  auto run = executor.Execute(*plan, options);
+  MJOIN_CHECK(run.ok()) << run.status();
+  return {run->response_seconds, static_cast<size_t>(plan->num_results)};
+}
+
+}  // namespace
+
+int main() {
+  constexpr int kRelations = 10;
+  constexpr uint32_t kCardinality = 5000;
+  constexpr uint32_t kProcs = 40;
+  Database db = MakeWisconsinDatabase(kRelations, kCardinality, /*seed=*/41);
+  auto query = MakeWisconsinChainQuery(QueryShape::kRightLinear, kRelations,
+                                       kCardinality);
+  MJOIN_CHECK(query.ok());
+
+  // Per-node budget ~ three build tables' worth of fragments.
+  size_t tight = 3 * static_cast<size_t>(kCardinality) * 208 / kProcs * 2;
+
+  std::printf(
+      "CLY92 memory-driven RD segmentation, right-linear tree, "
+      "%u tuples/relation, P=%u.\nsegment budget = max build tuples a "
+      "segment may hash; per-node memory %s (8x penalty\nwhen over).\n\n",
+      kCardinality, kProcs, FormatBytes(tight).c_str());
+
+  TablePrinter table({"segment budget [tuples]", "stored results",
+                      "ample memory [s]", "tight memory [s]"});
+  struct Budget {
+    const char* label;
+    double max_build;
+  };
+  for (const Budget& budget :
+       {Budget{"unlimited (1 segment)", 0},
+        Budget{"20000 (4 builds/seg)", 20000},
+        Budget{"10000 (2 builds/seg)", 10000},
+        Budget{"5000  (1 build/seg)", 5000}}) {
+    RunResult ample = Run(*query, db, kProcs, budget.max_build, 0);
+    RunResult constrained = Run(*query, db, kProcs, budget.max_build, tight);
+    table.AddRow({budget.label, StrCat(ample.segments_hint),
+                  FormatDouble(ample.seconds, 1),
+                  FormatDouble(constrained.seconds, 1)});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected: with ample memory the single segment (maximal "
+      "pipelining) wins; under a\ntight budget the memory-fitting "
+      "segmentation wins — exactly why [CLY92] sizes\nsegments by memory "
+      "capacity.\n");
+  return 0;
+}

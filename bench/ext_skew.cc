@@ -1,0 +1,76 @@
+// Extension: data skew. The paper's experiments assume "non-skewed data
+// partitioning" (§3.5) and leave real-life workloads as future work (§5).
+// Here rel1..rel9 get Zipf(theta)-distributed join keys. Hash
+// declustering piles the hot keys onto few nodes, so SP's "perfect" load
+// balancing and the proportional allocations of SE/RD/FP all degrade —
+// even though higher skew actually *shrinks* the intermediate results
+// (duplicate keys find fewer distinct partners), i.e. less total work.
+#include <cstdio>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "engine/database.h"
+#include "engine/reference.h"
+#include "engine/sim_executor.h"
+#include "plan/catalog.h"
+#include "plan/wisconsin_query.h"
+#include "strategy/strategy.h"
+
+using namespace mjoin;
+
+int main() {
+  constexpr int kRelations = 10;
+  constexpr uint32_t kCardinality = 5000;
+  constexpr uint32_t kProcs = 40;
+  const double thetas[] = {0.0, 0.5, 0.8, 1.0};
+
+  auto query = MakeWisconsinChainQuery(QueryShape::kLeftLinear, kRelations,
+                                       kCardinality);
+  MJOIN_CHECK(query.ok());
+
+  std::printf(
+      "Skew extension: left-linear chain, %u tuples/relation, P=%u.\n"
+      "theta = Zipf exponent of the probe-side join keys (0 = iid "
+      "uniform).\n'key skew' = excess load of the hottest hash fragment "
+      "(lower bound, from column stats).\n\n",
+      kCardinality, kProcs);
+
+  TablePrinter table({"theta", "key skew", "SP [s]", "SE [s]", "RD [s]",
+                      "FP [s]", "verified"});
+  for (double theta : thetas) {
+    Database db = MakeSkewedDatabase(kRelations, kCardinality, /*seed=*/37,
+                                     theta);
+    // Partitioning-skew diagnostic from the statistics catalog.
+    auto rel1 = db.Get("rel1");
+    MJOIN_CHECK(rel1.ok());
+    auto stats = ComputeColumnStats(**rel1, 0);
+    MJOIN_CHECK(stats.ok());
+    double skew = stats->PartitioningSkewLowerBound(kProcs);
+
+    auto reference = ReferenceSummary(*query, db);
+    MJOIN_CHECK(reference.ok()) << reference.status();
+
+    SimExecutor executor(&db);
+    std::vector<std::string> row = {FormatDouble(theta, 1),
+                                    StrCat(FormatDouble(skew * 100, 0), "%")};
+    bool all_verified = true;
+    for (StrategyKind kind : kAllStrategies) {
+      auto plan = MakeStrategy(kind)->Parallelize(*query, kProcs,
+                                                  TotalCostModel());
+      MJOIN_CHECK(plan.ok()) << plan.status();
+      auto run = executor.Execute(*plan, SimExecOptions());
+      MJOIN_CHECK(run.ok()) << run.status();
+      all_verified &= run->result == *reference;
+      row.push_back(FormatDouble(run->response_seconds, 1));
+    }
+    row.push_back(all_verified ? "yes" : "NO!");
+    table.AddRow(std::move(row));
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nExpected: response times of every strategy grow with theta even "
+      "though the total\nwork is unchanged — the hot fragment becomes the "
+      "bottleneck (§3.5 'load imbalance\nor skew'). Results stay correct "
+      "under skew (verified against the reference).\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Reproduces Figures 2-7 of the paper: the example 5-way join tree, its
+// right-deep segments (Figure 5), and the idealized processor-utilization
+// diagrams of the four strategies on a 10-processor system (Figures 3, 4,
+// 6 and 7). Each join is drawn with its numeric label, which also gives
+// its relative amount of work (1, 5, 3, 4).
+#include <cstdio>
+#include <map>
+
+#include "plan/segments.h"
+#include "plan/shapes.h"
+#include "strategy/idealized.h"
+
+using namespace mjoin;
+
+int main() {
+  std::vector<std::pair<int, int>> labels;
+  JoinTree tree = BuildFigure2ExampleTree(&labels);
+
+  std::printf("Figure 2: the example 5-way join tree\n%s\n",
+              tree.ToString().c_str());
+
+  std::map<int, double> work;
+  for (auto [node, label] : labels) work[node] = label;
+
+  // Figure 5: the right-deep segments (requires join costs = work).
+  JoinTree annotated = tree;
+  for (int id : annotated.PostOrder()) {
+    JoinTreeNode& node = annotated.mutable_node(id);
+    node.join_cost = node.is_leaf() ? 0 : work[id];
+    node.subtree_cost = node.is_leaf()
+                            ? 0
+                            : node.join_cost +
+                                  annotated.node(node.left).subtree_cost +
+                                  annotated.node(node.right).subtree_cost;
+  }
+  SegmentedTree segmented = SegmentedTree::Build(annotated);
+  std::printf("Figure 5: right-deep segments of the example tree\n%s\n",
+              segmented.ToString(annotated).c_str());
+
+  struct Panel {
+    StrategyKind strategy;
+    const char* figure;
+  };
+  const Panel panels[] = {
+      {StrategyKind::kSP, "Figure 3: Sequential Parallel (SP)"},
+      {StrategyKind::kSE, "Figure 4: Synchronous Execution (SE)"},
+      {StrategyKind::kRD, "Figure 6: Segmented Right-Deep (RD)"},
+      {StrategyKind::kFP, "Figure 7: Full Parallel (FP)"},
+  };
+  constexpr uint32_t kProcessors = 10;
+  for (const Panel& panel : panels) {
+    auto blocks =
+        IdealizedUtilization(panel.strategy, tree, work, kProcessors);
+    if (!blocks.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n",
+                   blocks.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s — idealized utilization on %u processors\n%s\n",
+                panel.figure, kProcessors,
+                RenderIdealized(*blocks, kProcessors).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,6 @@
+// Reproduces Figure_9 of the paper: the left_linear query tree.
+#include "bench/figure_main.h"
+
+int main() {
+  return mjoin::FigureMain(mjoin::QueryShape::kLeftLinear, "Figure_9");
+}

@@ -1,0 +1,6 @@
+// Reproduces Figure_10 of the paper: the left_bushy query tree.
+#include "bench/figure_main.h"
+
+int main() {
+  return mjoin::FigureMain(mjoin::QueryShape::kLeftOrientedBushy, "Figure_10");
+}

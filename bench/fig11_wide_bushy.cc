@@ -1,0 +1,6 @@
+// Reproduces Figure_11 of the paper: the wide_bushy query tree.
+#include "bench/figure_main.h"
+
+int main() {
+  return mjoin::FigureMain(mjoin::QueryShape::kWideBushy, "Figure_11");
+}

@@ -1,0 +1,6 @@
+// Reproduces Figure_12 of the paper: the right_bushy query tree.
+#include "bench/figure_main.h"
+
+int main() {
+  return mjoin::FigureMain(mjoin::QueryShape::kRightOrientedBushy, "Figure_12");
+}

@@ -1,0 +1,6 @@
+// Reproduces Figure_13 of the paper: the right_linear query tree.
+#include "bench/figure_main.h"
+
+int main() {
+  return mjoin::FigureMain(mjoin::QueryShape::kRightLinear, "Figure_13");
+}

@@ -1,0 +1,53 @@
+// Reproduces Figure 14 of the paper: the best response time found for each
+// query shape and problem size, with the (strategy, processor count) that
+// achieved it.
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "engine/experiment.h"
+
+using namespace mjoin;
+
+namespace {
+
+std::string Cell(const ExperimentPoint* best) {
+  if (best == nullptr || !best->seconds.has_value()) return "-";
+  return StrCat(FormatDouble(*best->seconds, 1), " (",
+                StrategyName(best->strategy), best->processors, ")");
+}
+
+}  // namespace
+
+int main() {
+  CostParams costs;
+  bool fast = std::getenv("MJOIN_FAST") != nullptr;
+  uint32_t small_card = fast ? 2000 : 5000;
+  uint32_t large_card = fast ? 8000 : 40000;
+
+  std::printf(
+      "Figure 14: best response times in seconds for all query trees.\n"
+      "The strategy and number of nodes of the best run are in "
+      "parentheses.\n\n");
+
+  TablePrinter table({"query tree", StrCat(small_card / 1000, "K"),
+                      StrCat(large_card / 1000, "K")});
+  for (QueryShape shape : kAllShapes) {
+    auto out = RunPaperFigure(shape, costs, small_card, large_card,
+                              /*verify=*/true);
+    if (!out.ok()) {
+      std::fprintf(stderr, "FAILED: %s\n", out.status().ToString().c_str());
+      return 1;
+    }
+    table.AddRow({ShapeName(shape), Cell(out->small.Best()),
+                  Cell(out->large.Best())});
+  }
+  std::printf("%s", table.ToString().c_str());
+  std::printf(
+      "\nPaper's Figure 14 for comparison: left linear 9.4 (FP40) / 34 "
+      "(FP80); left bushy 7.0 (FP80) / 34 (FP80);\nwide bushy 5.2 (FP80) / "
+      "26 (SE80); right bushy 5.7 (RD80) / 32 (RD80); right linear 10.1 "
+      "(FP60) / 33 (RD80).\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef MJOIN_BENCH_FIGURE_MAIN_H_
+#define MJOIN_BENCH_FIGURE_MAIN_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "engine/experiment.h"
+
+namespace mjoin {
+
+/// Shared driver for the Figure 9-13 benchmarks: runs the paper's sweep
+/// (4 strategies x {20..80} processors x {5K, 40K} tuples/relation, 10
+/// Wisconsin relations) for one query shape and prints the two series the
+/// figure plots. Every run's result is verified against the
+/// single-threaded reference executor.
+///
+/// Set MJOIN_FAST=1 to shrink the sweep (2K/8K tuples, three processor
+/// counts) for quick smoke runs.
+inline int FigureMain(QueryShape shape, const char* figure_name) {
+  CostParams costs;
+  bool fast = std::getenv("MJOIN_FAST") != nullptr;
+  uint32_t small_card = fast ? 2000 : 5000;
+  uint32_t large_card = fast ? 8000 : 40000;
+
+  std::printf("%s: response time vs. number of processors, %s query tree\n",
+              figure_name, ShapeName(shape).c_str());
+  std::printf("(simulated PRISMA/DB-like machine; %s)\n\n",
+              costs.ToString().c_str());
+
+  auto out = RunPaperFigure(shape, costs, small_card, large_card,
+                            /*verify=*/true);
+  if (!out.ok()) {
+    std::fprintf(stderr, "FAILED: %s\n", out.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", out->text.c_str());
+  return 0;
+}
+
+}  // namespace mjoin
+
+#endif  // MJOIN_BENCH_FIGURE_MAIN_H_

@@ -1,0 +1,148 @@
+// Microbenchmarks of the execution-layer primitives: the join hash table
+// and the two hash-join operators (Figure 1's simple vs pipelining
+// algorithm, including the pipelining join's earlier time-to-first-output,
+// which is what enables FP's dataflow execution).
+#include <benchmark/benchmark.h>
+
+#include "engine/result.h"
+#include "exec/hash_table.h"
+#include "exec/pipelining_hash_join.h"
+#include "exec/simple_hash_join.h"
+#include "storage/wisconsin.h"
+
+namespace mjoin {
+namespace {
+
+std::shared_ptr<const Schema> Wisc() {
+  return std::make_shared<const Schema>(WisconsinSchema());
+}
+
+// A no-cost OpContext that counts emitted rows and remembers when the
+// first output row appeared (in consumed input tuples).
+class CountingContext : public OpContext {
+ public:
+  void Charge(Ticks) override {}
+  void EmitRow(const std::byte*) override {
+    ++emitted;
+    if (first_output < 0) first_output = consumed;
+  }
+  const CostParams& costs() const override { return params; }
+
+  CostParams params;
+  int64_t emitted = 0;
+  int64_t consumed = 0;
+  int64_t first_output = -1;
+};
+
+void BM_HashTableInsert(benchmark::State& state) {
+  auto n = static_cast<uint32_t>(state.range(0));
+  Relation rel = GenerateWisconsin(n, 1);
+  for (auto _ : state) {
+    JoinHashTable table(Wisc(), kUnique1);
+    for (size_t i = 0; i < rel.num_tuples(); ++i) {
+      table.Insert(rel.tuple(i).data());
+    }
+    benchmark::DoNotOptimize(table.size());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashTableInsert)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_HashTableProbe(benchmark::State& state) {
+  auto n = static_cast<uint32_t>(state.range(0));
+  Relation rel = GenerateWisconsin(n, 1);
+  JoinHashTable table(Wisc(), kUnique1);
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    table.Insert(rel.tuple(i).data());
+  }
+  size_t matches = 0;
+  for (auto _ : state) {
+    for (uint32_t k = 0; k < n; ++k) {
+      matches += table.Probe(static_cast<int32_t>(k),
+                             [](const TupleRef&) {});
+    }
+  }
+  benchmark::DoNotOptimize(matches);
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_HashTableProbe)->Arg(1000)->Arg(10000)->Arg(100000);
+
+JoinSpec ChainSpec() {
+  std::vector<JoinOutputColumn> outputs = {JoinOutputColumn::Left(kUnique2),
+                                           JoinOutputColumn::Right(kUnique2)};
+  for (size_t c = 2; c < WisconsinSchema().num_columns(); ++c) {
+    outputs.push_back(JoinOutputColumn::Right(c));
+  }
+  auto spec = MakeJoinSpec(Wisc(), Wisc(), 0, 0, std::move(outputs));
+  MJOIN_CHECK(spec.ok());
+  return *std::move(spec);
+}
+
+TupleBatch ToBatch(const Relation& rel, size_t lo, size_t hi) {
+  TupleBatch batch(std::make_shared<const Schema>(rel.schema()));
+  for (size_t i = lo; i < hi && i < rel.num_tuples(); ++i) {
+    batch.AppendRow(rel.tuple(i).data());
+  }
+  return batch;
+}
+
+void BM_SimpleHashJoin(benchmark::State& state) {
+  auto n = static_cast<uint32_t>(state.range(0));
+  Relation left = GenerateWisconsin(n, 1);
+  Relation right = GenerateWisconsin(n, 2);
+  for (auto _ : state) {
+    SimpleHashJoinOp join(ChainSpec());
+    CountingContext ctx;
+    const uint32_t kBatch = 256;
+    for (size_t lo = 0; lo < n; lo += kBatch) {
+      TupleBatch b = ToBatch(left, lo, lo + kBatch);
+      join.Consume(SimpleHashJoinOp::kBuildPort, b, &ctx);
+    }
+    join.InputDone(SimpleHashJoinOp::kBuildPort, &ctx);
+    for (size_t lo = 0; lo < n; lo += kBatch) {
+      TupleBatch b = ToBatch(right, lo, lo + kBatch);
+      join.Consume(SimpleHashJoinOp::kProbePort, b, &ctx);
+    }
+    join.InputDone(SimpleHashJoinOp::kProbePort, &ctx);
+    MJOIN_CHECK(static_cast<uint32_t>(ctx.emitted) == n);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+}
+BENCHMARK(BM_SimpleHashJoin)->Arg(10000)->Arg(40000);
+
+void BM_PipeliningHashJoin(benchmark::State& state) {
+  auto n = static_cast<uint32_t>(state.range(0));
+  Relation left = GenerateWisconsin(n, 1);
+  Relation right = GenerateWisconsin(n, 2);
+  int64_t first_output = 0;
+  for (auto _ : state) {
+    PipeliningHashJoinOp join(ChainSpec());
+    CountingContext ctx;
+    const uint32_t kBatch = 256;
+    // Interleave both inputs, as the symmetric algorithm expects.
+    for (size_t lo = 0; lo < n; lo += kBatch) {
+      TupleBatch bl = ToBatch(left, lo, lo + kBatch);
+      ctx.consumed += static_cast<int64_t>(bl.num_tuples());
+      join.Consume(PipeliningHashJoinOp::kLeftPort, bl, &ctx);
+      TupleBatch br = ToBatch(right, lo, lo + kBatch);
+      ctx.consumed += static_cast<int64_t>(br.num_tuples());
+      join.Consume(PipeliningHashJoinOp::kRightPort, br, &ctx);
+    }
+    join.InputDone(PipeliningHashJoinOp::kLeftPort, &ctx);
+    join.InputDone(PipeliningHashJoinOp::kRightPort, &ctx);
+    MJOIN_CHECK(static_cast<uint32_t>(ctx.emitted) == n);
+    first_output = ctx.first_output;
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n);
+  // Fraction of the input consumed before the first result appeared: the
+  // pipelining join produces output almost immediately (the simple join
+  // only after the entire build input).
+  state.counters["first_output_frac"] =
+      static_cast<double>(first_output) / (2.0 * n);
+}
+BENCHMARK(BM_PipeliningHashJoin)->Arg(10000)->Arg(40000);
+
+}  // namespace
+}  // namespace mjoin
+
+BENCHMARK_MAIN();

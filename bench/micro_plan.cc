@@ -1,0 +1,86 @@
+// Microbenchmarks of the planning layer: phase-1 optimization (DP vs
+// greedy as the query grows), phase-2 strategy planning, processor
+// allocation, and right-deep segmentation. Planning must stay cheap
+// relative to execution — the paper's third argument for two-phase
+// optimization is "a reasonable way to cut down on the optimization time".
+#include <benchmark/benchmark.h>
+
+#include "opt/optimizer.h"
+#include "plan/allocation.h"
+#include "plan/segments.h"
+#include "plan/wisconsin_query.h"
+#include "strategy/strategy.h"
+
+namespace mjoin {
+namespace {
+
+void BM_OptimizeDp(benchmark::State& state) {
+  auto n = static_cast<int>(state.range(0));
+  JoinGraph graph = JoinGraph::RegularChain(n, 5000);
+  TotalCostModel model;
+  for (auto _ : state) {
+    auto tree = OptimizeDp(graph, model, {});
+    MJOIN_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_joins());
+  }
+}
+BENCHMARK(BM_OptimizeDp)->Arg(6)->Arg(10)->Arg(12)->Arg(14);
+
+void BM_OptimizeGreedy(benchmark::State& state) {
+  auto n = static_cast<int>(state.range(0));
+  JoinGraph graph = JoinGraph::RegularChain(n, 5000);
+  TotalCostModel model;
+  for (auto _ : state) {
+    auto tree = OptimizeGreedy(graph, model);
+    MJOIN_CHECK(tree.ok());
+    benchmark::DoNotOptimize(tree->num_joins());
+  }
+}
+BENCHMARK(BM_OptimizeGreedy)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_StrategyPlanning(benchmark::State& state) {
+  auto kind = static_cast<StrategyKind>(state.range(0));
+  auto query = MakeWisconsinChainQuery(QueryShape::kRightOrientedBushy, 10,
+                                       5000);
+  MJOIN_CHECK(query.ok());
+  auto strategy = MakeStrategy(kind);
+  for (auto _ : state) {
+    auto plan = strategy->Parallelize(*query, 80, TotalCostModel());
+    MJOIN_CHECK(plan.ok());
+    benchmark::DoNotOptimize(plan->CountProcesses());
+  }
+  state.SetLabel(StrategyName(kind));
+}
+BENCHMARK(BM_StrategyPlanning)
+    ->Arg(static_cast<int>(StrategyKind::kSP))
+    ->Arg(static_cast<int>(StrategyKind::kSE))
+    ->Arg(static_cast<int>(StrategyKind::kRD))
+    ->Arg(static_cast<int>(StrategyKind::kFP));
+
+void BM_ProportionalAllocation(benchmark::State& state) {
+  std::vector<double> work;
+  for (int i = 0; i < 32; ++i) work.push_back(1.0 + i % 7);
+  for (auto _ : state) {
+    auto counts = ProportionalAllocation(work, 80);
+    MJOIN_CHECK(counts.ok());
+    benchmark::DoNotOptimize(counts->size());
+  }
+}
+BENCHMARK(BM_ProportionalAllocation);
+
+void BM_Segmentation(benchmark::State& state) {
+  auto tree = BuildShape(QueryShape::kRightOrientedBushy,
+                         WisconsinRelationNames(16), 5000);
+  MJOIN_CHECK(tree.ok());
+  TotalCostModel().Annotate(&*tree);
+  for (auto _ : state) {
+    SegmentedTree segmented = SegmentedTree::Build(*tree);
+    benchmark::DoNotOptimize(segmented.segments().size());
+  }
+}
+BENCHMARK(BM_Segmentation);
+
+}  // namespace
+}  // namespace mjoin
+
+BENCHMARK_MAIN();

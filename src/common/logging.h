@@ -1,0 +1,77 @@
+#ifndef MJOIN_COMMON_LOGGING_H_
+#define MJOIN_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mjoin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+namespace internal_logging {
+
+/// Collects a log message via operator<< and emits it (to stderr) on
+/// destruction. kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Turns a LogMessage reference into void so that a CHECK macro can be the
+/// else-branch of a ternary operator. operator& binds more loosely than
+/// operator<<, so the whole streaming chain is evaluated first.
+class Voidify {
+ public:
+  void operator&(LogMessage&) {}
+};
+
+}  // namespace internal_logging
+
+/// Minimum level that is actually emitted; default kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+}  // namespace mjoin
+
+#define MJOIN_LOG(level)                                                  \
+  ::mjoin::internal_logging::LogMessage(::mjoin::LogLevel::k##level,      \
+                                        __FILE__, __LINE__)
+
+/// CHECK-style assertion: aborts with the streamed message when `cond` is
+/// false. Active in all build types; hot paths should use MJOIN_DCHECK.
+#define MJOIN_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                        \
+         : ::mjoin::internal_logging::Voidify() &                         \
+               (::mjoin::internal_logging::LogMessage(                    \
+                    ::mjoin::LogLevel::kFatal, __FILE__, __LINE__)        \
+                << "Check failed: " #cond " ")
+
+#define MJOIN_CHECK_OK(expr)                                     \
+  do {                                                           \
+    const ::mjoin::Status& _mjoin_st = (expr);                   \
+    MJOIN_CHECK(_mjoin_st.ok()) << _mjoin_st.ToString();         \
+  } while (false)
+
+#ifdef NDEBUG
+/// Debug-only check: compiled out in release builds, but the condition
+/// stays syntactically referenced to avoid unused-variable warnings.
+#define MJOIN_DCHECK(cond) MJOIN_CHECK(true || (cond))
+#else
+#define MJOIN_DCHECK(cond) MJOIN_CHECK(cond)
+#endif
+
+#endif  // MJOIN_COMMON_LOGGING_H_

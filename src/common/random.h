@@ -1,0 +1,55 @@
+#ifndef MJOIN_COMMON_RANDOM_H_
+#define MJOIN_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mjoin {
+
+/// Deterministic, seedable PRNG (xoshiro256**). All randomized components
+/// in the library take an explicit Random so that every experiment is
+/// reproducible from its seed.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) via Lemire's multiply-shift rejection method.
+  /// Precondition: bound > 0.
+  uint64_t Uniform(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    for (size_t i = values->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(i));
+      std::swap((*values)[i - 1], (*values)[j]);
+    }
+  }
+
+  /// Returns a uniformly random permutation of 0..n-1.
+  std::vector<uint32_t> Permutation(uint32_t n);
+
+ private:
+  uint64_t state_[4];
+};
+
+/// SplitMix64 step: used for seeding and as a cheap stateless hash/mixer.
+uint64_t SplitMix64(uint64_t* state);
+
+/// Finalizing 64-bit mixer (the SplitMix64 finalizer); good avalanche
+/// behaviour, used for hash partitioning of join keys.
+uint64_t Mix64(uint64_t value);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_COMMON_RANDOM_H_

@@ -1,0 +1,46 @@
+#ifndef MJOIN_COMMON_STATS_H_
+#define MJOIN_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mjoin {
+
+/// Online accumulator for min/max/mean/variance (Welford's algorithm).
+class StatsAccumulator {
+ public:
+  void Add(double value);
+
+  int64_t count() const { return count_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double sum() const { return sum_; }
+  /// Sample standard deviation; 0 for fewer than two samples.
+  double stddev() const;
+
+ private:
+  int64_t count_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double sum_ = 0;
+};
+
+/// Exact percentile (nearest-rank) over a sample set kept in memory.
+class PercentileTracker {
+ public:
+  void Add(double value) { values_.push_back(value); }
+  /// p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+  size_t count() const { return values_.size(); }
+
+ private:
+  mutable std::vector<double> values_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_COMMON_STATS_H_

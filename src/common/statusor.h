@@ -1,0 +1,75 @@
+#ifndef MJOIN_COMMON_STATUSOR_H_
+#define MJOIN_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace mjoin {
+
+/// StatusOr<T> holds either an OK status plus a value of type T, or a
+/// non-OK status. It is the return type of fallible functions that produce
+/// a value (exceptions are not used in this codebase).
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit construction from a value is intentional: `return value;`.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit construction from a non-OK status is intentional:
+  /// `return Status::InvalidArgument(...);`.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    MJOIN_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) = default;
+  StatusOr& operator=(StatusOr&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    MJOIN_CHECK(ok()) << "value() on non-OK StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    MJOIN_CHECK(ok()) << "value() on non-OK StatusOr: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    MJOIN_CHECK(ok()) << "value() on non-OK StatusOr: " << status_.ToString();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mjoin
+
+/// Assigns the value of a StatusOr expression to `lhs`, returning the error
+/// status from the enclosing function on failure.
+#define MJOIN_ASSIGN_OR_RETURN(lhs, expr)                         \
+  MJOIN_ASSIGN_OR_RETURN_IMPL_(                                   \
+      MJOIN_STATUS_MACROS_CONCAT_(_mjoin_statusor, __LINE__), lhs, expr)
+
+#define MJOIN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define MJOIN_STATUS_MACROS_CONCAT_(x, y) MJOIN_STATUS_MACROS_CONCAT_IMPL_(x, y)
+#define MJOIN_STATUS_MACROS_CONCAT_IMPL_(x, y) x##y
+
+#endif  // MJOIN_COMMON_STATUSOR_H_

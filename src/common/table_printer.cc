@@ -1,0 +1,59 @@
+#include "common/table_printer.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mjoin {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  MJOIN_CHECK(cells.size() == headers_.size())
+      << "row has " << cells.size() << " cells, expected " << headers_.size();
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::AddSeparator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const Row& row : rows_) {
+    if (row.separator) continue;
+    for (size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+
+  auto render_separator = [&widths]() {
+    std::string line = "+";
+    for (size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += "+";
+    }
+    line += "\n";
+    return line;
+  };
+  auto render_row = [&widths](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (size_t c = 0; c < cells.size(); ++c) {
+      line += " ";
+      line += PadRight(cells[c], widths[c]);
+      line += " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_separator();
+  out += render_row(headers_);
+  out += render_separator();
+  for (const Row& row : rows_) {
+    out += row.separator ? render_separator() : render_row(row.cells);
+  }
+  out += render_separator();
+  return out;
+}
+
+}  // namespace mjoin

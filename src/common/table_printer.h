@@ -1,0 +1,39 @@
+#ifndef MJOIN_COMMON_TABLE_PRINTER_H_
+#define MJOIN_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace mjoin {
+
+/// Renders rows of strings as an aligned ASCII table. Used by the benchmark
+/// harnesses to print the paper's tables and figure series.
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Inserts a horizontal separator line before the next row.
+  void AddSeparator();
+
+  /// Renders the whole table, including a header separator.
+  std::string ToString() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_COMMON_TABLE_PRINTER_H_

@@ -1,0 +1,75 @@
+#include "engine/controller.h"
+
+#include "common/logging.h"
+
+namespace mjoin {
+
+QueryController::QueryController(const ParallelPlan* plan) : plan_(plan) {
+  size_t n = plan_->ops.size();
+  pending_complete_.resize(n);
+  pending_build_done_.resize(n);
+  fired_complete_.assign(n, false);
+  fired_build_done_.assign(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    auto instances = static_cast<uint32_t>(plan_->ops[i].processors.size());
+    pending_complete_[i] = instances;
+    pending_build_done_[i] = instances;
+  }
+  group_dispatched_.assign(plan_->groups.size(), false);
+}
+
+std::vector<int> QueryController::TakeInitialGroups() {
+  return CollectReadyGroups();
+}
+
+bool QueryController::OpMilestoneFired(int op, Milestone milestone) const {
+  auto i = static_cast<size_t>(op);
+  return milestone == Milestone::kComplete ? fired_complete_[i]
+                                           : fired_build_done_[i];
+}
+
+std::vector<int> QueryController::OnInstanceMilestone(int op,
+                                                      uint32_t instance,
+                                                      Milestone milestone) {
+  auto i = static_cast<size_t>(op);
+  MJOIN_CHECK(i < plan_->ops.size());
+  MJOIN_CHECK(instance < plan_->ops[i].processors.size());
+  if (milestone == Milestone::kComplete) {
+    MJOIN_CHECK(pending_complete_[i] > 0)
+        << "extra completion for op " << op;
+    if (--pending_complete_[i] == 0) {
+      fired_complete_[i] = true;
+      ++complete_ops_;
+      return CollectReadyGroups();
+    }
+  } else {
+    MJOIN_CHECK(pending_build_done_[i] > 0)
+        << "extra build-done for op " << op;
+    if (--pending_build_done_[i] == 0) {
+      fired_build_done_[i] = true;
+      return CollectReadyGroups();
+    }
+  }
+  return {};
+}
+
+std::vector<int> QueryController::CollectReadyGroups() {
+  std::vector<int> ready;
+  for (size_t g = 0; g < plan_->groups.size(); ++g) {
+    if (group_dispatched_[g]) continue;
+    bool all_fired = true;
+    for (const TriggerDep& dep : plan_->groups[g].deps) {
+      if (!OpMilestoneFired(dep.op, dep.milestone)) {
+        all_fired = false;
+        break;
+      }
+    }
+    if (all_fired) {
+      group_dispatched_[g] = true;
+      ready.push_back(static_cast<int>(g));
+    }
+  }
+  return ready;
+}
+
+}  // namespace mjoin

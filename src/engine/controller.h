@@ -1,0 +1,51 @@
+#ifndef MJOIN_ENGINE_CONTROLLER_H_
+#define MJOIN_ENGINE_CONTROLLER_H_
+
+#include <map>
+#include <vector>
+
+#include "xra/plan.h"
+
+namespace mjoin {
+
+/// Pure trigger-group bookkeeping shared by both backends: aggregates
+/// per-instance milestone notifications into op-level milestones and
+/// decides when trigger groups become ready. Not thread-safe; the threaded
+/// backend serializes access externally.
+class QueryController {
+ public:
+  explicit QueryController(const ParallelPlan* plan);
+
+  /// Groups with no dependencies (ready at query start). Each group is
+  /// reported ready exactly once.
+  std::vector<int> TakeInitialGroups();
+
+  /// Records that instance `instance` of op `op` reached `milestone`.
+  /// Returns the groups that became ready as a consequence (possibly
+  /// empty). Duplicate notifications are rejected with a CHECK.
+  std::vector<int> OnInstanceMilestone(int op, uint32_t instance,
+                                       Milestone milestone);
+
+  /// True once every op has completed (all instances).
+  bool AllOpsComplete() const { return complete_ops_ == plan_->ops.size(); }
+
+  /// True once op-level `milestone` has fired for `op`.
+  bool OpMilestoneFired(int op, Milestone milestone) const;
+
+ private:
+  std::vector<int> CollectReadyGroups();
+
+  const ParallelPlan* plan_;
+  // Per op: instances still to report, per milestone kind (index 0 =
+  // kComplete, 1 = kBuildDone).
+  std::vector<uint32_t> pending_complete_;
+  std::vector<uint32_t> pending_build_done_;
+  std::vector<bool> fired_complete_;
+  std::vector<bool> fired_build_done_;
+  std::vector<bool> group_dispatched_;
+  size_t complete_ops_ = 0;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_ENGINE_CONTROLLER_H_

@@ -1,0 +1,23 @@
+#ifndef MJOIN_ENGINE_REFERENCE_H_
+#define MJOIN_ENGINE_REFERENCE_H_
+
+#include "common/statusor.h"
+#include "engine/database.h"
+#include "engine/result.h"
+#include "plan/query.h"
+
+namespace mjoin {
+
+/// Single-threaded, strategy-free evaluation of a JoinQuery: the oracle
+/// against which every parallel execution is checked. Evaluates the tree
+/// bottom-up with an in-memory hash join per node.
+StatusOr<Relation> ExecuteReference(const JoinQuery& query,
+                                    const Database& database);
+
+/// Convenience: reference execution reduced to its result summary.
+StatusOr<ResultSummary> ReferenceSummary(const JoinQuery& query,
+                                         const Database& database);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_ENGINE_REFERENCE_H_

@@ -1,0 +1,36 @@
+#include "engine/result.h"
+
+#include "common/random.h"
+
+namespace mjoin {
+
+uint64_t HashRowBytes(const std::byte* row, size_t size) {
+  uint64_t hash = 1469598103934665603ULL;  // FNV offset basis
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<uint64_t>(std::to_integer<uint8_t>(row[i]));
+    hash *= 1099511628211ULL;  // FNV prime
+  }
+  return Mix64(hash);
+}
+
+ResultSummary SummarizeRelation(const Relation& relation) {
+  ResultSummary summary;
+  size_t row_size = relation.schema().tuple_size();
+  for (size_t i = 0; i < relation.num_tuples(); ++i) {
+    summary.checksum += HashRowBytes(relation.tuple(i).data(), row_size);
+    ++summary.cardinality;
+  }
+  return summary;
+}
+
+ResultSummary SummarizeFragments(const std::vector<Relation>& fragments) {
+  ResultSummary summary;
+  for (const Relation& fragment : fragments) {
+    ResultSummary part = SummarizeRelation(fragment);
+    summary.cardinality += part.cardinality;
+    summary.checksum += part.checksum;
+  }
+  return summary;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,457 @@
+#include "engine/thread_executor.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/string_util.h"
+#include "engine/controller.h"
+#include "exec/batch.h"
+#include "exec/operator.h"
+#include "exec/pipelining_hash_join.h"
+#include "exec/aggregate.h"
+#include "exec/filter.h"
+#include "exec/scan.h"
+#include "exec/simple_hash_join.h"
+#include "exec/sort_merge_join.h"
+#include "storage/partitioner.h"
+
+namespace mjoin {
+
+namespace {
+
+/// A worker node: one OS thread draining a message queue. Messages for all
+/// operation processes placed on this node run serialized here, exactly
+/// like on a shared-nothing node.
+class WorkerNode {
+ public:
+  WorkerNode() = default;
+
+  void Start() {
+    thread_ = std::thread([this] { Loop(); });
+  }
+
+  void Post(std::function<void()> fn) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(fn));
+    }
+    cv_.notify_one();
+  }
+
+  void Stop() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      stop_ = true;
+    }
+    cv_.notify_one();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void Loop() {
+    for (;;) {
+      std::function<void()> fn;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        if (queue_.empty()) {
+          if (stop_) return;
+          continue;
+        }
+        fn = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      fn();
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+class ThreadRun;
+
+/// One operation process on a worker thread. All of its callbacks run on
+/// its node's thread, so the state needs no locking.
+class ThreadInstance : public OpContext {
+ public:
+  ThreadInstance(ThreadRun* run, int op_id, uint32_t index, uint32_t node)
+      : run_(run), op_id_(op_id), index_(index), node_(node) {}
+
+  void Charge(Ticks) override {}  // wall-clock backend: real work is time
+  void EmitRow(const std::byte* row) override;
+  const CostParams& costs() const override { return cost_params_; }
+
+  ThreadRun* run_;
+  int op_id_;
+  uint32_t index_;
+  uint32_t node_;
+  std::unique_ptr<Operator> oper;
+
+  bool started = false;
+  bool complete = false;
+  bool build_done_reported = false;
+  int eos_remaining[2] = {0, 0};
+  std::vector<TupleBatch> out_pending;
+  std::deque<std::function<void()>> pre_start;
+
+  /// Only batch_size is consulted by operators in this backend.
+  CostParams cost_params_;
+};
+
+class ThreadRun {
+ public:
+  ThreadRun(const ParallelPlan& plan, const Database& db,
+            const ThreadExecOptions& options)
+      : plan_(plan), db_(db), options_(options), controller_(&plan) {}
+
+  Status Prepare();
+  StatusOr<ThreadQueryResult> Run();
+
+  void EmitRowFrom(ThreadInstance* inst, const std::byte* row);
+
+ private:
+  ThreadInstance* instance(int op, uint32_t index) {
+    return instances_[static_cast<size_t>(op)][index].get();
+  }
+  const XraOp& op(int id) const { return plan_.ops[static_cast<size_t>(id)]; }
+
+  void PostToInstance(ThreadInstance* inst, std::function<void()> fn);
+  void TriggerInstance(ThreadInstance* inst);
+  void PumpSource(ThreadInstance* inst);
+  void OnBatch(ThreadInstance* inst, int port, const TupleBatch& batch);
+  void OnEos(ThreadInstance* inst, int port);
+  void AfterCallback(ThreadInstance* inst);
+  void FinishInstance(ThreadInstance* inst);
+  void FlushDest(ThreadInstance* inst, uint32_t dest);
+  void ReportMilestone(int op_id, uint32_t index, Milestone milestone);
+  void DispatchGroups(const std::vector<int>& groups);
+
+  const ParallelPlan& plan_;
+  const Database& db_;
+  const ThreadExecOptions& options_;
+
+  std::vector<std::unique_ptr<WorkerNode>> nodes_;
+  std::vector<std::vector<std::unique_ptr<ThreadInstance>>> instances_;
+  std::vector<std::vector<Relation>> stored_;
+  std::vector<std::vector<Relation>> scan_fragments_;
+
+  // Scheduler state (controller + completion flag), mutex-protected: any
+  // worker thread may deliver a milestone.
+  std::mutex scheduler_mutex_;
+  QueryController controller_;
+  std::condition_variable done_cv_;
+  bool done_ = false;
+};
+
+void ThreadInstance::EmitRow(const std::byte* row) {
+  run_->EmitRowFrom(this, row);
+}
+
+Status ThreadRun::Prepare() {
+  size_t num_ops = plan_.ops.size();
+  instances_.resize(num_ops);
+  scan_fragments_.resize(num_ops);
+  stored_.resize(static_cast<size_t>(plan_.num_results));
+
+  nodes_.reserve(plan_.num_processors);
+  for (uint32_t n = 0; n < plan_.num_processors; ++n) {
+    nodes_.push_back(std::make_unique<WorkerNode>());
+  }
+
+  for (const XraOp& o : plan_.ops) {
+    if (o.store_result >= 0) {
+      auto& frags = stored_[static_cast<size_t>(o.store_result)];
+      for (size_t i = 0; i < o.processors.size(); ++i) {
+        frags.emplace_back(*o.output_schema);
+      }
+    }
+  }
+
+  for (const XraOp& o : plan_.ops) {
+    if (o.kind != XraOpKind::kScan) continue;
+    MJOIN_ASSIGN_OR_RETURN(const Relation* base, db_.Get(o.relation));
+    auto m = static_cast<uint32_t>(o.processors.size());
+    const XraOp& consumer = op(o.consumer);
+    if (consumer.inputs[o.consumer_port].routing == Routing::kColocated &&
+        consumer.is_join()) {
+      size_t key = o.consumer_port == 0 ? consumer.join_spec.left_key
+                                        : consumer.join_spec.right_key;
+      MJOIN_ASSIGN_OR_RETURN(scan_fragments_[static_cast<size_t>(o.id)],
+                             HashPartition(*base, key, m));
+    } else {
+      scan_fragments_[static_cast<size_t>(o.id)] =
+          RoundRobinPartition(*base, m);
+    }
+  }
+
+  for (const XraOp& o : plan_.ops) {
+    auto& list = instances_[static_cast<size_t>(o.id)];
+    for (uint32_t i = 0; i < o.processors.size(); ++i) {
+      auto inst =
+          std::make_unique<ThreadInstance>(this, o.id, i, o.processors[i]);
+      inst->cost_params_.batch_size = options_.batch_size;
+      switch (o.kind) {
+        case XraOpKind::kScan: {
+          const Relation* frag =
+              &scan_fragments_[static_cast<size_t>(o.id)][i];
+          inst->oper = std::make_unique<ScanOp>([frag] { return frag; },
+                                                o.output_schema);
+          break;
+        }
+        case XraOpKind::kRescan: {
+          const Relation* frag =
+              &stored_[static_cast<size_t>(o.stored_result)][i];
+          inst->oper = std::make_unique<ScanOp>([frag] { return frag; },
+                                                o.output_schema);
+          break;
+        }
+        case XraOpKind::kSimpleHashJoin:
+          inst->oper = std::make_unique<SimpleHashJoinOp>(o.join_spec);
+          break;
+        case XraOpKind::kPipeliningHashJoin:
+          inst->oper = std::make_unique<PipeliningHashJoinOp>(o.join_spec);
+          break;
+        case XraOpKind::kSortMergeJoin:
+          inst->oper = std::make_unique<SortMergeJoinOp>(o.join_spec);
+          break;
+        case XraOpKind::kFilter: {
+          MJOIN_ASSIGN_OR_RETURN(std::unique_ptr<FilterOp> filter,
+                                 FilterOp::Make(o.input_schema, o.filter));
+          inst->oper = std::move(filter);
+          break;
+        }
+        case XraOpKind::kAggregate: {
+          MJOIN_ASSIGN_OR_RETURN(
+              std::unique_ptr<AggregateOp> aggregate,
+              AggregateOp::Make(o.input_schema, o.group_column,
+                                o.value_column));
+          inst->oper = std::move(aggregate);
+          break;
+        }
+      }
+      for (int port = 0; port < inst->oper->num_input_ports(); ++port) {
+        const XraInput& input = o.inputs[port];
+        inst->eos_remaining[port] =
+            input.routing == Routing::kColocated
+                ? 1
+                : static_cast<int>(op(input.producer).processors.size());
+      }
+      if (o.consumer >= 0) {
+        const XraOp& consumer = op(o.consumer);
+        for (size_t d = 0; d < consumer.processors.size(); ++d) {
+          inst->out_pending.emplace_back(o.output_schema);
+        }
+      }
+      list.push_back(std::move(inst));
+    }
+  }
+  return Status::OK();
+}
+
+void ThreadRun::PostToInstance(ThreadInstance* inst,
+                               std::function<void()> fn) {
+  // Wrap so that pre-start buffering happens on the instance's own thread
+  // (the started flag is only touched there).
+  nodes_[inst->node_]->Post([inst, fn = std::move(fn)]() mutable {
+    if (!inst->started) {
+      inst->pre_start.push_back(std::move(fn));
+    } else {
+      fn();
+    }
+  });
+}
+
+void ThreadRun::DispatchGroups(const std::vector<int>& groups) {
+  for (int g : groups) {
+    for (int op_id : plan_.groups[static_cast<size_t>(g)].ops) {
+      for (auto& inst : instances_[static_cast<size_t>(op_id)]) {
+        ThreadInstance* raw = inst.get();
+        nodes_[raw->node_]->Post([this, raw] { TriggerInstance(raw); });
+      }
+    }
+  }
+}
+
+void ThreadRun::TriggerInstance(ThreadInstance* inst) {
+  MJOIN_CHECK(!inst->started);
+  inst->started = true;
+  inst->oper->Open(inst);
+  if (inst->oper->is_source()) {
+    PumpSource(inst);
+  }
+  while (!inst->pre_start.empty()) {
+    auto fn = std::move(inst->pre_start.front());
+    inst->pre_start.pop_front();
+    fn();
+  }
+}
+
+void ThreadRun::PumpSource(ThreadInstance* inst) {
+  // One batch per message so other processes on this node interleave.
+  bool more = inst->oper->Produce(inst);
+  if (more) {
+    nodes_[inst->node_]->Post([this, inst] {
+      if (!inst->complete) PumpSource(inst);
+    });
+  } else {
+    FinishInstance(inst);
+  }
+}
+
+void ThreadRun::EmitRowFrom(ThreadInstance* inst, const std::byte* row) {
+  const XraOp& o = op(inst->op_id_);
+  if (o.store_result >= 0) {
+    stored_[static_cast<size_t>(o.store_result)][inst->index_].AppendRow(row);
+    return;
+  }
+  const XraOp& consumer = op(o.consumer);
+  const XraInput& input = consumer.inputs[o.consumer_port];
+  uint32_t dest;
+  if (input.routing == Routing::kColocated) {
+    dest = inst->index_;
+  } else {
+    TupleRef ref(row, o.output_schema.get());
+    dest = FragmentOf(ref.GetInt32(input.split_key),
+                      static_cast<uint32_t>(consumer.processors.size()));
+  }
+  TupleBatch& pending = inst->out_pending[dest];
+  pending.AppendRow(row);
+  if (pending.num_tuples() >= options_.batch_size) FlushDest(inst, dest);
+}
+
+void ThreadRun::FlushDest(ThreadInstance* inst, uint32_t dest) {
+  TupleBatch& pending = inst->out_pending[dest];
+  if (pending.empty()) return;
+  const XraOp& o = op(inst->op_id_);
+  auto batch = std::make_shared<TupleBatch>(o.output_schema);
+  std::swap(*batch, pending);
+  ThreadInstance* consumer = instance(o.consumer, dest);
+  int port = o.consumer_port;
+  PostToInstance(consumer, [this, consumer, port, batch] {
+    OnBatch(consumer, port, *batch);
+  });
+}
+
+void ThreadRun::OnBatch(ThreadInstance* inst, int port,
+                        const TupleBatch& batch) {
+  inst->oper->Consume(port, batch, inst);
+  AfterCallback(inst);
+}
+
+void ThreadRun::OnEos(ThreadInstance* inst, int port) {
+  MJOIN_CHECK(inst->eos_remaining[port] > 0);
+  if (--inst->eos_remaining[port] == 0) {
+    inst->oper->InputDone(port, inst);
+  }
+  AfterCallback(inst);
+}
+
+void ThreadRun::AfterCallback(ThreadInstance* inst) {
+  const XraOp& o = op(inst->op_id_);
+  if (o.kind == XraOpKind::kSimpleHashJoin && !inst->build_done_reported) {
+    auto* join = static_cast<SimpleHashJoinOp*>(inst->oper.get());
+    if (join->build_done()) {
+      inst->build_done_reported = true;
+      ReportMilestone(inst->op_id_, inst->index_, Milestone::kBuildDone);
+    }
+  }
+  if (!inst->complete && inst->oper->finished()) FinishInstance(inst);
+}
+
+void ThreadRun::FinishInstance(ThreadInstance* inst) {
+  MJOIN_CHECK(!inst->complete);
+  inst->complete = true;
+  const XraOp& o = op(inst->op_id_);
+  if (o.consumer >= 0) {
+    for (uint32_t d = 0; d < inst->out_pending.size(); ++d) {
+      FlushDest(inst, d);
+    }
+    const XraOp& consumer_op = op(o.consumer);
+    bool networked =
+        consumer_op.inputs[o.consumer_port].routing == Routing::kHashSplit;
+    int port = o.consumer_port;
+    if (networked) {
+      for (uint32_t d = 0; d < consumer_op.processors.size(); ++d) {
+        ThreadInstance* consumer = instance(o.consumer, d);
+        PostToInstance(consumer,
+                       [this, consumer, port] { OnEos(consumer, port); });
+      }
+    } else {
+      ThreadInstance* consumer = instance(o.consumer, inst->index_);
+      PostToInstance(consumer,
+                     [this, consumer, port] { OnEos(consumer, port); });
+    }
+  }
+  ReportMilestone(inst->op_id_, inst->index_, Milestone::kComplete);
+}
+
+void ThreadRun::ReportMilestone(int op_id, uint32_t index,
+                                Milestone milestone) {
+  std::vector<int> ready;
+  bool all_done = false;
+  {
+    std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    ready = controller_.OnInstanceMilestone(op_id, index, milestone);
+    all_done = controller_.AllOpsComplete();
+  }
+  if (!ready.empty()) DispatchGroups(ready);
+  if (all_done) {
+    {
+      std::lock_guard<std::mutex> lock(scheduler_mutex_);
+      done_ = true;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+StatusOr<ThreadQueryResult> ThreadRun::Run() {
+  auto start = std::chrono::steady_clock::now();
+  for (auto& node : nodes_) node->Start();
+
+  std::vector<int> initial;
+  {
+    std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    initial = controller_.TakeInitialGroups();
+  }
+  DispatchGroups(initial);
+
+  {
+    std::unique_lock<std::mutex> lock(scheduler_mutex_);
+    done_cv_.wait(lock, [this] { return done_; });
+  }
+  auto end = std::chrono::steady_clock::now();
+  for (auto& node : nodes_) node->Stop();
+
+  ThreadQueryResult result;
+  result.wall_seconds =
+      std::chrono::duration<double>(end - start).count();
+  result.result =
+      SummarizeFragments(stored_[static_cast<size_t>(plan_.final_result)]);
+  if (options_.materialize_result) {
+    result.materialized =
+        ConcatFragments(stored_[static_cast<size_t>(plan_.final_result)]);
+  }
+  return result;
+}
+
+}  // namespace
+
+StatusOr<ThreadQueryResult> ThreadExecutor::Execute(
+    const ParallelPlan& plan, const ThreadExecOptions& options) const {
+  MJOIN_RETURN_IF_ERROR(plan.Validate());
+  ThreadRun run(plan, *database_, options);
+  MJOIN_RETURN_IF_ERROR(run.Prepare());
+  return run.Run();
+}
+
+}  // namespace mjoin

@@ -1,0 +1,69 @@
+#ifndef MJOIN_EXEC_AGGREGATE_H_
+#define MJOIN_EXEC_AGGREGATE_H_
+
+#include <map>
+#include <memory>
+
+#include "common/statusor.h"
+#include "exec/operator.h"
+
+namespace mjoin {
+
+/// Hash group-by aggregation over one int32 grouping column with COUNT(*),
+/// SUM/MIN/MAX over one int32 value column — the XRA "grouping primitive".
+/// Output schema: (group:i32, count:i64, sum:i64, min:i32, max:i32).
+/// Parallelized by hash-splitting the input on the grouping column, so
+/// every instance owns disjoint groups; results are emitted when the input
+/// is exhausted (aggregation is a pipeline breaker).
+class AggregateOp : public Operator {
+ public:
+  /// Validates `group_column` and `value_column` against `input_schema`.
+  static StatusOr<std::unique_ptr<AggregateOp>> Make(
+      std::shared_ptr<const Schema> input_schema, size_t group_column,
+      size_t value_column);
+
+  int num_input_ports() const override { return 1; }
+
+  void Consume(int port, const TupleBatch& batch, OpContext* ctx) override;
+  void InputDone(int port, OpContext* ctx) override;
+  bool finished() const override { return done_; }
+
+  const std::shared_ptr<const Schema>& output_schema() const override {
+    return output_schema_;
+  }
+  size_t peak_memory_bytes() const override { return peak_memory_; }
+  size_t memory_bytes() const override { return current_memory_; }
+  void ReleaseMemory() override;
+
+  size_t num_groups() const { return groups_.size(); }
+
+ private:
+  struct Accumulator {
+    int64_t count = 0;
+    int64_t sum = 0;
+    int32_t min = 0;
+    int32_t max = 0;
+  };
+
+  AggregateOp(std::shared_ptr<const Schema> input_schema, size_t group_column,
+              size_t value_column,
+              std::shared_ptr<const Schema> output_schema)
+      : input_schema_(std::move(input_schema)),
+        group_column_(group_column),
+        value_column_(value_column),
+        output_schema_(std::move(output_schema)) {}
+
+  std::shared_ptr<const Schema> input_schema_;
+  size_t group_column_;
+  size_t value_column_;
+  std::shared_ptr<const Schema> output_schema_;
+  // Ordered map so output order (and thus traces) is deterministic.
+  std::map<int32_t, Accumulator> groups_;
+  bool done_ = false;
+  size_t current_memory_ = 0;
+  size_t peak_memory_ = 0;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_EXEC_AGGREGATE_H_

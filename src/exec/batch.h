@@ -1,0 +1,66 @@
+#ifndef MJOIN_EXEC_BATCH_H_
+#define MJOIN_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace mjoin {
+
+/// A batch of fixed-layout rows travelling over a tuple stream. Batches
+/// own their bytes and share the schema, so they can move freely between
+/// simulated nodes and real threads.
+class TupleBatch {
+ public:
+  explicit TupleBatch(std::shared_ptr<const Schema> schema)
+      : schema_(std::move(schema)) {}
+
+  TupleBatch(TupleBatch&&) = default;
+  TupleBatch& operator=(TupleBatch&&) = default;
+  TupleBatch(const TupleBatch&) = delete;
+  TupleBatch& operator=(const TupleBatch&) = delete;
+
+  const Schema& schema() const { return *schema_; }
+  const std::shared_ptr<const Schema>& shared_schema() const {
+    return schema_;
+  }
+
+  size_t num_tuples() const {
+    return schema_->tuple_size() == 0 ? 0
+                                      : data_.size() / schema_->tuple_size();
+  }
+  bool empty() const { return data_.empty(); }
+
+  void Reserve(size_t num_tuples) {
+    data_.reserve(num_tuples * schema_->tuple_size());
+  }
+
+  void AppendRow(const std::byte* row) {
+    data_.insert(data_.end(), row, row + schema_->tuple_size());
+  }
+
+  /// Appends an uninitialized row; the returned writer is invalidated by
+  /// the next append.
+  TupleWriter AppendTuple() {
+    size_t old = data_.size();
+    data_.resize(old + schema_->tuple_size());
+    return TupleWriter(data_.data() + old, schema_.get());
+  }
+
+  TupleRef tuple(size_t i) const {
+    return TupleRef(data_.data() + i * schema_->tuple_size(), schema_.get());
+  }
+
+  void Clear() { data_.clear(); }
+
+ private:
+  std::shared_ptr<const Schema> schema_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_EXEC_BATCH_H_

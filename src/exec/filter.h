@@ -1,0 +1,63 @@
+#ifndef MJOIN_EXEC_FILTER_H_
+#define MJOIN_EXEC_FILTER_H_
+
+#include <memory>
+#include <string>
+
+#include "common/statusor.h"
+#include "exec/operator.h"
+
+namespace mjoin {
+
+/// Comparison operators for FilterPredicate.
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe, kBetween };
+
+std::string CompareOpName(CompareOp op);
+
+/// A predicate over one int32 column: `column <op> value` (kBetween:
+/// value <= column <= value2, inclusive).
+struct FilterPredicate {
+  size_t column = 0;
+  CompareOp op = CompareOp::kEq;
+  int32_t value = 0;
+  int32_t value2 = 0;
+
+  bool Matches(int32_t candidate) const;
+  std::string ToString(const Schema& schema) const;
+};
+
+/// Selection: passes through tuples satisfying the predicate. The output
+/// schema equals the input schema, so filters compose with any routing.
+class FilterOp : public Operator {
+ public:
+  /// Validates the predicate's column against `input_schema`.
+  static StatusOr<std::unique_ptr<FilterOp>> Make(
+      std::shared_ptr<const Schema> input_schema, FilterPredicate predicate);
+
+  int num_input_ports() const override { return 1; }
+
+  void Consume(int port, const TupleBatch& batch, OpContext* ctx) override;
+  void InputDone(int port, OpContext* ctx) override { done_ = true; }
+  bool finished() const override { return done_; }
+
+  const std::shared_ptr<const Schema>& output_schema() const override {
+    return schema_;
+  }
+
+  uint64_t tuples_in() const { return tuples_in_; }
+  uint64_t tuples_out() const { return tuples_out_; }
+
+ private:
+  FilterOp(std::shared_ptr<const Schema> schema, FilterPredicate predicate)
+      : schema_(std::move(schema)), predicate_(predicate) {}
+
+  std::shared_ptr<const Schema> schema_;
+  FilterPredicate predicate_;
+  bool done_ = false;
+  uint64_t tuples_in_ = 0;
+  uint64_t tuples_out_ = 0;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_EXEC_FILTER_H_

@@ -1,0 +1,43 @@
+#include "exec/hash_table.h"
+
+namespace mjoin {
+
+JoinHashTable::JoinHashTable(std::shared_ptr<const Schema> schema,
+                             size_t key_column)
+    : schema_(std::move(schema)), key_column_(key_column) {
+  MJOIN_CHECK(key_column_ < schema_->num_columns());
+  MJOIN_CHECK(schema_->column(key_column_).type == ColumnType::kInt32);
+}
+
+void JoinHashTable::Insert(const std::byte* row) {
+  if (num_rows_ * 10 >= capacity_ * 7) Grow();
+  size_t row_index = num_rows_++;
+  arena_.insert(arena_.end(), row, row + schema_->tuple_size());
+  InsertSlot(row_index);
+}
+
+void JoinHashTable::InsertSlot(size_t row_index) {
+  size_t mask = capacity_ - 1;
+  int32_t key = RowAt(row_index).GetInt32(key_column_);
+  size_t slot = static_cast<size_t>(HashJoinKey(key)) & mask;
+  while (slots_[slot] != kEmpty) slot = (slot + 1) & mask;
+  slots_[slot] = row_index + 1;
+}
+
+void JoinHashTable::Grow() {
+  size_t new_capacity = capacity_ == 0 ? 64 : capacity_ * 2;
+  capacity_ = new_capacity;
+  slots_.assign(new_capacity, kEmpty);
+  for (size_t i = 0; i < num_rows_; ++i) InsertSlot(i);
+}
+
+void JoinHashTable::Clear() {
+  num_rows_ = 0;
+  capacity_ = 0;
+  slots_.clear();
+  slots_.shrink_to_fit();
+  arena_.clear();
+  arena_.shrink_to_fit();
+}
+
+}  // namespace mjoin

@@ -1,0 +1,84 @@
+#ifndef MJOIN_EXEC_HASH_TABLE_H_
+#define MJOIN_EXEC_HASH_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/logging.h"
+#include "storage/partitioner.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace mjoin {
+
+/// Join hash table over an int32 key: open addressing with linear probing,
+/// duplicate keys stored as separate slots, rows copied into a contiguous
+/// arena. This is the main-memory hash table both the simple and the
+/// pipelining hash-join build.
+class JoinHashTable {
+ public:
+  JoinHashTable(std::shared_ptr<const Schema> schema, size_t key_column);
+
+  JoinHashTable(const JoinHashTable&) = delete;
+  JoinHashTable& operator=(const JoinHashTable&) = delete;
+
+  /// Copies `row` (schema().tuple_size() bytes) into the table.
+  void Insert(const std::byte* row);
+
+  /// Invokes `fn(TupleRef)` for every stored row whose key equals `key`.
+  /// Returns the number of matches.
+  template <typename Fn>
+  size_t Probe(int32_t key, Fn&& fn) const {
+    if (capacity_ == 0) return 0;
+    size_t matches = 0;
+    size_t mask = capacity_ - 1;
+    size_t slot = static_cast<size_t>(HashJoinKey(key)) & mask;
+    while (slots_[slot] != kEmpty) {
+      size_t row_index = slots_[slot] - 1;
+      TupleRef row = RowAt(row_index);
+      if (row.GetInt32(key_column_) == key) {
+        ++matches;
+        fn(row);
+      }
+      slot = (slot + 1) & mask;
+    }
+    return matches;
+  }
+
+  size_t size() const { return num_rows_; }
+  /// Arena + slot array footprint, for the paper's FP-uses-more-memory
+  /// observation.
+  size_t memory_bytes() const {
+    return arena_.size() + slots_.size() * sizeof(uint64_t);
+  }
+
+  const Schema& schema() const { return *schema_; }
+  size_t key_column() const { return key_column_; }
+
+  /// Releases all storage (used when a pipelining join drains one side).
+  void Clear();
+
+ private:
+  static constexpr uint64_t kEmpty = 0;
+
+  TupleRef RowAt(size_t row_index) const {
+    return TupleRef(arena_.data() + row_index * schema_->tuple_size(),
+                    schema_.get());
+  }
+
+  void Grow();
+  void InsertSlot(size_t row_index);
+
+  std::shared_ptr<const Schema> schema_;
+  size_t key_column_;
+  size_t num_rows_ = 0;
+  size_t capacity_ = 0;  // power of two; 0 until first insert
+  // Slot holds row_index + 1; 0 means empty.
+  std::vector<uint64_t> slots_;
+  std::vector<std::byte> arena_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_EXEC_HASH_TABLE_H_

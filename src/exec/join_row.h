@@ -1,0 +1,23 @@
+#ifndef MJOIN_EXEC_JOIN_ROW_H_
+#define MJOIN_EXEC_JOIN_ROW_H_
+
+#include "exec/join_spec.h"
+#include "storage/tuple.h"
+
+namespace mjoin {
+
+/// Assembles one join output row from a matching (left, right) pair into
+/// `out` (spec.output_schema->tuple_size() bytes), following
+/// spec.output_columns. Shared by both hash-join variants.
+inline void AssembleJoinRow(const JoinSpec& spec, const TupleRef& left,
+                            const TupleRef& right, std::byte* out) {
+  TupleWriter writer(out, spec.output_schema.get());
+  for (size_t i = 0; i < spec.output_columns.size(); ++i) {
+    const JoinOutputColumn& oc = spec.output_columns[i];
+    writer.CopyColumn(i, oc.side == 0 ? left : right, oc.column);
+  }
+}
+
+}  // namespace mjoin
+
+#endif  // MJOIN_EXEC_JOIN_ROW_H_

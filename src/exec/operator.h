@@ -1,0 +1,84 @@
+#ifndef MJOIN_EXEC_OPERATOR_H_
+#define MJOIN_EXEC_OPERATOR_H_
+
+#include <memory>
+
+#include "exec/batch.h"
+#include "sim/cost_params.h"
+#include "storage/schema.h"
+
+namespace mjoin {
+
+/// Services an operator needs from its host (an operation process on a
+/// simulated node or on a real thread): CPU-cost accounting and routed
+/// output. Operators only charge their *processing* costs; the host charges
+/// network send/receive and handshake costs.
+class OpContext {
+ public:
+  virtual ~OpContext() = default;
+
+  /// Accounts `cost` simulated CPU ticks to the current task. A no-op in
+  /// the wall-clock (threaded) backend.
+  virtual void Charge(Ticks cost) = 0;
+
+  /// Hands one output row (output_schema().tuple_size() bytes) to the host,
+  /// which routes it to the consumer (split by hash, stored locally, ...).
+  virtual void EmitRow(const std::byte* row) = 0;
+
+  /// Cost model in effect.
+  virtual const CostParams& costs() const = 0;
+};
+
+/// A physical relational operator, written push-based so that both the
+/// discrete-event backend and the threaded backend can drive it:
+///
+///   - sources (scans) implement Produce(), called repeatedly, one batch of
+///     work per call, until it returns false;
+///   - non-sources implement Consume()/InputDone() per input port.
+///
+/// The host checks finished() after every callback; when it turns true the
+/// host flushes remaining output and propagates end-of-stream downstream.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  /// True for scans (no input ports, driven by Produce).
+  virtual bool is_source() const { return false; }
+
+  /// Number of input ports (0 for sources, 2 for joins, 1 otherwise).
+  virtual int num_input_ports() const { return 0; }
+
+  /// Called once before any other callback.
+  virtual void Open(OpContext* ctx) {}
+
+  /// Sources: perform one batch of work; return true while more remains.
+  virtual bool Produce(OpContext* ctx) { return false; }
+
+  /// Non-sources: consume one input batch arriving on `port`.
+  virtual void Consume(int port, const TupleBatch& batch, OpContext* ctx) {}
+
+  /// All producers of `port` have finished.
+  virtual void InputDone(int port, OpContext* ctx) {}
+
+  /// True when the operator will emit no more output.
+  virtual bool finished() const = 0;
+
+  /// Schema of emitted rows.
+  virtual const std::shared_ptr<const Schema>& output_schema() const = 0;
+
+  /// Peak extra memory held (hash tables, buffered batches), in bytes.
+  virtual size_t peak_memory_bytes() const { return 0; }
+
+  /// Extra memory currently held; drives the memory-pressure simulation
+  /// (paper's disk-based discussion: joins sharing a too-small memory
+  /// cause extra disk traffic).
+  virtual size_t memory_bytes() const { return 0; }
+
+  /// Drops all retained memory; called by the host when the operator
+  /// finished (PRISMA frees a join's hash tables when the join completes).
+  virtual void ReleaseMemory() {}
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_EXEC_OPERATOR_H_

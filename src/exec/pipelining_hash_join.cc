@@ -1,0 +1,60 @@
+#include "exec/pipelining_hash_join.h"
+
+#include "common/logging.h"
+#include "exec/join_row.h"
+
+namespace mjoin {
+
+PipeliningHashJoinOp::PipeliningHashJoinOp(JoinSpec spec)
+    : spec_(std::move(spec)),
+      tables_{JoinHashTable(spec_.left_schema, spec_.left_key),
+              JoinHashTable(spec_.right_schema, spec_.right_key)} {
+  out_row_.resize(spec_.output_schema->tuple_size());
+}
+
+void PipeliningHashJoinOp::Consume(int port, const TupleBatch& batch,
+                                   OpContext* ctx) {
+  MJOIN_CHECK(port == kLeftPort || port == kRightPort);
+  MJOIN_CHECK(!done_[port]) << "batch after end-of-stream on port " << port;
+  const CostParams& costs = ctx->costs();
+  size_t my_key = port == kLeftPort ? spec_.left_key : spec_.right_key;
+  JoinHashTable& own = tables_[port];
+  JoinHashTable& other = tables_[1 - port];
+
+  // Per arriving tuple: hash once, probe the other operand's partial
+  // table, emit matches, insert into own table. If the other side already
+  // finished, nothing will ever probe our table, so the insert is skipped
+  // (the tail of the slower operand then runs as a pure probe phase).
+  bool insert_needed = !done_[1 - port];
+  ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
+              (costs.tuple_hash + costs.tuple_probe +
+               (insert_needed ? costs.tuple_build : 0)));
+  size_t results = 0;
+  for (size_t i = 0; i < batch.num_tuples(); ++i) {
+    TupleRef mine = batch.tuple(i);
+    int32_t key = mine.GetInt32(my_key);
+    results += other.Probe(key, [&](const TupleRef& theirs) {
+      if (port == kLeftPort) {
+        AssembleJoinRow(spec_, mine, theirs, out_row_.data());
+      } else {
+        AssembleJoinRow(spec_, theirs, mine, out_row_.data());
+      }
+      ctx->EmitRow(out_row_.data());
+    });
+    if (insert_needed) own.Insert(mine.data());
+  }
+  ctx->Charge(static_cast<Ticks>(results) * costs.tuple_result);
+  peak_memory_ = std::max(peak_memory_,
+                          tables_[0].memory_bytes() + tables_[1].memory_bytes());
+}
+
+void PipeliningHashJoinOp::InputDone(int port, OpContext* ctx) {
+  MJOIN_CHECK(port == kLeftPort || port == kRightPort);
+  MJOIN_CHECK(!done_[port]);
+  done_[port] = true;
+  // Once side p is complete, no tuple will ever probe the *other* side's
+  // table again (only p-side arrivals probed it), so it can be dropped.
+  tables_[1 - port].Clear();
+}
+
+}  // namespace mjoin

@@ -1,0 +1,48 @@
+#include "exec/project.h"
+
+#include "common/string_util.h"
+#include "storage/tuple.h"
+
+namespace mjoin {
+
+StatusOr<std::unique_ptr<ProjectOp>> ProjectOp::Make(
+    std::shared_ptr<const Schema> input_schema, std::vector<size_t> columns) {
+  std::vector<Column> out_columns;
+  out_columns.reserve(columns.size());
+  for (size_t c : columns) {
+    if (c >= input_schema->num_columns()) {
+      return Status::OutOfRange(StrCat("projection column ", c,
+                                       " out of range for ",
+                                       input_schema->ToString()));
+    }
+    out_columns.push_back(input_schema->column(c));
+  }
+  auto output_schema = std::make_shared<const Schema>(std::move(out_columns));
+  return std::unique_ptr<ProjectOp>(new ProjectOp(
+      std::move(input_schema), std::move(columns), std::move(output_schema)));
+}
+
+ProjectOp::ProjectOp(std::shared_ptr<const Schema> input_schema,
+                     std::vector<size_t> columns,
+                     std::shared_ptr<const Schema> output_schema)
+    : input_schema_(std::move(input_schema)),
+      columns_(std::move(columns)),
+      output_schema_(std::move(output_schema)) {
+  out_row_.resize(output_schema_->tuple_size());
+}
+
+void ProjectOp::Consume(int port, const TupleBatch& batch, OpContext* ctx) {
+  // One unit per tuple: constructing the projected tuple.
+  ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
+              ctx->costs().tuple_result);
+  for (size_t i = 0; i < batch.num_tuples(); ++i) {
+    TupleRef in = batch.tuple(i);
+    TupleWriter writer(out_row_.data(), output_schema_.get());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      writer.CopyColumn(c, in, columns_[c]);
+    }
+    ctx->EmitRow(out_row_.data());
+  }
+}
+
+}  // namespace mjoin

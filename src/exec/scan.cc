@@ -1,0 +1,29 @@
+#include "exec/scan.h"
+
+#include "common/logging.h"
+
+namespace mjoin {
+
+void ScanOp::Open(OpContext* ctx) {
+  fragment_ = resolver_();
+  MJOIN_CHECK(fragment_ != nullptr) << "scan fragment not resolved";
+  MJOIN_CHECK(fragment_->schema() == *schema_)
+      << "scan fragment schema mismatch: " << fragment_->schema().ToString()
+      << " vs " << schema_->ToString();
+  total_ = fragment_->num_tuples();
+  cursor_ = 0;
+  opened_ = true;
+}
+
+bool ScanOp::Produce(OpContext* ctx) {
+  MJOIN_CHECK(opened_);
+  size_t n = std::min<size_t>(ctx->costs().batch_size, total_ - cursor_);
+  ctx->Charge(static_cast<Ticks>(n) * ctx->costs().tuple_scan);
+  for (size_t i = 0; i < n; ++i) {
+    ctx->EmitRow(fragment_->tuple(cursor_ + i).data());
+  }
+  cursor_ += n;
+  return cursor_ < total_;
+}
+
+}  // namespace mjoin

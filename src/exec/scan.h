@@ -1,0 +1,46 @@
+#ifndef MJOIN_EXEC_SCAN_H_
+#define MJOIN_EXEC_SCAN_H_
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "exec/operator.h"
+#include "storage/relation.h"
+
+namespace mjoin {
+
+/// Scans one node-local fragment (a base-relation fragment or a stored
+/// intermediate-result fragment) and emits its tuples in batches. The
+/// fragment is resolved lazily at Open() time via `resolver`, because
+/// stored intermediate results only exist once the producing stage ran.
+class ScanOp : public Operator {
+ public:
+  using FragmentResolver = std::function<const Relation*()>;
+
+  ScanOp(FragmentResolver resolver, std::shared_ptr<const Schema> schema)
+      : resolver_(std::move(resolver)), schema_(std::move(schema)) {}
+
+  bool is_source() const override { return true; }
+  int num_input_ports() const override { return 0; }
+
+  void Open(OpContext* ctx) override;
+  bool Produce(OpContext* ctx) override;
+  bool finished() const override { return opened_ && cursor_ >= total_; }
+
+  const std::shared_ptr<const Schema>& output_schema() const override {
+    return schema_;
+  }
+
+ private:
+  FragmentResolver resolver_;
+  std::shared_ptr<const Schema> schema_;
+  const Relation* fragment_ = nullptr;
+  bool opened_ = false;
+  size_t cursor_ = 0;
+  size_t total_ = 0;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_EXEC_SCAN_H_

@@ -1,0 +1,84 @@
+#include "exec/simple_hash_join.h"
+
+#include "common/logging.h"
+#include "exec/join_row.h"
+
+namespace mjoin {
+
+SimpleHashJoinOp::SimpleHashJoinOp(JoinSpec spec)
+    : spec_(std::move(spec)), table_(spec_.left_schema, spec_.left_key) {
+  out_row_.resize(spec_.output_schema->tuple_size());
+}
+
+void SimpleHashJoinOp::Consume(int port, const TupleBatch& batch,
+                               OpContext* ctx) {
+  if (port == kBuildPort) {
+    MJOIN_CHECK(!build_done_) << "build batch after build done";
+    ConsumeBuild(batch, ctx);
+  } else {
+    MJOIN_CHECK(port == kProbePort);
+    MJOIN_CHECK(!probe_done_) << "probe batch after probe done";
+    if (!build_done_) {
+      // Probe arrived early: buffer it (memory, no CPU yet besides the
+      // host's receive cost) until the hash table is complete.
+      TupleBatch copy(batch.shared_schema());
+      copy.Reserve(batch.num_tuples());
+      for (size_t i = 0; i < batch.num_tuples(); ++i) {
+        copy.AppendRow(batch.tuple(i).data());
+      }
+      buffered_bytes_ += batch.num_tuples() * batch.schema().tuple_size();
+      buffered_.push_back(std::move(copy));
+      UpdatePeakMemory();
+    } else {
+      ConsumeProbe(batch, ctx);
+    }
+  }
+}
+
+void SimpleHashJoinOp::ConsumeBuild(const TupleBatch& batch, OpContext* ctx) {
+  const CostParams& costs = ctx->costs();
+  ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
+              (costs.tuple_hash + costs.tuple_build));
+  for (size_t i = 0; i < batch.num_tuples(); ++i) {
+    table_.Insert(batch.tuple(i).data());
+  }
+  UpdatePeakMemory();
+}
+
+void SimpleHashJoinOp::ConsumeProbe(const TupleBatch& batch, OpContext* ctx) {
+  const CostParams& costs = ctx->costs();
+  ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
+              (costs.tuple_hash + costs.tuple_probe));
+  size_t results = 0;
+  for (size_t i = 0; i < batch.num_tuples(); ++i) {
+    TupleRef probe = batch.tuple(i);
+    int32_t key = probe.GetInt32(spec_.right_key);
+    results += table_.Probe(key, [&](const TupleRef& build) {
+      AssembleJoinRow(spec_, build, probe, out_row_.data());
+      ctx->EmitRow(out_row_.data());
+    });
+  }
+  ctx->Charge(static_cast<Ticks>(results) * costs.tuple_result);
+}
+
+void SimpleHashJoinOp::InputDone(int port, OpContext* ctx) {
+  if (port == kBuildPort) {
+    MJOIN_CHECK(!build_done_);
+    build_done_ = true;
+    // Replay any probe input that arrived during the build phase.
+    std::vector<TupleBatch> pending = std::move(buffered_);
+    buffered_.clear();
+    buffered_bytes_ = 0;
+    for (const TupleBatch& batch : pending) ConsumeProbe(batch, ctx);
+  } else {
+    MJOIN_CHECK(port == kProbePort);
+    MJOIN_CHECK(!probe_done_);
+    probe_done_ = true;
+  }
+}
+
+void SimpleHashJoinOp::UpdatePeakMemory() {
+  peak_memory_ = std::max(peak_memory_, table_.memory_bytes() + buffered_bytes_);
+}
+
+}  // namespace mjoin

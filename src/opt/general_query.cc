@@ -1,0 +1,227 @@
+#include "opt/general_query.h"
+
+#include <map>
+
+#include "common/random.h"
+#include "common/string_util.h"
+
+namespace mjoin {
+
+int GeneralQuerySpec::AddRelation(std::string name, uint32_t cardinality,
+                                  std::shared_ptr<const Schema> schema) {
+  relations_.push_back(
+      GeneralRelation{std::move(name), cardinality, std::move(schema)});
+  return static_cast<int>(relations_.size()) - 1;
+}
+
+Status GeneralQuerySpec::AddEquiJoin(int left_rel, size_t left_col,
+                                     int right_rel, size_t right_col) {
+  if (left_rel < 0 || right_rel < 0 ||
+      left_rel >= static_cast<int>(relations_.size()) ||
+      right_rel >= static_cast<int>(relations_.size()) ||
+      left_rel == right_rel) {
+    return Status::InvalidArgument("bad predicate relations");
+  }
+  for (auto [rel, col] : {std::pair<int, size_t>{left_rel, left_col},
+                          {right_rel, right_col}}) {
+    const Schema& schema = *relations_[static_cast<size_t>(rel)].schema;
+    if (col >= schema.num_columns() ||
+        schema.column(col).type != ColumnType::kInt32) {
+      return Status::InvalidArgument(
+          StrCat("predicate column ", col, " of relation ",
+                 relations_[static_cast<size_t>(rel)].name,
+                 " missing or not int32"));
+    }
+  }
+  predicates_.push_back(
+      GeneralPredicate{left_rel, left_col, right_rel, right_col});
+  return Status::OK();
+}
+
+JoinGraph GeneralQuerySpec::ToJoinGraph() const {
+  JoinGraph graph;
+  for (const GeneralRelation& rel : relations_) {
+    graph.AddRelation(rel.name, rel.cardinality);
+  }
+  for (const GeneralPredicate& pred : predicates_) {
+    double sel =
+        1.0 /
+        std::max(relations_[static_cast<size_t>(pred.left_rel)].cardinality,
+                 relations_[static_cast<size_t>(pred.right_rel)].cardinality);
+    MJOIN_CHECK_OK(graph.AddPredicate(pred.left_rel, pred.right_rel, sel));
+  }
+  return graph;
+}
+
+namespace {
+
+/// Provenance of one output column: (relation index, column index).
+using Provenance = std::vector<std::pair<int, size_t>>;
+
+}  // namespace
+
+StatusOr<JoinQuery> GeneralQuerySpec::BindTree(const JoinTree& tree) const {
+  MJOIN_RETURN_IF_ERROR(tree.Validate());
+
+  // Relation name -> index.
+  std::map<std::string, int> index_of;
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    index_of[relations_[i].name] = static_cast<int>(i);
+  }
+
+  // Column provenance per tree node, bottom-up (concatenating joins).
+  auto provenance = std::make_shared<std::vector<Provenance>>(
+      tree.num_nodes());
+  // Relation set per node, to find the connecting predicate.
+  std::vector<uint64_t> rel_set(tree.num_nodes(), 0);
+  for (int id : tree.PostOrder()) {
+    const JoinTreeNode& node = tree.node(id);
+    if (node.is_leaf()) {
+      auto it = index_of.find(node.relation);
+      if (it == index_of.end()) {
+        return Status::NotFound(
+            StrCat("tree leaf '", node.relation, "' not in the query spec"));
+      }
+      int rel = it->second;
+      const Schema& schema = *relations_[static_cast<size_t>(rel)].schema;
+      for (size_t c = 0; c < schema.num_columns(); ++c) {
+        (*provenance)[static_cast<size_t>(id)].push_back({rel, c});
+      }
+      rel_set[static_cast<size_t>(id)] = 1ULL << rel;
+    } else {
+      auto& prov = (*provenance)[static_cast<size_t>(id)];
+      prov = (*provenance)[static_cast<size_t>(node.left)];
+      const auto& right_prov = (*provenance)[static_cast<size_t>(node.right)];
+      prov.insert(prov.end(), right_prov.begin(), right_prov.end());
+      rel_set[static_cast<size_t>(id)] = rel_set[static_cast<size_t>(node.left)] |
+                                         rel_set[static_cast<size_t>(node.right)];
+    }
+  }
+
+  // Pre-resolve the join keys of every internal node.
+  auto keys = std::make_shared<std::map<int, std::pair<size_t, size_t>>>();
+  for (int id : tree.PostOrder()) {
+    const JoinTreeNode& node = tree.node(id);
+    if (node.is_leaf()) continue;
+    uint64_t left_set = rel_set[static_cast<size_t>(node.left)];
+    uint64_t right_set = rel_set[static_cast<size_t>(node.right)];
+    int found = 0;
+    std::pair<int, size_t> left_key_src, right_key_src;
+    for (const GeneralPredicate& pred : predicates_) {
+      uint64_t l = 1ULL << pred.left_rel;
+      uint64_t r = 1ULL << pred.right_rel;
+      if ((l & left_set) && (r & right_set)) {
+        ++found;
+        left_key_src = {pred.left_rel, pred.left_col};
+        right_key_src = {pred.right_rel, pred.right_col};
+      } else if ((l & right_set) && (r & left_set)) {
+        ++found;
+        left_key_src = {pred.right_rel, pred.right_col};
+        right_key_src = {pred.left_rel, pred.left_col};
+      }
+    }
+    if (found == 0) {
+      return Status::InvalidArgument(
+          StrCat("join#", id, " would be a cartesian product"));
+    }
+    if (found > 1) {
+      return Status::Unimplemented(
+          StrCat("join#", id, " is connected by ", found,
+                 " predicates; multi-predicate joins need residual filters"));
+    }
+    // Locate the key columns within each side's provenance.
+    auto locate = [&](int side_node,
+                      std::pair<int, size_t> src) -> StatusOr<size_t> {
+      const Provenance& prov = (*provenance)[static_cast<size_t>(side_node)];
+      for (size_t c = 0; c < prov.size(); ++c) {
+        if (prov[c] == src) return c;
+      }
+      return Status::Internal("key column lost in provenance");
+    };
+    MJOIN_ASSIGN_OR_RETURN(size_t left_key, locate(node.left, left_key_src));
+    MJOIN_ASSIGN_OR_RETURN(size_t right_key,
+                           locate(node.right, right_key_src));
+    (*keys)[id] = {left_key, right_key};
+  }
+
+  JoinQuery query;
+  query.tree = tree;
+  for (const GeneralRelation& rel : relations_) {
+    if (rel_set[static_cast<size_t>(tree.root())] &
+        (1ULL << index_of[rel.name])) {
+      query.base_schemas[rel.name] = rel.schema;
+    }
+  }
+  query.join_spec_factory =
+      [keys](const JoinTreeNode& node, std::shared_ptr<const Schema> left,
+             std::shared_ptr<const Schema> right) -> StatusOr<JoinSpec> {
+    auto it = keys->find(node.id);
+    if (it == keys->end()) {
+      return Status::Internal(StrCat("no keys resolved for join#", node.id));
+    }
+    return MakeNaturalConcatJoinSpec(std::move(left), std::move(right),
+                                     it->second.first, it->second.second);
+  };
+  return query;
+}
+
+StatusOr<GeneralQueryInstance> MakeRandomSnowflakeQuery(
+    int num_relations, uint32_t base_cardinality, uint64_t seed) {
+  if (num_relations < 2 || num_relations > 62) {
+    return Status::InvalidArgument("need 2..62 relations");
+  }
+  if (base_cardinality == 0) {
+    return Status::InvalidArgument("cardinality must be positive");
+  }
+  Random rng(seed);
+  GeneralQueryInstance instance;
+
+  // Structure: relation i > 0 references a random earlier relation.
+  std::vector<int> parent(static_cast<size_t>(num_relations), -1);
+  std::vector<uint32_t> cardinality(static_cast<size_t>(num_relations));
+  for (int i = 0; i < num_relations; ++i) {
+    if (i > 0) parent[static_cast<size_t>(i)] = static_cast<int>(rng.Uniform(
+        static_cast<uint64_t>(i)));
+    // Vary sizes by up to 4x for interesting optimizer choices.
+    cardinality[static_cast<size_t>(i)] =
+        base_cardinality << rng.Uniform(3);
+  }
+
+  for (int i = 0; i < num_relations; ++i) {
+    std::vector<Column> columns = {Column::Int32("pk")};
+    if (i > 0) columns.push_back(Column::Int32("fk"));
+    columns.push_back(Column::Int32("val"));
+    columns.push_back(Column::FixedString("tag", 8));
+    auto schema = std::make_shared<const Schema>(std::move(columns));
+    instance.spec.AddRelation(StrCat("s", i), cardinality[static_cast<size_t>(i)],
+                              schema);
+
+    // Data: pk a permutation; fk uniform over the parent's pk domain.
+    Relation rel(*schema);
+    rel.Reserve(cardinality[static_cast<size_t>(i)]);
+    std::vector<uint32_t> pk =
+        rng.Permutation(cardinality[static_cast<size_t>(i)]);
+    for (uint32_t t = 0; t < cardinality[static_cast<size_t>(i)]; ++t) {
+      TupleWriter w = rel.AppendTuple();
+      size_t col = 0;
+      w.SetInt32(col++, static_cast<int32_t>(pk[t]));
+      if (i > 0) {
+        uint32_t parent_card =
+            cardinality[static_cast<size_t>(parent[static_cast<size_t>(i)])];
+        w.SetInt32(col++, static_cast<int32_t>(rng.Uniform(parent_card)));
+      }
+      w.SetInt32(col++, static_cast<int32_t>(rng.Uniform(1000)));
+      w.SetString(col++, StrCat("t", t % 97));
+    }
+    instance.data.push_back(std::move(rel));
+
+    if (i > 0) {
+      // fk (column 1 of relation i) references parent's pk (column 0).
+      MJOIN_RETURN_IF_ERROR(
+          instance.spec.AddEquiJoin(i, 1, parent[static_cast<size_t>(i)], 0));
+    }
+  }
+  return instance;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,91 @@
+#ifndef MJOIN_OPT_GENERAL_QUERY_H_
+#define MJOIN_OPT_GENERAL_QUERY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "opt/join_graph.h"
+#include "plan/query.h"
+#include "storage/relation.h"
+
+namespace mjoin {
+
+/// One base relation of a general query: name, cardinality, schema.
+struct GeneralRelation {
+  std::string name;
+  uint32_t cardinality = 0;
+  std::shared_ptr<const Schema> schema;
+};
+
+/// An equi-join predicate between int32 columns of two relations.
+struct GeneralPredicate {
+  int left_rel = -1;
+  size_t left_col = 0;
+  int right_rel = -1;
+  size_t right_col = 0;
+};
+
+/// A general multi-join query over arbitrary schemas — the engine is not
+/// limited to the paper's regular Wisconsin chain. The spec lists base
+/// relations and equi-join predicates; BindTree() turns *any* join tree
+/// over those relations (e.g. one produced by the phase-1 optimizer) into
+/// an executable JoinQuery by tracking column provenance through
+/// concatenating joins:
+///
+///   - every join outputs all left columns followed by all right columns;
+///   - a join between two subtrees uses the (single) predicate connecting
+///     them, with key columns located via the provenance map.
+///
+/// Restriction: the predicate graph must connect any two subtrees the tree
+/// joins by exactly one predicate (guaranteed for acyclic/tree-shaped
+/// query graphs such as chains, stars and snowflakes); multi-predicate
+/// joins would need residual filters and are rejected.
+class GeneralQuerySpec {
+ public:
+  /// Adds a relation; returns its index.
+  int AddRelation(std::string name, uint32_t cardinality,
+                  std::shared_ptr<const Schema> schema);
+
+  /// Adds an equi-join predicate; both columns must be int32.
+  Status AddEquiJoin(int left_rel, size_t left_col, int right_rel,
+                     size_t right_col);
+
+  const std::vector<GeneralRelation>& relations() const { return relations_; }
+  const std::vector<GeneralPredicate>& predicates() const {
+    return predicates_;
+  }
+
+  /// The optimizer-facing query graph (cardinalities + selectivities from
+  /// the containment assumption: 1 / max cardinality of the two sides).
+  JoinGraph ToJoinGraph() const;
+
+  /// Binds execution semantics to `tree` (leaf relation names must match
+  /// AddRelation names; typically the output of OptimizeJoinOrder over
+  /// ToJoinGraph()).
+  StatusOr<JoinQuery> BindTree(const JoinTree& tree) const;
+
+ private:
+  std::vector<GeneralRelation> relations_;
+  std::vector<GeneralPredicate> predicates_;
+};
+
+/// A randomly generated snowflake-shaped query plus matching data:
+/// relation 0 is the hub; every other relation attaches to a random
+/// earlier relation with a foreign key referencing its primary key.
+/// Schemas are (pk:i32 permutation, fk:i32 uniform over the parent's pk
+/// domain [absent on the hub], val:i32, tag:str8).
+struct GeneralQueryInstance {
+  GeneralQuerySpec spec;
+  /// Matching generated data, one relation per spec entry.
+  std::vector<Relation> data;
+};
+
+StatusOr<GeneralQueryInstance> MakeRandomSnowflakeQuery(
+    int num_relations, uint32_t base_cardinality, uint64_t seed);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_OPT_GENERAL_QUERY_H_

@@ -1,0 +1,94 @@
+#include "opt/join_graph.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+int JoinGraph::AddRelation(std::string name, double cardinality) {
+  RelationStats stats;
+  stats.name = std::move(name);
+  stats.cardinality = cardinality;
+  stats.distinct_keys = cardinality;  // key column by default
+  relations_.push_back(std::move(stats));
+  return static_cast<int>(relations_.size()) - 1;
+}
+
+Status JoinGraph::AddPredicate(int left, int right, double selectivity) {
+  if (left < 0 || right < 0 ||
+      left >= static_cast<int>(relations_.size()) ||
+      right >= static_cast<int>(relations_.size()) || left == right) {
+    return Status::InvalidArgument(
+        StrCat("bad predicate endpoints ", left, ", ", right));
+  }
+  if (selectivity <= 0 || selectivity > 1) {
+    return Status::InvalidArgument(
+        StrCat("selectivity must be in (0, 1], got ", selectivity));
+  }
+  predicates_.push_back(JoinPredicate{left, right, selectivity});
+  return Status::OK();
+}
+
+Status JoinGraph::AddKeyJoin(int left, int right) {
+  if (left < 0 || right < 0 ||
+      left >= static_cast<int>(relations_.size()) ||
+      right >= static_cast<int>(relations_.size())) {
+    return Status::InvalidArgument("bad key-join endpoints");
+  }
+  double sel = 1.0 / std::max(relation(left).cardinality,
+                              relation(right).cardinality);
+  return AddPredicate(left, right, sel);
+}
+
+bool JoinGraph::IsConnected() const {
+  if (relations_.empty()) return false;
+  std::vector<bool> seen(relations_.size(), false);
+  std::vector<int> stack = {0};
+  seen[0] = true;
+  size_t reached = 1;
+  while (!stack.empty()) {
+    int node = stack.back();
+    stack.pop_back();
+    for (const JoinPredicate& pred : predicates_) {
+      int other = -1;
+      if (pred.left == node) other = pred.right;
+      if (pred.right == node) other = pred.left;
+      if (other >= 0 && !seen[static_cast<size_t>(other)]) {
+        seen[static_cast<size_t>(other)] = true;
+        ++reached;
+        stack.push_back(other);
+      }
+    }
+  }
+  return reached == relations_.size();
+}
+
+double JoinGraph::SelectivityBetween(uint64_t left_set,
+                                     uint64_t right_set) const {
+  double selectivity = 1.0;
+  bool any = false;
+  for (const JoinPredicate& pred : predicates_) {
+    uint64_t l = 1ULL << pred.left;
+    uint64_t r = 1ULL << pred.right;
+    if (((l & left_set) && (r & right_set)) ||
+        ((l & right_set) && (r & left_set))) {
+      selectivity *= pred.selectivity;
+      any = true;
+    }
+  }
+  return any ? selectivity : -1.0;  // -1 signals a cartesian product
+}
+
+JoinGraph JoinGraph::RegularChain(int n, double cardinality) {
+  JoinGraph graph;
+  for (int i = 0; i < n; ++i) {
+    graph.AddRelation(StrCat("rel", i), cardinality);
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    MJOIN_CHECK_OK(graph.AddPredicate(i, i + 1, 1.0 / cardinality));
+  }
+  return graph;
+}
+
+}  // namespace mjoin

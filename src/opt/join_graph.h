@@ -1,0 +1,74 @@
+#ifndef MJOIN_OPT_JOIN_GRAPH_H_
+#define MJOIN_OPT_JOIN_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mjoin {
+
+/// Statistics the optimizer keeps per base relation.
+struct RelationStats {
+  std::string name;
+  double cardinality = 0;
+  /// Distinct values of the join attribute per predicate endpoint are
+  /// looked up through JoinPredicate; for the common single-key case this
+  /// is the relation-level distinct count of its join column.
+  double distinct_keys = 0;
+};
+
+/// An equi-join predicate between two relations (by index into the graph's
+/// relation list).
+struct JoinPredicate {
+  int left = -1;
+  int right = -1;
+  /// Selectivity factor: |L JOIN R| = sel * |L| * |R|. For a key-key
+  /// equi-join this is 1 / max(distinct(L), distinct(R)).
+  double selectivity = 1.0;
+};
+
+/// The input of phase-1 optimization: relations plus the equi-join
+/// predicates connecting them (a query graph). The optimizer only
+/// considers trees without cartesian products, i.e. joins along edges of
+/// this graph (like System R [SAC79]).
+class JoinGraph {
+ public:
+  /// Adds a relation; returns its index.
+  int AddRelation(std::string name, double cardinality);
+
+  /// Adds an equi-join edge with the given selectivity.
+  Status AddPredicate(int left, int right, double selectivity);
+
+  /// Convenience for key-key joins: selectivity = 1/max(card_l, card_r).
+  Status AddKeyJoin(int left, int right);
+
+  size_t num_relations() const { return relations_.size(); }
+  const RelationStats& relation(int i) const {
+    return relations_[static_cast<size_t>(i)];
+  }
+  const std::vector<JoinPredicate>& predicates() const { return predicates_; }
+
+  /// True if the graph is connected (otherwise no cartesian-free tree
+  /// covers all relations).
+  bool IsConnected() const;
+
+  /// Combined selectivity of all predicates with one endpoint in each
+  /// bitmask (used when joining two subsets).
+  double SelectivityBetween(uint64_t left_set, uint64_t right_set) const;
+
+  /// Builds the paper's regular chain query graph: `n` relations of
+  /// `cardinality` tuples joined pairwise with selectivity 1/cardinality
+  /// (so every join is 1:1 and every intermediate result has size
+  /// `cardinality`).
+  static JoinGraph RegularChain(int n, double cardinality);
+
+ private:
+  std::vector<RelationStats> relations_;
+  std::vector<JoinPredicate> predicates_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_OPT_JOIN_GRAPH_H_

@@ -1,0 +1,204 @@
+#include "opt/optimizer.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+namespace {
+
+struct DpEntry {
+  double cost = std::numeric_limits<double>::infinity();
+  double cardinality = 0;
+  uint64_t left = 0;   // 0 for single relations
+  uint64_t right = 0;
+  // Join height of the subplan; used to break cost ties in favour of
+  // bushier (shallower) trees, which phase 2 parallelizes better (§5:
+  // "if it is possible to choose between a linear and a bushy tree with
+  // (almost) equal processing costs, the bushy one should be chosen").
+  int height = 0;
+};
+
+Status CheckGraph(const JoinGraph& graph) {
+  if (graph.num_relations() < 2) {
+    return Status::InvalidArgument("need at least two relations");
+  }
+  if (graph.num_relations() > 63) {
+    return Status::InvalidArgument("more than 63 relations not supported");
+  }
+  if (!graph.IsConnected()) {
+    return Status::InvalidArgument(
+        "query graph is disconnected: every cartesian-free tree would be "
+        "incomplete");
+  }
+  return Status::OK();
+}
+
+// Estimated cardinality of joining subsets a and b given card(a), card(b).
+double JoinCardinality(const JoinGraph& graph, uint64_t a, double card_a,
+                       uint64_t b, double card_b) {
+  double sel = graph.SelectivityBetween(a, b);
+  if (sel < 0) return -1;  // cartesian product
+  return std::max(1.0, card_a * card_b * sel);
+}
+
+// Recursively materializes the DP solution as a JoinTree.
+int EmitTree(const JoinGraph& graph,
+             const std::map<uint64_t, DpEntry>& table, uint64_t set,
+             JoinTree* tree) {
+  const DpEntry& entry = table.at(set);
+  if (entry.left == 0) {
+    int index = std::countr_zero(set);
+    return tree->AddLeaf(graph.relation(index).name,
+                         graph.relation(index).cardinality);
+  }
+  int left = EmitTree(graph, table, entry.left, tree);
+  int right = EmitTree(graph, table, entry.right, tree);
+  return tree->AddJoin(left, right, entry.cardinality);
+}
+
+}  // namespace
+
+StatusOr<JoinTree> OptimizeDp(const JoinGraph& graph,
+                              const TotalCostModel& cost_model,
+                              const OptimizerOptions& options) {
+  MJOIN_RETURN_IF_ERROR(CheckGraph(graph));
+  size_t n = graph.num_relations();
+  uint64_t full = (n == 64) ? ~0ULL : ((1ULL << n) - 1);
+
+  std::map<uint64_t, DpEntry> table;
+  for (size_t i = 0; i < n; ++i) {
+    DpEntry entry;
+    entry.cost = 0;
+    entry.cardinality = graph.relation(static_cast<int>(i)).cardinality;
+    table[1ULL << i] = entry;
+  }
+
+  // Enumerate subsets in increasing popcount so both halves of every split
+  // are already solved.
+  std::vector<std::vector<uint64_t>> by_size(n + 1);
+  for (uint64_t set = 1; set <= full; ++set) {
+    by_size[static_cast<size_t>(std::popcount(set))].push_back(set);
+  }
+
+  for (size_t size = 2; size <= n; ++size) {
+    for (uint64_t set : by_size[size]) {
+      DpEntry best;
+      // Iterate all proper non-empty subsets as the left (build) operand.
+      for (uint64_t left = (set - 1) & set; left != 0;
+           left = (left - 1) & set) {
+        uint64_t right = set & ~left;
+        auto it_left = table.find(left);
+        auto it_right = table.find(right);
+        if (it_left == table.end() || it_right == table.end()) continue;
+        if (options.linear_only && std::popcount(left) != 1 &&
+            std::popcount(right) != 1) {
+          continue;
+        }
+        double card = JoinCardinality(graph, left, it_left->second.cardinality,
+                                      right, it_right->second.cardinality);
+        if (card < 0) continue;  // cartesian product: not considered
+        double cost =
+            it_left->second.cost + it_right->second.cost +
+            cost_model.JoinCost(it_left->second.cardinality,
+                                std::popcount(left) == 1,
+                                it_right->second.cardinality,
+                                std::popcount(right) == 1, card);
+        int height =
+            1 + std::max(it_left->second.height, it_right->second.height);
+        bool better = cost < best.cost - 1e-9;
+        bool tie_but_bushier =
+            cost <= best.cost + 1e-9 && height < best.height;
+        if (better || tie_but_bushier) {
+          best.cost = cost;
+          best.cardinality = card;
+          best.left = left;
+          best.right = right;
+          best.height = height;
+        }
+      }
+      if (best.left != 0) table[set] = best;
+    }
+  }
+
+  auto it = table.find(full);
+  if (it == table.end() || it->second.left == 0) {
+    return Status::Internal("no cartesian-free plan found (disconnected?)");
+  }
+  JoinTree tree;
+  EmitTree(graph, table, full, &tree);
+  MJOIN_RETURN_IF_ERROR(tree.Validate());
+  cost_model.Annotate(&tree);
+  return tree;
+}
+
+StatusOr<JoinTree> OptimizeGreedy(const JoinGraph& graph,
+                                  const TotalCostModel& cost_model) {
+  MJOIN_RETURN_IF_ERROR(CheckGraph(graph));
+  size_t n = graph.num_relations();
+
+  JoinTree tree;
+  struct Component {
+    uint64_t set = 0;
+    int root = -1;
+    double cardinality = 0;
+  };
+  std::vector<Component> components;
+  for (size_t i = 0; i < n; ++i) {
+    Component c;
+    c.set = 1ULL << i;
+    c.root = tree.AddLeaf(graph.relation(static_cast<int>(i)).name,
+                          graph.relation(static_cast<int>(i)).cardinality);
+    c.cardinality = graph.relation(static_cast<int>(i)).cardinality;
+    components.push_back(c);
+  }
+
+  while (components.size() > 1) {
+    double best_card = std::numeric_limits<double>::infinity();
+    size_t best_a = 0, best_b = 0;
+    for (size_t a = 0; a < components.size(); ++a) {
+      for (size_t b = a + 1; b < components.size(); ++b) {
+        double card = JoinCardinality(graph, components[a].set,
+                                      components[a].cardinality,
+                                      components[b].set,
+                                      components[b].cardinality);
+        if (card >= 0 && card < best_card) {
+          best_card = card;
+          best_a = a;
+          best_b = b;
+        }
+      }
+    }
+    if (!std::isfinite(best_card)) {
+      return Status::Internal("greedy got stuck (disconnected subgraphs)");
+    }
+    Component merged;
+    merged.set = components[best_a].set | components[best_b].set;
+    merged.root = tree.AddJoin(components[best_a].root,
+                               components[best_b].root, best_card);
+    merged.cardinality = best_card;
+    components.erase(components.begin() + static_cast<long>(best_b));
+    components[best_a] = merged;
+  }
+  tree.SetRoot(components[0].root);
+  MJOIN_RETURN_IF_ERROR(tree.Validate());
+  cost_model.Annotate(&tree);
+  return tree;
+}
+
+StatusOr<JoinTree> OptimizeJoinOrder(const JoinGraph& graph,
+                                     const TotalCostModel& cost_model,
+                                     const OptimizerOptions& options) {
+  if (static_cast<int>(graph.num_relations()) <= options.max_dp_relations) {
+    return OptimizeDp(graph, cost_model, options);
+  }
+  return OptimizeGreedy(graph, cost_model);
+}
+
+}  // namespace mjoin

@@ -1,0 +1,47 @@
+#ifndef MJOIN_OPT_OPTIMIZER_H_
+#define MJOIN_OPT_OPTIMIZER_H_
+
+#include "common/statusor.h"
+#include "opt/join_graph.h"
+#include "plan/cost_model.h"
+#include "plan/join_tree.h"
+
+namespace mjoin {
+
+/// Options for phase-1 optimization (finding the join tree with minimal
+/// total cost, which phase 2 — the four strategies — then parallelizes).
+struct OptimizerOptions {
+  /// Restrict the search to linear trees (every join has at least one
+  /// base-relation operand), like System R [SAC79]. The paper (following
+  /// [KBZ86]) argues bushy trees matter for parallel systems, so the
+  /// default searches the full space.
+  bool linear_only = false;
+  /// Queries larger than this fall back to the greedy heuristic (the DP
+  /// enumerates up to 3^n subproblem pairs).
+  int max_dp_relations = 14;
+};
+
+/// Exhaustive dynamic programming over connected subgraphs (DPsub):
+/// returns the cartesian-product-free join tree with minimal total cost
+/// under `cost_model`. Supports up to 63 relations structurally but is
+/// exponential; use OptimizeJoinOrder for automatic fallback.
+StatusOr<JoinTree> OptimizeDp(const JoinGraph& graph,
+                              const TotalCostModel& cost_model,
+                              const OptimizerOptions& options);
+
+/// Greedy operator ordering (GOO): repeatedly joins the connected pair of
+/// sub-plans with the smallest result cardinality. Polynomial, bushy,
+/// generally good but not optimal.
+StatusOr<JoinTree> OptimizeGreedy(const JoinGraph& graph,
+                                  const TotalCostModel& cost_model);
+
+/// Phase 1 of the paper's two-phase optimization: DP when the query is
+/// small enough, greedy otherwise. The returned tree is annotated with
+/// join costs and subtree costs.
+StatusOr<JoinTree> OptimizeJoinOrder(const JoinGraph& graph,
+                                     const TotalCostModel& cost_model,
+                                     const OptimizerOptions& options = {});
+
+}  // namespace mjoin
+
+#endif  // MJOIN_OPT_OPTIMIZER_H_

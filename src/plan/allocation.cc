@@ -1,0 +1,115 @@
+#include "plan/allocation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mjoin {
+
+StatusOr<std::vector<uint32_t>> ProportionalAllocation(
+    const std::vector<double>& work, uint32_t num_processors) {
+  size_t n = work.size();
+  if (n == 0) return Status::InvalidArgument("no operations to allocate");
+  if (num_processors < n) {
+    return Status::InvalidArgument(
+        StrCat("cannot allocate ", n, " operations over ", num_processors,
+               " processors without sharing (strategies do not allow one "
+               "processor to work on two joins concurrently)"));
+  }
+  double total = 0;
+  for (double w : work) {
+    if (w <= 0) return Status::InvalidArgument("non-positive work weight");
+    total += w;
+  }
+
+  std::vector<uint32_t> counts(n);
+  std::vector<double> remainders(n);
+  uint32_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double quota = static_cast<double>(num_processors) * work[i] / total;
+    counts[i] = std::max<uint32_t>(1, static_cast<uint32_t>(quota));
+    remainders[i] = quota - std::floor(quota);
+    assigned += counts[i];
+  }
+
+  // Hand out leftovers to the largest remainders; reclaim overshoot (caused
+  // by the >=1 clamp) from the most over-allocated operations.
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), size_t{0});
+  if (assigned < num_processors) {
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      if (remainders[a] != remainders[b]) return remainders[a] > remainders[b];
+      return a < b;
+    });
+    size_t k = 0;
+    while (assigned < num_processors) {
+      ++counts[order[k % n]];
+      ++assigned;
+      ++k;
+    }
+  } else if (assigned > num_processors) {
+    while (assigned > num_processors) {
+      // Take one from the operation whose per-processor work would stay
+      // the lowest after removal, but never below one processor.
+      size_t victim = n;
+      double best = -1;
+      for (size_t i = 0; i < n; ++i) {
+        if (counts[i] <= 1) continue;
+        double load_after = work[i] / static_cast<double>(counts[i] - 1);
+        if (victim == n || load_after < best) {
+          victim = i;
+          best = load_after;
+        }
+      }
+      MJOIN_CHECK(victim < n) << "cannot shrink allocation below one each";
+      --counts[victim];
+      --assigned;
+    }
+  }
+  return counts;
+}
+
+std::vector<std::vector<uint32_t>> CarveBlocks(
+    const std::vector<uint32_t>& processors,
+    const std::vector<uint32_t>& counts) {
+  std::vector<std::vector<uint32_t>> blocks;
+  blocks.reserve(counts.size());
+  size_t offset = 0;
+  for (uint32_t count : counts) {
+    MJOIN_CHECK(offset + count <= processors.size())
+        << "CarveBlocks: counts exceed available processors";
+    blocks.emplace_back(processors.begin() + static_cast<long>(offset),
+                        processors.begin() + static_cast<long>(offset + count));
+    offset += count;
+  }
+  return blocks;
+}
+
+std::vector<uint32_t> ProcessorRange(uint32_t lo, uint32_t hi) {
+  std::vector<uint32_t> out;
+  out.reserve(hi - lo);
+  for (uint32_t p = lo; p < hi; ++p) out.push_back(p);
+  return out;
+}
+
+double DiscretizationError(const std::vector<double>& work,
+                           const std::vector<uint32_t>& counts) {
+  MJOIN_CHECK(work.size() == counts.size());
+  double total_work = 0;
+  double total_procs = 0;
+  double max_load = 0;
+  for (size_t i = 0; i < work.size(); ++i) {
+    MJOIN_CHECK(counts[i] > 0);
+    total_work += work[i];
+    total_procs += counts[i];
+    max_load = std::max(max_load, work[i] / counts[i]);
+  }
+  if (total_work == 0) return 0;
+  double ideal = total_work / total_procs;
+  return max_load / ideal - 1.0;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,40 @@
+#ifndef MJOIN_PLAN_ALLOCATION_H_
+#define MJOIN_PLAN_ALLOCATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mjoin {
+
+/// Distributes `num_processors` processors over operations with the given
+/// relative amounts of `work`, proportionally, with every operation
+/// receiving at least one processor (processors and operations are both
+/// discrete — the paper's candy-over-kids discretization).
+///
+/// Uses the largest-remainder method: quotas q_i = P*w_i/W are floored
+/// (clamped to >= 1) and leftover processors go to the largest fractional
+/// remainders. Returns InvalidArgument when P < #operations or any weight
+/// is <= 0.
+StatusOr<std::vector<uint32_t>> ProportionalAllocation(
+    const std::vector<double>& work, uint32_t num_processors);
+
+/// Carves consecutive disjoint blocks out of `processors` according to
+/// `counts` (sum(counts) must be <= processors.size()). Block i receives
+/// the next counts[i] processor ids.
+std::vector<std::vector<uint32_t>> CarveBlocks(
+    const std::vector<uint32_t>& processors,
+    const std::vector<uint32_t>& counts);
+
+/// Convenience: processor ids lo..hi-1.
+std::vector<uint32_t> ProcessorRange(uint32_t lo, uint32_t hi);
+
+/// Worst-case relative load imbalance of an allocation:
+/// max_i(w_i / c_i) / (W / P) - 1. Zero means perfectly balanced.
+double DiscretizationError(const std::vector<double>& work,
+                           const std::vector<uint32_t>& counts);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_PLAN_ALLOCATION_H_

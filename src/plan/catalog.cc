@@ -1,0 +1,174 @@
+#include "plan/catalog.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+double ColumnStats::PartitioningSkewLowerBound(uint32_t fragments) const {
+  if (num_tuples == 0 || fragments == 0) return 0;
+  double mean = static_cast<double>(num_tuples) / fragments;
+  // All duplicates of the hottest value land on one fragment.
+  double hottest = static_cast<double>(top_frequency);
+  return std::max(0.0, hottest / mean - 1.0);
+}
+
+StatusOr<ColumnStats> ComputeColumnStats(const Relation& relation,
+                                         size_t column) {
+  if (column >= relation.schema().num_columns()) {
+    return Status::OutOfRange(StrCat("no column ", column));
+  }
+  if (relation.schema().column(column).type != ColumnType::kInt32) {
+    return Status::InvalidArgument("stats only support int32 columns");
+  }
+  ColumnStats stats;
+  stats.num_tuples = relation.num_tuples();
+  std::unordered_map<int32_t, uint64_t> counts;
+  counts.reserve(relation.num_tuples());
+  for (size_t i = 0; i < relation.num_tuples(); ++i) {
+    int32_t v = relation.tuple(i).GetInt32(column);
+    if (i == 0) {
+      stats.min = stats.max = v;
+    } else {
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+    ++counts[v];
+  }
+  stats.distinct = counts.size();
+  for (const auto& [value, count] : counts) {
+    stats.top_frequency = std::max(stats.top_frequency, count);
+  }
+  return stats;
+}
+
+StatusOr<EquiDepthHistogram> EquiDepthHistogram::Build(
+    const Relation& relation, size_t column, size_t buckets) {
+  if (buckets == 0) return Status::InvalidArgument("need at least 1 bucket");
+  if (column >= relation.schema().num_columns() ||
+      relation.schema().column(column).type != ColumnType::kInt32) {
+    return Status::InvalidArgument("histograms require an int32 column");
+  }
+  std::vector<int32_t> values;
+  values.reserve(relation.num_tuples());
+  for (size_t i = 0; i < relation.num_tuples(); ++i) {
+    values.push_back(relation.tuple(i).GetInt32(column));
+  }
+  std::sort(values.begin(), values.end());
+
+  EquiDepthHistogram histogram;
+  histogram.total_count_ = values.size();
+  if (values.empty()) return histogram;
+
+  size_t per_bucket = std::max<size_t>(1, values.size() / buckets);
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t end = std::min(values.size(), i + per_bucket);
+    // Never split a run of equal values across buckets.
+    while (end < values.size() && values[end] == values[end - 1]) ++end;
+    Bucket bucket;
+    bucket.lo = values[i];
+    bucket.hi = values[end - 1];
+    bucket.count = end - i;
+    bucket.distinct = 1;
+    for (size_t k = i + 1; k < end; ++k) {
+      bucket.distinct += values[k] != values[k - 1] ? 1 : 0;
+    }
+    histogram.buckets_.push_back(bucket);
+    i = end;
+  }
+  return histogram;
+}
+
+double EquiDepthHistogram::EstimateRange(int32_t lo, int32_t hi) const {
+  if (lo > hi) return 0;
+  double estimate = 0;
+  for (const Bucket& bucket : buckets_) {
+    int64_t overlap_lo = std::max<int64_t>(lo, bucket.lo);
+    int64_t overlap_hi = std::min<int64_t>(hi, bucket.hi);
+    if (overlap_lo > overlap_hi) continue;
+    int64_t width = static_cast<int64_t>(bucket.hi) - bucket.lo + 1;
+    double fraction =
+        static_cast<double>(overlap_hi - overlap_lo + 1) / width;
+    estimate += static_cast<double>(bucket.count) * fraction;
+  }
+  return estimate;
+}
+
+double EquiDepthHistogram::EstimateEquals(int32_t value) const {
+  for (const Bucket& bucket : buckets_) {
+    if (value < bucket.lo || value > bucket.hi) continue;
+    // Uniform over the bucket's distinct values.
+    return static_cast<double>(bucket.count) /
+           std::max<uint64_t>(1, bucket.distinct);
+  }
+  return 0;
+}
+
+double EquiDepthHistogram::EstimateJoin(const EquiDepthHistogram& other) const {
+  double estimate = 0;
+  for (const Bucket& a : buckets_) {
+    for (const Bucket& b : other.buckets_) {
+      int64_t lo = std::max(a.lo, b.lo);
+      int64_t hi = std::min(a.hi, b.hi);
+      if (lo > hi) continue;
+      int64_t width_a = static_cast<int64_t>(a.hi) - a.lo + 1;
+      int64_t width_b = static_cast<int64_t>(b.hi) - b.lo + 1;
+      double count_a = static_cast<double>(a.count) *
+                       static_cast<double>(hi - lo + 1) / width_a;
+      double count_b = static_cast<double>(b.count) *
+                       static_cast<double>(hi - lo + 1) / width_b;
+      double distinct_a = std::max(
+          1.0, static_cast<double>(a.distinct) *
+                   static_cast<double>(hi - lo + 1) / width_a);
+      double distinct_b = std::max(
+          1.0, static_cast<double>(b.distinct) *
+                   static_cast<double>(hi - lo + 1) / width_b);
+      estimate += count_a * count_b / std::max(distinct_a, distinct_b);
+    }
+  }
+  return estimate;
+}
+
+std::string EquiDepthHistogram::ToString() const {
+  std::string out = StrCat("histogram[", total_count_, " tuples]:");
+  for (const Bucket& bucket : buckets_) {
+    out += StrCat(" [", bucket.lo, "..", bucket.hi, "]x", bucket.count,
+                  "(d=", bucket.distinct, ")");
+  }
+  return out;
+}
+
+Status Catalog::Analyze(const std::string& name, const Relation& relation,
+                        size_t column) {
+  MJOIN_ASSIGN_OR_RETURN(ColumnStats stats,
+                         ComputeColumnStats(relation, column));
+  stats_[{name, column}] = stats;
+  return Status::OK();
+}
+
+StatusOr<ColumnStats> Catalog::Get(const std::string& name,
+                                   size_t column) const {
+  auto it = stats_.find({name, column});
+  if (it == stats_.end()) {
+    return Status::NotFound(
+        StrCat("no stats for ", name, " column ", column));
+  }
+  return it->second;
+}
+
+StatusOr<double> Catalog::EstimateEquiJoin(const std::string& left,
+                                           size_t left_column,
+                                           const std::string& right,
+                                           size_t right_column) const {
+  MJOIN_ASSIGN_OR_RETURN(ColumnStats l, Get(left, left_column));
+  MJOIN_ASSIGN_OR_RETURN(ColumnStats r, Get(right, right_column));
+  double d = std::max<double>(1.0, static_cast<double>(std::max(l.distinct,
+                                                                r.distinct)));
+  return static_cast<double>(l.num_tuples) *
+         static_cast<double>(r.num_tuples) / d;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,95 @@
+#ifndef MJOIN_PLAN_CATALOG_H_
+#define MJOIN_PLAN_CATALOG_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+#include <string>
+
+#include "common/statusor.h"
+#include "storage/relation.h"
+
+namespace mjoin {
+
+/// Statistics of one int32 column, gathered by scanning the data.
+struct ColumnStats {
+  uint64_t num_tuples = 0;
+  uint64_t distinct = 0;
+  int32_t min = 0;
+  int32_t max = 0;
+  /// Count of the most frequent value: >> num_tuples/distinct indicates
+  /// skew (load imbalance under hash declustering, §3.5).
+  uint64_t top_frequency = 0;
+
+  /// max_fragment_load / mean_fragment_load - 1 under ideal hash
+  /// declustering over `fragments` nodes, estimated from top_frequency:
+  /// a lower bound on the partitioning skew of this column.
+  double PartitioningSkewLowerBound(uint32_t fragments) const;
+};
+
+/// Computes exact statistics of an int32 column.
+StatusOr<ColumnStats> ComputeColumnStats(const Relation& relation,
+                                         size_t column);
+
+/// Equi-depth histogram over an int32 column: `buckets` ranges holding
+/// (approximately) equal tuple counts, plus per-bucket distinct counts.
+/// Skewed columns show up as very narrow hot buckets; the estimator uses
+/// the histogram to bound per-fragment load and join sizes better than a
+/// single distinct count does.
+class EquiDepthHistogram {
+ public:
+  /// Builds the histogram by sorting a copy of the column (O(n log n)).
+  static StatusOr<EquiDepthHistogram> Build(const Relation& relation,
+                                            size_t column, size_t buckets);
+
+  struct Bucket {
+    int32_t lo = 0;        // inclusive
+    int32_t hi = 0;        // inclusive
+    uint64_t count = 0;
+    uint64_t distinct = 0;
+  };
+
+  const std::vector<Bucket>& buckets() const { return buckets_; }
+  uint64_t total_count() const { return total_count_; }
+
+  /// Estimated number of tuples with value in [lo, hi] (inclusive),
+  /// assuming uniformity within buckets.
+  double EstimateRange(int32_t lo, int32_t hi) const;
+
+  /// Estimated number of tuples equal to `value`.
+  double EstimateEquals(int32_t value) const;
+
+  /// Estimated |R JOIN S| on this column vs `other`'s column: the sum over
+  /// overlapping bucket intersections of count_r * count_s / max(d_r, d_s).
+  double EstimateJoin(const EquiDepthHistogram& other) const;
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Bucket> buckets_;
+  uint64_t total_count_ = 0;
+};
+
+/// A catalog of per-(relation, column) statistics, feeding the optimizer's
+/// cardinality estimation.
+class Catalog {
+ public:
+  /// Scans `relation`'s column and stores its stats under (name, column).
+  Status Analyze(const std::string& name, const Relation& relation,
+                 size_t column);
+
+  StatusOr<ColumnStats> Get(const std::string& name, size_t column) const;
+
+  /// Estimated |L JOIN R| on L.left_column = R.right_column using the
+  /// standard containment assumption: |L|*|R| / max(d_L, d_R).
+  StatusOr<double> EstimateEquiJoin(const std::string& left, size_t left_column,
+                                    const std::string& right,
+                                    size_t right_column) const;
+
+ private:
+  std::map<std::pair<std::string, size_t>, ColumnStats> stats_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_PLAN_CATALOG_H_

@@ -1,0 +1,36 @@
+#include "plan/cost_model.h"
+
+namespace mjoin {
+
+void TotalCostModel::Annotate(JoinTree* tree) const {
+  for (int id : tree->PostOrder()) {
+    JoinTreeNode& node = tree->mutable_node(id);
+    if (node.is_leaf()) {
+      node.join_cost = 0;
+      node.subtree_cost = 0;
+      continue;
+    }
+    const JoinTreeNode& left = tree->node(node.left);
+    const JoinTreeNode& right = tree->node(node.right);
+    node.join_cost = JoinCost(left.cardinality, left.is_leaf(),
+                              right.cardinality, right.is_leaf(),
+                              node.cardinality);
+    node.subtree_cost =
+        node.join_cost + left.subtree_cost + right.subtree_cost;
+  }
+}
+
+double TotalCostModel::TotalCost(const JoinTree& tree) const {
+  double total = 0;
+  for (int id : tree.PostOrder()) {
+    const JoinTreeNode& node = tree.node(id);
+    if (node.is_leaf()) continue;
+    const JoinTreeNode& left = tree.node(node.left);
+    const JoinTreeNode& right = tree.node(node.right);
+    total += JoinCost(left.cardinality, left.is_leaf(), right.cardinality,
+                      right.is_leaf(), node.cardinality);
+  }
+  return total;
+}
+
+}  // namespace mjoin

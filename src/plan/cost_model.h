@@ -1,0 +1,61 @@
+#ifndef MJOIN_PLAN_COST_MODEL_H_
+#define MJOIN_PLAN_COST_MODEL_H_
+
+#include "plan/join_tree.h"
+
+namespace mjoin {
+
+/// Coefficients of the paper's total-cost formula for a main-memory join
+///
+///     cost = a*n1 + b*n2 + c*r
+///
+/// with a (resp. b) = `base_operand` when the operand is a base relation
+/// and `intermediate_operand` when it is an intermediate result (its tuples
+/// must additionally be retrieved from the network), and c = `result`
+/// (result tuples are created and sent). Paper defaults: 1 / 2 / 2.
+struct JoinCostCoefficients {
+  double base_operand = 1.0;
+  double intermediate_operand = 2.0;
+  double result = 2.0;
+
+  /// A deliberately wrong, shape-blind variant (all tuples cost the same)
+  /// used by the cost-function ablation.
+  static JoinCostCoefficients Uniform() { return {1.0, 1.0, 1.0}; }
+};
+
+/// The paper's phase-1/phase-2 cost model: estimates the relative amount
+/// of work in each binary join of a tree. Used both by the phase-1
+/// optimizer (total cost of a tree) and by the phase-2 strategies
+/// (proportional processor allocation).
+class TotalCostModel {
+ public:
+  TotalCostModel() = default;
+  explicit TotalCostModel(JoinCostCoefficients coefficients)
+      : coefficients_(coefficients) {}
+
+  const JoinCostCoefficients& coefficients() const { return coefficients_; }
+
+  /// Cost of one join given operand cardinalities, whether each operand is
+  /// a base relation, and the result cardinality.
+  double JoinCost(double n1, bool left_is_base, double n2, bool right_is_base,
+                  double result) const {
+    double a = left_is_base ? coefficients_.base_operand
+                            : coefficients_.intermediate_operand;
+    double b = right_is_base ? coefficients_.base_operand
+                             : coefficients_.intermediate_operand;
+    return a * n1 + b * n2 + coefficients_.result * result;
+  }
+
+  /// Fills join_cost and subtree_cost on every node of `tree`.
+  void Annotate(JoinTree* tree) const;
+
+  /// Sum of join costs over the whole tree (after/without annotation).
+  double TotalCost(const JoinTree& tree) const;
+
+ private:
+  JoinCostCoefficients coefficients_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_PLAN_COST_MODEL_H_

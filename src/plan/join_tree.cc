@@ -1,0 +1,133 @@
+#include "plan/join_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mjoin {
+
+int JoinTree::AddLeaf(std::string relation, double cardinality) {
+  JoinTreeNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.relation = std::move(relation);
+  node.cardinality = cardinality;
+  nodes_.push_back(std::move(node));
+  ++num_leaves_;
+  if (root_ < 0) root_ = nodes_.back().id;
+  return nodes_.back().id;
+}
+
+int JoinTree::AddJoin(int left, int right, double cardinality) {
+  MJOIN_CHECK(left >= 0 && left < static_cast<int>(nodes_.size()));
+  MJOIN_CHECK(right >= 0 && right < static_cast<int>(nodes_.size()));
+  JoinTreeNode node;
+  node.id = static_cast<int>(nodes_.size());
+  node.left = left;
+  node.right = right;
+  node.cardinality = cardinality;
+  nodes_.push_back(std::move(node));
+  int id = nodes_.back().id;
+  nodes_[left].parent = id;
+  nodes_[right].parent = id;
+  root_ = id;
+  return id;
+}
+
+void JoinTree::SetRoot(int id) {
+  MJOIN_CHECK(id >= 0 && id < static_cast<int>(nodes_.size()));
+  root_ = id;
+}
+
+std::vector<int> JoinTree::PostOrder(int id) const {
+  std::vector<int> out;
+  out.reserve(nodes_.size());
+  // Explicit stack to avoid recursion depth limits on long linear trees.
+  std::vector<std::pair<int, bool>> stack = {{id, false}};
+  while (!stack.empty()) {
+    auto [node_id, expanded] = stack.back();
+    stack.pop_back();
+    if (node_id < 0) continue;
+    if (expanded || nodes_[node_id].is_leaf()) {
+      out.push_back(node_id);
+    } else {
+      stack.push_back({node_id, true});
+      stack.push_back({nodes_[node_id].right, false});
+      stack.push_back({nodes_[node_id].left, false});
+    }
+  }
+  return out;
+}
+
+int JoinTree::JoinDepth(int id) const {
+  if (id < 0 || nodes_[id].is_leaf()) return 0;
+  return 1 + std::max(JoinDepth(nodes_[id].left), JoinDepth(nodes_[id].right));
+}
+
+void JoinTree::SwapChildren(int id) {
+  MJOIN_CHECK(!nodes_[id].is_leaf());
+  std::swap(nodes_[id].left, nodes_[id].right);
+}
+
+Status JoinTree::Validate() const {
+  if (nodes_.empty()) return Status::FailedPrecondition("empty join tree");
+  if (root_ < 0 || root_ >= static_cast<int>(nodes_.size())) {
+    return Status::Internal("invalid root id");
+  }
+  std::vector<int> seen(nodes_.size(), 0);
+  for (int id : PostOrder(root_)) {
+    const JoinTreeNode& node = nodes_[id];
+    if (++seen[id] > 1) {
+      return Status::Internal(StrCat("node ", id, " reachable twice (DAG)"));
+    }
+    if (node.cardinality <= 0) {
+      return Status::Internal(StrCat("node ", id, " has cardinality ",
+                                     node.cardinality));
+    }
+    if (node.is_leaf()) {
+      if (node.relation.empty()) {
+        return Status::Internal(StrCat("leaf ", id, " has no relation"));
+      }
+      if (node.right >= 0) {
+        return Status::Internal(StrCat("leaf ", id, " has a right child"));
+      }
+    } else {
+      if (node.right < 0 || node.relation.size() > 0) {
+        return Status::Internal(StrCat("malformed join node ", id));
+      }
+      if (nodes_[node.left].parent != id || nodes_[node.right].parent != id) {
+        return Status::Internal(StrCat("bad parent links at join ", id));
+      }
+    }
+  }
+  size_t reachable = PostOrder(root_).size();
+  if (reachable != nodes_.size()) {
+    return Status::Internal(
+        StrCat("tree has ", nodes_.size(), " nodes but only ", reachable,
+               " reachable from root"));
+  }
+  return Status::OK();
+}
+
+void JoinTree::ToStringRec(int id, int depth, std::string* out) const {
+  const JoinTreeNode& node = nodes_[id];
+  out->append(static_cast<size_t>(depth) * 2, ' ');
+  if (node.is_leaf()) {
+    out->append(StrCat("scan ", node.relation, " [card=", node.cardinality,
+                       "]\n"));
+  } else {
+    out->append(StrCat("join#", id, " [card=", node.cardinality,
+                       " cost=", node.join_cost,
+                       " subtree_cost=", node.subtree_cost, "]\n"));
+    ToStringRec(node.left, depth + 1, out);
+    ToStringRec(node.right, depth + 1, out);
+  }
+}
+
+std::string JoinTree::ToString() const {
+  std::string out;
+  if (root_ >= 0) ToStringRec(root_, 0, &out);
+  return out;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,83 @@
+#ifndef MJOIN_PLAN_JOIN_TREE_H_
+#define MJOIN_PLAN_JOIN_TREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mjoin {
+
+/// One node of a binary join tree. Leaves reference base relations by
+/// name; internal nodes are equi-joins whose *left* child is the build
+/// (inner) operand and whose *right* child is the probe (outer) operand,
+/// following the paper's (Schneider's) terminology.
+struct JoinTreeNode {
+  int id = -1;
+  int left = -1;   // -1 for leaves
+  int right = -1;  // -1 for leaves
+  int parent = -1;
+  std::string relation;  // leaves only
+  /// (Estimated) output cardinality of this subtree.
+  double cardinality = 0;
+  /// Total-cost annotations, filled by TotalCostModel::Annotate.
+  double join_cost = 0;     // cost of this node's join (0 for leaves)
+  double subtree_cost = 0;  // sum of join costs in this subtree
+
+  bool is_leaf() const { return left < 0; }
+};
+
+/// An immutable-shape binary join tree stored in an arena. Node ids are
+/// stable indices into nodes().
+class JoinTree {
+ public:
+  JoinTree() = default;
+
+  /// Adds a leaf for `relation` with the given base cardinality; returns
+  /// its id.
+  int AddLeaf(std::string relation, double cardinality);
+
+  /// Adds a join over existing roots `left` and `right`; returns its id.
+  /// `cardinality` is the (estimated) result size.
+  int AddJoin(int left, int right, double cardinality);
+
+  void SetRoot(int id);
+
+  int root() const { return root_; }
+  const JoinTreeNode& node(int id) const { return nodes_[id]; }
+  JoinTreeNode& mutable_node(int id) { return nodes_[id]; }
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t num_leaves() const { return num_leaves_; }
+  size_t num_joins() const { return nodes_.size() - num_leaves_; }
+
+  /// Node ids of the subtree rooted at `id` in post order (children before
+  /// parents). With id == root(): the whole tree.
+  std::vector<int> PostOrder(int id) const;
+  std::vector<int> PostOrder() const { return PostOrder(root_); }
+
+  /// Number of join nodes on the longest root-to-leaf path.
+  int JoinDepth(int id) const;
+  int JoinDepth() const { return JoinDepth(root_); }
+
+  /// Swaps left/right children of join `id` (build <-> probe roles).
+  void SwapChildren(int id);
+
+  /// Structural + annotation checks (ids consistent, parents correct,
+  /// exactly one root, cardinalities positive).
+  Status Validate() const;
+
+  /// Indented multi-line rendering, e.g. for EXPLAIN output.
+  std::string ToString() const;
+
+ private:
+  void ToStringRec(int id, int depth, std::string* out) const;
+
+  std::vector<JoinTreeNode> nodes_;
+  size_t num_leaves_ = 0;
+  int root_ = -1;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_PLAN_JOIN_TREE_H_

@@ -1,0 +1,32 @@
+#include "plan/query.h"
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+StatusOr<QueryAnalysis> AnalyzeQuery(const JoinQuery& query) {
+  QueryAnalysis analysis;
+  analysis.node_schema.resize(query.tree.num_nodes());
+  analysis.node_spec.resize(query.tree.num_nodes());
+
+  for (int id : query.tree.PostOrder()) {
+    const JoinTreeNode& node = query.tree.node(id);
+    if (node.is_leaf()) {
+      auto it = query.base_schemas.find(node.relation);
+      if (it == query.base_schemas.end()) {
+        return Status::NotFound(
+            StrCat("no schema for base relation '", node.relation, "'"));
+      }
+      analysis.node_schema[id] = it->second;
+    } else {
+      MJOIN_ASSIGN_OR_RETURN(
+          analysis.node_spec[id],
+          query.join_spec_factory(node, analysis.node_schema[node.left],
+                                  analysis.node_schema[node.right]));
+      analysis.node_schema[id] = analysis.node_spec[id].output_schema;
+    }
+  }
+  return analysis;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,45 @@
+#ifndef MJOIN_PLAN_QUERY_H_
+#define MJOIN_PLAN_QUERY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/join_spec.h"
+#include "plan/join_tree.h"
+
+namespace mjoin {
+
+/// Produces the join semantics (keys + projection) for join node `node`
+/// given the already-derived operand schemas.
+using JoinSpecFactory = std::function<StatusOr<JoinSpec>(
+    const JoinTreeNode& node, std::shared_ptr<const Schema> left,
+    std::shared_ptr<const Schema> right)>;
+
+/// A multi-join query: the phase-1 join tree (shape + cardinalities +
+/// cost annotations) plus the semantic binding of every node — base
+/// relation schemas and per-join key/projection specs. Strategies
+/// parallelize a JoinQuery without knowing the workload.
+struct JoinQuery {
+  JoinTree tree;
+  std::map<std::string, std::shared_ptr<const Schema>> base_schemas;
+  JoinSpecFactory join_spec_factory;
+};
+
+/// Bottom-up semantic analysis of a JoinQuery.
+struct QueryAnalysis {
+  /// Output schema of every tree node (leaf: base schema).
+  std::vector<std::shared_ptr<const Schema>> node_schema;
+  /// JoinSpec of every join node (empty default for leaves).
+  std::vector<JoinSpec> node_spec;
+};
+
+/// Derives schemas and join specs for all nodes; fails if a leaf's
+/// relation has no schema or a join spec cannot be built.
+StatusOr<QueryAnalysis> AnalyzeQuery(const JoinQuery& query);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_PLAN_QUERY_H_

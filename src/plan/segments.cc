@@ -1,0 +1,116 @@
+#include "plan/segments.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mjoin {
+
+namespace {
+
+// Builds the segment(s) of the right chain whose top join is `top`,
+// recursing into producer segments. Returns the id of the *top-most*
+// piece. With `max_build_tuples` > 0 the chain is split bottom-to-top so
+// that each piece's total build-operand cardinality fits the budget.
+int BuildSegment(const JoinTree& tree, int top, double max_build_tuples,
+                 std::vector<RightDeepSegment>* segments,
+                 std::vector<int>* segment_of) {
+  MJOIN_CHECK(!tree.node(top).is_leaf());
+
+  // Collect the right chain top-to-bottom, then store bottom-to-top.
+  std::vector<int> chain;
+  int cur = top;
+  while (!tree.node(cur).is_leaf()) {
+    chain.push_back(cur);
+    cur = tree.node(cur).right;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  // Partition the chain bottom-to-top by build-memory budget (one group
+  // when unconstrained). A group always takes at least one join.
+  std::vector<std::vector<int>> groups;
+  double group_build = 0;
+  for (int join : chain) {
+    double build_card = tree.node(tree.node(join).left).cardinality;
+    bool over = max_build_tuples > 0 && !groups.empty() &&
+                !groups.back().empty() &&
+                group_build + build_card > max_build_tuples;
+    if (groups.empty() || over) {
+      groups.emplace_back();
+      group_build = 0;
+    }
+    groups.back().push_back(join);
+    group_build += build_card;
+  }
+
+  int prev_piece = -1;
+  for (const std::vector<int>& group : groups) {
+    int id = static_cast<int>(segments->size());
+    segments->push_back(RightDeepSegment{});
+    {
+      RightDeepSegment& seg = (*segments)[id];
+      seg.id = id;
+      seg.joins = group;
+      seg.probe_from = prev_piece;
+      for (int join : group) {
+        (*segment_of)[join] = id;
+        seg.total_cost += tree.node(join).join_cost;
+      }
+    }
+    double children_cost = 0;
+    if (prev_piece >= 0) {
+      (*segments)[prev_piece].parent = id;
+      (*segments)[id].children.push_back(prev_piece);
+      children_cost += (*segments)[prev_piece].subtree_cost;
+    }
+    // Producer segments: every internal left child spawns one.
+    for (int join : group) {
+      int left = tree.node(join).left;
+      if (!tree.node(left).is_leaf()) {
+        int child = BuildSegment(tree, left, max_build_tuples, segments,
+                                 segment_of);
+        (*segments)[child].parent = id;
+        (*segments)[id].children.push_back(child);
+        children_cost += (*segments)[child].subtree_cost;
+      }
+    }
+    (*segments)[id].subtree_cost = (*segments)[id].total_cost + children_cost;
+    prev_piece = id;
+  }
+  return prev_piece;
+}
+
+}  // namespace
+
+SegmentedTree SegmentedTree::Build(const JoinTree& tree,
+                                   double max_build_tuples_per_segment) {
+  SegmentedTree out;
+  out.segment_of_.assign(tree.num_nodes(), -1);
+  MJOIN_CHECK(!tree.node(tree.root()).is_leaf())
+      << "cannot segment a tree without joins";
+  out.root_segment_ =
+      BuildSegment(tree, tree.root(), max_build_tuples_per_segment,
+                   &out.segments_, &out.segment_of_);
+  return out;
+}
+
+std::string SegmentedTree::ToString(const JoinTree& tree) const {
+  std::string out;
+  for (const RightDeepSegment& seg : segments_) {
+    std::vector<std::string> joins;
+    joins.reserve(seg.joins.size());
+    for (int j : seg.joins) joins.push_back(StrCat("join#", j));
+    out += StrCat("segment ", seg.id, ": [", StrJoin(joins, " -> "),
+                  "] cost=", seg.total_cost,
+                  " subtree_cost=", seg.subtree_cost);
+    if (seg.probe_from >= 0) {
+      out += StrCat(" probes result of segment ", seg.probe_from);
+    }
+    if (seg.parent >= 0) out += StrCat(" -> feeds segment ", seg.parent);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,64 @@
+#ifndef MJOIN_PLAN_SEGMENTS_H_
+#define MJOIN_PLAN_SEGMENTS_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/join_tree.h"
+
+namespace mjoin {
+
+/// One right-deep segment of a bushy tree (Figure 5, [CLY92]): a maximal
+/// chain of joins linked through *right* (probe) children. Within a
+/// segment all build operands can be hashed in parallel and the probe
+/// stream is pipelined bottom-to-top; the bottom join's probe operand is
+/// always a base relation (right chains only stop at leaves).
+struct RightDeepSegment {
+  int id = -1;
+  /// Join node ids bottom-to-top along the right chain.
+  std::vector<int> joins;
+  /// Consumer segment (the segment containing the join whose *left*
+  /// operand is this segment's result); -1 for the root segment.
+  int parent = -1;
+  /// Producer segments feeding left operands of this segment's joins.
+  std::vector<int> children;
+  /// Sum of join costs within the segment (requires an annotated tree).
+  double total_cost = 0;
+  /// total_cost plus all producers' subtree costs.
+  double subtree_cost = 0;
+  /// When >= 0, this segment's bottom join probes the *stored result* of
+  /// the given (lower) segment instead of a base relation: the chain was
+  /// split because its build tables would not fit in memory together —
+  /// [CLY92]'s memory-constrained segmentation. The lower segment also
+  /// appears in `children` (it must complete first).
+  int probe_from = -1;
+};
+
+/// Decomposition of a join tree into right-deep segments.
+class SegmentedTree {
+ public:
+  /// `tree` must be annotated (TotalCostModel::Annotate) and have at least
+  /// one join. With `max_build_tuples_per_segment` > 0, right-deep chains
+  /// are further split bottom-to-top so that the sum of build-operand
+  /// cardinalities within each segment stays within the budget ([CLY92]'s
+  /// memory-driven segmentation); split points turn into
+  /// stored-result/probe handoffs (see RightDeepSegment::probe_from).
+  static SegmentedTree Build(const JoinTree& tree,
+                             double max_build_tuples_per_segment = 0);
+
+  const std::vector<RightDeepSegment>& segments() const { return segments_; }
+  int root_segment() const { return root_segment_; }
+  /// Segment containing join node `join_id`.
+  int segment_of(int join_id) const { return segment_of_[join_id]; }
+
+  std::string ToString(const JoinTree& tree) const;
+
+ private:
+  std::vector<RightDeepSegment> segments_;
+  std::vector<int> segment_of_;
+  int root_segment_ = -1;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_PLAN_SEGMENTS_H_

@@ -1,0 +1,127 @@
+#include "plan/shapes.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mjoin {
+
+std::string ShapeName(QueryShape shape) {
+  switch (shape) {
+    case QueryShape::kLeftLinear:
+      return "left linear";
+    case QueryShape::kLeftOrientedBushy:
+      return "left bushy";
+    case QueryShape::kWideBushy:
+      return "wide bushy";
+    case QueryShape::kRightOrientedBushy:
+      return "right bushy";
+    case QueryShape::kRightLinear:
+      return "right linear";
+  }
+  return "?";
+}
+
+namespace {
+
+// Balanced tree over relations [lo, hi).
+int BuildBalanced(JoinTree* tree, const std::vector<std::string>& relations,
+                  double card, size_t lo, size_t hi) {
+  if (hi - lo == 1) return tree->AddLeaf(relations[lo], card);
+  size_t mid = lo + (hi - lo) / 2;
+  int left = BuildBalanced(tree, relations, card, lo, mid);
+  int right = BuildBalanced(tree, relations, card, mid, hi);
+  return tree->AddJoin(left, right, card);
+}
+
+// Joins relations pairwise: P_j = R_{2j} JOIN R_{2j+1}; an odd trailing
+// relation becomes a bare leaf "pair".
+std::vector<int> BuildPairs(JoinTree* tree,
+                            const std::vector<std::string>& relations,
+                            double card) {
+  std::vector<int> pairs;
+  size_t i = 0;
+  for (; i + 1 < relations.size(); i += 2) {
+    int l = tree->AddLeaf(relations[i], card);
+    int r = tree->AddLeaf(relations[i + 1], card);
+    pairs.push_back(tree->AddJoin(l, r, card));
+  }
+  if (i < relations.size()) pairs.push_back(tree->AddLeaf(relations[i], card));
+  return pairs;
+}
+
+}  // namespace
+
+StatusOr<JoinTree> BuildShape(QueryShape shape,
+                              const std::vector<std::string>& relations,
+                              double cardinality) {
+  if (relations.size() < 2) {
+    return Status::InvalidArgument("need at least two relations");
+  }
+  if (cardinality <= 0) {
+    return Status::InvalidArgument("cardinality must be positive");
+  }
+  JoinTree tree;
+  switch (shape) {
+    case QueryShape::kLeftLinear: {
+      int t = tree.AddLeaf(relations[0], cardinality);
+      for (size_t i = 1; i < relations.size(); ++i) {
+        int leaf = tree.AddLeaf(relations[i], cardinality);
+        t = tree.AddJoin(t, leaf, cardinality);
+      }
+      break;
+    }
+    case QueryShape::kRightLinear: {
+      int t = tree.AddLeaf(relations.back(), cardinality);
+      for (size_t i = relations.size() - 1; i-- > 0;) {
+        int leaf = tree.AddLeaf(relations[i], cardinality);
+        t = tree.AddJoin(leaf, t, cardinality);
+      }
+      break;
+    }
+    case QueryShape::kLeftOrientedBushy: {
+      std::vector<int> pairs = BuildPairs(&tree, relations, cardinality);
+      int t = pairs[0];
+      for (size_t j = 1; j < pairs.size(); ++j) {
+        t = tree.AddJoin(t, pairs[j], cardinality);
+      }
+      break;
+    }
+    case QueryShape::kRightOrientedBushy: {
+      std::vector<int> pairs = BuildPairs(&tree, relations, cardinality);
+      int t = pairs.back();
+      for (size_t j = pairs.size() - 1; j-- > 0;) {
+        t = tree.AddJoin(pairs[j], t, cardinality);
+      }
+      break;
+    }
+    case QueryShape::kWideBushy: {
+      BuildBalanced(&tree, relations, cardinality, 0, relations.size());
+      break;
+    }
+  }
+  MJOIN_RETURN_IF_ERROR(tree.Validate());
+  return tree;
+}
+
+JoinTree BuildFigure2ExampleTree(std::vector<std::pair<int, int>>* labels) {
+  // J1 = A JOIN (J5), J5 = (J4) JOIN (J3), J4 = B JOIN C, J3 = D JOIN E.
+  // The numeric labels give the joins' relative amounts of work.
+  const double kCard = 1000;
+  JoinTree tree;
+  int a = tree.AddLeaf("A", kCard);
+  int b = tree.AddLeaf("B", kCard);
+  int c = tree.AddLeaf("C", kCard);
+  int d = tree.AddLeaf("D", kCard);
+  int e = tree.AddLeaf("E", kCard);
+  int j4 = tree.AddJoin(b, c, kCard);
+  int j3 = tree.AddJoin(d, e, kCard);
+  int j5 = tree.AddJoin(j4, j3, kCard);
+  int j1 = tree.AddJoin(a, j5, kCard);
+  if (labels != nullptr) {
+    *labels = {{j1, 1}, {j5, 5}, {j3, 3}, {j4, 4}};
+  }
+  MJOIN_CHECK_OK(tree.Validate());
+  return tree;
+}
+
+}  // namespace mjoin

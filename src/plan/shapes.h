@@ -1,0 +1,59 @@
+#ifndef MJOIN_PLAN_SHAPES_H_
+#define MJOIN_PLAN_SHAPES_H_
+
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "plan/join_tree.h"
+
+namespace mjoin {
+
+/// The five query-tree shapes of Figure 8, over the same set of relations.
+/// Left children are build (inner) operands, right children probe (outer)
+/// operands.
+enum class QueryShape {
+  /// Each join's left child is the previous join: no pipelining potential
+  /// for the simple hash-join, no right-deep segments longer than one.
+  kLeftLinear,
+  /// A spine of bushy joins leaning left: spine steps join two
+  /// intermediate results (the "bushy pipeline" of §2.3.3).
+  kLeftOrientedBushy,
+  /// A balanced tree: maximal independent subtrees (best case for SE).
+  kWideBushy,
+  /// Mirror of kLeftOrientedBushy: a long right-deep probe pipeline whose
+  /// build operands are small independent subtrees (best case for RD).
+  kRightOrientedBushy,
+  /// Each join's right child is the previous join: one long right-deep
+  /// segment (RD degenerates to FP).
+  kRightLinear,
+};
+
+/// All five shapes in paper order.
+inline constexpr QueryShape kAllShapes[] = {
+    QueryShape::kLeftLinear, QueryShape::kLeftOrientedBushy,
+    QueryShape::kWideBushy, QueryShape::kRightOrientedBushy,
+    QueryShape::kRightLinear};
+
+/// "left linear", "wide bushy", ...
+std::string ShapeName(QueryShape shape);
+
+/// Builds the join tree of `shape` over `relations` (>= 2 relations), each
+/// with base cardinality `cardinality`; every join result also has
+/// cardinality `cardinality`, matching the paper's regular 1:1 Wisconsin
+/// chain query. For the bushy shapes, relations are first combined into
+/// pairs and the pair results joined along a spine (left- or
+/// right-oriented) or balanced (wide).
+StatusOr<JoinTree> BuildShape(QueryShape shape,
+                              const std::vector<std::string>& relations,
+                              double cardinality);
+
+/// The example 5-way join tree of Figure 2, used for the utilization
+/// diagrams (Figures 3-7): join ids are returned via `labels`, mapping
+/// each join node id to its paper label (1, 5, 3, 4 = relative work).
+/// Relations are named A..E with cardinality 1000.
+JoinTree BuildFigure2ExampleTree(std::vector<std::pair<int, int>>* labels);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_PLAN_SHAPES_H_

@@ -1,0 +1,30 @@
+#include "plan/transform.h"
+
+namespace mjoin {
+
+void MirrorTree(JoinTree* tree) {
+  for (int id : tree->PostOrder()) {
+    if (!tree->node(id).is_leaf()) tree->SwapChildren(id);
+  }
+}
+
+int CountJoins(const JoinTree& tree, int id) {
+  const JoinTreeNode& node = tree.node(id);
+  if (node.is_leaf()) return 0;
+  return 1 + CountJoins(tree, node.left) + CountJoins(tree, node.right);
+}
+
+int RightOrient(JoinTree* tree) {
+  int swapped = 0;
+  for (int id : tree->PostOrder()) {
+    const JoinTreeNode& node = tree->node(id);
+    if (node.is_leaf()) continue;
+    if (CountJoins(*tree, node.left) > CountJoins(*tree, node.right)) {
+      tree->SwapChildren(id);
+      ++swapped;
+    }
+  }
+  return swapped;
+}
+
+}  // namespace mjoin

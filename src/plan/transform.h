@@ -1,0 +1,29 @@
+#ifndef MJOIN_PLAN_TRANSFORM_H_
+#define MJOIN_PLAN_TRANSFORM_H_
+
+#include "plan/join_tree.h"
+
+namespace mjoin {
+
+/// Swaps the children of every join: the full mirror image of the tree.
+/// A left-linear tree becomes right-linear, etc. Join commutativity makes
+/// this free of cost penalty under the paper's symmetric-in-operands cost
+/// function (the a/b coefficients swap but the sum is unchanged only when
+/// both operands have the same base/intermediate status; in general the
+/// total cost changes by (a-b)*(n1-n2) terms — see RightOrient for the
+/// paper's "mirror to make right-oriented" use).
+void MirrorTree(JoinTree* tree);
+
+/// The §5 remark: "it is possible without cost penalty to mirror (parts
+/// of) a query to make it more right-oriented". For every join whose
+/// *left* subtree contains more joins than its right subtree, swap the
+/// children, producing longer right-deep segments for RD. Returns the
+/// number of joins swapped.
+int RightOrient(JoinTree* tree);
+
+/// Counts joins in the subtree rooted at `id`.
+int CountJoins(const JoinTree& tree, int id);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_PLAN_TRANSFORM_H_

@@ -1,0 +1,55 @@
+#include "plan/wisconsin_query.h"
+
+#include "common/string_util.h"
+#include "storage/wisconsin.h"
+
+namespace mjoin {
+
+std::vector<std::string> WisconsinRelationNames(int num_relations) {
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(num_relations));
+  for (int i = 0; i < num_relations; ++i) names.push_back(StrCat("rel", i));
+  return names;
+}
+
+StatusOr<JoinQuery> MakeWisconsinChainQuery(QueryShape shape,
+                                            int num_relations,
+                                            uint32_t cardinality) {
+  if (num_relations < 2) {
+    return Status::InvalidArgument("need at least two relations");
+  }
+  std::vector<std::string> names = WisconsinRelationNames(num_relations);
+  MJOIN_ASSIGN_OR_RETURN(
+      JoinTree tree,
+      BuildShape(shape, names, static_cast<double>(cardinality)));
+
+  JoinQuery query;
+  query.tree = std::move(tree);
+  auto wisconsin = std::make_shared<const Schema>(WisconsinSchema());
+  for (const std::string& name : names) {
+    query.base_schemas[name] = wisconsin;
+  }
+
+  // Joins always match column 0 (unique1-like) of both operands. The
+  // projection rebuilds a Wisconsin-shaped tuple: column 0 from the left
+  // operand's unique2 (so the result's join attribute is again a fresh
+  // permutation of 0..n-1), column 1 from the right operand's unique2, the
+  // remaining attributes from the right operand. All operands of all joins
+  // therefore have identical schemas and sizes.
+  query.join_spec_factory =
+      [](const JoinTreeNode& node, std::shared_ptr<const Schema> left,
+         std::shared_ptr<const Schema> right) -> StatusOr<JoinSpec> {
+    std::vector<JoinOutputColumn> outputs;
+    outputs.reserve(right->num_columns());
+    outputs.push_back(JoinOutputColumn::Left(kUnique2));
+    outputs.push_back(JoinOutputColumn::Right(kUnique2));
+    for (size_t c = 2; c < right->num_columns(); ++c) {
+      outputs.push_back(JoinOutputColumn::Right(c));
+    }
+    return MakeJoinSpec(std::move(left), std::move(right), /*left_key=*/0,
+                        /*right_key=*/0, std::move(outputs));
+  };
+  return query;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,36 @@
+#ifndef MJOIN_PLAN_WISCONSIN_QUERY_H_
+#define MJOIN_PLAN_WISCONSIN_QUERY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "plan/query.h"
+#include "plan/shapes.h"
+
+namespace mjoin {
+
+/// The paper's test query (§4.1): `num_relations` Wisconsin relations of
+/// `cardinality` tuples each, joined pairwise on their first unique
+/// attribute; after each join the result is projected back to a
+/// Wisconsin-shaped relation of the same size:
+///
+///   out.unique1 = left.unique2   (a fresh permutation -> next join is 1:1)
+///   out.unique2 = right.unique2
+///   out.<rest>  = right.<rest>
+///
+/// Every join tree over these relations has the same total cost and all
+/// operands/results are equal in size, so response-time differences are
+/// caused purely by tree shape and parallelization — the property the
+/// paper's evaluation relies on.
+StatusOr<JoinQuery> MakeWisconsinChainQuery(QueryShape shape,
+                                            int num_relations,
+                                            uint32_t cardinality);
+
+/// Names used for the base relations: "rel0", "rel1", ...
+std::vector<std::string> WisconsinRelationNames(int num_relations);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_PLAN_WISCONSIN_QUERY_H_

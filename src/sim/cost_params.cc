@@ -1,0 +1,18 @@
+#include "sim/cost_params.h"
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+std::string CostParams::ToString() const {
+  return StrCat("CostParams{hash=", tuple_hash, " build=", tuple_build,
+                " probe=", tuple_probe, " result=", tuple_result,
+                " send=", tuple_send, " recv=", tuple_recv,
+                " scan=", tuple_scan, " batch_ovh=", batch_overhead,
+                " latency=", network_latency, " startup=", process_startup,
+                " handshake=", stream_handshake, " broker=", broker_handshake,
+                " trigger=", trigger_latency, " batch=", batch_size,
+                " tick_s=", tick_seconds, "}");
+}
+
+}  // namespace mjoin

@@ -1,0 +1,44 @@
+#include "sim/processor.h"
+
+namespace mjoin {
+
+void SimProcessor::Submit(char label, std::function<TaskResult()> body) {
+  queue_.push_back(Task{label, std::move(body)});
+  if (!running_) {
+    running_ = true;
+    // Start asynchronously so that submission never re-enters task bodies.
+    sim_->Schedule(0, [this] { StartNext(); });
+  }
+}
+
+void SimProcessor::StartNext() {
+  if (queue_.empty()) {
+    running_ = false;
+    return;
+  }
+  Task task = std::move(queue_.front());
+  queue_.pop_front();
+
+  Ticks start = sim_->Now();
+  TaskResult result = task.body();
+  MJOIN_DCHECK(result.cost >= 0);
+  busy_ticks_ += result.cost;
+  if (trace_ != nullptr) {
+    trace_->Record(id_, start, start + result.cost, task.label);
+  }
+
+  // At completion: release the task's side effects, then run the next task.
+  sim_->Schedule(result.cost,
+                 [this, after = std::move(result.after)]() mutable {
+                   for (DeferredAction& action : after) {
+                     if (action.extra_delay == 0) {
+                       action.fn();
+                     } else {
+                       sim_->Schedule(action.extra_delay, std::move(action.fn));
+                     }
+                   }
+                   StartNext();
+                 });
+}
+
+}  // namespace mjoin

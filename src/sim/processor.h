@@ -1,0 +1,68 @@
+#ifndef MJOIN_SIM_PROCESSOR_H_
+#define MJOIN_SIM_PROCESSOR_H_
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/cost_params.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace mjoin {
+
+/// Actions to perform when a task's simulated execution completes (e.g.
+/// deliver the batches the task produced to the network).
+struct DeferredAction {
+  Ticks extra_delay = 0;
+  std::function<void()> fn;
+};
+
+/// What a task did: how much CPU it consumed and what should happen at its
+/// completion time.
+struct TaskResult {
+  Ticks cost = 0;
+  std::vector<DeferredAction> after;
+};
+
+/// A simulated shared-nothing node. The node executes submitted tasks
+/// strictly sequentially (one CPU). A task's body runs when the task is
+/// dequeued; it performs the real computation (e.g. probing a real hash
+/// table), returns the simulated CPU cost, and may defer side effects
+/// (message deliveries) to its completion time.
+class SimProcessor {
+ public:
+  SimProcessor(uint32_t id, Simulator* sim, TraceRecorder* trace)
+      : id_(id), sim_(sim), trace_(trace) {}
+
+  SimProcessor(const SimProcessor&) = delete;
+  SimProcessor& operator=(const SimProcessor&) = delete;
+  SimProcessor(SimProcessor&&) = default;
+
+  uint32_t id() const { return id_; }
+  Ticks busy_ticks() const { return busy_ticks_; }
+
+  /// Enqueues a task. `label` is the fill character for the utilization
+  /// trace. Tasks run in submission order.
+  void Submit(char label, std::function<TaskResult()> body);
+
+ private:
+  struct Task {
+    char label;
+    std::function<TaskResult()> body;
+  };
+
+  void StartNext();
+
+  uint32_t id_;
+  Simulator* sim_;
+  TraceRecorder* trace_;
+  std::deque<Task> queue_;
+  bool running_ = false;
+  Ticks busy_ticks_ = 0;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_SIM_PROCESSOR_H_

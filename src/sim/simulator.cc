@@ -1,0 +1,30 @@
+#include "sim/simulator.h"
+
+namespace mjoin {
+
+Ticks Simulator::Run() {
+  while (!queue_.empty()) {
+    // Move the event out before popping so the closure survives the pop.
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    MJOIN_DCHECK(event.time >= now_);
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+  return now_;
+}
+
+bool Simulator::RunFor(uint64_t max_events) {
+  for (uint64_t i = 0; i < max_events; ++i) {
+    if (queue_.empty()) return true;
+    Event event = std::move(const_cast<Event&>(queue_.top()));
+    queue_.pop();
+    now_ = event.time;
+    ++events_processed_;
+    event.fn();
+  }
+  return queue_.empty();
+}
+
+}  // namespace mjoin

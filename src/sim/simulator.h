@@ -1,0 +1,60 @@
+#ifndef MJOIN_SIM_SIMULATOR_H_
+#define MJOIN_SIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/logging.h"
+#include "sim/cost_params.h"
+
+namespace mjoin {
+
+/// A deterministic discrete-event simulator. Events scheduled for the same
+/// time fire in scheduling order (FIFO tie-break), so runs are exactly
+/// reproducible.
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  Ticks Now() const { return now_; }
+
+  /// Schedules `fn` to run at Now() + delay (delay >= 0).
+  void Schedule(Ticks delay, std::function<void()> fn) {
+    MJOIN_DCHECK(delay >= 0);
+    queue_.push(Event{now_ + delay, next_seq_++, std::move(fn)});
+  }
+
+  /// Runs until the event queue is empty. Returns the final clock value.
+  Ticks Run();
+
+  /// Runs at most `max_events` further events; returns true if drained.
+  bool RunFor(uint64_t max_events);
+
+  uint64_t num_events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    Ticks time;
+    uint64_t seq;
+    std::function<void()> fn;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Ticks now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_SIM_SIMULATOR_H_

@@ -1,0 +1,93 @@
+#include "sim/trace.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+std::vector<Ticks> TraceRecorder::BusyTicks() const {
+  std::vector<Ticks> busy(num_processors_, 0);
+  for (const TraceInterval& iv : intervals_) {
+    if (iv.processor < num_processors_) {
+      busy[iv.processor] += iv.end - iv.start;
+    }
+  }
+  return busy;
+}
+
+double TraceRecorder::Utilization(Ticks makespan) const {
+  if (makespan <= 0 || num_processors_ == 0) return 0;
+  std::vector<Ticks> busy = BusyTicks();
+  double total = 0;
+  for (Ticks b : busy) total += static_cast<double>(b);
+  return total /
+         (static_cast<double>(makespan) * static_cast<double>(num_processors_));
+}
+
+std::string TraceRecorder::Render(Ticks makespan, uint32_t width) const {
+  if (makespan <= 0 || width == 0) return "";
+  // For each processor row, accumulate per-cell coverage and pick the label
+  // with the widest coverage in each cell.
+  double ticks_per_cell = static_cast<double>(makespan) / width;
+
+  // coverage[p][cell] -> map label -> covered ticks. Labels are chars, so a
+  // small fixed table indexed by char works.
+  std::vector<std::vector<std::array<double, 128>>> coverage(
+      num_processors_,
+      std::vector<std::array<double, 128>>(width, std::array<double, 128>{}));
+
+  for (const TraceInterval& iv : intervals_) {
+    if (iv.processor >= num_processors_) continue;
+    double s = static_cast<double>(iv.start) / ticks_per_cell;
+    double e = static_cast<double>(iv.end) / ticks_per_cell;
+    auto first = static_cast<uint32_t>(std::max(0.0, s));
+    auto last = static_cast<uint32_t>(
+        std::min<double>(width - 1, std::max(0.0, e - 1e-9)));
+    for (uint32_t cell = first; cell <= last && cell < width; ++cell) {
+      double cell_start = cell;
+      double cell_end = cell + 1;
+      double covered = std::min(e, cell_end) - std::max(s, cell_start);
+      if (covered > 0) {
+        auto idx = static_cast<size_t>(static_cast<unsigned char>(iv.label)) %
+                   128;
+        coverage[iv.processor][cell][idx] += covered;
+      }
+    }
+  }
+
+  std::string out;
+  // Render top row = highest processor id, like the paper's diagrams.
+  for (uint32_t p = num_processors_; p-- > 0;) {
+    out += PadLeft(StrCat(p), 3);
+    out += " ";
+    for (uint32_t cell = 0; cell < width; ++cell) {
+      char best = '.';
+      double best_cover = 0;
+      for (size_t idx = 0; idx < 128; ++idx) {
+        if (coverage[p][cell][idx] > best_cover) {
+          best_cover = coverage[p][cell][idx];
+          best = static_cast<char>(idx);
+        }
+      }
+      out += best;
+    }
+    out += "\n";
+  }
+  out += "    ";
+  out += std::string(width, '-');
+  out += StrCat("> time (", makespan, " ticks)\n");
+  return out;
+}
+
+std::string TraceRecorder::ToCsv() const {
+  std::string out = "processor,start,end,label\n";
+  for (const TraceInterval& iv : intervals_) {
+    out += StrCat(iv.processor, ",", iv.start, ",", iv.end, ",",
+                  std::string(1, iv.label), "\n");
+  }
+  return out;
+}
+
+}  // namespace mjoin

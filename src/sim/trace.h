@@ -1,0 +1,65 @@
+#ifndef MJOIN_SIM_TRACE_H_
+#define MJOIN_SIM_TRACE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/cost_params.h"
+
+namespace mjoin {
+
+/// One busy interval of one simulated processor.
+struct TraceInterval {
+  uint32_t processor = 0;
+  Ticks start = 0;
+  Ticks end = 0;
+  /// Short label ('4' = working on the join labelled 4 in the tree, 'h' =
+  /// handshake, 's' = startup, ...), used as the fill character in the
+  /// utilization diagram.
+  char label = '?';
+};
+
+/// Records processor-busy intervals during a simulation and renders them as
+/// the paper's processor-utilization diagrams (Figures 3, 4, 6, 7): one row
+/// per processor, x-axis = time, each busy interval drawn with its label.
+class TraceRecorder {
+ public:
+  /// `num_processors` rows will be rendered; recording can be disabled to
+  /// save memory on large sweeps.
+  explicit TraceRecorder(uint32_t num_processors, bool enabled = true)
+      : num_processors_(num_processors), enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  void Record(uint32_t processor, Ticks start, Ticks end, char label) {
+    if (!enabled_ || start >= end) return;
+    intervals_.push_back(TraceInterval{processor, start, end, label});
+  }
+
+  const std::vector<TraceInterval>& intervals() const { return intervals_; }
+
+  /// Total busy ticks per processor.
+  std::vector<Ticks> BusyTicks() const;
+
+  /// Fraction of [0, makespan] during which processors were busy, averaged
+  /// over processors. Returns 0 when makespan == 0.
+  double Utilization(Ticks makespan) const;
+
+  /// ASCII utilization diagram, `width` characters wide, covering
+  /// [0, makespan]. A character cell is filled with the label of the
+  /// interval covering the majority of that cell ('.' when idle).
+  std::string Render(Ticks makespan, uint32_t width = 72) const;
+
+  /// Plot-ready CSV: "processor,start,end,label" with a header row.
+  std::string ToCsv() const;
+
+ private:
+  uint32_t num_processors_;
+  bool enabled_;
+  std::vector<TraceInterval> intervals_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_SIM_TRACE_H_

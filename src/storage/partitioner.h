@@ -1,0 +1,45 @@
+#ifndef MJOIN_STORAGE_PARTITIONER_H_
+#define MJOIN_STORAGE_PARTITIONER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "storage/relation.h"
+
+namespace mjoin {
+
+/// Hash used for all hash partitioning and join hash tables, so that a
+/// relation fragmented on its join attribute lands build and probe tuples
+/// with equal keys on the same fragment/bucket.
+uint64_t HashJoinKey(int32_t key);
+
+/// Maps a join key to one of `num_fragments` destinations.
+inline uint32_t FragmentOf(int32_t key, uint32_t num_fragments) {
+  return static_cast<uint32_t>(HashJoinKey(key) % num_fragments);
+}
+
+/// Splits `input` into `num_fragments` relations by hash of the int32
+/// column `key_column` (the shared-nothing "declustering" of PRISMA/DB).
+StatusOr<std::vector<Relation>> HashPartition(const Relation& input,
+                                              size_t key_column,
+                                              uint32_t num_fragments);
+
+/// Splits `input` into `num_fragments` relations round-robin (used for
+/// non-key declustering).
+std::vector<Relation> RoundRobinPartition(const Relation& input,
+                                          uint32_t num_fragments);
+
+/// Splits `input` by equal-width ranges of the int32 column `key_column`
+/// over [lo, hi].
+StatusOr<std::vector<Relation>> RangePartition(const Relation& input,
+                                               size_t key_column,
+                                               uint32_t num_fragments,
+                                               int32_t lo, int32_t hi);
+
+/// Concatenates fragments back into one relation (order = fragment order).
+Relation ConcatFragments(const std::vector<Relation>& fragments);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STORAGE_PARTITIONER_H_

@@ -1,0 +1,26 @@
+#include "storage/relation.h"
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+Relation Relation::Clone() const {
+  Relation copy(schema_);
+  copy.data_ = data_;
+  return copy;
+}
+
+std::string Relation::ToString(size_t limit) const {
+  std::string out =
+      StrCat("Relation ", schema_.ToString(), " [", num_tuples(), " tuples]\n");
+  size_t n = std::min(limit, num_tuples());
+  for (size_t i = 0; i < n; ++i) {
+    out += "  ";
+    out += tuple(i).ToString();
+    out += "\n";
+  }
+  if (n < num_tuples()) out += StrCat("  ... (", num_tuples() - n, " more)\n");
+  return out;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,70 @@
+#ifndef MJOIN_STORAGE_RELATION_H_
+#define MJOIN_STORAGE_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace mjoin {
+
+/// A main-memory row-store relation (or fragment of one): a schema plus a
+/// contiguous array of fixed-width rows, mirroring PRISMA/DB's in-memory
+/// fragments. Move-only would be safest, but fragments are copied when
+/// relations are (re-)partitioned, so copying is allowed and explicit at
+/// call sites via Clone().
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+
+  Relation(Relation&&) = default;
+  Relation& operator=(Relation&&) = default;
+  Relation(const Relation&) = delete;
+  Relation& operator=(const Relation&) = delete;
+
+  /// Deep copy (storage is duplicated).
+  Relation Clone() const;
+
+  const Schema& schema() const { return schema_; }
+  size_t num_tuples() const {
+    return schema_.tuple_size() == 0 ? 0 : data_.size() / schema_.tuple_size();
+  }
+  size_t byte_size() const { return data_.size(); }
+
+  void Reserve(size_t num_tuples) {
+    data_.reserve(num_tuples * schema_.tuple_size());
+  }
+
+  /// Appends a row; `row` must point at schema().tuple_size() bytes.
+  void AppendRow(const std::byte* row) {
+    data_.insert(data_.end(), row, row + schema_.tuple_size());
+  }
+
+  /// Appends an uninitialized row and returns a writer for it. The writer
+  /// is invalidated by the next append.
+  TupleWriter AppendTuple() {
+    size_t old = data_.size();
+    data_.resize(old + schema_.tuple_size());
+    return TupleWriter(data_.data() + old, &schema_);
+  }
+
+  TupleRef tuple(size_t i) const {
+    return TupleRef(data_.data() + i * schema_.tuple_size(), &schema_);
+  }
+
+  const std::byte* raw_data() const { return data_.data(); }
+
+  /// Multi-line dump of up to `limit` tuples, for tests/debugging.
+  std::string ToString(size_t limit = 20) const;
+
+ private:
+  Schema schema_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STORAGE_RELATION_H_

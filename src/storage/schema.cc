@@ -1,0 +1,39 @@
+#include "storage/schema.h"
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  uint32_t offset = 0;
+  for (const Column& col : columns_) {
+    offsets_.push_back(offset);
+    offset += col.width;
+  }
+  tuple_size_ = offset;
+}
+
+StatusOr<size_t> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound(StrCat("no column named '", name, "'"));
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(columns_.size());
+  for (const Column& col : columns_) {
+    if (col.type == ColumnType::kInt32) {
+      parts.push_back(StrCat(col.name, ":i32"));
+    } else if (col.type == ColumnType::kInt64) {
+      parts.push_back(StrCat(col.name, ":i64"));
+    } else {
+      parts.push_back(StrCat(col.name, ":str", col.width));
+    }
+  }
+  return StrCat("(", StrJoin(parts, ", "), ")");
+}
+
+}  // namespace mjoin

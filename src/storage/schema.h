@@ -1,0 +1,74 @@
+#ifndef MJOIN_STORAGE_SCHEMA_H_
+#define MJOIN_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace mjoin {
+
+/// Column types supported by the engine. The storage layout is fixed-width
+/// rows (like PRISMA/DB's main-memory tuples), so strings are fixed-length
+/// character arrays.
+enum class ColumnType {
+  kInt32,
+  kInt64,
+  kFixedString,
+};
+
+/// A single column: name, type, and byte width (4 for kInt32; the declared
+/// length for kFixedString).
+struct Column {
+  std::string name;
+  ColumnType type = ColumnType::kInt32;
+  uint32_t width = 4;
+
+  static Column Int32(std::string name) {
+    return Column{std::move(name), ColumnType::kInt32, 4};
+  }
+  static Column Int64(std::string name) {
+    return Column{std::move(name), ColumnType::kInt64, 8};
+  }
+  static Column FixedString(std::string name, uint32_t width) {
+    return Column{std::move(name), ColumnType::kFixedString, width};
+  }
+
+  bool operator==(const Column& other) const = default;
+};
+
+/// A fixed row layout: columns packed back to back with no padding.
+/// Schemas are small value types and are copied freely.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  size_t num_columns() const { return columns_.size(); }
+  /// Total bytes per tuple.
+  uint32_t tuple_size() const { return tuple_size_; }
+  /// Byte offset of column `idx` within a tuple.
+  uint32_t offset(size_t idx) const { return offsets_[idx]; }
+  const Column& column(size_t idx) const { return columns_[idx]; }
+
+  /// Index of the column with `name`, or NotFound.
+  StatusOr<size_t> ColumnIndex(const std::string& name) const;
+
+  /// "(unique1:i32, stringu1:str52, ...)".
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return columns_ == other.columns_;
+  }
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<uint32_t> offsets_;
+  uint32_t tuple_size_ = 0;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STORAGE_SCHEMA_H_

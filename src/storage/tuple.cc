@@ -1,0 +1,27 @@
+#include "storage/tuple.h"
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+std::string TupleRef::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(schema_->num_columns());
+  for (size_t c = 0; c < schema_->num_columns(); ++c) {
+    if (schema_->column(c).type == ColumnType::kInt32) {
+      parts.push_back(StrCat(GetInt32(c)));
+    } else if (schema_->column(c).type == ColumnType::kInt64) {
+      parts.push_back(StrCat(GetInt64(c)));
+    } else {
+      std::string_view s = GetString(c);
+      // Trim trailing spaces for readability.
+      size_t end = s.find_last_not_of(' ');
+      parts.push_back(
+          StrCat("'", end == std::string_view::npos ? "" : s.substr(0, end + 1),
+                 "'"));
+    }
+  }
+  return StrCat("(", StrJoin(parts, ", "), ")");
+}
+
+}  // namespace mjoin

@@ -1,0 +1,98 @@
+#ifndef MJOIN_STORAGE_TUPLE_H_
+#define MJOIN_STORAGE_TUPLE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "common/logging.h"
+#include "storage/schema.h"
+
+namespace mjoin {
+
+/// A read-only view over one fixed-layout row. Does not own the bytes; the
+/// backing storage (Relation or TupleBatch) must outlive the view.
+class TupleRef {
+ public:
+  TupleRef(const std::byte* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  const std::byte* data() const { return data_; }
+  const Schema& schema() const { return *schema_; }
+
+  int32_t GetInt32(size_t col) const {
+    MJOIN_DCHECK(schema_->column(col).type == ColumnType::kInt32);
+    int32_t value;
+    std::memcpy(&value, data_ + schema_->offset(col), sizeof(value));
+    return value;
+  }
+
+  int64_t GetInt64(size_t col) const {
+    MJOIN_DCHECK(schema_->column(col).type == ColumnType::kInt64);
+    int64_t value;
+    std::memcpy(&value, data_ + schema_->offset(col), sizeof(value));
+    return value;
+  }
+
+  std::string_view GetString(size_t col) const {
+    MJOIN_DCHECK(schema_->column(col).type == ColumnType::kFixedString);
+    return std::string_view(
+        reinterpret_cast<const char*>(data_ + schema_->offset(col)),
+        schema_->column(col).width);
+  }
+
+  /// "(5, 17, 'AAAAx...')" — for tests and debugging.
+  std::string ToString() const;
+
+ private:
+  const std::byte* data_;
+  const Schema* schema_;
+};
+
+/// A mutable single-row buffer used to assemble tuples field by field.
+class TupleWriter {
+ public:
+  TupleWriter(std::byte* data, const Schema* schema)
+      : data_(data), schema_(schema) {}
+
+  std::byte* data() { return data_; }
+
+  void SetInt32(size_t col, int32_t value) {
+    MJOIN_DCHECK(schema_->column(col).type == ColumnType::kInt32);
+    std::memcpy(data_ + schema_->offset(col), &value, sizeof(value));
+  }
+
+  void SetInt64(size_t col, int64_t value) {
+    MJOIN_DCHECK(schema_->column(col).type == ColumnType::kInt64);
+    std::memcpy(data_ + schema_->offset(col), &value, sizeof(value));
+  }
+
+  /// Copies `text` into the fixed-width slot, space-padded / truncated.
+  void SetString(size_t col, std::string_view text) {
+    MJOIN_DCHECK(schema_->column(col).type == ColumnType::kFixedString);
+    uint32_t width = schema_->column(col).width;
+    char* dst = reinterpret_cast<char*>(data_ + schema_->offset(col));
+    size_t n = std::min<size_t>(text.size(), width);
+    std::memcpy(dst, text.data(), n);
+    if (n < width) std::memset(dst + n, ' ', width - n);
+  }
+
+  /// Copies raw bytes of column `src_col` of `src` into column `dst_col`.
+  /// Widths must match.
+  void CopyColumn(size_t dst_col, const TupleRef& src, size_t src_col) {
+    MJOIN_DCHECK(schema_->column(dst_col).width ==
+                 src.schema().column(src_col).width);
+    std::memcpy(data_ + schema_->offset(dst_col),
+                src.data() + src.schema().offset(src_col),
+                schema_->column(dst_col).width);
+  }
+
+ private:
+  std::byte* data_;
+  const Schema* schema_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STORAGE_TUPLE_H_

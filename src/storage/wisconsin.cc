@@ -1,0 +1,79 @@
+#include "storage/wisconsin.h"
+
+#include "common/random.h"
+
+namespace mjoin {
+
+const Schema& WisconsinSchema() {
+  // Function-local static reference so the Schema (non-trivial destructor)
+  // is never destroyed; see the style guide's static-storage rules.
+  static const Schema& schema = *new Schema({
+      Column::Int32("unique1"),
+      Column::Int32("unique2"),
+      Column::Int32("two"),
+      Column::Int32("four"),
+      Column::Int32("ten"),
+      Column::Int32("twenty"),
+      Column::Int32("onePercent"),
+      Column::Int32("tenPercent"),
+      Column::Int32("twentyPercent"),
+      Column::Int32("fiftyPercent"),
+      Column::Int32("unique3"),
+      Column::Int32("evenOnePercent"),
+      Column::Int32("oddOnePercent"),
+      Column::FixedString("stringu1", 52),
+      Column::FixedString("stringu2", 52),
+      Column::FixedString("string4", 52),
+  });
+  return schema;
+}
+
+std::string WisconsinString(int32_t value) {
+  // Seven significant base-26 characters (most significant first),
+  // followed by 45 'x' fillers: the classic Wisconsin string attribute.
+  std::string out(52, 'x');
+  uint32_t v = static_cast<uint32_t>(value);
+  for (int i = 6; i >= 0; --i) {
+    out[static_cast<size_t>(i)] = static_cast<char>('A' + (v % 26));
+    v /= 26;
+  }
+  return out;
+}
+
+Relation GenerateWisconsin(uint32_t cardinality, uint64_t seed) {
+  static const char* kString4Values[] = {"AAAA", "HHHH", "OOOO", "VVVV"};
+
+  Relation rel(WisconsinSchema());
+  rel.Reserve(cardinality);
+
+  // Independent permutations for unique1 and unique2: decorrelated within
+  // the relation, and (via distinct seeds) across relations.
+  Random rng(seed);
+  std::vector<uint32_t> perm1 = rng.Permutation(cardinality);
+  std::vector<uint32_t> perm2 = rng.Permutation(cardinality);
+
+  for (uint32_t i = 0; i < cardinality; ++i) {
+    int32_t u1 = static_cast<int32_t>(perm1[i]);
+    int32_t u2 = static_cast<int32_t>(perm2[i]);
+    TupleWriter w = rel.AppendTuple();
+    w.SetInt32(kUnique1, u1);
+    w.SetInt32(kUnique2, u2);
+    w.SetInt32(kTwo, u1 % 2);
+    w.SetInt32(kFour, u1 % 4);
+    w.SetInt32(kTen, u1 % 10);
+    w.SetInt32(kTwenty, u1 % 20);
+    w.SetInt32(kOnePercent, u1 % 100);
+    w.SetInt32(kTenPercent, u1 % 10);
+    w.SetInt32(kTwentyPercent, u1 % 5);
+    w.SetInt32(kFiftyPercent, u1 % 2);
+    w.SetInt32(kUnique3, u1);
+    w.SetInt32(kEvenOnePercent, (u1 % 100) * 2);
+    w.SetInt32(kOddOnePercent, (u1 % 100) * 2 + 1);
+    w.SetString(kStringU1, WisconsinString(u1));
+    w.SetString(kStringU2, WisconsinString(u2));
+    w.SetString(kString4, std::string(52, kString4Values[i % 4][0]));
+  }
+  return rel;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,59 @@
+#ifndef MJOIN_STORAGE_WISCONSIN_H_
+#define MJOIN_STORAGE_WISCONSIN_H_
+
+#include <cstdint>
+
+#include "storage/relation.h"
+
+namespace mjoin {
+
+/// The Wisconsin benchmark relation [BDT83], the test data of the paper:
+/// 13 four-byte integer attributes plus three 52-character strings for a
+/// total of 208 bytes per tuple.
+///
+/// Column order (indices):
+///   0 unique1        random permutation of 0..n-1 (candidate key)
+///   1 unique2        independent random permutation of 0..n-1. (The
+///                    original benchmark makes unique2 sequential; the
+///                    paper requires "no correlation ... between the first
+///                    and second attribute of one relation", so both are
+///                    independent permutations here.)
+///   2 two .. 12      attributes derived from unique1 (mod fields etc.)
+///  13 stringu1      string image of unique1
+///  14 stringu2      string image of unique2
+///  15 string4       cyclic AAAA/HHHH/OOOO/VVVV string
+enum WisconsinColumn : size_t {
+  kUnique1 = 0,
+  kUnique2 = 1,
+  kTwo = 2,
+  kFour = 3,
+  kTen = 4,
+  kTwenty = 5,
+  kOnePercent = 6,
+  kTenPercent = 7,
+  kTwentyPercent = 8,
+  kFiftyPercent = 9,
+  kUnique3 = 10,
+  kEvenOnePercent = 11,
+  kOddOnePercent = 12,
+  kStringU1 = 13,
+  kStringU2 = 14,
+  kString4 = 15,
+};
+
+/// The 208-byte Wisconsin schema (shared instance).
+const Schema& WisconsinSchema();
+
+/// Generates a Wisconsin relation of `cardinality` tuples. unique1 and
+/// unique2 are independent uniform permutations drawn from `seed`; two
+/// relations generated from different seeds are uncorrelated, as the
+/// paper's data generator guarantees.
+Relation GenerateWisconsin(uint32_t cardinality, uint64_t seed);
+
+/// Renders `value` as the benchmark's 52-char string attribute (7
+/// significant base-26 capital letters followed by 'x' padding).
+std::string WisconsinString(int32_t value);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STORAGE_WISCONSIN_H_

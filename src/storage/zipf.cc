@@ -1,0 +1,68 @@
+#include "storage/zipf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "storage/wisconsin.h"
+
+namespace mjoin {
+
+ZipfGenerator::ZipfGenerator(uint32_t n, double theta)
+    : n_(n), theta_(theta) {
+  MJOIN_CHECK(n > 0);
+  MJOIN_CHECK(theta >= 0);
+  cdf_.resize(n);
+  double sum = 0;
+  for (uint32_t k = 0; k < n; ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k) + 1.0, theta);
+    cdf_[k] = sum;
+  }
+  for (uint32_t k = 0; k < n; ++k) cdf_[k] /= sum;
+}
+
+uint32_t ZipfGenerator::Next(Random* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<uint32_t>(it - cdf_.begin());
+}
+
+double ZipfGenerator::TopProbability() const { return cdf_[0]; }
+
+Relation GenerateSkewedWisconsin(uint32_t cardinality, uint64_t seed,
+                                 double theta) {
+  static const char* kString4Values[] = {"AAAA", "HHHH", "OOOO", "VVVV"};
+
+  Relation rel(WisconsinSchema());
+  rel.Reserve(cardinality);
+
+  Random rng(seed);
+  ZipfGenerator zipf(cardinality, theta);
+  std::vector<uint32_t> perm2 = rng.Permutation(cardinality);
+
+  for (uint32_t i = 0; i < cardinality; ++i) {
+    int32_t u1 = static_cast<int32_t>(zipf.Next(&rng));
+    int32_t u2 = static_cast<int32_t>(perm2[i]);
+    TupleWriter w = rel.AppendTuple();
+    w.SetInt32(kUnique1, u1);
+    w.SetInt32(kUnique2, u2);
+    w.SetInt32(kTwo, u1 % 2);
+    w.SetInt32(kFour, u1 % 4);
+    w.SetInt32(kTen, u1 % 10);
+    w.SetInt32(kTwenty, u1 % 20);
+    w.SetInt32(kOnePercent, u1 % 100);
+    w.SetInt32(kTenPercent, u1 % 10);
+    w.SetInt32(kTwentyPercent, u1 % 5);
+    w.SetInt32(kFiftyPercent, u1 % 2);
+    w.SetInt32(kUnique3, u1);
+    w.SetInt32(kEvenOnePercent, (u1 % 100) * 2);
+    w.SetInt32(kOddOnePercent, (u1 % 100) * 2 + 1);
+    w.SetString(kStringU1, WisconsinString(u1));
+    w.SetString(kStringU2, WisconsinString(u2));
+    w.SetString(kString4, std::string(52, kString4Values[i % 4][0]));
+  }
+  return rel;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,47 @@
+#ifndef MJOIN_STORAGE_ZIPF_H_
+#define MJOIN_STORAGE_ZIPF_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "storage/relation.h"
+
+namespace mjoin {
+
+/// Zipf-distributed sampler over {0, 1, ..., n-1}: P(k) proportional to
+/// 1/(k+1)^theta. theta = 0 is uniform; theta = 1 the classic Zipf. Used
+/// to generate skewed join attributes — the paper assumes "non-skewed data
+/// partitioning" (§3.5) and leaves real-life (skewed) workloads as future
+/// work; the skew extension benchmarks what happens without that
+/// assumption.
+class ZipfGenerator {
+ public:
+  /// Precomputes the inverse CDF table (O(n) space).
+  ZipfGenerator(uint32_t n, double theta);
+
+  /// Draws one sample using `rng`.
+  uint32_t Next(Random* rng) const;
+
+  uint32_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+  /// Probability of the most frequent value.
+  double TopProbability() const;
+
+ private:
+  uint32_t n_;
+  double theta_;
+  std::vector<double> cdf_;
+};
+
+/// A Wisconsin-like relation whose unique1 column is *not* unique but iid
+/// Zipf(theta)-distributed over [0, cardinality); unique2 remains an
+/// independent permutation and the derived/string attributes follow the
+/// (now skewed) first attribute. With theta = 0 keys are iid uniform.
+Relation GenerateSkewedWisconsin(uint32_t cardinality, uint64_t seed,
+                                 double theta);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STORAGE_ZIPF_H_

@@ -1,0 +1,148 @@
+#include "strategy/builder.h"
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace mjoin {
+
+size_t PortKey(const XraOp& join_op, int port) {
+  MJOIN_CHECK(join_op.is_join());
+  return port == 0 ? join_op.join_spec.left_key : join_op.join_spec.right_key;
+}
+
+PlanBuilder::PlanBuilder(const JoinQuery& query, const QueryAnalysis& analysis,
+                         uint32_t num_processors, std::string strategy_name)
+    : query_(&query), analysis_(&analysis) {
+  plan_.strategy = std::move(strategy_name);
+  plan_.num_processors = num_processors;
+
+  // Assign display labels to join nodes in post order: '1'..'9', 'a'..'z'.
+  node_labels_.assign(query.tree.num_nodes(), '?');
+  int join_index = 0;
+  for (int id : query.tree.PostOrder()) {
+    if (query.tree.node(id).is_leaf()) continue;
+    char label = join_index < 9
+                     ? static_cast<char>('1' + join_index)
+                     : static_cast<char>('a' + (join_index - 9) % 26);
+    node_labels_[static_cast<size_t>(id)] = label;
+    ++join_index;
+  }
+}
+
+int PlanBuilder::AddGroup(std::vector<TriggerDep> deps) {
+  plan_.groups.push_back(TriggerGroup{std::move(deps), {}});
+  return static_cast<int>(plan_.groups.size()) - 1;
+}
+
+int PlanBuilder::NewOp(XraOpKind kind, int group) {
+  MJOIN_CHECK(group >= 0 && group < static_cast<int>(plan_.groups.size()));
+  XraOp new_op;
+  new_op.id = static_cast<int>(plan_.ops.size());
+  new_op.kind = kind;
+  new_op.trigger_group = group;
+  plan_.ops.push_back(std::move(new_op));
+  plan_.groups[static_cast<size_t>(group)].ops.push_back(plan_.ops.back().id);
+  return plan_.ops.back().id;
+}
+
+int PlanBuilder::AddJoinOp(XraOpKind kind, int node_id,
+                           std::vector<uint32_t> processors, int group) {
+  MJOIN_CHECK(kind == XraOpKind::kSimpleHashJoin ||
+              kind == XraOpKind::kPipeliningHashJoin ||
+              kind == XraOpKind::kSortMergeJoin);
+  int id = NewOp(kind, group);
+  XraOp& join = op(id);
+  join.join_spec = analysis_->node_spec[static_cast<size_t>(node_id)];
+  join.output_schema = join.join_spec.output_schema;
+  join.processors = std::move(processors);
+  join.trace_label = TraceLabelFor(node_id);
+  join.label = StrCat("join#", node_id);
+  return id;
+}
+
+int PlanBuilder::AddScanFor(int join_op, int port, const std::string& relation,
+                            int group) {
+  int id = NewOp(XraOpKind::kScan, group);
+  XraOp& scan = op(id);
+  XraOp& join = op(join_op);
+  scan.relation = relation;
+  scan.processors = join.processors;
+  scan.trace_label = join.trace_label;
+  scan.label = StrCat("scan(", relation, ")");
+  auto it = query_->base_schemas.find(relation);
+  MJOIN_CHECK(it != query_->base_schemas.end());
+  scan.output_schema = it->second;
+  scan.consumer = join_op;
+  scan.consumer_port = port;
+  join.inputs[port].producer = id;
+  join.inputs[port].routing = Routing::kColocated;
+  return id;
+}
+
+int PlanBuilder::AddRescanFor(int join_op, int port, int result_id,
+                              int group) {
+  // Locate the storing op: the rescan runs exactly on its processors.
+  // Copy what we need before NewOp — adding an op may reallocate plan_.ops
+  // and would invalidate any reference into it.
+  std::vector<uint32_t> storer_processors;
+  std::shared_ptr<const Schema> storer_schema;
+  bool found = false;
+  for (const XraOp& other : plan_.ops) {
+    if (other.store_result == result_id) {
+      storer_processors = other.processors;
+      storer_schema = other.output_schema;
+      found = true;
+    }
+  }
+  MJOIN_CHECK(found) << "rescan of unknown result " << result_id;
+
+  int id = NewOp(XraOpKind::kRescan, group);
+  XraOp& rescan = op(id);
+  XraOp& join = op(join_op);
+  rescan.stored_result = result_id;
+  rescan.processors = std::move(storer_processors);
+  rescan.trace_label = join.trace_label;
+  rescan.label = StrCat("rescan(r", result_id, ")");
+  rescan.output_schema = std::move(storer_schema);
+  rescan.consumer = join_op;
+  rescan.consumer_port = port;
+  join.inputs[port].producer = id;
+  join.inputs[port].routing = Routing::kHashSplit;
+  join.inputs[port].split_key = PortKey(join, port);
+  return id;
+}
+
+void PlanBuilder::ConnectDirect(int producer_op, int consumer_op, int port) {
+  XraOp& producer = op(producer_op);
+  XraOp& consumer = op(consumer_op);
+  MJOIN_CHECK(producer.store_result < 0 && producer.consumer < 0)
+      << "producer already has an output destination";
+  producer.consumer = consumer_op;
+  producer.consumer_port = port;
+  consumer.inputs[port].producer = producer_op;
+  consumer.inputs[port].routing = Routing::kHashSplit;
+  consumer.inputs[port].split_key = PortKey(consumer, port);
+}
+
+int PlanBuilder::StoreOutput(int op_id) {
+  XraOp& o = op(op_id);
+  MJOIN_CHECK(o.store_result < 0 && o.consumer < 0)
+      << "op already has an output destination";
+  o.store_result = plan_.num_results++;
+  return o.store_result;
+}
+
+void PlanBuilder::SetFinalResult(int op_id) {
+  plan_.final_result = StoreOutput(op_id);
+}
+
+char PlanBuilder::TraceLabelFor(int node_id) const {
+  return node_labels_[static_cast<size_t>(node_id)];
+}
+
+StatusOr<ParallelPlan> PlanBuilder::Finish() {
+  MJOIN_RETURN_IF_ERROR(plan_.Validate());
+  return std::move(plan_);
+}
+
+}  // namespace mjoin

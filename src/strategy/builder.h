@@ -1,0 +1,79 @@
+#ifndef MJOIN_STRATEGY_BUILDER_H_
+#define MJOIN_STRATEGY_BUILDER_H_
+
+#include <string>
+#include <vector>
+
+#include "plan/query.h"
+#include "xra/plan.h"
+
+namespace mjoin {
+
+/// Shared scaffolding for the four strategy implementations: owns the
+/// ParallelPlan under construction and provides the recurring wiring
+/// patterns (colocated base-relation scans, store + rescan of intermediate
+/// results, direct pipelined edges, trigger groups).
+class PlanBuilder {
+ public:
+  /// `analysis` must come from AnalyzeQuery(query) and outlive the builder.
+  PlanBuilder(const JoinQuery& query, const QueryAnalysis& analysis,
+              uint32_t num_processors, std::string strategy_name);
+
+  /// Adds a trigger group; returns its index. Groups fire once all deps
+  /// have fired (group 0: at query start).
+  int AddGroup(std::vector<TriggerDep> deps);
+
+  /// Adds a join op executing tree node `node_id` on `processors`, in
+  /// trigger group `group`. Kind must be a join kind.
+  int AddJoinOp(XraOpKind kind, int node_id, std::vector<uint32_t> processors,
+                int group);
+
+  /// Adds a base-relation scan colocated with join op `join_op`, feeding
+  /// its `port`. The relation is declustered over the join's processors on
+  /// the join key (ideal initial fragmentation), so the edge is local.
+  int AddScanFor(int join_op, int port, const std::string& relation,
+                 int group);
+
+  /// Adds a rescan of stored result `result_id` feeding `port` of
+  /// `join_op`: runs on the storing op's processors and hash-splits to the
+  /// join (an n x m refragmentation).
+  int AddRescanFor(int join_op, int port, int result_id, int group);
+
+  /// Connects producer join `producer_op` directly (pipelined, hash-split)
+  /// to `port` of `consumer_op`.
+  void ConnectDirect(int producer_op, int consumer_op, int port);
+
+  /// Marks `op` to store its output; returns the new result id.
+  int StoreOutput(int op);
+
+  /// Marks `op` as producing the final query result (stored).
+  void SetFinalResult(int op);
+
+  /// The character identifying tree node `node_id` in utilization
+  /// diagrams: joins are numbered '1'..'9' then 'a'.. in post order.
+  char TraceLabelFor(int node_id) const;
+
+  /// Validates and returns the plan.
+  StatusOr<ParallelPlan> Finish();
+
+  const JoinQuery& query() const { return *query_; }
+  const QueryAnalysis& analysis() const { return *analysis_; }
+  const ParallelPlan& plan() const { return plan_; }
+
+ private:
+  XraOp& op(int id) { return plan_.ops[static_cast<size_t>(id)]; }
+  int NewOp(XraOpKind kind, int group);
+
+  const JoinQuery* query_;
+  const QueryAnalysis* analysis_;
+  ParallelPlan plan_;
+  std::vector<char> node_labels_;
+};
+
+/// Keys a join port: the split/fragmentation column for data entering that
+/// port, taken from the op's JoinSpec.
+size_t PortKey(const XraOp& join_op, int port);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STRATEGY_BUILDER_H_

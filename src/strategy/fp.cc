@@ -1,0 +1,57 @@
+#include "strategy/fp.h"
+
+#include "plan/allocation.h"
+#include "strategy/builder.h"
+
+namespace mjoin {
+
+StatusOr<ParallelPlan> FullParallelStrategy::Parallelize(
+    const JoinQuery& query, uint32_t num_processors,
+    const TotalCostModel& cost_model) const {
+  MJOIN_RETURN_IF_ERROR(query.tree.Validate());
+
+  JoinTree tree = query.tree;
+  cost_model.Annotate(&tree);
+
+  // One private processor block per join, proportional to the join's
+  // estimated work over the whole tree.
+  std::vector<int> join_nodes;
+  std::vector<double> join_costs;
+  for (int id : tree.PostOrder()) {
+    if (tree.node(id).is_leaf()) continue;
+    join_nodes.push_back(id);
+    join_costs.push_back(tree.node(id).join_cost);
+  }
+  MJOIN_ASSIGN_OR_RETURN(std::vector<uint32_t> counts,
+                         ProportionalAllocation(join_costs, num_processors));
+  std::vector<std::vector<uint32_t>> blocks =
+      CarveBlocks(ProcessorRange(0, num_processors), counts);
+
+  MJOIN_ASSIGN_OR_RETURN(QueryAnalysis analysis, AnalyzeQuery(query));
+  PlanBuilder builder(query, analysis, num_processors, "FP");
+
+  // Everything starts at once: one trigger group.
+  int group = builder.AddGroup({});
+  std::vector<int> op_of(tree.num_nodes(), -1);
+  for (size_t i = 0; i < join_nodes.size(); ++i) {
+    int node_id = join_nodes[i];
+    const JoinTreeNode& node = tree.node(node_id);
+    int join_op = builder.AddJoinOp(XraOpKind::kPipeliningHashJoin, node_id,
+                                    blocks[i], group);
+    op_of[node_id] = join_op;
+    for (int port = 0; port < 2; ++port) {
+      int child = port == 0 ? node.left : node.right;
+      const JoinTreeNode& child_node = tree.node(child);
+      if (child_node.is_leaf()) {
+        builder.AddScanFor(join_op, port, child_node.relation, group);
+      } else {
+        // Children precede parents in post order, so the op exists.
+        builder.ConnectDirect(op_of[child], join_op, port);
+      }
+    }
+    if (node_id == tree.root()) builder.SetFinalResult(join_op);
+  }
+  return builder.Finish();
+}
+
+}  // namespace mjoin

@@ -1,0 +1,26 @@
+#ifndef MJOIN_STRATEGY_FP_H_
+#define MJOIN_STRATEGY_FP_H_
+
+#include "strategy/strategy.h"
+
+namespace mjoin {
+
+/// Full Parallel execution (§3.4, [WiA91, WAF91]): every join operation is
+/// allocated a private set of processors proportional to its estimated
+/// work, all joins start at once, and the symmetric pipelining hash-join
+/// lets results flow along *both* operands of every join, so the whole
+/// tree executes as one dataflow. Minimal startup overhead (one operation
+/// process per processor) and minimal coordination, at the price of the
+/// largest discretization error and of the delay over (bushy) pipelines.
+class FullParallelStrategy : public Strategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kFP; }
+
+  StatusOr<ParallelPlan> Parallelize(
+      const JoinQuery& query, uint32_t num_processors,
+      const TotalCostModel& cost_model) const override;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STRATEGY_FP_H_

@@ -1,0 +1,253 @@
+#include "strategy/idealized.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+#include "plan/allocation.h"
+#include "plan/segments.h"
+
+namespace mjoin {
+
+namespace {
+
+char LabelFor(double w) {
+  int iw = static_cast<int>(w);
+  return (iw >= 0 && iw < 10) ? static_cast<char>('0' + iw) : '#';
+}
+
+double WorkOf(const std::map<int, double>& work, int id) {
+  auto it = work.find(id);
+  return it == work.end() ? 1.0 : it->second;
+}
+
+// Sum of join work weights in the subtree under `id`.
+double SubtreeWork(const JoinTree& tree, const std::map<int, double>& work,
+                   int id) {
+  const JoinTreeNode& node = tree.node(id);
+  if (node.is_leaf()) return 0;
+  return WorkOf(work, id) + SubtreeWork(tree, work, node.left) +
+         SubtreeWork(tree, work, node.right);
+}
+
+void BuildSP(const JoinTree& tree, const std::map<int, double>& work,
+             uint32_t p, std::vector<IdealizedBlock>* blocks) {
+  double t = 0;
+  for (int id : tree.PostOrder()) {
+    if (tree.node(id).is_leaf()) continue;
+    double span = WorkOf(work, id) / p;
+    blocks->push_back({LabelFor(WorkOf(work, id)), 0, p, t, t + span});
+    t += span;
+  }
+}
+
+StatusOr<double> BuildSE(const JoinTree& tree,
+                         const std::map<int, double>& work, int id,
+                         uint32_t lo, uint32_t hi, double t0,
+                         std::vector<IdealizedBlock>* blocks) {
+  const JoinTreeNode& node = tree.node(id);
+  if (node.is_leaf()) return t0;
+  const JoinTreeNode& left = tree.node(node.left);
+  const JoinTreeNode& right = tree.node(node.right);
+
+  double ready = t0;
+  if (!left.is_leaf() && !right.is_leaf()) {
+    MJOIN_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> counts,
+        ProportionalAllocation({SubtreeWork(tree, work, node.left),
+                                SubtreeWork(tree, work, node.right)},
+                               hi - lo));
+    MJOIN_ASSIGN_OR_RETURN(double tl, BuildSE(tree, work, node.left, lo,
+                                              lo + counts[0], t0, blocks));
+    MJOIN_ASSIGN_OR_RETURN(double tr, BuildSE(tree, work, node.right,
+                                              lo + counts[0], hi, t0, blocks));
+    ready = std::max(tl, tr);
+  } else if (!left.is_leaf()) {
+    MJOIN_ASSIGN_OR_RETURN(ready,
+                           BuildSE(tree, work, node.left, lo, hi, t0, blocks));
+  } else if (!right.is_leaf()) {
+    MJOIN_ASSIGN_OR_RETURN(ready,
+                           BuildSE(tree, work, node.right, lo, hi, t0, blocks));
+  }
+  double span = WorkOf(work, id) / (hi - lo);
+  blocks->push_back({LabelFor(WorkOf(work, id)), lo, hi, ready, ready + span});
+  return ready + span;
+}
+
+StatusOr<double> BuildRD(const JoinTree& tree, const SegmentedTree& segmented,
+                         const std::map<int, double>& work, int segment_id,
+                         uint32_t lo, uint32_t hi, double t0,
+                         std::vector<IdealizedBlock>* blocks) {
+  const RightDeepSegment& segment =
+      segmented.segments()[static_cast<size_t>(segment_id)];
+
+  double ready = t0;
+  if (!segment.children.empty()) {
+    std::vector<double> child_work;
+    for (int child : segment.children) {
+      const RightDeepSegment& cs =
+          segmented.segments()[static_cast<size_t>(child)];
+      double w = 0;
+      for (int j : cs.joins) w += WorkOf(work, j);
+      // Include the producers of the producer, recursively, via joins of
+      // the whole child subtree: approximate with the child's top join
+      // subtree work.
+      w = SubtreeWork(tree, work, cs.joins.back());
+      child_work.push_back(w);
+    }
+    MJOIN_ASSIGN_OR_RETURN(std::vector<uint32_t> counts,
+                           ProportionalAllocation(child_work, hi - lo));
+    uint32_t offset = lo;
+    for (size_t c = 0; c < segment.children.size(); ++c) {
+      MJOIN_ASSIGN_OR_RETURN(
+          double tc, BuildRD(tree, segmented, work, segment.children[c],
+                             offset, offset + counts[c], t0, blocks));
+      ready = std::max(ready, tc);
+      offset += counts[c];
+    }
+  }
+
+  std::vector<double> join_work;
+  join_work.reserve(segment.joins.size());
+  for (int j : segment.joins) join_work.push_back(WorkOf(work, j));
+  MJOIN_ASSIGN_OR_RETURN(std::vector<uint32_t> counts,
+                         ProportionalAllocation(join_work, hi - lo));
+  // The slowest join bounds the segment; faster ones show idle holes.
+  double span = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    span = std::max(span, join_work[i] / counts[i]);
+  }
+  uint32_t offset = lo;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    blocks->push_back({LabelFor(join_work[i]), offset, offset + counts[i],
+                       ready, ready + join_work[i] / counts[i]});
+    offset += counts[i];
+  }
+  return ready + span;
+}
+
+StatusOr<double> BuildFP(const JoinTree& tree,
+                         const std::map<int, double>& work, uint32_t p,
+                         std::vector<IdealizedBlock>* blocks) {
+  std::vector<int> joins;
+  std::vector<double> weights;
+  for (int id : tree.PostOrder()) {
+    if (tree.node(id).is_leaf()) continue;
+    joins.push_back(id);
+    weights.push_back(WorkOf(work, id));
+  }
+  MJOIN_ASSIGN_OR_RETURN(std::vector<uint32_t> counts,
+                         ProportionalAllocation(weights, p));
+
+  double total = 0;
+  for (double w : weights) total += w;
+  // One pipeline step's worth of delay before a consumer sees input.
+  double delta = 0.08 * total / p;
+
+  std::map<int, double> start, end;
+  std::map<int, uint32_t> count_of;
+  for (size_t i = 0; i < joins.size(); ++i) count_of[joins[i]] = counts[i];
+
+  double makespan = 0;
+  uint32_t offset = 0;
+  for (size_t i = 0; i < joins.size(); ++i) {
+    int id = joins[i];
+    const JoinTreeNode& node = tree.node(id);
+    // Start as soon as the first operand tuples can arrive: immediately
+    // for a base operand, one pipeline step after an internal child
+    // started otherwise.
+    double s = 1e100;
+    double child_end = 0;
+    for (int child : {node.left, node.right}) {
+      if (tree.node(child).is_leaf()) {
+        s = 0;
+      } else {
+        s = std::min(s, start[child] + delta);
+        child_end = std::max(child_end, end[child] + delta);
+      }
+    }
+    double e = std::max(s + weights[i] / count_of[id], child_end);
+    start[id] = s;
+    end[id] = e;
+    blocks->push_back(
+        {LabelFor(weights[i]), offset, offset + counts[i], s, e});
+    offset += counts[i];
+    makespan = std::max(makespan, e);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+StatusOr<std::vector<IdealizedBlock>> IdealizedUtilization(
+    StrategyKind strategy, const JoinTree& tree,
+    const std::map<int, double>& work, uint32_t num_processors) {
+  MJOIN_RETURN_IF_ERROR(tree.Validate());
+  std::vector<IdealizedBlock> blocks;
+  switch (strategy) {
+    case StrategyKind::kSP:
+      BuildSP(tree, work, num_processors, &blocks);
+      break;
+    case StrategyKind::kSE:
+      MJOIN_RETURN_IF_ERROR(BuildSE(tree, work, tree.root(), 0,
+                                    num_processors, 0, &blocks)
+                                .status());
+      break;
+    case StrategyKind::kRD: {
+      // Segment structure only depends on tree shape; inject the work
+      // weights as join costs for the segment cost fields.
+      JoinTree annotated = tree;
+      for (int id : annotated.PostOrder()) {
+        JoinTreeNode& node = annotated.mutable_node(id);
+        node.join_cost = node.is_leaf() ? 0 : WorkOf(work, id);
+      }
+      for (int id : annotated.PostOrder()) {
+        JoinTreeNode& node = annotated.mutable_node(id);
+        node.subtree_cost =
+            node.is_leaf() ? 0
+                           : node.join_cost +
+                                 annotated.node(node.left).subtree_cost +
+                                 annotated.node(node.right).subtree_cost;
+      }
+      SegmentedTree segmented = SegmentedTree::Build(annotated);
+      MJOIN_RETURN_IF_ERROR(BuildRD(annotated, segmented, work,
+                                    segmented.root_segment(), 0,
+                                    num_processors, 0, &blocks)
+                                .status());
+      break;
+    }
+    case StrategyKind::kFP:
+      MJOIN_RETURN_IF_ERROR(
+          BuildFP(tree, work, num_processors, &blocks).status());
+      break;
+  }
+  return blocks;
+}
+
+std::string RenderIdealized(const std::vector<IdealizedBlock>& blocks,
+                            uint32_t num_processors, uint32_t width) {
+  double makespan = 0;
+  for (const IdealizedBlock& b : blocks) makespan = std::max(makespan, b.end);
+  if (makespan <= 0) return "";
+
+  std::vector<std::string> rows(num_processors, std::string(width, '.'));
+  for (const IdealizedBlock& b : blocks) {
+    auto c0 = static_cast<uint32_t>(b.start / makespan * width);
+    auto c1 = static_cast<uint32_t>(std::ceil(b.end / makespan * width));
+    c1 = std::min(c1, width);
+    for (uint32_t p = b.proc_lo; p < b.proc_hi && p < num_processors; ++p) {
+      for (uint32_t c = c0; c < c1; ++c) rows[p][c] = b.label;
+    }
+  }
+  std::string out;
+  for (uint32_t p = num_processors; p-- > 0;) {
+    out += PadLeft(StrCat(p), 3);
+    out += " ";
+    out += rows[p];
+    out += "\n";
+  }
+  out += "    " + std::string(width, '-') + "> time\n";
+  return out;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,55 @@
+#ifndef MJOIN_STRATEGY_IDEALIZED_H_
+#define MJOIN_STRATEGY_IDEALIZED_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "plan/join_tree.h"
+#include "strategy/strategy.h"
+
+namespace mjoin {
+
+/// One busy block of one strategy's *idealized* processor-utilization
+/// diagram: processors [proc_lo, proc_hi) work on the join labelled
+/// `label` during [start, end) (arbitrary work units; overheads ignored,
+/// exactly like the diagrams of Figures 3, 4, 6 and 7).
+struct IdealizedBlock {
+  char label = '?';
+  uint32_t proc_lo = 0;
+  uint32_t proc_hi = 0;
+  double start = 0;
+  double end = 0;
+};
+
+/// Computes the idealized utilization diagram of `strategy` for `tree` on
+/// `num_processors` processors. `work` maps join node id -> relative
+/// amount of work (the numeric labels of Figure 2); the label drawn for a
+/// join is the decimal digit of its work weight when < 10, else '#'.
+///
+/// Modeling assumptions (documented in the paper's §3):
+///  - SP: joins run post-order, each on all processors, duration w/P.
+///  - SE: CYW92 allocation; independent subtrees in parallel on
+///    processor sets proportional to subtree work; a join runs on its
+///    subtree's full set after its operands complete.
+///  - RD: producer segments first (parallel, proportional sets); within a
+///    segment each join gets processors proportional to its work and is
+///    busy for w/c of the segment span — the bottleneck join defines the
+///    span, the others show idle holes.
+///  - FP: private proportional processor sets; a join starts when its
+///    first operand tuples can arrive (a small pipeline delay after its
+///    deepest internal child starts) and cannot finish before its
+///    children (plus the delay).
+StatusOr<std::vector<IdealizedBlock>> IdealizedUtilization(
+    StrategyKind strategy, const JoinTree& tree,
+    const std::map<int, double>& work, uint32_t num_processors);
+
+/// Renders blocks as the paper's diagram: one row per processor (top row =
+/// highest id), x-axis = time, '.' = idle.
+std::string RenderIdealized(const std::vector<IdealizedBlock>& blocks,
+                            uint32_t num_processors, uint32_t width = 72);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STRATEGY_IDEALIZED_H_

@@ -1,0 +1,136 @@
+#include "strategy/rd.h"
+
+#include "plan/allocation.h"
+#include "plan/segments.h"
+#include "strategy/builder.h"
+
+namespace mjoin {
+
+namespace {
+
+// Plans `segment` (and, first, its producer segments) on `processors`;
+// returns the op id of the segment's top join.
+StatusOr<int> PlanSegment(PlanBuilder* builder, const JoinTree& tree,
+                          const SegmentedTree& segmented, int segment_id,
+                          const std::vector<uint32_t>& processors,
+                          std::vector<int>* result_of) {
+  const RightDeepSegment& segment =
+      segmented.segments()[static_cast<size_t>(segment_id)];
+
+  // Producer segments run first, in parallel on proportional disjoint
+  // subsets; this segment starts when all of them completed.
+  std::vector<TriggerDep> deps;
+  if (!segment.children.empty()) {
+    std::vector<double> child_costs;
+    child_costs.reserve(segment.children.size());
+    for (int child : segment.children) {
+      child_costs.push_back(
+          segmented.segments()[static_cast<size_t>(child)].subtree_cost);
+    }
+    MJOIN_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> counts,
+        ProportionalAllocation(child_costs,
+                               static_cast<uint32_t>(processors.size())));
+    std::vector<std::vector<uint32_t>> blocks =
+        CarveBlocks(processors, counts);
+    for (size_t c = 0; c < segment.children.size(); ++c) {
+      MJOIN_ASSIGN_OR_RETURN(
+          int child_op,
+          PlanSegment(builder, tree, segmented, segment.children[c], blocks[c],
+                      result_of));
+      deps.push_back({child_op, Milestone::kComplete});
+    }
+  }
+
+  // Processors for this segment's joins: proportional to join cost.
+  std::vector<double> join_costs;
+  join_costs.reserve(segment.joins.size());
+  for (int join : segment.joins) {
+    join_costs.push_back(tree.node(join).join_cost);
+  }
+  MJOIN_ASSIGN_OR_RETURN(
+      std::vector<uint32_t> counts,
+      ProportionalAllocation(join_costs,
+                             static_cast<uint32_t>(processors.size())));
+  std::vector<std::vector<uint32_t>> blocks = CarveBlocks(processors, counts);
+
+  // Build phase: all joins of the segment start together and load their
+  // hash tables in parallel (base-relation left operands are colocated
+  // scans; left operands produced by child segments are refragmented).
+  int build_group = builder->AddGroup(std::move(deps));
+  std::vector<int> join_ops(segment.joins.size());
+  std::vector<TriggerDep> builds_done;
+  for (size_t i = 0; i < segment.joins.size(); ++i) {
+    int node_id = segment.joins[i];
+    join_ops[i] = builder->AddJoinOp(XraOpKind::kSimpleHashJoin, node_id,
+                                     blocks[i], build_group);
+    const JoinTreeNode& left = tree.node(tree.node(node_id).left);
+    if (left.is_leaf()) {
+      builder->AddScanFor(join_ops[i], 0, left.relation, build_group);
+    } else {
+      builder->AddRescanFor(join_ops[i], 0, (*result_of)[left.id],
+                            build_group);
+    }
+    builds_done.push_back({join_ops[i], Milestone::kBuildDone});
+  }
+
+  // Probe pipeline: join i feeds join i+1's probe port directly.
+  for (size_t i = 0; i + 1 < join_ops.size(); ++i) {
+    builder->ConnectDirect(join_ops[i], join_ops[i + 1], 1);
+  }
+
+  // Probe phase: the bottom join's probe operand starts once every hash
+  // table in the segment is ready. It is a base relation (right chains end
+  // at leaves) — unless the chain was split for memory, in which case it
+  // is the stored result of the lower piece.
+  int probe_group = builder->AddGroup(std::move(builds_done));
+  if (segment.probe_from >= 0) {
+    int lower_top =
+        segmented.segments()[static_cast<size_t>(segment.probe_from)]
+            .joins.back();
+    builder->AddRescanFor(join_ops.front(), 1, (*result_of)[lower_top],
+                          probe_group);
+  } else {
+    const JoinTreeNode& bottom_right =
+        tree.node(tree.node(segment.joins.front()).right);
+    MJOIN_CHECK(bottom_right.is_leaf());
+    builder->AddScanFor(join_ops.front(), 1, bottom_right.relation,
+                        probe_group);
+  }
+
+  int top_op = join_ops.back();
+  int top_node = segment.joins.back();
+  if (top_node == tree.root()) {
+    builder->SetFinalResult(top_op);
+  } else {
+    (*result_of)[top_node] = builder->StoreOutput(top_op);
+  }
+  return top_op;
+}
+
+}  // namespace
+
+StatusOr<ParallelPlan> SegmentedRightDeepStrategy::Parallelize(
+    const JoinQuery& query, uint32_t num_processors,
+    const TotalCostModel& cost_model) const {
+  if (num_processors == 0) {
+    return Status::InvalidArgument("need at least one processor");
+  }
+  MJOIN_RETURN_IF_ERROR(query.tree.Validate());
+
+  JoinTree tree = query.tree;
+  cost_model.Annotate(&tree);
+  SegmentedTree segmented =
+      SegmentedTree::Build(tree, max_build_tuples_per_segment_);
+
+  MJOIN_ASSIGN_OR_RETURN(QueryAnalysis analysis, AnalyzeQuery(query));
+  PlanBuilder builder(query, analysis, num_processors, "RD");
+  std::vector<int> result_of(tree.num_nodes(), -1);
+  MJOIN_RETURN_IF_ERROR(
+      PlanSegment(&builder, tree, segmented, segmented.root_segment(),
+                  ProcessorRange(0, num_processors), &result_of)
+          .status());
+  return builder.Finish();
+}
+
+}  // namespace mjoin

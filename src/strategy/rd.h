@@ -1,0 +1,38 @@
+#ifndef MJOIN_STRATEGY_RD_H_
+#define MJOIN_STRATEGY_RD_H_
+
+#include "strategy/strategy.h"
+
+namespace mjoin {
+
+/// Segmented Right-Deep execution (§3.3, [CLY92], inspired by [ScD90]):
+/// the bushy tree is decomposed into right-deep segments. Within a
+/// segment, every join's hash table is built in parallel (processors per
+/// join proportional to its estimated work) and the probe stream is then
+/// pipelined bottom-to-top through the segment. Producer segments complete
+/// before their consumer segment starts; independent segments run in
+/// parallel on disjoint processor subsets. For a right-linear tree the
+/// whole query is one segment (RD = FP but with simple hash-joins); for a
+/// left-linear tree every segment is a single join (RD = SP).
+class SegmentedRightDeepStrategy : public Strategy {
+ public:
+  /// With `max_build_tuples_per_segment` > 0, right-deep chains are split
+  /// so that the build tables of each segment stay within the budget
+  /// ([CLY92]'s memory-driven segmentation); the lower piece's result is
+  /// materialized and probed by the next piece.
+  explicit SegmentedRightDeepStrategy(double max_build_tuples_per_segment = 0)
+      : max_build_tuples_per_segment_(max_build_tuples_per_segment) {}
+
+  StrategyKind kind() const override { return StrategyKind::kRD; }
+
+  StatusOr<ParallelPlan> Parallelize(
+      const JoinQuery& query, uint32_t num_processors,
+      const TotalCostModel& cost_model) const override;
+
+ private:
+  double max_build_tuples_per_segment_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STRATEGY_RD_H_

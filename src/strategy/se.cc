@@ -1,0 +1,103 @@
+#include "strategy/se.h"
+
+#include "plan/allocation.h"
+#include "strategy/builder.h"
+
+namespace mjoin {
+
+namespace {
+
+// Plans the subtree rooted at `node_id` on `processors`; returns the op id
+// of the subtree's top join. `result_of` records the stored-result id of
+// every planned join node.
+StatusOr<int> PlanSubtree(PlanBuilder* builder, const JoinTree& tree,
+                          int node_id, const std::vector<uint32_t>& processors,
+                          std::vector<int>* result_of) {
+  const JoinTreeNode& node = tree.node(node_id);
+  MJOIN_CHECK(!node.is_leaf());
+  const JoinTreeNode& left = tree.node(node.left);
+  const JoinTreeNode& right = tree.node(node.right);
+
+  // Recurse into internal children first. With two internal children the
+  // processors are split proportionally to subtree cost so both operands
+  // are ready at (about) the same time; with one internal child it gets
+  // the whole set.
+  std::vector<TriggerDep> deps;
+  if (!left.is_leaf() && !right.is_leaf()) {
+    MJOIN_ASSIGN_OR_RETURN(
+        std::vector<uint32_t> counts,
+        ProportionalAllocation({left.subtree_cost, right.subtree_cost},
+                               static_cast<uint32_t>(processors.size())));
+    std::vector<std::vector<uint32_t>> blocks =
+        CarveBlocks(processors, counts);
+    MJOIN_ASSIGN_OR_RETURN(
+        int left_op, PlanSubtree(builder, tree, node.left, blocks[0],
+                                 result_of));
+    MJOIN_ASSIGN_OR_RETURN(
+        int right_op, PlanSubtree(builder, tree, node.right, blocks[1],
+                                  result_of));
+    deps.push_back({left_op, Milestone::kComplete});
+    deps.push_back({right_op, Milestone::kComplete});
+  } else if (!left.is_leaf()) {
+    MJOIN_ASSIGN_OR_RETURN(
+        int left_op, PlanSubtree(builder, tree, node.left, processors,
+                                 result_of));
+    deps.push_back({left_op, Milestone::kComplete});
+  } else if (!right.is_leaf()) {
+    MJOIN_ASSIGN_OR_RETURN(
+        int right_op, PlanSubtree(builder, tree, node.right, processors,
+                                  result_of));
+    deps.push_back({right_op, Milestone::kComplete});
+  }
+
+  // This join runs on the subtree's full processor set once its operands
+  // are ready: build phase, then probe phase.
+  int build_group = builder->AddGroup(std::move(deps));
+  int join_op = builder->AddJoinOp(XraOpKind::kSimpleHashJoin, node_id,
+                                   processors, build_group);
+  if (left.is_leaf()) {
+    builder->AddScanFor(join_op, 0, left.relation, build_group);
+  } else {
+    builder->AddRescanFor(join_op, 0, (*result_of)[node.left], build_group);
+  }
+  int probe_group = builder->AddGroup({{join_op, Milestone::kBuildDone}});
+  if (right.is_leaf()) {
+    builder->AddScanFor(join_op, 1, right.relation, probe_group);
+  } else {
+    builder->AddRescanFor(join_op, 1, (*result_of)[node.right], probe_group);
+  }
+
+  if (node_id == tree.root()) {
+    builder->SetFinalResult(join_op);
+  } else {
+    (*result_of)[node_id] = builder->StoreOutput(join_op);
+  }
+  return join_op;
+}
+
+}  // namespace
+
+StatusOr<ParallelPlan> SynchronousExecutionStrategy::Parallelize(
+    const JoinQuery& query, uint32_t num_processors,
+    const TotalCostModel& cost_model) const {
+  if (num_processors == 0) {
+    return Status::InvalidArgument("need at least one processor");
+  }
+  MJOIN_RETURN_IF_ERROR(query.tree.Validate());
+
+  // Annotate a private copy of the tree with the cost model (subtree costs
+  // drive the proportional split).
+  JoinTree tree = query.tree;
+  cost_model.Annotate(&tree);
+
+  MJOIN_ASSIGN_OR_RETURN(QueryAnalysis analysis, AnalyzeQuery(query));
+  PlanBuilder builder(query, analysis, num_processors, "SE");
+  std::vector<int> result_of(tree.num_nodes(), -1);
+  MJOIN_RETURN_IF_ERROR(
+      PlanSubtree(&builder, tree, tree.root(),
+                  ProcessorRange(0, num_processors), &result_of)
+          .status());
+  return builder.Finish();
+}
+
+}  // namespace mjoin

@@ -1,0 +1,27 @@
+#ifndef MJOIN_STRATEGY_SE_H_
+#define MJOIN_STRATEGY_SE_H_
+
+#include "strategy/strategy.h"
+
+namespace mjoin {
+
+/// Synchronous Execution (§3.2, [CYW92]): independent subtrees of a bushy
+/// tree are evaluated in parallel on disjoint processor sets sized
+/// proportionally to the total work in each subtree, so both operands of a
+/// bushy join are expected to be ready at the same time. A join starts
+/// only after its operands are complete (no pipelining); the simple
+/// hash-join is used and intermediate results are materialized and
+/// refragmented. For linear trees there are no independent subtrees and SE
+/// degenerates to SP.
+class SynchronousExecutionStrategy : public Strategy {
+ public:
+  StrategyKind kind() const override { return StrategyKind::kSE; }
+
+  StatusOr<ParallelPlan> Parallelize(
+      const JoinQuery& query, uint32_t num_processors,
+      const TotalCostModel& cost_model) const override;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STRATEGY_SE_H_

@@ -1,0 +1,70 @@
+#include "strategy/sp.h"
+
+#include "plan/allocation.h"
+#include "strategy/builder.h"
+
+namespace mjoin {
+
+StatusOr<ParallelPlan> SequentialParallelStrategy::Parallelize(
+    const JoinQuery& query, uint32_t num_processors,
+    const TotalCostModel& cost_model) const {
+  if (num_processors == 0) {
+    return Status::InvalidArgument("need at least one processor");
+  }
+  if (join_algorithm_ != XraOpKind::kSimpleHashJoin &&
+      join_algorithm_ != XraOpKind::kSortMergeJoin) {
+    return Status::InvalidArgument(
+        "SP supports the simple hash-join or the sort-merge join");
+  }
+  MJOIN_RETURN_IF_ERROR(query.tree.Validate());
+  MJOIN_ASSIGN_OR_RETURN(QueryAnalysis analysis, AnalyzeQuery(query));
+  PlanBuilder builder(query, analysis, num_processors, "SP");
+
+  const JoinTree& tree = query.tree;
+  std::vector<uint32_t> all = ProcessorRange(0, num_processors);
+  std::vector<int> result_of(tree.num_nodes(), -1);
+  int prev_join = -1;
+
+  for (int id : tree.PostOrder()) {
+    const JoinTreeNode& node = tree.node(id);
+    if (node.is_leaf()) continue;
+
+    // Build phase: the join plus its build (left) source start once the
+    // previous join of the sequence has completed.
+    std::vector<TriggerDep> deps;
+    if (prev_join >= 0) deps.push_back({prev_join, Milestone::kComplete});
+    int build_group = builder.AddGroup(std::move(deps));
+    int join_op = builder.AddJoinOp(join_algorithm_, id, all, build_group);
+
+    const JoinTreeNode& left = tree.node(node.left);
+    if (left.is_leaf()) {
+      builder.AddScanFor(join_op, 0, left.relation, build_group);
+    } else {
+      builder.AddRescanFor(join_op, 0, result_of[node.left], build_group);
+    }
+
+    // Probe phase: with the simple hash-join the probe source starts once
+    // the hash table is built; the sort-merge join buffers both operands
+    // anyway, so its right source starts with the join.
+    int probe_group =
+        join_algorithm_ == XraOpKind::kSimpleHashJoin
+            ? builder.AddGroup({{join_op, Milestone::kBuildDone}})
+            : build_group;
+    const JoinTreeNode& right = tree.node(node.right);
+    if (right.is_leaf()) {
+      builder.AddScanFor(join_op, 1, right.relation, probe_group);
+    } else {
+      builder.AddRescanFor(join_op, 1, result_of[node.right], probe_group);
+    }
+
+    if (id == tree.root()) {
+      builder.SetFinalResult(join_op);
+    } else {
+      result_of[id] = builder.StoreOutput(join_op);
+    }
+    prev_join = join_op;
+  }
+  return builder.Finish();
+}
+
+}  // namespace mjoin

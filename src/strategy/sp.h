@@ -1,0 +1,36 @@
+#ifndef MJOIN_STRATEGY_SP_H_
+#define MJOIN_STRATEGY_SP_H_
+
+#include "strategy/strategy.h"
+
+namespace mjoin {
+
+/// Sequential Parallel execution (§3.1): the constituent joins are
+/// executed sequentially (post order), each using *all* available
+/// processors with the simple hash-join. No inter-operator parallelism and
+/// no pipelining; every intermediate result is materialized and then
+/// refragmented for the next join (an n x m stream redistribution — the
+/// source of SP's coordination overhead). Needs no cost function and has
+/// perfect idealized load balancing.
+class SequentialParallelStrategy : public Strategy {
+ public:
+  /// `join_algorithm` selects the physical join: the default simple
+  /// hash-join, or kSortMergeJoin for the [SCD89] baseline comparison
+  /// (sort-merge is a pipeline breaker, so only SP can host it).
+  explicit SequentialParallelStrategy(
+      XraOpKind join_algorithm = XraOpKind::kSimpleHashJoin)
+      : join_algorithm_(join_algorithm) {}
+
+  StrategyKind kind() const override { return StrategyKind::kSP; }
+
+  StatusOr<ParallelPlan> Parallelize(
+      const JoinQuery& query, uint32_t num_processors,
+      const TotalCostModel& cost_model) const override;
+
+ private:
+  XraOpKind join_algorithm_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STRATEGY_SP_H_

@@ -1,0 +1,40 @@
+#include "strategy/strategy.h"
+
+#include "common/logging.h"
+#include "strategy/fp.h"
+#include "strategy/rd.h"
+#include "strategy/se.h"
+#include "strategy/sp.h"
+
+namespace mjoin {
+
+std::string StrategyName(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kSP:
+      return "SP";
+    case StrategyKind::kSE:
+      return "SE";
+    case StrategyKind::kRD:
+      return "RD";
+    case StrategyKind::kFP:
+      return "FP";
+  }
+  return "?";
+}
+
+std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind) {
+  switch (kind) {
+    case StrategyKind::kSP:
+      return std::make_unique<SequentialParallelStrategy>();
+    case StrategyKind::kSE:
+      return std::make_unique<SynchronousExecutionStrategy>();
+    case StrategyKind::kRD:
+      return std::make_unique<SegmentedRightDeepStrategy>();
+    case StrategyKind::kFP:
+      return std::make_unique<FullParallelStrategy>();
+  }
+  MJOIN_CHECK(false) << "unknown strategy kind";
+  return nullptr;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,63 @@
+#ifndef MJOIN_STRATEGY_STRATEGY_H_
+#define MJOIN_STRATEGY_STRATEGY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "plan/cost_model.h"
+#include "plan/query.h"
+#include "xra/plan.h"
+
+namespace mjoin {
+
+/// The four parallel execution strategies compared by the paper (§3).
+enum class StrategyKind {
+  /// Sequential Parallel: joins run one after another, each with maximal
+  /// intra-operator parallelism; no inter-operator parallelism; simple
+  /// hash-join; needs no cost function.
+  kSP,
+  /// Synchronous Execution [CYW92]: independent subtrees run in parallel
+  /// on processor sets proportional to subtree cost; simple hash-join.
+  kSE,
+  /// Segmented Right-Deep [CLY92]: the tree is cut into right-deep
+  /// segments; within a segment all builds load in parallel and the probe
+  /// stream is pipelined; independent segments run in parallel.
+  kRD,
+  /// Full Parallel [WiA91]: every join gets a private processor set
+  /// proportional to its cost and all joins run at once, pipelining along
+  /// both operands via the symmetric pipelining hash-join.
+  kFP,
+};
+
+inline constexpr StrategyKind kAllStrategies[] = {
+    StrategyKind::kSP, StrategyKind::kSE, StrategyKind::kRD, StrategyKind::kFP};
+
+std::string StrategyName(StrategyKind kind);
+
+/// A phase-2 parallelizer: turns a join tree (phase-1 output) into a
+/// parallel execution plan for `num_processors` processors.
+class Strategy {
+ public:
+  virtual ~Strategy() = default;
+
+  virtual StrategyKind kind() const = 0;
+  std::string name() const { return StrategyName(kind()); }
+
+  /// Parallelizes `query` over `num_processors` workers. The cost model is
+  /// used for proportional processor allocation (SP ignores it, as the
+  /// paper notes). Fails with InvalidArgument when the strategy cannot
+  /// place the query on that few processors (e.g. FP with fewer
+  /// processors than joins).
+  virtual StatusOr<ParallelPlan> Parallelize(
+      const JoinQuery& query, uint32_t num_processors,
+      const TotalCostModel& cost_model) const = 0;
+};
+
+/// Factory for the four built-in strategies.
+std::unique_ptr<Strategy> MakeStrategy(StrategyKind kind);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_STRATEGY_STRATEGY_H_

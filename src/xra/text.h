@@ -1,0 +1,37 @@
+#ifndef MJOIN_XRA_TEXT_H_
+#define MJOIN_XRA_TEXT_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "xra/plan.h"
+
+namespace mjoin {
+
+/// Textual form of a ParallelPlan — the analogue of PRISMA/DB's textual
+/// XRA language. The format is line-oriented and stable:
+///
+///   mjoin-plan v1
+///   strategy FP
+///   processors 16
+///   results 1 final 0
+///   schema 0 unique1:i32 unique2:i32 stringu1:str52 ...
+///   group 0
+///   group 1 dep 3 build-done
+///   op 0 scan group 0 label "scan(rel0)" trace 49 procs 0,1,2,3
+///      schema 0 relation rel0 feed 2 0 colocated
+///   op 2 simple-hash-join group 0 label "join#4" trace 49 procs 0,1
+///      schema 1 left 0 right 0 lkey 0 rkey 0 outputs L1,R1,R2 store 0
+///
+/// (an `op` record is one line; it is wrapped here for readability).
+/// Schemas are interned structurally and referenced by index.
+///
+/// SerializePlan always produces a parseable string; ParsePlan validates
+/// the reconstructed plan, so a parsed plan is ready for execution.
+std::string SerializePlan(const ParallelPlan& plan);
+
+StatusOr<ParallelPlan> ParsePlan(const std::string& text);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_XRA_TEXT_H_

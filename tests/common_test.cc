@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/status.h"
+#include "common/statusor.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace mjoin {
+namespace {
+
+// --- Status / StatusOr ------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad knob");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad knob");
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad knob");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
+        StatusCode::kInternal, StatusCode::kResourceExhausted}) {
+    EXPECT_NE(StatusCodeToString(code), "Unknown");
+  }
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return Status::OutOfRange("not positive");
+  return x;
+}
+
+Status UseParsed(int x, int* out) {
+  MJOIN_ASSIGN_OR_RETURN(*out, ParsePositive(x));
+  return Status::OK();
+}
+
+TEST(StatusOrTest, ValueAndErrorPaths) {
+  StatusOr<int> good = ParsePositive(4);
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, 4);
+
+  StatusOr<int> bad = ParsePositive(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseParsed(7, &out).ok());
+  EXPECT_EQ(out, 7);
+  EXPECT_EQ(UseParsed(-7, &out).code(), StatusCode::kOutOfRange);
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> boxed = std::make_unique<int>(5);
+  ASSERT_TRUE(boxed.ok());
+  std::unique_ptr<int> owned = std::move(boxed).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+// --- Random -----------------------------------------------------------------
+
+TEST(RandomTest, DeterministicFromSeed) {
+  Random a(123), b(123), c(124);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RandomTest, UniformWithinBound) {
+  Random rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, PermutationIsPermutation) {
+  Random rng(42);
+  std::vector<uint32_t> perm = rng.Permutation(1000);
+  std::set<uint32_t> values(perm.begin(), perm.end());
+  EXPECT_EQ(values.size(), 1000u);
+  EXPECT_EQ(*values.begin(), 0u);
+  EXPECT_EQ(*values.rbegin(), 999u);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RandomTest, Mix64AvalanchesSmallDifferences) {
+  // Consecutive inputs should produce very different outputs.
+  EXPECT_NE(Mix64(1) >> 32, Mix64(2) >> 32);
+  EXPECT_NE(Mix64(1) & 0xffff, Mix64(2) & 0xffff);
+}
+
+// --- String utilities --------------------------------------------------------
+
+TEST(StringUtilTest, StrCatMixesTypes) {
+  EXPECT_EQ(StrCat("P=", 80, " t=", 1.5), "P=80 t=1.5");
+  EXPECT_EQ(StrCat(), "");
+}
+
+TEST(StringUtilTest, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"solo"}, ","), "solo");
+}
+
+TEST(StringUtilTest, StrSplitKeepsEmptyFields) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StrSplit("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 4), "ab  ");
+  EXPECT_EQ(PadRight("abcdef", 4), "abcd");
+  EXPECT_EQ(PadLeft("ab", 4), "  ab");
+  EXPECT_EQ(PadLeft("abcdef", 4), "abcdef");
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+TEST(StringUtilTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(1536), "1.5 KiB");
+  EXPECT_EQ(FormatBytes(3 * 1024 * 1024), "3.0 MiB");
+}
+
+// --- TablePrinter -------------------------------------------------------------
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter table({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "22"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(out.find("| longer | 22    |"), std::string::npos);
+  EXPECT_EQ(table.num_rows(), 2u);
+}
+
+TEST(TablePrinterTest, SeparatorRendersAsRule) {
+  TablePrinter table({"a"});
+  table.AddRow({"1"});
+  table.AddSeparator();
+  table.AddRow({"2"});
+  std::string out = table.ToString();
+  // header rule + top + bottom + middle separator = 4 rules.
+  size_t rules = 0;
+  for (size_t pos = out.find("+--"); pos != std::string::npos;
+       pos = out.find("+--", pos + 1)) {
+    ++rules;
+  }
+  EXPECT_EQ(rules, 4u);
+}
+
+// --- Stats ---------------------------------------------------------------------
+
+TEST(StatsTest, AccumulatorMoments) {
+  StatsAccumulator acc;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.Add(v);
+  EXPECT_EQ(acc.count(), 8);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+  EXPECT_NEAR(acc.stddev(), 2.1380899, 1e-6);
+}
+
+TEST(StatsTest, EmptyAccumulatorIsZero) {
+  StatsAccumulator acc;
+  EXPECT_EQ(acc.count(), 0);
+  EXPECT_EQ(acc.mean(), 0);
+  EXPECT_EQ(acc.stddev(), 0);
+}
+
+TEST(StatsTest, Percentiles) {
+  PercentileTracker tracker;
+  for (int i = 1; i <= 100; ++i) tracker.Add(i);
+  EXPECT_DOUBLE_EQ(tracker.Percentile(0), 1);
+  EXPECT_DOUBLE_EQ(tracker.Percentile(100), 100);
+  EXPECT_NEAR(tracker.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(tracker.Percentile(90), 90.1, 1e-9);
+}
+
+}  // namespace
+}  // namespace mjoin

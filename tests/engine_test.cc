@@ -1,0 +1,304 @@
+#include <gtest/gtest.h>
+
+#include "engine/controller.h"
+#include "engine/database.h"
+#include "engine/experiment.h"
+#include "engine/reference.h"
+#include "engine/result.h"
+#include "engine/sim_executor.h"
+#include "storage/partitioner.h"
+#include "plan/wisconsin_query.h"
+#include "storage/wisconsin.h"
+#include "strategy/strategy.h"
+
+namespace mjoin {
+namespace {
+
+// --- Database -----------------------------------------------------------------
+
+TEST(DatabaseTest, AddGetAndDuplicates) {
+  Database db;
+  ASSERT_TRUE(db.Add("r", GenerateWisconsin(10, 1)).ok());
+  EXPECT_EQ(db.Add("r", GenerateWisconsin(10, 2)).code(),
+            StatusCode::kAlreadyExists);
+  auto rel = db.Get("r");
+  ASSERT_TRUE(rel.ok());
+  EXPECT_EQ((*rel)->num_tuples(), 10u);
+  EXPECT_EQ(db.Get("missing").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(db.Contains("r"));
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(DatabaseTest, WisconsinDatabaseHasIndependentRelations) {
+  Database db = MakeWisconsinDatabase(3, 100, 5);
+  EXPECT_EQ(db.size(), 3u);
+  auto r0 = db.Get("rel0");
+  auto r1 = db.Get("rel1");
+  ASSERT_TRUE(r0.ok() && r1.ok());
+  bool differs = false;
+  for (size_t i = 0; i < 100; ++i) {
+    differs |= (*r0)->tuple(i).GetInt32(kUnique1) !=
+               (*r1)->tuple(i).GetInt32(kUnique1);
+  }
+  EXPECT_TRUE(differs);
+  EXPECT_EQ(db.TotalBytes(), 3u * 100u * 208u);
+}
+
+// --- ResultSummary -------------------------------------------------------------
+
+TEST(ResultTest, ChecksumIsOrderInsensitive) {
+  Relation rel = GenerateWisconsin(100, 3);
+  // Partition and summarize fragments vs the whole relation.
+  auto parts = HashPartition(rel, kUnique1, 7);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ(SummarizeRelation(rel), SummarizeFragments(*parts));
+}
+
+TEST(ResultTest, ChecksumDetectsContentChanges) {
+  Relation a = GenerateWisconsin(100, 3);
+  Relation b = GenerateWisconsin(100, 4);
+  EXPECT_FALSE(SummarizeRelation(a) == SummarizeRelation(b));
+  EXPECT_EQ(SummarizeRelation(a).cardinality, 100u);
+}
+
+TEST(ResultTest, HashRowBytesSensitiveToEveryByte) {
+  std::vector<std::byte> row(16, std::byte{0});
+  uint64_t base = HashRowBytes(row.data(), row.size());
+  for (size_t i = 0; i < row.size(); ++i) {
+    std::vector<std::byte> tweaked = row;
+    tweaked[i] = std::byte{1};
+    EXPECT_NE(HashRowBytes(tweaked.data(), tweaked.size()), base)
+        << "byte " << i;
+  }
+}
+
+// --- QueryController ------------------------------------------------------------
+
+ParallelPlan TwoGroupPlan() {
+  auto query = MakeWisconsinChainQuery(QueryShape::kLeftLinear, 3, 50);
+  MJOIN_CHECK(query.ok());
+  auto plan = MakeStrategy(StrategyKind::kSP)
+                  ->Parallelize(*query, 4, TotalCostModel());
+  MJOIN_CHECK(plan.ok());
+  return *std::move(plan);
+}
+
+TEST(ControllerTest, GroupsFireWhenDepsComplete) {
+  ParallelPlan plan = TwoGroupPlan();
+  QueryController controller(&plan);
+  std::vector<int> initial = controller.TakeInitialGroups();
+  ASSERT_FALSE(initial.empty());
+  EXPECT_EQ(initial[0], 0);
+  // Initial groups are only reported once.
+  EXPECT_TRUE(controller.TakeInitialGroups().empty());
+  EXPECT_FALSE(controller.AllOpsComplete());
+
+  // Completing all instances of all ops fires every group exactly once and
+  // ends the query.
+  std::set<int> fired(initial.begin(), initial.end());
+  for (const XraOp& op : plan.ops) {
+    for (uint32_t i = 0; i < op.processors.size(); ++i) {
+      if (op.kind == XraOpKind::kSimpleHashJoin) {
+        for (int g :
+             controller.OnInstanceMilestone(op.id, i, Milestone::kBuildDone)) {
+          EXPECT_TRUE(fired.insert(g).second);
+        }
+      }
+      for (int g :
+           controller.OnInstanceMilestone(op.id, i, Milestone::kComplete)) {
+        EXPECT_TRUE(fired.insert(g).second);
+      }
+    }
+  }
+  EXPECT_TRUE(controller.AllOpsComplete());
+  EXPECT_EQ(fired.size(), plan.groups.size());
+}
+
+TEST(ControllerTest, OpMilestoneNeedsAllInstances) {
+  ParallelPlan plan = TwoGroupPlan();
+  QueryController controller(&plan);
+  controller.TakeInitialGroups();
+  int op = plan.groups[0].ops[0];
+  uint32_t instances =
+      static_cast<uint32_t>(plan.ops[static_cast<size_t>(op)].processors.size());
+  ASSERT_GT(instances, 1u);
+  for (uint32_t i = 0; i + 1 < instances; ++i) {
+    controller.OnInstanceMilestone(op, i, Milestone::kComplete);
+    EXPECT_FALSE(controller.OpMilestoneFired(op, Milestone::kComplete));
+  }
+  controller.OnInstanceMilestone(op, instances - 1, Milestone::kComplete);
+  EXPECT_TRUE(controller.OpMilestoneFired(op, Milestone::kComplete));
+}
+
+// --- Reference executor -----------------------------------------------------------
+
+TEST(ReferenceTest, ChainQueryIsOneToOne) {
+  Database db = MakeWisconsinDatabase(4, 300, 9);
+  auto query = MakeWisconsinChainQuery(QueryShape::kLeftLinear, 4, 300);
+  ASSERT_TRUE(query.ok());
+  auto result = ExecuteReference(*query, db);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_tuples(), 300u);
+  EXPECT_EQ(result->schema().tuple_size(), 208u);
+}
+
+TEST(ReferenceTest, ShapeChangesContentButNotCardinality) {
+  Database db = MakeWisconsinDatabase(6, 200, 21);
+  auto linear = MakeWisconsinChainQuery(QueryShape::kLeftLinear, 6, 200);
+  auto bushy = MakeWisconsinChainQuery(QueryShape::kWideBushy, 6, 200);
+  ASSERT_TRUE(linear.ok() && bushy.ok());
+  auto a = ReferenceSummary(*linear, db);
+  auto b = ReferenceSummary(*bushy, db);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->cardinality, 200u);
+  EXPECT_EQ(b->cardinality, 200u);
+  // Different shapes project different operands: contents differ.
+  EXPECT_NE(a->checksum, b->checksum);
+}
+
+// --- SimExecutor properties -----------------------------------------------------
+
+TEST(SimExecutorTest, DeterministicAcrossRuns) {
+  Database db = MakeWisconsinDatabase(5, 400, 33);
+  auto query = MakeWisconsinChainQuery(QueryShape::kRightOrientedBushy, 5,
+                                       400);
+  ASSERT_TRUE(query.ok());
+  auto plan = MakeStrategy(StrategyKind::kFP)
+                  ->Parallelize(*query, 8, TotalCostModel());
+  ASSERT_TRUE(plan.ok());
+  SimExecutor executor(&db);
+  auto run1 = executor.Execute(*plan, SimExecOptions());
+  auto run2 = executor.Execute(*plan, SimExecOptions());
+  ASSERT_TRUE(run1.ok() && run2.ok());
+  EXPECT_EQ(run1->response_ticks, run2->response_ticks);
+  EXPECT_EQ(run1->result, run2->result);
+  EXPECT_EQ(run1->events, run2->events);
+}
+
+TEST(SimExecutorTest, MaterializedResultMatchesReference) {
+  Database db = MakeWisconsinDatabase(4, 250, 11);
+  auto query = MakeWisconsinChainQuery(QueryShape::kWideBushy, 4, 250);
+  ASSERT_TRUE(query.ok());
+  auto plan = MakeStrategy(StrategyKind::kSE)
+                  ->Parallelize(*query, 6, TotalCostModel());
+  ASSERT_TRUE(plan.ok());
+  SimExecutor executor(&db);
+  SimExecOptions options;
+  options.materialize_result = true;
+  auto run = executor.Execute(*plan, options);
+  ASSERT_TRUE(run.ok());
+  ASSERT_TRUE(run->materialized.has_value());
+  auto reference = ExecuteReference(*query, db);
+  ASSERT_TRUE(reference.ok());
+  EXPECT_EQ(SummarizeRelation(*run->materialized),
+            SummarizeRelation(*reference));
+}
+
+TEST(SimExecutorTest, TraceRecordsUtilization) {
+  Database db = MakeWisconsinDatabase(3, 200, 13);
+  auto query = MakeWisconsinChainQuery(QueryShape::kLeftLinear, 3, 200);
+  ASSERT_TRUE(query.ok());
+  auto plan = MakeStrategy(StrategyKind::kSP)
+                  ->Parallelize(*query, 4, TotalCostModel());
+  ASSERT_TRUE(plan.ok());
+  SimExecutor executor(&db);
+  SimExecOptions options;
+  options.record_trace = true;
+  auto run = executor.Execute(*plan, options);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT(run->utilization, 0.0);
+  EXPECT_LE(run->utilization, 1.0);
+  EXPECT_FALSE(run->utilization_diagram.empty());
+}
+
+TEST(SimExecutorTest, CountersMatchPlanShape) {
+  Database db = MakeWisconsinDatabase(4, 100, 17);
+  auto query = MakeWisconsinChainQuery(QueryShape::kLeftLinear, 4, 100);
+  ASSERT_TRUE(query.ok());
+  auto plan = MakeStrategy(StrategyKind::kSP)
+                  ->Parallelize(*query, 5, TotalCostModel());
+  ASSERT_TRUE(plan.ok());
+  SimExecutor executor(&db);
+  auto run = executor.Execute(*plan, SimExecOptions());
+  ASSERT_TRUE(run.ok());
+  // 3 joins x 5 processors = 15 join processes; streams from the plan.
+  EXPECT_EQ(run->counters.processes_started, 15u);
+  EXPECT_EQ(run->counters.streams_opened, plan->CountStreams());
+  EXPECT_GT(run->counters.tuples_sent, 0u);
+}
+
+TEST(SimExecutorTest, MoreProcessorsReduceWorkDominatedResponse) {
+  Database db = MakeWisconsinDatabase(6, 2000, 19);
+  auto query = MakeWisconsinChainQuery(QueryShape::kWideBushy, 6, 2000);
+  ASSERT_TRUE(query.ok());
+  SimExecutor executor(&db);
+  auto strategy = MakeStrategy(StrategyKind::kFP);
+  auto p6 = strategy->Parallelize(*query, 6, TotalCostModel());
+  auto p24 = strategy->Parallelize(*query, 24, TotalCostModel());
+  ASSERT_TRUE(p6.ok() && p24.ok());
+  auto slow = executor.Execute(*p6, SimExecOptions());
+  auto fast = executor.Execute(*p24, SimExecOptions());
+  ASSERT_TRUE(slow.ok() && fast.ok());
+  EXPECT_LT(fast->response_ticks, slow->response_ticks);
+}
+
+TEST(SimExecutorTest, FpUsesMoreJoinMemoryThanRd) {
+  // The paper (§5): "RD uses less memory than FP because only one
+  // hash-table needs to be built."
+  Database db = MakeWisconsinDatabase(6, 1000, 23);
+  auto query = MakeWisconsinChainQuery(QueryShape::kRightLinear, 6, 1000);
+  ASSERT_TRUE(query.ok());
+  SimExecutor executor(&db);
+  auto fp_plan = MakeStrategy(StrategyKind::kFP)
+                     ->Parallelize(*query, 10, TotalCostModel());
+  auto rd_plan = MakeStrategy(StrategyKind::kRD)
+                     ->Parallelize(*query, 10, TotalCostModel());
+  ASSERT_TRUE(fp_plan.ok() && rd_plan.ok());
+  auto fp = executor.Execute(*fp_plan, SimExecOptions());
+  auto rd = executor.Execute(*rd_plan, SimExecOptions());
+  ASSERT_TRUE(fp.ok() && rd.ok());
+  EXPECT_GT(fp->join_memory_bytes, rd->join_memory_bytes);
+}
+
+// --- Experiment harness -----------------------------------------------------------
+
+TEST(ExperimentTest, SweepProducesAllPoints) {
+  ExperimentConfig config;
+  config.shape = QueryShape::kWideBushy;
+  config.num_relations = 4;
+  config.cardinality = 200;
+  config.processors = {4, 8};
+  config.verify = true;
+  auto result = RunShapeExperiment(config);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->points.size(), 8u);  // 4 strategies x 2 P
+  const ExperimentPoint* best = result->Best();
+  ASSERT_NE(best, nullptr);
+  EXPECT_TRUE(best->seconds.has_value());
+  std::string table = result->ToTable();
+  EXPECT_NE(table.find("SP [s]"), std::string::npos);
+}
+
+TEST(ExperimentTest, UnplaceableStrategyGetsEmptyCell) {
+  ExperimentConfig config;
+  config.shape = QueryShape::kLeftLinear;
+  config.num_relations = 6;  // 5 joins
+  config.cardinality = 100;
+  config.processors = {3};  // FP needs >= 5
+  config.strategies = {StrategyKind::kFP};
+  config.verify = false;
+  auto result = RunShapeExperiment(config);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->points.size(), 1u);
+  EXPECT_FALSE(result->points[0].seconds.has_value());
+  EXPECT_EQ(result->Best(), nullptr);
+}
+
+TEST(ExperimentTest, PaperProcessorSweeps) {
+  EXPECT_EQ(SmallExperimentProcessors().front(), 20u);
+  EXPECT_EQ(LargeExperimentProcessors().front(), 30u);
+  EXPECT_EQ(SmallExperimentProcessors().back(), 80u);
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/reference.h"
+#include "engine/sim_executor.h"
+#include "engine/thread_executor.h"
+#include "opt/general_query.h"
+#include "opt/optimizer.h"
+#include "strategy/strategy.h"
+
+namespace mjoin {
+namespace {
+
+// Builds a Database from a generated instance.
+Database ToDatabase(GeneralQueryInstance* instance) {
+  Database db;
+  for (size_t i = 0; i < instance->data.size(); ++i) {
+    MJOIN_CHECK_OK(db.Add(instance->spec.relations()[i].name,
+                          std::move(instance->data[i])));
+  }
+  instance->data.clear();
+  return db;
+}
+
+TEST(GeneralQueryTest, SpecValidation) {
+  GeneralQuerySpec spec;
+  auto schema = std::make_shared<const Schema>(
+      Schema({Column::Int32("pk"), Column::FixedString("s", 4)}));
+  int a = spec.AddRelation("a", 100, schema);
+  int b = spec.AddRelation("b", 100, schema);
+  EXPECT_FALSE(spec.AddEquiJoin(a, 0, a, 0).ok());   // self join
+  EXPECT_FALSE(spec.AddEquiJoin(a, 1, b, 0).ok());   // string column
+  EXPECT_FALSE(spec.AddEquiJoin(a, 9, b, 0).ok());   // bad column
+  EXPECT_TRUE(spec.AddEquiJoin(a, 0, b, 0).ok());
+}
+
+TEST(GeneralQueryTest, SnowflakeGeneratorShapes) {
+  auto instance = MakeRandomSnowflakeQuery(8, 200, /*seed=*/5);
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->spec.relations().size(), 8u);
+  EXPECT_EQ(instance->spec.predicates().size(), 7u);  // tree-shaped
+  EXPECT_EQ(instance->data.size(), 8u);
+  // The hub has no fk column; every other relation has one.
+  EXPECT_EQ(instance->spec.relations()[0].schema->num_columns(), 3u);
+  for (size_t i = 1; i < 8; ++i) {
+    EXPECT_EQ(instance->spec.relations()[i].schema->num_columns(), 4u);
+  }
+  JoinGraph graph = instance->spec.ToJoinGraph();
+  EXPECT_TRUE(graph.IsConnected());
+}
+
+TEST(GeneralQueryTest, BindRejectsCartesianTrees) {
+  GeneralQuerySpec spec;
+  auto schema =
+      std::make_shared<const Schema>(Schema({Column::Int32("pk")}));
+  spec.AddRelation("a", 10, schema);
+  spec.AddRelation("b", 10, schema);
+  spec.AddRelation("c", 10, schema);
+  ASSERT_TRUE(spec.AddEquiJoin(0, 0, 1, 0).ok());
+  ASSERT_TRUE(spec.AddEquiJoin(1, 0, 2, 0).ok());
+  // Tree joining a with c first: no predicate connects {a} and {c}.
+  JoinTree tree;
+  int a = tree.AddLeaf("a", 10);
+  int c = tree.AddLeaf("c", 10);
+  int ac = tree.AddJoin(a, c, 10);
+  int b = tree.AddLeaf("b", 10);
+  tree.AddJoin(ac, b, 10);
+  EXPECT_EQ(spec.BindTree(tree).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+// End-to-end property: for random snowflake queries, the phase-1 optimizer
+// tree executes correctly under every strategy, on both backends.
+class SnowflakeEndToEnd : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(SnowflakeEndToEnd, OptimizedTreeExecutesCorrectly) {
+  auto instance = MakeRandomSnowflakeQuery(7, 150, GetParam());
+  ASSERT_TRUE(instance.ok());
+  GeneralQuerySpec spec = instance->spec;
+  Database db = ToDatabase(&*instance);
+
+  // Phase 1.
+  TotalCostModel cost_model;
+  auto tree = OptimizeJoinOrder(spec.ToJoinGraph(), cost_model);
+  ASSERT_TRUE(tree.ok()) << tree.status();
+
+  // Bind and compute the oracle answer.
+  auto query = spec.BindTree(*tree);
+  ASSERT_TRUE(query.ok()) << query.status();
+  auto reference = ReferenceSummary(*query, db);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  // Phase 2 on both backends.
+  SimExecutor sim(&db);
+  ThreadExecutor threads(&db);
+  for (StrategyKind kind : kAllStrategies) {
+    auto plan = MakeStrategy(kind)->Parallelize(*query, 12, cost_model);
+    ASSERT_TRUE(plan.ok()) << StrategyName(kind) << ": " << plan.status();
+    auto sim_run = sim.Execute(*plan, SimExecOptions());
+    ASSERT_TRUE(sim_run.ok()) << sim_run.status();
+    EXPECT_EQ(sim_run->result, *reference) << StrategyName(kind);
+
+    auto thread_run = threads.Execute(*plan, ThreadExecOptions());
+    ASSERT_TRUE(thread_run.ok()) << thread_run.status();
+    EXPECT_EQ(thread_run->result, *reference) << StrategyName(kind);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnowflakeEndToEnd,
+                         testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(GeneralQueryTest, ProvenanceSurvivesDeepTrees) {
+  // A pure chain: a - b - c - d via distinct fk columns; bind a bushy tree
+  // over it and check the schema width is the concat of all four.
+  auto instance = MakeRandomSnowflakeQuery(4, 100, /*seed=*/42);
+  ASSERT_TRUE(instance.ok());
+  GeneralQuerySpec spec = instance->spec;
+  auto tree = OptimizeJoinOrder(spec.ToJoinGraph(), TotalCostModel());
+  ASSERT_TRUE(tree.ok());
+  auto query = spec.BindTree(*tree);
+  ASSERT_TRUE(query.ok());
+  auto analysis = AnalyzeQuery(*query);
+  ASSERT_TRUE(analysis.ok());
+  size_t total_columns = 0;
+  for (const GeneralRelation& rel : spec.relations()) {
+    total_columns += rel.schema->num_columns();
+  }
+  EXPECT_EQ(analysis->node_schema[static_cast<size_t>(query->tree.root())]
+                ->num_columns(),
+            total_columns);
+}
+
+}  // namespace
+}  // namespace mjoin

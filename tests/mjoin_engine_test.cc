@@ -1,0 +1,78 @@
+#include <gtest/gtest.h>
+
+#include "engine/mjoin_engine.h"
+#include "plan/wisconsin_query.h"
+#include "xra/text.h"
+
+namespace mjoin {
+namespace {
+
+TEST(MultiJoinEngineTest, ExecutesVerifiedQueryOnBothBackends) {
+  MultiJoinEngine engine(MakeWisconsinDatabase(5, 400, /*seed=*/73));
+  auto query = MakeWisconsinChainQuery(QueryShape::kRightOrientedBushy, 5,
+                                       400);
+  ASSERT_TRUE(query.ok());
+
+  EngineQueryOptions options;
+  options.strategy = StrategyKind::kRD;
+  options.processors = 8;
+  options.analyze = true;
+  auto sim = engine.ExecuteQuery(*query, options);
+  ASSERT_TRUE(sim.ok()) << sim.status();
+  EXPECT_TRUE(sim->verified);
+  EXPECT_EQ(sim->result.cardinality, 400u);
+  EXPECT_GT(sim->seconds, 0);
+  EXPECT_NE(sim->analyze_report.find("tuples in"), std::string::npos);
+
+  options.backend = Backend::kThreaded;
+  auto threaded = engine.ExecuteQuery(*query, options);
+  ASSERT_TRUE(threaded.ok()) << threaded.status();
+  EXPECT_TRUE(threaded->verified);
+  EXPECT_EQ(threaded->result, sim->result);
+}
+
+TEST(MultiJoinEngineTest, PlanTextIsReplayable) {
+  MultiJoinEngine engine(MakeWisconsinDatabase(4, 200, /*seed=*/79));
+  auto query = MakeWisconsinChainQuery(QueryShape::kLeftLinear, 4, 200);
+  ASSERT_TRUE(query.ok());
+  EngineQueryOptions options;
+  options.strategy = StrategyKind::kSP;
+  options.processors = 4;
+  auto outcome = engine.ExecuteQuery(*query, options);
+  ASSERT_TRUE(outcome.ok());
+  auto plan = ParsePlan(outcome->plan_text);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  EXPECT_TRUE(plan->Validate().ok());
+}
+
+TEST(MultiJoinEngineTest, ExecuteGraphRunsBothPhases) {
+  auto instance = MakeRandomSnowflakeQuery(6, 150, /*seed=*/83);
+  ASSERT_TRUE(instance.ok());
+  Database db;
+  for (size_t i = 0; i < instance->data.size(); ++i) {
+    ASSERT_TRUE(db.Add(instance->spec.relations()[i].name,
+                       std::move(instance->data[i]))
+                    .ok());
+  }
+  MultiJoinEngine engine(std::move(db));
+  EngineQueryOptions options;
+  options.strategy = StrategyKind::kFP;
+  options.processors = 10;
+  auto outcome = engine.ExecuteGraph(instance->spec, options);
+  ASSERT_TRUE(outcome.ok()) << outcome.status();
+  EXPECT_TRUE(outcome->verified);
+}
+
+TEST(MultiJoinEngineTest, SurfacesUnplaceableStrategies) {
+  MultiJoinEngine engine(MakeWisconsinDatabase(6, 100, /*seed=*/89));
+  auto query = MakeWisconsinChainQuery(QueryShape::kLeftLinear, 6, 100);
+  ASSERT_TRUE(query.ok());
+  EngineQueryOptions options;
+  options.strategy = StrategyKind::kFP;
+  options.processors = 3;  // < 5 joins
+  EXPECT_EQ(engine.ExecuteQuery(*query, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace mjoin

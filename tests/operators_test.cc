@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "exec/hash_table.h"
+#include "exec/pipelining_hash_join.h"
+#include "exec/project.h"
+#include "exec/scan.h"
+#include "exec/simple_hash_join.h"
+#include "storage/wisconsin.h"
+
+namespace mjoin {
+namespace {
+
+std::shared_ptr<const Schema> TestSchema() {
+  return std::make_shared<const Schema>(
+      Schema({Column::Int32("k"), Column::Int32("v")}));
+}
+
+Relation MakeKv(std::vector<std::pair<int32_t, int32_t>> rows) {
+  Relation rel(*TestSchema());
+  for (auto [k, v] : rows) {
+    TupleWriter w = rel.AppendTuple();
+    w.SetInt32(0, k);
+    w.SetInt32(1, v);
+  }
+  return rel;
+}
+
+TupleBatch ToBatch(const Relation& rel) {
+  TupleBatch batch(std::make_shared<const Schema>(rel.schema()));
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    batch.AppendRow(rel.tuple(i).data());
+  }
+  return batch;
+}
+
+/// OpContext that records emitted rows and total charged cost.
+class RecordingContext : public OpContext {
+ public:
+  explicit RecordingContext(std::shared_ptr<const Schema> schema)
+      : out(std::move(schema)) {}
+
+  void Charge(Ticks cost) override { charged += cost; }
+  void EmitRow(const std::byte* row) override { out.AppendRow(row); }
+  const CostParams& costs() const override { return params; }
+
+  CostParams params;
+  Ticks charged = 0;
+  TupleBatch out;
+};
+
+// --- JoinHashTable -----------------------------------------------------------
+
+TEST(JoinHashTableTest, InsertAndProbe) {
+  Relation rel = MakeKv({{1, 10}, {2, 20}, {3, 30}});
+  JoinHashTable table(TestSchema(), 0);
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    table.Insert(rel.tuple(i).data());
+  }
+  EXPECT_EQ(table.size(), 3u);
+  int32_t found = -1;
+  EXPECT_EQ(table.Probe(2, [&](const TupleRef& t) { found = t.GetInt32(1); }),
+            1u);
+  EXPECT_EQ(found, 20);
+  EXPECT_EQ(table.Probe(99, [](const TupleRef&) {}), 0u);
+}
+
+TEST(JoinHashTableTest, DuplicateKeysAllFound) {
+  Relation rel = MakeKv({{5, 1}, {5, 2}, {5, 3}, {6, 4}});
+  JoinHashTable table(TestSchema(), 0);
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    table.Insert(rel.tuple(i).data());
+  }
+  std::set<int32_t> values;
+  EXPECT_EQ(table.Probe(5, [&](const TupleRef& t) {
+    values.insert(t.GetInt32(1));
+  }),
+            3u);
+  EXPECT_EQ(values, (std::set<int32_t>{1, 2, 3}));
+}
+
+TEST(JoinHashTableTest, GrowsBeyondInitialCapacity) {
+  JoinHashTable table(TestSchema(), 0);
+  Relation rel(*TestSchema());
+  for (int32_t i = 0; i < 10000; ++i) {
+    TupleWriter w = rel.AppendTuple();
+    w.SetInt32(0, i);
+    w.SetInt32(1, i * 2);
+  }
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    table.Insert(rel.tuple(i).data());
+  }
+  EXPECT_EQ(table.size(), 10000u);
+  for (int32_t k : {0, 123, 9999}) {
+    int32_t v = -1;
+    EXPECT_EQ(table.Probe(k, [&](const TupleRef& t) { v = t.GetInt32(1); }),
+              1u);
+    EXPECT_EQ(v, k * 2);
+  }
+  EXPECT_GT(table.memory_bytes(), 10000u * 8u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.Probe(5, [](const TupleRef&) {}), 0u);
+}
+
+TEST(JoinHashTableTest, NegativeKeys) {
+  Relation rel = MakeKv({{-7, 70}, {0, 0}});
+  JoinHashTable table(TestSchema(), 0);
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    table.Insert(rel.tuple(i).data());
+  }
+  int32_t v = -1;
+  EXPECT_EQ(table.Probe(-7, [&](const TupleRef& t) { v = t.GetInt32(1); }),
+            1u);
+  EXPECT_EQ(v, 70);
+}
+
+// --- ScanOp --------------------------------------------------------------------
+
+TEST(ScanOpTest, EmitsAllTuplesInBatches) {
+  Relation rel = MakeKv({});
+  for (int32_t i = 0; i < 150; ++i) {
+    TupleWriter w = rel.AppendTuple();
+    w.SetInt32(0, i);
+    w.SetInt32(1, i);
+  }
+  ScanOp scan([&rel] { return &rel; }, TestSchema());
+  RecordingContext ctx(TestSchema());
+  ctx.params.batch_size = 64;
+  scan.Open(&ctx);
+  EXPECT_TRUE(scan.is_source());
+  int produces = 0;
+  while (scan.Produce(&ctx)) ++produces;
+  ++produces;  // the final call
+  EXPECT_EQ(produces, 3);  // 64 + 64 + 22
+  EXPECT_TRUE(scan.finished());
+  EXPECT_EQ(ctx.out.num_tuples(), 150u);
+  EXPECT_EQ(ctx.charged, 150 * ctx.params.tuple_scan);
+}
+
+TEST(ScanOpTest, EmptyFragmentFinishesImmediately) {
+  Relation rel = MakeKv({});
+  ScanOp scan([&rel] { return &rel; }, TestSchema());
+  RecordingContext ctx(TestSchema());
+  scan.Open(&ctx);
+  EXPECT_FALSE(scan.Produce(&ctx));
+  EXPECT_TRUE(scan.finished());
+  EXPECT_EQ(ctx.out.num_tuples(), 0u);
+}
+
+// --- Join specs -------------------------------------------------------------------
+
+JoinSpec KvJoinSpec() {
+  auto spec = MakeJoinSpec(TestSchema(), TestSchema(), 0, 0,
+                           {JoinOutputColumn::Left(0),
+                            JoinOutputColumn::Left(1),
+                            JoinOutputColumn::Right(1)});
+  MJOIN_CHECK(spec.ok()) << spec.status();
+  return *std::move(spec);
+}
+
+TEST(JoinSpecTest, OutputSchemaDerivedWithDedupedNames) {
+  JoinSpec spec = KvJoinSpec();
+  EXPECT_EQ(spec.output_schema->num_columns(), 3u);
+  EXPECT_EQ(spec.output_schema->column(0).name, "k");
+  EXPECT_EQ(spec.output_schema->column(1).name, "v");
+  EXPECT_EQ(spec.output_schema->column(2).name, "v_r");
+}
+
+TEST(JoinSpecTest, RejectsNonIntKeysAndBadColumns) {
+  auto string_schema = std::make_shared<const Schema>(
+      Schema({Column::FixedString("s", 4)}));
+  EXPECT_FALSE(MakeJoinSpec(string_schema, TestSchema(), 0, 0, {}).ok());
+  EXPECT_FALSE(MakeJoinSpec(TestSchema(), TestSchema(), 5, 0, {}).ok());
+  EXPECT_FALSE(MakeJoinSpec(TestSchema(), TestSchema(), 0, 0,
+                            {JoinOutputColumn{0, 9}})
+                   .ok());
+  EXPECT_FALSE(MakeJoinSpec(TestSchema(), TestSchema(), 0, 0,
+                            {JoinOutputColumn{2, 0}})
+                   .ok());
+}
+
+TEST(JoinSpecTest, NaturalConcatKeepsAllColumns) {
+  auto spec = MakeNaturalConcatJoinSpec(TestSchema(), TestSchema(), 0, 0);
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->output_schema->num_columns(), 4u);
+}
+
+// Expected multiset of (k, v_left, v_right) for a reference join.
+std::multiset<std::tuple<int32_t, int32_t, int32_t>> BruteForceJoin(
+    const Relation& left, const Relation& right) {
+  std::multiset<std::tuple<int32_t, int32_t, int32_t>> out;
+  for (size_t i = 0; i < left.num_tuples(); ++i) {
+    for (size_t j = 0; j < right.num_tuples(); ++j) {
+      if (left.tuple(i).GetInt32(0) == right.tuple(j).GetInt32(0)) {
+        out.insert({left.tuple(i).GetInt32(0), left.tuple(i).GetInt32(1),
+                    right.tuple(j).GetInt32(1)});
+      }
+    }
+  }
+  return out;
+}
+
+std::multiset<std::tuple<int32_t, int32_t, int32_t>> Collect(
+    const TupleBatch& out) {
+  std::multiset<std::tuple<int32_t, int32_t, int32_t>> rows;
+  for (size_t i = 0; i < out.num_tuples(); ++i) {
+    rows.insert({out.tuple(i).GetInt32(0), out.tuple(i).GetInt32(1),
+                 out.tuple(i).GetInt32(2)});
+  }
+  return rows;
+}
+
+// --- SimpleHashJoinOp ----------------------------------------------------------
+
+TEST(SimpleHashJoinTest, JoinsWithDuplicatesAndMisses) {
+  Relation left = MakeKv({{1, 10}, {2, 20}, {2, 21}, {3, 30}});
+  Relation right = MakeKv({{2, 200}, {2, 201}, {3, 300}, {4, 400}});
+  SimpleHashJoinOp join(KvJoinSpec());
+  RecordingContext ctx(join.output_schema());
+
+  join.Consume(SimpleHashJoinOp::kBuildPort, ToBatch(left), &ctx);
+  join.InputDone(SimpleHashJoinOp::kBuildPort, &ctx);
+  EXPECT_TRUE(join.build_done());
+  join.Consume(SimpleHashJoinOp::kProbePort, ToBatch(right), &ctx);
+  join.InputDone(SimpleHashJoinOp::kProbePort, &ctx);
+
+  EXPECT_TRUE(join.finished());
+  EXPECT_EQ(Collect(ctx.out), BruteForceJoin(left, right));
+  EXPECT_EQ(ctx.out.num_tuples(), 5u);  // 2x2 for key 2, 1 for key 3
+}
+
+TEST(SimpleHashJoinTest, BuffersEarlyProbeInput) {
+  Relation left = MakeKv({{1, 10}});
+  Relation right = MakeKv({{1, 100}});
+  SimpleHashJoinOp join(KvJoinSpec());
+  RecordingContext ctx(join.output_schema());
+
+  // Probe arrives before the build is complete: must be buffered, not
+  // joined yet.
+  join.Consume(SimpleHashJoinOp::kProbePort, ToBatch(right), &ctx);
+  EXPECT_EQ(ctx.out.num_tuples(), 0u);
+  join.InputDone(SimpleHashJoinOp::kProbePort, &ctx);
+  EXPECT_FALSE(join.finished());
+
+  join.Consume(SimpleHashJoinOp::kBuildPort, ToBatch(left), &ctx);
+  join.InputDone(SimpleHashJoinOp::kBuildPort, &ctx);
+  EXPECT_TRUE(join.finished());
+  EXPECT_EQ(ctx.out.num_tuples(), 1u);
+}
+
+TEST(SimpleHashJoinTest, ChargesBuildAndProbeCosts) {
+  Relation left = MakeKv({{1, 10}, {2, 20}});
+  Relation right = MakeKv({{1, 100}});
+  SimpleHashJoinOp join(KvJoinSpec());
+  RecordingContext ctx(join.output_schema());
+  join.Consume(SimpleHashJoinOp::kBuildPort, ToBatch(left), &ctx);
+  join.InputDone(SimpleHashJoinOp::kBuildPort, &ctx);
+  join.Consume(SimpleHashJoinOp::kProbePort, ToBatch(right), &ctx);
+  join.InputDone(SimpleHashJoinOp::kProbePort, &ctx);
+  const CostParams& c = ctx.params;
+  EXPECT_EQ(ctx.charged, 2 * (c.tuple_hash + c.tuple_build) +
+                             1 * (c.tuple_hash + c.tuple_probe) +
+                             1 * c.tuple_result);
+}
+
+TEST(SimpleHashJoinTest, TracksPeakMemory) {
+  Relation left = MakeKv({{1, 10}, {2, 20}, {3, 30}});
+  SimpleHashJoinOp join(KvJoinSpec());
+  RecordingContext ctx(join.output_schema());
+  join.Consume(SimpleHashJoinOp::kBuildPort, ToBatch(left), &ctx);
+  EXPECT_GT(join.peak_memory_bytes(), 0u);
+}
+
+// --- PipeliningHashJoinOp ----------------------------------------------------------
+
+TEST(PipeliningHashJoinTest, SymmetricArrivalOrderIrrelevant) {
+  Relation left = MakeKv({{1, 10}, {2, 20}, {2, 21}});
+  Relation right = MakeKv({{2, 200}, {1, 100}, {5, 500}});
+  auto expected = BruteForceJoin(left, right);
+
+  // Try several interleavings; results must always match.
+  for (int order = 0; order < 3; ++order) {
+    PipeliningHashJoinOp join(KvJoinSpec());
+    RecordingContext ctx(join.output_schema());
+    if (order == 0) {
+      join.Consume(0, ToBatch(left), &ctx);
+      join.Consume(1, ToBatch(right), &ctx);
+    } else if (order == 1) {
+      join.Consume(1, ToBatch(right), &ctx);
+      join.Consume(0, ToBatch(left), &ctx);
+    } else {
+      // Tuple-by-tuple interleaving.
+      for (size_t i = 0; i < 3; ++i) {
+        Relation l1 = MakeKv({{left.tuple(i).GetInt32(0),
+                               left.tuple(i).GetInt32(1)}});
+        Relation r1 = MakeKv({{right.tuple(i).GetInt32(0),
+                               right.tuple(i).GetInt32(1)}});
+        join.Consume(0, ToBatch(l1), &ctx);
+        join.Consume(1, ToBatch(r1), &ctx);
+      }
+    }
+    join.InputDone(0, &ctx);
+    join.InputDone(1, &ctx);
+    EXPECT_TRUE(join.finished());
+    EXPECT_EQ(Collect(ctx.out), expected) << "order " << order;
+  }
+}
+
+TEST(PipeliningHashJoinTest, ProducesOutputBeforeEitherInputEnds) {
+  PipeliningHashJoinOp join(KvJoinSpec());
+  RecordingContext ctx(join.output_schema());
+  join.Consume(0, ToBatch(MakeKv({{7, 70}})), &ctx);
+  EXPECT_EQ(ctx.out.num_tuples(), 0u);
+  join.Consume(1, ToBatch(MakeKv({{7, 700}})), &ctx);
+  // Match emitted immediately, long before InputDone.
+  EXPECT_EQ(ctx.out.num_tuples(), 1u);
+  EXPECT_FALSE(join.finished());
+}
+
+TEST(PipeliningHashJoinTest, DropsObsoleteTableWhenOneSideEnds) {
+  PipeliningHashJoinOp join(KvJoinSpec());
+  RecordingContext ctx(join.output_schema());
+  join.Consume(0, ToBatch(MakeKv({{1, 10}, {2, 20}})), &ctx);
+  join.Consume(1, ToBatch(MakeKv({{1, 100}})), &ctx);
+  EXPECT_EQ(join.left_table_size(), 2u);
+  EXPECT_EQ(join.right_table_size(), 1u);
+  // Left input ends: the right table will never be probed again.
+  join.InputDone(0, &ctx);
+  EXPECT_EQ(join.right_table_size(), 0u);
+  // Late right tuples still probe the left table correctly.
+  join.Consume(1, ToBatch(MakeKv({{2, 200}})), &ctx);
+  EXPECT_EQ(ctx.out.num_tuples(), 2u);
+  join.InputDone(1, &ctx);
+  EXPECT_TRUE(join.finished());
+}
+
+TEST(PipeliningHashJoinTest, MatchesSimpleJoinOnWisconsinData) {
+  auto wisc = std::make_shared<const Schema>(WisconsinSchema());
+  Relation left = GenerateWisconsin(2000, 1);
+  Relation right = GenerateWisconsin(2000, 2);
+  auto spec = MakeJoinSpec(wisc, wisc, 0, 0,
+                           {JoinOutputColumn::Left(kUnique2),
+                            JoinOutputColumn::Right(kUnique2)});
+  ASSERT_TRUE(spec.ok());
+
+  SimpleHashJoinOp simple(*spec);
+  RecordingContext ctx_simple(simple.output_schema());
+  simple.Consume(0, ToBatch(left), &ctx_simple);
+  simple.InputDone(0, &ctx_simple);
+  simple.Consume(1, ToBatch(right), &ctx_simple);
+  simple.InputDone(1, &ctx_simple);
+
+  PipeliningHashJoinOp pipelining(*spec);
+  RecordingContext ctx_pipe(pipelining.output_schema());
+  pipelining.Consume(1, ToBatch(right), &ctx_pipe);
+  pipelining.Consume(0, ToBatch(left), &ctx_pipe);
+  pipelining.InputDone(0, &ctx_pipe);
+  pipelining.InputDone(1, &ctx_pipe);
+
+  ASSERT_EQ(ctx_simple.out.num_tuples(), 2000u);
+  ASSERT_EQ(ctx_pipe.out.num_tuples(), 2000u);
+  std::multiset<std::pair<int32_t, int32_t>> a, b;
+  for (size_t i = 0; i < 2000; ++i) {
+    a.insert({ctx_simple.out.tuple(i).GetInt32(0),
+              ctx_simple.out.tuple(i).GetInt32(1)});
+    b.insert({ctx_pipe.out.tuple(i).GetInt32(0),
+              ctx_pipe.out.tuple(i).GetInt32(1)});
+  }
+  EXPECT_EQ(a, b);
+}
+
+// --- ProjectOp ----------------------------------------------------------------
+
+TEST(ProjectOpTest, SubsetsAndReorders) {
+  auto project = ProjectOp::Make(TestSchema(), {1, 0});
+  ASSERT_TRUE(project.ok());
+  RecordingContext ctx((*project)->output_schema());
+  (*project)->Consume(0, ToBatch(MakeKv({{1, 10}, {2, 20}})), &ctx);
+  (*project)->InputDone(0, &ctx);
+  EXPECT_TRUE((*project)->finished());
+  ASSERT_EQ(ctx.out.num_tuples(), 2u);
+  EXPECT_EQ(ctx.out.tuple(0).GetInt32(0), 10);
+  EXPECT_EQ(ctx.out.tuple(0).GetInt32(1), 1);
+}
+
+TEST(ProjectOpTest, RejectsOutOfRangeColumn) {
+  EXPECT_FALSE(ProjectOp::Make(TestSchema(), {7}).ok());
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/string_util.h"
+
+#include "opt/join_graph.h"
+#include "opt/optimizer.h"
+
+namespace mjoin {
+namespace {
+
+// --- JoinGraph ------------------------------------------------------------------
+
+TEST(JoinGraphTest, BuildAndConnectivity) {
+  JoinGraph graph;
+  int a = graph.AddRelation("a", 100);
+  int b = graph.AddRelation("b", 200);
+  int c = graph.AddRelation("c", 300);
+  EXPECT_FALSE(graph.IsConnected());
+  ASSERT_TRUE(graph.AddKeyJoin(a, b).ok());
+  EXPECT_FALSE(graph.IsConnected());
+  ASSERT_TRUE(graph.AddKeyJoin(b, c).ok());
+  EXPECT_TRUE(graph.IsConnected());
+  EXPECT_EQ(graph.num_relations(), 3u);
+}
+
+TEST(JoinGraphTest, RejectsBadPredicates) {
+  JoinGraph graph;
+  int a = graph.AddRelation("a", 100);
+  EXPECT_FALSE(graph.AddPredicate(a, a, 0.5).ok());
+  EXPECT_FALSE(graph.AddPredicate(a, 7, 0.5).ok());
+  int b = graph.AddRelation("b", 100);
+  EXPECT_FALSE(graph.AddPredicate(a, b, 0.0).ok());
+  EXPECT_FALSE(graph.AddPredicate(a, b, 1.5).ok());
+}
+
+TEST(JoinGraphTest, SelectivityBetweenDetectsCartesianProducts) {
+  JoinGraph graph = JoinGraph::RegularChain(4, 1000);
+  // {r0} x {r1}: one predicate.
+  EXPECT_DOUBLE_EQ(graph.SelectivityBetween(0b0001, 0b0010), 1.0 / 1000);
+  // {r0} x {r2}: no predicate -> cartesian.
+  EXPECT_LT(graph.SelectivityBetween(0b0001, 0b0100), 0);
+  // {r0,r1} x {r2,r3}: the r1-r2 edge.
+  EXPECT_DOUBLE_EQ(graph.SelectivityBetween(0b0011, 0b1100), 1.0 / 1000);
+}
+
+TEST(JoinGraphTest, KeyJoinSelectivity) {
+  JoinGraph graph;
+  int a = graph.AddRelation("a", 100);
+  int b = graph.AddRelation("b", 400);
+  ASSERT_TRUE(graph.AddKeyJoin(a, b).ok());
+  EXPECT_DOUBLE_EQ(graph.predicates()[0].selectivity, 1.0 / 400);
+}
+
+// --- DP optimizer ------------------------------------------------------------------
+
+TEST(OptimizerTest, RegularChainPlanIsOptimalAndOneToOne) {
+  JoinGraph graph = JoinGraph::RegularChain(10, 5000);
+  TotalCostModel model;
+  auto tree = OptimizeDp(graph, model, {});
+  ASSERT_TRUE(tree.ok()) << tree.status();
+  EXPECT_EQ(tree->num_joins(), 9u);
+  // Every intermediate of the regular query has operand size.
+  for (int id : tree->PostOrder()) {
+    EXPECT_DOUBLE_EQ(tree->node(id).cardinality, 5000);
+  }
+  // The paper's observation: all trees over the regular query cost the
+  // same, so the optimum equals the left-linear tree's cost.
+  double expect = 8 * (2 * 5000 + 5000 + 2 * 5000) + (5000 + 5000 + 2 * 5000);
+  EXPECT_DOUBLE_EQ(model.TotalCost(*tree), expect);
+}
+
+TEST(OptimizerTest, DpBeatsOrMatchesGreedy) {
+  // A star query with skewed sizes: DP must not be worse than greedy.
+  JoinGraph graph;
+  int hub = graph.AddRelation("hub", 10000);
+  for (int i = 0; i < 5; ++i) {
+    int spoke = graph.AddRelation(StrCat("spoke", i), 100 * (i + 1));
+    ASSERT_TRUE(graph.AddKeyJoin(hub, spoke).ok());
+  }
+  TotalCostModel model;
+  auto dp = OptimizeDp(graph, model, {});
+  auto greedy = OptimizeGreedy(graph, model);
+  ASSERT_TRUE(dp.ok() && greedy.ok());
+  EXPECT_LE(model.TotalCost(*dp), model.TotalCost(*greedy) + 1e-9);
+}
+
+TEST(OptimizerTest, LinearOnlyRestrictsShape) {
+  JoinGraph graph = JoinGraph::RegularChain(8, 500);
+  TotalCostModel model;
+  OptimizerOptions options;
+  options.linear_only = true;
+  auto tree = OptimizeDp(graph, model, options);
+  ASSERT_TRUE(tree.ok());
+  // Every join must have at least one base-relation operand.
+  for (int id : tree->PostOrder()) {
+    const JoinTreeNode& node = tree->node(id);
+    if (node.is_leaf()) continue;
+    EXPECT_TRUE(tree->node(node.left).is_leaf() ||
+                tree->node(node.right).is_leaf());
+  }
+  // Unrestricted search can only be equal or cheaper.
+  auto bushy = OptimizeDp(graph, model, {});
+  ASSERT_TRUE(bushy.ok());
+  EXPECT_LE(model.TotalCost(*bushy), model.TotalCost(*tree) + 1e-9);
+}
+
+TEST(OptimizerTest, AvoidsCartesianProducts) {
+  // Chain with a very selective middle edge: even so, no plan may join
+  // disconnected subsets.
+  JoinGraph graph;
+  int a = graph.AddRelation("a", 10);
+  int b = graph.AddRelation("b", 1000000);
+  int c = graph.AddRelation("c", 10);
+  ASSERT_TRUE(graph.AddPredicate(a, b, 1e-6).ok());
+  ASSERT_TRUE(graph.AddPredicate(b, c, 1e-6).ok());
+  auto tree = OptimizeDp(graph, TotalCostModel(), {});
+  ASSERT_TRUE(tree.ok());
+  // A cartesian a x c first would be cheap by cardinality but is banned:
+  // the bottom join must involve b.
+  for (int id : tree->PostOrder()) {
+    const JoinTreeNode& node = tree->node(id);
+    if (node.is_leaf() || !tree->node(node.left).is_leaf() ||
+        !tree->node(node.right).is_leaf()) {
+      continue;
+    }
+    std::set<std::string> rels = {tree->node(node.left).relation,
+                                  tree->node(node.right).relation};
+    EXPECT_TRUE(rels.contains("b"));
+  }
+}
+
+TEST(OptimizerTest, RejectsDisconnectedGraphs) {
+  JoinGraph graph;
+  graph.AddRelation("a", 10);
+  graph.AddRelation("b", 10);
+  EXPECT_EQ(OptimizeDp(graph, TotalCostModel(), {}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(OptimizeGreedy(graph, TotalCostModel()).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OptimizerTest, GreedyHandlesLargerQueries) {
+  JoinGraph graph = JoinGraph::RegularChain(24, 1000);
+  auto tree = OptimizeGreedy(graph, TotalCostModel());
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->num_joins(), 23u);
+  EXPECT_TRUE(tree->Validate().ok());
+}
+
+TEST(OptimizerTest, TwoPhaseFacadePicksDpThenGreedy) {
+  TotalCostModel model;
+  OptimizerOptions options;
+  options.max_dp_relations = 6;
+  auto small = OptimizeJoinOrder(JoinGraph::RegularChain(5, 100), model,
+                                 options);
+  auto large = OptimizeJoinOrder(JoinGraph::RegularChain(20, 100), model,
+                                 options);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(small->num_joins(), 4u);
+  EXPECT_EQ(large->num_joins(), 19u);
+}
+
+TEST(OptimizerTest, DpPrefersSmallIntermediates) {
+  // a(1000) - b(1000) with selective edge, b - c(1000) with unselective
+  // edge: the optimizer should join a-b first.
+  JoinGraph graph;
+  int a = graph.AddRelation("a", 1000);
+  int b = graph.AddRelation("b", 1000);
+  int c = graph.AddRelation("c", 1000);
+  ASSERT_TRUE(graph.AddPredicate(a, b, 1e-6).ok());   // tiny result
+  ASSERT_TRUE(graph.AddPredicate(b, c, 1e-3).ok());   // big result
+  auto tree = OptimizeDp(graph, TotalCostModel(), {});
+  ASSERT_TRUE(tree.ok());
+  const JoinTreeNode& root = tree->node(tree->root());
+  // One child is the a-b join, the other the c leaf.
+  int internal = tree->node(root.left).is_leaf() ? root.right : root.left;
+  std::set<std::string> bottom;
+  const JoinTreeNode& join = tree->node(internal);
+  bottom.insert(tree->node(join.left).relation);
+  bottom.insert(tree->node(join.right).relation);
+  EXPECT_EQ(bottom, (std::set<std::string>{"a", "b"}));
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -1,0 +1,400 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "plan/allocation.h"
+#include "plan/cost_model.h"
+#include "plan/join_tree.h"
+#include "plan/query.h"
+#include "plan/segments.h"
+#include "plan/shapes.h"
+#include "plan/transform.h"
+#include "plan/wisconsin_query.h"
+
+namespace mjoin {
+namespace {
+
+std::vector<std::string> Rels(int n) { return WisconsinRelationNames(n); }
+
+// --- JoinTree ------------------------------------------------------------------
+
+TEST(JoinTreeTest, BuildAndNavigate) {
+  JoinTree tree;
+  int a = tree.AddLeaf("A", 100);
+  int b = tree.AddLeaf("B", 100);
+  int j = tree.AddJoin(a, b, 100);
+  EXPECT_EQ(tree.root(), j);
+  EXPECT_EQ(tree.num_leaves(), 2u);
+  EXPECT_EQ(tree.num_joins(), 1u);
+  EXPECT_EQ(tree.node(a).parent, j);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(JoinTreeTest, PostOrderChildrenBeforeParents) {
+  auto tree = BuildShape(QueryShape::kWideBushy, Rels(10), 1000);
+  ASSERT_TRUE(tree.ok());
+  std::vector<int> order = tree->PostOrder();
+  std::vector<bool> seen(tree->num_nodes(), false);
+  for (int id : order) {
+    const JoinTreeNode& node = tree->node(id);
+    if (!node.is_leaf()) {
+      EXPECT_TRUE(seen[static_cast<size_t>(node.left)]);
+      EXPECT_TRUE(seen[static_cast<size_t>(node.right)]);
+    }
+    seen[static_cast<size_t>(id)] = true;
+  }
+  EXPECT_EQ(order.size(), tree->num_nodes());
+}
+
+TEST(JoinTreeTest, ValidateCatchesUnreachableNodes) {
+  JoinTree tree;
+  int a = tree.AddLeaf("A", 10);
+  int b = tree.AddLeaf("B", 10);
+  tree.AddLeaf("orphan", 10);
+  tree.SetRoot(tree.AddJoin(a, b, 10));
+  EXPECT_FALSE(tree.Validate().ok());
+}
+
+TEST(JoinTreeTest, SwapChildrenFlipsBuildProbe) {
+  JoinTree tree;
+  int a = tree.AddLeaf("A", 10);
+  int b = tree.AddLeaf("B", 10);
+  int j = tree.AddJoin(a, b, 10);
+  tree.SwapChildren(j);
+  EXPECT_EQ(tree.node(j).left, b);
+  EXPECT_EQ(tree.node(j).right, a);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+// --- Shapes -------------------------------------------------------------------
+
+TEST(ShapesTest, AllShapesHaveNMinusOneJoins) {
+  for (QueryShape shape : kAllShapes) {
+    for (int n : {2, 3, 5, 10, 17}) {
+      auto tree = BuildShape(shape, Rels(n), 1000);
+      ASSERT_TRUE(tree.ok()) << ShapeName(shape) << " n=" << n;
+      EXPECT_EQ(tree->num_joins(), static_cast<size_t>(n - 1));
+      EXPECT_EQ(tree->num_leaves(), static_cast<size_t>(n));
+      EXPECT_TRUE(tree->Validate().ok());
+    }
+  }
+}
+
+TEST(ShapesTest, LinearTreesHaveMaximalDepth) {
+  auto left = BuildShape(QueryShape::kLeftLinear, Rels(10), 1000);
+  auto right = BuildShape(QueryShape::kRightLinear, Rels(10), 1000);
+  ASSERT_TRUE(left.ok() && right.ok());
+  EXPECT_EQ(left->JoinDepth(), 9);
+  EXPECT_EQ(right->JoinDepth(), 9);
+  // Left-linear: every right child is a leaf; right-linear: mirrored.
+  for (int id : left->PostOrder()) {
+    if (!left->node(id).is_leaf()) {
+      EXPECT_TRUE(left->node(left->node(id).right).is_leaf());
+    }
+  }
+  for (int id : right->PostOrder()) {
+    if (!right->node(id).is_leaf()) {
+      EXPECT_TRUE(right->node(right->node(id).left).is_leaf());
+    }
+  }
+}
+
+TEST(ShapesTest, WideBushyIsShallow) {
+  auto tree = BuildShape(QueryShape::kWideBushy, Rels(10), 1000);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(tree->JoinDepth(), 4);  // ceil(log2(10))
+}
+
+TEST(ShapesTest, OrientedBushyDepthBetweenLinearAndWide) {
+  auto left = BuildShape(QueryShape::kLeftOrientedBushy, Rels(10), 1000);
+  auto right = BuildShape(QueryShape::kRightOrientedBushy, Rels(10), 1000);
+  ASSERT_TRUE(left.ok() && right.ok());
+  EXPECT_EQ(left->JoinDepth(), 5);
+  EXPECT_EQ(right->JoinDepth(), 5);
+}
+
+TEST(ShapesTest, RejectsDegenerateInput) {
+  EXPECT_FALSE(BuildShape(QueryShape::kWideBushy, {"one"}, 1000).ok());
+  EXPECT_FALSE(BuildShape(QueryShape::kWideBushy, Rels(3), 0).ok());
+}
+
+TEST(ShapesTest, Figure2TreeMatchesPaper) {
+  std::vector<std::pair<int, int>> labels;
+  JoinTree tree = BuildFigure2ExampleTree(&labels);
+  EXPECT_EQ(tree.num_leaves(), 5u);
+  EXPECT_EQ(tree.num_joins(), 4u);
+  ASSERT_EQ(labels.size(), 4u);
+  // Labels are 1, 5, 3, 4 (relative work).
+  std::multiset<int> weights;
+  for (auto [node, w] : labels) weights.insert(w);
+  EXPECT_EQ(weights, (std::multiset<int>{1, 3, 4, 5}));
+}
+
+// --- Cost model ----------------------------------------------------------------
+
+TEST(CostModelTest, PaperFormula) {
+  TotalCostModel model;
+  // Two base operands: 1*n1 + 1*n2 + 2*r.
+  EXPECT_DOUBLE_EQ(model.JoinCost(100, true, 200, true, 50), 400);
+  // Intermediate operands cost double.
+  EXPECT_DOUBLE_EQ(model.JoinCost(100, false, 200, false, 50), 700);
+  EXPECT_DOUBLE_EQ(model.JoinCost(100, true, 200, false, 50), 600);
+}
+
+TEST(CostModelTest, AnnotateFillsSubtreeCosts) {
+  auto tree = BuildShape(QueryShape::kLeftLinear, Rels(3), 100);
+  ASSERT_TRUE(tree.ok());
+  TotalCostModel model;
+  model.Annotate(&*tree);
+  const JoinTreeNode& root = tree->node(tree->root());
+  // Bottom join: 100+100+200 = 400; top: 2*100 (intermediate) + 100 + 200.
+  EXPECT_DOUBLE_EQ(tree->node(root.left).join_cost, 400);
+  EXPECT_DOUBLE_EQ(root.join_cost, 500);
+  EXPECT_DOUBLE_EQ(root.subtree_cost, 900);
+  EXPECT_DOUBLE_EQ(model.TotalCost(*tree), 900);
+}
+
+// The paper's workload property: all join trees over the regular chain
+// query have the same total execution cost.
+TEST(CostModelTest, AllShapesSameTotalCostOnRegularQuery) {
+  TotalCostModel model;
+  double expected = -1;
+  for (QueryShape shape : kAllShapes) {
+    auto tree = BuildShape(shape, Rels(10), 5000);
+    ASSERT_TRUE(tree.ok());
+    double total = model.TotalCost(*tree);
+    if (expected < 0) {
+      expected = total;
+    } else {
+      EXPECT_DOUBLE_EQ(total, expected) << ShapeName(shape);
+    }
+  }
+}
+
+TEST(CostModelTest, UniformCoefficientsIgnoreShape) {
+  TotalCostModel model(JoinCostCoefficients::Uniform());
+  EXPECT_DOUBLE_EQ(model.JoinCost(10, true, 10, true, 10),
+                   model.JoinCost(10, false, 10, false, 10));
+}
+
+// --- Allocation -----------------------------------------------------------------
+
+TEST(AllocationTest, ExactSumAndMinimumOne) {
+  auto counts = ProportionalAllocation({1, 5, 3, 4}, 10);
+  ASSERT_TRUE(counts.ok());
+  uint32_t sum = 0;
+  for (uint32_t c : *counts) {
+    EXPECT_GE(c, 1u);
+    sum += c;
+  }
+  EXPECT_EQ(sum, 10u);
+}
+
+TEST(AllocationTest, ProportionalForDivisibleWeights) {
+  auto counts = ProportionalAllocation({1, 1, 2}, 8);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(*counts, (std::vector<uint32_t>{2, 2, 4}));
+}
+
+TEST(AllocationTest, TinyWeightStillGetsOneProcessor) {
+  auto counts = ProportionalAllocation({0.001, 100}, 4);
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ((*counts)[0], 1u);
+  EXPECT_EQ((*counts)[1], 3u);
+}
+
+TEST(AllocationTest, FailsWhenFewerProcessorsThanOps) {
+  EXPECT_EQ(ProportionalAllocation({1, 1, 1}, 2).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ProportionalAllocation({1, -1}, 4).ok());
+  EXPECT_FALSE(ProportionalAllocation({}, 4).ok());
+}
+
+// Property sweep: for many weight sets and processor counts, the
+// allocation sums exactly to P with every op >= 1.
+class AllocationPropertyTest : public testing::TestWithParam<uint32_t> {};
+
+TEST_P(AllocationPropertyTest, AlwaysSumsToP) {
+  uint32_t p = GetParam();
+  std::vector<std::vector<double>> weight_sets = {
+      {1, 1, 1, 1, 1, 1, 1, 1, 1},
+      {1, 5, 3, 4},
+      {100, 1, 1, 1},
+      {0.5, 0.25, 0.25},
+      {7, 11, 13, 17, 19, 23},
+  };
+  for (const auto& weights : weight_sets) {
+    if (p < weights.size()) continue;
+    auto counts = ProportionalAllocation(weights, p);
+    ASSERT_TRUE(counts.ok());
+    uint32_t sum = 0;
+    for (uint32_t c : *counts) {
+      EXPECT_GE(c, 1u);
+      sum += c;
+    }
+    EXPECT_EQ(sum, p);
+    EXPECT_GE(DiscretizationError(weights, *counts), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ProcessorCounts, AllocationPropertyTest,
+                         testing::Values(9u, 10u, 16u, 20u, 33u, 50u, 80u));
+
+TEST(AllocationTest, DiscretizationErrorShrinksWithMoreProcessors) {
+  std::vector<double> weights = {1, 5, 3, 4};
+  auto few = ProportionalAllocation(weights, 10);
+  auto many = ProportionalAllocation(weights, 80);
+  ASSERT_TRUE(few.ok() && many.ok());
+  EXPECT_GE(DiscretizationError(weights, *few),
+            DiscretizationError(weights, *many));
+}
+
+TEST(AllocationTest, CarveBlocksDisjointAndOrdered) {
+  std::vector<uint32_t> procs = ProcessorRange(0, 10);
+  auto blocks = CarveBlocks(procs, {3, 4, 3});
+  ASSERT_EQ(blocks.size(), 3u);
+  EXPECT_EQ(blocks[0], (std::vector<uint32_t>{0, 1, 2}));
+  EXPECT_EQ(blocks[1], (std::vector<uint32_t>{3, 4, 5, 6}));
+  EXPECT_EQ(blocks[2], (std::vector<uint32_t>{7, 8, 9}));
+}
+
+// --- Segments -------------------------------------------------------------------
+
+JoinTree Annotated(QueryShape shape, int n) {
+  auto tree = BuildShape(shape, Rels(n), 1000);
+  MJOIN_CHECK(tree.ok());
+  TotalCostModel().Annotate(&*tree);
+  return *std::move(tree);
+}
+
+TEST(SegmentsTest, RightLinearIsOneSegment) {
+  JoinTree tree = Annotated(QueryShape::kRightLinear, 10);
+  SegmentedTree segmented = SegmentedTree::Build(tree);
+  ASSERT_EQ(segmented.segments().size(), 1u);
+  EXPECT_EQ(segmented.segments()[0].joins.size(), 9u);
+}
+
+TEST(SegmentsTest, LeftLinearIsAllSingletonSegments) {
+  JoinTree tree = Annotated(QueryShape::kLeftLinear, 10);
+  SegmentedTree segmented = SegmentedTree::Build(tree);
+  EXPECT_EQ(segmented.segments().size(), 9u);
+  for (const RightDeepSegment& seg : segmented.segments()) {
+    EXPECT_EQ(seg.joins.size(), 1u);
+  }
+}
+
+TEST(SegmentsTest, RightBushySpineIsOneLongSegment) {
+  JoinTree tree = Annotated(QueryShape::kRightOrientedBushy, 10);
+  SegmentedTree segmented = SegmentedTree::Build(tree);
+  const RightDeepSegment& root =
+      segmented.segments()[static_cast<size_t>(segmented.root_segment())];
+  // Spine (4 joins) + the bottom-most pair join = 5 joins; 4 producer
+  // pair segments.
+  EXPECT_EQ(root.joins.size(), 5u);
+  EXPECT_EQ(root.children.size(), 4u);
+}
+
+TEST(SegmentsTest, BottomProbeOperandIsAlwaysBaseRelation) {
+  for (QueryShape shape : kAllShapes) {
+    JoinTree tree = Annotated(shape, 10);
+    SegmentedTree segmented = SegmentedTree::Build(tree);
+    for (const RightDeepSegment& seg : segmented.segments()) {
+      int bottom = seg.joins.front();
+      EXPECT_TRUE(tree.node(tree.node(bottom).right).is_leaf())
+          << ShapeName(shape);
+    }
+  }
+}
+
+TEST(SegmentsTest, SubtreeCostAccountsChildren) {
+  JoinTree tree = Annotated(QueryShape::kRightOrientedBushy, 10);
+  SegmentedTree segmented = SegmentedTree::Build(tree);
+  const RightDeepSegment& root =
+      segmented.segments()[static_cast<size_t>(segmented.root_segment())];
+  double children = 0;
+  for (int child : root.children) {
+    children += segmented.segments()[static_cast<size_t>(child)].subtree_cost;
+  }
+  EXPECT_DOUBLE_EQ(root.subtree_cost, root.total_cost + children);
+  EXPECT_DOUBLE_EQ(root.subtree_cost,
+                   tree.node(tree.root()).subtree_cost);
+}
+
+// --- Transforms -----------------------------------------------------------------
+
+TEST(TransformTest, MirrorIsInvolution) {
+  JoinTree tree = Annotated(QueryShape::kLeftLinear, 6);
+  JoinTree original = tree;
+  MirrorTree(&tree);
+  // Now right-linear: one segment.
+  TotalCostModel().Annotate(&tree);
+  EXPECT_EQ(SegmentedTree::Build(tree).segments().size(), 1u);
+  MirrorTree(&tree);
+  for (size_t i = 0; i < tree.num_nodes(); ++i) {
+    EXPECT_EQ(tree.node(static_cast<int>(i)).left,
+              original.node(static_cast<int>(i)).left);
+  }
+}
+
+TEST(TransformTest, RightOrientMakesSegmentsLonger) {
+  auto longest = [](const JoinTree& t) {
+    SegmentedTree segmented = SegmentedTree::Build(t);
+    size_t best = 0;
+    for (const RightDeepSegment& seg : segmented.segments()) {
+      best = std::max(best, seg.joins.size());
+    }
+    return best;
+  };
+  JoinTree tree = Annotated(QueryShape::kLeftOrientedBushy, 10);
+  size_t before = longest(tree);  // spine leans left: short segments
+  int swapped = RightOrient(&tree);
+  EXPECT_GT(swapped, 0);
+  TotalCostModel().Annotate(&tree);
+  size_t after = longest(tree);  // the spine becomes one long probe chain
+  EXPECT_GT(after, before);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(TransformTest, RightOrientIdempotentOnRightLinear) {
+  JoinTree tree = Annotated(QueryShape::kRightLinear, 10);
+  EXPECT_EQ(RightOrient(&tree), 0);
+}
+
+TEST(TransformTest, CountJoins) {
+  JoinTree tree = Annotated(QueryShape::kWideBushy, 10);
+  EXPECT_EQ(CountJoins(tree, tree.root()), 9);
+}
+
+// --- Query analysis -------------------------------------------------------------
+
+TEST(QueryTest, WisconsinChainAnalyzes) {
+  auto query = MakeWisconsinChainQuery(QueryShape::kWideBushy, 10, 1000);
+  ASSERT_TRUE(query.ok());
+  auto analysis = AnalyzeQuery(*query);
+  ASSERT_TRUE(analysis.ok());
+  // Every node's schema is Wisconsin-sized (208 bytes).
+  for (int id : query->tree.PostOrder()) {
+    EXPECT_EQ(analysis->node_schema[static_cast<size_t>(id)]->tuple_size(),
+              208u);
+  }
+  // Join specs join column 0 with column 0.
+  for (int id : query->tree.PostOrder()) {
+    if (query->tree.node(id).is_leaf()) continue;
+    EXPECT_EQ(analysis->node_spec[static_cast<size_t>(id)].left_key, 0u);
+    EXPECT_EQ(analysis->node_spec[static_cast<size_t>(id)].right_key, 0u);
+  }
+}
+
+TEST(QueryTest, MissingBaseSchemaFails) {
+  auto query = MakeWisconsinChainQuery(QueryShape::kLeftLinear, 3, 100);
+  ASSERT_TRUE(query.ok());
+  query->base_schemas.erase("rel1");
+  EXPECT_EQ(AnalyzeQuery(*query).status().code(), StatusCode::kNotFound);
+}
+
+TEST(QueryTest, RejectsTooFewRelations) {
+  EXPECT_FALSE(MakeWisconsinChainQuery(QueryShape::kLeftLinear, 1, 100).ok());
+}
+
+}  // namespace
+}  // namespace mjoin

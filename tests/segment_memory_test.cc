@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "engine/database.h"
+#include "engine/reference.h"
+#include "engine/sim_executor.h"
+#include "plan/segments.h"
+#include "plan/wisconsin_query.h"
+#include "strategy/rd.h"
+
+namespace mjoin {
+namespace {
+
+JoinTree AnnotatedRightLinear(int relations, double card) {
+  auto tree = BuildShape(QueryShape::kRightLinear,
+                         WisconsinRelationNames(relations), card);
+  MJOIN_CHECK(tree.ok());
+  TotalCostModel().Annotate(&*tree);
+  return *std::move(tree);
+}
+
+TEST(SegmentMemoryTest, UnlimitedBudgetKeepsOneSegment) {
+  JoinTree tree = AnnotatedRightLinear(10, 1000);
+  SegmentedTree segmented = SegmentedTree::Build(tree, 0);
+  EXPECT_EQ(segmented.segments().size(), 1u);
+  EXPECT_EQ(segmented.segments()[0].probe_from, -1);
+}
+
+TEST(SegmentMemoryTest, BudgetSplitsChainBottomToTop) {
+  JoinTree tree = AnnotatedRightLinear(10, 1000);
+  // Each join's build operand is 1000 tuples; budget of 2500 fits two.
+  SegmentedTree segmented = SegmentedTree::Build(tree, 2500);
+  ASSERT_EQ(segmented.segments().size(), 5u);  // ceil(9 joins / 2)
+  // Pieces chain through probe_from; only the bottom piece reads a base
+  // relation.
+  int base_probes = 0;
+  for (const RightDeepSegment& seg : segmented.segments()) {
+    EXPECT_LE(seg.joins.size(), 2u);
+    if (seg.probe_from < 0) {
+      ++base_probes;
+    } else {
+      // The lower piece must be listed as a producer child.
+      bool found = false;
+      for (int child : seg.children) found |= child == seg.probe_from;
+      EXPECT_TRUE(found);
+    }
+  }
+  EXPECT_EQ(base_probes, 1);
+  // Root piece holds the tree root.
+  const RightDeepSegment& root =
+      segmented.segments()[static_cast<size_t>(segmented.root_segment())];
+  EXPECT_EQ(root.joins.back(), tree.root());
+}
+
+TEST(SegmentMemoryTest, EverySegmentRespectsBudgetWhenPossible) {
+  JoinTree tree = AnnotatedRightLinear(10, 1000);
+  SegmentedTree segmented = SegmentedTree::Build(tree, 3000);
+  for (const RightDeepSegment& seg : segmented.segments()) {
+    double build = 0;
+    for (int join : seg.joins) {
+      build += tree.node(tree.node(join).left).cardinality;
+    }
+    EXPECT_LE(build, 3000);
+  }
+}
+
+TEST(SegmentMemoryTest, OversizedSingleBuildStillGetsItsOwnSegment) {
+  JoinTree tree = AnnotatedRightLinear(4, 1000);
+  // Budget below a single build table: one join per segment, no infinite
+  // loop, no empty segments.
+  SegmentedTree segmented = SegmentedTree::Build(tree, 10);
+  EXPECT_EQ(segmented.segments().size(), 3u);
+  for (const RightDeepSegment& seg : segmented.segments()) {
+    EXPECT_EQ(seg.joins.size(), 1u);
+  }
+}
+
+TEST(SegmentMemoryTest, ConstrainedRdExecutesCorrectly) {
+  constexpr int kRelations = 6;
+  constexpr uint32_t kCardinality = 500;
+  Database db = MakeWisconsinDatabase(kRelations, kCardinality, 43);
+  auto query = MakeWisconsinChainQuery(QueryShape::kRightLinear, kRelations,
+                                       kCardinality);
+  ASSERT_TRUE(query.ok());
+  auto reference = ReferenceSummary(*query, db);
+  ASSERT_TRUE(reference.ok());
+  SimExecutor executor(&db);
+  for (double budget : {0.0, 2000.0, 600.0}) {
+    SegmentedRightDeepStrategy strategy(budget);
+    auto plan = strategy.Parallelize(*query, 10, TotalCostModel());
+    ASSERT_TRUE(plan.ok()) << "budget " << budget << ": " << plan.status();
+    ASSERT_TRUE(plan->Validate().ok());
+    auto run = executor.Execute(*plan, SimExecOptions());
+    ASSERT_TRUE(run.ok()) << run.status();
+    EXPECT_EQ(run->result, *reference) << "budget " << budget;
+  }
+}
+
+TEST(SegmentMemoryTest, ConstrainedRdAlsoWorksOnBushyTrees) {
+  constexpr int kRelations = 8;
+  constexpr uint32_t kCardinality = 400;
+  Database db = MakeWisconsinDatabase(kRelations, kCardinality, 47);
+  auto query = MakeWisconsinChainQuery(QueryShape::kRightOrientedBushy,
+                                       kRelations, kCardinality);
+  ASSERT_TRUE(query.ok());
+  auto reference = ReferenceSummary(*query, db);
+  ASSERT_TRUE(reference.ok());
+  SegmentedRightDeepStrategy strategy(/*max_build_tuples_per_segment=*/800);
+  auto plan = strategy.Parallelize(*query, 12, TotalCostModel());
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  SimExecutor executor(&db);
+  auto run = executor.Execute(*plan, SimExecOptions());
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result, *reference);
+}
+
+TEST(SegmentMemoryTest, ToStringShowsProbeHandoffs) {
+  JoinTree tree = AnnotatedRightLinear(6, 1000);
+  SegmentedTree segmented = SegmentedTree::Build(tree, 2000);
+  std::string text = segmented.ToString(tree);
+  EXPECT_NE(text.find("probes result of segment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "sim/machine.h"
+#include "sim/processor.h"
+#include "sim/simulator.h"
+#include "sim/trace.h"
+
+namespace mjoin {
+namespace {
+
+// --- Simulator ----------------------------------------------------------------
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 30);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulatorTest, TieBreakIsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.Schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NestedSchedulingAdvancesClock) {
+  Simulator sim;
+  Ticks observed = -1;
+  sim.Schedule(10, [&] {
+    sim.Schedule(15, [&] { observed = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(observed, 25);
+  EXPECT_EQ(sim.num_events_processed(), 2u);
+}
+
+TEST(SimulatorTest, RunForStopsEarly) {
+  Simulator sim;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) sim.Schedule(i, [&] { ++fired; });
+  EXPECT_FALSE(sim.RunFor(3));
+  EXPECT_EQ(fired, 3);
+  EXPECT_TRUE(sim.RunFor(100));
+  EXPECT_EQ(fired, 5);
+}
+
+// --- SimProcessor ----------------------------------------------------------------
+
+TEST(SimProcessorTest, TasksSerializeOnOneNode) {
+  Simulator sim;
+  TraceRecorder trace(1);
+  SimProcessor node(0, &sim, &trace);
+  std::vector<Ticks> completion;
+  for (int i = 0; i < 3; ++i) {
+    node.Submit('a', [&sim, &completion] {
+      TaskResult result;
+      result.cost = 10;
+      result.after.push_back({0, [&sim, &completion] {
+                                completion.push_back(sim.Now());
+                              }});
+      return result;
+    });
+  }
+  sim.Run();
+  EXPECT_EQ(completion, (std::vector<Ticks>{10, 20, 30}));
+  EXPECT_EQ(node.busy_ticks(), 30);
+}
+
+TEST(SimProcessorTest, DeferredActionsRunAtCompletionPlusDelay) {
+  Simulator sim;
+  SimProcessor node(0, &sim, nullptr);
+  Ticks when = -1;
+  node.Submit('x', [&] {
+    TaskResult result;
+    result.cost = 7;
+    result.after.push_back({5, [&] { when = sim.Now(); }});
+    return result;
+  });
+  sim.Run();
+  EXPECT_EQ(when, 12);
+}
+
+TEST(SimProcessorTest, TwoNodesRunInParallel) {
+  Simulator sim;
+  SimProcessor a(0, &sim, nullptr), b(1, &sim, nullptr);
+  Ticks end_a = 0, end_b = 0;
+  a.Submit('a', [&] {
+    TaskResult r;
+    r.cost = 100;
+    r.after.push_back({0, [&] { end_a = sim.Now(); }});
+    return r;
+  });
+  b.Submit('b', [&] {
+    TaskResult r;
+    r.cost = 100;
+    r.after.push_back({0, [&] { end_b = sim.Now(); }});
+    return r;
+  });
+  EXPECT_EQ(sim.Run(), 100);  // not 200: the nodes overlap
+  EXPECT_EQ(end_a, 100);
+  EXPECT_EQ(end_b, 100);
+}
+
+// --- TraceRecorder ----------------------------------------------------------------
+
+TEST(TraceTest, BusyTicksPerProcessor) {
+  TraceRecorder trace(3);
+  trace.Record(0, 0, 10, 'a');
+  trace.Record(0, 20, 25, 'b');
+  trace.Record(2, 0, 40, 'c');
+  std::vector<Ticks> busy = trace.BusyTicks();
+  EXPECT_EQ(busy, (std::vector<Ticks>{15, 0, 40}));
+}
+
+TEST(TraceTest, UtilizationFraction) {
+  TraceRecorder trace(2);
+  trace.Record(0, 0, 50, 'a');
+  trace.Record(1, 0, 100, 'b');
+  EXPECT_DOUBLE_EQ(trace.Utilization(100), 0.75);
+  EXPECT_DOUBLE_EQ(trace.Utilization(0), 0.0);
+}
+
+TEST(TraceTest, DisabledRecorderIgnoresIntervals) {
+  TraceRecorder trace(2, /*enabled=*/false);
+  trace.Record(0, 0, 50, 'a');
+  EXPECT_TRUE(trace.intervals().empty());
+}
+
+TEST(TraceTest, RenderShowsDominantLabelPerCell) {
+  TraceRecorder trace(1);
+  trace.Record(0, 0, 50, 'a');
+  trace.Record(0, 50, 100, 'b');
+  std::string out = trace.Render(100, 10);
+  EXPECT_NE(out.find("aaaaabbbbb"), std::string::npos);
+}
+
+TEST(TraceTest, RenderMarksIdleAsDots) {
+  TraceRecorder trace(1);
+  trace.Record(0, 0, 10, 'a');
+  std::string out = trace.Render(100, 10);
+  EXPECT_NE(out.find("a........."), std::string::npos);
+}
+
+// --- SimMachine ----------------------------------------------------------------
+
+TEST(MachineTest, HasWorkersPlusServiceNodes) {
+  CostParams costs;
+  SimMachine machine(8, costs);
+  EXPECT_EQ(machine.num_workers(), 8u);
+  EXPECT_EQ(machine.scheduler_id(), 8u);
+  EXPECT_EQ(machine.broker_id(), 9u);
+  EXPECT_EQ(machine.node(9).id(), 9u);
+}
+
+TEST(MachineTest, CostParamsToStringMentionsKnobs) {
+  CostParams costs;
+  std::string s = costs.ToString();
+  EXPECT_NE(s.find("startup="), std::string::npos);
+  EXPECT_NE(s.find("broker="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "storage/partitioner.h"
+#include "storage/relation.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace mjoin {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Column::Int32("id"), Column::Int32("value"),
+                 Column::FixedString("name", 8)});
+}
+
+// --- Schema -------------------------------------------------------------------
+
+TEST(SchemaTest, LayoutOffsetsAndSize) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.num_columns(), 3u);
+  EXPECT_EQ(schema.tuple_size(), 16u);
+  EXPECT_EQ(schema.offset(0), 0u);
+  EXPECT_EQ(schema.offset(1), 4u);
+  EXPECT_EQ(schema.offset(2), 8u);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema schema = TestSchema();
+  auto idx = schema.ColumnIndex("value");
+  ASSERT_TRUE(idx.ok());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_EQ(schema.ColumnIndex("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  EXPECT_EQ(TestSchema(), TestSchema());
+  Schema other({Column::Int32("id")});
+  EXPECT_FALSE(TestSchema() == other);
+}
+
+TEST(SchemaTest, ToStringShowsTypes) {
+  EXPECT_EQ(TestSchema().ToString(), "(id:i32, value:i32, name:str8)");
+}
+
+// --- Tuple --------------------------------------------------------------------
+
+TEST(TupleTest, WriteAndReadRoundTrip) {
+  Schema schema = TestSchema();
+  std::vector<std::byte> buffer(schema.tuple_size());
+  TupleWriter writer(buffer.data(), &schema);
+  writer.SetInt32(0, 42);
+  writer.SetInt32(1, -7);
+  writer.SetString(2, "abc");
+
+  TupleRef ref(buffer.data(), &schema);
+  EXPECT_EQ(ref.GetInt32(0), 42);
+  EXPECT_EQ(ref.GetInt32(1), -7);
+  EXPECT_EQ(ref.GetString(2), "abc     ");  // space padded to width 8
+}
+
+TEST(TupleTest, StringTruncatedToWidth) {
+  Schema schema = TestSchema();
+  std::vector<std::byte> buffer(schema.tuple_size());
+  TupleWriter writer(buffer.data(), &schema);
+  writer.SetString(2, "abcdefghijklmn");
+  TupleRef ref(buffer.data(), &schema);
+  EXPECT_EQ(ref.GetString(2), "abcdefgh");
+}
+
+TEST(TupleTest, CopyColumnBetweenSchemas) {
+  Schema schema = TestSchema();
+  std::vector<std::byte> src(schema.tuple_size()), dst(schema.tuple_size());
+  TupleWriter ws(src.data(), &schema);
+  ws.SetInt32(1, 99);
+  TupleWriter wd(dst.data(), &schema);
+  wd.CopyColumn(0, TupleRef(src.data(), &schema), 1);
+  EXPECT_EQ(TupleRef(dst.data(), &schema).GetInt32(0), 99);
+}
+
+TEST(TupleTest, ToStringTrimsPadding) {
+  Schema schema = TestSchema();
+  std::vector<std::byte> buffer(schema.tuple_size());
+  TupleWriter writer(buffer.data(), &schema);
+  writer.SetInt32(0, 1);
+  writer.SetInt32(1, 2);
+  writer.SetString(2, "hi");
+  EXPECT_EQ(TupleRef(buffer.data(), &schema).ToString(), "(1, 2, 'hi')");
+}
+
+// --- Relation -----------------------------------------------------------------
+
+Relation MakeRelation(int n) {
+  Relation rel(TestSchema());
+  for (int i = 0; i < n; ++i) {
+    TupleWriter w = rel.AppendTuple();
+    w.SetInt32(0, i);
+    w.SetInt32(1, i * 10);
+    w.SetString(2, "row");
+  }
+  return rel;
+}
+
+TEST(RelationTest, AppendAndAccess) {
+  Relation rel = MakeRelation(5);
+  EXPECT_EQ(rel.num_tuples(), 5u);
+  EXPECT_EQ(rel.byte_size(), 5u * 16u);
+  EXPECT_EQ(rel.tuple(3).GetInt32(0), 3);
+  EXPECT_EQ(rel.tuple(3).GetInt32(1), 30);
+}
+
+TEST(RelationTest, CloneIsDeep) {
+  Relation rel = MakeRelation(2);
+  Relation copy = rel.Clone();
+  EXPECT_EQ(copy.num_tuples(), 2u);
+  // Mutating the copy must not affect the original.
+  TupleWriter w = copy.AppendTuple();
+  w.SetInt32(0, 100);
+  EXPECT_EQ(rel.num_tuples(), 2u);
+  EXPECT_EQ(copy.num_tuples(), 3u);
+}
+
+TEST(RelationTest, AppendRowCopiesBytes) {
+  Relation a = MakeRelation(1);
+  Relation b(TestSchema());
+  b.AppendRow(a.tuple(0).data());
+  EXPECT_EQ(b.tuple(0).GetInt32(1), 0);
+}
+
+TEST(RelationTest, EmptyRelation) {
+  Relation rel(TestSchema());
+  EXPECT_EQ(rel.num_tuples(), 0u);
+  Relation defaulted;
+  EXPECT_EQ(defaulted.num_tuples(), 0u);
+}
+
+// --- Partitioner ----------------------------------------------------------------
+
+TEST(PartitionerTest, HashPartitionIsCompleteAndDisjoint) {
+  Relation rel = MakeRelation(1000);
+  auto parts = HashPartition(rel, 0, 7);
+  ASSERT_TRUE(parts.ok());
+  ASSERT_EQ(parts->size(), 7u);
+  size_t total = 0;
+  for (const Relation& frag : *parts) total += frag.num_tuples();
+  EXPECT_EQ(total, 1000u);
+}
+
+TEST(PartitionerTest, HashPartitionRoutesByFragmentOf) {
+  Relation rel = MakeRelation(500);
+  auto parts = HashPartition(rel, 0, 5);
+  ASSERT_TRUE(parts.ok());
+  for (uint32_t f = 0; f < 5; ++f) {
+    const Relation& frag = (*parts)[f];
+    for (size_t i = 0; i < frag.num_tuples(); ++i) {
+      EXPECT_EQ(FragmentOf(frag.tuple(i).GetInt32(0), 5), f);
+    }
+  }
+}
+
+TEST(PartitionerTest, HashPartitionBalancedEnough) {
+  Relation rel = MakeRelation(10000);
+  auto parts = HashPartition(rel, 0, 10);
+  ASSERT_TRUE(parts.ok());
+  for (const Relation& frag : *parts) {
+    EXPECT_GT(frag.num_tuples(), 800u);
+    EXPECT_LT(frag.num_tuples(), 1200u);
+  }
+}
+
+TEST(PartitionerTest, RejectsBadArguments) {
+  Relation rel = MakeRelation(10);
+  EXPECT_EQ(HashPartition(rel, 0, 0).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(HashPartition(rel, 9, 2).status().code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(HashPartition(rel, 2, 2).status().code(),
+            StatusCode::kInvalidArgument);  // string column
+}
+
+TEST(PartitionerTest, RoundRobinSpreadsEvenly) {
+  Relation rel = MakeRelation(10);
+  std::vector<Relation> parts = RoundRobinPartition(rel, 3);
+  EXPECT_EQ(parts[0].num_tuples(), 4u);
+  EXPECT_EQ(parts[1].num_tuples(), 3u);
+  EXPECT_EQ(parts[2].num_tuples(), 3u);
+}
+
+TEST(PartitionerTest, RangePartitionRespectsBounds) {
+  Relation rel = MakeRelation(100);
+  auto parts = RangePartition(rel, 0, 4, 0, 99);
+  ASSERT_TRUE(parts.ok());
+  EXPECT_EQ((*parts)[0].num_tuples(), 25u);
+  EXPECT_EQ((*parts)[3].num_tuples(), 25u);
+  // Out-of-range key detected.
+  EXPECT_EQ(RangePartition(rel, 0, 4, 10, 99).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PartitionerTest, ConcatRestoresAllTuples) {
+  Relation rel = MakeRelation(123);
+  auto parts = HashPartition(rel, 0, 4);
+  ASSERT_TRUE(parts.ok());
+  Relation merged = ConcatFragments(*parts);
+  EXPECT_EQ(merged.num_tuples(), 123u);
+}
+
+}  // namespace
+}  // namespace mjoin

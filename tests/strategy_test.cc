@@ -1,0 +1,293 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "plan/wisconsin_query.h"
+#include "strategy/idealized.h"
+#include "strategy/strategy.h"
+
+namespace mjoin {
+namespace {
+
+JoinQuery Query(QueryShape shape, int relations = 10,
+                uint32_t cardinality = 1000) {
+  auto query = MakeWisconsinChainQuery(shape, relations, cardinality);
+  MJOIN_CHECK(query.ok()) << query.status();
+  return *std::move(query);
+}
+
+ParallelPlan Plan(StrategyKind kind, QueryShape shape, uint32_t processors) {
+  JoinQuery query = Query(shape);
+  auto plan = MakeStrategy(kind)->Parallelize(query, processors,
+                                              TotalCostModel());
+  MJOIN_CHECK(plan.ok()) << plan.status();
+  return *std::move(plan);
+}
+
+size_t CountKind(const ParallelPlan& plan, XraOpKind kind) {
+  size_t n = 0;
+  for (const XraOp& op : plan.ops) n += op.kind == kind ? 1 : 0;
+  return n;
+}
+
+uint64_t JoinProcesses(const ParallelPlan& plan) {
+  uint64_t n = 0;
+  for (const XraOp& op : plan.ops) {
+    if (op.is_join()) n += op.processors.size();
+  }
+  return n;
+}
+
+TEST(StrategyTest, NamesAndFactory) {
+  for (StrategyKind kind : kAllStrategies) {
+    auto strategy = MakeStrategy(kind);
+    EXPECT_EQ(strategy->kind(), kind);
+    EXPECT_FALSE(strategy->name().empty());
+  }
+}
+
+TEST(StrategyTest, AllPlansValidateOnAllShapes) {
+  for (StrategyKind kind : kAllStrategies) {
+    for (QueryShape shape : kAllShapes) {
+      ParallelPlan plan = Plan(kind, shape, 20);
+      EXPECT_TRUE(plan.Validate().ok())
+          << StrategyName(kind) << " on " << ShapeName(shape);
+      EXPECT_FALSE(plan.ToString().empty());
+    }
+  }
+}
+
+// --- SP structure ----------------------------------------------------------
+
+TEST(StrategyTest, SpUsesAllProcessorsPerJoinSequentially) {
+  ParallelPlan plan = Plan(StrategyKind::kSP, QueryShape::kWideBushy, 16);
+  for (const XraOp& op : plan.ops) {
+    if (op.is_join()) {
+      EXPECT_EQ(op.kind, XraOpKind::kSimpleHashJoin);
+      EXPECT_EQ(op.processors.size(), 16u);
+    }
+  }
+  // The paper's process count: one process per join per processor.
+  EXPECT_EQ(JoinProcesses(plan), 9u * 16u);
+  // Two groups per join (build, probe), strictly chained.
+  EXPECT_EQ(plan.groups.size(), 18u);
+}
+
+TEST(StrategyTest, SpNeedsNoCostFunction) {
+  // SP with wildly different coefficients must produce the same plan
+  // structure (same processor lists everywhere).
+  JoinQuery query = Query(QueryShape::kRightOrientedBushy);
+  auto a = MakeStrategy(StrategyKind::kSP)
+               ->Parallelize(query, 12, TotalCostModel());
+  auto b = MakeStrategy(StrategyKind::kSP)
+               ->Parallelize(query, 12,
+                             TotalCostModel(JoinCostCoefficients{1, 50, 9}));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->ops.size(), b->ops.size());
+  for (size_t i = 0; i < a->ops.size(); ++i) {
+    EXPECT_EQ(a->ops[i].processors, b->ops[i].processors);
+  }
+}
+
+TEST(StrategyTest, SpMaterializesEveryIntermediateResult) {
+  ParallelPlan plan = Plan(StrategyKind::kSP, QueryShape::kLeftLinear, 8);
+  // 9 joins -> 9 stored results (8 intermediates + final).
+  EXPECT_EQ(plan.num_results, 9);
+  EXPECT_EQ(CountKind(plan, XraOpKind::kRescan), 8u);
+}
+
+// --- SE structure ----------------------------------------------------------
+
+TEST(StrategyTest, SeDegeneratesToSpOnLinearTrees) {
+  for (QueryShape shape :
+       {QueryShape::kLeftLinear, QueryShape::kRightLinear}) {
+    ParallelPlan sp = Plan(StrategyKind::kSP, shape, 10);
+    ParallelPlan se = Plan(StrategyKind::kSE, shape, 10);
+    // Same number of groups, same processor width everywhere: SE adds no
+    // inter-operator parallelism on a linear tree.
+    EXPECT_EQ(se.groups.size(), sp.groups.size()) << ShapeName(shape);
+    for (const XraOp& op : se.ops) {
+      EXPECT_EQ(op.processors.size(), 10u);
+      if (op.is_join()) {
+        EXPECT_EQ(op.kind, XraOpKind::kSimpleHashJoin);
+      }
+    }
+  }
+}
+
+TEST(StrategyTest, SeSplitsIndependentSubtreesDisjointly) {
+  ParallelPlan plan = Plan(StrategyKind::kSE, QueryShape::kWideBushy, 20);
+  // The two subtrees under the root are independent: their top joins must
+  // use disjoint processor sets, and the root join all 20.
+  const XraOp* root_join = nullptr;
+  for (const XraOp& op : plan.ops) {
+    if (op.is_join() && op.store_result == plan.final_result) {
+      root_join = &op;
+    }
+  }
+  ASSERT_NE(root_join, nullptr);
+  EXPECT_EQ(root_join->processors.size(), 20u);
+
+  const XraOp& left_producer =
+      plan.ops[static_cast<size_t>(root_join->inputs[0].producer)];
+  const XraOp& right_producer =
+      plan.ops[static_cast<size_t>(root_join->inputs[1].producer)];
+  ASSERT_EQ(left_producer.kind, XraOpKind::kRescan);
+  ASSERT_EQ(right_producer.kind, XraOpKind::kRescan);
+  std::set<uint32_t> left_set(left_producer.processors.begin(),
+                              left_producer.processors.end());
+  for (uint32_t p : right_producer.processors) {
+    EXPECT_FALSE(left_set.contains(p))
+        << "independent subtrees share processor " << p;
+  }
+}
+
+// --- RD structure ----------------------------------------------------------
+
+TEST(StrategyTest, RdOnRightLinearIsOnePipelinedStage) {
+  ParallelPlan plan = Plan(StrategyKind::kRD, QueryShape::kRightLinear, 18);
+  // One segment: one build group + one probe group.
+  EXPECT_EQ(plan.groups.size(), 2u);
+  EXPECT_EQ(CountKind(plan, XraOpKind::kRescan), 0u);
+  // All 9 joins coexist on disjoint processors (like FP), but with the
+  // simple hash-join.
+  uint64_t total = 0;
+  std::set<uint32_t> used;
+  for (const XraOp& op : plan.ops) {
+    if (!op.is_join()) continue;
+    EXPECT_EQ(op.kind, XraOpKind::kSimpleHashJoin);
+    for (uint32_t p : op.processors) EXPECT_TRUE(used.insert(p).second);
+    total += op.processors.size();
+  }
+  EXPECT_EQ(total, 18u);
+}
+
+TEST(StrategyTest, RdOnLeftLinearDegeneratesToSp) {
+  ParallelPlan rd = Plan(StrategyKind::kRD, QueryShape::kLeftLinear, 10);
+  ParallelPlan sp = Plan(StrategyKind::kSP, QueryShape::kLeftLinear, 10);
+  EXPECT_EQ(rd.groups.size(), sp.groups.size());
+  for (const XraOp& op : rd.ops) {
+    if (op.is_join()) EXPECT_EQ(op.processors.size(), 10u);
+  }
+  EXPECT_EQ(CountKind(rd, XraOpKind::kRescan),
+            CountKind(sp, XraOpKind::kRescan));
+}
+
+TEST(StrategyTest, RdProbeGroupsWaitForAllBuilds) {
+  ParallelPlan plan = Plan(StrategyKind::kRD, QueryShape::kRightLinear, 18);
+  // The probe group's deps must be kBuildDone of all 9 joins.
+  const TriggerGroup& probe_group = plan.groups.back();
+  EXPECT_EQ(probe_group.deps.size(), 9u);
+  for (const TriggerDep& dep : probe_group.deps) {
+    EXPECT_EQ(dep.milestone, Milestone::kBuildDone);
+  }
+}
+
+// --- FP structure ----------------------------------------------------------
+
+TEST(StrategyTest, FpIsOneGroupWithPipeliningJoins) {
+  ParallelPlan plan = Plan(StrategyKind::kFP, QueryShape::kWideBushy, 27);
+  EXPECT_EQ(plan.groups.size(), 1u);
+  EXPECT_EQ(CountKind(plan, XraOpKind::kRescan), 0u);
+  std::set<uint32_t> used;
+  uint64_t total = 0;
+  for (const XraOp& op : plan.ops) {
+    if (!op.is_join()) continue;
+    EXPECT_EQ(op.kind, XraOpKind::kPipeliningHashJoin);
+    for (uint32_t p : op.processors) EXPECT_TRUE(used.insert(p).second);
+    total += op.processors.size();
+  }
+  // The paper: FP uses exactly one operation process per processor.
+  EXPECT_EQ(total, 27u);
+  EXPECT_EQ(JoinProcesses(plan), 27u);
+}
+
+TEST(StrategyTest, FpFailsWithFewerProcessorsThanJoins) {
+  JoinQuery query = Query(QueryShape::kLeftLinear);
+  auto plan = MakeStrategy(StrategyKind::kFP)
+                  ->Parallelize(query, 8, TotalCostModel());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StrategyTest, FpAllocatesMoreProcessorsToExpensiveJoins) {
+  // On a left-linear tree the paper cost function makes upper joins
+  // (intermediate operands) more expensive than the bottom join.
+  ParallelPlan plan = Plan(StrategyKind::kFP, QueryShape::kLeftLinear, 40);
+  size_t bottom = 0, top = 0;
+  for (const XraOp& op : plan.ops) {
+    if (!op.is_join()) continue;
+    if (op.store_result == plan.final_result) top = op.processors.size();
+    if (plan.ops[static_cast<size_t>(op.inputs[0].producer)].kind ==
+        XraOpKind::kScan) {
+      bottom = op.processors.size();
+    }
+  }
+  EXPECT_GT(top, 0u);
+  EXPECT_GT(bottom, 0u);
+  EXPECT_GE(top, bottom);
+}
+
+// --- Paper-exact degeneration: stream counts ---------------------------------
+
+TEST(StrategyTest, SpStreamCountMatchesPaperFormula) {
+  // "A refragmentation of n fragments into m fragments generates n x m
+  // tuple streams. So, for the 80 processor case the refragmentation of
+  // one operand generates 6400 tuple streams" — left-linear: 8 rescans.
+  ParallelPlan plan = Plan(StrategyKind::kSP, QueryShape::kLeftLinear, 80);
+  EXPECT_EQ(plan.CountStreams(), 8u * 6400u);
+}
+
+// --- Idealized utilization ----------------------------------------------------
+
+TEST(IdealizedTest, BlocksCoverAllJoinsWithinProcessorBounds) {
+  std::vector<std::pair<int, int>> labels;
+  JoinTree tree = BuildFigure2ExampleTree(&labels);
+  std::map<int, double> work;
+  for (auto [node, w] : labels) work[node] = w;
+  for (StrategyKind kind : kAllStrategies) {
+    auto blocks = IdealizedUtilization(kind, tree, work, 10);
+    ASSERT_TRUE(blocks.ok()) << StrategyName(kind);
+    EXPECT_EQ(blocks->size(), 4u);
+    for (const IdealizedBlock& b : *blocks) {
+      EXPECT_LT(b.proc_lo, b.proc_hi);
+      EXPECT_LE(b.proc_hi, 10u);
+      EXPECT_LT(b.start, b.end);
+    }
+    EXPECT_FALSE(RenderIdealized(*blocks, 10).empty());
+  }
+}
+
+TEST(IdealizedTest, SpIsSequentialAndFullWidth) {
+  std::vector<std::pair<int, int>> labels;
+  JoinTree tree = BuildFigure2ExampleTree(&labels);
+  std::map<int, double> work;
+  for (auto [node, w] : labels) work[node] = w;
+  auto blocks = IdealizedUtilization(StrategyKind::kSP, tree, work, 10);
+  ASSERT_TRUE(blocks.ok());
+  double t = 0;
+  for (const IdealizedBlock& b : *blocks) {
+    EXPECT_EQ(b.proc_lo, 0u);
+    EXPECT_EQ(b.proc_hi, 10u);
+    EXPECT_DOUBLE_EQ(b.start, t);  // no gaps, no overlap
+    t = b.end;
+  }
+  // Total span = total work / P = (1+5+3+4)/10.
+  EXPECT_DOUBLE_EQ(t, 1.3);
+}
+
+TEST(IdealizedTest, FpStartsEveryJoinNearTimeZero) {
+  std::vector<std::pair<int, int>> labels;
+  JoinTree tree = BuildFigure2ExampleTree(&labels);
+  std::map<int, double> work;
+  for (auto [node, w] : labels) work[node] = w;
+  auto blocks = IdealizedUtilization(StrategyKind::kFP, tree, work, 10);
+  ASSERT_TRUE(blocks.ok());
+  double makespan = 0;
+  for (const IdealizedBlock& b : *blocks) makespan = std::max(makespan, b.end);
+  for (const IdealizedBlock& b : *blocks) {
+    EXPECT_LT(b.start, makespan / 2) << "FP join starts late";
+  }
+}
+
+}  // namespace
+}  // namespace mjoin

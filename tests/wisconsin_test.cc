@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "storage/wisconsin.h"
+
+namespace mjoin {
+namespace {
+
+TEST(WisconsinTest, SchemaIs208Bytes) {
+  const Schema& schema = WisconsinSchema();
+  EXPECT_EQ(schema.tuple_size(), 208u);
+  EXPECT_EQ(schema.num_columns(), 16u);
+  EXPECT_EQ(schema.column(kUnique1).name, "unique1");
+  EXPECT_EQ(schema.column(kStringU1).width, 52u);
+}
+
+TEST(WisconsinTest, UniqueAttributesArePermutations) {
+  Relation rel = GenerateWisconsin(1000, 77);
+  std::set<int32_t> u1, u2;
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    u1.insert(rel.tuple(i).GetInt32(kUnique1));
+    u2.insert(rel.tuple(i).GetInt32(kUnique2));
+  }
+  EXPECT_EQ(u1.size(), 1000u);
+  EXPECT_EQ(*u1.begin(), 0);
+  EXPECT_EQ(*u1.rbegin(), 999);
+  EXPECT_EQ(u2.size(), 1000u);
+}
+
+TEST(WisconsinTest, DerivedAttributesFollowUnique1) {
+  Relation rel = GenerateWisconsin(500, 5);
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    TupleRef t = rel.tuple(i);
+    int32_t u1 = t.GetInt32(kUnique1);
+    EXPECT_EQ(t.GetInt32(kTwo), u1 % 2);
+    EXPECT_EQ(t.GetInt32(kFour), u1 % 4);
+    EXPECT_EQ(t.GetInt32(kTen), u1 % 10);
+    EXPECT_EQ(t.GetInt32(kTwenty), u1 % 20);
+    EXPECT_EQ(t.GetInt32(kOnePercent), u1 % 100);
+    EXPECT_EQ(t.GetInt32(kUnique3), u1);
+    EXPECT_EQ(t.GetInt32(kEvenOnePercent), (u1 % 100) * 2);
+    EXPECT_EQ(t.GetInt32(kOddOnePercent), (u1 % 100) * 2 + 1);
+  }
+}
+
+TEST(WisconsinTest, StringAttributesEncodeValues) {
+  EXPECT_EQ(WisconsinString(0), "AAAAAAA" + std::string(45, 'x'));
+  EXPECT_EQ(WisconsinString(1), "AAAAAAB" + std::string(45, 'x'));
+  EXPECT_EQ(WisconsinString(26), "AAAAABA" + std::string(45, 'x'));
+  Relation rel = GenerateWisconsin(30, 5);
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    TupleRef t = rel.tuple(i);
+    EXPECT_EQ(t.GetString(kStringU1),
+              WisconsinString(t.GetInt32(kUnique1)));
+    EXPECT_EQ(t.GetString(kStringU2),
+              WisconsinString(t.GetInt32(kUnique2)));
+  }
+}
+
+TEST(WisconsinTest, DeterministicPerSeedDistinctAcrossSeeds) {
+  Relation a1 = GenerateWisconsin(100, 1);
+  Relation a2 = GenerateWisconsin(100, 1);
+  Relation b = GenerateWisconsin(100, 2);
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(a1.tuple(i).GetInt32(kUnique1), a2.tuple(i).GetInt32(kUnique1));
+  }
+  // Different seed must give a different permutation (overwhelmingly).
+  bool differs = false;
+  for (size_t i = 0; i < 100; ++i) {
+    differs |= a1.tuple(i).GetInt32(kUnique1) != b.tuple(i).GetInt32(kUnique1);
+  }
+  EXPECT_TRUE(differs);
+}
+
+// The paper requires "no correlation between the first and second
+// attribute of one relation": Pearson correlation of (unique1, unique2)
+// should be near zero.
+TEST(WisconsinTest, Unique1Unique2Decorrelated) {
+  constexpr uint32_t kN = 20000;
+  Relation rel = GenerateWisconsin(kN, 99);
+  double mean = (kN - 1) / 2.0;
+  double cov = 0, var = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    double a = rel.tuple(i).GetInt32(kUnique1) - mean;
+    double b = rel.tuple(i).GetInt32(kUnique2) - mean;
+    cov += a * b;
+    var += a * a;
+  }
+  double corr = cov / var;
+  EXPECT_LT(std::abs(corr), 0.02) << "unique1/unique2 correlated: " << corr;
+}
+
+TEST(WisconsinTest, CrossRelationDecorrelated) {
+  constexpr uint32_t kN = 20000;
+  Relation r1 = GenerateWisconsin(kN, 1);
+  Relation r2 = GenerateWisconsin(kN, 2);
+  double mean = (kN - 1) / 2.0;
+  double cov = 0, var = 0;
+  for (size_t i = 0; i < kN; ++i) {
+    double a = r1.tuple(i).GetInt32(kUnique1) - mean;
+    double b = r2.tuple(i).GetInt32(kUnique1) - mean;
+    cov += a * b;
+    var += a * a;
+  }
+  EXPECT_LT(std::abs(cov / var), 0.02);
+}
+
+TEST(WisconsinTest, TotalBytesMatchCardinality) {
+  Relation rel = GenerateWisconsin(5000, 3);
+  EXPECT_EQ(rel.byte_size(), 5000u * 208u);
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "plan/wisconsin_query.h"
+#include "strategy/strategy.h"
+#include "xra/plan.h"
+
+namespace mjoin {
+namespace {
+
+// Builds a known-good plan to mutate in the negative tests.
+ParallelPlan GoodPlan() {
+  auto query = MakeWisconsinChainQuery(QueryShape::kWideBushy, 4, 100);
+  MJOIN_CHECK(query.ok());
+  auto plan = MakeStrategy(StrategyKind::kFP)
+                  ->Parallelize(*query, 8, TotalCostModel());
+  MJOIN_CHECK(plan.ok()) << plan.status();
+  return *std::move(plan);
+}
+
+int FirstJoinOp(const ParallelPlan& plan) {
+  for (const XraOp& op : plan.ops) {
+    if (op.is_join()) return op.id;
+  }
+  return -1;
+}
+
+TEST(XraPlanTest, GoodPlanValidates) {
+  ParallelPlan plan = GoodPlan();
+  EXPECT_TRUE(plan.Validate().ok());
+  EXPECT_GT(plan.CountProcesses(), 0u);
+}
+
+TEST(XraPlanTest, KindAndMilestoneNames) {
+  EXPECT_EQ(XraOpKindName(XraOpKind::kScan), "scan");
+  EXPECT_EQ(XraOpKindName(XraOpKind::kRescan), "rescan");
+  EXPECT_EQ(XraOpKindName(XraOpKind::kSimpleHashJoin), "simple-hash-join");
+  EXPECT_EQ(XraOpKindName(XraOpKind::kPipeliningHashJoin),
+            "pipelining-hash-join");
+  EXPECT_EQ(MilestoneName(Milestone::kComplete), "complete");
+  EXPECT_EQ(MilestoneName(Milestone::kBuildDone), "build-done");
+}
+
+TEST(XraPlanTest, RejectsEmptyProcessorList) {
+  ParallelPlan plan = GoodPlan();
+  plan.ops[0].processors.clear();
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(XraPlanTest, RejectsProcessorOutOfRange) {
+  ParallelPlan plan = GoodPlan();
+  plan.ops[0].processors[0] = plan.num_processors + 5;
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(XraPlanTest, RejectsDuplicateProcessorWithinOp) {
+  ParallelPlan plan = GoodPlan();
+  int join = FirstJoinOp(plan);
+  auto& procs = plan.ops[static_cast<size_t>(join)].processors;
+  if (procs.size() >= 2) {
+    procs[1] = procs[0];
+    EXPECT_FALSE(plan.Validate().ok());
+  }
+}
+
+TEST(XraPlanTest, RejectsWrongSplitKey) {
+  ParallelPlan plan = GoodPlan();
+  // Find a hash-split edge and corrupt its split key.
+  for (XraOp& op : plan.ops) {
+    if (!op.is_join()) continue;
+    for (int port = 0; port < 2; ++port) {
+      if (op.inputs[port].routing == Routing::kHashSplit) {
+        op.inputs[port].split_key += 1;
+        EXPECT_FALSE(plan.Validate().ok());
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "plan has no hash-split edge";
+}
+
+TEST(XraPlanTest, RejectsColocatedEdgeWithDifferentProcessors) {
+  ParallelPlan plan = GoodPlan();
+  for (XraOp& op : plan.ops) {
+    if (op.kind == XraOpKind::kScan) {
+      // Shift the scan off its consumer's processors.
+      std::swap(op.processors.front(), op.processors.back());
+      if (op.processors !=
+          plan.ops[static_cast<size_t>(op.consumer)].processors) {
+        EXPECT_FALSE(plan.Validate().ok());
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "could not perturb any colocated edge";
+}
+
+TEST(XraPlanTest, RejectsTwoOutputs) {
+  ParallelPlan plan = GoodPlan();
+  for (XraOp& op : plan.ops) {
+    if (op.consumer >= 0) {
+      op.store_result = plan.num_results;  // now has stream AND store
+      plan.num_results += 1;
+      EXPECT_FALSE(plan.Validate().ok());
+      return;
+    }
+  }
+}
+
+TEST(XraPlanTest, RejectsMissingFinalResult) {
+  ParallelPlan plan = GoodPlan();
+  plan.final_result = 17;
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(XraPlanTest, RejectsOpInTwoGroups) {
+  ParallelPlan plan = GoodPlan();
+  plan.groups[0].ops.push_back(plan.groups[0].ops[0]);
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(XraPlanTest, RejectsDepsOnGroupZero) {
+  ParallelPlan plan = GoodPlan();
+  plan.groups[0].deps.push_back({0, Milestone::kComplete});
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(XraPlanTest, RejectsBuildDoneOnPipeliningJoin) {
+  ParallelPlan plan = GoodPlan();
+  int join = FirstJoinOp(plan);  // FP: pipelining join
+  plan.groups.push_back(TriggerGroup{{{join, Milestone::kBuildDone}}, {}});
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(XraPlanTest, RejectsConcurrentJoinsSharingProcessor) {
+  ParallelPlan plan = GoodPlan();
+  // Make two FP joins (same trigger group) overlap on one processor.
+  int first = -1, second = -1;
+  for (const XraOp& op : plan.ops) {
+    if (op.is_join()) {
+      if (first < 0) {
+        first = op.id;
+      } else {
+        second = op.id;
+        break;
+      }
+    }
+  }
+  ASSERT_GE(second, 0);
+  plan.ops[static_cast<size_t>(second)].processors[0] =
+      plan.ops[static_cast<size_t>(first)].processors[0];
+  EXPECT_FALSE(plan.Validate().ok());
+}
+
+TEST(XraPlanTest, CountStreamsIgnoresColocatedEdges) {
+  ParallelPlan plan = GoodPlan();
+  uint64_t streams = plan.CountStreams();
+  // FP on 4 relations: 2 internal pipelined edges only (scans colocated).
+  uint64_t expected = 0;
+  for (const XraOp& op : plan.ops) {
+    if (op.is_join() && op.consumer >= 0) {
+      expected += op.processors.size() *
+                  plan.ops[static_cast<size_t>(op.consumer)].processors.size();
+    }
+  }
+  EXPECT_EQ(streams, expected);
+  EXPECT_GT(streams, 0u);
+}
+
+TEST(XraPlanTest, ToStringMentionsStrategyAndOps) {
+  ParallelPlan plan = GoodPlan();
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("FP"), std::string::npos);
+  EXPECT_NE(text.find("pipelining-hash-join"), std::string::npos);
+  EXPECT_NE(text.find("group 0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mjoin

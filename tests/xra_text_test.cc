@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "engine/database.h"
+#include "engine/sim_executor.h"
+#include "plan/wisconsin_query.h"
+#include "strategy/strategy.h"
+#include "xra/text.h"
+
+namespace mjoin {
+namespace {
+
+ParallelPlan MakePlan(StrategyKind kind, QueryShape shape, uint32_t procs) {
+  auto query = MakeWisconsinChainQuery(shape, 6, 300);
+  MJOIN_CHECK(query.ok());
+  auto plan = MakeStrategy(kind)->Parallelize(*query, procs,
+                                              TotalCostModel());
+  MJOIN_CHECK(plan.ok()) << plan.status();
+  return *std::move(plan);
+}
+
+TEST(XraTextTest, SerializeMentionsEveryOp) {
+  ParallelPlan plan = MakePlan(StrategyKind::kSP, QueryShape::kLeftLinear, 6);
+  std::string text = SerializePlan(plan);
+  EXPECT_NE(text.find("mjoin-plan v1"), std::string::npos);
+  EXPECT_NE(text.find("strategy SP"), std::string::npos);
+  for (const XraOp& op : plan.ops) {
+    EXPECT_NE(text.find(StrCat("op ", op.id, " ")), std::string::npos);
+  }
+}
+
+// Round trip: parse(serialize(plan)) re-serializes to the identical text
+// (canonical form), for every strategy on every shape.
+struct Case {
+  StrategyKind strategy;
+  QueryShape shape;
+};
+
+std::string CaseName(const testing::TestParamInfo<Case>& info) {
+  std::string shape = ShapeName(info.param.shape);
+  for (char& c : shape) {
+    if (c == ' ') c = '_';
+  }
+  return StrategyName(info.param.strategy) + "_" + shape;
+}
+
+class XraTextRoundTrip : public testing::TestWithParam<Case> {};
+
+TEST_P(XraTextRoundTrip, ParseSerializeIsIdentity) {
+  ParallelPlan plan = MakePlan(GetParam().strategy, GetParam().shape, 10);
+  std::string text = SerializePlan(plan);
+  auto parsed = ParsePlan(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status() << "\n" << text;
+  EXPECT_TRUE(parsed->Validate().ok());
+  EXPECT_EQ(SerializePlan(*parsed), text);
+  EXPECT_EQ(parsed->CountStreams(), plan.CountStreams());
+  EXPECT_EQ(parsed->CountProcesses(), plan.CountProcesses());
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (StrategyKind strategy : kAllStrategies) {
+    for (QueryShape shape : kAllShapes) {
+      cases.push_back({strategy, shape});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategiesAllShapes, XraTextRoundTrip,
+                         testing::ValuesIn(AllCases()), CaseName);
+
+TEST(XraTextTest, ParsedPlanExecutesIdentically) {
+  constexpr uint32_t kCardinality = 300;
+  Database db = MakeWisconsinDatabase(6, kCardinality, 51);
+  ParallelPlan plan = MakePlan(StrategyKind::kRD,
+                               QueryShape::kRightOrientedBushy, 10);
+  auto parsed = ParsePlan(SerializePlan(plan));
+  ASSERT_TRUE(parsed.ok());
+
+  SimExecutor executor(&db);
+  auto original = executor.Execute(plan, SimExecOptions());
+  auto replayed = executor.Execute(*parsed, SimExecOptions());
+  ASSERT_TRUE(original.ok() && replayed.ok());
+  EXPECT_EQ(original->result, replayed->result);
+  EXPECT_EQ(original->response_ticks, replayed->response_ticks);
+}
+
+TEST(XraTextTest, RejectsGarbage) {
+  EXPECT_FALSE(ParsePlan("").ok());
+  EXPECT_FALSE(ParsePlan("not a plan\n").ok());
+  EXPECT_FALSE(ParsePlan("mjoin-plan v2\n").ok());
+}
+
+TEST(XraTextTest, RejectsTamperedPlans) {
+  ParallelPlan plan = MakePlan(StrategyKind::kFP, QueryShape::kWideBushy, 8);
+  std::string text = SerializePlan(plan);
+
+  // Out-of-range processor.
+  std::string bad = text;
+  size_t pos = bad.find("processors 8");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 12, "processors 2");
+  EXPECT_FALSE(ParsePlan(bad).ok());
+
+  // Corrupted integer.
+  bad = text;
+  pos = bad.find("lkey 0");
+  ASSERT_NE(pos, std::string::npos);
+  bad.replace(pos, 6, "lkey xx");
+  EXPECT_FALSE(ParsePlan(bad).ok());
+}
+
+TEST(XraTextTest, CommentsAndBlankLinesIgnored) {
+  ParallelPlan plan = MakePlan(StrategyKind::kSE, QueryShape::kWideBushy, 8);
+  std::string text = "# saved by test\n\n" + SerializePlan(plan);
+  auto parsed = ParsePlan(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -1,0 +1,296 @@
+// mjoin_cli — command-line front end to the engine.
+//
+//   mjoin_cli explain   --shape wide-bushy --strategy FP --procs 40
+//   mjoin_cli run       --shape right-bushy --strategy RD --procs 40
+//                       --card 5000 [--analyze] [--diagram]
+//   mjoin_cli save-plan --shape left-linear --strategy SP --procs 20
+//                       --out plan.xra
+//   mjoin_cli run-plan  --plan plan.xra --card 5000
+//   mjoin_cli bench     --shape wide-bushy --card 5000
+//
+// All subcommands generate the paper's Wisconsin database on the fly
+// (--relations, --card, --seed) and verify executed results against the
+// single-threaded reference.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "engine/database.h"
+#include "engine/experiment.h"
+#include "engine/reference.h"
+#include "engine/sim_executor.h"
+#include "plan/wisconsin_query.h"
+#include "strategy/strategy.h"
+#include "xra/text.h"
+
+using namespace mjoin;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atoi(it->second.c_str());
+  }
+  bool Has(const std::string& key) const { return flags.contains(key); }
+};
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: mjoin_cli <explain|run|save-plan|run-plan|bench> [flags]\n"
+      "  --shape     left-linear|left-bushy|wide-bushy|right-bushy|"
+      "right-linear (default wide-bushy)\n"
+      "  --strategy  SP|SE|RD|FP (default FP)\n"
+      "  --procs     processors (default 40)\n"
+      "  --card      tuples per relation (default 5000)\n"
+      "  --relations base relations (default 10)\n"
+      "  --seed      data seed (default 1995)\n"
+      "  --analyze   print per-op EXPLAIN ANALYZE counters (run)\n"
+      "  --diagram   print the utilization diagram (run)\n"
+      "  --out FILE  plan file to write (save-plan)\n"
+      "  --plan FILE plan file to execute (run-plan)\n");
+  return 2;
+}
+
+bool ParseShape(const std::string& text, QueryShape* shape) {
+  static const std::map<std::string, QueryShape> kShapes = {
+      {"left-linear", QueryShape::kLeftLinear},
+      {"left-bushy", QueryShape::kLeftOrientedBushy},
+      {"wide-bushy", QueryShape::kWideBushy},
+      {"right-bushy", QueryShape::kRightOrientedBushy},
+      {"right-linear", QueryShape::kRightLinear}};
+  auto it = kShapes.find(text);
+  if (it == kShapes.end()) return false;
+  *shape = it->second;
+  return true;
+}
+
+bool ParseStrategy(const std::string& text, StrategyKind* kind) {
+  for (StrategyKind candidate : kAllStrategies) {
+    if (StrategyName(candidate) == text) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+struct Common {
+  QueryShape shape = QueryShape::kWideBushy;
+  StrategyKind strategy = StrategyKind::kFP;
+  uint32_t procs = 40;
+  uint32_t card = 5000;
+  int relations = 10;
+  uint64_t seed = 1995;
+};
+
+bool ParseCommon(const Args& args, Common* common) {
+  if (!ParseShape(args.Get("shape", "wide-bushy"), &common->shape)) {
+    std::fprintf(stderr, "unknown shape\n");
+    return false;
+  }
+  if (!ParseStrategy(args.Get("strategy", "FP"), &common->strategy)) {
+    std::fprintf(stderr, "unknown strategy\n");
+    return false;
+  }
+  common->procs = static_cast<uint32_t>(args.GetInt("procs", 40));
+  common->card = static_cast<uint32_t>(args.GetInt("card", 5000));
+  common->relations = args.GetInt("relations", 10);
+  common->seed = static_cast<uint64_t>(args.GetInt("seed", 1995));
+  return true;
+}
+
+StatusOr<ParallelPlan> BuildPlan(const Common& common) {
+  MJOIN_ASSIGN_OR_RETURN(
+      JoinQuery query,
+      MakeWisconsinChainQuery(common.shape, common.relations, common.card));
+  return MakeStrategy(common.strategy)
+      ->Parallelize(query, common.procs, TotalCostModel());
+}
+
+int CmdExplain(const Args& args) {
+  Common common;
+  if (!ParseCommon(args, &common)) return 2;
+  auto query =
+      MakeWisconsinChainQuery(common.shape, common.relations, common.card);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("join tree (%s):\n%s\n", ShapeName(common.shape).c_str(),
+              query->tree.ToString().c_str());
+  auto plan = BuildPlan(common);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s", plan->ToString().c_str());
+  return 0;
+}
+
+int RunAndReport(const ParallelPlan& plan, const Common& common,
+                 bool analyze, bool diagram) {
+  Database db =
+      MakeWisconsinDatabase(common.relations, common.card, common.seed);
+
+  // Reference for verification: rebuild the query the plan came from. For
+  // run-plan we only verify the cardinality invariant.
+  SimExecutor executor(&db);
+  SimExecOptions options;
+  options.record_trace = diagram;
+  auto run = executor.Execute(plan, options);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\n", run.status().ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "strategy %s on %u processors: %.2f s simulated response, %llu "
+      "result tuples\nprocesses %llu, streams %llu, startup %.2f s, "
+      "handshake %.2f s\n",
+      plan.strategy.c_str(), plan.num_processors, run->response_seconds,
+      static_cast<unsigned long long>(run->result.cardinality),
+      static_cast<unsigned long long>(run->counters.processes_started),
+      static_cast<unsigned long long>(run->counters.streams_opened),
+      options.costs.ToSeconds(run->counters.startup_ticks),
+      options.costs.ToSeconds(run->counters.handshake_ticks));
+  if (analyze) {
+    std::printf("\nEXPLAIN ANALYZE:\n%s", RenderOpStats(plan, *run).c_str());
+  }
+  if (diagram) {
+    std::printf("\nutilization (%.0f%%):\n%s", run->utilization * 100,
+                run->utilization_diagram.c_str());
+  }
+  return 0;
+}
+
+int CmdRun(const Args& args) {
+  Common common;
+  if (!ParseCommon(args, &common)) return 2;
+  auto plan = BuildPlan(common);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  // Verify against the reference first.
+  Database db =
+      MakeWisconsinDatabase(common.relations, common.card, common.seed);
+  auto query =
+      MakeWisconsinChainQuery(common.shape, common.relations, common.card);
+  auto reference = ReferenceSummary(*query, db);
+  SimExecutor executor(&db);
+  auto check = executor.Execute(*plan, SimExecOptions());
+  if (!check.ok() || !reference.ok() || !(check->result == *reference)) {
+    std::fprintf(stderr, "verification FAILED\n");
+    return 1;
+  }
+  return RunAndReport(*plan, common, args.Has("analyze"),
+                      args.Has("diagram"));
+}
+
+int CmdSavePlan(const Args& args) {
+  Common common;
+  if (!ParseCommon(args, &common)) return 2;
+  std::string out = args.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out FILE required\n");
+    return 2;
+  }
+  auto plan = BuildPlan(common);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  std::ofstream file(out);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  file << SerializePlan(*plan);
+  std::printf("wrote %s (%llu ops, %llu processes)\n", out.c_str(),
+              static_cast<unsigned long long>(plan->ops.size()),
+              static_cast<unsigned long long>(plan->CountProcesses()));
+  return 0;
+}
+
+int CmdRunPlan(const Args& args) {
+  Common common;
+  if (!ParseCommon(args, &common)) return 2;
+  std::string path = args.Get("plan", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "--plan FILE required\n");
+    return 2;
+  }
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  auto plan = ParsePlan(buffer.str());
+  if (!plan.ok()) {
+    std::fprintf(stderr, "parse: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  return RunAndReport(*plan, common, args.Has("analyze"),
+                      args.Has("diagram"));
+}
+
+int CmdBench(const Args& args) {
+  Common common;
+  if (!ParseCommon(args, &common)) return 2;
+  ExperimentConfig config;
+  config.shape = common.shape;
+  config.num_relations = common.relations;
+  config.cardinality = common.card;
+  config.processors = SmallExperimentProcessors();
+  config.seed = common.seed;
+  auto result = RunShapeExperiment(config);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s query tree, %u tuples/relation:\n%s",
+              ShapeName(common.shape).c_str(), common.card,
+              result->ToTable().c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token.rfind("--", 0) != 0) return Usage();
+    std::string key = token.substr(2);
+    if (key == "analyze" || key == "diagram") {
+      args.flags[key] = "1";
+    } else if (i + 1 < argc) {
+      args.flags[key] = argv[++i];
+    } else {
+      return Usage();
+    }
+  }
+  if (args.command == "explain") return CmdExplain(args);
+  if (args.command == "run") return CmdRun(args);
+  if (args.command == "save-plan") return CmdSavePlan(args);
+  if (args.command == "run-plan") return CmdRunPlan(args);
+  if (args.command == "bench") return CmdBench(args);
+  return Usage();
+}
