@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_batch_size.cc" "bench-build/CMakeFiles/ablation_batch_size.dir/ablation_batch_size.cc.o" "gcc" "bench-build/CMakeFiles/ablation_batch_size.dir/ablation_batch_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/mjoin_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/mjoin_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/mjoin_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/mjoin_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/xra/CMakeFiles/mjoin_xra.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mjoin_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_cost_function"
+  "../bench/ablation_cost_function.pdb"
+  "CMakeFiles/ablation_cost_function.dir/ablation_cost_function.cc.o"
+  "CMakeFiles/ablation_cost_function.dir/ablation_cost_function.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cost_function.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_join_algorithm"
+  "../bench/ablation_join_algorithm.pdb"
+  "CMakeFiles/ablation_join_algorithm.dir/ablation_join_algorithm.cc.o"
+  "CMakeFiles/ablation_join_algorithm.dir/ablation_join_algorithm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_join_algorithm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_mirror_rd"
+  "../bench/ablation_mirror_rd.pdb"
+  "CMakeFiles/ablation_mirror_rd.dir/ablation_mirror_rd.cc.o"
+  "CMakeFiles/ablation_mirror_rd.dir/ablation_mirror_rd.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mirror_rd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_overheads"
+  "../bench/ablation_overheads.pdb"
+  "CMakeFiles/ablation_overheads.dir/ablation_overheads.cc.o"
+  "CMakeFiles/ablation_overheads.dir/ablation_overheads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_overheads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_rd_segments"
+  "../bench/ablation_rd_segments.pdb"
+  "CMakeFiles/ablation_rd_segments.dir/ablation_rd_segments.cc.o"
+  "CMakeFiles/ablation_rd_segments.dir/ablation_rd_segments.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rd_segments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_memory_pressure"
+  "../bench/ext_memory_pressure.pdb"
+  "CMakeFiles/ext_memory_pressure.dir/ext_memory_pressure.cc.o"
+  "CMakeFiles/ext_memory_pressure.dir/ext_memory_pressure.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_memory_pressure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_query_size"
+  "../bench/ext_query_size.pdb"
+  "CMakeFiles/ext_query_size.dir/ext_query_size.cc.o"
+  "CMakeFiles/ext_query_size.dir/ext_query_size.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_query_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ext_skew"
+  "../bench/ext_skew.pdb"
+  "CMakeFiles/ext_skew.dir/ext_skew.cc.o"
+  "CMakeFiles/ext_skew.dir/ext_skew.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig03_07_utilization"
+  "../bench/fig03_07_utilization.pdb"
+  "CMakeFiles/fig03_07_utilization.dir/fig03_07_utilization.cc.o"
+  "CMakeFiles/fig03_07_utilization.dir/fig03_07_utilization.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_07_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

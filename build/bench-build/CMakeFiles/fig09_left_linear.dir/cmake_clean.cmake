@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_left_linear"
+  "../bench/fig09_left_linear.pdb"
+  "CMakeFiles/fig09_left_linear.dir/fig09_left_linear.cc.o"
+  "CMakeFiles/fig09_left_linear.dir/fig09_left_linear.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_left_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

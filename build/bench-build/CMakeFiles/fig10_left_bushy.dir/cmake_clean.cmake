@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_left_bushy"
+  "../bench/fig10_left_bushy.pdb"
+  "CMakeFiles/fig10_left_bushy.dir/fig10_left_bushy.cc.o"
+  "CMakeFiles/fig10_left_bushy.dir/fig10_left_bushy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_left_bushy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_wide_bushy"
+  "../bench/fig11_wide_bushy.pdb"
+  "CMakeFiles/fig11_wide_bushy.dir/fig11_wide_bushy.cc.o"
+  "CMakeFiles/fig11_wide_bushy.dir/fig11_wide_bushy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_wide_bushy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_right_bushy"
+  "../bench/fig12_right_bushy.pdb"
+  "CMakeFiles/fig12_right_bushy.dir/fig12_right_bushy.cc.o"
+  "CMakeFiles/fig12_right_bushy.dir/fig12_right_bushy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_right_bushy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

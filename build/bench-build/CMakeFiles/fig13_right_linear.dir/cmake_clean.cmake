@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_right_linear"
+  "../bench/fig13_right_linear.pdb"
+  "CMakeFiles/fig13_right_linear.dir/fig13_right_linear.cc.o"
+  "CMakeFiles/fig13_right_linear.dir/fig13_right_linear.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_right_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_best_times"
+  "../bench/fig14_best_times.pdb"
+  "CMakeFiles/fig14_best_times.dir/fig14_best_times.cc.o"
+  "CMakeFiles/fig14_best_times.dir/fig14_best_times.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_best_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

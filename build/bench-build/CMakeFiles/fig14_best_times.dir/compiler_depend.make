@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig14_best_times.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_plan"
+  "../bench/micro_plan.pdb"
+  "CMakeFiles/micro_plan.dir/micro_plan.cc.o"
+  "CMakeFiles/micro_plan.dir/micro_plan.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

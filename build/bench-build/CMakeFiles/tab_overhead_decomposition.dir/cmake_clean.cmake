@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_overhead_decomposition"
+  "../bench/tab_overhead_decomposition.pdb"
+  "CMakeFiles/tab_overhead_decomposition.dir/tab_overhead_decomposition.cc.o"
+  "CMakeFiles/tab_overhead_decomposition.dir/tab_overhead_decomposition.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_overhead_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_pipeline_delay"
+  "../bench/tab_pipeline_delay.pdb"
+  "CMakeFiles/tab_pipeline_delay.dir/tab_pipeline_delay.cc.o"
+  "CMakeFiles/tab_pipeline_delay.dir/tab_pipeline_delay.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_pipeline_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_single_join_speedup"
+  "../bench/tab_single_join_speedup.pdb"
+  "CMakeFiles/tab_single_join_speedup.dir/tab_single_join_speedup.cc.o"
+  "CMakeFiles/tab_single_join_speedup.dir/tab_single_join_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_single_join_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tab_wisconsin_suite"
+  "../bench/tab_wisconsin_suite.pdb"
+  "CMakeFiles/tab_wisconsin_suite.dir/tab_wisconsin_suite.cc.o"
+  "CMakeFiles/tab_wisconsin_suite.dir/tab_wisconsin_suite.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab_wisconsin_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

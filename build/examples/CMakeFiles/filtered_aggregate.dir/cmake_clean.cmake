@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filtered_aggregate.dir/filtered_aggregate.cc.o"
+  "CMakeFiles/filtered_aggregate.dir/filtered_aggregate.cc.o.d"
+  "filtered_aggregate"
+  "filtered_aggregate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filtered_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

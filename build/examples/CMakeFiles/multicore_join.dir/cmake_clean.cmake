@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicore_join.dir/multicore_join.cc.o"
+  "CMakeFiles/multicore_join.dir/multicore_join.cc.o.d"
+  "multicore_join"
+  "multicore_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicore_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

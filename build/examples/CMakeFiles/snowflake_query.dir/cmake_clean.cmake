@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/snowflake_query.dir/snowflake_query.cc.o"
+  "CMakeFiles/snowflake_query.dir/snowflake_query.cc.o.d"
+  "snowflake_query"
+  "snowflake_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/snowflake_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

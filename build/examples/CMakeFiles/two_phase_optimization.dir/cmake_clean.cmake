@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/two_phase_optimization.dir/two_phase_optimization.cc.o"
+  "CMakeFiles/two_phase_optimization.dir/two_phase_optimization.cc.o.d"
+  "two_phase_optimization"
+  "two_phase_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/two_phase_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for two_phase_optimization.
+# This may be replaced when dependencies are built.

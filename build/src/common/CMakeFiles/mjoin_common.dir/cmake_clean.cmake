@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_common.dir/logging.cc.o"
+  "CMakeFiles/mjoin_common.dir/logging.cc.o.d"
+  "CMakeFiles/mjoin_common.dir/random.cc.o"
+  "CMakeFiles/mjoin_common.dir/random.cc.o.d"
+  "CMakeFiles/mjoin_common.dir/stats.cc.o"
+  "CMakeFiles/mjoin_common.dir/stats.cc.o.d"
+  "CMakeFiles/mjoin_common.dir/status.cc.o"
+  "CMakeFiles/mjoin_common.dir/status.cc.o.d"
+  "CMakeFiles/mjoin_common.dir/string_util.cc.o"
+  "CMakeFiles/mjoin_common.dir/string_util.cc.o.d"
+  "CMakeFiles/mjoin_common.dir/table_printer.cc.o"
+  "CMakeFiles/mjoin_common.dir/table_printer.cc.o.d"
+  "libmjoin_common.a"
+  "libmjoin_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

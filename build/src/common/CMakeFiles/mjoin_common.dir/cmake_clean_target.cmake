@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmjoin_common.a"
+)

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/controller.cc" "src/engine/CMakeFiles/mjoin_engine.dir/controller.cc.o" "gcc" "src/engine/CMakeFiles/mjoin_engine.dir/controller.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/engine/CMakeFiles/mjoin_engine.dir/database.cc.o" "gcc" "src/engine/CMakeFiles/mjoin_engine.dir/database.cc.o.d"
+  "/root/repo/src/engine/experiment.cc" "src/engine/CMakeFiles/mjoin_engine.dir/experiment.cc.o" "gcc" "src/engine/CMakeFiles/mjoin_engine.dir/experiment.cc.o.d"
+  "/root/repo/src/engine/mjoin_engine.cc" "src/engine/CMakeFiles/mjoin_engine.dir/mjoin_engine.cc.o" "gcc" "src/engine/CMakeFiles/mjoin_engine.dir/mjoin_engine.cc.o.d"
+  "/root/repo/src/engine/reference.cc" "src/engine/CMakeFiles/mjoin_engine.dir/reference.cc.o" "gcc" "src/engine/CMakeFiles/mjoin_engine.dir/reference.cc.o.d"
+  "/root/repo/src/engine/result.cc" "src/engine/CMakeFiles/mjoin_engine.dir/result.cc.o" "gcc" "src/engine/CMakeFiles/mjoin_engine.dir/result.cc.o.d"
+  "/root/repo/src/engine/sim_executor.cc" "src/engine/CMakeFiles/mjoin_engine.dir/sim_executor.cc.o" "gcc" "src/engine/CMakeFiles/mjoin_engine.dir/sim_executor.cc.o.d"
+  "/root/repo/src/engine/thread_executor.cc" "src/engine/CMakeFiles/mjoin_engine.dir/thread_executor.cc.o" "gcc" "src/engine/CMakeFiles/mjoin_engine.dir/thread_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/opt/CMakeFiles/mjoin_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/strategy/CMakeFiles/mjoin_strategy.dir/DependInfo.cmake"
+  "/root/repo/build/src/xra/CMakeFiles/mjoin_xra.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mjoin_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/mjoin_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

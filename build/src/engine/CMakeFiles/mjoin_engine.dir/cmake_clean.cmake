@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_engine.dir/controller.cc.o"
+  "CMakeFiles/mjoin_engine.dir/controller.cc.o.d"
+  "CMakeFiles/mjoin_engine.dir/database.cc.o"
+  "CMakeFiles/mjoin_engine.dir/database.cc.o.d"
+  "CMakeFiles/mjoin_engine.dir/experiment.cc.o"
+  "CMakeFiles/mjoin_engine.dir/experiment.cc.o.d"
+  "CMakeFiles/mjoin_engine.dir/mjoin_engine.cc.o"
+  "CMakeFiles/mjoin_engine.dir/mjoin_engine.cc.o.d"
+  "CMakeFiles/mjoin_engine.dir/reference.cc.o"
+  "CMakeFiles/mjoin_engine.dir/reference.cc.o.d"
+  "CMakeFiles/mjoin_engine.dir/result.cc.o"
+  "CMakeFiles/mjoin_engine.dir/result.cc.o.d"
+  "CMakeFiles/mjoin_engine.dir/sim_executor.cc.o"
+  "CMakeFiles/mjoin_engine.dir/sim_executor.cc.o.d"
+  "CMakeFiles/mjoin_engine.dir/thread_executor.cc.o"
+  "CMakeFiles/mjoin_engine.dir/thread_executor.cc.o.d"
+  "libmjoin_engine.a"
+  "libmjoin_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

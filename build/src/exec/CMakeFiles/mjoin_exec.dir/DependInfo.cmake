@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/exec/CMakeFiles/mjoin_exec.dir/aggregate.cc.o" "gcc" "src/exec/CMakeFiles/mjoin_exec.dir/aggregate.cc.o.d"
+  "/root/repo/src/exec/filter.cc" "src/exec/CMakeFiles/mjoin_exec.dir/filter.cc.o" "gcc" "src/exec/CMakeFiles/mjoin_exec.dir/filter.cc.o.d"
+  "/root/repo/src/exec/hash_table.cc" "src/exec/CMakeFiles/mjoin_exec.dir/hash_table.cc.o" "gcc" "src/exec/CMakeFiles/mjoin_exec.dir/hash_table.cc.o.d"
+  "/root/repo/src/exec/join_spec.cc" "src/exec/CMakeFiles/mjoin_exec.dir/join_spec.cc.o" "gcc" "src/exec/CMakeFiles/mjoin_exec.dir/join_spec.cc.o.d"
+  "/root/repo/src/exec/pipelining_hash_join.cc" "src/exec/CMakeFiles/mjoin_exec.dir/pipelining_hash_join.cc.o" "gcc" "src/exec/CMakeFiles/mjoin_exec.dir/pipelining_hash_join.cc.o.d"
+  "/root/repo/src/exec/project.cc" "src/exec/CMakeFiles/mjoin_exec.dir/project.cc.o" "gcc" "src/exec/CMakeFiles/mjoin_exec.dir/project.cc.o.d"
+  "/root/repo/src/exec/scan.cc" "src/exec/CMakeFiles/mjoin_exec.dir/scan.cc.o" "gcc" "src/exec/CMakeFiles/mjoin_exec.dir/scan.cc.o.d"
+  "/root/repo/src/exec/simple_hash_join.cc" "src/exec/CMakeFiles/mjoin_exec.dir/simple_hash_join.cc.o" "gcc" "src/exec/CMakeFiles/mjoin_exec.dir/simple_hash_join.cc.o.d"
+  "/root/repo/src/exec/sort_merge_join.cc" "src/exec/CMakeFiles/mjoin_exec.dir/sort_merge_join.cc.o" "gcc" "src/exec/CMakeFiles/mjoin_exec.dir/sort_merge_join.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/mjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

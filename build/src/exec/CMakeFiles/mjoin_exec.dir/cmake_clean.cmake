@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_exec.dir/aggregate.cc.o"
+  "CMakeFiles/mjoin_exec.dir/aggregate.cc.o.d"
+  "CMakeFiles/mjoin_exec.dir/filter.cc.o"
+  "CMakeFiles/mjoin_exec.dir/filter.cc.o.d"
+  "CMakeFiles/mjoin_exec.dir/hash_table.cc.o"
+  "CMakeFiles/mjoin_exec.dir/hash_table.cc.o.d"
+  "CMakeFiles/mjoin_exec.dir/join_spec.cc.o"
+  "CMakeFiles/mjoin_exec.dir/join_spec.cc.o.d"
+  "CMakeFiles/mjoin_exec.dir/pipelining_hash_join.cc.o"
+  "CMakeFiles/mjoin_exec.dir/pipelining_hash_join.cc.o.d"
+  "CMakeFiles/mjoin_exec.dir/project.cc.o"
+  "CMakeFiles/mjoin_exec.dir/project.cc.o.d"
+  "CMakeFiles/mjoin_exec.dir/scan.cc.o"
+  "CMakeFiles/mjoin_exec.dir/scan.cc.o.d"
+  "CMakeFiles/mjoin_exec.dir/simple_hash_join.cc.o"
+  "CMakeFiles/mjoin_exec.dir/simple_hash_join.cc.o.d"
+  "CMakeFiles/mjoin_exec.dir/sort_merge_join.cc.o"
+  "CMakeFiles/mjoin_exec.dir/sort_merge_join.cc.o.d"
+  "libmjoin_exec.a"
+  "libmjoin_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_opt.dir/general_query.cc.o"
+  "CMakeFiles/mjoin_opt.dir/general_query.cc.o.d"
+  "CMakeFiles/mjoin_opt.dir/join_graph.cc.o"
+  "CMakeFiles/mjoin_opt.dir/join_graph.cc.o.d"
+  "CMakeFiles/mjoin_opt.dir/optimizer.cc.o"
+  "CMakeFiles/mjoin_opt.dir/optimizer.cc.o.d"
+  "libmjoin_opt.a"
+  "libmjoin_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

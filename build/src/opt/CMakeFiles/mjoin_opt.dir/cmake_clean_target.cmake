@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmjoin_opt.a"
+)

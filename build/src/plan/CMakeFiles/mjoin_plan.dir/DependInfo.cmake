@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/allocation.cc" "src/plan/CMakeFiles/mjoin_plan.dir/allocation.cc.o" "gcc" "src/plan/CMakeFiles/mjoin_plan.dir/allocation.cc.o.d"
+  "/root/repo/src/plan/catalog.cc" "src/plan/CMakeFiles/mjoin_plan.dir/catalog.cc.o" "gcc" "src/plan/CMakeFiles/mjoin_plan.dir/catalog.cc.o.d"
+  "/root/repo/src/plan/cost_model.cc" "src/plan/CMakeFiles/mjoin_plan.dir/cost_model.cc.o" "gcc" "src/plan/CMakeFiles/mjoin_plan.dir/cost_model.cc.o.d"
+  "/root/repo/src/plan/join_tree.cc" "src/plan/CMakeFiles/mjoin_plan.dir/join_tree.cc.o" "gcc" "src/plan/CMakeFiles/mjoin_plan.dir/join_tree.cc.o.d"
+  "/root/repo/src/plan/query.cc" "src/plan/CMakeFiles/mjoin_plan.dir/query.cc.o" "gcc" "src/plan/CMakeFiles/mjoin_plan.dir/query.cc.o.d"
+  "/root/repo/src/plan/segments.cc" "src/plan/CMakeFiles/mjoin_plan.dir/segments.cc.o" "gcc" "src/plan/CMakeFiles/mjoin_plan.dir/segments.cc.o.d"
+  "/root/repo/src/plan/shapes.cc" "src/plan/CMakeFiles/mjoin_plan.dir/shapes.cc.o" "gcc" "src/plan/CMakeFiles/mjoin_plan.dir/shapes.cc.o.d"
+  "/root/repo/src/plan/transform.cc" "src/plan/CMakeFiles/mjoin_plan.dir/transform.cc.o" "gcc" "src/plan/CMakeFiles/mjoin_plan.dir/transform.cc.o.d"
+  "/root/repo/src/plan/wisconsin_query.cc" "src/plan/CMakeFiles/mjoin_plan.dir/wisconsin_query.cc.o" "gcc" "src/plan/CMakeFiles/mjoin_plan.dir/wisconsin_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mjoin_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mjoin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

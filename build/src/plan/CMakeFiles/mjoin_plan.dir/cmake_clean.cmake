@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_plan.dir/allocation.cc.o"
+  "CMakeFiles/mjoin_plan.dir/allocation.cc.o.d"
+  "CMakeFiles/mjoin_plan.dir/catalog.cc.o"
+  "CMakeFiles/mjoin_plan.dir/catalog.cc.o.d"
+  "CMakeFiles/mjoin_plan.dir/cost_model.cc.o"
+  "CMakeFiles/mjoin_plan.dir/cost_model.cc.o.d"
+  "CMakeFiles/mjoin_plan.dir/join_tree.cc.o"
+  "CMakeFiles/mjoin_plan.dir/join_tree.cc.o.d"
+  "CMakeFiles/mjoin_plan.dir/query.cc.o"
+  "CMakeFiles/mjoin_plan.dir/query.cc.o.d"
+  "CMakeFiles/mjoin_plan.dir/segments.cc.o"
+  "CMakeFiles/mjoin_plan.dir/segments.cc.o.d"
+  "CMakeFiles/mjoin_plan.dir/shapes.cc.o"
+  "CMakeFiles/mjoin_plan.dir/shapes.cc.o.d"
+  "CMakeFiles/mjoin_plan.dir/transform.cc.o"
+  "CMakeFiles/mjoin_plan.dir/transform.cc.o.d"
+  "CMakeFiles/mjoin_plan.dir/wisconsin_query.cc.o"
+  "CMakeFiles/mjoin_plan.dir/wisconsin_query.cc.o.d"
+  "libmjoin_plan.a"
+  "libmjoin_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_params.cc" "src/sim/CMakeFiles/mjoin_sim.dir/cost_params.cc.o" "gcc" "src/sim/CMakeFiles/mjoin_sim.dir/cost_params.cc.o.d"
+  "/root/repo/src/sim/machine.cc" "src/sim/CMakeFiles/mjoin_sim.dir/machine.cc.o" "gcc" "src/sim/CMakeFiles/mjoin_sim.dir/machine.cc.o.d"
+  "/root/repo/src/sim/processor.cc" "src/sim/CMakeFiles/mjoin_sim.dir/processor.cc.o" "gcc" "src/sim/CMakeFiles/mjoin_sim.dir/processor.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/sim/CMakeFiles/mjoin_sim.dir/simulator.cc.o" "gcc" "src/sim/CMakeFiles/mjoin_sim.dir/simulator.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/mjoin_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/mjoin_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_sim.dir/cost_params.cc.o"
+  "CMakeFiles/mjoin_sim.dir/cost_params.cc.o.d"
+  "CMakeFiles/mjoin_sim.dir/machine.cc.o"
+  "CMakeFiles/mjoin_sim.dir/machine.cc.o.d"
+  "CMakeFiles/mjoin_sim.dir/processor.cc.o"
+  "CMakeFiles/mjoin_sim.dir/processor.cc.o.d"
+  "CMakeFiles/mjoin_sim.dir/simulator.cc.o"
+  "CMakeFiles/mjoin_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/mjoin_sim.dir/trace.cc.o"
+  "CMakeFiles/mjoin_sim.dir/trace.cc.o.d"
+  "libmjoin_sim.a"
+  "libmjoin_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

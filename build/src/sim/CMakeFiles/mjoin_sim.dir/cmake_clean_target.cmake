@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmjoin_sim.a"
+)

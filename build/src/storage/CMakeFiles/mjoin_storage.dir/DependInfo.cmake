@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/partitioner.cc" "src/storage/CMakeFiles/mjoin_storage.dir/partitioner.cc.o" "gcc" "src/storage/CMakeFiles/mjoin_storage.dir/partitioner.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/storage/CMakeFiles/mjoin_storage.dir/relation.cc.o" "gcc" "src/storage/CMakeFiles/mjoin_storage.dir/relation.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/storage/CMakeFiles/mjoin_storage.dir/schema.cc.o" "gcc" "src/storage/CMakeFiles/mjoin_storage.dir/schema.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/storage/CMakeFiles/mjoin_storage.dir/tuple.cc.o" "gcc" "src/storage/CMakeFiles/mjoin_storage.dir/tuple.cc.o.d"
+  "/root/repo/src/storage/wisconsin.cc" "src/storage/CMakeFiles/mjoin_storage.dir/wisconsin.cc.o" "gcc" "src/storage/CMakeFiles/mjoin_storage.dir/wisconsin.cc.o.d"
+  "/root/repo/src/storage/zipf.cc" "src/storage/CMakeFiles/mjoin_storage.dir/zipf.cc.o" "gcc" "src/storage/CMakeFiles/mjoin_storage.dir/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_storage.dir/partitioner.cc.o"
+  "CMakeFiles/mjoin_storage.dir/partitioner.cc.o.d"
+  "CMakeFiles/mjoin_storage.dir/relation.cc.o"
+  "CMakeFiles/mjoin_storage.dir/relation.cc.o.d"
+  "CMakeFiles/mjoin_storage.dir/schema.cc.o"
+  "CMakeFiles/mjoin_storage.dir/schema.cc.o.d"
+  "CMakeFiles/mjoin_storage.dir/tuple.cc.o"
+  "CMakeFiles/mjoin_storage.dir/tuple.cc.o.d"
+  "CMakeFiles/mjoin_storage.dir/wisconsin.cc.o"
+  "CMakeFiles/mjoin_storage.dir/wisconsin.cc.o.d"
+  "CMakeFiles/mjoin_storage.dir/zipf.cc.o"
+  "CMakeFiles/mjoin_storage.dir/zipf.cc.o.d"
+  "libmjoin_storage.a"
+  "libmjoin_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strategy/builder.cc" "src/strategy/CMakeFiles/mjoin_strategy.dir/builder.cc.o" "gcc" "src/strategy/CMakeFiles/mjoin_strategy.dir/builder.cc.o.d"
+  "/root/repo/src/strategy/fp.cc" "src/strategy/CMakeFiles/mjoin_strategy.dir/fp.cc.o" "gcc" "src/strategy/CMakeFiles/mjoin_strategy.dir/fp.cc.o.d"
+  "/root/repo/src/strategy/idealized.cc" "src/strategy/CMakeFiles/mjoin_strategy.dir/idealized.cc.o" "gcc" "src/strategy/CMakeFiles/mjoin_strategy.dir/idealized.cc.o.d"
+  "/root/repo/src/strategy/rd.cc" "src/strategy/CMakeFiles/mjoin_strategy.dir/rd.cc.o" "gcc" "src/strategy/CMakeFiles/mjoin_strategy.dir/rd.cc.o.d"
+  "/root/repo/src/strategy/se.cc" "src/strategy/CMakeFiles/mjoin_strategy.dir/se.cc.o" "gcc" "src/strategy/CMakeFiles/mjoin_strategy.dir/se.cc.o.d"
+  "/root/repo/src/strategy/sp.cc" "src/strategy/CMakeFiles/mjoin_strategy.dir/sp.cc.o" "gcc" "src/strategy/CMakeFiles/mjoin_strategy.dir/sp.cc.o.d"
+  "/root/repo/src/strategy/strategy.cc" "src/strategy/CMakeFiles/mjoin_strategy.dir/strategy.cc.o" "gcc" "src/strategy/CMakeFiles/mjoin_strategy.dir/strategy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/plan/CMakeFiles/mjoin_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/xra/CMakeFiles/mjoin_xra.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mjoin_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mjoin_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mjoin_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_strategy.dir/builder.cc.o"
+  "CMakeFiles/mjoin_strategy.dir/builder.cc.o.d"
+  "CMakeFiles/mjoin_strategy.dir/fp.cc.o"
+  "CMakeFiles/mjoin_strategy.dir/fp.cc.o.d"
+  "CMakeFiles/mjoin_strategy.dir/idealized.cc.o"
+  "CMakeFiles/mjoin_strategy.dir/idealized.cc.o.d"
+  "CMakeFiles/mjoin_strategy.dir/rd.cc.o"
+  "CMakeFiles/mjoin_strategy.dir/rd.cc.o.d"
+  "CMakeFiles/mjoin_strategy.dir/se.cc.o"
+  "CMakeFiles/mjoin_strategy.dir/se.cc.o.d"
+  "CMakeFiles/mjoin_strategy.dir/sp.cc.o"
+  "CMakeFiles/mjoin_strategy.dir/sp.cc.o.d"
+  "CMakeFiles/mjoin_strategy.dir/strategy.cc.o"
+  "CMakeFiles/mjoin_strategy.dir/strategy.cc.o.d"
+  "libmjoin_strategy.a"
+  "libmjoin_strategy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

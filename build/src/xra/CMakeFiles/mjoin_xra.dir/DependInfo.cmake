@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xra/plan.cc" "src/xra/CMakeFiles/mjoin_xra.dir/plan.cc.o" "gcc" "src/xra/CMakeFiles/mjoin_xra.dir/plan.cc.o.d"
+  "/root/repo/src/xra/text.cc" "src/xra/CMakeFiles/mjoin_xra.dir/text.cc.o" "gcc" "src/xra/CMakeFiles/mjoin_xra.dir/text.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mjoin_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/mjoin_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/mjoin_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mjoin_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

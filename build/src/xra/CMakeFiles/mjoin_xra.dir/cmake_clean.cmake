@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_xra.dir/plan.cc.o"
+  "CMakeFiles/mjoin_xra.dir/plan.cc.o.d"
+  "CMakeFiles/mjoin_xra.dir/text.cc.o"
+  "CMakeFiles/mjoin_xra.dir/text.cc.o.d"
+  "libmjoin_xra.a"
+  "libmjoin_xra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_xra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

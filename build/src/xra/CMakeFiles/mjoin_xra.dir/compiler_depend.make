@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mjoin_xra.
+# This may be replaced when dependencies are built.

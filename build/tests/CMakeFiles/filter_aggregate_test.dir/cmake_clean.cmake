@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filter_aggregate_test.dir/filter_aggregate_test.cc.o"
+  "CMakeFiles/filter_aggregate_test.dir/filter_aggregate_test.cc.o.d"
+  "filter_aggregate_test"
+  "filter_aggregate_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filter_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

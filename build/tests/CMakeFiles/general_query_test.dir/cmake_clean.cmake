@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_query_test.dir/general_query_test.cc.o"
+  "CMakeFiles/general_query_test.dir/general_query_test.cc.o.d"
+  "general_query_test"
+  "general_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

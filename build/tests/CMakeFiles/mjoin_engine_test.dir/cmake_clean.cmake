@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_engine_test.dir/mjoin_engine_test.cc.o"
+  "CMakeFiles/mjoin_engine_test.dir/mjoin_engine_test.cc.o.d"
+  "mjoin_engine_test"
+  "mjoin_engine_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_engine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

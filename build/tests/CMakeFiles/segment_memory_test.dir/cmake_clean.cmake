@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/segment_memory_test.dir/segment_memory_test.cc.o"
+  "CMakeFiles/segment_memory_test.dir/segment_memory_test.cc.o.d"
+  "segment_memory_test"
+  "segment_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/segment_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

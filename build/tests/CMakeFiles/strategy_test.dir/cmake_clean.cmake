@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strategy_test.dir/strategy_test.cc.o"
+  "CMakeFiles/strategy_test.dir/strategy_test.cc.o.d"
+  "strategy_test"
+  "strategy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strategy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_executor_test.dir/thread_executor_test.cc.o"
+  "CMakeFiles/thread_executor_test.dir/thread_executor_test.cc.o.d"
+  "thread_executor_test"
+  "thread_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

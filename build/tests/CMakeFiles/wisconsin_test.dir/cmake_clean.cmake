@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wisconsin_test.dir/wisconsin_test.cc.o"
+  "CMakeFiles/wisconsin_test.dir/wisconsin_test.cc.o.d"
+  "wisconsin_test"
+  "wisconsin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wisconsin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xra_plan_test.dir/xra_plan_test.cc.o"
+  "CMakeFiles/xra_plan_test.dir/xra_plan_test.cc.o.d"
+  "xra_plan_test"
+  "xra_plan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xra_plan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xra_text_test.dir/xra_text_test.cc.o"
+  "CMakeFiles/xra_text_test.dir/xra_text_test.cc.o.d"
+  "xra_text_test"
+  "xra_text_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xra_text_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

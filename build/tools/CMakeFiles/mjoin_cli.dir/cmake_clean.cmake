@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mjoin_cli.dir/mjoin_cli.cc.o"
+  "CMakeFiles/mjoin_cli.dir/mjoin_cli.cc.o.d"
+  "mjoin_cli"
+  "mjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

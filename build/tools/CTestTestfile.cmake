@@ -1,0 +1,12 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_explain "/root/repo/build/tools/mjoin_cli" "explain" "--shape" "right-bushy" "--strategy" "RD" "--procs" "12" "--card" "300" "--relations" "5")
+set_tests_properties(cli_explain PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;5;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_run "/root/repo/build/tools/mjoin_cli" "run" "--shape" "wide-bushy" "--strategy" "FP" "--procs" "12" "--card" "300" "--relations" "5" "--analyze")
+set_tests_properties(cli_run PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;7;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(cli_save_and_replay "sh" "-c" "/root/repo/build/tools/mjoin_cli save-plan --shape left-linear --strategy SP           --procs 8 --card 200 --relations 4 --out /root/repo/build/tools/plan.xra &&           /root/repo/build/tools/mjoin_cli run-plan --plan /root/repo/build/tools/plan.xra           --card 200 --relations 4")
+set_tests_properties(cli_save_and_replay PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;9;add_test;/root/repo/tools/CMakeLists.txt;0;")
