@@ -1,0 +1,33 @@
+#ifndef MJOIN_COMMON_CANCELLATION_H_
+#define MJOIN_COMMON_CANCELLATION_H_
+
+#include <atomic>
+#include <memory>
+
+namespace mjoin {
+
+/// Cooperative cancellation flag for one query execution. Copies share the
+/// same underlying state, so a caller can keep a copy, hand another to
+/// ThreadExecOptions, and later Cancel() from any thread; operators and the
+/// executor poll cancelled() at batch boundaries. Never blocks, never
+/// throws — a cancelled query winds down at the next batch boundary and
+/// returns Status::Cancelled.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  CancellationToken(const CancellationToken&) = default;
+  CancellationToken& operator=(const CancellationToken&) = default;
+
+  /// Requests cancellation. Idempotent; safe from any thread.
+  void Cancel() { state_->store(true, std::memory_order_release); }
+
+  bool cancelled() const { return state_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_COMMON_CANCELLATION_H_

@@ -1,0 +1,58 @@
+#include "common/memory_budget.h"
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+Status MemoryBudget::Reserve(size_t bytes) {
+  if (bytes == 0) return Status::OK();
+  size_t now = used_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  if (limit_ != 0 && now > limit_) {
+    used_.fetch_sub(bytes, std::memory_order_relaxed);
+    return Status::ResourceExhausted(
+        StrCat("memory budget exceeded: need ", bytes, " more bytes, ",
+               now - bytes, " of ", limit_, " already in use"));
+  }
+  UpdatePeak(now);
+  return Status::OK();
+}
+
+void MemoryBudget::Release(size_t bytes) {
+  if (bytes == 0) return;
+  used_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+void MemoryBudget::UpdatePeak(size_t candidate) {
+  size_t seen = peak_.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !peak_.compare_exchange_weak(seen, candidate,
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+void MemoryReservation::Attach(MemoryBudget* budget) {
+  Reset();
+  budget_ = budget;
+}
+
+Status MemoryReservation::Resize(size_t new_bytes) {
+  if (budget_ == nullptr) {
+    bytes_ = new_bytes;
+    return Status::OK();
+  }
+  if (new_bytes > bytes_) {
+    MJOIN_RETURN_IF_ERROR(budget_->Reserve(new_bytes - bytes_));
+  } else if (new_bytes < bytes_) {
+    budget_->Release(bytes_ - new_bytes);
+  }
+  bytes_ = new_bytes;
+  return Status::OK();
+}
+
+void MemoryReservation::Reset() {
+  if (budget_ != nullptr && bytes_ > 0) budget_->Release(bytes_);
+  bytes_ = 0;
+  budget_ = nullptr;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,82 @@
+#include "engine/fault_injector.h"
+
+#include <thread>
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+std::string FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "none";
+    case FaultKind::kSlowWorker:
+      return "slow-worker";
+    case FaultKind::kFailOperator:
+      return "fail-op";
+    case FaultKind::kDropBatch:
+      return "drop-batch";
+    case FaultKind::kDuplicateBatch:
+      return "dup-batch";
+  }
+  return "unknown";
+}
+
+bool ParseFaultKind(const std::string& text, FaultKind* kind) {
+  for (FaultKind candidate :
+       {FaultKind::kNone, FaultKind::kSlowWorker, FaultKind::kFailOperator,
+        FaultKind::kDropBatch, FaultKind::kDuplicateBatch}) {
+    if (FaultKindName(candidate) == text) {
+      *kind = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+FaultInjector::FaultInjector(const FaultScenario& scenario)
+    : scenario_(scenario), rng_(scenario.seed) {}
+
+void FaultInjector::OnDequeue(uint32_t node) {
+  if (scenario_.kind != FaultKind::kSlowWorker || node != scenario_.node) {
+    return;
+  }
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  std::this_thread::sleep_for(scenario_.delay);
+}
+
+bool FaultInjector::ShouldDropBatch(int op) {
+  if (scenario_.kind != FaultKind::kDropBatch || !TargetsOp(op)) return false;
+  if (!Roll()) return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool FaultInjector::ShouldDuplicateBatch(int op) {
+  if (scenario_.kind != FaultKind::kDuplicateBatch || !TargetsOp(op)) {
+    return false;
+  }
+  if (!Roll()) return false;
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+Status FaultInjector::BeforeConsume(int op) {
+  if (scenario_.kind != FaultKind::kFailOperator || !TargetsOp(op)) {
+    return Status::OK();
+  }
+  uint64_t seen = batches_seen_.fetch_add(1, std::memory_order_relaxed);
+  if (seen < scenario_.after_batches) return Status::OK();
+  injected_.fetch_add(1, std::memory_order_relaxed);
+  return Status::Internal(StrCat("injected fault: operator ", op,
+                                 " failed after ", seen, " batches"));
+}
+
+bool FaultInjector::Roll() {
+  if (scenario_.probability >= 1.0) return true;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
+         scenario_.probability;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,97 @@
+#ifndef MJOIN_ENGINE_FAULT_INJECTOR_H_
+#define MJOIN_ENGINE_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <random>
+#include <string>
+
+#include "common/status.h"
+
+namespace mjoin {
+
+/// What a FaultInjector does to a threaded execution.
+enum class FaultKind {
+  kNone = 0,
+  /// One worker node sleeps `delay` before every message it processes —
+  /// the "slow machine" of a shared-nothing cluster. Results must still be
+  /// correct; backpressure keeps the node's queue bounded.
+  kSlowWorker,
+  /// Consume() on the target op fails after `after_batches` batches, as a
+  /// crashed operation process would. The query must abort cleanly.
+  kFailOperator,
+  /// Data batches toward the target op are dropped with `probability` —
+  /// a lossy interconnect. Execution must still terminate (EOS bookkeeping
+  /// is per-producer, not per-batch); results are knowingly wrong.
+  kDropBatch,
+  /// Data batches toward the target op are delivered twice.
+  kDuplicateBatch,
+};
+
+std::string FaultKindName(FaultKind kind);
+bool ParseFaultKind(const std::string& text, FaultKind* kind);
+
+/// Parameters of one injected fault.
+struct FaultScenario {
+  FaultKind kind = FaultKind::kNone;
+  /// kSlowWorker: which node sleeps, and for how long per message.
+  uint32_t node = 0;
+  std::chrono::microseconds delay{1000};
+  /// Target op id for kFailOperator/kDropBatch/kDuplicateBatch; -1 = any.
+  int op = -1;
+  /// kFailOperator: let this many batches through first.
+  uint64_t after_batches = 0;
+  /// kDropBatch/kDuplicateBatch: per-batch chance in [0,1].
+  double probability = 1.0;
+  /// Seed for the probabilistic faults (deterministic per seed).
+  uint64_t seed = 0;
+};
+
+/// Test-controlled chaos for the threaded executor. ThreadRun consults the
+/// injector at its hook points (worker dequeue, batch send, batch consume);
+/// production runs pass no injector and pay nothing. All hooks are
+/// thread-safe — they are called concurrently from every worker thread.
+class FaultInjector {
+ public:
+  explicit FaultInjector(const FaultScenario& scenario);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Called by a worker before processing each message; sleeps when this
+  /// node is the scenario's slow worker.
+  void OnDequeue(uint32_t node);
+
+  /// Called before a data batch is posted toward `op`.
+  bool ShouldDropBatch(int op);
+  bool ShouldDuplicateBatch(int op);
+
+  /// Called before Consume() on `op`; a non-OK status is the injected
+  /// mid-stream operator failure and aborts the query.
+  Status BeforeConsume(int op);
+
+  /// Number of faults actually fired (for test assertions).
+  uint64_t faults_injected() const {
+    return injected_.load(std::memory_order_relaxed);
+  }
+
+  const FaultScenario& scenario() const { return scenario_; }
+
+ private:
+  bool TargetsOp(int op) const {
+    return scenario_.op < 0 || scenario_.op == op;
+  }
+  bool Roll();
+
+  const FaultScenario scenario_;
+  std::mutex mutex_;  // guards rng_
+  std::mt19937_64 rng_;
+  std::atomic<uint64_t> batches_seen_{0};
+  std::atomic<uint64_t> injected_{0};
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_ENGINE_FAULT_INJECTOR_H_

@@ -1,5 +1,6 @@
 #include "engine/thread_executor.h"
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -7,10 +8,13 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "common/memory_budget.h"
 #include "common/string_util.h"
 #include "engine/controller.h"
+#include "engine/fault_injector.h"
 #include "exec/batch.h"
 #include "exec/operator.h"
 #include "exec/pipelining_hash_join.h"
@@ -28,53 +32,142 @@ namespace {
 /// A worker node: one OS thread draining a message queue. Messages for all
 /// operation processes placed on this node run serialized here, exactly
 /// like on a shared-nothing node.
+///
+/// Control messages (triggers, end-of-stream, source self-pumps) enqueue
+/// unconditionally; data batches respect `max_data` — a producer on
+/// another node blocks in PostData() until the consumer drains below the
+/// bound, the run aborts, or `block_timeout` passes (then it enqueues
+/// anyway and the overflow is counted). Same-node sends bypass the bound:
+/// blocking on one's own queue would deadlock, and a same-node producer is
+/// self-throttled by the shared message loop anyway.
 class WorkerNode {
  public:
-  WorkerNode() = default;
+  WorkerNode(uint32_t id, size_t max_data,
+             std::chrono::milliseconds block_timeout, FaultInjector* injector,
+             const std::atomic<bool>* aborted)
+      : id_(id),
+        max_data_(max_data),
+        block_timeout_(block_timeout),
+        injector_(injector),
+        aborted_(aborted) {}
 
   void Start() {
     thread_ = std::thread([this] { Loop(); });
   }
 
-  void Post(std::function<void()> fn) {
-    {
-      std::lock_guard<std::mutex> lock(mutex_);
-      queue_.push_back(std::move(fn));
+  /// Control message: never blocks, never dropped.
+  void Post(std::function<void()> fn) { Enqueue(std::move(fn), false); }
+
+  /// Data batch from another node (or the same node with `bypass_bound`).
+  /// Returns false — message dropped — when the run is stopping; the
+  /// caller's query is being torn down anyway.
+  bool PostData(std::function<void()> fn, bool bypass_bound) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (max_data_ != 0 && !bypass_bound) {
+      bool drained = not_full_.wait_for(lock, block_timeout_, [this] {
+        return stop_ || aborted_->load(std::memory_order_acquire) ||
+               data_in_queue_ < max_data_;
+      });
+      if (stop_ || aborted_->load(std::memory_order_acquire)) return false;
+      if (!drained) overflows_.fetch_add(1, std::memory_order_relaxed);
     }
-    cv_.notify_one();
+    if (stop_) return false;
+    queue_.push_back({std::move(fn), true});
+    ++data_in_queue_;
+    peak_depth_ = std::max(peak_depth_, data_in_queue_);
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
   }
 
+  /// Wakes blocked producers and the loop; used when the run aborts.
+  void Interrupt() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Drains the remaining queue (callbacks are no-ops once the run
+  /// aborted) and joins the thread.
   void Stop() {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       stop_ = true;
     }
-    cv_.notify_one();
+    not_full_.notify_all();
+    not_empty_.notify_one();
     if (thread_.joinable()) thread_.join();
   }
 
+  size_t peak_depth() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return peak_depth_;
+  }
+  uint64_t processed_data() const {
+    return processed_data_.load(std::memory_order_relaxed);
+  }
+  uint64_t overflows() const {
+    return overflows_.load(std::memory_order_relaxed);
+  }
+
  private:
+  struct Message {
+    std::function<void()> fn;
+    bool is_data;
+  };
+
+  void Enqueue(std::function<void()> fn, bool is_data) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back({std::move(fn), is_data});
+      if (is_data) {
+        ++data_in_queue_;
+        peak_depth_ = std::max(peak_depth_, data_in_queue_);
+      }
+    }
+    not_empty_.notify_one();
+  }
+
   void Loop() {
     for (;;) {
-      std::function<void()> fn;
+      Message msg;
       {
         std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+        not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
         if (queue_.empty()) {
           if (stop_) return;
           continue;
         }
-        fn = std::move(queue_.front());
+        msg = std::move(queue_.front());
         queue_.pop_front();
+        if (msg.is_data) {
+          --data_in_queue_;
+          not_full_.notify_one();
+        }
       }
-      fn();
+      if (injector_ != nullptr) injector_->OnDequeue(id_);
+      msg.fn();
+      if (msg.is_data) {
+        processed_data_.fetch_add(1, std::memory_order_relaxed);
+      }
     }
   }
 
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
+  const uint32_t id_;
+  const size_t max_data_;
+  const std::chrono::milliseconds block_timeout_;
+  FaultInjector* const injector_;
+  const std::atomic<bool>* const aborted_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Message> queue_;
+  size_t data_in_queue_ = 0;
+  size_t peak_depth_ = 0;
   bool stop_ = false;
+  std::atomic<uint64_t> processed_data_{0};
+  std::atomic<uint64_t> overflows_{0};
   std::thread thread_;
 };
 
@@ -90,6 +183,9 @@ class ThreadInstance : public OpContext {
   void Charge(Ticks) override {}  // wall-clock backend: real work is time
   void EmitRow(const std::byte* row) override;
   const CostParams& costs() const override { return cost_params_; }
+  MemoryBudget* memory_budget() const override;
+  bool cancelled() const override;
+  void ReportError(const Status& status) override;
 
   ThreadRun* run_;
   int op_id_;
@@ -112,18 +208,42 @@ class ThreadRun {
  public:
   ThreadRun(const ParallelPlan& plan, const Database& db,
             const ThreadExecOptions& options)
-      : plan_(plan), db_(db), options_(options), controller_(&plan) {}
+      : plan_(plan),
+        db_(db),
+        options_(options),
+        budget_(options.memory_budget_bytes),
+        injector_(options.fault_injector),
+        controller_(&plan) {}
 
   Status Prepare();
-  StatusOr<ThreadQueryResult> Run();
+  StatusOr<ThreadQueryResult> Run(ThreadExecStats* stats_out);
 
   void EmitRowFrom(ThreadInstance* inst, const std::byte* row);
+
+  MemoryBudget* budget() { return &budget_; }
+
+  /// True once teardown started (abort flag) or the caller's token fired;
+  /// operators poll this between rows via OpContext::cancelled().
+  bool TeardownRequested() const {
+    return aborted_.load(std::memory_order_acquire) ||
+           options_.cancellation.cancelled();
+  }
+
+  /// Records the first failure and starts teardown: wakes blocked
+  /// producers, the scheduler wait, and turns every queued callback into a
+  /// no-op. Later calls are ignored (first error wins).
+  void Abort(Status status);
 
  private:
   ThreadInstance* instance(int op, uint32_t index) {
     return instances_[static_cast<size_t>(op)][index].get();
   }
   const XraOp& op(int id) const { return plan_.ops[static_cast<size_t>(id)]; }
+
+  /// The per-batch-boundary runtime check: false once the query should do
+  /// no further work. Promotes an externally fired cancellation token or
+  /// an expired deadline into the abort status.
+  bool CheckRuntime();
 
   void PostToInstance(ThreadInstance* inst, std::function<void()> fn);
   void TriggerInstance(ThreadInstance* inst);
@@ -135,26 +255,49 @@ class ThreadRun {
   void FlushDest(ThreadInstance* inst, uint32_t dest);
   void ReportMilestone(int op_id, uint32_t index, Milestone milestone);
   void DispatchGroups(const std::vector<int>& groups);
+  ThreadExecStats GatherStats() const;
 
   const ParallelPlan& plan_;
   const Database& db_;
   const ThreadExecOptions& options_;
+
+  // Budget precedes instances_ so operator reservations release into a
+  // live budget during destruction.
+  MemoryBudget budget_;
+  FaultInjector* const injector_;
 
   std::vector<std::unique_ptr<WorkerNode>> nodes_;
   std::vector<std::vector<std::unique_ptr<ThreadInstance>>> instances_;
   std::vector<std::vector<Relation>> stored_;
   std::vector<std::vector<Relation>> scan_fragments_;
 
-  // Scheduler state (controller + completion flag), mutex-protected: any
-  // worker thread may deliver a milestone.
+  std::atomic<bool> aborted_{false};
+  std::atomic<uint64_t> batches_sent_{0};
+  std::atomic<uint64_t> batches_dropped_{0};
+  std::atomic<uint64_t> batches_duplicated_{0};
+
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_point_;
+
+  // Scheduler state (controller + completion flag + first error),
+  // mutex-protected: any worker thread may deliver a milestone or abort.
   std::mutex scheduler_mutex_;
   QueryController controller_;
+  Status run_status_;
   std::condition_variable done_cv_;
   bool done_ = false;
 };
 
 void ThreadInstance::EmitRow(const std::byte* row) {
   run_->EmitRowFrom(this, row);
+}
+
+MemoryBudget* ThreadInstance::memory_budget() const { return run_->budget(); }
+
+bool ThreadInstance::cancelled() const { return run_->TeardownRequested(); }
+
+void ThreadInstance::ReportError(const Status& status) {
+  run_->Abort(status);
 }
 
 Status ThreadRun::Prepare() {
@@ -165,7 +308,9 @@ Status ThreadRun::Prepare() {
 
   nodes_.reserve(plan_.num_processors);
   for (uint32_t n = 0; n < plan_.num_processors; ++n) {
-    nodes_.push_back(std::make_unique<WorkerNode>());
+    nodes_.push_back(std::make_unique<WorkerNode>(
+        n, options_.max_queued_batches, options_.queue_block_timeout,
+        injector_, &aborted_));
   }
 
   for (const XraOp& o : plan_.ops) {
@@ -258,6 +403,30 @@ Status ThreadRun::Prepare() {
   return Status::OK();
 }
 
+void ThreadRun::Abort(Status status) {
+  {
+    std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    if (done_ || aborted_.load(std::memory_order_relaxed)) return;
+    run_status_ = std::move(status);
+    aborted_.store(true, std::memory_order_release);
+  }
+  for (auto& node : nodes_) node->Interrupt();
+  done_cv_.notify_all();
+}
+
+bool ThreadRun::CheckRuntime() {
+  if (aborted_.load(std::memory_order_acquire)) return false;
+  if (options_.cancellation.cancelled()) {
+    Abort(Status::Cancelled("query cancelled by caller"));
+    return false;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_point_) {
+    Abort(Status::DeadlineExceeded("query ran past its deadline"));
+    return false;
+  }
+  return true;
+}
+
 void ThreadRun::PostToInstance(ThreadInstance* inst,
                                std::function<void()> fn) {
   // Wrap so that pre-start buffering happens on the instance's own thread
@@ -283,6 +452,7 @@ void ThreadRun::DispatchGroups(const std::vector<int>& groups) {
 }
 
 void ThreadRun::TriggerInstance(ThreadInstance* inst) {
+  if (!CheckRuntime()) return;
   MJOIN_CHECK(!inst->started);
   inst->started = true;
   inst->oper->Open(inst);
@@ -297,6 +467,7 @@ void ThreadRun::TriggerInstance(ThreadInstance* inst) {
 }
 
 void ThreadRun::PumpSource(ThreadInstance* inst) {
+  if (!CheckRuntime()) return;
   // One batch per message so other processes on this node interleave.
   bool more = inst->oper->Produce(inst);
   if (more) {
@@ -309,8 +480,15 @@ void ThreadRun::PumpSource(ThreadInstance* inst) {
 }
 
 void ThreadRun::EmitRowFrom(ThreadInstance* inst, const std::byte* row) {
+  if (aborted_.load(std::memory_order_relaxed)) return;
   const XraOp& o = op(inst->op_id_);
   if (o.store_result >= 0) {
+    size_t row_bytes = o.output_schema->tuple_size();
+    Status reserved = budget_.Reserve(row_bytes);
+    if (!reserved.ok()) {
+      Abort(std::move(reserved));
+      return;
+    }
     stored_[static_cast<size_t>(o.store_result)][inst->index_].AppendRow(row);
     return;
   }
@@ -337,18 +515,54 @@ void ThreadRun::FlushDest(ThreadInstance* inst, uint32_t dest) {
   std::swap(*batch, pending);
   ThreadInstance* consumer = instance(o.consumer, dest);
   int port = o.consumer_port;
-  PostToInstance(consumer, [this, consumer, port, batch] {
-    OnBatch(consumer, port, *batch);
-  });
+
+  int copies = 1;
+  if (injector_ != nullptr) {
+    if (injector_->ShouldDropBatch(o.consumer)) {
+      batches_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    if (injector_->ShouldDuplicateBatch(o.consumer)) {
+      batches_duplicated_.fetch_add(1, std::memory_order_relaxed);
+      copies = 2;
+    }
+  }
+  // Blocking on one's own queue would starve the very loop that drains
+  // it, so same-node sends bypass the backpressure bound (the shared
+  // message loop already throttles such producers).
+  bool same_node = consumer->node_ == inst->node_;
+  for (int c = 0; c < copies; ++c) {
+    bool sent = nodes_[consumer->node_]->PostData(
+        [this, consumer, port, batch] {
+          if (consumer->started) {
+            OnBatch(consumer, port, *batch);
+          } else {
+            consumer->pre_start.push_back([this, consumer, port, batch] {
+              OnBatch(consumer, port, *batch);
+            });
+          }
+        },
+        same_node);
+    if (sent) batches_sent_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void ThreadRun::OnBatch(ThreadInstance* inst, int port,
                         const TupleBatch& batch) {
+  if (!CheckRuntime()) return;
+  if (injector_ != nullptr) {
+    Status status = injector_->BeforeConsume(inst->op_id_);
+    if (!status.ok()) {
+      Abort(std::move(status));
+      return;
+    }
+  }
   inst->oper->Consume(port, batch, inst);
   AfterCallback(inst);
 }
 
 void ThreadRun::OnEos(ThreadInstance* inst, int port) {
+  if (!CheckRuntime()) return;
   MJOIN_CHECK(inst->eos_remaining[port] > 0);
   if (--inst->eos_remaining[port] == 0) {
     inst->oper->InputDone(port, inst);
@@ -357,6 +571,7 @@ void ThreadRun::OnEos(ThreadInstance* inst, int port) {
 }
 
 void ThreadRun::AfterCallback(ThreadInstance* inst) {
+  if (aborted_.load(std::memory_order_acquire)) return;
   const XraOp& o = op(inst->op_id_);
   if (o.kind == XraOpKind::kSimpleHashJoin && !inst->build_done_reported) {
     auto* join = static_cast<SimpleHashJoinOp*>(inst->oper.get());
@@ -369,6 +584,7 @@ void ThreadRun::AfterCallback(ThreadInstance* inst) {
 }
 
 void ThreadRun::FinishInstance(ThreadInstance* inst) {
+  if (aborted_.load(std::memory_order_acquire)) return;
   MJOIN_CHECK(!inst->complete);
   inst->complete = true;
   const XraOp& o = op(inst->op_id_);
@@ -401,6 +617,7 @@ void ThreadRun::ReportMilestone(int op_id, uint32_t index,
   bool all_done = false;
   {
     std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    if (aborted_.load(std::memory_order_relaxed)) return;
     ready = controller_.OnInstanceMilestone(op_id, index, milestone);
     all_done = controller_.AllOpsComplete();
   }
@@ -410,27 +627,73 @@ void ThreadRun::ReportMilestone(int op_id, uint32_t index,
       std::lock_guard<std::mutex> lock(scheduler_mutex_);
       done_ = true;
     }
-    done_cv_.notify_one();
+    done_cv_.notify_all();
   }
 }
 
-StatusOr<ThreadQueryResult> ThreadRun::Run() {
+ThreadExecStats ThreadRun::GatherStats() const {
+  ThreadExecStats stats;
+  stats.batches_sent = batches_sent_.load(std::memory_order_relaxed);
+  stats.batches_dropped = batches_dropped_.load(std::memory_order_relaxed);
+  stats.batches_duplicated =
+      batches_duplicated_.load(std::memory_order_relaxed);
+  for (const auto& node : nodes_) {
+    stats.batches_processed += node->processed_data();
+    stats.queue_overflows += node->overflows();
+    stats.peak_queue_depth = std::max(stats.peak_queue_depth,
+                                      node->peak_depth());
+  }
+  stats.peak_memory_bytes = budget_.peak();
+  return stats;
+}
+
+StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {
   auto start = std::chrono::steady_clock::now();
+  if (options_.deadline.has_value()) {
+    has_deadline_ = true;
+    deadline_point_ = start + *options_.deadline;
+  }
   for (auto& node : nodes_) node->Start();
 
-  std::vector<int> initial;
-  {
-    std::lock_guard<std::mutex> lock(scheduler_mutex_);
-    initial = controller_.TakeInitialGroups();
+  // A pre-cancelled token or an already-expired (0 ms) deadline aborts
+  // before any work is dispatched — but workers still started and must be
+  // joined below, exercising the same teardown as a mid-flight abort.
+  if (CheckRuntime()) {
+    std::vector<int> initial;
+    {
+      std::lock_guard<std::mutex> lock(scheduler_mutex_);
+      initial = controller_.TakeInitialGroups();
+    }
+    DispatchGroups(initial);
   }
-  DispatchGroups(initial);
 
-  {
-    std::unique_lock<std::mutex> lock(scheduler_mutex_);
-    done_cv_.wait(lock, [this] { return done_; });
+  // Workers promote cancellation/deadline at batch boundaries; the 10 ms
+  // poll here covers the corner where every worker is idle (or stalled by
+  // an injected fault) when the token fires.
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(scheduler_mutex_);
+      done_cv_.wait_for(lock, std::chrono::milliseconds(10), [this] {
+        return done_ || aborted_.load(std::memory_order_relaxed);
+      });
+      if (done_ || aborted_.load(std::memory_order_relaxed)) break;
+    }
+    if (!CheckRuntime()) break;
   }
   auto end = std::chrono::steady_clock::now();
+
+  // Teardown: always join every worker, success or abort. Stop() wakes
+  // blocked producers, drains queued messages (no-ops once aborted), and
+  // joins, so no thread or queue outlives this function.
   for (auto& node : nodes_) node->Stop();
+
+  ThreadExecStats stats = GatherStats();
+  if (stats_out != nullptr) *stats_out = stats;
+
+  if (aborted_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    return run_status_;
+  }
 
   ThreadQueryResult result;
   result.wall_seconds =
@@ -441,17 +704,19 @@ StatusOr<ThreadQueryResult> ThreadRun::Run() {
     result.materialized =
         ConcatFragments(stored_[static_cast<size_t>(plan_.final_result)]);
   }
+  result.stats = stats;
   return result;
 }
 
 }  // namespace
 
 StatusOr<ThreadQueryResult> ThreadExecutor::Execute(
-    const ParallelPlan& plan, const ThreadExecOptions& options) const {
+    const ParallelPlan& plan, const ThreadExecOptions& options,
+    ThreadExecStats* stats_out) const {
   MJOIN_RETURN_IF_ERROR(plan.Validate());
   ThreadRun run(plan, *database_, options);
   MJOIN_RETURN_IF_ERROR(run.Prepare());
-  return run.Run();
+  return run.Run(stats_out);
 }
 
 }  // namespace mjoin

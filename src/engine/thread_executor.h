@@ -1,8 +1,11 @@
 #ifndef MJOIN_ENGINE_THREAD_EXECUTOR_H_
 #define MJOIN_ENGINE_THREAD_EXECUTOR_H_
 
+#include <chrono>
+#include <cstdint>
 #include <optional>
 
+#include "common/cancellation.h"
 #include "common/statusor.h"
 #include "engine/database.h"
 #include "engine/result.h"
@@ -10,12 +13,60 @@
 
 namespace mjoin {
 
+class FaultInjector;
+
 /// Knobs for one threaded execution.
 struct ThreadExecOptions {
   /// Tuples per batch posted between operation processes.
   uint32_t batch_size = 256;
   /// Keep the materialized final result.
   bool materialize_result = false;
+
+  /// Backpressure: maximum data batches queued at one worker node before
+  /// producers on *other* nodes block (0 = unbounded, the legacy
+  /// behaviour). Bounds memory growth when a fast producer floods a slow
+  /// consumer in a pipelining (FP) plan.
+  size_t max_queued_batches = 0;
+  /// How long a producer waits on a full queue before enqueueing anyway.
+  /// The escape hatch keeps pathological cross-node cycles live; each use
+  /// is counted in ThreadExecStats::queue_overflows.
+  std::chrono::milliseconds queue_block_timeout{250};
+
+  /// Per-query memory budget in bytes for operator state (hash tables,
+  /// run buffers, stored results). 0 = unlimited; usage is still tracked.
+  /// Exceeding the budget aborts with Status::ResourceExhausted.
+  size_t memory_budget_bytes = 0;
+
+  /// Wall-clock deadline measured from Execute() start; expiry aborts the
+  /// query with Status::DeadlineExceeded.
+  std::optional<std::chrono::milliseconds> deadline;
+
+  /// Cooperative cancellation: keep a copy of this token and Cancel() it
+  /// from any thread; the query aborts with Status::Cancelled at the next
+  /// batch boundary.
+  CancellationToken cancellation;
+
+  /// Test-only chaos hooks; must outlive the execution. See
+  /// engine/fault_injector.h.
+  FaultInjector* fault_injector = nullptr;
+};
+
+/// Runtime counters of one threaded execution, also populated on failure
+/// (via the Execute() out-parameter) so aborted queries are diagnosable.
+struct ThreadExecStats {
+  /// Data batches posted between worker nodes.
+  uint64_t batches_sent = 0;
+  /// Data batches consumed by operators.
+  uint64_t batches_processed = 0;
+  /// Batches suppressed / re-delivered by fault injection.
+  uint64_t batches_dropped = 0;
+  uint64_t batches_duplicated = 0;
+  /// Times a producer outwaited queue_block_timeout on a full queue.
+  uint64_t queue_overflows = 0;
+  /// Maximum data batches queued at any single worker node.
+  size_t peak_queue_depth = 0;
+  /// MemoryBudget high-water mark over operator state + stored results.
+  size_t peak_memory_bytes = 0;
 };
 
 /// Outcome of one threaded query execution.
@@ -23,6 +74,7 @@ struct ThreadQueryResult {
   double wall_seconds = 0;
   ResultSummary result;
   std::optional<Relation> materialized;
+  ThreadExecStats stats;
 };
 
 /// Executes the same parallel plans as SimExecutor, but for real: each
@@ -33,13 +85,25 @@ struct ThreadQueryResult {
 /// engine a downstream user would run. (On a machine with fewer cores than
 /// plan.num_processors the threads are time-sliced by the OS; correctness
 /// is unaffected.)
+///
+/// Resilience: queues between nodes are bounded (max_queued_batches),
+/// operator memory is metered against a per-query budget, and executions
+/// can be cancelled or deadlined. Every failure path tears the worker
+/// threads down cleanly — Execute() never returns with a thread leaked or
+/// a queue still referenced.
 class ThreadExecutor {
  public:
   /// `database` must outlive the executor.
   explicit ThreadExecutor(const Database* database) : database_(database) {}
 
+  /// Runs `plan`. On failure the returned status is the root cause
+  /// (ResourceExhausted, Cancelled, DeadlineExceeded, an injected fault,
+  /// ...) and `stats_out`, when non-null, receives the partial-progress
+  /// counters gathered up to the abort.
   StatusOr<ThreadQueryResult> Execute(const ParallelPlan& plan,
-                                      const ThreadExecOptions& options) const;
+                                      const ThreadExecOptions& options,
+                                      ThreadExecStats* stats_out = nullptr)
+      const;
 
  private:
   const Database* database_;

@@ -36,6 +36,7 @@ StatusOr<std::unique_ptr<AggregateOp>> AggregateOp::Make(
 }
 
 void AggregateOp::Consume(int port, const TupleBatch& batch, OpContext* ctx) {
+  if (ctx->cancelled()) return;
   // One hash + one accumulator update per tuple.
   ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
               (ctx->costs().tuple_hash + ctx->costs().tuple_build));

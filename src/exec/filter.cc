@@ -74,6 +74,7 @@ StatusOr<std::unique_ptr<FilterOp>> FilterOp::Make(
 }
 
 void FilterOp::Consume(int port, const TupleBatch& batch, OpContext* ctx) {
+  if (ctx->cancelled()) return;
   // One unit per tuple: evaluating the predicate.
   ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
               ctx->costs().tuple_hash);

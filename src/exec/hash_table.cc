@@ -14,6 +14,9 @@ void JoinHashTable::Insert(const std::byte* row) {
   size_t row_index = num_rows_++;
   arena_.insert(arena_.end(), row, row + schema_->tuple_size());
   InsertSlot(row_index);
+  if (reservation_.attached()) {
+    over_budget_ |= !reservation_.Resize(memory_bytes()).ok();
+  }
 }
 
 void JoinHashTable::InsertSlot(size_t row_index) {
@@ -38,6 +41,15 @@ void JoinHashTable::Clear() {
   slots_.shrink_to_fit();
   arena_.clear();
   arena_.shrink_to_fit();
+  if (reservation_.attached()) reservation_.Resize(0);
+}
+
+void JoinHashTable::AttachBudget(MemoryBudget* budget) {
+  reservation_.Attach(budget);
+  over_budget_ = false;
+  if (budget != nullptr && memory_bytes() > 0) {
+    over_budget_ = !reservation_.Resize(memory_bytes()).ok();
+  }
 }
 
 }  // namespace mjoin

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/memory_budget.h"
 #include "storage/partitioner.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
@@ -59,6 +60,13 @@ class JoinHashTable {
   /// Releases all storage (used when a pipelining join drains one side).
   void Clear();
 
+  /// Accounts this table's footprint against `budget` (null detaches). An
+  /// insert can never fail mid-row, so an overflowing reservation instead
+  /// latches over_budget(); the owning join checks it after every batch
+  /// and aborts the query via OpContext::ReportError.
+  void AttachBudget(MemoryBudget* budget);
+  bool over_budget() const { return over_budget_; }
+
  private:
   static constexpr uint64_t kEmpty = 0;
 
@@ -77,6 +85,8 @@ class JoinHashTable {
   // Slot holds row_index + 1; 0 means empty.
   std::vector<uint64_t> slots_;
   std::vector<std::byte> arena_;
+  MemoryReservation reservation_;
+  bool over_budget_ = false;
 };
 
 }  // namespace mjoin

@@ -3,6 +3,8 @@
 
 #include <memory>
 
+#include "common/memory_budget.h"
+#include "common/status.h"
 #include "exec/batch.h"
 #include "sim/cost_params.h"
 #include "storage/schema.h"
@@ -27,6 +29,22 @@ class OpContext {
 
   /// Cost model in effect.
   virtual const CostParams& costs() const = 0;
+
+  /// Per-query memory budget, or null when the host does not enforce one
+  /// (the simulator models memory pressure its own way). Operators attach
+  /// their hash tables and run buffers to it in Open().
+  virtual MemoryBudget* memory_budget() const { return nullptr; }
+
+  /// True once the query is being torn down (cancellation, deadline, an
+  /// earlier error). Operators poll this at batch boundaries and inside
+  /// long result loops, and drop remaining work when it fires.
+  virtual bool cancelled() const { return false; }
+
+  /// Reports a runtime failure (budget exhausted, injected fault). Hosts
+  /// with an abort path stop the query and surface `status` to the caller;
+  /// the default ignores it (infallible backends never call this with a
+  /// non-OK status).
+  virtual void ReportError(const Status& status) {}
 };
 
 /// A physical relational operator, written push-based so that both the

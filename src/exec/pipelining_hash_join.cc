@@ -12,10 +12,16 @@ PipeliningHashJoinOp::PipeliningHashJoinOp(JoinSpec spec)
   out_row_.resize(spec_.output_schema->tuple_size());
 }
 
+void PipeliningHashJoinOp::Open(OpContext* ctx) {
+  tables_[0].AttachBudget(ctx->memory_budget());
+  tables_[1].AttachBudget(ctx->memory_budget());
+}
+
 void PipeliningHashJoinOp::Consume(int port, const TupleBatch& batch,
                                    OpContext* ctx) {
   MJOIN_CHECK(port == kLeftPort || port == kRightPort);
   MJOIN_CHECK(!done_[port]) << "batch after end-of-stream on port " << port;
+  if (ctx->cancelled()) return;
   const CostParams& costs = ctx->costs();
   size_t my_key = port == kLeftPort ? spec_.left_key : spec_.right_key;
   JoinHashTable& own = tables_[port];
@@ -31,6 +37,7 @@ void PipeliningHashJoinOp::Consume(int port, const TupleBatch& batch,
                (insert_needed ? costs.tuple_build : 0)));
   size_t results = 0;
   for (size_t i = 0; i < batch.num_tuples(); ++i) {
+    if (ctx->cancelled()) return;
     TupleRef mine = batch.tuple(i);
     int32_t key = mine.GetInt32(my_key);
     results += other.Probe(key, [&](const TupleRef& theirs) {
@@ -46,6 +53,10 @@ void PipeliningHashJoinOp::Consume(int port, const TupleBatch& batch,
   ctx->Charge(static_cast<Ticks>(results) * costs.tuple_result);
   peak_memory_ = std::max(peak_memory_,
                           tables_[0].memory_bytes() + tables_[1].memory_bytes());
+  if (tables_[0].over_budget() || tables_[1].over_budget()) {
+    ctx->ReportError(Status::ResourceExhausted(
+        "pipelining join tables exceed the query memory budget"));
+  }
 }
 
 void PipeliningHashJoinOp::InputDone(int port, OpContext* ctx) {

@@ -26,6 +26,7 @@ class PipeliningHashJoinOp : public Operator {
 
   int num_input_ports() const override { return 2; }
 
+  void Open(OpContext* ctx) override;
   void Consume(int port, const TupleBatch& batch, OpContext* ctx) override;
   void InputDone(int port, OpContext* ctx) override;
   bool finished() const override { return done_[0] && done_[1]; }

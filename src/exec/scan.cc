@@ -17,6 +17,11 @@ void ScanOp::Open(OpContext* ctx) {
 
 bool ScanOp::Produce(OpContext* ctx) {
   MJOIN_CHECK(opened_);
+  if (ctx->cancelled()) {
+    // Stop feeding the pipeline; report exhausted so the host winds down.
+    cursor_ = total_;
+    return false;
+  }
   size_t n = std::min<size_t>(ctx->costs().batch_size, total_ - cursor_);
   ctx->Charge(static_cast<Ticks>(n) * ctx->costs().tuple_scan);
   for (size_t i = 0; i < n; ++i) {

@@ -10,8 +10,14 @@ SimpleHashJoinOp::SimpleHashJoinOp(JoinSpec spec)
   out_row_.resize(spec_.output_schema->tuple_size());
 }
 
+void SimpleHashJoinOp::Open(OpContext* ctx) {
+  table_.AttachBudget(ctx->memory_budget());
+  buffered_reservation_.Attach(ctx->memory_budget());
+}
+
 void SimpleHashJoinOp::Consume(int port, const TupleBatch& batch,
                                OpContext* ctx) {
+  if (ctx->cancelled()) return;
   if (port == kBuildPort) {
     MJOIN_CHECK(!build_done_) << "build batch after build done";
     ConsumeBuild(batch, ctx);
@@ -29,10 +35,16 @@ void SimpleHashJoinOp::Consume(int port, const TupleBatch& batch,
       buffered_bytes_ += batch.num_tuples() * batch.schema().tuple_size();
       buffered_.push_back(std::move(copy));
       UpdatePeakMemory();
+      if (!buffered_reservation_.Resize(buffered_bytes_).ok()) {
+        ctx->ReportError(Status::ResourceExhausted(
+            "hash join probe buffer exceeds the query memory budget"));
+        return;
+      }
     } else {
       ConsumeProbe(batch, ctx);
     }
   }
+  CheckBudget(ctx);
 }
 
 void SimpleHashJoinOp::ConsumeBuild(const TupleBatch& batch, OpContext* ctx) {
@@ -51,6 +63,7 @@ void SimpleHashJoinOp::ConsumeProbe(const TupleBatch& batch, OpContext* ctx) {
               (costs.tuple_hash + costs.tuple_probe));
   size_t results = 0;
   for (size_t i = 0; i < batch.num_tuples(); ++i) {
+    if (ctx->cancelled()) return;
     TupleRef probe = batch.tuple(i);
     int32_t key = probe.GetInt32(spec_.right_key);
     results += table_.Probe(key, [&](const TupleRef& build) {
@@ -69,16 +82,28 @@ void SimpleHashJoinOp::InputDone(int port, OpContext* ctx) {
     std::vector<TupleBatch> pending = std::move(buffered_);
     buffered_.clear();
     buffered_bytes_ = 0;
-    for (const TupleBatch& batch : pending) ConsumeProbe(batch, ctx);
+    for (const TupleBatch& batch : pending) {
+      if (ctx->cancelled()) break;
+      ConsumeProbe(batch, ctx);
+    }
+    buffered_reservation_.Resize(0);
   } else {
     MJOIN_CHECK(port == kProbePort);
     MJOIN_CHECK(!probe_done_);
     probe_done_ = true;
   }
+  CheckBudget(ctx);
 }
 
 void SimpleHashJoinOp::UpdatePeakMemory() {
   peak_memory_ = std::max(peak_memory_, table_.memory_bytes() + buffered_bytes_);
+}
+
+void SimpleHashJoinOp::CheckBudget(OpContext* ctx) {
+  if (table_.over_budget()) {
+    ctx->ReportError(Status::ResourceExhausted(
+        "hash join build table exceeds the query memory budget"));
+  }
 }
 
 }  // namespace mjoin

@@ -26,6 +26,7 @@ class SimpleHashJoinOp : public Operator {
 
   int num_input_ports() const override { return 2; }
 
+  void Open(OpContext* ctx) override;
   void Consume(int port, const TupleBatch& batch, OpContext* ctx) override;
   void InputDone(int port, OpContext* ctx) override;
   bool finished() const override {
@@ -54,6 +55,7 @@ class SimpleHashJoinOp : public Operator {
   void ConsumeBuild(const TupleBatch& batch, OpContext* ctx);
   void ConsumeProbe(const TupleBatch& batch, OpContext* ctx);
   void UpdatePeakMemory();
+  void CheckBudget(OpContext* ctx);
 
   JoinSpec spec_;
   JoinHashTable table_;
@@ -61,6 +63,7 @@ class SimpleHashJoinOp : public Operator {
   bool probe_done_ = false;
   std::vector<TupleBatch> buffered_;
   size_t buffered_bytes_ = 0;
+  MemoryReservation buffered_reservation_;
   size_t peak_memory_ = 0;
   // Scratch row reused when assembling output tuples.
   std::vector<std::byte> out_row_;

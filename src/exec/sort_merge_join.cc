@@ -15,10 +15,15 @@ SortMergeJoinOp::SortMergeJoinOp(JoinSpec spec)
   out_row_.resize(spec_.output_schema->tuple_size());
 }
 
+void SortMergeJoinOp::Open(OpContext* ctx) {
+  reservation_.Attach(ctx->memory_budget());
+}
+
 void SortMergeJoinOp::Consume(int port, const TupleBatch& batch,
                               OpContext* ctx) {
   MJOIN_CHECK(port == kLeftPort || port == kRightPort);
   MJOIN_CHECK(!done_[port]) << "batch after end-of-stream on port " << port;
+  if (ctx->cancelled()) return;
   // One unit per tuple for appending to the run buffer.
   ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
               ctx->costs().tuple_build);
@@ -27,12 +32,16 @@ void SortMergeJoinOp::Consume(int port, const TupleBatch& batch,
   }
   current_memory_ += batch.num_tuples() * batch.schema().tuple_size();
   peak_memory_ = std::max(peak_memory_, current_memory_);
+  if (!reservation_.Resize(current_memory_).ok()) {
+    ctx->ReportError(Status::ResourceExhausted(
+        "sort-merge run buffers exceed the query memory budget"));
+  }
 }
 
 void SortMergeJoinOp::InputDone(int port, OpContext* ctx) {
   MJOIN_CHECK(!done_[port]);
   done_[port] = true;
-  if (done_[0] && done_[1]) SortAndMerge(ctx);
+  if (done_[0] && done_[1] && !ctx->cancelled()) SortAndMerge(ctx);
 }
 
 void SortMergeJoinOp::SortAndMerge(OpContext* ctx) {
@@ -70,6 +79,9 @@ void SortMergeJoinOp::SortAndMerge(OpContext* ctx) {
   size_t i = 0, j = 0;
   size_t results = 0;
   while (i < left.num_tuples() && j < right.num_tuples()) {
+    // The duplicate-run cross products can dominate the runtime, so the
+    // merge loop itself honours cancellation.
+    if (ctx->cancelled()) return;
     int32_t kl = left.tuple(order[0][i]).GetInt32(spec_.left_key);
     int32_t kr = right.tuple(order[1][j]).GetInt32(spec_.right_key);
     if (kl < kr) {
@@ -106,6 +118,7 @@ void SortMergeJoinOp::ReleaseMemory() {
   buffered_[0].Clear();
   buffered_[1].Clear();
   current_memory_ = 0;
+  reservation_.Resize(0);
 }
 
 }  // namespace mjoin

@@ -27,6 +27,7 @@ class SortMergeJoinOp : public Operator {
 
   int num_input_ports() const override { return 2; }
 
+  void Open(OpContext* ctx) override;
   void Consume(int port, const TupleBatch& batch, OpContext* ctx) override;
   void InputDone(int port, OpContext* ctx) override;
   bool finished() const override { return done_[0] && done_[1]; }
@@ -49,6 +50,7 @@ class SortMergeJoinOp : public Operator {
   bool done_[2] = {false, false};
   size_t current_memory_ = 0;
   size_t peak_memory_ = 0;
+  MemoryReservation reservation_;
   std::vector<std::byte> out_row_;
 };
 

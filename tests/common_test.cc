@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <thread>
+#include <vector>
 
+#include "common/cancellation.h"
+#include "common/memory_budget.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -34,9 +38,22 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kAlreadyExists, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
-        StatusCode::kInternal, StatusCode::kResourceExhausted}) {
+        StatusCode::kInternal, StatusCode::kResourceExhausted,
+        StatusCode::kCancelled, StatusCode::kDeadlineExceeded}) {
     EXPECT_NE(StatusCodeToString(code), "Unknown");
   }
+}
+
+TEST(StatusTest, CancelledAndDeadlineExceeded) {
+  Status cancelled = Status::Cancelled("caller gave up");
+  EXPECT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.code(), StatusCode::kCancelled);
+  EXPECT_EQ(cancelled.ToString(), "Cancelled: caller gave up");
+
+  Status late = Status::DeadlineExceeded("query ran past 5ms");
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(late.ToString(), "DeadlineExceeded: query ran past 5ms");
 }
 
 StatusOr<int> ParsePositive(int x) {
@@ -71,6 +88,75 @@ TEST(StatusOrTest, MoveOnlyValue) {
   ASSERT_TRUE(boxed.ok());
   std::unique_ptr<int> owned = std::move(boxed).value();
   EXPECT_EQ(*owned, 5);
+}
+
+// --- MemoryBudget -----------------------------------------------------------
+
+TEST(MemoryBudgetTest, ReserveReleaseAndPeak) {
+  MemoryBudget budget(1000);
+  EXPECT_TRUE(budget.Reserve(600).ok());
+  EXPECT_TRUE(budget.Reserve(300).ok());
+  EXPECT_EQ(budget.used(), 900u);
+
+  Status overflow = budget.Reserve(200);
+  EXPECT_EQ(overflow.code(), StatusCode::kResourceExhausted);
+  // Failed reservation rolls back: usage unchanged, more room later works.
+  EXPECT_EQ(budget.used(), 900u);
+  budget.Release(600);
+  EXPECT_TRUE(budget.Reserve(200).ok());
+  EXPECT_EQ(budget.peak(), 900u);
+}
+
+TEST(MemoryBudgetTest, UnlimitedTracksPeak) {
+  MemoryBudget budget;
+  EXPECT_TRUE(budget.unlimited());
+  EXPECT_TRUE(budget.Reserve(1 << 20).ok());
+  EXPECT_TRUE(budget.Reserve(1 << 20).ok());
+  budget.Release(1 << 20);
+  EXPECT_EQ(budget.peak(), 2u << 20);
+  EXPECT_EQ(budget.used(), 1u << 20);
+}
+
+TEST(MemoryBudgetTest, ConcurrentReservationsBalance) {
+  MemoryBudget budget(0);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&budget] {
+      for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(budget.Reserve(64).ok());
+        budget.Release(64);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(MemoryReservationTest, ResizeChargesDeltas) {
+  MemoryBudget budget(100);
+  MemoryReservation res;
+  res.Attach(&budget);
+  EXPECT_TRUE(res.Resize(80).ok());
+  EXPECT_EQ(budget.used(), 80u);
+  // Growing past the limit fails and leaves the old size in place.
+  EXPECT_EQ(res.Resize(150).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(res.bytes(), 80u);
+  EXPECT_TRUE(res.Resize(20).ok());
+  EXPECT_EQ(budget.used(), 20u);
+  res.Reset();
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+// --- CancellationToken ------------------------------------------------------
+
+TEST(CancellationTokenTest, CopiesShareState) {
+  CancellationToken token;
+  CancellationToken alias = token;
+  EXPECT_FALSE(alias.cancelled());
+  token.Cancel();
+  EXPECT_TRUE(alias.cancelled());
+  token.Cancel();  // idempotent
+  EXPECT_TRUE(token.cancelled());
 }
 
 // --- Random -----------------------------------------------------------------

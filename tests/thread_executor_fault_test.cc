@@ -1,0 +1,321 @@
+// Resilience tests for the threaded backend: every fault scenario must end
+// with a clean Status, all worker threads joined, and — when the fault does
+// not change the data — reference-identical results.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "engine/database.h"
+#include "engine/fault_injector.h"
+#include "engine/reference.h"
+#include "engine/thread_executor.h"
+#include "plan/wisconsin_query.h"
+#include "strategy/strategy.h"
+
+namespace mjoin {
+namespace {
+
+/// Live thread count of this process (Linux); 0 where unsupported.
+size_t CountThreads() {
+#ifdef __linux__
+  size_t n = 0;
+  for ([[maybe_unused]] const auto& entry :
+       std::filesystem::directory_iterator("/proc/self/task")) {
+    ++n;
+  }
+  return n;
+#else
+  return 0;
+#endif
+}
+
+/// A small Wisconsin chain plus everything needed to execute and verify it.
+struct QuerySetup {
+  Database db;
+  ParallelPlan plan;
+  ResultSummary reference;
+};
+
+QuerySetup MakeSetup(StrategyKind strategy,
+                QueryShape shape = QueryShape::kWideBushy, int relations = 5,
+                uint32_t card = 300, uint32_t procs = 8) {
+  QuerySetup setup{MakeWisconsinDatabase(relations, card, /*seed=*/7), {}, {}};
+  auto query = MakeWisconsinChainQuery(shape, relations, card);
+  EXPECT_TRUE(query.ok());
+  auto reference = ReferenceSummary(*query, setup.db);
+  EXPECT_TRUE(reference.ok());
+  setup.reference = *reference;
+  auto plan =
+      MakeStrategy(strategy)->Parallelize(*query, procs, TotalCostModel());
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  setup.plan = *std::move(plan);
+  return setup;
+}
+
+int FirstJoinOp(const ParallelPlan& plan) {
+  for (const XraOp& o : plan.ops) {
+    if (o.is_join()) return o.id;
+  }
+  return -1;
+}
+
+class FaultScenarioTest : public testing::TestWithParam<StrategyKind> {};
+
+std::string StratName(const testing::TestParamInfo<StrategyKind>& info) {
+  return StrategyName(info.param);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllStrategies, FaultScenarioTest,
+                         testing::ValuesIn(kAllStrategies), StratName);
+
+// Control run: no fault, but backpressure and budget tracking on. Results
+// must match the reference engine exactly and stats must be populated.
+TEST_P(FaultScenarioTest, NoFaultControlMatchesReference) {
+  QuerySetup setup = MakeSetup(GetParam());
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.batch_size = 32;
+  options.max_queued_batches = 4;
+
+  size_t threads_before = CountThreads();
+  auto run = executor.Execute(setup.plan, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(CountThreads(), threads_before);
+
+  EXPECT_EQ(run->result.cardinality, setup.reference.cardinality);
+  EXPECT_EQ(run->result.checksum, setup.reference.checksum);
+  EXPECT_GT(run->stats.batches_sent, 0u);
+  EXPECT_GT(run->stats.batches_processed, 0u);
+  EXPECT_GT(run->stats.peak_memory_bytes, 0u);
+  EXPECT_EQ(run->stats.batches_dropped, 0u);
+  EXPECT_EQ(run->stats.batches_duplicated, 0u);
+}
+
+// A slow worker delays every message on node 0. The query slows down but
+// completes with the right answer — pipelining tolerates stragglers.
+TEST_P(FaultScenarioTest, SlowWorkerStillCorrect) {
+  QuerySetup setup = MakeSetup(GetParam());
+  FaultScenario scenario;
+  scenario.kind = FaultKind::kSlowWorker;
+  scenario.node = 0;
+  scenario.delay = std::chrono::microseconds(200);
+  FaultInjector injector(scenario);
+
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.max_queued_batches = 4;
+  options.fault_injector = &injector;
+
+  size_t threads_before = CountThreads();
+  auto run = executor.Execute(setup.plan, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(CountThreads(), threads_before);
+  EXPECT_EQ(run->result.cardinality, setup.reference.cardinality);
+  EXPECT_EQ(run->result.checksum, setup.reference.checksum);
+  EXPECT_GT(injector.faults_injected(), 0u);
+}
+
+// A join fails mid-stream. The injected status must surface verbatim and
+// teardown must join every worker even with batches still in flight.
+TEST_P(FaultScenarioTest, OperatorFailureAbortsCleanly) {
+  QuerySetup setup = MakeSetup(GetParam());
+  FaultScenario scenario;
+  scenario.kind = FaultKind::kFailOperator;
+  scenario.op = FirstJoinOp(setup.plan);
+  scenario.after_batches = 1;
+  FaultInjector injector(scenario);
+
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.batch_size = 32;
+  options.fault_injector = &injector;
+
+  size_t threads_before = CountThreads();
+  ThreadExecStats stats;
+  auto run = executor.Execute(setup.plan, options, &stats);
+  EXPECT_EQ(CountThreads(), threads_before);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kInternal);
+  EXPECT_NE(run.status().message().find("injected fault"), std::string::npos);
+  // Partial progress is still reported for diagnosis.
+  EXPECT_GT(stats.batches_processed, 0u);
+}
+
+// A budget far below the working set: the query must return
+// ResourceExhausted instead of OOM-ing, with threads joined.
+TEST_P(FaultScenarioTest, TightMemoryBudgetAborts) {
+  QuerySetup setup = MakeSetup(GetParam());
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.memory_budget_bytes = 4096;
+
+  size_t threads_before = CountThreads();
+  ThreadExecStats stats;
+  auto run = executor.Execute(setup.plan, options, &stats);
+  EXPECT_EQ(CountThreads(), threads_before);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_GT(stats.peak_memory_bytes, 0u);
+}
+
+// An already-expired deadline: nothing is dispatched, workers still start
+// and must be torn down, and the status is kDeadlineExceeded.
+TEST_P(FaultScenarioTest, ZeroDeadlineExpires) {
+  QuerySetup setup = MakeSetup(GetParam());
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.deadline = std::chrono::milliseconds(0);
+
+  size_t threads_before = CountThreads();
+  auto run = executor.Execute(setup.plan, options);
+  EXPECT_EQ(CountThreads(), threads_before);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded);
+}
+
+// Cancellation fired from another thread mid-run (a slow worker keeps the
+// query alive long enough for the cancel to land mid-flight).
+TEST_P(FaultScenarioTest, CancellationMidRun) {
+  QuerySetup setup = MakeSetup(GetParam());
+  FaultScenario scenario;
+  scenario.kind = FaultKind::kSlowWorker;
+  scenario.node = 0;
+  scenario.delay = std::chrono::milliseconds(20);
+  FaultInjector injector(scenario);
+
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.fault_injector = &injector;
+  CancellationToken token = options.cancellation;
+
+  size_t threads_before = CountThreads();
+  std::thread canceller([&token] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    token.Cancel();
+  });
+  auto run = executor.Execute(setup.plan, options);
+  canceller.join();
+  EXPECT_EQ(CountThreads(), threads_before);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+}
+
+TEST(FaultScenarioEdgeTest, PreCancelledTokenNeverRuns) {
+  QuerySetup setup = MakeSetup(StrategyKind::kFP);
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.cancellation.Cancel();
+  auto run = executor.Execute(setup.plan, options);
+  ASSERT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kCancelled);
+}
+
+// Acceptance: FP on the right-linear shape with max_queued_batches = 4
+// completes with bounded queues and an unchanged result.
+TEST(BackpressureTest, FpRightLinearBoundedQueueDepth) {
+  QuerySetup setup = MakeSetup(StrategyKind::kFP, QueryShape::kRightLinear,
+                          /*relations=*/5, /*card=*/400, /*procs=*/8);
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.batch_size = 16;  // many batches so the bound actually engages
+  options.max_queued_batches = 4;
+
+  auto run = executor.Execute(setup.plan, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result.cardinality, setup.reference.cardinality);
+  EXPECT_EQ(run->result.checksum, setup.reference.checksum);
+  EXPECT_GT(run->stats.batches_sent, 0u);
+  EXPECT_EQ(run->stats.queue_overflows, 0u);
+  // Cross-node producers block below the bound; same-node sends bypass it
+  // (blocking there would self-deadlock), so allow that much slack on top.
+  EXPECT_LE(run->stats.peak_queue_depth, 2 * options.max_queued_batches);
+}
+
+// Acceptance: a 1 MB budget on the 10-relation chain is not enough — the
+// query returns ResourceExhausted (not a crash); lifting the budget yields
+// the exact reference result.
+TEST(MemoryBudgetAcceptanceTest, TenRelationChainUnderOneMegabyte) {
+  QuerySetup setup = MakeSetup(StrategyKind::kFP, QueryShape::kWideBushy,
+                          /*relations=*/10, /*card=*/5000, /*procs=*/16);
+  ThreadExecutor executor(&setup.db);
+
+  ThreadExecOptions limited;
+  limited.memory_budget_bytes = 1 << 20;
+  ThreadExecStats stats;
+  auto starved = executor.Execute(setup.plan, limited, &stats);
+  ASSERT_FALSE(starved.ok());
+  EXPECT_EQ(starved.status().code(), StatusCode::kResourceExhausted);
+
+  ThreadExecOptions unlimited;
+  auto run = executor.Execute(setup.plan, unlimited);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->result.cardinality, setup.reference.cardinality);
+  EXPECT_EQ(run->result.checksum, setup.reference.checksum);
+  // The unlimited run must actually need more than the 1 MB that starved.
+  EXPECT_GT(run->stats.peak_memory_bytes, size_t{1} << 20);
+}
+
+// Lossy interconnect: dropped batches lose rows but execution still
+// terminates cleanly (end-of-stream is per-producer, not per-batch).
+TEST(FaultScenarioEdgeTest, DroppedBatchesStillTerminate) {
+  QuerySetup setup = MakeSetup(StrategyKind::kSP);
+  FaultScenario scenario;
+  scenario.kind = FaultKind::kDropBatch;
+  scenario.probability = 0.5;
+  scenario.seed = 11;
+  FaultInjector injector(scenario);
+
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.batch_size = 32;
+  options.fault_injector = &injector;
+  auto run = executor.Execute(setup.plan, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run->stats.batches_dropped, 0u);
+  EXPECT_LT(run->result.cardinality, setup.reference.cardinality);
+}
+
+TEST(FaultScenarioEdgeTest, DuplicatedBatchesStillTerminate) {
+  QuerySetup setup = MakeSetup(StrategyKind::kSP);
+  FaultScenario scenario;
+  scenario.kind = FaultKind::kDuplicateBatch;
+  scenario.probability = 0.5;
+  scenario.seed = 13;
+  FaultInjector injector(scenario);
+
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.batch_size = 32;
+  options.fault_injector = &injector;
+  auto run = executor.Execute(setup.plan, options);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_GT(run->stats.batches_duplicated, 0u);
+  EXPECT_GT(run->result.cardinality, setup.reference.cardinality);
+}
+
+// Repeated aborts must not leak threads or corrupt later runs: interleave
+// failing and succeeding executions on the same executor.
+TEST(FaultScenarioEdgeTest, AbortThenReuseExecutor) {
+  QuerySetup setup = MakeSetup(StrategyKind::kFP);
+  ThreadExecutor executor(&setup.db);
+
+  size_t threads_before = CountThreads();
+  for (int i = 0; i < 3; ++i) {
+    ThreadExecOptions starved;
+    starved.memory_budget_bytes = 4096;
+    auto bad = executor.Execute(setup.plan, starved);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kResourceExhausted);
+
+    auto good = executor.Execute(setup.plan, ThreadExecOptions());
+    ASSERT_TRUE(good.ok()) << good.status();
+    EXPECT_EQ(good->result.cardinality, setup.reference.cardinality);
+    EXPECT_EQ(good->result.checksum, setup.reference.checksum);
+  }
+  EXPECT_EQ(CountThreads(), threads_before);
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -3,6 +3,9 @@
 //   mjoin_cli explain   --shape wide-bushy --strategy FP --procs 40
 //   mjoin_cli run       --shape right-bushy --strategy RD --procs 40
 //                       --card 5000 [--analyze] [--diagram]
+//   mjoin_cli run       --backend thread --strategy FP --max-queue 4
+//                       --budget 1048576 --deadline-ms 5000
+//                       --fault slow-worker --fault-node 0
 //   mjoin_cli save-plan --shape left-linear --strategy SP --procs 20
 //                       --out plan.xra
 //   mjoin_cli run-plan  --plan plan.xra --card 5000
@@ -18,12 +21,16 @@
 #include <sstream>
 #include <string>
 
+#include <chrono>
+
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "engine/database.h"
 #include "engine/experiment.h"
+#include "engine/fault_injector.h"
 #include "engine/reference.h"
 #include "engine/sim_executor.h"
+#include "engine/thread_executor.h"
 #include "plan/wisconsin_query.h"
 #include "strategy/strategy.h"
 #include "xra/text.h"
@@ -44,6 +51,10 @@ struct Args {
     auto it = flags.find(key);
     return it == flags.end() ? fallback : std::atoi(it->second.c_str());
   }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::atof(it->second.c_str());
+  }
   bool Has(const std::string& key) const { return flags.contains(key); }
 };
 
@@ -61,7 +72,20 @@ int Usage() {
       "  --analyze   print per-op EXPLAIN ANALYZE counters (run)\n"
       "  --diagram   print the utilization diagram (run)\n"
       "  --out FILE  plan file to write (save-plan)\n"
-      "  --plan FILE plan file to execute (run-plan)\n");
+      "  --plan FILE plan file to execute (run-plan)\n"
+      "  --backend   sim|thread (run; default sim)\n"
+      "thread-backend resilience flags (run --backend thread):\n"
+      "  --batch N          tuples per inter-node batch (default 256)\n"
+      "  --max-queue N      bound on queued batches per node (0=unbounded)\n"
+      "  --budget BYTES     per-query memory budget (0=unlimited)\n"
+      "  --deadline-ms N    abort with DeadlineExceeded after N ms\n"
+      "  --fault KIND       none|slow-worker|fail-op|drop-batch|dup-batch\n"
+      "  --fault-node N     slow-worker target node (default 0)\n"
+      "  --fault-delay-us N slow-worker per-message delay (default 1000)\n"
+      "  --fault-op N       target op id for fail-op/drop/dup (-1=any)\n"
+      "  --fault-after N    fail-op: batches to let through first\n"
+      "  --fault-prob P     drop/dup per-batch probability (default 1.0)\n"
+      "  --fault-seed N     seed for probabilistic faults\n");
   return 2;
 }
 
@@ -176,6 +200,94 @@ int RunAndReport(const ParallelPlan& plan, const Common& common,
   return 0;
 }
 
+void PrintThreadStats(const ThreadExecStats& stats) {
+  std::printf(
+      "batches: %llu sent, %llu processed, %llu dropped, %llu duplicated\n"
+      "queues:  peak depth %llu, %llu overflow escapes\n"
+      "memory:  peak %llu bytes\n",
+      static_cast<unsigned long long>(stats.batches_sent),
+      static_cast<unsigned long long>(stats.batches_processed),
+      static_cast<unsigned long long>(stats.batches_dropped),
+      static_cast<unsigned long long>(stats.batches_duplicated),
+      static_cast<unsigned long long>(stats.peak_queue_depth),
+      static_cast<unsigned long long>(stats.queue_overflows),
+      static_cast<unsigned long long>(stats.peak_memory_bytes));
+}
+
+// `run --backend thread`: execute the plan on real OS threads with the
+// resilience knobs (backpressure, budget, deadline, fault injection).
+int RunThreadBackend(const Args& args, const ParallelPlan& plan,
+                     const Common& common) {
+  FaultScenario scenario;
+  if (!ParseFaultKind(args.Get("fault", "none"), &scenario.kind)) {
+    std::fprintf(stderr, "unknown fault kind\n");
+    return 2;
+  }
+  scenario.node = static_cast<uint32_t>(args.GetInt("fault-node", 0));
+  scenario.delay = std::chrono::microseconds(args.GetInt("fault-delay-us", 1000));
+  scenario.op = args.GetInt("fault-op", -1);
+  scenario.after_batches =
+      static_cast<uint64_t>(args.GetInt("fault-after", 0));
+  scenario.probability = args.GetDouble("fault-prob", 1.0);
+  scenario.seed = static_cast<uint64_t>(args.GetInt("fault-seed", 0));
+  FaultInjector injector(scenario);
+
+  ThreadExecOptions options;
+  options.batch_size = static_cast<uint32_t>(args.GetInt("batch", 256));
+  options.max_queued_batches =
+      static_cast<size_t>(args.GetInt("max-queue", 0));
+  options.memory_budget_bytes =
+      static_cast<size_t>(args.GetInt("budget", 0));
+  if (args.Has("deadline-ms")) {
+    options.deadline = std::chrono::milliseconds(args.GetInt("deadline-ms", 0));
+  }
+  if (scenario.kind != FaultKind::kNone) options.fault_injector = &injector;
+
+  Database db =
+      MakeWisconsinDatabase(common.relations, common.card, common.seed);
+  ThreadExecutor executor(&db);
+  ThreadExecStats stats;
+  auto run = executor.Execute(plan, options, &stats);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s\npartial progress before abort:\n",
+                 run.status().ToString().c_str());
+    PrintThreadStats(stats);
+    return 1;
+  }
+  std::printf(
+      "strategy %s on %u threads: %.3f s wall, %llu result tuples\n",
+      plan.strategy.c_str(), plan.num_processors, run->wall_seconds,
+      static_cast<unsigned long long>(run->result.cardinality));
+  PrintThreadStats(run->stats);
+  if (injector.faults_injected() > 0) {
+    std::printf("faults injected (%s): %llu\n",
+                FaultKindName(scenario.kind).c_str(),
+                static_cast<unsigned long long>(injector.faults_injected()));
+  }
+
+  // Drop/duplicate faults knowingly corrupt the result; verifying against
+  // the reference would only report the corruption we caused.
+  if (scenario.kind == FaultKind::kDropBatch ||
+      scenario.kind == FaultKind::kDuplicateBatch) {
+    std::printf("verification skipped: %s alters the data stream\n",
+                FaultKindName(scenario.kind).c_str());
+    return 0;
+  }
+  auto query =
+      MakeWisconsinChainQuery(common.shape, common.relations, common.card);
+  if (!query.ok()) {
+    std::fprintf(stderr, "%s\n", query.status().ToString().c_str());
+    return 1;
+  }
+  auto reference = ReferenceSummary(*query, db);
+  if (!reference.ok() || !(run->result == *reference)) {
+    std::fprintf(stderr, "verification FAILED\n");
+    return 1;
+  }
+  std::printf("verification OK (matches single-threaded reference)\n");
+  return 0;
+}
+
 int CmdRun(const Args& args) {
   Common common;
   if (!ParseCommon(args, &common)) return 2;
@@ -183,6 +295,12 @@ int CmdRun(const Args& args) {
   if (!plan.ok()) {
     std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
     return 1;
+  }
+  std::string backend = args.Get("backend", "sim");
+  if (backend == "thread") return RunThreadBackend(args, *plan, common);
+  if (backend != "sim") {
+    std::fprintf(stderr, "unknown backend\n");
+    return 2;
   }
   // Verify against the reference first.
   Database db =

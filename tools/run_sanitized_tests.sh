@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Builds a sanitized tree and runs the concurrency-sensitive tests under it.
+#
+#   tools/run_sanitized_tests.sh [thread|address] [extra test names...]
+#
+# Defaults to ThreadSanitizer and the threaded-executor tests (the ones
+# with real cross-thread traffic). Pass additional ctest test names to
+# widen the run, or 'address' for an ASan pass over the same set.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SANITIZER="${1:-thread}"
+shift || true
+case "$SANITIZER" in
+  thread|address) ;;
+  *) echo "usage: $0 [thread|address] [extra ctest test names...]" >&2; exit 2 ;;
+esac
+
+BUILD_DIR="build-${SANITIZER}san"
+TESTS=(thread_executor_test thread_executor_fault_test "$@")
+
+cmake -B "$BUILD_DIR" -S . -DMJOIN_SANITIZE="$SANITIZER" >/dev/null
+
+TARGETS=()
+for t in "${TESTS[@]}"; do TARGETS+=(--target "$t"); done
+cmake --build "$BUILD_DIR" -j "$(nproc)" "${TARGETS[@]}"
+
+REGEX="$(IFS='|'; echo "${TESTS[*]}")"
+# halt_on_error makes a single report fail the run instead of scrolling by.
+if [ "$SANITIZER" = thread ]; then
+  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+else
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
+fi
+ctest --test-dir "$BUILD_DIR" --output-on-failure -R "^(${REGEX})$"
+echo "${SANITIZER} sanitizer pass clean: ${TESTS[*]}"
