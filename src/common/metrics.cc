@@ -1,0 +1,126 @@
+#include "common/metrics.h"
+
+#include "common/string_util.h"
+#include "common/table_printer.h"
+
+namespace mjoin {
+
+void Gauge::Set(int64_t value) {
+  value_.store(value, std::memory_order_relaxed);
+  RaiseMax(value);
+}
+
+void Gauge::Add(int64_t delta) {
+  int64_t now = value_.fetch_add(delta, std::memory_order_relaxed) + delta;
+  RaiseMax(now);
+}
+
+void Gauge::RaiseMax(int64_t candidate) {
+  int64_t seen = max_.load(std::memory_order_relaxed);
+  while (candidate > seen &&
+         !max_.compare_exchange_weak(seen, candidate,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+void Histogram::Observe(double value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  moments_.Add(value);
+  samples_.Add(value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  // Lock ordering: by address, so concurrent cross-merges cannot deadlock.
+  if (this == &other) return;
+  std::lock_guard<std::mutex> first(this < &other ? mutex_ : other.mutex_);
+  std::lock_guard<std::mutex> second(this < &other ? other.mutex_ : mutex_);
+  for (double v : other.samples_.values()) moments_.Add(v);
+  samples_.Merge(other.samples_);
+}
+
+int64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return moments_.count();
+}
+
+double Histogram::mean() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return moments_.mean();
+}
+
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return moments_.min();
+}
+
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return moments_.max();
+}
+
+double Histogram::Percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_.Percentile(p);
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+std::string MetricsRegistry::RenderTable() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::map<std::string, std::pair<std::string, std::string>> rows;
+  for (const auto& [name, counter] : counters_) {
+    rows[name] = {"counter", StrCat(counter->value())};
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    rows[name] = {"gauge",
+                  StrCat(gauge->value(), " (max ", gauge->max(), ")")};
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    rows[name] = {
+        "histogram",
+        StrCat("n=", histogram->count(), " mean=",
+               FormatDouble(histogram->mean(), 6), " p50=",
+               FormatDouble(histogram->Percentile(50), 6), " p95=",
+               FormatDouble(histogram->Percentile(95), 6), " max=",
+               FormatDouble(histogram->max(), 6))};
+  }
+  TablePrinter table({"metric", "type", "value"});
+  for (const auto& [name, row] : rows) {
+    table.AddRow({name, row.first, row.second});
+  }
+  return table.ToString();
+}
+
+}  // namespace mjoin

@@ -1,0 +1,92 @@
+#ifndef MJOIN_COMMON_METRICS_H_
+#define MJOIN_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "common/stats.h"
+
+namespace mjoin {
+
+/// Monotonic event count. Add() is a relaxed atomic increment, so counters
+/// can be bumped from any worker thread without coordination.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level with a high-water mark. Set()/Add() are lock-free;
+/// the max is maintained with a CAS loop, so concurrent writers never lose
+/// a peak.
+class Gauge {
+ public:
+  void Set(int64_t value);
+  void Add(int64_t delta);
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  int64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+ private:
+  void RaiseMax(int64_t candidate);
+
+  std::atomic<int64_t> value_{0};
+  std::atomic<int64_t> max_{0};
+};
+
+/// Latency histogram: Welford moments plus exact interpolated percentiles
+/// over the retained samples (StatsAccumulator + PercentileTracker under
+/// one mutex). Observe() is cheap — an uncontended lock, two pushes — and
+/// queries sort lazily, so a histogram can sit on a per-batch path.
+class Histogram {
+ public:
+  void Observe(double value);
+  void Merge(const Histogram& other);
+
+  int64_t count() const;
+  double mean() const;
+  double min() const;
+  double max() const;
+  double Percentile(double p) const;
+
+ private:
+  mutable std::mutex mutex_;
+  StatsAccumulator moments_;
+  PercentileTracker samples_;
+};
+
+/// Named metrics for one engine component, e.g. one threaded execution.
+/// counter()/gauge()/histogram() create-or-get by name; returned pointers
+/// stay valid for the registry's lifetime, so hot paths resolve a metric
+/// once and then update it lock-free (counters/gauges) or lock-cheap
+/// (histograms). All methods are thread-safe.
+class MetricsRegistry {
+ public:
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  size_t size() const;
+
+  /// All metrics, sorted by name, as an aligned table: counters print
+  /// their value, gauges value and max, histograms count/mean/p50/p95/max.
+  std::string RenderTable() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_COMMON_METRICS_H_

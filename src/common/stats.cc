@@ -30,12 +30,21 @@ double StatsAccumulator::stddev() const {
 
 double PercentileTracker::Percentile(double p) const {
   if (values_.empty()) return 0;
-  std::sort(values_.begin(), values_.end());
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
   double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
   size_t lo = static_cast<size_t>(rank);
   size_t hi = std::min(lo + 1, values_.size() - 1);
   double frac = rank - static_cast<double>(lo);
   return values_[lo] * (1.0 - frac) + values_[hi] * frac;
+}
+
+void PercentileTracker::Merge(const PercentileTracker& other) {
+  if (other.values_.empty()) return;
+  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
+  sorted_ = false;
 }
 
 }  // namespace mjoin

@@ -29,16 +29,32 @@ class StatsAccumulator {
   double sum_ = 0;
 };
 
-/// Exact percentile (nearest-rank) over a sample set kept in memory.
+/// Percentile over a sample set kept in memory, computed by linear
+/// interpolation between the two closest ranks (numpy's default method):
+/// Percentile(50) over {1..100} is 50.5, not a member of the set. The
+/// samples are sorted lazily — a run of Percentile() calls with no
+/// intervening Add() sorts once.
 class PercentileTracker {
  public:
-  void Add(double value) { values_.push_back(value); }
+  void Add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
   /// p in [0, 100]. Returns 0 when empty.
   double Percentile(double p) const;
+
+  /// Appends all of `other`'s samples (e.g. merging per-thread trackers).
+  void Merge(const PercentileTracker& other);
+
   size_t count() const { return values_.size(); }
+
+  /// The retained samples, in unspecified order.
+  const std::vector<double>& values() const { return values_; }
 
  private:
   mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
 };
 
 }  // namespace mjoin

@@ -12,7 +12,9 @@
 #include <vector>
 
 #include "common/memory_budget.h"
+#include "common/metrics.h"
 #include "common/string_util.h"
+#include "common/table_printer.h"
 #include "engine/controller.h"
 #include "engine/fault_injector.h"
 #include "exec/batch.h"
@@ -28,6 +30,66 @@
 namespace mjoin {
 
 namespace {
+
+/// Work type of a Consume() callback, for trace labels and the phase
+/// buckets of OpMetrics.
+ThreadWorkType ConsumeWorkType(XraOpKind kind, int port) {
+  switch (kind) {
+    case XraOpKind::kSimpleHashJoin:
+      return port == SimpleHashJoinOp::kBuildPort ? ThreadWorkType::kBuild
+                                                  : ThreadWorkType::kProbe;
+    case XraOpKind::kPipeliningHashJoin:
+    case XraOpKind::kFilter:
+      return ThreadWorkType::kPipeline;
+    case XraOpKind::kSortMergeJoin:
+      return ThreadWorkType::kBuild;  // run-buffer fill
+    case XraOpKind::kAggregate:
+      return ThreadWorkType::kBuild;  // group-table fill
+    default:
+      return ThreadWorkType::kOther;
+  }
+}
+
+/// Work type of an InputDone() callback. The interesting cases do real
+/// work there: a simple hash-join replays buffered probe batches when the
+/// build side completes, a sort-merge join sorts and merges, an
+/// aggregation emits its groups.
+ThreadWorkType InputDoneWorkType(XraOpKind kind, int port) {
+  switch (kind) {
+    case XraOpKind::kSimpleHashJoin:
+      return port == SimpleHashJoinOp::kBuildPort ? ThreadWorkType::kProbe
+                                                  : ThreadWorkType::kOther;
+    case XraOpKind::kSortMergeJoin:
+      return ThreadWorkType::kMerge;
+    case XraOpKind::kAggregate:
+      return ThreadWorkType::kEmit;
+    default:
+      return ThreadWorkType::kOther;
+  }
+}
+
+/// The OpMetrics bucket a work type's seconds accumulate into.
+double* PhaseBucket(OpMetrics* m, ThreadWorkType type) {
+  switch (type) {
+    case ThreadWorkType::kBuild:
+      return &m->build_seconds;
+    case ThreadWorkType::kProbe:
+    case ThreadWorkType::kMerge:
+      return &m->probe_seconds;
+    case ThreadWorkType::kPipeline:
+      return &m->pipeline_seconds;
+    case ThreadWorkType::kScan:
+      return &m->scan_seconds;
+    case ThreadWorkType::kEmit:
+      return &m->emit_seconds;
+    default:
+      return &m->other_seconds;
+  }
+}
+
+/// Producer stalls on a full queue shorter than this are not worth a trace
+/// event (they are indistinguishable from lock hand-off noise).
+constexpr int64_t kBlockedTraceThresholdNs = 50'000;  // 50 us
 
 /// A worker node: one OS thread draining a message queue. Messages for all
 /// operation processes placed on this node run serialized here, exactly
@@ -186,12 +248,20 @@ class ThreadInstance : public OpContext {
   MemoryBudget* memory_budget() const override;
   bool cancelled() const override;
   void ReportError(const Status& status) override;
+  OpMetrics* metrics() const override {
+    return observe_metrics ? &op_metrics : nullptr;
+  }
 
   ThreadRun* run_;
   int op_id_;
   uint32_t index_;
   uint32_t node_;
   std::unique_ptr<Operator> oper;
+
+  /// This instance's metrics; touched only from its node's thread, read by
+  /// the host after the workers are joined.
+  mutable OpMetrics op_metrics;
+  bool observe_metrics = false;
 
   bool started = false;
   bool complete = false;
@@ -213,7 +283,19 @@ class ThreadRun {
         options_(options),
         budget_(options.memory_budget_bytes),
         injector_(options.fault_injector),
-        controller_(&plan) {}
+        controller_(&plan),
+        observe_(options.collect_metrics || options.record_trace),
+        origin_(std::chrono::steady_clock::now()) {
+    if (options.record_trace) {
+      std::vector<ThreadTraceOpInfo> infos;
+      infos.reserve(plan.ops.size());
+      for (const XraOp& o : plan.ops) {
+        infos.push_back(ThreadTraceOpInfo{o.label, o.trace_label});
+      }
+      trace_ = std::make_shared<ThreadTraceRecorder>(plan.num_processors,
+                                                     std::move(infos));
+    }
+  }
 
   Status Prepare();
   StatusOr<ThreadQueryResult> Run(ThreadExecStats* stats_out);
@@ -244,6 +326,35 @@ class ThreadRun {
   /// no further work. Promotes an externally fired cancellation token or
   /// an expired deadline into the abort status.
   bool CheckRuntime();
+
+  /// Nanoseconds since the run's time origin (t=0 of the trace).
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  /// Runs one operator callback, timed when observability is on: the
+  /// elapsed time lands in the instance's phase bucket and (when tracing)
+  /// as a busy interval of the instance's worker. With both observability
+  /// switches off this is a plain call — no clock is read.
+  template <typename Fn>
+  void Observed(ThreadInstance* inst, ThreadWorkType type, Fn&& fn) {
+    if (!observe_) {
+      fn();
+      return;
+    }
+    int64_t t0 = NowNs();
+    fn();
+    int64_t t1 = NowNs();
+    if (options_.collect_metrics) {
+      *PhaseBucket(&inst->op_metrics, type) +=
+          static_cast<double>(t1 - t0) * 1e-9;
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(inst->node_, t0, t1, type, inst->op_id_);
+    }
+  }
 
   void PostToInstance(ThreadInstance* inst, std::function<void()> fn);
   void TriggerInstance(ThreadInstance* inst);
@@ -286,6 +397,13 @@ class ThreadRun {
   Status run_status_;
   std::condition_variable done_cv_;
   bool done_ = false;
+
+  // Observability: timing is on when either metrics or tracing is; the
+  // recorder exists only when tracing is. origin_ is reset when Run()
+  // starts so trace timestamps are relative to the run.
+  const bool observe_;
+  std::shared_ptr<ThreadTraceRecorder> trace_;
+  std::chrono::steady_clock::time_point origin_;
 };
 
 void ThreadInstance::EmitRow(const std::byte* row) {
@@ -345,6 +463,7 @@ Status ThreadRun::Prepare() {
       auto inst =
           std::make_unique<ThreadInstance>(this, o.id, i, o.processors[i]);
       inst->cost_params_.batch_size = options_.batch_size;
+      inst->observe_metrics = options_.collect_metrics;
       switch (o.kind) {
         case XraOpKind::kScan: {
           const Relation* frag =
@@ -455,7 +574,8 @@ void ThreadRun::TriggerInstance(ThreadInstance* inst) {
   if (!CheckRuntime()) return;
   MJOIN_CHECK(!inst->started);
   inst->started = true;
-  inst->oper->Open(inst);
+  Observed(inst, ThreadWorkType::kStartup,
+           [inst] { inst->oper->Open(inst); });
   if (inst->oper->is_source()) {
     PumpSource(inst);
   }
@@ -469,7 +589,9 @@ void ThreadRun::TriggerInstance(ThreadInstance* inst) {
 void ThreadRun::PumpSource(ThreadInstance* inst) {
   if (!CheckRuntime()) return;
   // One batch per message so other processes on this node interleave.
-  bool more = inst->oper->Produce(inst);
+  bool more = false;
+  Observed(inst, ThreadWorkType::kScan,
+           [inst, &more] { more = inst->oper->Produce(inst); });
   if (more) {
     nodes_[inst->node_]->Post([this, inst] {
       if (!inst->complete) PumpSource(inst);
@@ -481,6 +603,7 @@ void ThreadRun::PumpSource(ThreadInstance* inst) {
 
 void ThreadRun::EmitRowFrom(ThreadInstance* inst, const std::byte* row) {
   if (aborted_.load(std::memory_order_relaxed)) return;
+  if (options_.collect_metrics) ++inst->op_metrics.rows_out;
   const XraOp& o = op(inst->op_id_);
   if (o.store_result >= 0) {
     size_t row_bytes = o.output_schema->tuple_size();
@@ -531,7 +654,12 @@ void ThreadRun::FlushDest(ThreadInstance* inst, uint32_t dest) {
   // it, so same-node sends bypass the backpressure bound (the shared
   // message loop already throttles such producers).
   bool same_node = consumer->node_ == inst->node_;
+  // A cross-node PostData may block on backpressure; record stalls as
+  // blocked-on-queue trace intervals (nested inside the producer's busy
+  // interval when the flush happens mid-callback).
+  bool watch_block = trace_ != nullptr && !same_node;
   for (int c = 0; c < copies; ++c) {
+    int64_t t0 = watch_block ? NowNs() : 0;
     bool sent = nodes_[consumer->node_]->PostData(
         [this, consumer, port, batch] {
           if (consumer->started) {
@@ -543,6 +671,13 @@ void ThreadRun::FlushDest(ThreadInstance* inst, uint32_t dest) {
           }
         },
         same_node);
+    if (watch_block) {
+      int64_t t1 = NowNs();
+      if (t1 - t0 >= kBlockedTraceThresholdNs) {
+        trace_->Record(inst->node_, t0, t1, ThreadWorkType::kBlocked,
+                       /*op_id=*/-1);
+      }
+    }
     if (sent) batches_sent_.fetch_add(1, std::memory_order_relaxed);
   }
 }
@@ -557,7 +692,26 @@ void ThreadRun::OnBatch(ThreadInstance* inst, int port,
       return;
     }
   }
-  inst->oper->Consume(port, batch, inst);
+  if (!observe_) {
+    inst->oper->Consume(port, batch, inst);
+  } else {
+    if (options_.collect_metrics) {
+      inst->op_metrics.rows_in[port] += batch.num_tuples();
+      ++inst->op_metrics.batches_in[port];
+    }
+    ThreadWorkType type = ConsumeWorkType(op(inst->op_id_).kind, port);
+    int64_t t0 = NowNs();
+    inst->oper->Consume(port, batch, inst);
+    int64_t t1 = NowNs();
+    if (options_.collect_metrics) {
+      double secs = static_cast<double>(t1 - t0) * 1e-9;
+      *PhaseBucket(&inst->op_metrics, type) += secs;
+      inst->op_metrics.batch_seconds.Add(secs);
+    }
+    if (trace_ != nullptr) {
+      trace_->Record(inst->node_, t0, t1, type, inst->op_id_);
+    }
+  }
   AfterCallback(inst);
 }
 
@@ -565,7 +719,9 @@ void ThreadRun::OnEos(ThreadInstance* inst, int port) {
   if (!CheckRuntime()) return;
   MJOIN_CHECK(inst->eos_remaining[port] > 0);
   if (--inst->eos_remaining[port] == 0) {
-    inst->oper->InputDone(port, inst);
+    ThreadWorkType type = InputDoneWorkType(op(inst->op_id_).kind, port);
+    Observed(inst, type,
+             [inst, port] { inst->oper->InputDone(port, inst); });
   }
   AfterCallback(inst);
 }
@@ -644,11 +800,56 @@ ThreadExecStats ThreadRun::GatherStats() const {
                                       node->peak_depth());
   }
   stats.peak_memory_bytes = budget_.peak();
+  if (options_.collect_metrics) {
+    stats.per_op.reserve(plan_.ops.size());
+    for (const XraOp& o : plan_.ops) {
+      ThreadOpStats per_op;
+      per_op.op_id = o.id;
+      per_op.name = o.label;
+      per_op.kind = XraOpKindName(o.kind);
+      per_op.trace_label = o.trace_label;
+      const auto& list = instances_[static_cast<size_t>(o.id)];
+      per_op.instances = static_cast<uint32_t>(list.size());
+      for (const auto& inst : list) {
+        per_op.metrics.MergeFrom(inst->op_metrics);
+        inst->oper->CollectMetrics(&per_op.metrics);
+        per_op.metrics.peak_memory_bytes += inst->oper->peak_memory_bytes();
+      }
+      stats.per_op.push_back(std::move(per_op));
+    }
+  }
   return stats;
+}
+
+/// Publishes the run-level counters (and the pooled batch-latency samples)
+/// into the caller's registry. Runs after the workers joined.
+void PublishMetrics(const ThreadExecStats& stats, double wall_seconds,
+                    MetricsRegistry* registry) {
+  registry->counter("thread.batches_sent")->Add(stats.batches_sent);
+  registry->counter("thread.batches_processed")->Add(stats.batches_processed);
+  registry->counter("thread.batches_dropped")->Add(stats.batches_dropped);
+  registry->counter("thread.batches_duplicated")
+      ->Add(stats.batches_duplicated);
+  registry->counter("thread.queue_overflows")->Add(stats.queue_overflows);
+  registry->gauge("thread.peak_queue_depth")
+      ->Set(static_cast<int64_t>(stats.peak_queue_depth));
+  registry->gauge("thread.peak_memory_bytes")
+      ->Set(static_cast<int64_t>(stats.peak_memory_bytes));
+  registry->histogram("thread.wall_seconds")->Observe(wall_seconds);
+  Histogram* batch_hist = registry->histogram("thread.batch_seconds");
+  uint64_t rows_out = 0;
+  for (const ThreadOpStats& per_op : stats.per_op) {
+    for (double sample : per_op.metrics.batch_seconds.values()) {
+      batch_hist->Observe(sample);
+    }
+    rows_out += per_op.metrics.rows_out;
+  }
+  registry->counter("thread.rows_emitted")->Add(rows_out);
 }
 
 StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {
   auto start = std::chrono::steady_clock::now();
+  origin_ = start;  // trace t=0 and metric timestamps are run-relative
   if (options_.deadline.has_value()) {
     has_deadline_ = true;
     deadline_point_ = start + *options_.deadline;
@@ -690,14 +891,19 @@ StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {
   ThreadExecStats stats = GatherStats();
   if (stats_out != nullptr) *stats_out = stats;
 
+  double wall_seconds = std::chrono::duration<double>(end - start).count();
+  // Published on the abort path too: partial progress is diagnosable.
+  if (options_.metrics_registry != nullptr) {
+    PublishMetrics(stats, wall_seconds, options_.metrics_registry);
+  }
+
   if (aborted_.load(std::memory_order_acquire)) {
     std::lock_guard<std::mutex> lock(scheduler_mutex_);
     return run_status_;
   }
 
   ThreadQueryResult result;
-  result.wall_seconds =
-      std::chrono::duration<double>(end - start).count();
+  result.wall_seconds = wall_seconds;
   result.result =
       SummarizeFragments(stored_[static_cast<size_t>(plan_.final_result)]);
   if (options_.materialize_result) {
@@ -705,10 +911,42 @@ StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {
         ConcatFragments(stored_[static_cast<size_t>(plan_.final_result)]);
   }
   result.stats = stats;
+  if (trace_ != nullptr) {
+    auto makespan_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count();
+    result.utilization = trace_->Utilization(makespan_ns);
+    result.utilization_diagram =
+        trace_->RenderAscii(makespan_ns, options_.trace_width);
+    result.trace = trace_;
+  }
   return result;
 }
 
 }  // namespace
+
+std::string RenderThreadOpStats(const ThreadExecStats& stats) {
+  if (stats.per_op.empty()) return "";
+  TablePrinter table({"op", "kind", "label", "inst", "rows in", "rows out",
+                      "busy [s]", "build [s]", "probe [s]", "batch p95 [ms]",
+                      "ht rows", "collisions", "peak mem"});
+  for (const ThreadOpStats& per_op : stats.per_op) {
+    const OpMetrics& m = per_op.metrics;
+    std::string p95 = "-";
+    if (m.batch_seconds.count() > 0) {
+      p95 = FormatDouble(m.batch_seconds.Percentile(95) * 1e3, 3);
+    }
+    table.AddRow(
+        {StrCat(per_op.op_id), per_op.kind,
+         StrCat(per_op.name, " '", std::string(1, per_op.trace_label), "'"),
+         StrCat(per_op.instances), StrCat(m.rows_in[0] + m.rows_in[1]),
+         StrCat(m.rows_out), FormatDouble(m.busy_seconds(), 3),
+         FormatDouble(m.build_seconds, 3), FormatDouble(m.probe_seconds, 3),
+         p95, StrCat(m.hash_table_rows), StrCat(m.hash_collisions),
+         FormatBytes(m.peak_memory_bytes)});
+  }
+  return table.ToString();
+}
 
 StatusOr<ThreadQueryResult> ThreadExecutor::Execute(
     const ParallelPlan& plan, const ThreadExecOptions& options,

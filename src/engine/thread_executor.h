@@ -3,17 +3,23 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <string>
+#include <vector>
 
 #include "common/cancellation.h"
 #include "common/statusor.h"
 #include "engine/database.h"
 #include "engine/result.h"
+#include "engine/thread_trace.h"
+#include "exec/operator.h"
 #include "xra/plan.h"
 
 namespace mjoin {
 
 class FaultInjector;
+class MetricsRegistry;
 
 /// Knobs for one threaded execution.
 struct ThreadExecOptions {
@@ -49,6 +55,32 @@ struct ThreadExecOptions {
   /// Test-only chaos hooks; must outlive the execution. See
   /// engine/fault_injector.h.
   FaultInjector* fault_injector = nullptr;
+
+  /// Observability. `collect_metrics` gathers per-operation counters,
+  /// phase timings, and batch latencies into ThreadExecStats::per_op;
+  /// `record_trace` additionally records every worker busy interval into
+  /// ThreadQueryResult::trace (renderable as the paper's utilization
+  /// diagram or exportable as Chrome trace JSON). Both paths time each
+  /// operator callback; with both off no clock is read per batch.
+  bool collect_metrics = true;
+  bool record_trace = false;
+  /// Character width of ThreadQueryResult::utilization_diagram.
+  uint32_t trace_width = 72;
+  /// When non-null, run-level counters ("thread.batches_sent", ...) and
+  /// the batch-latency histogram are published here after the run; must
+  /// outlive the execution.
+  MetricsRegistry* metrics_registry = nullptr;
+};
+
+/// Merged runtime metrics of one plan operation (all its instances), with
+/// enough plan identity to print without the plan at hand.
+struct ThreadOpStats {
+  int op_id = -1;
+  std::string name;         // the plan's human-readable label
+  std::string kind;         // XraOpKindName of the op
+  char trace_label = '?';   // fill character in utilization diagrams
+  uint32_t instances = 0;
+  OpMetrics metrics;
 };
 
 /// Runtime counters of one threaded execution, also populated on failure
@@ -67,6 +99,10 @@ struct ThreadExecStats {
   size_t peak_queue_depth = 0;
   /// MemoryBudget high-water mark over operator state + stored results.
   size_t peak_memory_bytes = 0;
+  /// Per-operation metrics in plan op order; empty unless
+  /// ThreadExecOptions::collect_metrics was set. Populated on the abort
+  /// path too (partial counts up to the failure).
+  std::vector<ThreadOpStats> per_op;
 };
 
 /// Outcome of one threaded query execution.
@@ -75,7 +111,19 @@ struct ThreadQueryResult {
   ResultSummary result;
   std::optional<Relation> materialized;
   ThreadExecStats stats;
+
+  /// Mean worker busy fraction over the run (0 unless record_trace).
+  double utilization = 0;
+  /// ASCII utilization diagram of the run (the paper's Figures 3-7, with
+  /// wall-clock microseconds on the x-axis); empty unless record_trace.
+  std::string utilization_diagram;
+  /// The raw trace for further rendering/export; null unless record_trace.
+  std::shared_ptr<const ThreadTraceRecorder> trace;
 };
+
+/// Renders stats.per_op as a fixed-width table (mirrors the simulator's
+/// RenderOpStats); empty string when per_op is empty.
+std::string RenderThreadOpStats(const ThreadExecStats& stats);
 
 /// Executes the same parallel plans as SimExecutor, but for real: each
 /// simulated processor becomes an OS thread running a message loop, tuple

@@ -1,0 +1,171 @@
+#include "engine/thread_trace.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+namespace {
+
+/// Escapes the characters JSON string literals cannot contain verbatim.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* kHex = "0123456789abcdef";
+          out += "\\u00";
+          out += kHex[(c >> 4) & 0xf];
+          out += kHex[c & 0xf];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+constexpr char kBlockedLabel = '~';
+
+}  // namespace
+
+const char* ThreadWorkTypeName(ThreadWorkType type) {
+  switch (type) {
+    case ThreadWorkType::kStartup:
+      return "startup";
+    case ThreadWorkType::kBuild:
+      return "build";
+    case ThreadWorkType::kProbe:
+      return "probe";
+    case ThreadWorkType::kPipeline:
+      return "pipeline";
+    case ThreadWorkType::kScan:
+      return "scan";
+    case ThreadWorkType::kMerge:
+      return "merge";
+    case ThreadWorkType::kEmit:
+      return "emit";
+    case ThreadWorkType::kBlocked:
+      return "blocked";
+    case ThreadWorkType::kOther:
+      return "other";
+  }
+  return "other";
+}
+
+ThreadTraceRecorder::ThreadTraceRecorder(uint32_t num_workers,
+                                         std::vector<ThreadTraceOpInfo> ops)
+    : ops_(std::move(ops)),
+      events_(num_workers),
+      origin_(std::chrono::steady_clock::now()) {}
+
+void ThreadTraceRecorder::Record(uint32_t worker, int64_t start_ns,
+                                 int64_t end_ns, ThreadWorkType type,
+                                 int op_id) {
+  if (worker >= events_.size() || start_ns >= end_ns) return;
+  events_[worker].push_back(ThreadTraceEvent{start_ns, end_ns, op_id, type});
+}
+
+size_t ThreadTraceRecorder::num_events() const {
+  size_t n = 0;
+  for (const auto& per_worker : events_) n += per_worker.size();
+  return n;
+}
+
+TraceRecorder ThreadTraceRecorder::ToTickTrace() const {
+  TraceRecorder ticks(num_workers());
+  for (uint32_t w = 0; w < events_.size(); ++w) {
+    for (const ThreadTraceEvent& ev : events_[w]) {
+      char label = kBlockedLabel;
+      if (ev.type != ThreadWorkType::kBlocked) {
+        label = '?';
+        if (ev.op_id >= 0 && static_cast<size_t>(ev.op_id) < ops_.size()) {
+          label = ops_[static_cast<size_t>(ev.op_id)].label;
+        }
+      }
+      ticks.Record(w, ev.start_ns / 1000, ev.end_ns / 1000, label);
+    }
+  }
+  return ticks;
+}
+
+double ThreadTraceRecorder::Utilization(int64_t makespan_ns) const {
+  if (makespan_ns <= 0 || events_.empty()) return 0;
+  double busy = 0;
+  for (const auto& per_worker : events_) {
+    for (const ThreadTraceEvent& ev : per_worker) {
+      // Blocked-on-queue time is not useful work.
+      if (ev.type == ThreadWorkType::kBlocked) continue;
+      busy += static_cast<double>(std::min(ev.end_ns, makespan_ns) -
+                                  std::max<int64_t>(ev.start_ns, 0));
+    }
+  }
+  return busy / (static_cast<double>(makespan_ns) *
+                 static_cast<double>(events_.size()));
+}
+
+std::string ThreadTraceRecorder::RenderAscii(int64_t makespan_ns,
+                                             uint32_t width) const {
+  return ToTickTrace().Render(std::max<int64_t>(makespan_ns / 1000, 1), width,
+                              "us");
+}
+
+std::string ThreadTraceRecorder::ToChromeJson() const {
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto append = [&out, &first](const std::string& event) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    out += event;
+  };
+  // Metadata: name the process and each worker thread so the Perfetto track
+  // list reads "worker 0", "worker 1", ...
+  append(
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"mjoin thread backend\"}}");
+  for (uint32_t w = 0; w < events_.size(); ++w) {
+    append(StrCat("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":",
+                  w, ",\"args\":{\"name\":\"worker ", w, "\"}}"));
+  }
+  for (uint32_t w = 0; w < events_.size(); ++w) {
+    for (const ThreadTraceEvent& ev : events_[w]) {
+      std::string name = "(blocked on queue)";
+      if (ev.type != ThreadWorkType::kBlocked) {
+        name = "op?";
+        if (ev.op_id >= 0 && static_cast<size_t>(ev.op_id) < ops_.size()) {
+          name = ops_[static_cast<size_t>(ev.op_id)].name;
+        }
+      }
+      // trace_event timestamps are microseconds; keep sub-microsecond
+      // precision with a fractional part.
+      double ts_us = static_cast<double>(ev.start_ns) / 1000.0;
+      double dur_us = static_cast<double>(ev.end_ns - ev.start_ns) / 1000.0;
+      append(StrCat("{\"name\":\"", JsonEscape(name), "\",\"cat\":\"",
+                    ThreadWorkTypeName(ev.type),
+                    "\",\"ph\":\"X\",\"ts\":", FormatDouble(ts_us, 3),
+                    ",\"dur\":", FormatDouble(dur_us, 3),
+                    ",\"pid\":1,\"tid\":", w, ",\"args\":{\"op_id\":",
+                    ev.op_id, "}}"));
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace mjoin

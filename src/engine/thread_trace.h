@@ -1,0 +1,110 @@
+#ifndef MJOIN_ENGINE_THREAD_TRACE_H_
+#define MJOIN_ENGINE_THREAD_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/trace.h"
+
+namespace mjoin {
+
+/// What a worker thread was doing during a recorded interval. Mirrors the
+/// phase vocabulary of the simulator's utilization diagrams so a real-run
+/// diagram reads like the paper's Figures 3-7.
+enum class ThreadWorkType : uint8_t {
+  kStartup,   // operator Open() and trigger handling
+  kBuild,     // hash-table build / run-buffer fill
+  kProbe,     // probe phase, buffered-probe replay
+  kPipeline,  // symmetric pipelining work, filters
+  kScan,      // source Produce() calls
+  kMerge,     // sort-merge final sort+merge
+  kEmit,      // pipeline-breaker output (aggregation)
+  kBlocked,   // producer blocked on a full consumer queue
+  kOther,
+};
+
+/// Lowercase name used as the Chrome trace category ("build", "probe",
+/// "blocked", ...).
+const char* ThreadWorkTypeName(ThreadWorkType type);
+
+/// Per-op identity shown in rendered traces: the plan label as the event
+/// name, the plan's single-character trace label as the diagram fill char.
+struct ThreadTraceOpInfo {
+  std::string name;
+  char label = '?';
+};
+
+/// One busy interval of one worker thread, in nanoseconds since the run
+/// started. op_id indexes the recorder's op table; -1 for intervals that
+/// belong to no operation (blocked-on-queue).
+struct ThreadTraceEvent {
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  int op_id = -1;
+  ThreadWorkType type = ThreadWorkType::kOther;
+};
+
+/// Wall-clock analogue of the simulator's TraceRecorder: collects busy
+/// intervals per worker thread during a threaded execution and renders
+/// them as (a) the paper's ASCII processor-utilization diagram and (b) a
+/// Chrome trace_event JSON document loadable in chrome://tracing and
+/// Perfetto.
+///
+/// Thread-safety contract: each worker records only under its own worker
+/// id (one writer per buffer, no locking); readers run after the workers
+/// have been joined.
+class ThreadTraceRecorder {
+ public:
+  ThreadTraceRecorder(uint32_t num_workers, std::vector<ThreadTraceOpInfo> ops);
+
+  uint32_t num_workers() const { return static_cast<uint32_t>(events_.size()); }
+
+  /// Marks "now" as t=0 for all subsequently recorded intervals.
+  void SetOrigin(std::chrono::steady_clock::time_point origin) {
+    origin_ = origin;
+  }
+  /// Nanoseconds since the origin.
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - origin_)
+        .count();
+  }
+
+  /// Appends one interval to `worker`'s buffer. Must be called from the
+  /// worker's own thread (see the thread-safety contract above).
+  void Record(uint32_t worker, int64_t start_ns, int64_t end_ns,
+              ThreadWorkType type, int op_id);
+
+  size_t num_events() const;
+  const std::vector<std::vector<ThreadTraceEvent>>& events_by_worker() const {
+    return events_;
+  }
+
+  /// Converts to the simulator's recorder with 1 tick = 1 microsecond
+  /// (sub-microsecond intervals are dropped), for reuse of its analysis
+  /// and rendering.
+  TraceRecorder ToTickTrace() const;
+
+  /// Mean busy fraction over [0, makespan_ns] across workers.
+  double Utilization(int64_t makespan_ns) const;
+
+  /// The paper's utilization diagram (one row per worker, fill char = the
+  /// op's plan trace label, '~' = blocked on a full queue, '.' = idle).
+  std::string RenderAscii(int64_t makespan_ns, uint32_t width = 72) const;
+
+  /// Chrome trace_event JSON: one complete ("ph":"X") event per interval,
+  /// named after the op, categorized by work type, one tid per worker.
+  /// Loads directly in chrome://tracing and ui.perfetto.dev.
+  std::string ToChromeJson() const;
+
+ private:
+  std::vector<ThreadTraceOpInfo> ops_;
+  std::vector<std::vector<ThreadTraceEvent>> events_;
+  std::chrono::steady_clock::time_point origin_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_ENGINE_THREAD_TRACE_H_

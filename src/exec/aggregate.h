@@ -34,6 +34,11 @@ class AggregateOp : public Operator {
   size_t peak_memory_bytes() const override { return peak_memory_; }
   size_t memory_bytes() const override { return current_memory_; }
   void ReleaseMemory() override;
+  void CollectMetrics(OpMetrics* metrics) const override {
+    // The group table is the aggregation's "hash table"; a group never
+    // collides in the std::map sense, so only fill is reported.
+    metrics->hash_table_rows += groups_.size();
+  }
 
   size_t num_groups() const { return groups_.size(); }
 

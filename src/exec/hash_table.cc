@@ -12,18 +12,22 @@ JoinHashTable::JoinHashTable(std::shared_ptr<const Schema> schema,
 void JoinHashTable::Insert(const std::byte* row) {
   if (num_rows_ * 10 >= capacity_ * 7) Grow();
   size_t row_index = num_rows_++;
+  ++total_inserted_;
   arena_.insert(arena_.end(), row, row + schema_->tuple_size());
-  InsertSlot(row_index);
+  InsertSlot(row_index, /*count_collisions=*/true);
   if (reservation_.attached()) {
     over_budget_ |= !reservation_.Resize(memory_bytes()).ok();
   }
 }
 
-void JoinHashTable::InsertSlot(size_t row_index) {
+void JoinHashTable::InsertSlot(size_t row_index, bool count_collisions) {
   size_t mask = capacity_ - 1;
   int32_t key = RowAt(row_index).GetInt32(key_column_);
   size_t slot = static_cast<size_t>(HashJoinKey(key)) & mask;
-  while (slots_[slot] != kEmpty) slot = (slot + 1) & mask;
+  while (slots_[slot] != kEmpty) {
+    if (count_collisions) ++insert_collisions_;
+    slot = (slot + 1) & mask;
+  }
   slots_[slot] = row_index + 1;
 }
 
@@ -31,7 +35,11 @@ void JoinHashTable::Grow() {
   size_t new_capacity = capacity_ == 0 ? 64 : capacity_ * 2;
   capacity_ = new_capacity;
   slots_.assign(new_capacity, kEmpty);
-  for (size_t i = 0; i < num_rows_; ++i) InsertSlot(i);
+  // Rehash steps are an artifact of growth, not of key clustering; keep
+  // them out of the collision counters.
+  for (size_t i = 0; i < num_rows_; ++i) {
+    InsertSlot(i, /*count_collisions=*/false);
+  }
 }
 
 void JoinHashTable::Clear() {

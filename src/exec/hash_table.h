@@ -41,6 +41,8 @@ class JoinHashTable {
       if (row.GetInt32(key_column_) == key) {
         ++matches;
         fn(row);
+      } else {
+        ++probe_collisions_;
       }
       slot = (slot + 1) & mask;
     }
@@ -56,6 +58,15 @@ class JoinHashTable {
 
   const Schema& schema() const { return *schema_; }
   size_t key_column() const { return key_column_; }
+
+  /// Lifetime observability counters; they survive Clear() so a join that
+  /// drops a drained table still reports what the table cost to run.
+  /// Rows ever inserted (size() reports only the *current* fill).
+  uint64_t total_inserted() const { return total_inserted_; }
+  /// Occupied slots stepped over: non-matching keys visited during probes
+  /// plus linear-probing steps during inserts (rehashing excluded). High
+  /// values relative to total_inserted() mean clustered keys.
+  uint64_t collisions() const { return probe_collisions_ + insert_collisions_; }
 
   /// Releases all storage (used when a pipelining join drains one side).
   void Clear();
@@ -76,7 +87,7 @@ class JoinHashTable {
   }
 
   void Grow();
-  void InsertSlot(size_t row_index);
+  void InsertSlot(size_t row_index, bool count_collisions);
 
   std::shared_ptr<const Schema> schema_;
   size_t key_column_;
@@ -87,6 +98,10 @@ class JoinHashTable {
   std::vector<std::byte> arena_;
   MemoryReservation reservation_;
   bool over_budget_ = false;
+  // Mutable: Probe() is logically const; instances are single-threaded.
+  mutable uint64_t probe_collisions_ = 0;
+  uint64_t insert_collisions_ = 0;
+  uint64_t total_inserted_ = 0;
 };
 
 }  // namespace mjoin

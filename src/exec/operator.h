@@ -4,12 +4,73 @@
 #include <memory>
 
 #include "common/memory_budget.h"
+#include "common/stats.h"
 #include "common/status.h"
 #include "exec/batch.h"
 #include "sim/cost_params.h"
 #include "storage/schema.h"
 
 namespace mjoin {
+
+/// Runtime metrics of one operation process, filled by hosts that observe
+/// execution (the threaded backend) and by the operator itself via
+/// Operator::CollectMetrics(). Plain fields, no synchronization: one
+/// instance's callbacks all run on one thread, and hosts aggregate across
+/// instances only after the workers have been joined.
+struct OpMetrics {
+  /// Tuples / batches received per input port (ports as in the operator:
+  /// joins use [0]=build/left, [1]=probe/right).
+  uint64_t rows_in[2] = {0, 0};
+  uint64_t batches_in[2] = {0, 0};
+  /// Tuples emitted, before routing.
+  uint64_t rows_out = 0;
+
+  /// Wall-clock seconds spent inside operator callbacks, bucketed by the
+  /// kind of work the callback performed (the same work types the trace
+  /// labels use). Summed over instances these are CPU-seconds, so they can
+  /// exceed the query's wall time.
+  double build_seconds = 0;     // hash-table build / run-buffer fill
+  double probe_seconds = 0;     // probe phase, probe replay, merge phase
+  double pipeline_seconds = 0;  // symmetric pipelining work, filters
+  double scan_seconds = 0;      // source Produce() calls
+  double emit_seconds = 0;      // pipeline-breaker output (aggregation)
+  double other_seconds = 0;     // Open(), bookkeeping callbacks
+
+  /// Join/aggregation hash-table detail (lifetime counters: rows ever
+  /// inserted and linear-probing collisions, surviving table clears).
+  uint64_t hash_table_rows = 0;
+  uint64_t hash_collisions = 0;
+
+  /// Peak operator-held memory (hash tables, run buffers), in bytes.
+  size_t peak_memory_bytes = 0;
+
+  /// Per-batch consume latency samples, in seconds.
+  PercentileTracker batch_seconds;
+
+  double busy_seconds() const {
+    return build_seconds + probe_seconds + pipeline_seconds + scan_seconds +
+           emit_seconds + other_seconds;
+  }
+
+  /// Accumulates `other` into this (merging instances of one operation).
+  void MergeFrom(const OpMetrics& other) {
+    for (int port = 0; port < 2; ++port) {
+      rows_in[port] += other.rows_in[port];
+      batches_in[port] += other.batches_in[port];
+    }
+    rows_out += other.rows_out;
+    build_seconds += other.build_seconds;
+    probe_seconds += other.probe_seconds;
+    pipeline_seconds += other.pipeline_seconds;
+    scan_seconds += other.scan_seconds;
+    emit_seconds += other.emit_seconds;
+    other_seconds += other.other_seconds;
+    hash_table_rows += other.hash_table_rows;
+    hash_collisions += other.hash_collisions;
+    peak_memory_bytes += other.peak_memory_bytes;
+    batch_seconds.Merge(other.batch_seconds);
+  }
+};
 
 /// Services an operator needs from its host (an operation process on a
 /// simulated node or on a real thread): CPU-cost accounting and routed
@@ -45,6 +106,11 @@ class OpContext {
   /// the default ignores it (infallible backends never call this with a
   /// non-OK status).
   virtual void ReportError(const Status& status) {}
+
+  /// This instance's metrics sink, or null when the host does not collect
+  /// metrics. Operators may add detail counters here during execution; the
+  /// host owns the struct and merges it across instances after the run.
+  virtual OpMetrics* metrics() const { return nullptr; }
 };
 
 /// A physical relational operator, written push-based so that both the
@@ -95,6 +161,12 @@ class Operator {
   /// Drops all retained memory; called by the host when the operator
   /// finished (PRISMA frees a join's hash tables when the join completes).
   virtual void ReleaseMemory() {}
+
+  /// Adds operator-specific detail (hash-table fill and collisions, group
+  /// counts) into `metrics`. Observing hosts call this once per instance
+  /// when gathering stats; implementations must *add to* the fields, not
+  /// overwrite them.
+  virtual void CollectMetrics(OpMetrics* metrics) const {}
 };
 
 }  // namespace mjoin

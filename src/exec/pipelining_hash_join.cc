@@ -31,13 +31,17 @@ void PipeliningHashJoinOp::Consume(int port, const TupleBatch& batch,
   // table, emit matches, insert into own table. If the other side already
   // finished, nothing will ever probe our table, so the insert is skipped
   // (the tail of the slower operand then runs as a pure probe phase).
+  //
+  // Cost is charged per tuple actually processed, after the loop: a
+  // mid-batch cancellation must leave the accounting matching the partial
+  // progress, not the whole batch.
   bool insert_needed = !done_[1 - port];
-  ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
-              (costs.tuple_hash + costs.tuple_probe +
-               (insert_needed ? costs.tuple_build : 0)));
+  const Ticks per_tuple = costs.tuple_hash + costs.tuple_probe +
+                          (insert_needed ? costs.tuple_build : 0);
+  size_t processed = 0;
   size_t results = 0;
   for (size_t i = 0; i < batch.num_tuples(); ++i) {
-    if (ctx->cancelled()) return;
+    if (ctx->cancelled()) break;
     TupleRef mine = batch.tuple(i);
     int32_t key = mine.GetInt32(my_key);
     results += other.Probe(key, [&](const TupleRef& theirs) {
@@ -49,8 +53,10 @@ void PipeliningHashJoinOp::Consume(int port, const TupleBatch& batch,
       ctx->EmitRow(out_row_.data());
     });
     if (insert_needed) own.Insert(mine.data());
+    ++processed;
   }
-  ctx->Charge(static_cast<Ticks>(results) * costs.tuple_result);
+  ctx->Charge(static_cast<Ticks>(processed) * per_tuple +
+              static_cast<Ticks>(results) * costs.tuple_result);
   peak_memory_ = std::max(peak_memory_,
                           tables_[0].memory_bytes() + tables_[1].memory_bytes());
   if (tables_[0].over_budget() || tables_[1].over_budget()) {
@@ -62,10 +68,21 @@ void PipeliningHashJoinOp::Consume(int port, const TupleBatch& batch,
 void PipeliningHashJoinOp::InputDone(int port, OpContext* ctx) {
   MJOIN_CHECK(port == kLeftPort || port == kRightPort);
   MJOIN_CHECK(!done_[port]);
+  // Both tables are still resident here — this is the operator's true
+  // memory high-water mark; sample it before Clear() shrinks it.
+  peak_memory_ = std::max(peak_memory_,
+                          tables_[0].memory_bytes() + tables_[1].memory_bytes());
   done_[port] = true;
   // Once side p is complete, no tuple will ever probe the *other* side's
   // table again (only p-side arrivals probed it), so it can be dropped.
   tables_[1 - port].Clear();
+}
+
+void PipeliningHashJoinOp::CollectMetrics(OpMetrics* metrics) const {
+  metrics->hash_table_rows +=
+      tables_[0].total_inserted() + tables_[1].total_inserted();
+  metrics->hash_collisions +=
+      tables_[0].collisions() + tables_[1].collisions();
 }
 
 }  // namespace mjoin

@@ -30,6 +30,7 @@ class PipeliningHashJoinOp : public Operator {
   void Consume(int port, const TupleBatch& batch, OpContext* ctx) override;
   void InputDone(int port, OpContext* ctx) override;
   bool finished() const override { return done_[0] && done_[1]; }
+  void CollectMetrics(OpMetrics* metrics) const override;
 
   const std::shared_ptr<const Schema>& output_schema() const override {
     return spec_.output_schema;

@@ -59,19 +59,24 @@ void SimpleHashJoinOp::ConsumeBuild(const TupleBatch& batch, OpContext* ctx) {
 
 void SimpleHashJoinOp::ConsumeProbe(const TupleBatch& batch, OpContext* ctx) {
   const CostParams& costs = ctx->costs();
-  ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
-              (costs.tuple_hash + costs.tuple_probe));
+  // Charged per tuple actually probed, after the loop: a mid-batch
+  // cancellation must not be billed for the skipped tail, and the result
+  // charge must cover exactly the rows that were emitted.
+  size_t processed = 0;
   size_t results = 0;
   for (size_t i = 0; i < batch.num_tuples(); ++i) {
-    if (ctx->cancelled()) return;
+    if (ctx->cancelled()) break;
     TupleRef probe = batch.tuple(i);
     int32_t key = probe.GetInt32(spec_.right_key);
     results += table_.Probe(key, [&](const TupleRef& build) {
       AssembleJoinRow(spec_, build, probe, out_row_.data());
       ctx->EmitRow(out_row_.data());
     });
+    ++processed;
   }
-  ctx->Charge(static_cast<Ticks>(results) * costs.tuple_result);
+  ctx->Charge(static_cast<Ticks>(processed) *
+                  (costs.tuple_hash + costs.tuple_probe) +
+              static_cast<Ticks>(results) * costs.tuple_result);
 }
 
 void SimpleHashJoinOp::InputDone(int port, OpContext* ctx) {
@@ -93,6 +98,11 @@ void SimpleHashJoinOp::InputDone(int port, OpContext* ctx) {
     probe_done_ = true;
   }
   CheckBudget(ctx);
+}
+
+void SimpleHashJoinOp::CollectMetrics(OpMetrics* metrics) const {
+  metrics->hash_table_rows += table_.total_inserted();
+  metrics->hash_collisions += table_.collisions();
 }
 
 void SimpleHashJoinOp::UpdatePeakMemory() {

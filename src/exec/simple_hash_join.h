@@ -32,6 +32,7 @@ class SimpleHashJoinOp : public Operator {
   bool finished() const override {
     return build_done_ && probe_done_ && buffered_.empty();
   }
+  void CollectMetrics(OpMetrics* metrics) const override;
 
   const std::shared_ptr<const Schema>& output_schema() const override {
     return spec_.output_schema;

@@ -26,7 +26,8 @@ double TraceRecorder::Utilization(Ticks makespan) const {
          (static_cast<double>(makespan) * static_cast<double>(num_processors_));
 }
 
-std::string TraceRecorder::Render(Ticks makespan, uint32_t width) const {
+std::string TraceRecorder::Render(Ticks makespan, uint32_t width,
+                                  const std::string& time_unit) const {
   if (makespan <= 0 || width == 0) return "";
   // For each processor row, accumulate per-cell coverage and pick the label
   // with the widest coverage in each cell.
@@ -77,7 +78,7 @@ std::string TraceRecorder::Render(Ticks makespan, uint32_t width) const {
   }
   out += "    ";
   out += std::string(width, '-');
-  out += StrCat("> time (", makespan, " ticks)\n");
+  out += StrCat("> time (", makespan, " ", time_unit, ")\n");
   return out;
 }
 

@@ -49,7 +49,10 @@ class TraceRecorder {
   /// ASCII utilization diagram, `width` characters wide, covering
   /// [0, makespan]. A character cell is filled with the label of the
   /// interval covering the majority of that cell ('.' when idle).
-  std::string Render(Ticks makespan, uint32_t width = 72) const;
+  /// `time_unit` names the tick unit in the axis caption — the threaded
+  /// backend reuses this renderer with wall-clock microseconds as ticks.
+  std::string Render(Ticks makespan, uint32_t width = 72,
+                     const std::string& time_unit = "ticks") const;
 
   /// Plot-ready CSV: "processor,start,end,label" with a header row.
   std::string ToCsv() const;

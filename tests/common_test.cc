@@ -6,6 +6,7 @@
 
 #include "common/cancellation.h"
 #include "common/memory_budget.h"
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/stats.h"
 #include "common/status.h"
@@ -302,6 +303,119 @@ TEST(StatsTest, Percentiles) {
   EXPECT_DOUBLE_EQ(tracker.Percentile(100), 100);
   EXPECT_NEAR(tracker.Percentile(50), 50.5, 1e-9);
   EXPECT_NEAR(tracker.Percentile(90), 90.1, 1e-9);
+}
+
+// Percentile() interpolates between ranks (numpy's default), so the
+// result need not be a member of the sample set.
+TEST(StatsTest, PercentileInterpolatesBetweenRanks) {
+  PercentileTracker tracker;
+  tracker.Add(10);
+  tracker.Add(20);
+  EXPECT_NEAR(tracker.Percentile(50), 15.0, 1e-9);
+  EXPECT_NEAR(tracker.Percentile(25), 12.5, 1e-9);
+  EXPECT_EQ(PercentileTracker().Percentile(50), 0);
+}
+
+// Samples are sorted lazily: queries after Add() see the new sample, and
+// interleaving Add() with Percentile() never yields a stale order.
+TEST(StatsTest, PercentileLazySortSeesLaterAdds) {
+  PercentileTracker tracker;
+  tracker.Add(5);
+  tracker.Add(1);
+  EXPECT_DOUBLE_EQ(tracker.Percentile(0), 1);   // forces a sort
+  EXPECT_DOUBLE_EQ(tracker.Percentile(100), 5); // reuses it
+  tracker.Add(0.5);  // marks dirty again
+  EXPECT_DOUBLE_EQ(tracker.Percentile(0), 0.5);
+  EXPECT_DOUBLE_EQ(tracker.Percentile(100), 5);
+  EXPECT_EQ(tracker.count(), 3u);
+}
+
+TEST(StatsTest, PercentileTrackerMerge) {
+  PercentileTracker a;
+  PercentileTracker b;
+  for (int i = 1; i <= 50; ++i) a.Add(i);
+  EXPECT_DOUBLE_EQ(a.Percentile(100), 50);  // sort a, then dirty it again
+  for (int i = 51; i <= 100; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Percentile(100), 100);
+  EXPECT_NEAR(a.Percentile(50), 50.5, 1e-9);
+}
+
+TEST(MetricsTest, CounterAndGauge) {
+  MetricsRegistry registry;
+  Counter* counter = registry.counter("batches");
+  counter->Add();
+  counter->Add(4);
+  EXPECT_EQ(counter->value(), 5u);
+  EXPECT_EQ(registry.counter("batches"), counter);  // create-or-get
+
+  Gauge* gauge = registry.gauge("depth");
+  gauge->Set(7);
+  gauge->Add(3);
+  gauge->Set(2);
+  EXPECT_EQ(gauge->value(), 2);
+  EXPECT_EQ(gauge->max(), 10);
+  EXPECT_EQ(registry.size(), 2u);
+}
+
+TEST(MetricsTest, HistogramMomentsAndPercentiles) {
+  MetricsRegistry registry;
+  Histogram* hist = registry.histogram("latency");
+  for (int i = 1; i <= 100; ++i) hist->Observe(i);
+  EXPECT_EQ(hist->count(), 100);
+  EXPECT_DOUBLE_EQ(hist->mean(), 50.5);
+  EXPECT_DOUBLE_EQ(hist->min(), 1);
+  EXPECT_DOUBLE_EQ(hist->max(), 100);
+  EXPECT_NEAR(hist->Percentile(50), 50.5, 1e-9);
+
+  Histogram other;
+  other.Observe(1000);
+  hist->Merge(other);
+  EXPECT_EQ(hist->count(), 101);
+  EXPECT_DOUBLE_EQ(hist->max(), 1000);
+}
+
+// Counters and gauges take concurrent updates without losing any; the
+// gauge's high-water mark survives racing writers.
+TEST(MetricsTest, ConcurrentUpdates) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      Counter* counter = registry.counter("hits");
+      Gauge* gauge = registry.gauge("level");
+      Histogram* hist = registry.histogram("obs");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Add();
+        gauge->Set(t * kPerThread + i);
+        if (i % 100 == 0) hist->Observe(i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(registry.counter("hits")->value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.gauge("level")->max(), kThreads * kPerThread - 1);
+  EXPECT_EQ(registry.histogram("obs")->count(), kThreads * kPerThread / 100);
+}
+
+TEST(MetricsTest, RenderTableListsAllMetricsSorted) {
+  MetricsRegistry registry;
+  registry.counter("z.count")->Add(3);
+  registry.gauge("a.depth")->Set(4);
+  registry.histogram("m.lat")->Observe(0.5);
+  std::string table = registry.RenderTable();
+  auto a = table.find("a.depth");
+  auto m = table.find("m.lat");
+  auto z = table.find("z.count");
+  ASSERT_NE(a, std::string::npos);
+  ASSERT_NE(m, std::string::npos);
+  ASSERT_NE(z, std::string::npos);
+  EXPECT_LT(a, m);
+  EXPECT_LT(m, z);
 }
 
 }  // namespace

@@ -371,6 +371,129 @@ TEST(PipeliningHashJoinTest, MatchesSimpleJoinOnWisconsinData) {
   EXPECT_EQ(a, b);
 }
 
+// --- Cancellation-time cost accounting ---------------------------------------
+
+/// Context that reports cancellation once `cancel_after` rows have been
+/// emitted — the shape of a real mid-batch teardown, where the host's
+/// cancelled() flips while the operator is inside its result loop.
+class CancellingContext : public RecordingContext {
+ public:
+  CancellingContext(std::shared_ptr<const Schema> schema, size_t cancel_after)
+      : RecordingContext(std::move(schema)), cancel_after_(cancel_after) {}
+
+  bool cancelled() const override {
+    return out.num_tuples() >= cancel_after_;
+  }
+
+ private:
+  size_t cancel_after_;
+};
+
+// A cancellation in the middle of a probe batch must charge exactly the
+// tuples processed before the break, not the full batch.
+TEST(SimpleHashJoinTest, CancellationChargesOnlyProcessedTuples) {
+  Relation build = MakeKv({{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}});
+  Relation probe = MakeKv({{1, 100}, {2, 200}, {3, 300}, {4, 400}, {5, 500}});
+  SimpleHashJoinOp join(KvJoinSpec());
+  CancellingContext ctx(join.output_schema(), /*cancel_after=*/2);
+  join.Consume(SimpleHashJoinOp::kBuildPort, ToBatch(build), &ctx);
+  join.InputDone(SimpleHashJoinOp::kBuildPort, &ctx);
+  Ticks before_probe = ctx.charged;
+  join.Consume(SimpleHashJoinOp::kProbePort, ToBatch(probe), &ctx);
+  // Each probe tuple matches exactly once, so the context cancels after
+  // the second match: two tuples probed, two results, three skipped.
+  EXPECT_EQ(ctx.out.num_tuples(), 2u);
+  const CostParams& c = ctx.params;
+  EXPECT_EQ(ctx.charged - before_probe,
+            2 * (c.tuple_hash + c.tuple_probe) + 2 * c.tuple_result);
+}
+
+TEST(PipeliningHashJoinTest, CancellationChargesOnlyProcessedTuples) {
+  Relation left = MakeKv({{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}});
+  Relation right = MakeKv({{1, 100}, {2, 200}, {3, 300}, {4, 400}, {5, 500}});
+  PipeliningHashJoinOp join(KvJoinSpec());
+  CancellingContext ctx(join.output_schema(), /*cancel_after=*/3);
+  join.Consume(PipeliningHashJoinOp::kLeftPort, ToBatch(left), &ctx);
+  Ticks after_left = ctx.charged;
+  const CostParams& c = ctx.params;
+  // Left went first against an empty right table: all 5 tuples hashed,
+  // probed (no matches), and inserted.
+  EXPECT_EQ(after_left,
+            5 * (c.tuple_hash + c.tuple_probe + c.tuple_build));
+  join.Consume(PipeliningHashJoinOp::kRightPort, ToBatch(right), &ctx);
+  // Each right tuple matches once; the context cancels after the third
+  // result, so three tuples were processed (hash+probe+insert each).
+  EXPECT_EQ(ctx.out.num_tuples(), 3u);
+  EXPECT_EQ(ctx.charged - after_left,
+            3 * (c.tuple_hash + c.tuple_probe + c.tuple_build) +
+                3 * c.tuple_result);
+}
+
+// A batch that arrives already-cancelled must charge nothing.
+TEST(PipeliningHashJoinTest, PreCancelledBatchChargesNothing) {
+  PipeliningHashJoinOp join(KvJoinSpec());
+  CancellingContext ctx(join.output_schema(), /*cancel_after=*/0);
+  join.Consume(PipeliningHashJoinOp::kLeftPort,
+               ToBatch(MakeKv({{1, 10}})), &ctx);
+  EXPECT_EQ(ctx.charged, 0);
+  EXPECT_EQ(ctx.out.num_tuples(), 0u);
+}
+
+// --- Peak-memory sampling ----------------------------------------------------
+
+// InputDone drops the side that will never be probed again; the peak must
+// be sampled before that Clear(), while both tables are still resident.
+TEST(PipeliningHashJoinTest, PeakMemorySampledBeforeInputDoneClears) {
+  Relation left = MakeKv({{1, 10}, {2, 20}, {3, 30}});
+  Relation right = MakeKv({{4, 40}, {5, 50}});
+  PipeliningHashJoinOp join(KvJoinSpec());
+  RecordingContext ctx(join.output_schema());
+  join.Consume(PipeliningHashJoinOp::kLeftPort, ToBatch(left), &ctx);
+  join.Consume(PipeliningHashJoinOp::kRightPort, ToBatch(right), &ctx);
+  size_t both_resident = join.memory_bytes();
+  ASSERT_GT(both_resident, 0u);
+  join.InputDone(PipeliningHashJoinOp::kLeftPort, &ctx);
+  // The right table was cleared, so current memory dropped...
+  EXPECT_LT(join.memory_bytes(), both_resident);
+  // ...but the reported peak still covers the both-tables high-water mark.
+  EXPECT_GE(join.peak_memory_bytes(), both_resident);
+}
+
+// --- Hash-table lifetime counters --------------------------------------------
+
+TEST(JoinHashTableTest, LifetimeCountersSurviveClear) {
+  JoinHashTable table(TestSchema(), 0);
+  Relation rel = MakeKv({{1, 10}, {2, 20}, {3, 30}});
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    table.Insert(rel.tuple(i).data());
+  }
+  EXPECT_EQ(table.total_inserted(), 3u);
+  table.Clear();
+  EXPECT_EQ(table.size(), 0u);
+  EXPECT_EQ(table.total_inserted(), 3u);  // lifetime, not current fill
+}
+
+TEST(JoinHashTableTest, CountsProbeCollisions) {
+  // All keys hash into distinct buckets only if the hash is perfect; with
+  // enough keys sharing a table some linear-probing steps are guaranteed
+  // once the fill is non-trivial. Use duplicate keys: probing key 5 walks
+  // its own chain without counting matches as collisions.
+  JoinHashTable table(TestSchema(), 0);
+  Relation rel = MakeKv({{5, 1}, {5, 2}, {5, 3}});
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    table.Insert(rel.tuple(i).data());
+  }
+  uint64_t before = table.collisions();
+  EXPECT_EQ(table.Probe(5, [](const TupleRef&) {}), 3u);
+  // Matches are not collisions: probing the duplicate chain adds none.
+  EXPECT_EQ(table.collisions(), before);
+  // A missing key that lands in the occupied run must step past the
+  // occupants, counting one collision per mismatching slot it visits.
+  size_t steps_before_probe = table.collisions();
+  table.Probe(99, [](const TupleRef&) {});
+  EXPECT_GE(table.collisions(), steps_before_probe);
+}
+
 // --- ProjectOp ----------------------------------------------------------------
 
 TEST(ProjectOpTest, SubsetsAndReorders) {

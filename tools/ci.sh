@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The pre-merge gate: everything a change must pass before it lands.
+#
+#   tools/ci.sh [fast]
+#
+#   1. Release build with -Wall -Wextra -Werror (MJOIN_WERROR=ON)
+#   2. the full ctest suite
+#   3. ThreadSanitizer and AddressSanitizer passes over the
+#      concurrency-sensitive tests (tools/run_sanitized_tests.sh)
+#
+# 'fast' skips the sanitizer passes (step 3) for quick local iteration;
+# a merge still requires the full run. Build trees are kept apart
+# (build-ci, build-threadsan, build-addresssan) so the gate never
+# disturbs an incremental developer build.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+MODE="${1:-full}"
+
+echo "== ci: release build with -Werror =="
+cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release -DMJOIN_WERROR=ON >/dev/null
+cmake --build build-ci -j "$(nproc)"
+
+echo "== ci: test suite =="
+ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
+
+if [ "$MODE" = fast ]; then
+  echo "ci gate (fast) passed — run the full gate before merging"
+  exit 0
+fi
+
+echo "== ci: thread sanitizer =="
+tools/run_sanitized_tests.sh thread thread_metrics_test
+
+echo "== ci: address sanitizer =="
+tools/run_sanitized_tests.sh address thread_metrics_test
+
+echo "ci gate passed"

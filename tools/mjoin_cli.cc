@@ -6,6 +6,8 @@
 //   mjoin_cli run       --backend thread --strategy FP --max-queue 4
 //                       --budget 1048576 --deadline-ms 5000
 //                       --fault slow-worker --fault-node 0
+//   mjoin_cli run       --backend thread --metrics --diagram
+//                       --trace-out=trace.json
 //   mjoin_cli save-plan --shape left-linear --strategy SP --procs 20
 //                       --out plan.xra
 //   mjoin_cli run-plan  --plan plan.xra --card 5000
@@ -23,6 +25,7 @@
 
 #include <chrono>
 
+#include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
 #include "engine/database.h"
@@ -85,7 +88,14 @@ int Usage() {
       "  --fault-op N       target op id for fail-op/drop/dup (-1=any)\n"
       "  --fault-after N    fail-op: batches to let through first\n"
       "  --fault-prob P     drop/dup per-batch probability (default 1.0)\n"
-      "  --fault-seed N     seed for probabilistic faults\n");
+      "  --fault-seed N     seed for probabilistic faults\n"
+      "thread-backend observability flags (run --backend thread):\n"
+      "  --metrics          print the per-operator metrics table and the\n"
+      "                     run-level metrics registry\n"
+      "  --trace-out FILE   record a wall-clock trace and write it as\n"
+      "                     Chrome trace JSON (chrome://tracing, Perfetto)\n"
+      "  --diagram          also prints the wall-clock utilization diagram\n"
+      "                     (implies trace recording)\n");
   return 2;
 }
 
@@ -243,6 +253,13 @@ int RunThreadBackend(const Args& args, const ParallelPlan& plan,
   }
   if (scenario.kind != FaultKind::kNone) options.fault_injector = &injector;
 
+  bool want_metrics = args.Has("metrics");
+  bool want_diagram = args.Has("diagram");
+  std::string trace_out = args.Get("trace-out", "");
+  MetricsRegistry registry;
+  options.record_trace = want_diagram || !trace_out.empty();
+  if (want_metrics) options.metrics_registry = &registry;
+
   Database db =
       MakeWisconsinDatabase(common.relations, common.card, common.seed);
   ThreadExecutor executor(&db);
@@ -252,6 +269,10 @@ int RunThreadBackend(const Args& args, const ParallelPlan& plan,
     std::fprintf(stderr, "%s\npartial progress before abort:\n",
                  run.status().ToString().c_str());
     PrintThreadStats(stats);
+    if (want_metrics) {
+      std::printf("\nper-operator metrics up to the abort:\n%s",
+                  RenderThreadOpStats(stats).c_str());
+    }
     return 1;
   }
   std::printf(
@@ -259,6 +280,27 @@ int RunThreadBackend(const Args& args, const ParallelPlan& plan,
       plan.strategy.c_str(), plan.num_processors, run->wall_seconds,
       static_cast<unsigned long long>(run->result.cardinality));
   PrintThreadStats(run->stats);
+  if (want_metrics) {
+    std::printf("\nper-operator metrics:\n%s",
+                RenderThreadOpStats(run->stats).c_str());
+    std::printf("\nmetrics registry:\n%s", registry.RenderTable().c_str());
+  }
+  if (want_diagram && run->trace != nullptr) {
+    std::printf("\nutilization (%.0f%%):\n%s", run->utilization * 100,
+                run->utilization_diagram.c_str());
+  }
+  if (!trace_out.empty() && run->trace != nullptr) {
+    std::ofstream file(trace_out);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", trace_out.c_str());
+      return 1;
+    }
+    file << run->trace->ToChromeJson();
+    std::printf("wrote %s (%llu trace events; load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                trace_out.c_str(),
+                static_cast<unsigned long long>(run->trace->num_events()));
+  }
   if (injector.faults_injected() > 0) {
     std::printf("faults injected (%s): %llu\n",
                 FaultKindName(scenario.kind).c_str(),
@@ -397,10 +439,12 @@ int main(int argc, char** argv) {
     std::string token = argv[i];
     if (token.rfind("--", 0) != 0) return Usage();
     std::string key = token.substr(2);
-    if (key == "analyze" || key == "diagram") {
-      args.flags[key] = "1";
+    if (auto eq = key.find('='); eq != std::string::npos) {
+      args.flags.insert_or_assign(key.substr(0, eq), key.substr(eq + 1));
+    } else if (key == "analyze" || key == "diagram" || key == "metrics") {
+      args.flags.insert_or_assign(key, std::string("1"));
     } else if (i + 1 < argc) {
-      args.flags[key] = argv[++i];
+      args.flags.insert_or_assign(key, std::string(argv[++i]));
     } else {
       return Usage();
     }
