@@ -1,5 +1,6 @@
 #include "engine/sim_executor.h"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
 #include <vector>
@@ -8,6 +9,8 @@
 #include "common/table_printer.h"
 #include "engine/controller.h"
 #include "exec/batch.h"
+#include "exec/batch_pool.h"
+#include "exec/emit.h"
 #include "exec/operator.h"
 #include "exec/pipelining_hash_join.h"
 #include "exec/aggregate.h"
@@ -26,7 +29,7 @@ class SimRun;
 /// One operation process: an operator instance pinned to a simulated node,
 /// implementing OpContext for it. All tasks of an instance run on its node
 /// (serialized), so the per-task accumulators need no synchronization.
-class Instance : public OpContext {
+class Instance : public OpContext, public EmitSink {
  public:
   Instance(SimRun* run, int op_id, uint32_t index, uint32_t node)
       : run_(run), op_id_(op_id), index_(index), node_(node) {}
@@ -34,6 +37,12 @@ class Instance : public OpContext {
   // OpContext:
   void Charge(Ticks cost) override { task_cost_ += cost; }
   void EmitRow(const std::byte* row) override;
+  void EmitRows(const std::byte* rows, size_t count,
+                size_t row_bytes) override;
+  EmitWriter* emit_writer() override {
+    return writer_ready ? &writer : nullptr;
+  }
+  void BatchFull(uint32_t dest) override;
   const CostParams& costs() const override;
 
   SimRun* run_;
@@ -41,6 +50,11 @@ class Instance : public OpContext {
   uint32_t index_;
   uint32_t node_;
   std::unique_ptr<Operator> oper;
+
+  /// Zero-copy emit channel over out_pending; rows_committed() is this
+  /// instance's tuples-out count (every emit path goes through it).
+  EmitWriter writer;
+  bool writer_ready = false;
 
   bool initialized = false;     // the scheduler's serial init reached us
   bool triggered = false;       // our trigger group fired
@@ -51,7 +65,8 @@ class Instance : public OpContext {
   bool build_done_reported = false;
   int eos_remaining[2] = {0, 0};
 
-  /// Per-destination pending output batches (empty when storing).
+  /// Per-destination pending output batches (a single batch when
+  /// storing: the flush bulk-appends it into the stored fragment).
   std::vector<TupleBatch> out_pending;
 
   /// Messages that arrived before the start task was submitted.
@@ -91,6 +106,9 @@ class SimRun {
   // --- routing / messaging -------------------------------------------------
 
   void EmitRowFrom(Instance* inst, const std::byte* row);
+  void EmitRowsFrom(Instance* inst, const std::byte* rows, size_t count,
+                    size_t row_bytes);
+  void FlushDest(Instance* inst, uint32_t dest);
 
   Instance* instance(int op, uint32_t index) {
     return instances_[static_cast<size_t>(op)][index].get();
@@ -114,10 +132,10 @@ class SimRun {
   void PumpSource(Instance* inst);
   void AfterCallback(Instance* inst);
   void FinishInstanceBody(Instance* inst);
-  void FlushDest(Instance* inst, uint32_t dest);
-  void DeliverBatch(Instance* producer, uint32_t dest, TupleBatch batch);
-  void SubmitConsume(Instance* consumer, int port, TupleBatch batch,
-                     bool networked);
+  void DeliverBatch(Instance* producer, uint32_t dest,
+                    std::shared_ptr<TupleBatch> batch);
+  void SubmitConsume(Instance* consumer, int port,
+                     std::shared_ptr<TupleBatch> batch, bool networked);
   void SubmitEos(Instance* consumer, int port);
   void NotifyScheduler(Instance* inst, Milestone milestone);
   void DispatchGroups(const std::vector<int>& groups);
@@ -125,6 +143,9 @@ class SimRun {
   const ParallelPlan& plan_;
   const Database& db_;
   const SimExecOptions& options_;
+  // The pool precedes machine_ and instances_ (whose queued events and
+  // pre-start buffers hold pooled batches), so it is destroyed last.
+  BatchPool pool_;
   SimMachine machine_;
   QueryController controller_;
 
@@ -145,6 +166,13 @@ class SimRun {
 const CostParams& Instance::costs() const { return run_->costs(); }
 
 void Instance::EmitRow(const std::byte* row) { run_->EmitRowFrom(this, row); }
+
+void Instance::EmitRows(const std::byte* rows, size_t count,
+                        size_t row_bytes) {
+  run_->EmitRowsFrom(this, rows, count, row_bytes);
+}
+
+void Instance::BatchFull(uint32_t dest) { run_->FlushDest(this, dest); }
 
 Status SimRun::Prepare() {
   node_memory_.assign(plan_.num_processors + 2, 0);
@@ -238,13 +266,33 @@ Status SimRun::Prepare() {
                   : static_cast<int>(producer.processors.size());
         }
       }
-      // Output buffers.
-      if (o.consumer >= 0) {
+      // Output buffers + the zero-copy emit channel over them. A zero
+      // batch_size cost model degrades to flush-per-row (threshold 1).
+      const uint32_t flush_threshold =
+          std::max<uint32_t>(1, costs().batch_size);
+      if (o.store_result >= 0) {
+        inst->out_pending.emplace_back(o.output_schema);
+        inst->writer.Configure(inst->out_pending.data(), 1,
+                               /*split_column=*/-1, /*fixed_dest=*/0,
+                               flush_threshold, inst.get());
+        inst->writer_ready = true;
+      } else if (o.consumer >= 0) {
         const XraOp& consumer = op(o.consumer);
+        const XraInput& input = consumer.inputs[o.consumer_port];
         inst->out_pending.reserve(consumer.processors.size());
         for (size_t d = 0; d < consumer.processors.size(); ++d) {
           inst->out_pending.emplace_back(o.output_schema);
         }
+        int split_column = input.routing == Routing::kHashSplit
+                               ? static_cast<int>(input.split_key)
+                               : -1;
+        uint32_t fixed_dest =
+            input.routing == Routing::kColocated ? i : 0;
+        inst->writer.Configure(
+            inst->out_pending.data(),
+            static_cast<uint32_t>(consumer.processors.size()), split_column,
+            fixed_dest, flush_threshold, inst.get());
+        inst->writer_ready = true;
       }
       list.push_back(std::move(inst));
     }
@@ -390,38 +438,53 @@ void SimRun::PumpSource(Instance* inst) {
 }
 
 void SimRun::EmitRowFrom(Instance* inst, const std::byte* row) {
-  ++inst->tuples_out;
-  const XraOp& o = op(inst->op_id_);
-  if (o.store_result >= 0) {
-    stored_[static_cast<size_t>(o.store_result)][inst->index_].AppendRow(row);
+  // Copying fallback: the finished row still travels through the writer,
+  // which owns routing, the flush threshold, and the tuples-out count.
+  EmitWriter& writer = inst->writer;
+  int32_t route = 0;
+  if (writer.split_column() >= 0) {
+    TupleRef ref(row, op(inst->op_id_).output_schema.get());
+    route = ref.GetInt32(static_cast<size_t>(writer.split_column()));
+  }
+  writer.Append(row, route);
+}
+
+void SimRun::EmitRowsFrom(Instance* inst, const std::byte* rows, size_t count,
+                          size_t row_bytes) {
+  EmitWriter& writer = inst->writer;
+  const int split = writer.split_column();
+  if (split < 0) {
+    writer.AppendRows(rows, count);
     return;
   }
-  const XraOp& consumer = op(o.consumer);
-  const XraInput& input = consumer.inputs[o.consumer_port];
-  uint32_t dest;
-  if (input.routing == Routing::kColocated) {
-    dest = inst->index_;
-  } else {
-    TupleRef ref(row, o.output_schema.get());
-    dest = FragmentOf(ref.GetInt32(input.split_key),
-                      static_cast<uint32_t>(consumer.processors.size()));
+  for (size_t i = 0; i < count; ++i) {
+    const std::byte* row = rows + i * row_bytes;
+    TupleRef ref(row, op(inst->op_id_).output_schema.get());
+    writer.Append(row, ref.GetInt32(static_cast<size_t>(split)));
   }
-  TupleBatch& pending = inst->out_pending[dest];
-  pending.AppendRow(row);
-  if (pending.num_tuples() >= costs().batch_size) FlushDest(inst, dest);
 }
 
 void SimRun::FlushDest(Instance* inst, uint32_t dest) {
   TupleBatch& pending = inst->out_pending[dest];
   if (pending.empty()) return;
   const XraOp& o = op(inst->op_id_);
-  TupleBatch batch(o.output_schema);
-  std::swap(batch, pending);
+  if (o.store_result >= 0) {
+    stored_[static_cast<size_t>(o.store_result)][inst->index_].AppendRows(
+        pending.raw_data(), pending.num_tuples());
+    pending.Clear();
+    return;
+  }
+  // Swap the filled buffer against a pooled one: pending inherits the
+  // recycled capacity, and the batch ships without a copy. It is wrapped
+  // in a shared_ptr exactly once, here — DeliverBatch and SubmitConsume
+  // pass the pointer along.
+  std::shared_ptr<TupleBatch> batch = pool_.Acquire(o.output_schema);
+  std::swap(*batch, pending);
   DeliverBatch(inst, dest, std::move(batch));
 }
 
 void SimRun::DeliverBatch(Instance* producer, uint32_t dest,
-                          TupleBatch batch) {
+                          std::shared_ptr<TupleBatch> batch) {
   const XraOp& o = op(producer->op_id_);
   const XraOp& consumer_op = op(o.consumer);
   bool networked =
@@ -430,34 +493,32 @@ void SimRun::DeliverBatch(Instance* producer, uint32_t dest,
   int port = o.consumer_port;
   Ticks latency = 0;
   if (networked) {
-    auto n = static_cast<Ticks>(batch.num_tuples());
+    auto n = static_cast<Ticks>(batch->num_tuples());
     producer->Charge(costs().batch_overhead + n * costs().tuple_send);
     machine_.counters().batches_sent += 1;
     machine_.counters().tuples_sent += static_cast<uint64_t>(n);
     latency = costs().network_latency;
   }
-  auto shared = std::make_shared<TupleBatch>(std::move(batch));
   producer->task_deferred_.push_back(
-      {latency, [this, consumer, port, shared, networked]() mutable {
-         PostMessage(consumer, [this, consumer, port, shared, networked] {
-           SubmitConsume(consumer, port, std::move(*shared), networked);
+      {latency, [this, consumer, port, batch = std::move(batch), networked] {
+         PostMessage(consumer, [this, consumer, port, batch, networked] {
+           SubmitConsume(consumer, port, batch, networked);
          });
        }});
 }
 
-void SimRun::SubmitConsume(Instance* consumer, int port, TupleBatch batch,
-                           bool networked) {
+void SimRun::SubmitConsume(Instance* consumer, int port,
+                           std::shared_ptr<TupleBatch> batch, bool networked) {
   const XraOp& o = op(consumer->op_id_);
-  auto shared = std::make_shared<TupleBatch>(std::move(batch));
   SubmitTask(consumer, o.trace_label,
-             [this, port, shared, networked](Instance* inst) {
+             [this, port, batch = std::move(batch), networked](Instance* inst) {
                if (networked) {
                  inst->Charge(costs().batch_overhead +
-                              static_cast<Ticks>(shared->num_tuples()) *
+                              static_cast<Ticks>(batch->num_tuples()) *
                                   costs().tuple_recv);
                }
-               inst->tuples_in += shared->num_tuples();
-               inst->oper->Consume(port, *shared, inst);
+               inst->tuples_in += batch->num_tuples();
+               inst->oper->Consume(port, *batch, inst);
                AfterCallback(inst);
              });
 }
@@ -493,9 +554,10 @@ void SimRun::FinishInstanceBody(Instance* inst) {
   inst->oper->ReleaseMemory();
   const XraOp& o = op(inst->op_id_);
 
-  // Flush all pending output, then signal end-of-stream downstream.
+  // Flush all pending output — the stored-result tail included — then
+  // signal end-of-stream downstream.
+  for (uint32_t d = 0; d < inst->out_pending.size(); ++d) FlushDest(inst, d);
   if (o.consumer >= 0) {
-    for (uint32_t d = 0; d < inst->out_pending.size(); ++d) FlushDest(inst, d);
     const XraOp& consumer_op = op(o.consumer);
     bool networked =
         consumer_op.inputs[o.consumer_port].routing == Routing::kHashSplit;
@@ -622,7 +684,7 @@ StatusOr<SimQueryResult> SimRun::Run() {
       OpStats& stats = result.op_stats[static_cast<size_t>(inst->op_id_)];
       stats.op_id = inst->op_id_;
       stats.tuples_in += inst->tuples_in;
-      stats.tuples_out += inst->tuples_out;
+      stats.tuples_out += inst->tuples_out + inst->writer.rows_committed();
       stats.busy_ticks += inst->busy_ticks;
       if (inst->first_start >= 0) {
         stats.first_start = stats.first_start == 0 && stats.last_finish == 0

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -18,6 +19,8 @@
 #include "engine/controller.h"
 #include "engine/fault_injector.h"
 #include "exec/batch.h"
+#include "exec/batch_pool.h"
+#include "exec/emit.h"
 #include "exec/operator.h"
 #include "exec/pipelining_hash_join.h"
 #include "exec/aggregate.h"
@@ -237,13 +240,24 @@ class ThreadRun;
 
 /// One operation process on a worker thread. All of its callbacks run on
 /// its node's thread, so the state needs no locking.
-class ThreadInstance : public OpContext {
+///
+/// Output leaves through the instance's EmitWriter: operators that can
+/// build rows in place write directly into out_pending (the zero-copy
+/// path); EmitRow/EmitRows copy into it. Either way the writer's flush
+/// threshold fires BatchFull(), and the host ships or stores the batch.
+class ThreadInstance : public OpContext, public EmitSink {
  public:
   ThreadInstance(ThreadRun* run, int op_id, uint32_t index, uint32_t node)
       : run_(run), op_id_(op_id), index_(index), node_(node) {}
 
   void Charge(Ticks) override {}  // wall-clock backend: real work is time
   void EmitRow(const std::byte* row) override;
+  void EmitRows(const std::byte* rows, size_t count,
+                size_t row_bytes) override;
+  EmitWriter* emit_writer() override {
+    return writer_ready ? &writer : nullptr;
+  }
+  void BatchFull(uint32_t dest) override;
   const CostParams& costs() const override { return cost_params_; }
   MemoryBudget* memory_budget() const override;
   bool cancelled() const override;
@@ -267,7 +281,14 @@ class ThreadInstance : public OpContext {
   bool complete = false;
   bool build_done_reported = false;
   int eos_remaining[2] = {0, 0};
+  /// Pending output: one batch per consumer instance, or a single batch
+  /// when this op stores its result locally.
   std::vector<TupleBatch> out_pending;
+  /// The zero-copy channel over out_pending; rows_committed() is this
+  /// instance's rows-out count (every emit path goes through it).
+  EmitWriter writer;
+  bool writer_ready = false;
+  size_t row_bytes = 0;
   std::deque<std::function<void()>> pre_start;
 
   /// Only batch_size is consulted by operators in this backend.
@@ -277,11 +298,13 @@ class ThreadInstance : public OpContext {
 class ThreadRun {
  public:
   ThreadRun(const ParallelPlan& plan, const Database& db,
-            const ThreadExecOptions& options)
+            const ThreadExecOptions& options,
+            std::vector<BatchPool*> pools)
       : plan_(plan),
         db_(db),
         options_(options),
         budget_(options.memory_budget_bytes),
+        pools_(std::move(pools)),
         injector_(options.fault_injector),
         controller_(&plan),
         observe_(options.collect_metrics || options.record_trace),
@@ -301,6 +324,9 @@ class ThreadRun {
   StatusOr<ThreadQueryResult> Run(ThreadExecStats* stats_out);
 
   void EmitRowFrom(ThreadInstance* inst, const std::byte* row);
+  void EmitRowsFrom(ThreadInstance* inst, const std::byte* rows, size_t count,
+                    size_t row_bytes);
+  void FlushDest(ThreadInstance* inst, uint32_t dest);
 
   MemoryBudget* budget() { return &budget_; }
 
@@ -363,7 +389,6 @@ class ThreadRun {
   void OnEos(ThreadInstance* inst, int port);
   void AfterCallback(ThreadInstance* inst);
   void FinishInstance(ThreadInstance* inst);
-  void FlushDest(ThreadInstance* inst, uint32_t dest);
   void ReportMilestone(int op_id, uint32_t index, Milestone milestone);
   void DispatchGroups(const std::vector<int>& groups);
   ThreadExecStats GatherStats() const;
@@ -375,6 +400,16 @@ class ThreadRun {
   // Budget precedes instances_ so operator reservations release into a
   // live budget during destruction.
   MemoryBudget budget_;
+
+  // One batch pool per worker node, owned by the ThreadExecutor (they
+  // outlive the run, keeping their freelists warm for the next query);
+  // flushes acquire from the *destination* node's pool. Pool counters are
+  // cumulative across runs, so this run's traffic is reported as the
+  // delta from the snapshot taken in Prepare().
+  std::vector<BatchPool*> pools_;
+  uint64_t pool_base_allocated_ = 0;
+  uint64_t pool_base_reused_ = 0;
+
   FaultInjector* const injector_;
 
   std::vector<std::unique_ptr<WorkerNode>> nodes_;
@@ -410,6 +445,13 @@ void ThreadInstance::EmitRow(const std::byte* row) {
   run_->EmitRowFrom(this, row);
 }
 
+void ThreadInstance::EmitRows(const std::byte* rows, size_t count,
+                              size_t row_bytes) {
+  run_->EmitRowsFrom(this, rows, count, row_bytes);
+}
+
+void ThreadInstance::BatchFull(uint32_t dest) { run_->FlushDest(this, dest); }
+
 MemoryBudget* ThreadInstance::memory_budget() const { return run_->budget(); }
 
 bool ThreadInstance::cancelled() const { return run_->TeardownRequested(); }
@@ -429,6 +471,10 @@ Status ThreadRun::Prepare() {
     nodes_.push_back(std::make_unique<WorkerNode>(
         n, options_.max_queued_batches, options_.queue_block_timeout,
         injector_, &aborted_));
+  }
+  for (const BatchPool* pool : pools_) {
+    pool_base_allocated_ += pool->allocated();
+    pool_base_reused_ += pool->reused();
   }
 
   for (const XraOp& o : plan_.ops) {
@@ -510,11 +556,32 @@ Status ThreadRun::Prepare() {
                 ? 1
                 : static_cast<int>(op(input.producer).processors.size());
       }
-      if (o.consumer >= 0) {
+      inst->row_bytes = o.output_schema->tuple_size();
+      if (o.store_result >= 0) {
+        // Store-mode: output accumulates in a single pending batch and is
+        // bulk-appended to the local stored fragment at each flush (where
+        // the budget is reserved for exactly the flushed bytes).
+        inst->out_pending.emplace_back(o.output_schema);
+        inst->writer.Configure(inst->out_pending.data(), 1, /*split_column=*/-1,
+                               /*fixed_dest=*/0, options_.batch_size,
+                               inst.get());
+        inst->writer_ready = true;
+      } else if (o.consumer >= 0) {
         const XraOp& consumer = op(o.consumer);
+        const XraInput& input = consumer.inputs[o.consumer_port];
         for (size_t d = 0; d < consumer.processors.size(); ++d) {
           inst->out_pending.emplace_back(o.output_schema);
         }
+        int split_column = input.routing == Routing::kHashSplit
+                               ? static_cast<int>(input.split_key)
+                               : -1;
+        uint32_t fixed_dest =
+            input.routing == Routing::kColocated ? i : 0;
+        inst->writer.Configure(
+            inst->out_pending.data(),
+            static_cast<uint32_t>(consumer.processors.size()), split_column,
+            fixed_dest, options_.batch_size, inst.get());
+        inst->writer_ready = true;
       }
       list.push_back(std::move(inst));
     }
@@ -603,40 +670,67 @@ void ThreadRun::PumpSource(ThreadInstance* inst) {
 
 void ThreadRun::EmitRowFrom(ThreadInstance* inst, const std::byte* row) {
   if (aborted_.load(std::memory_order_relaxed)) return;
-  if (options_.collect_metrics) ++inst->op_metrics.rows_out;
-  const XraOp& o = op(inst->op_id_);
-  if (o.store_result >= 0) {
-    size_t row_bytes = o.output_schema->tuple_size();
-    Status reserved = budget_.Reserve(row_bytes);
-    if (!reserved.ok()) {
-      Abort(std::move(reserved));
-      return;
-    }
-    stored_[static_cast<size_t>(o.store_result)][inst->index_].AppendRow(row);
+  // Copying fallback: the finished row still travels through the writer,
+  // which owns routing, the flush threshold, and the rows-out count.
+  EmitWriter& writer = inst->writer;
+  int32_t route = 0;
+  if (writer.split_column() >= 0) {
+    TupleRef ref(row, op(inst->op_id_).output_schema.get());
+    route = ref.GetInt32(static_cast<size_t>(writer.split_column()));
+  }
+  writer.Append(row, route);
+}
+
+void ThreadRun::EmitRowsFrom(ThreadInstance* inst, const std::byte* rows,
+                             size_t count, size_t row_bytes) {
+  if (aborted_.load(std::memory_order_relaxed)) return;
+  EmitWriter& writer = inst->writer;
+  const int split = writer.split_column();
+  if (split < 0) {
+    // Single destination: the whole slice lands in the pending batch in
+    // one copy (scans feed stores and colocated consumers this way).
+    writer.AppendRows(rows, count);
     return;
   }
-  const XraOp& consumer = op(o.consumer);
-  const XraInput& input = consumer.inputs[o.consumer_port];
-  uint32_t dest;
-  if (input.routing == Routing::kColocated) {
-    dest = inst->index_;
-  } else {
-    TupleRef ref(row, o.output_schema.get());
-    dest = FragmentOf(ref.GetInt32(input.split_key),
-                      static_cast<uint32_t>(consumer.processors.size()));
+  for (size_t i = 0; i < count; ++i) {
+    const std::byte* row = rows + i * row_bytes;
+    TupleRef ref(row, op(inst->op_id_).output_schema.get());
+    writer.Append(row, ref.GetInt32(static_cast<size_t>(split)));
   }
-  TupleBatch& pending = inst->out_pending[dest];
-  pending.AppendRow(row);
-  if (pending.num_tuples() >= options_.batch_size) FlushDest(inst, dest);
 }
 
 void ThreadRun::FlushDest(ThreadInstance* inst, uint32_t dest) {
   TupleBatch& pending = inst->out_pending[dest];
   if (pending.empty()) return;
+  if (aborted_.load(std::memory_order_relaxed)) {
+    // Teardown: the rows are going nowhere; drop them but keep the buffer.
+    pending.Clear();
+    return;
+  }
   const XraOp& o = op(inst->op_id_);
-  auto batch = std::make_shared<TupleBatch>(o.output_schema);
-  std::swap(*batch, pending);
+  if (o.store_result >= 0) {
+    // Local store: reserve the budget for exactly the flushed bytes in one
+    // call (not per row), then bulk-append into the stored fragment. The
+    // pending batch keeps its capacity for the next fill.
+    Status reserved = budget_.Reserve(pending.byte_size());
+    if (!reserved.ok()) {
+      Abort(std::move(reserved));
+      return;
+    }
+    stored_[static_cast<size_t>(o.store_result)][inst->index_].AppendRows(
+        pending.raw_data(), pending.num_tuples());
+    pending.Clear();
+    return;
+  }
   ThreadInstance* consumer = instance(o.consumer, dest);
+  // Swap the filled buffer out against a pooled one: the batch that ships
+  // carries pending's bytes, and pending inherits the recycled buffer's
+  // capacity — steady state allocates nothing on either side. The pool is
+  // the destination node's, so the consumer's release feeds its own next
+  // acquisition.
+  std::shared_ptr<TupleBatch> batch =
+      pools_[consumer->node_]->Acquire(o.output_schema);
+  std::swap(*batch, pending);
   int port = o.consumer_port;
 
   int copies = 1;
@@ -744,10 +838,11 @@ void ThreadRun::FinishInstance(ThreadInstance* inst) {
   MJOIN_CHECK(!inst->complete);
   inst->complete = true;
   const XraOp& o = op(inst->op_id_);
-  if (o.consumer >= 0) {
-    for (uint32_t d = 0; d < inst->out_pending.size(); ++d) {
-      FlushDest(inst, d);
-    }
+  // Flush every pending destination — the stored-result tail included.
+  for (uint32_t d = 0; d < inst->out_pending.size(); ++d) {
+    FlushDest(inst, d);
+  }
+  if (o.consumer >= 0 && o.store_result < 0) {
     const XraOp& consumer_op = op(o.consumer);
     bool networked =
         consumer_op.inputs[o.consumer_port].routing == Routing::kHashSplit;
@@ -799,6 +894,12 @@ ThreadExecStats ThreadRun::GatherStats() const {
     stats.peak_queue_depth = std::max(stats.peak_queue_depth,
                                       node->peak_depth());
   }
+  for (const BatchPool* pool : pools_) {
+    stats.batch_buffers_allocated += pool->allocated();
+    stats.batch_buffers_reused += pool->reused();
+  }
+  stats.batch_buffers_allocated -= pool_base_allocated_;
+  stats.batch_buffers_reused -= pool_base_reused_;
   stats.peak_memory_bytes = budget_.peak();
   if (options_.collect_metrics) {
     stats.per_op.reserve(plan_.ops.size());
@@ -812,6 +913,9 @@ ThreadExecStats ThreadRun::GatherStats() const {
       per_op.instances = static_cast<uint32_t>(list.size());
       for (const auto& inst : list) {
         per_op.metrics.MergeFrom(inst->op_metrics);
+        // Every emit path (zero-copy and fallback) runs through the
+        // writer, so its commit count is the instance's rows-out.
+        per_op.metrics.rows_out += inst->writer.rows_committed();
         inst->oper->CollectMetrics(&per_op.metrics);
         per_op.metrics.peak_memory_bytes += inst->oper->peak_memory_bytes();
       }
@@ -831,6 +935,10 @@ void PublishMetrics(const ThreadExecStats& stats, double wall_seconds,
   registry->counter("thread.batches_duplicated")
       ->Add(stats.batches_duplicated);
   registry->counter("thread.queue_overflows")->Add(stats.queue_overflows);
+  registry->counter("thread.batch_buffers_allocated")
+      ->Add(stats.batch_buffers_allocated);
+  registry->counter("thread.batch_buffers_reused")
+      ->Add(stats.batch_buffers_reused);
   registry->gauge("thread.peak_queue_depth")
       ->Set(static_cast<int64_t>(stats.peak_queue_depth));
   registry->gauge("thread.peak_memory_bytes")
@@ -856,9 +964,9 @@ StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {
   }
   for (auto& node : nodes_) node->Start();
 
-  // A pre-cancelled token or an already-expired (0 ms) deadline aborts
-  // before any work is dispatched — but workers still started and must be
-  // joined below, exercising the same teardown as a mid-flight abort.
+  // A pre-cancelled token (or a deadline that expires before dispatch)
+  // aborts before any work is posted — but workers still started and must
+  // be joined below, exercising the same teardown as a mid-flight abort.
   if (CheckRuntime()) {
     std::vector<int> initial;
     {
@@ -951,10 +1059,34 @@ std::string RenderThreadOpStats(const ThreadExecStats& stats) {
 StatusOr<ThreadQueryResult> ThreadExecutor::Execute(
     const ParallelPlan& plan, const ThreadExecOptions& options,
     ThreadExecStats* stats_out) const {
+  if (options.batch_size == 0) {
+    return Status::InvalidArgument(
+        "ThreadExecOptions::batch_size must be positive");
+  }
+  if (options.deadline.has_value() && options.deadline->count() <= 0) {
+    return Status::InvalidArgument(
+        "ThreadExecOptions::deadline must be positive when set");
+  }
   MJOIN_RETURN_IF_ERROR(plan.Validate());
-  ThreadRun run(plan, *database_, options);
+  std::vector<BatchPool*> pools;
+  {
+    std::lock_guard<std::mutex> lock(pools_mutex_);
+    while (pools_.size() < plan.num_processors) {
+      pools_.push_back(std::make_unique<BatchPool>());
+    }
+    pools.reserve(plan.num_processors);
+    for (uint32_t n = 0; n < plan.num_processors; ++n) {
+      pools.push_back(pools_[n].get());
+    }
+  }
+  ThreadRun run(plan, *database_, options, std::move(pools));
   MJOIN_RETURN_IF_ERROR(run.Prepare());
   return run.Run(stats_out);
 }
+
+ThreadExecutor::ThreadExecutor(const Database* database)
+    : database_(database) {}
+
+ThreadExecutor::~ThreadExecutor() = default;
 
 }  // namespace mjoin

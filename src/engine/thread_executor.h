@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -18,12 +19,14 @@
 
 namespace mjoin {
 
+class BatchPool;
 class FaultInjector;
 class MetricsRegistry;
 
 /// Knobs for one threaded execution.
 struct ThreadExecOptions {
-  /// Tuples per batch posted between operation processes.
+  /// Tuples per batch posted between operation processes. Must be
+  /// positive; Execute() rejects 0 with InvalidArgument.
   uint32_t batch_size = 256;
   /// Keep the materialized final result.
   bool materialize_result = false;
@@ -44,7 +47,9 @@ struct ThreadExecOptions {
   size_t memory_budget_bytes = 0;
 
   /// Wall-clock deadline measured from Execute() start; expiry aborts the
-  /// query with Status::DeadlineExceeded.
+  /// query with Status::DeadlineExceeded. Must be positive when set;
+  /// Execute() rejects zero or negative deadlines with InvalidArgument
+  /// (use `cancellation` for an immediately-abandoned query).
   std::optional<std::chrono::milliseconds> deadline;
 
   /// Cooperative cancellation: keep a copy of this token and Cancel() it
@@ -95,6 +100,13 @@ struct ThreadExecStats {
   uint64_t batches_duplicated = 0;
   /// Times a producer outwaited queue_block_timeout on a full queue.
   uint64_t queue_overflows = 0;
+  /// Batch-buffer pool traffic during this run: buffers heap-allocated
+  /// because a node's freelist was empty vs. acquisitions served by
+  /// recycling. Pools persist across Execute() calls on one executor, so
+  /// a repeated query starts with warm buffers and in steady state
+  /// allocated stays near zero while reused tracks batches sent.
+  uint64_t batch_buffers_allocated = 0;
+  uint64_t batch_buffers_reused = 0;
   /// Maximum data batches queued at any single worker node.
   size_t peak_queue_depth = 0;
   /// MemoryBudget high-water mark over operator state + stored results.
@@ -142,7 +154,8 @@ std::string RenderThreadOpStats(const ThreadExecStats& stats);
 class ThreadExecutor {
  public:
   /// `database` must outlive the executor.
-  explicit ThreadExecutor(const Database* database) : database_(database) {}
+  explicit ThreadExecutor(const Database* database);
+  ~ThreadExecutor();
 
   /// Runs `plan`. On failure the returned status is the root cause
   /// (ResourceExhausted, Cancelled, DeadlineExceeded, an injected fault,
@@ -155,6 +168,14 @@ class ThreadExecutor {
 
  private:
   const Database* database_;
+
+  // Batch-buffer pools, one per worker node, lazily grown to the widest
+  // plan this executor has run and kept warm across executions: the
+  // freelists survive, so a repeated query allocates (almost) no batch
+  // buffers. BatchPool is internally thread-safe; the mutex only guards
+  // the vector's growth. Pools outlive every run they serve.
+  mutable std::mutex pools_mutex_;
+  mutable std::vector<std::unique_ptr<BatchPool>> pools_;
 };
 
 }  // namespace mjoin

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/string_util.h"
+#include "exec/emit.h"
 #include "storage/tuple.h"
 
 namespace mjoin {
@@ -63,6 +64,23 @@ void AggregateOp::InputDone(int port, OpContext* ctx) {
   // Pipeline breaker: emit one result row per group now.
   ctx->Charge(static_cast<Ticks>(groups_.size()) *
               ctx->costs().tuple_result);
+  // Zero-copy path: usable when routing is fixed or keyed on the group
+  // column (output column 0), whose value is known before assembly. Other
+  // split columns fall back to the copying EmitRow path.
+  EmitWriter* writer = ctx->emit_writer();
+  if (writer != nullptr && writer->split_column() <= 0) {
+    for (const auto& [group, acc] : groups_) {
+      TupleWriter w = writer->Begin(group);
+      w.SetInt32(0, group);
+      w.SetInt64(1, acc.count);
+      w.SetInt64(2, acc.sum);
+      w.SetInt32(3, acc.min);
+      w.SetInt32(4, acc.max);
+      writer->Commit();
+    }
+    done_ = true;
+    return;
+  }
   std::vector<std::byte> row(output_schema_->tuple_size());
   for (const auto& [group, acc] : groups_) {
     TupleWriter w(row.data(), output_schema_.get());

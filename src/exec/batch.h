@@ -3,8 +3,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "common/logging.h"
 #include "storage/schema.h"
 #include "storage/tuple.h"
 
@@ -13,10 +15,17 @@ namespace mjoin {
 /// A batch of fixed-layout rows travelling over a tuple stream. Batches
 /// own their bytes and share the schema, so they can move freely between
 /// simulated nodes and real threads.
+///
+/// Zero-size row layouts are rejected at construction: every row counted
+/// by num_tuples() must occupy at least one byte, which lets the hot-path
+/// accessors divide by tuple_size() unguarded.
 class TupleBatch {
  public:
   explicit TupleBatch(std::shared_ptr<const Schema> schema)
-      : schema_(std::move(schema)) {}
+      : schema_(std::move(schema)) {
+    MJOIN_CHECK(schema_ != nullptr && schema_->tuple_size() > 0)
+        << "TupleBatch requires a non-empty row layout";
+  }
 
   TupleBatch(TupleBatch&&) = default;
   TupleBatch& operator=(TupleBatch&&) = default;
@@ -28,11 +37,10 @@ class TupleBatch {
     return schema_;
   }
 
-  size_t num_tuples() const {
-    return schema_->tuple_size() == 0 ? 0
-                                      : data_.size() / schema_->tuple_size();
-  }
+  size_t num_tuples() const { return data_.size() / schema_->tuple_size(); }
   bool empty() const { return data_.empty(); }
+  size_t byte_size() const { return data_.size(); }
+  size_t capacity_bytes() const { return data_.capacity(); }
 
   void Reserve(size_t num_tuples) {
     data_.reserve(num_tuples * schema_->tuple_size());
@@ -40,6 +48,12 @@ class TupleBatch {
 
   void AppendRow(const std::byte* row) {
     data_.insert(data_.end(), row, row + schema_->tuple_size());
+  }
+
+  /// Appends `count` contiguous rows (count * tuple_size() bytes) in one
+  /// copy.
+  void AppendRows(const std::byte* rows, size_t count) {
+    data_.insert(data_.end(), rows, rows + count * schema_->tuple_size());
   }
 
   /// Appends an uninitialized row; the returned writer is invalidated by
@@ -54,7 +68,19 @@ class TupleBatch {
     return TupleRef(data_.data() + i * schema_->tuple_size(), schema_.get());
   }
 
+  const std::byte* raw_data() const { return data_.data(); }
+
   void Clear() { data_.clear(); }
+
+  /// Empties the batch and rebinds it to `schema`, keeping the byte
+  /// buffer's capacity — how BatchPool recycles buffers across operators
+  /// with different row layouts.
+  void ResetSchema(std::shared_ptr<const Schema> schema) {
+    MJOIN_CHECK(schema != nullptr && schema->tuple_size() > 0)
+        << "TupleBatch requires a non-empty row layout";
+    schema_ = std::move(schema);
+    data_.clear();
+  }
 
  private:
   std::shared_ptr<const Schema> schema_;

@@ -1,0 +1,35 @@
+#include "exec/batch_pool.h"
+
+#include <utility>
+
+namespace mjoin {
+
+std::shared_ptr<TupleBatch> BatchPool::Acquire(
+    std::shared_ptr<const Schema> schema) {
+  std::unique_ptr<TupleBatch> batch;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!free_.empty()) {
+      batch = std::move(free_.back());
+      free_.pop_back();
+    }
+  }
+  if (batch != nullptr) {
+    batch->ResetSchema(std::move(schema));
+    reused_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    batch = std::make_unique<TupleBatch>(std::move(schema));
+    allocated_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return std::shared_ptr<TupleBatch>(
+      batch.release(), [this](TupleBatch* b) {
+        Release(std::unique_ptr<TupleBatch>(b));
+      });
+}
+
+void BatchPool::Release(std::unique_ptr<TupleBatch> batch) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_.push_back(std::move(batch));
+}
+
+}  // namespace mjoin

@@ -1,0 +1,59 @@
+#ifndef MJOIN_EXEC_BATCH_POOL_H_
+#define MJOIN_EXEC_BATCH_POOL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "exec/batch.h"
+
+namespace mjoin {
+
+/// Recycles TupleBatch byte buffers between a producer's flush and the
+/// consumer's release, so steady-state batch traffic allocates nothing:
+/// a returned buffer keeps its capacity and the next Acquire() hands it
+/// back out instead of heap-allocating a fresh batch.
+///
+/// Acquire() returns a shared_ptr whose deleter puts the batch back on
+/// the freelist — exactly once, when the last reference drops — so the
+/// existing shared-batch message flow (pre-start buffering, duplicated
+/// fault-injection deliveries) needs no changes. The pool must outlive
+/// every batch it handed out; executors own their pools and join all
+/// workers before tearing them down.
+///
+/// Thread-safe. The threaded executor keeps one pool per worker node and
+/// acquires from the *destination* node's pool, so a batch's release (on
+/// the consumer's thread) returns it to the pool its next acquisition is
+/// likely to come from.
+class BatchPool {
+ public:
+  BatchPool() = default;
+
+  BatchPool(const BatchPool&) = delete;
+  BatchPool& operator=(const BatchPool&) = delete;
+
+  /// An empty batch bound to `schema`: a recycled buffer when one is
+  /// free (its capacity survives), a fresh allocation otherwise.
+  std::shared_ptr<TupleBatch> Acquire(std::shared_ptr<const Schema> schema);
+
+  /// Buffers created because the freelist was empty.
+  uint64_t allocated() const {
+    return allocated_.load(std::memory_order_relaxed);
+  }
+  /// Acquisitions served from the freelist.
+  uint64_t reused() const { return reused_.load(std::memory_order_relaxed); }
+
+ private:
+  void Release(std::unique_ptr<TupleBatch> batch);
+
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<TupleBatch>> free_;
+  std::atomic<uint64_t> allocated_{0};
+  std::atomic<uint64_t> reused_{0};
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_EXEC_BATCH_POOL_H_

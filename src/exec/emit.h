@@ -1,0 +1,131 @@
+#ifndef MJOIN_EXEC_EMIT_H_
+#define MJOIN_EXEC_EMIT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "common/logging.h"
+#include "exec/batch.h"
+#include "storage/partitioner.h"
+#include "storage/tuple.h"
+
+namespace mjoin {
+
+/// Host side of the zero-copy emit channel: notified when a destination's
+/// pending batch reaches the flush threshold. Called once per full batch,
+/// never per row, so hosts may do real work here (post the batch to the
+/// consumer's queue, append to a stored result, reserve budget).
+class EmitSink {
+ public:
+  virtual ~EmitSink() = default;
+
+  /// dests[dest] has reached the flush threshold. The host flushes (or
+  /// intentionally keeps accumulating); the pending batch must be in a
+  /// clean appendable state when this returns.
+  virtual void BatchFull(uint32_t dest) = 0;
+};
+
+/// Zero-copy output channel handed to operators by hosts that support it
+/// (OpContext::emit_writer()). Instead of assembling a row in scratch
+/// memory and copying it again via OpContext::EmitRow, the operator asks
+/// for the destination row in place:
+///
+///   TupleWriter row = writer->Begin(split_value);
+///   ... fill every column of the row via `row` ...
+///   writer->Commit();
+///
+/// Begin() appends uninitialized bytes to the pending TupleBatch of the
+/// destination that `split_value` routes to (ignored when the channel has
+/// a fixed destination, see split_column()); the row is built directly in
+/// its final resting place. The returned TupleWriter is invalidated by the
+/// next Begin()/Commit() and by any other OpContext call; a Begin() must
+/// be followed by exactly one Commit() before the next Begin().
+///
+/// Routing contract: when split_column() >= 0, the caller must pass the
+/// value the finished row will carry in that output column, *before*
+/// writing the row — this is what lets the writer pick the destination
+/// batch up front. Operators that cannot know an output column's value
+/// ahead of assembly must fall back to EmitRow.
+class EmitWriter {
+ public:
+  EmitWriter() = default;
+
+  EmitWriter(const EmitWriter&) = delete;
+  EmitWriter& operator=(const EmitWriter&) = delete;
+
+  /// Host-side setup. `dests` must stay valid for the writer's lifetime
+  /// and hold `num_dests` pending batches. `split_column` is the output
+  /// column whose value routes each row (hash-split), or -1 when every
+  /// row goes to `fixed_dest`. `flush_threshold` is in rows.
+  void Configure(TupleBatch* dests, uint32_t num_dests, int split_column,
+                 uint32_t fixed_dest, uint32_t flush_threshold,
+                 EmitSink* sink) {
+    MJOIN_CHECK(dests != nullptr && num_dests > 0 && sink != nullptr);
+    MJOIN_CHECK(flush_threshold > 0);
+    MJOIN_CHECK(split_column >= 0 || fixed_dest < num_dests);
+    dests_ = dests;
+    num_dests_ = num_dests;
+    split_column_ = split_column;
+    fixed_dest_ = fixed_dest;
+    sink_ = sink;
+    flush_bytes_ =
+        static_cast<size_t>(flush_threshold) * dests[0].schema().tuple_size();
+  }
+
+  /// The output column whose value the caller must pass to Begin(), or -1
+  /// when routing does not depend on row contents (single destination).
+  int split_column() const { return split_column_; }
+
+  /// Starts one output row destined for wherever `split_value` routes.
+  TupleWriter Begin(int32_t split_value) {
+    dest_ = split_column_ < 0 ? fixed_dest_
+                              : FragmentOf(split_value, num_dests_);
+    return dests_[dest_].AppendTuple();
+  }
+
+  /// The row started by the last Begin() is complete.
+  void Commit() {
+    ++rows_committed_;
+    if (dests_[dest_].byte_size() >= flush_bytes_) sink_->BatchFull(dest_);
+  }
+
+  /// Copies one finished row (dest schema tuple_size() bytes) to wherever
+  /// `split_value` routes — the copying fallback for operators that
+  /// assemble rows in scratch memory.
+  void Append(const std::byte* row, int32_t split_value) {
+    TupleWriter out = Begin(split_value);
+    std::memcpy(out.data(), row, dests_[dest_].schema().tuple_size());
+    Commit();
+  }
+
+  /// Fixed-destination bulk append: `count` contiguous finished rows in
+  /// one copy. Only valid when split_column() < 0. May grow the pending
+  /// batch past the flush threshold before BatchFull fires once — batches
+  /// are allowed to exceed the nominal size.
+  void AppendRows(const std::byte* rows, size_t count) {
+    MJOIN_DCHECK(split_column_ < 0);
+    dest_ = fixed_dest_;
+    TupleBatch& batch = dests_[dest_];
+    batch.AppendRows(rows, count);
+    rows_committed_ += count;
+    if (batch.byte_size() >= flush_bytes_) sink_->BatchFull(dest_);
+  }
+
+  /// Rows committed over the writer's lifetime; hosts fold this into their
+  /// rows-out accounting (the EmitRow path counts separately).
+  uint64_t rows_committed() const { return rows_committed_; }
+
+ private:
+  TupleBatch* dests_ = nullptr;
+  uint32_t num_dests_ = 0;
+  int split_column_ = -1;
+  uint32_t fixed_dest_ = 0;
+  uint32_t dest_ = 0;
+  size_t flush_bytes_ = 0;
+  EmitSink* sink_ = nullptr;
+  uint64_t rows_committed_ = 0;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_EXEC_EMIT_H_

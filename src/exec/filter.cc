@@ -1,6 +1,9 @@
 #include "exec/filter.h"
 
+#include <cstring>
+
 #include "common/string_util.h"
+#include "exec/emit.h"
 #include "storage/tuple.h"
 
 namespace mjoin {
@@ -79,6 +82,24 @@ void FilterOp::Consume(int port, const TupleBatch& batch, OpContext* ctx) {
   ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
               ctx->costs().tuple_hash);
   tuples_in_ += batch.num_tuples();
+  EmitWriter* writer = ctx->emit_writer();
+  if (writer != nullptr) {
+    // Output schema equals input schema, so a surviving row is copied
+    // straight into the destination batch (its routing value, if any, is
+    // the input row's value in the writer's split column).
+    const int split = writer->split_column();
+    const size_t row_bytes = schema_->tuple_size();
+    for (size_t i = 0; i < batch.num_tuples(); ++i) {
+      TupleRef t = batch.tuple(i);
+      if (!predicate_.Matches(t.GetInt32(predicate_.column))) continue;
+      ++tuples_out_;
+      TupleWriter out = writer->Begin(
+          split < 0 ? 0 : t.GetInt32(static_cast<size_t>(split)));
+      std::memcpy(out.data(), t.data(), row_bytes);
+      writer->Commit();
+    }
+    return;
+  }
   for (size_t i = 0; i < batch.num_tuples(); ++i) {
     TupleRef t = batch.tuple(i);
     if (predicate_.Matches(t.GetInt32(predicate_.column))) {

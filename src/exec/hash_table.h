@@ -49,6 +49,38 @@ class JoinHashTable {
     return matches;
   }
 
+  /// Batch-at-a-time probe: first hashes all `n` keys in one tight pass
+  /// (no table accesses, so the loop vectorizes and the key loads stream),
+  /// then walks each key's slot chain. Invokes `fn(i, TupleRef)` for every
+  /// stored row matching keys[i], in ascending i. Returns the total number
+  /// of matches. Equivalent to calling Probe(keys[i], ...) for each i.
+  template <typename Fn>
+  size_t ProbeBatch(const int32_t* keys, size_t n, Fn&& fn) const {
+    if (capacity_ == 0 || n == 0) return 0;
+    const size_t mask = capacity_ - 1;
+    probe_slots_.resize(n);
+    for (size_t i = 0; i < n; ++i) {
+      probe_slots_[i] = static_cast<size_t>(HashJoinKey(keys[i])) & mask;
+    }
+    size_t matches = 0;
+    for (size_t i = 0; i < n; ++i) {
+      size_t slot = probe_slots_[i];
+      const int32_t key = keys[i];
+      while (slots_[slot] != kEmpty) {
+        size_t row_index = slots_[slot] - 1;
+        TupleRef row = RowAt(row_index);
+        if (row.GetInt32(key_column_) == key) {
+          ++matches;
+          fn(i, row);
+        } else {
+          ++probe_collisions_;
+        }
+        slot = (slot + 1) & mask;
+      }
+    }
+    return matches;
+  }
+
   size_t size() const { return num_rows_; }
   /// Arena + slot array footprint, for the paper's FP-uses-more-memory
   /// observation.
@@ -99,6 +131,10 @@ class JoinHashTable {
   MemoryReservation reservation_;
   bool over_budget_ = false;
   // Mutable: Probe() is logically const; instances are single-threaded.
+  // probe_slots_ is ProbeBatch's reusable start-slot scratch (capacity
+  // retained across batches, so the probe path allocates nothing in
+  // steady state).
+  mutable std::vector<size_t> probe_slots_;
   mutable uint64_t probe_collisions_ = 0;
   uint64_t insert_collisions_ = 0;
   uint64_t total_inserted_ = 0;

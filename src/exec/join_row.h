@@ -6,16 +6,23 @@
 
 namespace mjoin {
 
-/// Assembles one join output row from a matching (left, right) pair into
-/// `out` (spec.output_schema->tuple_size() bytes), following
-/// spec.output_columns. Shared by both hash-join variants.
+/// Assembles one join output row from a matching (left, right) pair
+/// through `writer` — which may point into scratch memory or, on the
+/// zero-copy path, directly into the destination batch (EmitWriter::Begin).
+/// Shared by both hash-join variants.
 inline void AssembleJoinRow(const JoinSpec& spec, const TupleRef& left,
-                            const TupleRef& right, std::byte* out) {
-  TupleWriter writer(out, spec.output_schema.get());
+                            const TupleRef& right, TupleWriter& writer) {
   for (size_t i = 0; i < spec.output_columns.size(); ++i) {
     const JoinOutputColumn& oc = spec.output_columns[i];
     writer.CopyColumn(i, oc.side == 0 ? left : right, oc.column);
   }
+}
+
+/// Same, into `out` (spec.output_schema->tuple_size() bytes).
+inline void AssembleJoinRow(const JoinSpec& spec, const TupleRef& left,
+                            const TupleRef& right, std::byte* out) {
+  TupleWriter writer(out, spec.output_schema.get());
+  AssembleJoinRow(spec, left, right, writer);
 }
 
 }  // namespace mjoin

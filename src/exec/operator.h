@@ -12,6 +12,8 @@
 
 namespace mjoin {
 
+class EmitWriter;
+
 /// Runtime metrics of one operation process, filled by hosts that observe
 /// execution (the threaded backend) and by the operator itself via
 /// Operator::CollectMetrics(). Plain fields, no synchronization: one
@@ -87,6 +89,21 @@ class OpContext {
   /// Hands one output row (output_schema().tuple_size() bytes) to the host,
   /// which routes it to the consumer (split by hash, stored locally, ...).
   virtual void EmitRow(const std::byte* row) = 0;
+
+  /// Hands `count` contiguous output rows (count * row_bytes) to the host
+  /// at once. Semantically a loop of EmitRow (the default implementation);
+  /// hosts override to bulk-copy when routing permits, collapsing the
+  /// per-row virtual dispatch to one call per batch.
+  virtual void EmitRows(const std::byte* rows, size_t count,
+                        size_t row_bytes) {
+    for (size_t i = 0; i < count; ++i) EmitRow(rows + i * row_bytes);
+  }
+
+  /// The zero-copy emit channel (see exec/emit.h), or null when the host
+  /// only supports the copying EmitRow path. Operators read this once per
+  /// callback and build output rows directly in the destination batch when
+  /// it is available.
+  virtual EmitWriter* emit_writer() { return nullptr; }
 
   /// Cost model in effect.
   virtual const CostParams& costs() const = 0;

@@ -1,6 +1,9 @@
 #include "exec/pipelining_hash_join.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "exec/emit.h"
 #include "exec/join_row.h"
 
 namespace mjoin {
@@ -15,6 +18,12 @@ PipeliningHashJoinOp::PipeliningHashJoinOp(JoinSpec spec)
 void PipeliningHashJoinOp::Open(OpContext* ctx) {
   tables_[0].AttachBudget(ctx->memory_budget());
   tables_[1].AttachBudget(ctx->memory_budget());
+  EmitWriter* writer = ctx->emit_writer();
+  if (writer != nullptr && writer->split_column() >= 0) {
+    const JoinOutputColumn& oc = spec_.output_columns[writer->split_column()];
+    route_side_ = oc.side;
+    route_column_ = oc.column;
+  }
 }
 
 void PipeliningHashJoinOp::Consume(int port, const TupleBatch& batch,
@@ -23,37 +32,72 @@ void PipeliningHashJoinOp::Consume(int port, const TupleBatch& batch,
   MJOIN_CHECK(!done_[port]) << "batch after end-of-stream on port " << port;
   if (ctx->cancelled()) return;
   const CostParams& costs = ctx->costs();
-  size_t my_key = port == kLeftPort ? spec_.left_key : spec_.right_key;
+  EmitWriter* writer = ctx->emit_writer();
+  const size_t my_key = port == kLeftPort ? spec_.left_key : spec_.right_key;
   JoinHashTable& own = tables_[port];
   JoinHashTable& other = tables_[1 - port];
 
-  // Per arriving tuple: hash once, probe the other operand's partial
-  // table, emit matches, insert into own table. If the other side already
-  // finished, nothing will ever probe our table, so the insert is skipped
-  // (the tail of the slower operand then runs as a pure probe phase).
+  // Per arriving chunk: gather keys, probe the other operand's (partial)
+  // table batch-at-a-time, emit matches, then insert the chunk into our
+  // own table. If the other side already finished, nothing will ever probe
+  // our table, so the inserts are skipped (the tail of the slower operand
+  // then runs as a pure probe phase).
   //
   // Cost is charged per tuple actually processed, after the loop: a
-  // mid-batch cancellation must leave the accounting matching the partial
-  // progress, not the whole batch.
-  bool insert_needed = !done_[1 - port];
+  // between-chunk cancellation must leave the accounting matching the
+  // partial progress, not the whole batch.
+  const bool insert_needed = !done_[1 - port];
+  // When hash-split routing draws from *this* operand's columns, the
+  // match's route value comes from the arriving tuple; otherwise from the
+  // stored one. route_side_ names the output side (0 = left), so compare
+  // against the port to translate into mine/theirs.
+  const bool route_from_mine = route_side_ == port;
   const Ticks per_tuple = costs.tuple_hash + costs.tuple_probe +
                           (insert_needed ? costs.tuple_build : 0);
+  const size_t n = batch.num_tuples();
   size_t processed = 0;
   size_t results = 0;
-  for (size_t i = 0; i < batch.num_tuples(); ++i) {
+  while (processed < n) {
     if (ctx->cancelled()) break;
-    TupleRef mine = batch.tuple(i);
-    int32_t key = mine.GetInt32(my_key);
-    results += other.Probe(key, [&](const TupleRef& theirs) {
-      if (port == kLeftPort) {
-        AssembleJoinRow(spec_, mine, theirs, out_row_.data());
-      } else {
-        AssembleJoinRow(spec_, theirs, mine, out_row_.data());
+    const size_t chunk = std::min(kChunk, n - processed);
+    keys_.resize(chunk);
+    for (size_t i = 0; i < chunk; ++i) {
+      keys_[i] = batch.tuple(processed + i).GetInt32(my_key);
+    }
+    if (writer != nullptr) {
+      results += other.ProbeBatch(
+          keys_.data(), chunk, [&](size_t i, const TupleRef& theirs) {
+            TupleRef mine = batch.tuple(processed + i);
+            int32_t route =
+                route_side_ < 0
+                    ? 0
+                    : (route_from_mine ? mine : theirs).GetInt32(route_column_);
+            TupleWriter out = writer->Begin(route);
+            if (port == kLeftPort) {
+              AssembleJoinRow(spec_, mine, theirs, out);
+            } else {
+              AssembleJoinRow(spec_, theirs, mine, out);
+            }
+            writer->Commit();
+          });
+    } else {
+      results += other.ProbeBatch(
+          keys_.data(), chunk, [&](size_t i, const TupleRef& theirs) {
+            TupleRef mine = batch.tuple(processed + i);
+            if (port == kLeftPort) {
+              AssembleJoinRow(spec_, mine, theirs, out_row_.data());
+            } else {
+              AssembleJoinRow(spec_, theirs, mine, out_row_.data());
+            }
+            ctx->EmitRow(out_row_.data());
+          });
+    }
+    if (insert_needed) {
+      for (size_t i = 0; i < chunk; ++i) {
+        own.Insert(batch.tuple(processed + i).data());
       }
-      ctx->EmitRow(out_row_.data());
-    });
-    if (insert_needed) own.Insert(mine.data());
-    ++processed;
+    }
+    processed += chunk;
   }
   ctx->Charge(static_cast<Ticks>(processed) * per_tuple +
               static_cast<Ticks>(results) * costs.tuple_result);

@@ -22,6 +22,14 @@ class PipeliningHashJoinOp : public Operator {
   static constexpr int kLeftPort = 0;
   static constexpr int kRightPort = 1;
 
+  // Arriving batches are processed in chunks of this many tuples: keys are
+  // gathered into keys_ and the whole chunk probes the other operand's
+  // table via JoinHashTable::ProbeBatch before the chunk is inserted into
+  // our own table. A chunk's probes can never hit rows inserted by the
+  // same chunk (they target the *other* table), so the split preserves the
+  // tuple-at-a-time semantics exactly. Cancellation is polled per chunk.
+  static constexpr size_t kChunk = 128;
+
   explicit PipeliningHashJoinOp(JoinSpec spec);
 
   int num_input_ports() const override { return 2; }
@@ -53,7 +61,14 @@ class PipeliningHashJoinOp : public Operator {
   JoinHashTable tables_[2];
   bool done_[2] = {false, false};
   size_t peak_memory_ = 0;
+  // Scratch row for the EmitRow fallback path.
   std::vector<std::byte> out_row_;
+  // Key-gather scratch; capacity persists across batches.
+  std::vector<int32_t> keys_;
+  // Routing-value source when the host hash-splits our output (see
+  // SimpleHashJoinOp): output-schema side/column resolved in Open().
+  int route_side_ = -1;
+  size_t route_column_ = 0;
 };
 
 }  // namespace mjoin

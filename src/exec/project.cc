@@ -1,6 +1,7 @@
 #include "exec/project.h"
 
 #include "common/string_util.h"
+#include "exec/emit.h"
 #include "storage/tuple.h"
 
 namespace mjoin {
@@ -35,6 +36,25 @@ void ProjectOp::Consume(int port, const TupleBatch& batch, OpContext* ctx) {
   // One unit per tuple: constructing the projected tuple.
   ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
               ctx->costs().tuple_result);
+  EmitWriter* emit = ctx->emit_writer();
+  if (emit != nullptr) {
+    // An output column is a copy of an input column, so the routing value
+    // of a hash-split output is readable from the input row up front and
+    // the projected row is built directly in the destination batch.
+    const int split = emit->split_column();
+    const size_t route_column =
+        split < 0 ? 0 : columns_[static_cast<size_t>(split)];
+    for (size_t i = 0; i < batch.num_tuples(); ++i) {
+      TupleRef in = batch.tuple(i);
+      TupleWriter out = emit->Begin(
+          split < 0 ? 0 : in.GetInt32(route_column));
+      for (size_t c = 0; c < columns_.size(); ++c) {
+        out.CopyColumn(c, in, columns_[c]);
+      }
+      emit->Commit();
+    }
+    return;
+  }
   for (size_t i = 0; i < batch.num_tuples(); ++i) {
     TupleRef in = batch.tuple(i);
     TupleWriter writer(out_row_.data(), output_schema_.get());

@@ -24,8 +24,11 @@ bool ScanOp::Produce(OpContext* ctx) {
   }
   size_t n = std::min<size_t>(ctx->costs().batch_size, total_ - cursor_);
   ctx->Charge(static_cast<Ticks>(n) * ctx->costs().tuple_scan);
-  for (size_t i = 0; i < n; ++i) {
-    ctx->EmitRow(fragment_->tuple(cursor_ + i).data());
+  // The fragment's rows are already contiguous — hand the whole slice to
+  // the host in one call; it bulk-copies when routing permits.
+  const size_t row_bytes = schema_->tuple_size();
+  if (n > 0) {
+    ctx->EmitRows(fragment_->raw_data() + cursor_ * row_bytes, n, row_bytes);
   }
   cursor_ += n;
   return cursor_ < total_;

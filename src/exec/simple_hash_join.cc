@@ -1,6 +1,9 @@
 #include "exec/simple_hash_join.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
+#include "exec/emit.h"
 #include "exec/join_row.h"
 
 namespace mjoin {
@@ -13,6 +16,12 @@ SimpleHashJoinOp::SimpleHashJoinOp(JoinSpec spec)
 void SimpleHashJoinOp::Open(OpContext* ctx) {
   table_.AttachBudget(ctx->memory_budget());
   buffered_reservation_.Attach(ctx->memory_budget());
+  EmitWriter* writer = ctx->emit_writer();
+  if (writer != nullptr && writer->split_column() >= 0) {
+    const JoinOutputColumn& oc = spec_.output_columns[writer->split_column()];
+    route_side_ = oc.side;
+    route_column_ = oc.column;
+  }
 }
 
 void SimpleHashJoinOp::Consume(int port, const TupleBatch& batch,
@@ -28,10 +37,7 @@ void SimpleHashJoinOp::Consume(int port, const TupleBatch& batch,
       // Probe arrived early: buffer it (memory, no CPU yet besides the
       // host's receive cost) until the hash table is complete.
       TupleBatch copy(batch.shared_schema());
-      copy.Reserve(batch.num_tuples());
-      for (size_t i = 0; i < batch.num_tuples(); ++i) {
-        copy.AppendRow(batch.tuple(i).data());
-      }
+      copy.AppendRows(batch.raw_data(), batch.num_tuples());
       buffered_bytes_ += batch.num_tuples() * batch.schema().tuple_size();
       buffered_.push_back(std::move(copy));
       UpdatePeakMemory();
@@ -59,20 +65,41 @@ void SimpleHashJoinOp::ConsumeBuild(const TupleBatch& batch, OpContext* ctx) {
 
 void SimpleHashJoinOp::ConsumeProbe(const TupleBatch& batch, OpContext* ctx) {
   const CostParams& costs = ctx->costs();
-  // Charged per tuple actually probed, after the loop: a mid-batch
+  EmitWriter* writer = ctx->emit_writer();
+  const size_t n = batch.num_tuples();
+  // Charged per tuple actually probed, after the loop: a between-chunk
   // cancellation must not be billed for the skipped tail, and the result
   // charge must cover exactly the rows that were emitted.
   size_t processed = 0;
   size_t results = 0;
-  for (size_t i = 0; i < batch.num_tuples(); ++i) {
+  while (processed < n) {
     if (ctx->cancelled()) break;
-    TupleRef probe = batch.tuple(i);
-    int32_t key = probe.GetInt32(spec_.right_key);
-    results += table_.Probe(key, [&](const TupleRef& build) {
-      AssembleJoinRow(spec_, build, probe, out_row_.data());
-      ctx->EmitRow(out_row_.data());
-    });
-    ++processed;
+    const size_t chunk = std::min(kProbeChunk, n - processed);
+    probe_keys_.resize(chunk);
+    for (size_t i = 0; i < chunk; ++i) {
+      probe_keys_[i] = batch.tuple(processed + i).GetInt32(spec_.right_key);
+    }
+    if (writer != nullptr) {
+      results += table_.ProbeBatch(
+          probe_keys_.data(), chunk, [&](size_t i, const TupleRef& build) {
+            TupleRef probe = batch.tuple(processed + i);
+            int32_t route =
+                route_side_ < 0
+                    ? 0
+                    : (route_side_ == 0 ? build : probe).GetInt32(route_column_);
+            TupleWriter out = writer->Begin(route);
+            AssembleJoinRow(spec_, build, probe, out);
+            writer->Commit();
+          });
+    } else {
+      results += table_.ProbeBatch(
+          probe_keys_.data(), chunk, [&](size_t i, const TupleRef& build) {
+            AssembleJoinRow(spec_, build, batch.tuple(processed + i),
+                            out_row_.data());
+            ctx->EmitRow(out_row_.data());
+          });
+    }
+    processed += chunk;
   }
   ctx->Charge(static_cast<Ticks>(processed) *
                   (costs.tuple_hash + costs.tuple_probe) +

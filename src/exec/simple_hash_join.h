@@ -22,6 +22,13 @@ class SimpleHashJoinOp : public Operator {
   static constexpr int kBuildPort = 0;
   static constexpr int kProbePort = 1;
 
+  // Probe batches are processed in chunks of this many tuples: keys are
+  // gathered into probe_keys_ and handed to JoinHashTable::ProbeBatch, and
+  // cancellation is polled between chunks (so a cancelled query stops
+  // within one chunk, and cost accounting still covers exactly the tuples
+  // probed).
+  static constexpr size_t kProbeChunk = 128;
+
   explicit SimpleHashJoinOp(JoinSpec spec);
 
   int num_input_ports() const override { return 2; }
@@ -66,8 +73,15 @@ class SimpleHashJoinOp : public Operator {
   size_t buffered_bytes_ = 0;
   MemoryReservation buffered_reservation_;
   size_t peak_memory_ = 0;
-  // Scratch row reused when assembling output tuples.
+  // Scratch row reused when assembling output tuples (EmitRow fallback).
   std::vector<std::byte> out_row_;
+  // Key-gather scratch for batch probing; capacity persists across batches.
+  std::vector<int32_t> probe_keys_;
+  // Which operand carries the routing value when the host hash-splits our
+  // output: resolved in Open() from the writer's split column. side < 0
+  // means routing is fixed (or no writer) and no value needs extracting.
+  int route_side_ = -1;
+  size_t route_column_ = 0;
 };
 
 }  // namespace mjoin

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.h"
+#include "exec/emit.h"
 #include "exec/join_row.h"
 
 namespace mjoin {
@@ -27,9 +28,7 @@ void SortMergeJoinOp::Consume(int port, const TupleBatch& batch,
   // One unit per tuple for appending to the run buffer.
   ctx->Charge(static_cast<Ticks>(batch.num_tuples()) *
               ctx->costs().tuple_build);
-  for (size_t i = 0; i < batch.num_tuples(); ++i) {
-    buffered_[port].AppendRow(batch.tuple(i).data());
-  }
+  buffered_[port].AppendRows(batch.raw_data(), batch.num_tuples());
   current_memory_ += batch.num_tuples() * batch.schema().tuple_size();
   peak_memory_ = std::max(peak_memory_, current_memory_);
   if (!reservation_.Resize(current_memory_).ok()) {
@@ -74,6 +73,16 @@ void SortMergeJoinOp::SortAndMerge(OpContext* ctx) {
   // tuple plus one per result.
   const TupleBatch& left = buffered_[0];
   const TupleBatch& right = buffered_[1];
+  // Zero-copy emission: resolve which operand carries the routing value
+  // (only needed when the host hash-splits our output).
+  EmitWriter* writer = ctx->emit_writer();
+  int route_side = -1;
+  size_t route_column = 0;
+  if (writer != nullptr && writer->split_column() >= 0) {
+    const JoinOutputColumn& oc = spec_.output_columns[writer->split_column()];
+    route_side = oc.side;
+    route_column = oc.column;
+  }
   ctx->Charge(static_cast<Ticks>(left.num_tuples() + right.num_tuples()) *
               costs.tuple_probe);
   size_t i = 0, j = 0;
@@ -101,9 +110,19 @@ void SortMergeJoinOp::SortAndMerge(OpContext* ctx) {
       }
       for (size_t a = i; a < i_end; ++a) {
         for (size_t b = j; b < j_end; ++b) {
-          AssembleJoinRow(spec_, left.tuple(order[0][a]),
-                          right.tuple(order[1][b]), out_row_.data());
-          ctx->EmitRow(out_row_.data());
+          TupleRef l = left.tuple(order[0][a]);
+          TupleRef r = right.tuple(order[1][b]);
+          if (writer != nullptr) {
+            int32_t route = route_side < 0
+                                ? 0
+                                : (route_side == 0 ? l : r).GetInt32(route_column);
+            TupleWriter out = writer->Begin(route);
+            AssembleJoinRow(spec_, l, r, out);
+            writer->Commit();
+          } else {
+            AssembleJoinRow(spec_, l, r, out_row_.data());
+            ctx->EmitRow(out_row_.data());
+          }
           ++results;
         }
       }

@@ -43,6 +43,12 @@ class Relation {
     data_.insert(data_.end(), row, row + schema_.tuple_size());
   }
 
+  /// Appends `count` contiguous rows (count * tuple_size() bytes) in one
+  /// copy.
+  void AppendRows(const std::byte* rows, size_t count) {
+    data_.insert(data_.end(), rows, rows + count * schema_.tuple_size());
+  }
+
   /// Appends an uninitialized row and returns a writer for it. The writer
   /// is invalidated by the next append.
   TupleWriter AppendTuple() {

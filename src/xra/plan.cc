@@ -64,6 +64,59 @@ Status ValidateOpBasics(const ParallelPlan& plan, const XraOp& op) {
   return Status::OK();
 }
 
+/// Input ports an op kind exposes (scans and rescans are sources).
+int NumInputPorts(XraOpKind kind) {
+  switch (kind) {
+    case XraOpKind::kSimpleHashJoin:
+    case XraOpKind::kPipeliningHashJoin:
+    case XraOpKind::kSortMergeJoin:
+      return 2;
+    case XraOpKind::kFilter:
+    case XraOpKind::kAggregate:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+/// Forward-edge validation, from the producer's side. The consumer-side
+/// checks (ValidateEdge / ValidateSingleInputEdge) only cover edges the
+/// consumer's inputs[] actually names; a malformed plan whose op.consumer
+/// points at an out-of-range op, a source, a bad port, or an op that reads
+/// a *different* producer would sail through them — and the executors
+/// route batches along the forward pointer, indexing the consumer's
+/// instance array out of bounds when the fanouts disagree. Catch all of
+/// that at Validate() time instead.
+Status ValidateForwardEdge(const ParallelPlan& plan, const XraOp& op) {
+  if (op.consumer < 0) return Status::OK();
+  if (op.consumer >= static_cast<int>(plan.ops.size()) ||
+      op.consumer == op.id) {
+    return Status::Internal(
+        StrCat("op ", op.id, " has bad consumer ", op.consumer));
+  }
+  const XraOp& consumer = plan.ops[static_cast<size_t>(op.consumer)];
+  int ports = NumInputPorts(consumer.kind);
+  if (op.consumer_port < 0 || op.consumer_port >= ports) {
+    return Status::Internal(StrCat("op ", op.id, " feeds port ",
+                                   op.consumer_port, " of op ", consumer.id,
+                                   " which has ", ports, " input ports"));
+  }
+  const XraInput& input = consumer.inputs[op.consumer_port];
+  if (input.producer != op.id) {
+    return Status::Internal(
+        StrCat("op ", op.id, " claims to feed op ", consumer.id, " port ",
+               op.consumer_port, " but that port reads op ", input.producer));
+  }
+  if (input.routing == Routing::kColocated &&
+      op.processors.size() != consumer.processors.size()) {
+    return Status::Internal(StrCat(
+        "colocated edge ", op.id, " -> ", consumer.id, " has producer fanout ",
+        op.processors.size(), " but consumer fanout ",
+        consumer.processors.size()));
+  }
+  return Status::OK();
+}
+
 Status ValidateEdge(const ParallelPlan& plan, const XraOp& consumer, int port) {
   const XraInput& input = consumer.inputs[port];
   if (input.producer < 0 ||
@@ -174,6 +227,7 @@ Status ParallelPlan::Validate() const {
       return Status::Internal(StrCat("op at index ", i, " has id ", op.id));
     }
     MJOIN_RETURN_IF_ERROR(ValidateOpBasics(*this, op));
+    MJOIN_RETURN_IF_ERROR(ValidateForwardEdge(*this, op));
     if (op.store_result >= 0) {
       if (op.store_result >= num_results) {
         return Status::Internal(StrCat("op ", op.id, " stores result ",

@@ -389,44 +389,62 @@ class CancellingContext : public RecordingContext {
   size_t cancel_after_;
 };
 
+/// n distinct keys 0..n-1 with values 10*key.
+Relation MakeKvRange(int32_t n) {
+  std::vector<std::pair<int32_t, int32_t>> rows;
+  rows.reserve(static_cast<size_t>(n));
+  for (int32_t i = 0; i < n; ++i) rows.push_back({i, i * 10});
+  return MakeKv(std::move(rows));
+}
+
 // A cancellation in the middle of a probe batch must charge exactly the
-// tuples processed before the break, not the full batch.
+// tuples processed before the break, not the full batch. Probing is
+// chunked (kProbeChunk tuples between cancellation polls), so the break
+// lands on the first chunk boundary after the cancel fires.
 TEST(SimpleHashJoinTest, CancellationChargesOnlyProcessedTuples) {
-  Relation build = MakeKv({{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}});
-  Relation probe = MakeKv({{1, 100}, {2, 200}, {3, 300}, {4, 400}, {5, 500}});
+  const size_t chunk = SimpleHashJoinOp::kProbeChunk;
+  const int32_t n = static_cast<int32_t>(chunk) + 50;
+  Relation build = MakeKvRange(n);
+  Relation probe = MakeKvRange(n);
   SimpleHashJoinOp join(KvJoinSpec());
-  CancellingContext ctx(join.output_schema(), /*cancel_after=*/2);
+  CancellingContext ctx(join.output_schema(), /*cancel_after=*/1);
   join.Consume(SimpleHashJoinOp::kBuildPort, ToBatch(build), &ctx);
   join.InputDone(SimpleHashJoinOp::kBuildPort, &ctx);
   Ticks before_probe = ctx.charged;
   join.Consume(SimpleHashJoinOp::kProbePort, ToBatch(probe), &ctx);
-  // Each probe tuple matches exactly once, so the context cancels after
-  // the second match: two tuples probed, two results, three skipped.
-  EXPECT_EQ(ctx.out.num_tuples(), 2u);
+  // Each probe tuple matches exactly once. The cancel fires on the first
+  // match, but the operator only polls between chunks: one full chunk is
+  // probed (and charged), the remaining 50 tuples are skipped unbilled.
+  EXPECT_EQ(ctx.out.num_tuples(), chunk);
   const CostParams& c = ctx.params;
+  const Ticks probed = static_cast<Ticks>(chunk);
   EXPECT_EQ(ctx.charged - before_probe,
-            2 * (c.tuple_hash + c.tuple_probe) + 2 * c.tuple_result);
+            probed * (c.tuple_hash + c.tuple_probe) + probed * c.tuple_result);
 }
 
 TEST(PipeliningHashJoinTest, CancellationChargesOnlyProcessedTuples) {
-  Relation left = MakeKv({{1, 10}, {2, 20}, {3, 30}, {4, 40}, {5, 50}});
-  Relation right = MakeKv({{1, 100}, {2, 200}, {3, 300}, {4, 400}, {5, 500}});
+  const size_t chunk = PipeliningHashJoinOp::kChunk;
+  const int32_t n = static_cast<int32_t>(chunk) + 50;
+  Relation left = MakeKvRange(n);
+  Relation right = MakeKvRange(n);
   PipeliningHashJoinOp join(KvJoinSpec());
-  CancellingContext ctx(join.output_schema(), /*cancel_after=*/3);
+  CancellingContext ctx(join.output_schema(), /*cancel_after=*/1);
   join.Consume(PipeliningHashJoinOp::kLeftPort, ToBatch(left), &ctx);
   Ticks after_left = ctx.charged;
   const CostParams& c = ctx.params;
-  // Left went first against an empty right table: all 5 tuples hashed,
+  // Left went first against an empty right table: all n tuples hashed,
   // probed (no matches), and inserted.
-  EXPECT_EQ(after_left,
-            5 * (c.tuple_hash + c.tuple_probe + c.tuple_build));
+  EXPECT_EQ(after_left, static_cast<Ticks>(n) *
+                            (c.tuple_hash + c.tuple_probe + c.tuple_build));
   join.Consume(PipeliningHashJoinOp::kRightPort, ToBatch(right), &ctx);
-  // Each right tuple matches once; the context cancels after the third
-  // result, so three tuples were processed (hash+probe+insert each).
-  EXPECT_EQ(ctx.out.num_tuples(), 3u);
+  // Each right tuple matches once; the cancel fires on the first result
+  // but is only polled between chunks, so exactly one chunk is processed
+  // (hash+probe+insert each) and the remaining 50 tuples charge nothing.
+  EXPECT_EQ(ctx.out.num_tuples(), chunk);
+  const Ticks probed = static_cast<Ticks>(chunk);
   EXPECT_EQ(ctx.charged - after_left,
-            3 * (c.tuple_hash + c.tuple_probe + c.tuple_build) +
-                3 * c.tuple_result);
+            probed * (c.tuple_hash + c.tuple_probe + c.tuple_build) +
+                probed * c.tuple_result);
 }
 
 // A batch that arrives already-cancelled must charge nothing.

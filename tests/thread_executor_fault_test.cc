@@ -160,13 +160,39 @@ TEST_P(FaultScenarioTest, TightMemoryBudgetAborts) {
   EXPECT_GT(stats.peak_memory_bytes, 0u);
 }
 
-// An already-expired deadline: nothing is dispatched, workers still start
-// and must be torn down, and the status is kDeadlineExceeded.
-TEST_P(FaultScenarioTest, ZeroDeadlineExpires) {
+// A zero or negative deadline is a caller bug, not an expired query:
+// Execute() rejects it up front with kInvalidArgument before any worker
+// thread starts.
+TEST_P(FaultScenarioTest, NonPositiveDeadlineRejected) {
   QuerySetup setup = MakeSetup(GetParam());
   ThreadExecutor executor(&setup.db);
   ThreadExecOptions options;
-  options.deadline = std::chrono::milliseconds(0);
+
+  size_t threads_before = CountThreads();
+  for (auto bad : {std::chrono::milliseconds(0), std::chrono::milliseconds(-5)}) {
+    options.deadline = bad;
+    auto run = executor.Execute(setup.plan, options);
+    ASSERT_FALSE(run.ok());
+    EXPECT_EQ(run.status().code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_EQ(CountThreads(), threads_before);
+}
+
+// A deadline that expires mid-run (a slow worker keeps the query alive past
+// it): workers must be torn down cleanly and the status is
+// kDeadlineExceeded.
+TEST_P(FaultScenarioTest, TinyDeadlineExpires) {
+  QuerySetup setup = MakeSetup(GetParam());
+  FaultScenario scenario;
+  scenario.kind = FaultKind::kSlowWorker;
+  scenario.node = 0;
+  scenario.delay = std::chrono::milliseconds(50);
+  FaultInjector injector(scenario);
+
+  ThreadExecutor executor(&setup.db);
+  ThreadExecOptions options;
+  options.fault_injector = &injector;
+  options.deadline = std::chrono::milliseconds(1);
 
   size_t threads_before = CountThreads();
   auto run = executor.Execute(setup.plan, options);

@@ -106,6 +106,66 @@ TEST(XraPlanTest, RejectsTwoOutputs) {
   }
 }
 
+// --- Forward-edge validation -------------------------------------------------
+// Executors index consumer instance arrays straight along the forward
+// pointers (op.consumer / op.consumer_port), so a malformed plan used to
+// index out of bounds at run time. These must now die at Validate().
+
+TEST(XraPlanTest, RejectsConsumerOutOfRange) {
+  ParallelPlan plan = GoodPlan();
+  for (XraOp& op : plan.ops) {
+    if (op.consumer >= 0) {
+      op.consumer = static_cast<int>(plan.ops.size()) + 3;
+      EXPECT_FALSE(plan.Validate().ok());
+      return;
+    }
+  }
+  FAIL() << "plan has no streaming edge";
+}
+
+TEST(XraPlanTest, RejectsSelfLoopConsumer) {
+  ParallelPlan plan = GoodPlan();
+  for (XraOp& op : plan.ops) {
+    if (op.consumer >= 0) {
+      op.consumer = op.id;
+      EXPECT_FALSE(plan.Validate().ok());
+      return;
+    }
+  }
+  FAIL() << "plan has no streaming edge";
+}
+
+TEST(XraPlanTest, RejectsConsumerPortOutOfRange) {
+  ParallelPlan plan = GoodPlan();
+  for (XraOp& op : plan.ops) {
+    if (op.consumer >= 0) {
+      op.consumer_port = 7;  // joins have 2 ports, unary ops 1
+      EXPECT_FALSE(plan.Validate().ok());
+      return;
+    }
+  }
+  FAIL() << "plan has no streaming edge";
+}
+
+TEST(XraPlanTest, RejectsForwardBackPointerMismatch) {
+  ParallelPlan plan = GoodPlan();
+  // Point a producer at a consumer port whose back pointer names a
+  // different producer: the forward and backward edges disagree.
+  for (XraOp& op : plan.ops) {
+    if (op.consumer < 0) continue;
+    XraOp& consumer = plan.ops[static_cast<size_t>(op.consumer)];
+    for (int port = 0; port < 2; ++port) {
+      if (port != op.consumer_port &&
+          consumer.inputs[static_cast<size_t>(port)].producer != op.id) {
+        op.consumer_port = port;
+        EXPECT_FALSE(plan.Validate().ok());
+        return;
+      }
+    }
+  }
+  GTEST_SKIP() << "could not perturb any edge without keeping it consistent";
+}
+
 TEST(XraPlanTest, RejectsMissingFinalResult) {
   ParallelPlan plan = GoodPlan();
   plan.final_result = 17;

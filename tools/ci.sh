@@ -25,6 +25,11 @@ cmake --build build-ci -j "$(nproc)"
 echo "== ci: test suite =="
 ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
 
+echo "== ci: hot-path smoke bench =="
+cmake --build build-ci --target hotpath_suite -j "$(nproc)"
+./build-ci/bench/hotpath_suite --smoke --out=build-ci/BENCH_hotpath_smoke.json
+echo "archived build-ci/BENCH_hotpath_smoke.json"
+
 if [ "$MODE" = fast ]; then
   echo "ci gate (fast) passed — run the full gate before merging"
   exit 0
