@@ -23,6 +23,10 @@ enum class StatusCode {
   kResourceExhausted = 8,
   kCancelled = 9,
   kDeadlineExceeded = 10,
+  /// A required peer (worker process, socket endpoint) is gone. Unlike
+  /// kInternal this is an environmental failure: retrying the query on a
+  /// fresh executor may succeed.
+  kUnavailable = 11,
 };
 
 /// Returns a human-readable name for `code` ("OK", "InvalidArgument", ...).
@@ -71,6 +75,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

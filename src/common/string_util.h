@@ -12,7 +12,9 @@ namespace mjoin {
 template <typename... Args>
 std::string StrCat(const Args&... args) {
   std::ostringstream os;
-  (os << ... << args);
+  // Comma fold (not `os << ... << args`): the empty pack then expands to
+  // nothing instead of a value-less `os;` statement, which -Werror flags.
+  ((os << args), ...);
   return os.str();
 }
 

@@ -1,5 +1,7 @@
 #include "engine/fault_injector.h"
 
+#include <cstdio>
+#include <cstdlib>
 #include <thread>
 
 #include "common/string_util.h"
@@ -32,6 +34,78 @@ bool ParseFaultKind(const std::string& text, FaultKind* kind) {
     }
   }
   return false;
+}
+
+std::string FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kDequeue:
+      return "dequeue";
+    case FaultPoint::kSend:
+      return "send";
+    case FaultPoint::kConsume:
+      return "consume";
+  }
+  return "unknown";
+}
+
+FaultPoint FaultPointOf(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+    case FaultKind::kSlowWorker:
+      return FaultPoint::kDequeue;
+    case FaultKind::kDropBatch:
+    case FaultKind::kDuplicateBatch:
+      return FaultPoint::kSend;
+    case FaultKind::kFailOperator:
+      return FaultPoint::kConsume;
+  }
+  return FaultPoint::kDequeue;
+}
+
+std::string SerializeFaultScenario(const FaultScenario& scenario) {
+  char prob[64];
+  std::snprintf(prob, sizeof(prob), "%.17g", scenario.probability);
+  return StrCat("kind=", FaultKindName(scenario.kind), " node=", scenario.node,
+                " delay-us=", scenario.delay.count(), " op=", scenario.op,
+                " after=", scenario.after_batches, " prob=", prob,
+                " seed=", scenario.seed);
+}
+
+StatusOr<FaultScenario> ParseFaultScenario(const std::string& text) {
+  FaultScenario scenario;
+  for (const std::string& field : StrSplit(text, ' ')) {
+    if (field.empty()) continue;
+    size_t eq = field.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument(
+          StrCat("fault scenario field without '=': ", field));
+    }
+    std::string key = field.substr(0, eq);
+    std::string value = field.substr(eq + 1);
+    const char* digits = value.c_str();
+    if (key == "kind") {
+      if (!ParseFaultKind(value, &scenario.kind)) {
+        return Status::InvalidArgument(StrCat("unknown fault kind ", value));
+      }
+    } else if (key == "node") {
+      scenario.node = static_cast<uint32_t>(std::strtoul(digits, nullptr, 10));
+    } else if (key == "delay-us") {
+      scenario.delay =
+          std::chrono::microseconds(std::strtoll(digits, nullptr, 10));
+    } else if (key == "op") {
+      scenario.op = static_cast<int>(std::strtol(digits, nullptr, 10));
+    } else if (key == "after") {
+      scenario.after_batches = std::strtoull(digits, nullptr, 10);
+    } else if (key == "prob") {
+      scenario.probability = std::strtod(digits, nullptr);
+    } else if (key == "seed") {
+      scenario.seed = std::strtoull(digits, nullptr, 10);
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown fault scenario field ", key));
+    }
+  }
+  return scenario;
 }
 
 FaultInjector::FaultInjector(const FaultScenario& scenario)

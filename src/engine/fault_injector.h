@@ -8,11 +8,11 @@
 #include <random>
 #include <string>
 
-#include "common/status.h"
+#include "common/statusor.h"
 
 namespace mjoin {
 
-/// What a FaultInjector does to a threaded execution.
+/// What a FaultInjector does to an execution (any backend).
 enum class FaultKind {
   kNone = 0,
   /// One worker node sleeps `delay` before every message it processes —
@@ -33,6 +33,36 @@ enum class FaultKind {
 std::string FaultKindName(FaultKind kind);
 bool ParseFaultKind(const std::string& text, FaultKind* kind);
 
+/// Where in an executor's message path a fault fires. The points are
+/// backend-agnostic: the thread backend hits them on its in-memory queues,
+/// the process backend on its socket path — so one FaultScenario means the
+/// same thing under `--backend thread` and `--backend process`.
+enum class FaultPoint {
+  /// A worker dequeues the next message (thread: WorkerNode::Loop; process:
+  /// the worker event loop picking the next task). kSlowWorker fires here.
+  kDequeue = 0,
+  /// A producer is about to post/send a data batch toward a consumer
+  /// (thread: FlushDest; process: local delivery or the socket write).
+  /// kDropBatch / kDuplicateBatch fire here.
+  kSend = 1,
+  /// A consumer is about to run Consume() on a delivered batch.
+  /// kFailOperator fires here.
+  kConsume = 2,
+};
+
+std::string FaultPointName(FaultPoint point);
+
+/// The injection point at which `kind` fires (kNone maps to kDequeue; it
+/// never fires anywhere).
+FaultPoint FaultPointOf(FaultKind kind);
+
+/// Stable single-line text form of a scenario ("kind=slow-worker node=0
+/// delay-us=1000 ..."), used to ship scenarios across the coordinator ->
+/// worker handshake of the process backend. Parse accepts exactly what
+/// Serialize produces, plus any subset of the key=value fields.
+std::string SerializeFaultScenario(const struct FaultScenario& scenario);
+StatusOr<struct FaultScenario> ParseFaultScenario(const std::string& text);
+
 /// Parameters of one injected fault.
 struct FaultScenario {
   FaultKind kind = FaultKind::kNone;
@@ -49,10 +79,19 @@ struct FaultScenario {
   uint64_t seed = 0;
 };
 
-/// Test-controlled chaos for the threaded executor. ThreadRun consults the
-/// injector at its hook points (worker dequeue, batch send, batch consume);
-/// production runs pass no injector and pay nothing. All hooks are
-/// thread-safe — they are called concurrently from every worker thread.
+/// Test-controlled chaos, shared by the thread and process backends. Each
+/// backend consults the injector at the three FaultPoint hook points
+/// (kDequeue, kSend, kConsume); production runs pass no injector and pay
+/// nothing.
+///
+/// Ownership / thread-safety contract: the injector is owned by the caller
+/// (never by an executor) and must outlive every execution it is handed
+/// to. All hooks are thread-safe — the thread backend calls them
+/// concurrently from every worker thread. In the process backend each
+/// worker process builds its own injector from the scenario text shipped
+/// in the handshake (hooks fire worker-side, exactly where the thread
+/// backend fires them), so `faults_injected()` counts are per-process and
+/// are aggregated by the coordinator into the run's stats.
 class FaultInjector {
  public:
   explicit FaultInjector(const FaultScenario& scenario);
@@ -60,16 +99,17 @@ class FaultInjector {
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
-  /// Called by a worker before processing each message; sleeps when this
-  /// node is the scenario's slow worker.
+  /// FaultPoint::kDequeue — called by a worker before processing each
+  /// message; sleeps when this node is the scenario's slow worker.
   void OnDequeue(uint32_t node);
 
-  /// Called before a data batch is posted toward `op`.
+  /// FaultPoint::kSend — called before a data batch is posted toward `op`.
   bool ShouldDropBatch(int op);
   bool ShouldDuplicateBatch(int op);
 
-  /// Called before Consume() on `op`; a non-OK status is the injected
-  /// mid-stream operator failure and aborts the query.
+  /// FaultPoint::kConsume — called before Consume() on `op`; a non-OK
+  /// status is the injected mid-stream operator failure and aborts the
+  /// query.
   Status BeforeConsume(int op);
 
   /// Number of faults actually fired (for test assertions).

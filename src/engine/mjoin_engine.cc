@@ -25,12 +25,18 @@ StatusOr<EngineQueryOutcome> MultiJoinEngine::ExecuteQuery(
     outcome.result = run.result;
     outcome.seconds = run.response_seconds;
     if (options.analyze) outcome.analyze_report = RenderOpStats(plan, run);
-  } else {
+  } else if (options.backend == Backend::kThreaded) {
     ThreadExecutor executor(&database_);
     MJOIN_ASSIGN_OR_RETURN(ThreadQueryResult run,
                            executor.Execute(plan, ThreadExecOptions()));
     outcome.result = run.result;
     outcome.seconds = run.wall_seconds;
+  } else {
+    ProcessExecutor executor(&database_);
+    MJOIN_ASSIGN_OR_RETURN(ProcessQueryResult run,
+                           executor.Execute(plan, ProcessExecOptions()));
+    outcome.result = run.exec.result;
+    outcome.seconds = run.exec.wall_seconds;
   }
 
   if (options.verify) {

@@ -7,6 +7,7 @@
 #include "common/statusor.h"
 #include "engine/database.h"
 #include "engine/result.h"
+#include "engine/process_executor.h"
 #include "engine/sim_executor.h"
 #include "engine/thread_executor.h"
 #include "opt/general_query.h"
@@ -21,6 +22,9 @@ enum class Backend {
   kSimulated,
   /// Real OS threads (wall-clock time).
   kThreaded,
+  /// Forked worker processes over Unix-domain sockets (wall-clock time) —
+  /// the shared-nothing backend.
+  kProcess,
 };
 
 /// One-call query options for MultiJoinEngine.

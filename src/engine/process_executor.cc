@@ -1,0 +1,887 @@
+#include "engine/process_executor.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <signal.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/string_util.h"
+#include "common/table_printer.h"
+#include "engine/controller.h"
+#include "engine/database.h"
+#include "engine/fault_injector.h"
+#include "engine/process_protocol.h"
+#include "engine/process_worker.h"
+#include "engine/result.h"
+#include "net/channel.h"
+#include "storage/partitioner.h"
+#include "xra/text.h"
+
+namespace mjoin {
+
+namespace {
+
+/// One forked worker as the coordinator sees it.
+struct WorkerProc {
+  pid_t pid = -1;
+  std::unique_ptr<FrameChannel> chan;
+  bool hello_received = false;
+  bool bye_received = false;
+  /// The socket is dead (EOF or error); no further I/O on this worker.
+  bool closed = false;
+  bool reaped = false;
+  /// Routed data frames sent but not yet credited back (credit window).
+  size_t in_flight = 0;
+  /// Routed frames (data and EOS, in arrival order) waiting for credit.
+  std::deque<Frame> held;
+};
+
+/// The coordinator of one process-backed execution: forks the fleet, ships
+/// plan + fragments, relays routed batches under credit flow control,
+/// drives the trigger-group scheduler off milestone frames, and collects
+/// the finish-phase reports. Single-threaded: one poll loop over all
+/// worker sockets.
+class Coordinator {
+ public:
+  Coordinator(const ParallelPlan& plan, const Database& db,
+              const ProcessExecOptions& options, uint32_t num_workers)
+      : plan_(plan),
+        db_(db),
+        options_(options),
+        exec_(options.exec),
+        num_workers_(num_workers),
+        registry_(plan),
+        controller_(&plan) {}
+
+  /// Safety net for early-error returns: no child outlives the run.
+  ~Coordinator() {
+    for (WorkerProc& w : workers_) {
+      if (w.pid > 0 && !w.reaped) {
+        kill(w.pid, SIGKILL);
+        int ignored;
+        waitpid(w.pid, &ignored, 0);
+        w.reaped = true;
+      }
+    }
+  }
+
+  StatusOr<ProcessQueryResult> Run(ThreadExecStats* stats_out,
+                                   ProcessNetStats* net_out);
+
+ private:
+  enum class State { kRunning, kFinishing, kDone };
+
+  const XraOp& op(int id) const { return plan_.ops[static_cast<size_t>(id)]; }
+  uint32_t WorkerOf(uint32_t processor) const {
+    return WorkerOfProcessor(processor, num_workers_, plan_.num_processors);
+  }
+  int64_t NowSinceEpochNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  Status SpawnFleet();
+  Status ShipPlans();
+  Status ShipFragments();
+  void DispatchGroups(const std::vector<int>& groups);
+
+  /// One poll-loop turn: flush, poll, read, handle. Never throws work at a
+  /// closed worker.
+  void PollOnce(int timeout_ms);
+  void HandleFrame(uint32_t w, Frame frame);
+  void RouteFrame(uint32_t from, Frame frame);
+  void SendRouted(WorkerProc* dst, Frame frame);
+  void DrainHeld(WorkerProc* dst);
+  void HandleWorkerGone(uint32_t w, const Status& status);
+  /// Cancellation/deadline promotion; false once the run should stop.
+  bool CheckRuntime();
+  void Abort(Status status);
+
+  /// Graceful teardown: kShutdown + flush + reap; falls back to SIGKILL
+  /// for any worker that does not drain or exit in time.
+  void ShutdownFleet();
+  /// Abort teardown: SIGKILL and reap everything, close every channel.
+  void KillFleet();
+  void ReapWorker(WorkerProc* w, bool force_kill);
+
+  ThreadExecStats GatherStats() const;
+  void GatherNetStats();
+
+  const ParallelPlan& plan_;
+  const Database& db_;
+  const ProcessExecOptions& options_;
+  const ThreadExecOptions& exec_;
+  const uint32_t num_workers_;
+
+  SchemaRegistry registry_;
+  QueryController controller_;
+  std::vector<WorkerProc> workers_;
+  std::string plan_text_;
+  uint64_t plan_hash_ = 0;
+  int64_t trace_origin_ns_ = 0;
+
+  State state_ = State::kRunning;
+  uint32_t byes_received_ = 0;
+  bool aborted_ = false;
+  Status abort_status_;
+
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_point_;
+
+  // Finish-phase accumulators.
+  SummaryMsg summary_;
+  std::optional<Relation> materialized_;
+  std::shared_ptr<const Schema> result_schema_;
+  std::vector<ThreadOpStats> per_op_;
+  std::vector<WorkerRunStats> worker_stats_;
+  ProcessNetStats net_;
+  std::shared_ptr<ThreadTraceRecorder> trace_;
+};
+
+Status Coordinator::SpawnFleet() {
+  workers_.resize(num_workers_);
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      return Status::Internal(
+          StrCat("socketpair failed: ", strerror(errno)));
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(sv[0]);
+      close(sv[1]);
+      return Status::Internal(StrCat("fork failed: ", strerror(errno)));
+    }
+    if (pid == 0) {
+      // Child: drop every descriptor that belongs to the coordinator or a
+      // sibling — a worker holding a sibling's socket open would mask that
+      // sibling's death from the coordinator. _exit skips atexit handlers
+      // and (under ASan) the leak check, both meaningless in a fork child.
+      for (uint32_t prev = 0; prev < w; ++prev) {
+        close(workers_[prev].chan->fd());
+      }
+      close(sv[0]);
+      _exit(RunProcessWorker(sv[1]));
+    }
+    close(sv[1]);
+    MJOIN_RETURN_IF_ERROR(SetNonBlocking(sv[0]));
+    workers_[w].pid = pid;
+    workers_[w].chan =
+        std::make_unique<FrameChannel>(sv[0], StrCat("worker ", w));
+    if (options_.worker_observer) options_.worker_observer(w, pid);
+  }
+  return Status::OK();
+}
+
+Status Coordinator::ShipPlans() {
+  std::string fault_scenario;
+  if (exec_.fault_injector != nullptr) {
+    fault_scenario = SerializeFaultScenario(exec_.fault_injector->scenario());
+  }
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    PlanEnvelope env;
+    env.worker_id = w;
+    env.num_workers = num_workers_;
+    env.batch_size = exec_.batch_size;
+    env.materialize_result = exec_.materialize_result;
+    env.max_queued_batches = exec_.max_queued_batches;
+    env.memory_budget_bytes = exec_.memory_budget_bytes;
+    env.collect_metrics = exec_.collect_metrics;
+    env.record_trace = exec_.record_trace;
+    env.trace_origin_ns = trace_origin_ns_;
+    env.fault_scenario = fault_scenario;
+    env.plan_text = plan_text_;
+    std::vector<std::byte> payload;
+    EncodePlanEnvelope(env, &payload);
+    workers_[w].chan->QueueFrame(FrameType::kPlan, payload);
+  }
+  return Status::OK();
+}
+
+Status Coordinator::ShipFragments() {
+  // Partition every base relation exactly as the thread backend does
+  // (hash-partitioned on the consumer's join key when the consumer is a
+  // colocated join, round-robin otherwise), then ship each instance's
+  // fragment to its hosting worker in bounded chunks. The socket is FIFO,
+  // so every fragment chunk precedes the kTrigger that starts its scan.
+  for (const XraOp& o : plan_.ops) {
+    if (o.kind != XraOpKind::kScan) continue;
+    MJOIN_ASSIGN_OR_RETURN(const Relation* base, db_.Get(o.relation));
+    auto m = static_cast<uint32_t>(o.processors.size());
+    const XraOp& consumer = op(o.consumer);
+    std::vector<Relation> fragments;
+    if (consumer.inputs[o.consumer_port].routing == Routing::kColocated &&
+        consumer.is_join()) {
+      size_t key = o.consumer_port == 0 ? consumer.join_spec.left_key
+                                        : consumer.join_spec.right_key;
+      MJOIN_ASSIGN_OR_RETURN(fragments, HashPartition(*base, key, m));
+    } else {
+      fragments = RoundRobinPartition(*base, m);
+    }
+    MJOIN_ASSIGN_OR_RETURN(uint32_t schema_id,
+                           registry_.IdOf(*o.output_schema));
+    uint32_t tuple_size = o.output_schema->tuple_size();
+    const size_t rows_per_frame =
+        std::max<size_t>(1, (4u << 20) / std::max<uint32_t>(1, tuple_size));
+    for (uint32_t i = 0; i < m; ++i) {
+      const Relation& frag = fragments[i];
+      if (frag.num_tuples() == 0) continue;  // workers pre-create empties
+      FrameChannel* chan = workers_[WorkerOf(o.processors[i])].chan.get();
+      size_t offset = 0;
+      while (offset < frag.num_tuples()) {
+        size_t count = std::min(rows_per_frame, frag.num_tuples() - offset);
+        std::vector<std::byte> payload;
+        payload.reserve(8 + BatchWireSize(tuple_size, count));
+        EncodeFragmentHeader(FragmentHeader{o.id, i}, &payload);
+        AppendRowsWire(schema_id, tuple_size,
+                       frag.raw_data() + offset * tuple_size, count,
+                       &payload);
+        chan->QueueFrame(FrameType::kFragment, payload);
+        offset += count;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void Coordinator::DispatchGroups(const std::vector<int>& groups) {
+  // Every worker receives every trigger and starts only the instances it
+  // hosts; broadcasting is simpler than computing the hosting set here and
+  // costs five bytes per worker per group.
+  for (int g : groups) {
+    std::vector<std::byte> payload;
+    PutI32(&payload, g);
+    for (WorkerProc& w : workers_) {
+      if (!w.closed) w.chan->QueueFrame(FrameType::kTrigger, payload);
+    }
+  }
+}
+
+void Coordinator::Abort(Status status) {
+  if (!aborted_) {
+    aborted_ = true;
+    abort_status_ = std::move(status);
+  }
+}
+
+bool Coordinator::CheckRuntime() {
+  if (aborted_) return false;
+  if (exec_.cancellation.cancelled()) {
+    Abort(Status::Cancelled("query cancelled by caller"));
+    return false;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_point_) {
+    Abort(Status::DeadlineExceeded("query ran past its deadline"));
+    return false;
+  }
+  return true;
+}
+
+void Coordinator::HandleWorkerGone(uint32_t w, const Status& status) {
+  WorkerProc& worker = workers_[w];
+  if (worker.closed) return;
+  worker.closed = true;
+  worker.chan->Close();
+  if (aborted_ || state_ == State::kDone) return;
+  // A socket that dies before the worker said goodbye means the worker is
+  // gone mid-query. Reap it now (no zombie) and fold its exit status into
+  // the error.
+  int wstatus = 0;
+  std::string cause;
+  if (waitpid(worker.pid, &wstatus, WNOHANG) == worker.pid) {
+    worker.reaped = true;
+    if (WIFSIGNALED(wstatus)) {
+      cause = StrCat("killed by signal ", WTERMSIG(wstatus));
+    } else if (WIFEXITED(wstatus)) {
+      cause = StrCat("exited with status ", WEXITSTATUS(wstatus));
+    } else {
+      cause = "exited abnormally";
+    }
+  } else {
+    cause = StrCat("closed its socket (", status.message(), ")");
+  }
+  Abort(Status::Unavailable(StrCat("worker ", w, " (pid ", worker.pid, ") ",
+                                   cause, " before completing the query")));
+}
+
+void Coordinator::SendRouted(WorkerProc* dst, Frame frame) {
+  if (frame.type == FrameType::kData) ++dst->in_flight;
+  dst->chan->QueueFrame(frame.type, frame.payload);
+}
+
+void Coordinator::RouteFrame(uint32_t from, Frame frame) {
+  WireReader reader(frame.payload);
+  RouteHeader route;
+  Status decoded = DecodeRouteHeader(&reader, &route);
+  if (!decoded.ok() || route.consumer_op < 0 ||
+      static_cast<size_t>(route.consumer_op) >= plan_.ops.size() ||
+      route.dest_index >= op(route.consumer_op).processors.size()) {
+    Abort(Status::InvalidArgument(
+        StrCat("unroutable ", FrameTypeName(frame.type), " frame from worker ",
+               from)));
+    return;
+  }
+  WorkerProc& dst =
+      workers_[WorkerOf(op(route.consumer_op).processors[route.dest_index])];
+  if (dst.closed) return;  // death already aborted the run
+  // The credit window bounds un-acknowledged data frames per destination;
+  // EOS frames consume no credit but must stay FIFO behind held data, so
+  // anything queues behind a non-empty hold queue.
+  bool window_full = exec_.max_queued_batches != 0 &&
+                     frame.type == FrameType::kData &&
+                     dst.in_flight >= exec_.max_queued_batches;
+  if (!dst.held.empty() || window_full) {
+    if (window_full) ++net_.credit_stalls;
+    dst.held.push_back(std::move(frame));
+    net_.peak_held_frames = std::max(net_.peak_held_frames, dst.held.size());
+    return;
+  }
+  SendRouted(&dst, std::move(frame));
+}
+
+void Coordinator::DrainHeld(WorkerProc* dst) {
+  while (!dst->held.empty()) {
+    Frame& front = dst->held.front();
+    if (front.type == FrameType::kData && exec_.max_queued_batches != 0 &&
+        dst->in_flight >= exec_.max_queued_batches) {
+      return;
+    }
+    SendRouted(dst, std::move(front));
+    dst->held.pop_front();
+  }
+}
+
+void Coordinator::HandleFrame(uint32_t w, Frame frame) {
+  WorkerProc& worker = workers_[w];
+  switch (frame.type) {
+    case FrameType::kHello: {
+      WireReader reader(frame.payload);
+      HelloMsg hello;
+      Status decoded = DecodeHello(&reader, &hello);
+      if (!decoded.ok()) {
+        Abort(std::move(decoded));
+        return;
+      }
+      if (hello.protocol_version != kNetProtocolVersion) {
+        Abort(Status::FailedPrecondition(
+            StrCat("worker ", w, " speaks protocol version ",
+                   hello.protocol_version, ", coordinator speaks ",
+                   kNetProtocolVersion)));
+        return;
+      }
+      if (hello.plan_hash != plan_hash_) {
+        // The worker re-serialized what it parsed and got different text:
+        // the xra format did not round-trip.
+        Abort(Status::Internal(
+            StrCat("worker ", w,
+                   " echoed a mismatched plan hash: the textual plan did "
+                   "not survive the serialize/parse round trip")));
+        return;
+      }
+      worker.hello_received = true;
+      return;
+    }
+    case FrameType::kData:
+      ++net_.data_frames_routed;
+      RouteFrame(w, std::move(frame));
+      return;
+    case FrameType::kEos:
+      RouteFrame(w, std::move(frame));
+      return;
+    case FrameType::kCredit: {
+      WireReader reader(frame.payload);
+      uint32_t count = 0;
+      Status decoded = reader.ReadU32(&count);
+      if (!decoded.ok()) {
+        Abort(std::move(decoded));
+        return;
+      }
+      worker.in_flight -= std::min<size_t>(worker.in_flight, count);
+      DrainHeld(&worker);
+      return;
+    }
+    case FrameType::kMilestone: {
+      WireReader reader(frame.payload);
+      MilestoneMsg msg;
+      Status decoded = DecodeMilestone(&reader, &msg);
+      if (!decoded.ok() || msg.op < 0 ||
+          static_cast<size_t>(msg.op) >= plan_.ops.size()) {
+        Abort(Status::InvalidArgument(
+            StrCat("bad milestone frame from worker ", w)));
+        return;
+      }
+      std::vector<int> ready =
+          controller_.OnInstanceMilestone(msg.op, msg.instance, msg.milestone);
+      if (!ready.empty()) DispatchGroups(ready);
+      if (state_ == State::kRunning && controller_.AllOpsComplete()) {
+        state_ = State::kFinishing;
+        for (WorkerProc& each : workers_) {
+          if (!each.closed) each.chan->QueueFrame(FrameType::kFinish, {});
+        }
+      }
+      return;
+    }
+    case FrameType::kSummary: {
+      WireReader reader(frame.payload);
+      SummaryMsg msg;
+      Status decoded = DecodeSummary(&reader, &msg);
+      if (!decoded.ok()) {
+        Abort(std::move(decoded));
+        return;
+      }
+      // Cardinality and the row-hash checksum are sums mod 2^64, so the
+      // per-worker partial summaries add up to the query's.
+      summary_.cardinality += msg.cardinality;
+      summary_.checksum += msg.checksum;
+      return;
+    }
+    case FrameType::kResultRows: {
+      if (!materialized_.has_value()) {
+        Abort(Status::InvalidArgument(
+            StrCat("unexpected result rows from worker ", w,
+                   " (materialization is off)")));
+        return;
+      }
+      WireReader reader(frame.payload);
+      TupleBatch batch(result_schema_);
+      Status decoded = ReadBatchWire(&reader, registry_, &batch);
+      if (!decoded.ok()) {
+        Abort(std::move(decoded));
+        return;
+      }
+      materialized_->AppendRows(batch.raw_data(), batch.num_tuples());
+      return;
+    }
+    case FrameType::kOpStats: {
+      WireReader reader(frame.payload);
+      OpStatsMsg msg;
+      Status decoded = DecodeOpStats(&reader, &msg);
+      if (!decoded.ok() || msg.op < 0 ||
+          static_cast<size_t>(msg.op) >= per_op_.size()) {
+        Abort(Status::InvalidArgument(
+            StrCat("bad op-stats frame from worker ", w)));
+        return;
+      }
+      ThreadOpStats& agg = per_op_[static_cast<size_t>(msg.op)];
+      agg.instances += msg.instances;
+      agg.metrics.MergeFrom(msg.metrics);
+      return;
+    }
+    case FrameType::kNetStats: {
+      WireReader reader(frame.payload);
+      WorkerRunStats stats;
+      Status decoded = DecodeWorkerRunStats(&reader, &stats);
+      if (!decoded.ok()) {
+        Abort(std::move(decoded));
+        return;
+      }
+      worker_stats_.push_back(stats);
+      return;
+    }
+    case FrameType::kTraceEvents: {
+      WireReader reader(frame.payload);
+      std::vector<WireTraceEvent> events;
+      Status decoded = DecodeTraceEvents(&reader, &events);
+      if (!decoded.ok()) {
+        Abort(std::move(decoded));
+        return;
+      }
+      if (trace_ != nullptr) {
+        for (const WireTraceEvent& e : events) {
+          if (e.node < plan_.num_processors) {
+            trace_->Record(e.node, e.start_ns, e.end_ns, e.type, e.op_id);
+          }
+        }
+      }
+      return;
+    }
+    case FrameType::kError: {
+      WireReader reader(frame.payload);
+      Status worker_status = Status::OK();
+      Status decoded = DecodeStatusPayload(&reader, &worker_status);
+      if (!decoded.ok()) {
+        Abort(Status::Internal(
+            StrCat("worker ", w, " sent an undecodable error frame")));
+        return;
+      }
+      Abort(std::move(worker_status));
+      return;
+    }
+    case FrameType::kBye:
+      if (!worker.bye_received) {
+        worker.bye_received = true;
+        if (++byes_received_ == num_workers_ && state_ == State::kFinishing) {
+          state_ = State::kDone;
+        }
+      }
+      return;
+    default:
+      Abort(Status::InvalidArgument(
+          StrCat("coordinator received unexpected ",
+                 FrameTypeName(frame.type), " frame from worker ", w)));
+      return;
+  }
+}
+
+void Coordinator::PollOnce(int timeout_ms) {
+  // Flush first: queued frames (triggers, routed data, finish requests)
+  // should hit the sockets before we sleep in poll.
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    WorkerProc& worker = workers_[w];
+    if (worker.closed) continue;
+    Status flushed = worker.chan->Flush();
+    if (!flushed.ok()) HandleWorkerGone(w, flushed);
+  }
+  if (aborted_) return;
+
+  std::vector<struct pollfd> fds;
+  std::vector<uint32_t> fd_worker;
+  fds.reserve(num_workers_);
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    WorkerProc& worker = workers_[w];
+    if (worker.closed) continue;
+    struct pollfd pfd;
+    pfd.fd = worker.chan->fd();
+    pfd.events = static_cast<short>(
+        POLLIN | (worker.chan->has_pending_output() ? POLLOUT : 0));
+    pfd.revents = 0;
+    fds.push_back(pfd);
+    fd_worker.push_back(w);
+  }
+  if (fds.empty()) return;
+  int rc = poll(fds.data(), fds.size(), timeout_ms);
+  if (rc < 0 && errno != EINTR) {
+    Abort(Status::Internal(StrCat("coordinator poll failed: ",
+                                  strerror(errno))));
+    return;
+  }
+  if (rc <= 0) return;
+
+  for (size_t i = 0; i < fds.size(); ++i) {
+    if (fds[i].revents == 0) continue;
+    uint32_t w = fd_worker[i];
+    WorkerProc& worker = workers_[w];
+    if (worker.closed) continue;
+    bool peer_closed = false;
+    Status read = worker.chan->ReadAvailable(&peer_closed);
+    if (!read.ok()) {
+      HandleWorkerGone(w, read);
+      continue;
+    }
+    Frame frame;
+    while (!aborted_ && worker.chan->NextFrame(&frame)) {
+      HandleFrame(w, std::move(frame));
+    }
+    if (peer_closed && state_ != State::kDone) {
+      HandleWorkerGone(w, Status::Unavailable("end of stream"));
+    }
+  }
+}
+
+void Coordinator::ReapWorker(WorkerProc* w, bool force_kill) {
+  if (w->pid <= 0 || w->reaped) return;
+  if (force_kill) kill(w->pid, SIGKILL);
+  int wstatus = 0;
+  // Bounded patience for the graceful path: a worker that has not exited
+  // within ~5 s of its kShutdown gets the abort treatment. The killed
+  // waitpid below is unconditional, so no path leaves a zombie.
+  if (!force_kill) {
+    for (int spin = 0; spin < 500; ++spin) {
+      pid_t got = waitpid(w->pid, &wstatus, WNOHANG);
+      if (got == w->pid || got < 0) {
+        w->reaped = true;
+        return;
+      }
+      struct pollfd none;
+      none.fd = -1;
+      none.events = 0;
+      none.revents = 0;
+      poll(&none, 1, 10);  // portable 10 ms sleep
+    }
+    kill(w->pid, SIGKILL);
+  }
+  waitpid(w->pid, &wstatus, 0);
+  w->reaped = true;
+}
+
+void Coordinator::ShutdownFleet() {
+  for (WorkerProc& w : workers_) {
+    if (!w.closed) w.chan->QueueFrame(FrameType::kShutdown, {});
+  }
+  // Drain the shutdown frames (tiny; one flush round normally suffices).
+  auto flush_deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    bool pending = false;
+    for (uint32_t w = 0; w < num_workers_; ++w) {
+      WorkerProc& worker = workers_[w];
+      if (worker.closed) continue;
+      Status flushed = worker.chan->Flush();
+      if (!flushed.ok()) {
+        worker.closed = true;
+        worker.chan->Close();
+        continue;
+      }
+      if (worker.chan->has_pending_output()) pending = true;
+    }
+    if (!pending || std::chrono::steady_clock::now() >= flush_deadline) break;
+    struct pollfd none;
+    none.fd = -1;
+    none.events = 0;
+    none.revents = 0;
+    poll(&none, 1, 5);
+  }
+  for (WorkerProc& w : workers_) {
+    ReapWorker(&w, /*force_kill=*/false);
+    if (!w.closed) {
+      w.closed = true;
+      w.chan->Close();
+    }
+  }
+}
+
+void Coordinator::KillFleet() {
+  for (WorkerProc& w : workers_) {
+    ReapWorker(&w, /*force_kill=*/true);
+    if (w.chan != nullptr && !w.closed) {
+      w.closed = true;
+      w.chan->Close();
+    }
+  }
+}
+
+ThreadExecStats Coordinator::GatherStats() const {
+  ThreadExecStats stats;
+  for (const WorkerRunStats& w : worker_stats_) {
+    // A remote send and a local hand-off are both "a batch posted to a
+    // consumer" in the thread backend's vocabulary.
+    stats.batches_sent += w.data_frames_sent + w.local_deliveries;
+    stats.batches_processed += w.batches_processed;
+    stats.batches_dropped += w.batches_dropped;
+    stats.batches_duplicated += w.batches_duplicated;
+    stats.batch_buffers_allocated += w.buffers_allocated;
+    stats.batch_buffers_reused += w.buffers_reused;
+    stats.peak_memory_bytes += w.peak_memory_bytes;
+  }
+  stats.peak_queue_depth = net_.peak_held_frames;
+  if (exec_.collect_metrics) stats.per_op = per_op_;
+  return stats;
+}
+
+void Coordinator::GatherNetStats() {
+  net_.num_workers = num_workers_;
+  for (const WorkerProc& w : workers_) {
+    if (w.chan == nullptr) continue;
+    const ChannelStats& ch = w.chan->stats();
+    net_.bytes_sent += ch.bytes_sent;
+    net_.bytes_received += ch.bytes_received;
+    net_.frames_sent += ch.frames_sent;
+    net_.frames_received += ch.frames_received;
+  }
+  for (const WorkerRunStats& w : worker_stats_) {
+    net_.local_deliveries += w.local_deliveries;
+    net_.pump_stalls += w.pump_stalls;
+    net_.faults_injected += w.faults_injected;
+    net_.serialize_seconds += w.serialize_seconds;
+    net_.deserialize_seconds += w.deserialize_seconds;
+  }
+}
+
+/// Publishes run counters mirroring the thread backend's names under the
+/// "process." prefix, plus the wire-level "net." family.
+void PublishProcessMetrics(const ThreadExecStats& stats,
+                           const ProcessNetStats& net, double wall_seconds,
+                           MetricsRegistry* registry) {
+  registry->counter("process.batches_sent")->Add(stats.batches_sent);
+  registry->counter("process.batches_processed")
+      ->Add(stats.batches_processed);
+  registry->counter("process.batches_dropped")->Add(stats.batches_dropped);
+  registry->counter("process.batches_duplicated")
+      ->Add(stats.batches_duplicated);
+  registry->counter("process.batch_buffers_allocated")
+      ->Add(stats.batch_buffers_allocated);
+  registry->counter("process.batch_buffers_reused")
+      ->Add(stats.batch_buffers_reused);
+  registry->gauge("process.peak_memory_bytes")
+      ->Set(static_cast<int64_t>(stats.peak_memory_bytes));
+  registry->histogram("process.wall_seconds")->Observe(wall_seconds);
+  Histogram* batch_hist = registry->histogram("process.batch_seconds");
+  uint64_t rows_out = 0;
+  for (const ThreadOpStats& per_op : stats.per_op) {
+    for (double sample : per_op.metrics.batch_seconds.values()) {
+      batch_hist->Observe(sample);
+    }
+    rows_out += per_op.metrics.rows_out;
+  }
+  registry->counter("process.rows_emitted")->Add(rows_out);
+
+  registry->counter("net.bytes_sent")->Add(net.bytes_sent);
+  registry->counter("net.bytes_received")->Add(net.bytes_received);
+  registry->counter("net.frames_sent")->Add(net.frames_sent);
+  registry->counter("net.frames_received")->Add(net.frames_received);
+  registry->counter("net.data_frames_routed")->Add(net.data_frames_routed);
+  registry->counter("net.credit_stalls")->Add(net.credit_stalls);
+  registry->counter("net.local_deliveries")->Add(net.local_deliveries);
+  registry->counter("net.pump_stalls")->Add(net.pump_stalls);
+  registry->counter("net.faults_injected")->Add(net.faults_injected);
+  registry->gauge("net.peak_held_frames")
+      ->Set(static_cast<int64_t>(net.peak_held_frames));
+  registry->histogram("net.serialize_seconds")->Observe(net.serialize_seconds);
+  registry->histogram("net.deserialize_seconds")
+      ->Observe(net.deserialize_seconds);
+}
+
+StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
+                                              ProcessNetStats* net_out) {
+  auto start = std::chrono::steady_clock::now();
+  trace_origin_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         start.time_since_epoch())
+                         .count();
+  if (exec_.deadline.has_value()) {
+    has_deadline_ = true;
+    deadline_point_ = start + *exec_.deadline;
+  }
+  if (exec_.record_trace) {
+    std::vector<ThreadTraceOpInfo> infos;
+    infos.reserve(plan_.ops.size());
+    for (const XraOp& o : plan_.ops) {
+      infos.push_back(ThreadTraceOpInfo{o.label, o.trace_label});
+    }
+    trace_ = std::make_shared<ThreadTraceRecorder>(plan_.num_processors,
+                                                   std::move(infos));
+    trace_->SetOrigin(start);
+  }
+  if (exec_.collect_metrics) {
+    per_op_.reserve(plan_.ops.size());
+    for (const XraOp& o : plan_.ops) {
+      ThreadOpStats agg;
+      agg.op_id = o.id;
+      agg.name = o.label;
+      agg.kind = XraOpKindName(o.kind);
+      agg.trace_label = o.trace_label;
+      per_op_.push_back(std::move(agg));
+    }
+  }
+  if (exec_.materialize_result) {
+    for (const XraOp& o : plan_.ops) {
+      if (o.store_result == plan_.final_result) {
+        materialized_.emplace(*o.output_schema);
+        result_schema_ = o.output_schema;
+      }
+    }
+  }
+
+  plan_text_ = SerializePlan(plan_);
+  plan_hash_ = FnvHash64(plan_text_);
+
+  MJOIN_RETURN_IF_ERROR(SpawnFleet());
+  MJOIN_RETURN_IF_ERROR(ShipPlans());
+  MJOIN_RETURN_IF_ERROR(ShipFragments());
+  if (CheckRuntime()) {
+    DispatchGroups(controller_.TakeInitialGroups());
+  }
+
+  while (state_ != State::kDone) {
+    if (!CheckRuntime()) break;
+    PollOnce(/*timeout_ms=*/20);
+    if (aborted_) break;
+  }
+  auto end = std::chrono::steady_clock::now();
+
+  if (aborted_) {
+    KillFleet();
+  } else {
+    ShutdownFleet();
+  }
+
+  GatherNetStats();
+  ThreadExecStats stats = GatherStats();
+  if (stats_out != nullptr) *stats_out = stats;
+  if (net_out != nullptr) *net_out = net_;
+
+  double wall_seconds = std::chrono::duration<double>(end - start).count();
+  // Published on the abort path too: partial progress is diagnosable.
+  if (exec_.metrics_registry != nullptr) {
+    PublishProcessMetrics(stats, net_, wall_seconds, exec_.metrics_registry);
+  }
+
+  if (aborted_) return abort_status_;
+
+  ProcessQueryResult result;
+  result.exec.wall_seconds = wall_seconds;
+  result.exec.result =
+      ResultSummary{summary_.cardinality, summary_.checksum};
+  if (materialized_.has_value()) {
+    result.exec.materialized = std::move(materialized_);
+  }
+  result.exec.stats = std::move(stats);
+  if (trace_ != nullptr) {
+    auto makespan_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start)
+            .count();
+    result.exec.utilization = trace_->Utilization(makespan_ns);
+    result.exec.utilization_diagram =
+        trace_->RenderAscii(makespan_ns, exec_.trace_width);
+    result.exec.trace = trace_;
+  }
+  result.net = net_;
+  return result;
+}
+
+}  // namespace
+
+std::string RenderProcessNetStats(const ProcessNetStats& net) {
+  TablePrinter table({"net metric", "value"});
+  table.AddRow({"workers", StrCat(net.num_workers)});
+  table.AddRow({"bytes sent", FormatBytes(net.bytes_sent)});
+  table.AddRow({"bytes received", FormatBytes(net.bytes_received)});
+  table.AddRow({"frames sent", StrCat(net.frames_sent)});
+  table.AddRow({"frames received", StrCat(net.frames_received)});
+  table.AddRow({"data frames routed", StrCat(net.data_frames_routed)});
+  table.AddRow({"local deliveries", StrCat(net.local_deliveries)});
+  table.AddRow({"credit stalls", StrCat(net.credit_stalls)});
+  table.AddRow({"peak held frames", StrCat(net.peak_held_frames)});
+  table.AddRow({"pump stalls", StrCat(net.pump_stalls)});
+  table.AddRow({"faults injected", StrCat(net.faults_injected)});
+  table.AddRow({"serialize [s]", FormatDouble(net.serialize_seconds, 4)});
+  table.AddRow({"deserialize [s]", FormatDouble(net.deserialize_seconds, 4)});
+  return table.ToString();
+}
+
+ProcessExecutor::ProcessExecutor(const Database* database)
+    : database_(database) {}
+
+StatusOr<ProcessQueryResult> ProcessExecutor::Execute(
+    const ParallelPlan& plan, const ProcessExecOptions& options,
+    ThreadExecStats* stats_out, ProcessNetStats* net_out) const {
+  if (options.exec.batch_size == 0) {
+    return Status::InvalidArgument(
+        "ProcessExecOptions::exec.batch_size must be positive");
+  }
+  if (options.exec.deadline.has_value() &&
+      options.exec.deadline->count() <= 0) {
+    return Status::InvalidArgument(
+        "ProcessExecOptions::exec.deadline must be positive when set");
+  }
+  MJOIN_RETURN_IF_ERROR(plan.Validate());
+  uint32_t num_workers =
+      options.num_workers == 0 ? plan.num_processors : options.num_workers;
+  num_workers = std::clamp<uint32_t>(num_workers, 1, plan.num_processors);
+  Coordinator coordinator(plan, *database_, options, num_workers);
+  return coordinator.Run(stats_out, net_out);
+}
+
+}  // namespace mjoin

@@ -1,0 +1,119 @@
+#ifndef MJOIN_ENGINE_PROCESS_EXECUTOR_H_
+#define MJOIN_ENGINE_PROCESS_EXECUTOR_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+
+#include "engine/thread_executor.h"
+
+namespace mjoin {
+
+/// Knobs of one process-backed execution. The shared execution knobs
+/// (batch size, backpressure bound, budget, deadline, cancellation, fault
+/// injector, observability) are the thread backend's, reinterpreted for a
+/// process fleet:
+///
+///   - max_queued_batches becomes the coordinator's credit window per
+///     worker: at most this many routed data frames are un-acknowledged at
+///     one worker (0 = unbounded);
+///   - memory_budget_bytes applies *per worker process* — a shared-nothing
+///     node meters its own memory, so the query-wide ceiling is the value
+///     times the number of workers;
+///   - fault_injector's scenario is shipped to every worker in the
+///     handshake and fires at the same FaultPoint hooks as in the thread
+///     backend (worker-side); injected-fault counts come back in the run
+///     stats, not in the coordinator-side injector object;
+///   - deadline and cancellation are enforced by the coordinator: expiry
+///     kills the worker fleet (a worker stuck inside an operator callback
+///     cannot poll a token across a process boundary).
+struct ProcessExecOptions {
+  ThreadExecOptions exec;
+  /// Worker processes to fork; 0 = one per plan processor. Clamped to
+  /// [1, plan.num_processors]. Processors are block-mapped onto workers,
+  /// which keeps colocated producer/consumer pairs process-local.
+  uint32_t num_workers = 0;
+  /// Test hook: observes every forked worker (worker id, pid) right after
+  /// the fork, before any query work. Lets fault tests target a live
+  /// worker with a real signal.
+  std::function<void(uint32_t worker, pid_t pid)> worker_observer;
+};
+
+/// Wire-level counters of one process-backed execution, all measured at
+/// the coordinator or reported by workers in their kNetStats frames.
+struct ProcessNetStats {
+  uint32_t num_workers = 0;
+  /// Coordinator-side socket traffic (both directions, all workers).
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+  /// Worker->worker data frames relayed by the coordinator.
+  uint64_t data_frames_routed = 0;
+  /// Frames that had to wait in a per-destination hold queue because the
+  /// destination's credit window was exhausted.
+  uint64_t credit_stalls = 0;
+  /// Peak depth of any single hold queue.
+  size_t peak_held_frames = 0;
+  /// Batches delivered entirely inside one worker (never serialized).
+  uint64_t local_deliveries = 0;
+  /// Times a worker deferred pumping its sources because its outbox was
+  /// over the watermark.
+  uint64_t pump_stalls = 0;
+  /// Faults actually fired by the per-worker injectors (summed; the
+  /// coordinator-side FaultInjector object never fires in this backend).
+  uint64_t faults_injected = 0;
+  /// Worker-side wire codec time (summed over workers).
+  double serialize_seconds = 0;
+  double deserialize_seconds = 0;
+};
+
+/// Outcome of one process-backed execution: the thread backend's result
+/// shape (so metrics tables, utilization diagrams, and Chrome traces
+/// render unchanged) plus the wire-level counters.
+struct ProcessQueryResult {
+  ThreadQueryResult exec;
+  ProcessNetStats net;
+};
+
+/// Renders the net counters as a small fixed-width table.
+std::string RenderProcessNetStats(const ProcessNetStats& net);
+
+/// Executes parallel plans on a fleet of worker *processes* — the
+/// shared-nothing backend. Where the thread backend substitutes one thread
+/// per simulated processor, this backend forks one single-threaded worker
+/// process per group of processors and exchanges tuple batches as
+/// wire-format frames over Unix-domain socketpairs, routed through the
+/// coordinator (a star topology, like PRISMA/DB's communication
+/// processor). Nothing is shared post-fork: workers receive the plan as
+/// textual XRA, re-hydrate their operators from it, and hold only their
+/// own fragments.
+///
+/// Failure model: a worker that dies mid-query (crash, OOM kill, kill -9)
+/// is detected by its socket closing; the query aborts with
+/// StatusCode::kUnavailable, the remaining fleet is killed, and every
+/// child is reaped — Execute() never leaks a process or a descriptor.
+class ProcessExecutor {
+ public:
+  /// `database` must outlive the executor.
+  explicit ProcessExecutor(const Database* database);
+
+  /// Runs `plan` on a freshly forked worker fleet. On failure the status
+  /// is the root cause (kUnavailable for a dead worker, the worker's own
+  /// status for worker-side errors, Cancelled/DeadlineExceeded from the
+  /// coordinator) and the out-parameters, when non-null, receive the
+  /// partial counters known to the coordinator at the abort.
+  StatusOr<ProcessQueryResult> Execute(const ParallelPlan& plan,
+                                       const ProcessExecOptions& options,
+                                       ThreadExecStats* stats_out = nullptr,
+                                       ProcessNetStats* net_out = nullptr)
+      const;
+
+ private:
+  const Database* database_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_ENGINE_PROCESS_EXECUTOR_H_

@@ -1,0 +1,276 @@
+#include "engine/process_protocol.h"
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+namespace {
+
+void PutBool(std::vector<std::byte>* out, bool v) { PutU8(out, v ? 1 : 0); }
+
+Status ReadBool(WireReader* reader, bool* v) {
+  uint8_t raw;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU8(&raw));
+  *v = raw != 0;
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out) {
+  PutU32(out, env.protocol_version);
+  PutU32(out, env.worker_id);
+  PutU32(out, env.num_workers);
+  PutU32(out, env.batch_size);
+  PutBool(out, env.materialize_result);
+  PutU64(out, env.max_queued_batches);
+  PutU64(out, env.memory_budget_bytes);
+  PutBool(out, env.collect_metrics);
+  PutBool(out, env.record_trace);
+  PutI64(out, env.trace_origin_ns);
+  PutString(out, env.fault_scenario);
+  PutString(out, env.plan_text);
+}
+
+Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->protocol_version));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->worker_id));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->num_workers));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->batch_size));
+  MJOIN_RETURN_IF_ERROR(ReadBool(reader, &env->materialize_result));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&env->max_queued_batches));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&env->memory_budget_bytes));
+  MJOIN_RETURN_IF_ERROR(ReadBool(reader, &env->collect_metrics));
+  MJOIN_RETURN_IF_ERROR(ReadBool(reader, &env->record_trace));
+  MJOIN_RETURN_IF_ERROR(reader->ReadI64(&env->trace_origin_ns));
+  MJOIN_RETURN_IF_ERROR(reader->ReadString(&env->fault_scenario));
+  MJOIN_RETURN_IF_ERROR(reader->ReadString(&env->plan_text));
+  return Status::OK();
+}
+
+void EncodeHello(const HelloMsg& msg, std::vector<std::byte>* out) {
+  PutU32(out, msg.protocol_version);
+  PutU64(out, msg.plan_hash);
+}
+
+Status DecodeHello(WireReader* reader, HelloMsg* msg) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&msg->protocol_version));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&msg->plan_hash));
+  return Status::OK();
+}
+
+void EncodeRouteHeader(const RouteHeader& route, std::vector<std::byte>* out) {
+  PutI32(out, route.consumer_op);
+  PutU32(out, route.dest_index);
+  PutU8(out, route.port);
+}
+
+Status DecodeRouteHeader(WireReader* reader, RouteHeader* route) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadI32(&route->consumer_op));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&route->dest_index));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU8(&route->port));
+  if (route->port > 1) {
+    return Status::InvalidArgument(
+        StrCat("route header names input port ", route->port));
+  }
+  return Status::OK();
+}
+
+void EncodeFragmentHeader(const FragmentHeader& header,
+                          std::vector<std::byte>* out) {
+  PutI32(out, header.op);
+  PutU32(out, header.instance);
+}
+
+Status DecodeFragmentHeader(WireReader* reader, FragmentHeader* header) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadI32(&header->op));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&header->instance));
+  return Status::OK();
+}
+
+void EncodeMilestone(const MilestoneMsg& msg, std::vector<std::byte>* out) {
+  PutI32(out, msg.op);
+  PutU32(out, msg.instance);
+  PutU8(out, static_cast<uint8_t>(msg.milestone));
+}
+
+Status DecodeMilestone(WireReader* reader, MilestoneMsg* msg) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadI32(&msg->op));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&msg->instance));
+  uint8_t raw;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU8(&raw));
+  if (raw > static_cast<uint8_t>(Milestone::kBuildDone)) {
+    return Status::InvalidArgument(StrCat("unknown milestone code ", raw));
+  }
+  msg->milestone = static_cast<Milestone>(raw);
+  return Status::OK();
+}
+
+void EncodeSummary(const SummaryMsg& msg, std::vector<std::byte>* out) {
+  PutU64(out, msg.cardinality);
+  PutU64(out, msg.checksum);
+}
+
+Status DecodeSummary(WireReader* reader, SummaryMsg* msg) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&msg->cardinality));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&msg->checksum));
+  return Status::OK();
+}
+
+void EncodeOpStats(const OpStatsMsg& msg, std::vector<std::byte>* out) {
+  PutI32(out, msg.op);
+  PutU32(out, msg.instances);
+  const OpMetrics& m = msg.metrics;
+  for (int port = 0; port < 2; ++port) {
+    PutU64(out, m.rows_in[port]);
+    PutU64(out, m.batches_in[port]);
+  }
+  PutU64(out, m.rows_out);
+  PutF64(out, m.build_seconds);
+  PutF64(out, m.probe_seconds);
+  PutF64(out, m.pipeline_seconds);
+  PutF64(out, m.scan_seconds);
+  PutF64(out, m.emit_seconds);
+  PutF64(out, m.other_seconds);
+  PutU64(out, m.hash_table_rows);
+  PutU64(out, m.hash_collisions);
+  PutU64(out, m.peak_memory_bytes);
+  const std::vector<double>& samples = m.batch_seconds.values();
+  PutU32(out, static_cast<uint32_t>(samples.size()));
+  for (double sample : samples) PutF64(out, sample);
+}
+
+Status DecodeOpStats(WireReader* reader, OpStatsMsg* msg) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadI32(&msg->op));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&msg->instances));
+  OpMetrics& m = msg->metrics;
+  for (int port = 0; port < 2; ++port) {
+    MJOIN_RETURN_IF_ERROR(reader->ReadU64(&m.rows_in[port]));
+    MJOIN_RETURN_IF_ERROR(reader->ReadU64(&m.batches_in[port]));
+  }
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&m.rows_out));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&m.build_seconds));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&m.probe_seconds));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&m.pipeline_seconds));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&m.scan_seconds));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&m.emit_seconds));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&m.other_seconds));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&m.hash_table_rows));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&m.hash_collisions));
+  uint64_t peak;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&peak));
+  m.peak_memory_bytes = static_cast<size_t>(peak);
+  uint32_t num_samples;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&num_samples));
+  if (static_cast<size_t>(num_samples) * 8 > reader->remaining()) {
+    return Status::OutOfRange(
+        StrCat("op stats claim ", num_samples, " latency samples but only ",
+               reader->remaining(), " bytes remain"));
+  }
+  for (uint32_t i = 0; i < num_samples; ++i) {
+    double sample;
+    MJOIN_RETURN_IF_ERROR(reader->ReadF64(&sample));
+    m.batch_seconds.Add(sample);
+  }
+  return Status::OK();
+}
+
+void EncodeWorkerRunStats(const WorkerRunStats& stats,
+                          std::vector<std::byte>* out) {
+  PutU64(out, stats.data_frames_sent);
+  PutU64(out, stats.local_deliveries);
+  PutU64(out, stats.batches_processed);
+  PutU64(out, stats.batches_dropped);
+  PutU64(out, stats.batches_duplicated);
+  PutU64(out, stats.pump_stalls);
+  PutU64(out, stats.buffers_allocated);
+  PutU64(out, stats.buffers_reused);
+  PutU64(out, stats.faults_injected);
+  PutU64(out, stats.peak_memory_bytes);
+  PutF64(out, stats.serialize_seconds);
+  PutF64(out, stats.deserialize_seconds);
+}
+
+Status DecodeWorkerRunStats(WireReader* reader, WorkerRunStats* stats) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->data_frames_sent));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->local_deliveries));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->batches_processed));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->batches_dropped));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->batches_duplicated));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->pump_stalls));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->buffers_allocated));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->buffers_reused));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->faults_injected));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->peak_memory_bytes));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&stats->serialize_seconds));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&stats->deserialize_seconds));
+  return Status::OK();
+}
+
+void EncodeTraceEvents(const std::vector<WireTraceEvent>& events,
+                       std::vector<std::byte>* out) {
+  PutU32(out, static_cast<uint32_t>(events.size()));
+  for (const WireTraceEvent& ev : events) {
+    PutU32(out, ev.node);
+    PutI64(out, ev.start_ns);
+    PutI64(out, ev.end_ns);
+    PutU8(out, static_cast<uint8_t>(ev.type));
+    PutI32(out, ev.op_id);
+  }
+}
+
+Status DecodeTraceEvents(WireReader* reader,
+                         std::vector<WireTraceEvent>* events) {
+  uint32_t count;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&count));
+  constexpr size_t kEventWireBytes = 4 + 8 + 8 + 1 + 4;
+  if (static_cast<size_t>(count) * kEventWireBytes > reader->remaining()) {
+    return Status::OutOfRange(
+        StrCat("trace payload claims ", count, " events but only ",
+               reader->remaining(), " bytes remain"));
+  }
+  events->reserve(events->size() + count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireTraceEvent ev;
+    MJOIN_RETURN_IF_ERROR(reader->ReadU32(&ev.node));
+    MJOIN_RETURN_IF_ERROR(reader->ReadI64(&ev.start_ns));
+    MJOIN_RETURN_IF_ERROR(reader->ReadI64(&ev.end_ns));
+    uint8_t raw;
+    MJOIN_RETURN_IF_ERROR(reader->ReadU8(&raw));
+    if (raw > static_cast<uint8_t>(ThreadWorkType::kOther)) {
+      return Status::InvalidArgument(StrCat("unknown work type code ", raw));
+    }
+    ev.type = static_cast<ThreadWorkType>(raw);
+    MJOIN_RETURN_IF_ERROR(reader->ReadI32(&ev.op_id));
+    events->push_back(ev);
+  }
+  return Status::OK();
+}
+
+void EncodeStatusPayload(const Status& status, std::vector<std::byte>* out) {
+  PutI32(out, static_cast<int32_t>(status.code()));
+  PutString(out, status.message());
+}
+
+Status DecodeStatusPayload(WireReader* reader, Status* status) {
+  int32_t code;
+  std::string message;
+  MJOIN_RETURN_IF_ERROR(reader->ReadI32(&code));
+  MJOIN_RETURN_IF_ERROR(reader->ReadString(&message));
+  if (code < 0 || code > static_cast<int32_t>(StatusCode::kUnavailable)) {
+    return Status::InvalidArgument(StrCat("unknown status code ", code));
+  }
+  *status = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+uint64_t FnvHash64(const std::string& text) {
+  uint64_t hash = 0xCBF2'9CE4'8422'2325ull;
+  for (char c : text) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x0000'0100'0000'01B3ull;
+  }
+  return hash;
+}
+
+}  // namespace mjoin

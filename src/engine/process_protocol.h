@@ -1,0 +1,172 @@
+#ifndef MJOIN_ENGINE_PROCESS_PROTOCOL_H_
+#define MJOIN_ENGINE_PROCESS_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/thread_trace.h"
+#include "exec/operator.h"
+#include "net/wire.h"
+#include "xra/plan.h"
+
+namespace mjoin {
+
+/// Payload codecs of the process backend's frame protocol (net/wire.h
+/// defines the frames themselves). Both ends — ProcessExecutor in the
+/// coordinator and RunProcessWorker in each worker — include this header,
+/// so an encoding change cannot leave the two out of sync.
+
+/// kPlan: everything a worker needs to run its share of a query. The plan
+/// itself travels as textual XRA (xra/text.h) — the same serialization a
+/// cluster deployment would ship — and the worker echoes a hash of its
+/// re-serialized parse in kHello, making every query a round-trip test of
+/// the plan format.
+struct PlanEnvelope {
+  uint32_t protocol_version = kNetProtocolVersion;
+  uint32_t worker_id = 0;
+  uint32_t num_workers = 1;
+  uint32_t batch_size = 256;
+  bool materialize_result = false;
+  uint64_t max_queued_batches = 0;
+  /// Applied verbatim in each worker: a shared-nothing node budgets its
+  /// own memory, so the effective query-wide budget is num_workers times
+  /// this value.
+  uint64_t memory_budget_bytes = 0;
+  bool collect_metrics = true;
+  bool record_trace = false;
+  /// The coordinator's trace origin (steady_clock time-since-epoch, ns).
+  /// CLOCK_MONOTONIC is process-agnostic on Linux, so workers timestamp
+  /// their trace events against the coordinator's t=0 directly.
+  int64_t trace_origin_ns = 0;
+  /// SerializeFaultScenario text; empty = no injection.
+  std::string fault_scenario;
+  std::string plan_text;
+};
+
+void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out);
+Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env);
+
+/// kHello.
+struct HelloMsg {
+  uint32_t protocol_version = 0;
+  /// FNV-1a over SerializePlan(worker's parsed plan).
+  uint64_t plan_hash = 0;
+};
+
+void EncodeHello(const HelloMsg& msg, std::vector<std::byte>* out);
+Status DecodeHello(WireReader* reader, HelloMsg* msg);
+
+/// Routing header of kData / kEos (the batch wire bytes follow for kData).
+struct RouteHeader {
+  int32_t consumer_op = -1;
+  uint32_t dest_index = 0;
+  uint8_t port = 0;
+};
+
+void EncodeRouteHeader(const RouteHeader& route, std::vector<std::byte>* out);
+Status DecodeRouteHeader(WireReader* reader, RouteHeader* route);
+
+/// kFragment header (batch wire bytes follow).
+struct FragmentHeader {
+  int32_t op = -1;
+  uint32_t instance = 0;
+};
+
+void EncodeFragmentHeader(const FragmentHeader& header,
+                          std::vector<std::byte>* out);
+Status DecodeFragmentHeader(WireReader* reader, FragmentHeader* header);
+
+/// kMilestone.
+struct MilestoneMsg {
+  int32_t op = -1;
+  uint32_t instance = 0;
+  Milestone milestone = Milestone::kComplete;
+};
+
+void EncodeMilestone(const MilestoneMsg& msg, std::vector<std::byte>* out);
+Status DecodeMilestone(WireReader* reader, MilestoneMsg* msg);
+
+/// kSummary.
+struct SummaryMsg {
+  uint64_t cardinality = 0;
+  uint64_t checksum = 0;
+};
+
+void EncodeSummary(const SummaryMsg& msg, std::vector<std::byte>* out);
+Status DecodeSummary(WireReader* reader, SummaryMsg* msg);
+
+/// kOpStats: one op's metrics merged over the sending worker's hosted
+/// instances (the coordinator further merges across workers).
+struct OpStatsMsg {
+  int32_t op = -1;
+  uint32_t instances = 0;
+  OpMetrics metrics;
+};
+
+void EncodeOpStats(const OpStatsMsg& msg, std::vector<std::byte>* out);
+Status DecodeOpStats(WireReader* reader, OpStatsMsg* msg);
+
+/// kNetStats: one worker's run-level counters.
+struct WorkerRunStats {
+  /// Remote data frames shipped to the coordinator for routing.
+  uint64_t data_frames_sent = 0;
+  /// Batches handed directly to a consumer instance on the same worker
+  /// (never serialized — the process analogue of a same-node send).
+  uint64_t local_deliveries = 0;
+  /// Batches consumed by operators (remote + local).
+  uint64_t batches_processed = 0;
+  uint64_t batches_dropped = 0;
+  uint64_t batches_duplicated = 0;
+  /// Times the source pump deferred because the outbox was over the
+  /// watermark (the worker-side half of flow control).
+  uint64_t pump_stalls = 0;
+  uint64_t buffers_allocated = 0;
+  uint64_t buffers_reused = 0;
+  uint64_t faults_injected = 0;
+  uint64_t peak_memory_bytes = 0;
+  double serialize_seconds = 0;
+  double deserialize_seconds = 0;
+};
+
+void EncodeWorkerRunStats(const WorkerRunStats& stats,
+                          std::vector<std::byte>* out);
+Status DecodeWorkerRunStats(WireReader* reader, WorkerRunStats* stats);
+
+/// kTraceEvents: a worker's recorded busy intervals, timestamped against
+/// the coordinator's origin. `node` is the plan processor (its lane).
+struct WireTraceEvent {
+  uint32_t node = 0;
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  ThreadWorkType type = ThreadWorkType::kOther;
+  int32_t op_id = -1;
+};
+
+void EncodeTraceEvents(const std::vector<WireTraceEvent>& events,
+                       std::vector<std::byte>* out);
+Status DecodeTraceEvents(WireReader* reader,
+                         std::vector<WireTraceEvent>* events);
+
+/// kError: a worker's fatal status, reconstructed coordinator-side.
+void EncodeStatusPayload(const Status& status, std::vector<std::byte>* out);
+Status DecodeStatusPayload(WireReader* reader, Status* status);
+
+/// FNV-1a (64-bit) over arbitrary text; the kHello plan-echo hash.
+uint64_t FnvHash64(const std::string& text);
+
+/// Block placement of plan processors onto worker processes: processor p
+/// lives in worker p*num_workers/num_processors. Contiguous processor
+/// ranges keep kColocated producer/consumer pairs (and stored-result →
+/// rescan pairs, which share a processor list) inside one worker whenever
+/// instance counts allow.
+inline uint32_t WorkerOfProcessor(uint32_t processor, uint32_t num_workers,
+                                  uint32_t num_processors) {
+  return static_cast<uint32_t>(static_cast<uint64_t>(processor) *
+                               num_workers / num_processors);
+}
+
+}  // namespace mjoin
+
+#endif  // MJOIN_ENGINE_PROCESS_PROTOCOL_H_

@@ -1,0 +1,957 @@
+#include "engine/process_worker.h"
+
+#include <errno.h>
+#include <poll.h>
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/memory_budget.h"
+#include "common/string_util.h"
+#include "engine/fault_injector.h"
+#include "engine/process_protocol.h"
+#include "engine/result.h"
+#include "exec/aggregate.h"
+#include "exec/batch.h"
+#include "exec/batch_pool.h"
+#include "exec/emit.h"
+#include "exec/filter.h"
+#include "exec/operator.h"
+#include "exec/pipelining_hash_join.h"
+#include "exec/scan.h"
+#include "exec/simple_hash_join.h"
+#include "exec/sort_merge_join.h"
+#include "net/channel.h"
+#include "xra/text.h"
+
+namespace mjoin {
+
+namespace {
+
+/// Outbound bytes queued at which the worker stops pumping its sources and
+/// lets the socket drain first — the worker-side half of flow control (the
+/// coordinator-side half is the credit window).
+constexpr size_t kOutboxWatermark = 4u << 20;
+
+/// Same work-type mapping as the thread backend (its copies live in an
+/// anonymous namespace); kept byte-identical so the two backends bucket
+/// phase seconds the same way.
+ThreadWorkType ConsumeWorkType(XraOpKind kind, int port) {
+  switch (kind) {
+    case XraOpKind::kSimpleHashJoin:
+      return port == SimpleHashJoinOp::kBuildPort ? ThreadWorkType::kBuild
+                                                  : ThreadWorkType::kProbe;
+    case XraOpKind::kPipeliningHashJoin:
+    case XraOpKind::kFilter:
+      return ThreadWorkType::kPipeline;
+    case XraOpKind::kSortMergeJoin:
+      return ThreadWorkType::kBuild;
+    case XraOpKind::kAggregate:
+      return ThreadWorkType::kBuild;
+    default:
+      return ThreadWorkType::kOther;
+  }
+}
+
+ThreadWorkType InputDoneWorkType(XraOpKind kind, int port) {
+  switch (kind) {
+    case XraOpKind::kSimpleHashJoin:
+      return port == SimpleHashJoinOp::kBuildPort ? ThreadWorkType::kProbe
+                                                  : ThreadWorkType::kOther;
+    case XraOpKind::kSortMergeJoin:
+      return ThreadWorkType::kMerge;
+    case XraOpKind::kAggregate:
+      return ThreadWorkType::kEmit;
+    default:
+      return ThreadWorkType::kOther;
+  }
+}
+
+double* PhaseBucket(OpMetrics* m, ThreadWorkType type) {
+  switch (type) {
+    case ThreadWorkType::kBuild:
+      return &m->build_seconds;
+    case ThreadWorkType::kProbe:
+    case ThreadWorkType::kMerge:
+      return &m->probe_seconds;
+    case ThreadWorkType::kPipeline:
+      return &m->pipeline_seconds;
+    case ThreadWorkType::kScan:
+      return &m->scan_seconds;
+    case ThreadWorkType::kEmit:
+      return &m->emit_seconds;
+    case ThreadWorkType::kSerialize:
+    case ThreadWorkType::kDeserialize:
+    default:
+      return &m->other_seconds;
+  }
+}
+
+class WorkerRun;
+
+/// One hosted operation process. The whole worker is one thread, so the
+/// state needs no locking; output leaves through the same EmitWriter
+/// zero-copy channel the thread backend uses — rows are built in the
+/// pending destination batch and touched again only by the one serializing
+/// copy onto the wire (or not at all for a local consumer).
+class WorkerInstance : public OpContext, public EmitSink {
+ public:
+  WorkerInstance(WorkerRun* run, int op_id, uint32_t index, uint32_t processor)
+      : run_(run), op_id_(op_id), index_(index), processor_(processor) {}
+
+  void Charge(Ticks) override {}
+  void EmitRow(const std::byte* row) override;
+  void EmitRows(const std::byte* rows, size_t count,
+                size_t row_bytes) override;
+  EmitWriter* emit_writer() override {
+    return writer_ready ? &writer : nullptr;
+  }
+  void BatchFull(uint32_t dest) override;
+  const CostParams& costs() const override { return cost_params_; }
+  MemoryBudget* memory_budget() const override;
+  bool cancelled() const override;
+  void ReportError(const Status& status) override;
+  OpMetrics* metrics() const override {
+    return observe_metrics ? &op_metrics : nullptr;
+  }
+
+  WorkerRun* run_;
+  int op_id_;
+  uint32_t index_;
+  uint32_t processor_;
+  std::unique_ptr<Operator> oper;
+
+  mutable OpMetrics op_metrics;
+  bool observe_metrics = false;
+
+  bool started = false;
+  bool complete = false;
+  bool build_done_reported = false;
+  bool pumping = false;
+  int eos_remaining[2] = {0, 0};
+  std::vector<TupleBatch> out_pending;
+  EmitWriter writer;
+  bool writer_ready = false;
+  /// Wire schema id of out_pending's layout (only used on remote sends).
+  uint32_t out_schema_id = 0;
+  std::deque<std::function<void()>> pre_start;
+
+  CostParams cost_params_;
+};
+
+/// Worker-side state of one query: hosted instances, local fragments and
+/// stored results, the frame loop, and the finish-phase reporting.
+class WorkerRun {
+ public:
+  WorkerRun(FrameChannel* chan, PlanEnvelope env, ParallelPlan plan)
+      : chan_(chan),
+        env_(std::move(env)),
+        plan_(std::move(plan)),
+        registry_(plan_),
+        budget_(env_.memory_budget_bytes) {}
+
+  Status Setup();
+  /// Runs the event loop until kShutdown (returns OK) or a fatal error.
+  Status Loop();
+
+  void EmitRowFrom(WorkerInstance* inst, const std::byte* row);
+  void EmitRowsFrom(WorkerInstance* inst, const std::byte* rows, size_t count,
+                    size_t row_bytes);
+  void FlushDest(WorkerInstance* inst, uint32_t dest);
+  MemoryBudget* budget() { return &budget_; }
+  bool aborted() const { return !run_status_.ok(); }
+  void Abort(Status status) {
+    if (run_status_.ok()) run_status_ = std::move(status);
+  }
+
+ private:
+  const XraOp& op(int id) const { return plan_.ops[static_cast<size_t>(id)]; }
+  WorkerInstance* instance(int op, uint32_t index) {
+    return instances_[static_cast<size_t>(op)][index].get();
+  }
+  bool Hosts(uint32_t processor) const {
+    return WorkerOfProcessor(processor, env_.num_workers,
+                             plan_.num_processors) == env_.worker_id;
+  }
+  int64_t NowNs() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+               .count() -
+           env_.trace_origin_ns;
+  }
+  void RecordTrace(uint32_t processor, int64_t t0, int64_t t1,
+                   ThreadWorkType type, int op_id) {
+    if (env_.record_trace && t1 > t0) {
+      trace_events_.push_back(WireTraceEvent{
+          processor, t0, t1, type, static_cast<int32_t>(op_id)});
+    }
+  }
+
+  template <typename Fn>
+  void Observed(WorkerInstance* inst, ThreadWorkType type, Fn&& fn) {
+    if (!observe_) {
+      fn();
+      return;
+    }
+    int64_t t0 = NowNs();
+    fn();
+    int64_t t1 = NowNs();
+    if (env_.collect_metrics) {
+      *PhaseBucket(&inst->op_metrics, type) +=
+          static_cast<double>(t1 - t0) * 1e-9;
+    }
+    RecordTrace(inst->processor_, t0, t1, type, inst->op_id_);
+  }
+
+  Status HandleFrame(const Frame& frame);
+  Status HandleTrigger(const Frame& frame);
+  Status HandleFragment(const Frame& frame);
+  Status HandleData(const Frame& frame);
+  Status HandleEos(const Frame& frame);
+  Status SendFinishReports();
+
+  void TriggerInstance(WorkerInstance* inst);
+  void PumpSources();
+  void OnBatch(WorkerInstance* inst, int port, const TupleBatch& batch);
+  void OnEos(WorkerInstance* inst, int port);
+  void AfterCallback(WorkerInstance* inst);
+  void FinishInstance(WorkerInstance* inst);
+  void SendEosTo(int consumer_op, uint32_t dest, int port);
+  void QueueMilestone(int op_id, uint32_t index, Milestone milestone);
+
+  FrameChannel* chan_;
+  PlanEnvelope env_;
+  ParallelPlan plan_;
+  SchemaRegistry registry_;
+  MemoryBudget budget_;
+  BatchPool pool_;
+  std::unique_ptr<FaultInjector> injector_;
+
+  std::vector<std::vector<std::unique_ptr<WorkerInstance>>> instances_;
+  std::vector<std::vector<Relation>> stored_;
+  std::vector<std::vector<Relation>> scan_fragments_;
+  std::deque<WorkerInstance*> pump_queue_;
+
+  Status run_status_;
+  bool observe_ = false;
+  bool shutdown_ = false;
+  uint32_t credits_ = 0;
+  WorkerRunStats stats_;
+  std::vector<WireTraceEvent> trace_events_;
+};
+
+void WorkerInstance::EmitRow(const std::byte* row) {
+  run_->EmitRowFrom(this, row);
+}
+
+void WorkerInstance::EmitRows(const std::byte* rows, size_t count,
+                              size_t row_bytes) {
+  run_->EmitRowsFrom(this, rows, count, row_bytes);
+}
+
+void WorkerInstance::BatchFull(uint32_t dest) { run_->FlushDest(this, dest); }
+
+MemoryBudget* WorkerInstance::memory_budget() const { return run_->budget(); }
+
+bool WorkerInstance::cancelled() const { return run_->aborted(); }
+
+void WorkerInstance::ReportError(const Status& status) {
+  run_->Abort(status);
+}
+
+Status WorkerRun::Setup() {
+  observe_ = env_.collect_metrics || env_.record_trace;
+  if (!env_.fault_scenario.empty()) {
+    MJOIN_ASSIGN_OR_RETURN(FaultScenario scenario,
+                           ParseFaultScenario(env_.fault_scenario));
+    injector_ = std::make_unique<FaultInjector>(scenario);
+  }
+
+  size_t num_ops = plan_.ops.size();
+  instances_.resize(num_ops);
+  scan_fragments_.resize(num_ops);
+  stored_.resize(static_cast<size_t>(plan_.num_results));
+
+  for (const XraOp& o : plan_.ops) {
+    if (o.store_result >= 0) {
+      auto& frags = stored_[static_cast<size_t>(o.store_result)];
+      for (size_t i = 0; i < o.processors.size(); ++i) {
+        frags.emplace_back(*o.output_schema);
+      }
+    }
+    if (o.kind == XraOpKind::kScan) {
+      auto& frags = scan_fragments_[static_cast<size_t>(o.id)];
+      for (size_t i = 0; i < o.processors.size(); ++i) {
+        frags.emplace_back(*o.output_schema);
+      }
+    }
+  }
+
+  for (const XraOp& o : plan_.ops) {
+    auto& list = instances_[static_cast<size_t>(o.id)];
+    list.resize(o.processors.size());
+    for (uint32_t i = 0; i < o.processors.size(); ++i) {
+      if (!Hosts(o.processors[i])) continue;
+      auto inst =
+          std::make_unique<WorkerInstance>(this, o.id, i, o.processors[i]);
+      inst->cost_params_.batch_size = env_.batch_size;
+      inst->observe_metrics = env_.collect_metrics;
+      switch (o.kind) {
+        case XraOpKind::kScan: {
+          const Relation* frag =
+              &scan_fragments_[static_cast<size_t>(o.id)][i];
+          inst->oper = std::make_unique<ScanOp>([frag] { return frag; },
+                                                o.output_schema);
+          break;
+        }
+        case XraOpKind::kRescan: {
+          const Relation* frag =
+              &stored_[static_cast<size_t>(o.stored_result)][i];
+          inst->oper = std::make_unique<ScanOp>([frag] { return frag; },
+                                                o.output_schema);
+          break;
+        }
+        case XraOpKind::kSimpleHashJoin:
+          inst->oper = std::make_unique<SimpleHashJoinOp>(o.join_spec);
+          break;
+        case XraOpKind::kPipeliningHashJoin:
+          inst->oper = std::make_unique<PipeliningHashJoinOp>(o.join_spec);
+          break;
+        case XraOpKind::kSortMergeJoin:
+          inst->oper = std::make_unique<SortMergeJoinOp>(o.join_spec);
+          break;
+        case XraOpKind::kFilter: {
+          MJOIN_ASSIGN_OR_RETURN(std::unique_ptr<FilterOp> filter,
+                                 FilterOp::Make(o.input_schema, o.filter));
+          inst->oper = std::move(filter);
+          break;
+        }
+        case XraOpKind::kAggregate: {
+          MJOIN_ASSIGN_OR_RETURN(
+              std::unique_ptr<AggregateOp> aggregate,
+              AggregateOp::Make(o.input_schema, o.group_column,
+                                o.value_column));
+          inst->oper = std::move(aggregate);
+          break;
+        }
+      }
+      for (int port = 0; port < inst->oper->num_input_ports(); ++port) {
+        const XraInput& input = o.inputs[port];
+        inst->eos_remaining[port] =
+            input.routing == Routing::kColocated
+                ? 1
+                : static_cast<int>(op(input.producer).processors.size());
+      }
+      if (o.store_result >= 0) {
+        inst->out_pending.emplace_back(o.output_schema);
+        inst->writer.Configure(inst->out_pending.data(), 1,
+                               /*split_column=*/-1, /*fixed_dest=*/0,
+                               env_.batch_size, inst.get());
+        inst->writer_ready = true;
+      } else if (o.consumer >= 0) {
+        const XraOp& consumer = op(o.consumer);
+        const XraInput& input = consumer.inputs[o.consumer_port];
+        for (size_t d = 0; d < consumer.processors.size(); ++d) {
+          inst->out_pending.emplace_back(o.output_schema);
+        }
+        int split_column = input.routing == Routing::kHashSplit
+                               ? static_cast<int>(input.split_key)
+                               : -1;
+        uint32_t fixed_dest = input.routing == Routing::kColocated ? i : 0;
+        inst->writer.Configure(
+            inst->out_pending.data(),
+            static_cast<uint32_t>(consumer.processors.size()), split_column,
+            fixed_dest, env_.batch_size, inst.get());
+        inst->writer_ready = true;
+        MJOIN_ASSIGN_OR_RETURN(inst->out_schema_id,
+                               registry_.IdOf(*o.output_schema));
+      }
+      list[i] = std::move(inst);
+    }
+  }
+  return Status::OK();
+}
+
+void WorkerRun::TriggerInstance(WorkerInstance* inst) {
+  if (aborted()) return;
+  MJOIN_CHECK(!inst->started);
+  inst->started = true;
+  Observed(inst, ThreadWorkType::kStartup,
+           [inst] { inst->oper->Open(inst); });
+  if (inst->oper->is_source()) {
+    inst->pumping = true;
+    pump_queue_.push_back(inst);
+  }
+  while (!inst->pre_start.empty() && !aborted()) {
+    auto fn = std::move(inst->pre_start.front());
+    inst->pre_start.pop_front();
+    fn();
+  }
+}
+
+void WorkerRun::PumpSources() {
+  WorkerInstance* inst = pump_queue_.front();
+  pump_queue_.pop_front();
+  if (inst->complete || aborted()) return;
+  if (injector_ != nullptr) injector_->OnDequeue(inst->processor_);
+  bool more = false;
+  Observed(inst, ThreadWorkType::kScan,
+           [inst, &more] { more = inst->oper->Produce(inst); });
+  if (more) {
+    inst->pumping = true;
+    pump_queue_.push_back(inst);
+  } else {
+    inst->pumping = false;
+    FinishInstance(inst);
+  }
+}
+
+void WorkerRun::EmitRowFrom(WorkerInstance* inst, const std::byte* row) {
+  if (aborted()) return;
+  EmitWriter& writer = inst->writer;
+  int32_t route = 0;
+  if (writer.split_column() >= 0) {
+    TupleRef ref(row, op(inst->op_id_).output_schema.get());
+    route = ref.GetInt32(static_cast<size_t>(writer.split_column()));
+  }
+  writer.Append(row, route);
+}
+
+void WorkerRun::EmitRowsFrom(WorkerInstance* inst, const std::byte* rows,
+                             size_t count, size_t row_bytes) {
+  if (aborted()) return;
+  EmitWriter& writer = inst->writer;
+  const int split = writer.split_column();
+  if (split < 0) {
+    writer.AppendRows(rows, count);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    const std::byte* row = rows + i * row_bytes;
+    TupleRef ref(row, op(inst->op_id_).output_schema.get());
+    writer.Append(row, ref.GetInt32(static_cast<size_t>(split)));
+  }
+}
+
+void WorkerRun::FlushDest(WorkerInstance* inst, uint32_t dest) {
+  TupleBatch& pending = inst->out_pending[dest];
+  if (pending.empty()) return;
+  if (aborted()) {
+    pending.Clear();
+    return;
+  }
+  const XraOp& o = op(inst->op_id_);
+  if (o.store_result >= 0) {
+    Status reserved = budget_.Reserve(pending.byte_size());
+    if (!reserved.ok()) {
+      Abort(std::move(reserved));
+      return;
+    }
+    stored_[static_cast<size_t>(o.store_result)][inst->index_].AppendRows(
+        pending.raw_data(), pending.num_tuples());
+    pending.Clear();
+    return;
+  }
+  int copies = 1;
+  if (injector_ != nullptr) {
+    if (injector_->ShouldDropBatch(o.consumer)) {
+      ++stats_.batches_dropped;
+      pending.Clear();
+      return;
+    }
+    if (injector_->ShouldDuplicateBatch(o.consumer)) {
+      ++stats_.batches_duplicated;
+      copies = 2;
+    }
+  }
+  const XraOp& consumer_op = op(o.consumer);
+  int port = o.consumer_port;
+  if (Hosts(consumer_op.processors[dest])) {
+    // Local consumer: the pending batch is consumed in place — no
+    // serialization, no copy. Only a not-yet-started consumer forces a
+    // pooled buffer swap so the rows survive until its trigger.
+    WorkerInstance* consumer = instance(o.consumer, dest);
+    stats_.local_deliveries += static_cast<uint64_t>(copies);
+    if (consumer->started) {
+      for (int c = 0; c < copies && !aborted(); ++c) {
+        OnBatch(consumer, port, pending);
+      }
+      pending.Clear();
+    } else {
+      std::shared_ptr<TupleBatch> batch =
+          pool_.Acquire(o.output_schema);
+      std::swap(*batch, pending);
+      for (int c = 0; c < copies; ++c) {
+        consumer->pre_start.push_back([this, consumer, port, batch] {
+          OnBatch(consumer, port, *batch);
+        });
+      }
+    }
+    return;
+  }
+  // Remote consumer: one serializing copy, straight from the pending batch
+  // into the frame payload.
+  int64_t t0 = observe_ ? NowNs() : 0;
+  std::vector<std::byte> payload;
+  payload.reserve(9 + BatchWireSize(pending.schema().tuple_size(),
+                                    pending.num_tuples()));
+  EncodeRouteHeader(
+      RouteHeader{o.consumer, dest, static_cast<uint8_t>(port)}, &payload);
+  AppendBatchWire(pending, inst->out_schema_id, &payload);
+  if (observe_) {
+    int64_t t1 = NowNs();
+    stats_.serialize_seconds += static_cast<double>(t1 - t0) * 1e-9;
+    RecordTrace(inst->processor_, t0, t1, ThreadWorkType::kSerialize,
+                inst->op_id_);
+  }
+  for (int c = 0; c < copies; ++c) {
+    chan_->QueueFrame(FrameType::kData, payload);
+    ++stats_.data_frames_sent;
+  }
+  pending.Clear();
+  // Opportunistic drain keeps the outbox from ballooning inside one long
+  // Consume(); errors surface at the loop's next Flush.
+  if (chan_->pending_output_bytes() >= kOutboxWatermark) {
+    Status drained = chan_->Flush();
+    if (!drained.ok()) Abort(std::move(drained));
+  }
+}
+
+void WorkerRun::OnBatch(WorkerInstance* inst, int port,
+                        const TupleBatch& batch) {
+  if (aborted()) return;
+  if (injector_ != nullptr) {
+    Status status = injector_->BeforeConsume(inst->op_id_);
+    if (!status.ok()) {
+      Abort(std::move(status));
+      return;
+    }
+  }
+  ++stats_.batches_processed;
+  if (!observe_) {
+    inst->oper->Consume(port, batch, inst);
+  } else {
+    if (env_.collect_metrics) {
+      inst->op_metrics.rows_in[port] += batch.num_tuples();
+      ++inst->op_metrics.batches_in[port];
+    }
+    ThreadWorkType type = ConsumeWorkType(op(inst->op_id_).kind, port);
+    int64_t t0 = NowNs();
+    inst->oper->Consume(port, batch, inst);
+    int64_t t1 = NowNs();
+    if (env_.collect_metrics) {
+      double secs = static_cast<double>(t1 - t0) * 1e-9;
+      *PhaseBucket(&inst->op_metrics, type) += secs;
+      inst->op_metrics.batch_seconds.Add(secs);
+    }
+    RecordTrace(inst->processor_, t0, t1, type, inst->op_id_);
+  }
+  AfterCallback(inst);
+}
+
+void WorkerRun::OnEos(WorkerInstance* inst, int port) {
+  if (aborted()) return;
+  MJOIN_CHECK(inst->eos_remaining[port] > 0);
+  if (--inst->eos_remaining[port] == 0) {
+    ThreadWorkType type = InputDoneWorkType(op(inst->op_id_).kind, port);
+    Observed(inst, type,
+             [inst, port] { inst->oper->InputDone(port, inst); });
+  }
+  AfterCallback(inst);
+}
+
+void WorkerRun::AfterCallback(WorkerInstance* inst) {
+  if (aborted()) return;
+  const XraOp& o = op(inst->op_id_);
+  if (o.kind == XraOpKind::kSimpleHashJoin && !inst->build_done_reported) {
+    auto* join = static_cast<SimpleHashJoinOp*>(inst->oper.get());
+    if (join->build_done()) {
+      inst->build_done_reported = true;
+      QueueMilestone(inst->op_id_, inst->index_, Milestone::kBuildDone);
+    }
+  }
+  if (!inst->complete && inst->oper->finished()) FinishInstance(inst);
+}
+
+void WorkerRun::SendEosTo(int consumer_op, uint32_t dest, int port) {
+  const XraOp& consumer = op(consumer_op);
+  if (Hosts(consumer.processors[dest])) {
+    WorkerInstance* target = instance(consumer_op, dest);
+    if (target->started) {
+      OnEos(target, port);
+    } else {
+      target->pre_start.push_back(
+          [this, target, port] { OnEos(target, port); });
+    }
+    return;
+  }
+  std::vector<std::byte> payload;
+  EncodeRouteHeader(
+      RouteHeader{consumer_op, dest, static_cast<uint8_t>(port)}, &payload);
+  chan_->QueueFrame(FrameType::kEos, payload);
+}
+
+void WorkerRun::FinishInstance(WorkerInstance* inst) {
+  if (aborted()) return;
+  MJOIN_CHECK(!inst->complete);
+  inst->complete = true;
+  const XraOp& o = op(inst->op_id_);
+  for (uint32_t d = 0; d < inst->out_pending.size(); ++d) {
+    FlushDest(inst, d);
+  }
+  if (aborted()) return;
+  if (o.consumer >= 0 && o.store_result < 0) {
+    const XraOp& consumer_op = op(o.consumer);
+    bool networked =
+        consumer_op.inputs[o.consumer_port].routing == Routing::kHashSplit;
+    if (networked) {
+      for (uint32_t d = 0; d < consumer_op.processors.size(); ++d) {
+        SendEosTo(o.consumer, d, o.consumer_port);
+      }
+    } else {
+      SendEosTo(o.consumer, inst->index_, o.consumer_port);
+    }
+  }
+  QueueMilestone(inst->op_id_, inst->index_, Milestone::kComplete);
+}
+
+void WorkerRun::QueueMilestone(int op_id, uint32_t index,
+                               Milestone milestone) {
+  std::vector<std::byte> payload;
+  EncodeMilestone(
+      MilestoneMsg{static_cast<int32_t>(op_id), index, milestone}, &payload);
+  chan_->QueueFrame(FrameType::kMilestone, payload);
+}
+
+Status WorkerRun::HandleTrigger(const Frame& frame) {
+  WireReader reader(frame.payload);
+  int32_t group;
+  MJOIN_RETURN_IF_ERROR(reader.ReadI32(&group));
+  if (group < 0 || static_cast<size_t>(group) >= plan_.groups.size()) {
+    return Status::OutOfRange(StrCat("trigger for unknown group ", group));
+  }
+  for (int op_id : plan_.groups[static_cast<size_t>(group)].ops) {
+    for (auto& inst : instances_[static_cast<size_t>(op_id)]) {
+      if (inst != nullptr) TriggerInstance(inst.get());
+    }
+  }
+  return Status::OK();
+}
+
+Status WorkerRun::HandleFragment(const Frame& frame) {
+  WireReader reader(frame.payload);
+  FragmentHeader header;
+  MJOIN_RETURN_IF_ERROR(DecodeFragmentHeader(&reader, &header));
+  if (header.op < 0 || static_cast<size_t>(header.op) >= plan_.ops.size() ||
+      op(header.op).kind != XraOpKind::kScan) {
+    return Status::InvalidArgument(
+        StrCat("fragment for non-scan op ", header.op));
+  }
+  auto& frags = scan_fragments_[static_cast<size_t>(header.op)];
+  if (header.instance >= frags.size() ||
+      !Hosts(op(header.op).processors[header.instance])) {
+    return Status::InvalidArgument(
+        StrCat("fragment for op ", header.op, " instance ", header.instance,
+               " which this worker does not host"));
+  }
+  std::shared_ptr<TupleBatch> batch =
+      pool_.Acquire(op(header.op).output_schema);
+  MJOIN_RETURN_IF_ERROR(ReadBatchWire(&reader, registry_, batch.get()));
+  frags[header.instance].AppendRows(batch->raw_data(), batch->num_tuples());
+  return Status::OK();
+}
+
+Status WorkerRun::HandleData(const Frame& frame) {
+  WireReader reader(frame.payload);
+  RouteHeader route;
+  MJOIN_RETURN_IF_ERROR(DecodeRouteHeader(&reader, &route));
+  if (route.consumer_op < 0 ||
+      static_cast<size_t>(route.consumer_op) >= plan_.ops.size() ||
+      route.dest_index >= op(route.consumer_op).processors.size()) {
+    return Status::InvalidArgument("data frame routed to unknown instance");
+  }
+  const XraOp& consumer_op = op(route.consumer_op);
+  if (!Hosts(consumer_op.processors[route.dest_index])) {
+    return Status::InvalidArgument(
+        StrCat("data frame for op ", route.consumer_op, " instance ",
+               route.dest_index, " misrouted to worker ", env_.worker_id));
+  }
+  WorkerInstance* target = instance(route.consumer_op, route.dest_index);
+  if (injector_ != nullptr) injector_->OnDequeue(target->processor_);
+  // The initial schema binding is a placeholder — ReadBatchWire rebinds the
+  // batch to the wire frame's registry schema.
+  std::shared_ptr<TupleBatch> batch =
+      pool_.Acquire(consumer_op.output_schema);
+  int64_t t0 = observe_ ? NowNs() : 0;
+  MJOIN_RETURN_IF_ERROR(ReadBatchWire(&reader, registry_, batch.get()));
+  if (observe_) {
+    int64_t t1 = NowNs();
+    stats_.deserialize_seconds += static_cast<double>(t1 - t0) * 1e-9;
+    RecordTrace(target->processor_, t0, t1, ThreadWorkType::kDeserialize,
+                route.consumer_op);
+  }
+  int port = route.port;
+  if (target->started) {
+    OnBatch(target, port, *batch);
+  } else {
+    target->pre_start.push_back(
+        [this, target, port, batch] { OnBatch(target, port, *batch); });
+  }
+  // The credit is released once the frame is consumed or parked — parked
+  // batches occupy worker memory but no longer gate the wire, mirroring
+  // the thread backend's bound on *queued* (undrained) batches.
+  ++credits_;
+  return Status::OK();
+}
+
+Status WorkerRun::HandleEos(const Frame& frame) {
+  WireReader reader(frame.payload);
+  RouteHeader route;
+  MJOIN_RETURN_IF_ERROR(DecodeRouteHeader(&reader, &route));
+  if (route.consumer_op < 0 ||
+      static_cast<size_t>(route.consumer_op) >= plan_.ops.size() ||
+      route.dest_index >= op(route.consumer_op).processors.size() ||
+      !Hosts(op(route.consumer_op).processors[route.dest_index])) {
+    return Status::InvalidArgument("eos frame routed to unknown instance");
+  }
+  WorkerInstance* target = instance(route.consumer_op, route.dest_index);
+  if (injector_ != nullptr) injector_->OnDequeue(target->processor_);
+  int port = route.port;
+  if (target->started) {
+    OnEos(target, port);
+  } else {
+    target->pre_start.push_back(
+        [this, target, port] { OnEos(target, port); });
+  }
+  return Status::OK();
+}
+
+Status WorkerRun::SendFinishReports() {
+  const XraOp* storer = nullptr;
+  for (const XraOp& o : plan_.ops) {
+    if (o.store_result == plan_.final_result) storer = &o;
+  }
+  MJOIN_CHECK(storer != nullptr);
+
+  // Partial result summary over this worker's fragments of the final
+  // result (the checksum is a sum mod 2^64, so per-worker summaries add up
+  // to the query's).
+  SummaryMsg summary;
+  const auto& final_frags =
+      stored_[static_cast<size_t>(plan_.final_result)];
+  std::vector<const Relation*> hosted;
+  for (size_t i = 0; i < final_frags.size(); ++i) {
+    if (!Hosts(storer->processors[i])) continue;
+    ResultSummary frag = SummarizeRelation(final_frags[i]);
+    summary.cardinality += frag.cardinality;
+    summary.checksum += frag.checksum;
+    hosted.push_back(&final_frags[i]);
+  }
+  std::vector<std::byte> payload;
+  EncodeSummary(summary, &payload);
+  chan_->QueueFrame(FrameType::kSummary, payload);
+
+  if (env_.materialize_result) {
+    MJOIN_ASSIGN_OR_RETURN(uint32_t schema_id,
+                           registry_.IdOf(*storer->output_schema));
+    uint32_t tuple_size = storer->output_schema->tuple_size();
+    // Ship fragments in bounded chunks so one giant result does not
+    // produce one giant frame.
+    const size_t rows_per_frame =
+        std::max<size_t>(1, (4u << 20) / tuple_size);
+    for (const Relation* frag : hosted) {
+      size_t offset = 0;
+      while (offset < frag->num_tuples()) {
+        size_t count = std::min(rows_per_frame, frag->num_tuples() - offset);
+        std::vector<std::byte> rows_payload;
+        AppendRowsWire(schema_id, tuple_size,
+                       frag->raw_data() + offset * tuple_size, count,
+                       &rows_payload);
+        chan_->QueueFrame(FrameType::kResultRows, rows_payload);
+        offset += count;
+      }
+    }
+  }
+
+  if (env_.collect_metrics) {
+    for (const XraOp& o : plan_.ops) {
+      OpStatsMsg msg;
+      msg.op = o.id;
+      for (const auto& inst : instances_[static_cast<size_t>(o.id)]) {
+        if (inst == nullptr) continue;
+        ++msg.instances;
+        msg.metrics.MergeFrom(inst->op_metrics);
+        msg.metrics.rows_out += inst->writer.rows_committed();
+        inst->oper->CollectMetrics(&msg.metrics);
+        msg.metrics.peak_memory_bytes += inst->oper->peak_memory_bytes();
+      }
+      if (msg.instances == 0) continue;
+      std::vector<std::byte> stats_payload;
+      EncodeOpStats(msg, &stats_payload);
+      chan_->QueueFrame(FrameType::kOpStats, stats_payload);
+    }
+  }
+
+  stats_.buffers_allocated = pool_.allocated();
+  stats_.buffers_reused = pool_.reused();
+  stats_.peak_memory_bytes = budget_.peak();
+  if (injector_ != nullptr) {
+    stats_.faults_injected = injector_->faults_injected();
+  }
+  std::vector<std::byte> net_payload;
+  EncodeWorkerRunStats(stats_, &net_payload);
+  chan_->QueueFrame(FrameType::kNetStats, net_payload);
+
+  if (env_.record_trace && !trace_events_.empty()) {
+    std::vector<std::byte> trace_payload;
+    EncodeTraceEvents(trace_events_, &trace_payload);
+    chan_->QueueFrame(FrameType::kTraceEvents, trace_payload);
+  }
+
+  chan_->QueueFrame(FrameType::kBye, {});
+  return Status::OK();
+}
+
+Status WorkerRun::HandleFrame(const Frame& frame) {
+  switch (frame.type) {
+    case FrameType::kTrigger:
+      return HandleTrigger(frame);
+    case FrameType::kFragment:
+      return HandleFragment(frame);
+    case FrameType::kData:
+      return HandleData(frame);
+    case FrameType::kEos:
+      return HandleEos(frame);
+    case FrameType::kFinish:
+      return SendFinishReports();
+    case FrameType::kShutdown:
+      shutdown_ = true;
+      return Status::OK();
+    default:
+      return Status::InvalidArgument(
+          StrCat("worker received unexpected ", FrameTypeName(frame.type),
+                 " frame"));
+  }
+}
+
+Status WorkerRun::Loop() {
+  for (;;) {
+    MJOIN_RETURN_IF_ERROR(chan_->Flush());
+    bool peer_closed = false;
+    MJOIN_RETURN_IF_ERROR(chan_->ReadAvailable(&peer_closed));
+    Frame frame;
+    while (chan_->NextFrame(&frame)) {
+      MJOIN_RETURN_IF_ERROR(HandleFrame(frame));
+      if (aborted()) return run_status_;
+      if (shutdown_) {
+        return chan_->Flush();
+      }
+    }
+    if (aborted()) return run_status_;
+    if (peer_closed) {
+      return Status::Unavailable("coordinator closed the socket");
+    }
+    if (credits_ > 0) {
+      std::vector<std::byte> payload;
+      PutU32(&payload, credits_);
+      credits_ = 0;
+      chan_->QueueFrame(FrameType::kCredit, payload);
+      continue;  // flush before doing more work
+    }
+    if (!pump_queue_.empty()) {
+      if (chan_->pending_output_bytes() < kOutboxWatermark) {
+        PumpSources();
+        if (aborted()) return run_status_;
+        continue;
+      }
+      ++stats_.pump_stalls;
+    }
+    if (chan_->has_frames()) continue;
+    // Nothing runnable: wait for the socket (readable, or writable when
+    // the outbox is backed up).
+    struct pollfd pfd;
+    pfd.fd = chan_->fd();
+    pfd.events = static_cast<short>(
+        POLLIN | (chan_->has_pending_output() ? POLLOUT : 0));
+    pfd.revents = 0;
+    int rc = poll(&pfd, 1, 1000);
+    if (rc < 0 && errno != EINTR) {
+      return Status::Internal("worker poll failed");
+    }
+  }
+}
+
+}  // namespace
+
+int RunProcessWorker(int fd) {
+  if (!SetNonBlocking(fd).ok()) return 1;
+  FrameChannel chan(fd, "coordinator");
+
+  // Handshake: wait for the kPlan frame.
+  Frame plan_frame;
+  for (;;) {
+    bool peer_closed = false;
+    if (!chan.ReadAvailable(&peer_closed).ok()) return 1;
+    if (chan.NextFrame(&plan_frame)) break;
+    if (peer_closed) return 1;
+    StatusOr<bool> readable = WaitReadable(fd, 30'000);
+    if (!readable.ok() || !*readable) return 1;
+  }
+  if (plan_frame.type != FrameType::kPlan) return 1;
+
+  auto fail = [&chan, fd](const Status& status) {
+    std::vector<std::byte> payload;
+    EncodeStatusPayload(status, &payload);
+    chan.QueueFrame(FrameType::kError, payload);
+    // Best effort: the coordinator may already be gone.
+    for (int i = 0; i < 100 && chan.has_pending_output(); ++i) {
+      if (!chan.Flush().ok()) break;
+      if (!chan.has_pending_output()) break;
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      poll(&pfd, 1, 50);
+    }
+    return 1;
+  };
+
+  PlanEnvelope env;
+  {
+    WireReader reader(plan_frame.payload);
+    Status status = DecodePlanEnvelope(&reader, &env);
+    if (!status.ok()) return fail(status);
+  }
+  if (env.protocol_version != kNetProtocolVersion) {
+    return fail(Status::FailedPrecondition(
+        StrCat("protocol version mismatch: coordinator speaks ",
+               env.protocol_version, ", worker speaks ",
+               kNetProtocolVersion)));
+  }
+  StatusOr<ParallelPlan> plan = ParsePlan(env.plan_text);
+  if (!plan.ok()) return fail(plan.status());
+
+  // The hello hash is FNV over our *re-serialization* of the parsed plan:
+  // every process-backend query round-trips the textual XRA format and the
+  // coordinator verifies the result.
+  HelloMsg hello;
+  hello.protocol_version = kNetProtocolVersion;
+  hello.plan_hash = FnvHash64(SerializePlan(*plan));
+  std::vector<std::byte> hello_payload;
+  EncodeHello(hello, &hello_payload);
+  chan.QueueFrame(FrameType::kHello, hello_payload);
+  if (!chan.Flush().ok()) return 1;
+
+  WorkerRun run(&chan, std::move(env), std::move(plan).value());
+  Status status = run.Setup();
+  if (status.ok()) status = run.Loop();
+  if (!status.ok()) return fail(status);
+  return 0;
+}
+
+}  // namespace mjoin

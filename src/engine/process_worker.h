@@ -1,0 +1,24 @@
+#ifndef MJOIN_ENGINE_PROCESS_WORKER_H_
+#define MJOIN_ENGINE_PROCESS_WORKER_H_
+
+namespace mjoin {
+
+/// The worker half of the process backend: runs in a child process forked
+/// by ProcessExecutor, speaking the net/wire.h frame protocol over `fd`
+/// (one end of a socketpair; ownership is taken).
+///
+/// The worker is deliberately single-threaded — one poll loop interleaves
+/// frame handling with source pumping — so a fork-without-exec child never
+/// touches thread creation (fork-safe under TSan) and its teardown is one
+/// _exit(). It receives the plan as textual XRA in the kPlan handshake,
+/// instantiates the operator instances of its hosted processors, and
+/// exchanges batches with the rest of the fleet through the coordinator.
+///
+/// Returns the exit code for the child to _exit() with: 0 after a clean
+/// kShutdown, 1 on any error (a fatal status is reported to the
+/// coordinator as a kError frame first whenever the socket still works).
+int RunProcessWorker(int fd);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_ENGINE_PROCESS_WORKER_H_

@@ -62,6 +62,10 @@ const char* ThreadWorkTypeName(ThreadWorkType type) {
       return "emit";
     case ThreadWorkType::kBlocked:
       return "blocked";
+    case ThreadWorkType::kSerialize:
+      return "serialize";
+    case ThreadWorkType::kDeserialize:
+      return "deserialize";
     case ThreadWorkType::kOther:
       return "other";
   }

@@ -1,0 +1,151 @@
+#include "net/channel.h"
+
+#include <errno.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/string_util.h"
+
+namespace mjoin {
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(
+        StrCat("fcntl(O_NONBLOCK) failed: ", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> WaitReadable(int fd, int timeout_ms) {
+  struct pollfd pfd;
+  pfd.fd = fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  int rc;
+  do {
+    rc = poll(&pfd, 1, timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    return Status::Internal(StrCat("poll failed: ", std::strerror(errno)));
+  }
+  return rc > 0;
+}
+
+FrameChannel::FrameChannel(int fd, std::string peer)
+    : fd_(fd), peer_(std::move(peer)) {}
+
+FrameChannel::~FrameChannel() { Close(); }
+
+void FrameChannel::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+}
+
+void FrameChannel::QueueFrame(FrameType type,
+                              const std::vector<std::byte>& payload) {
+  std::vector<std::byte> frame;
+  frame.reserve(4 + 1 + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(1 + payload.size()));
+  PutU8(&frame, static_cast<uint8_t>(type));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  pending_output_bytes_ += frame.size();
+  outbox_.push_back(std::move(frame));
+}
+
+Status FrameChannel::Flush() {
+  while (!outbox_.empty()) {
+    const std::vector<std::byte>& front = outbox_.front();
+    ssize_t n = send(fd_, front.data() + write_offset_,
+                     front.size() - write_offset_, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return Status::OK();
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        return Status::Unavailable(
+            StrCat(peer_, " closed its socket while we were sending"));
+      }
+      return Status::Internal(
+          StrCat("send to ", peer_, " failed: ", std::strerror(errno)));
+    }
+    stats_.bytes_sent += static_cast<uint64_t>(n);
+    pending_output_bytes_ -= static_cast<size_t>(n);
+    write_offset_ += static_cast<size_t>(n);
+    if (write_offset_ == front.size()) {
+      ++stats_.frames_sent;
+      outbox_.pop_front();
+      write_offset_ = 0;
+    }
+  }
+  return Status::OK();
+}
+
+Status FrameChannel::ReadAvailable(bool* peer_closed) {
+  *peer_closed = false;
+  char buf[64 * 1024];
+  for (;;) {
+    ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        *peer_closed = true;
+        break;
+      }
+      return Status::Internal(
+          StrCat("recv from ", peer_, " failed: ", std::strerror(errno)));
+    }
+    if (n == 0) {
+      *peer_closed = true;
+      break;
+    }
+    stats_.bytes_received += static_cast<uint64_t>(n);
+    const std::byte* bytes = reinterpret_cast<const std::byte*>(buf);
+    inbuf_.insert(inbuf_.end(), bytes, bytes + n);
+    // A short read means the kernel buffer is drained; don't spin on recv.
+    if (static_cast<size_t>(n) < sizeof(buf)) break;
+  }
+
+  // Parse every complete frame out of the unconsumed prefix.
+  while (inbuf_.size() - consumed_ >= 4) {
+    const std::byte* p = inbuf_.data() + consumed_;
+    uint32_t len = 0;
+    for (int i = 3; i >= 0; --i) {
+      len = (len << 8) | static_cast<uint8_t>(p[i]);
+    }
+    if (len < 1 || len > kMaxFrameBytes) {
+      return Status::InvalidArgument(
+          StrCat("protocol violation from ", peer_, ": frame length ", len));
+    }
+    if (inbuf_.size() - consumed_ < 4 + static_cast<size_t>(len)) break;
+    Frame frame;
+    frame.type = static_cast<FrameType>(static_cast<uint8_t>(p[4]));
+    frame.payload.assign(p + 5, p + 4 + len);
+    frames_.push_back(std::move(frame));
+    ++stats_.frames_received;
+    consumed_ += 4 + static_cast<size_t>(len);
+  }
+  if (consumed_ == inbuf_.size()) {
+    inbuf_.clear();
+    consumed_ = 0;
+  } else if (consumed_ > (64u << 10)) {
+    inbuf_.erase(inbuf_.begin(), inbuf_.begin() + consumed_);
+    consumed_ = 0;
+  }
+  return Status::OK();
+}
+
+bool FrameChannel::NextFrame(Frame* out) {
+  if (frames_.empty()) return false;
+  *out = std::move(frames_.front());
+  frames_.pop_front();
+  return true;
+}
+
+}  // namespace mjoin

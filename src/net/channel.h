@@ -1,0 +1,105 @@
+#ifndef MJOIN_NET_CHANNEL_H_
+#define MJOIN_NET_CHANNEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "net/wire.h"
+
+namespace mjoin {
+
+/// One decoded frame off a FrameChannel.
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::vector<std::byte> payload;
+};
+
+/// Counters a FrameChannel keeps about its life so far. Sent counters are
+/// bumped when bytes actually leave via write(), not when queued.
+struct ChannelStats {
+  uint64_t bytes_sent = 0;
+  uint64_t bytes_received = 0;
+  uint64_t frames_sent = 0;
+  uint64_t frames_received = 0;
+};
+
+/// Sets O_NONBLOCK on a descriptor.
+Status SetNonBlocking(int fd);
+
+/// Blocks until `fd` is readable or `timeout_ms` elapses (negative waits
+/// forever). Returns true when readable; false on timeout.
+StatusOr<bool> WaitReadable(int fd, int timeout_ms);
+
+/// Frame transport over one nonblocking stream socket (the process
+/// backend's coordinator<->worker socketpair). Writes are queued and
+/// drained by Flush() as the socket accepts them; reads are reassembled
+/// from arbitrary read() boundaries into whole frames.
+///
+/// Not thread-safe: each channel belongs to exactly one event loop (the
+/// coordinator's poll loop or a worker's single thread).
+///
+/// Peer death (EPIPE / ECONNRESET / read()==0) is reported as
+/// StatusCode::kUnavailable so callers can distinguish "worker gone" from
+/// protocol errors (kInvalidArgument / kOutOfRange).
+class FrameChannel {
+ public:
+  /// Takes ownership of `fd` (closed by the destructor). `peer` names the
+  /// other end in error messages, e.g. "worker 3".
+  FrameChannel(int fd, std::string peer);
+  ~FrameChannel();
+
+  FrameChannel(const FrameChannel&) = delete;
+  FrameChannel& operator=(const FrameChannel&) = delete;
+
+  int fd() const { return fd_; }
+  const std::string& peer() const { return peer_; }
+
+  /// Encodes `[len][type][payload]` into the outbox. Cheap; no syscall.
+  void QueueFrame(FrameType type, const std::vector<std::byte>& payload);
+
+  /// Writes queued bytes until the socket would block or the outbox is
+  /// empty. kUnavailable when the peer is gone.
+  Status Flush();
+
+  bool has_pending_output() const { return !outbox_.empty(); }
+  /// Bytes queued but not yet accepted by the kernel.
+  size_t pending_output_bytes() const { return pending_output_bytes_; }
+
+  /// Reads whatever the socket has, reassembling complete frames for
+  /// NextFrame(). Sets `*peer_closed` when the peer shut down (after any
+  /// final complete frames were recovered); oversized or malformed frame
+  /// lengths poison the channel with a non-OK status.
+  Status ReadAvailable(bool* peer_closed);
+
+  /// Pops the next complete frame; false when none is buffered.
+  bool NextFrame(Frame* out);
+  bool has_frames() const { return !frames_.empty(); }
+
+  const ChannelStats& stats() const { return stats_; }
+
+  /// Closes the descriptor early (destructor is a no-op afterwards).
+  void Close();
+
+ private:
+  int fd_;
+  std::string peer_;
+  /// Encoded-but-unsent frames; front() is partially written up to
+  /// write_offset_.
+  std::deque<std::vector<std::byte>> outbox_;
+  size_t write_offset_ = 0;
+  size_t pending_output_bytes_ = 0;
+  /// Raw inbound bytes not yet parsed into a frame; consumed_ marks the
+  /// parsed prefix, compacted once it grows.
+  std::vector<std::byte> inbuf_;
+  size_t consumed_ = 0;
+  std::deque<Frame> frames_;
+  ChannelStats stats_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_NET_CHANNEL_H_

@@ -1,0 +1,184 @@
+#ifndef MJOIN_NET_WIRE_H_
+#define MJOIN_NET_WIRE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "exec/batch.h"
+#include "storage/schema.h"
+
+namespace mjoin {
+
+struct ParallelPlan;
+
+/// The process backend's frame protocol. Every message on a coordinator <->
+/// worker socket is one frame:
+///
+///   u32  length   (bytes that follow: 1 type byte + payload)
+///   u8   type     (FrameType)
+///   ...  payload  (type-specific, little-endian)
+///
+/// Frames are self-delimiting, so a FrameChannel can reassemble them from
+/// arbitrary read() boundaries. `length` is bounded by kMaxFrameBytes; a
+/// larger length is a protocol violation and poisons the connection.
+enum class FrameType : uint8_t {
+  /// worker -> coordinator: protocol version + echo hash of the plan text
+  /// the worker parsed (the coordinator verifies the handshake round trip).
+  kHello = 1,
+  /// coordinator -> worker: run options + the plan in textual XRA.
+  kPlan = 2,
+  /// coordinator -> worker: one chunk of a scan instance's base-relation
+  /// fragment (op, instance, wire batch). All fragments precede triggers.
+  kFragment = 3,
+  /// coordinator -> worker: start every hosted instance of a trigger group.
+  kTrigger = 4,
+  /// data batch toward a consumer instance; routed by the coordinator
+  /// (worker -> coordinator -> worker) and subject to credit flow control.
+  kData = 5,
+  /// end-of-stream from one producer instance to one consumer instance;
+  /// routed like kData (and ordered behind it), but consumes no credit.
+  kEos = 6,
+  /// worker -> coordinator: instance milestone for the scheduler.
+  kMilestone = 7,
+  /// worker -> coordinator: the worker finished processing `count` data
+  /// frames; the coordinator releases that much of its credit window.
+  kCredit = 8,
+  /// coordinator -> worker: the plan completed; report results and stats.
+  kFinish = 9,
+  /// worker -> coordinator: partial ResultSummary of a stored result.
+  kSummary = 10,
+  /// worker -> coordinator: final-result rows (only when materializing).
+  kResultRows = 11,
+  /// worker -> coordinator: merged OpMetrics of one hosted op.
+  kOpStats = 12,
+  /// worker -> coordinator: the worker's run counters (serialize seconds,
+  /// local deliveries, faults injected, peak memory, ...).
+  kNetStats = 13,
+  /// worker -> coordinator: recorded trace intervals.
+  kTraceEvents = 14,
+  /// worker -> coordinator: fatal worker-side status; the run aborts.
+  kError = 15,
+  /// worker -> coordinator: finish-phase reporting done, awaiting shutdown.
+  kBye = 16,
+  /// coordinator -> worker: exit cleanly.
+  kShutdown = 17,
+};
+
+const char* FrameTypeName(FrameType type);
+
+/// Hard upper bound on one frame's length field. Generous (base-relation
+/// fragments ship as single frames) but small enough that a corrupted
+/// length cannot drive a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFrameBytes = 256u << 20;
+
+/// Protocol version spoken by this build; bumped on any wire change.
+inline constexpr uint32_t kNetProtocolVersion = 1;
+
+/// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) over `size` bytes.
+uint32_t Crc32(const std::byte* data, size_t size);
+
+/// Little-endian primitive append/read helpers. Writers append to a byte
+/// vector; WireReader consumes a byte span with bounds checking, so a
+/// truncated or malformed payload surfaces as a Status instead of UB.
+void PutU8(std::vector<std::byte>* out, uint8_t v);
+void PutU16(std::vector<std::byte>* out, uint16_t v);
+void PutU32(std::vector<std::byte>* out, uint32_t v);
+void PutU64(std::vector<std::byte>* out, uint64_t v);
+void PutI32(std::vector<std::byte>* out, int32_t v);
+void PutI64(std::vector<std::byte>* out, int64_t v);
+void PutF64(std::vector<std::byte>* out, double v);
+void PutString(std::vector<std::byte>* out, const std::string& s);
+
+class WireReader {
+ public:
+  WireReader(const std::byte* data, size_t size) : data_(data), end_(size) {}
+  explicit WireReader(const std::vector<std::byte>& buf)
+      : WireReader(buf.data(), buf.size()) {}
+
+  size_t remaining() const { return end_ - pos_; }
+  bool exhausted() const { return pos_ == end_; }
+  const std::byte* cursor() const { return data_ + pos_; }
+
+  Status ReadU8(uint8_t* v);
+  Status ReadU16(uint16_t* v);
+  Status ReadU32(uint32_t* v);
+  Status ReadU64(uint64_t* v);
+  Status ReadI32(int32_t* v);
+  Status ReadI64(int64_t* v);
+  Status ReadF64(double* v);
+  Status ReadString(std::string* s);
+  /// Advances past `size` raw bytes, exposing them via `*data`.
+  Status ReadBytes(size_t size, const std::byte** data);
+
+ private:
+  const std::byte* data_;
+  size_t pos_ = 0;
+  size_t end_;
+};
+
+/// Deterministic structural interning of every schema a plan can put on
+/// the wire. Coordinator and workers build their registry from the same
+/// plan (the worker from the handshake's parsed text), visiting ops in
+/// plan order, so a schema id means the same row layout on both ends — the
+/// wire format's schema check rests on this.
+class SchemaRegistry {
+ public:
+  explicit SchemaRegistry(const ParallelPlan& plan);
+
+  size_t size() const { return schemas_.size(); }
+  const std::shared_ptr<const Schema>& Get(uint32_t id) const {
+    return schemas_[id];
+  }
+  /// Id of a structurally equal schema; NotFound when the plan never
+  /// declared this layout.
+  StatusOr<uint32_t> IdOf(const Schema& schema) const;
+
+ private:
+  void Intern(const std::shared_ptr<const Schema>& schema);
+
+  std::vector<std::shared_ptr<const Schema>> schemas_;
+};
+
+/// TupleBatch wire format (the body of kData/kFragment/kResultRows frames
+/// after their routing fields):
+///
+///   u32  magic      'MJTB' (0x4254'4A4D little-endian on the wire)
+///   u16  version    kBatchWireVersion
+///   u16  flags      0 (reserved)
+///   u32  schema_id  index into the run's SchemaRegistry
+///   u32  tuple_size redundant with schema_id; cross-checked on decode
+///   u32  num_tuples
+///   ...  rows       num_tuples * tuple_size bytes, the batch's raw bytes
+///   u32  crc32      over everything from magic through the last row byte
+///
+/// Decoding validates magic, version, schema id, the tuple-size agreement,
+/// the byte count, and the CRC; any mismatch is an error, never a partial
+/// batch.
+inline constexpr uint32_t kBatchWireMagic = 0x4254'4A4Du;  // "MJTB"
+inline constexpr uint16_t kBatchWireVersion = 1;
+
+/// Appends the wire encoding of `count` rows of `tuple_size` bytes each.
+void AppendRowsWire(uint32_t schema_id, uint32_t tuple_size,
+                    const std::byte* rows, size_t count,
+                    std::vector<std::byte>* out);
+
+/// Appends the wire encoding of a whole batch.
+void AppendBatchWire(const TupleBatch& batch, uint32_t schema_id,
+                     std::vector<std::byte>* out);
+
+/// Bytes AppendRowsWire will produce for `count` rows of `tuple_size`.
+size_t BatchWireSize(uint32_t tuple_size, size_t count);
+
+/// Decodes one batch from `reader` into `out`, which must be bound to the
+/// decoded schema id's layout already or is rebound via `registry`. The
+/// batch's previous contents are discarded; its buffer capacity survives.
+Status ReadBatchWire(WireReader* reader, const SchemaRegistry& registry,
+                     TupleBatch* out);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_NET_WIRE_H_

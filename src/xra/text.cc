@@ -109,7 +109,10 @@ std::string SerializePlan(const ParallelPlan& plan) {
   for (size_t i = 0; i < schemas.schemas().size(); ++i) {
     out += StrCat("schema ", i);
     for (const Column& column : schemas.schemas()[i]->columns()) {
-      out += " " + ColumnToken(column);
+      // Split concatenation: `"" + std::string&&` trips GCC 12's
+      // -Wrestrict false positive (PR 105651) under -O2 -Werror.
+      out += ' ';
+      out += ColumnToken(column);
     }
     out += "\n";
   }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "engine/database.h"
+#include "engine/process_executor.h"
 #include "engine/reference.h"
 #include "engine/sim_executor.h"
 #include "engine/thread_executor.h"
@@ -67,6 +68,24 @@ TEST_P(GoldenResultTest, AllBackendsMatchReference) {
     EXPECT_EQ(run->result.cardinality, reference->cardinality)
         << "batch_size=" << batch_size;
     EXPECT_EQ(run->result.checksum, reference->checksum)
+        << "batch_size=" << batch_size;
+  }
+
+  // Process backend, same batch sizes: every tuple that crosses a worker
+  // boundary additionally round-trips the wire format, and every plan
+  // round-trips the textual XRA handshake. 3 workers for 8 processors
+  // makes the processor->worker blocks ragged (3+3+2), exercising both
+  // local and remote deliveries on every shape.
+  ProcessExecutor processes(&db);
+  for (uint32_t batch_size : {1u, 7u, 256u}) {
+    ProcessExecOptions options;
+    options.exec.batch_size = batch_size;
+    options.num_workers = 3;
+    auto run = processes.Execute(*plan, options);
+    ASSERT_TRUE(run.ok()) << run.status() << " batch_size=" << batch_size;
+    EXPECT_EQ(run->exec.result.cardinality, reference->cardinality)
+        << "batch_size=" << batch_size;
+    EXPECT_EQ(run->exec.result.checksum, reference->checksum)
         << "batch_size=" << batch_size;
   }
 }

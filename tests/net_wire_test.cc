@@ -1,0 +1,357 @@
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <gtest/gtest.h>
+
+#include "engine/process_protocol.h"
+#include "net/channel.h"
+#include "net/wire.h"
+#include "plan/wisconsin_query.h"
+#include "strategy/strategy.h"
+#include "xra/text.h"
+
+namespace mjoin {
+namespace {
+
+// Wire-level guards for the process backend: the TupleBatch encoding must
+// survive a round trip bit-for-bit, and every way the bytes can be damaged
+// in transit — truncation, corruption, a stale schema id — must surface as
+// a Status, never as a partial batch or out-of-bounds read.
+
+ParallelPlan MakePlan(QueryShape shape = QueryShape::kLeftLinear) {
+  auto query = MakeWisconsinChainQuery(shape, /*relations=*/5,
+                                       /*cardinality=*/400);
+  MJOIN_CHECK(query.ok()) << query.status();
+  auto plan = MakeStrategy(StrategyKind::kFP)
+                  ->Parallelize(*query, /*processors=*/8, TotalCostModel());
+  MJOIN_CHECK(plan.ok()) << plan.status();
+  return *std::move(plan);
+}
+
+// Fills `batch` with `rows` distinct tuples so a shifted or dropped row
+// changes the bytes.
+void FillBatch(TupleBatch* batch, size_t rows) {
+  const uint32_t tuple_size = batch->schema().tuple_size();
+  std::vector<std::byte> row(tuple_size);
+  for (size_t r = 0; r < rows; ++r) {
+    for (uint32_t b = 0; b < tuple_size; ++b) {
+      row[b] = static_cast<std::byte>((r * 131 + b * 7 + 13) & 0xff);
+    }
+    batch->AppendRow(row.data());
+  }
+}
+
+TEST(BatchWireTest, RoundTripsAcrossRowCounts) {
+  ParallelPlan plan = MakePlan();
+  SchemaRegistry registry(plan);
+  ASSERT_GT(registry.size(), 0u);
+
+  for (uint32_t schema_id = 0; schema_id < registry.size(); ++schema_id) {
+    for (size_t rows : {size_t{0}, size_t{1}, size_t{7}, size_t{256}}) {
+      TupleBatch batch(registry.Get(schema_id));
+      FillBatch(&batch, rows);
+
+      std::vector<std::byte> wire;
+      AppendBatchWire(batch, schema_id, &wire);
+      EXPECT_EQ(wire.size(),
+                BatchWireSize(batch.schema().tuple_size(), rows));
+
+      WireReader reader(wire);
+      TupleBatch decoded(registry.Get(0));  // rebound by ReadBatchWire
+      ASSERT_TRUE(ReadBatchWire(&reader, registry, &decoded).ok())
+          << "schema " << schema_id << " rows " << rows;
+      EXPECT_TRUE(reader.exhausted());
+      ASSERT_EQ(decoded.num_tuples(), rows);
+      EXPECT_EQ(&decoded.schema(), registry.Get(schema_id).get());
+      EXPECT_EQ(std::memcmp(decoded.raw_data(), batch.raw_data(),
+                            batch.byte_size()),
+                0);
+    }
+  }
+}
+
+TEST(BatchWireTest, AppendRowsWireMatchesAppendBatchWire) {
+  ParallelPlan plan = MakePlan();
+  SchemaRegistry registry(plan);
+  TupleBatch batch(registry.Get(0));
+  FillBatch(&batch, 42);
+
+  std::vector<std::byte> from_batch;
+  AppendBatchWire(batch, /*schema_id=*/0, &from_batch);
+  std::vector<std::byte> from_rows;
+  AppendRowsWire(0, batch.schema().tuple_size(), batch.raw_data(),
+                 batch.num_tuples(), &from_rows);
+  EXPECT_EQ(from_batch, from_rows);
+}
+
+TEST(BatchWireTest, EveryTruncationFailsCleanly) {
+  ParallelPlan plan = MakePlan();
+  SchemaRegistry registry(plan);
+  TupleBatch batch(registry.Get(0));
+  FillBatch(&batch, 7);
+
+  std::vector<std::byte> wire;
+  AppendBatchWire(batch, 0, &wire);
+
+  for (size_t len = 0; len < wire.size(); ++len) {
+    WireReader reader(wire.data(), len);
+    TupleBatch decoded(registry.Get(0));
+    EXPECT_FALSE(ReadBatchWire(&reader, registry, &decoded).ok())
+        << "truncated to " << len << " of " << wire.size() << " bytes";
+  }
+}
+
+TEST(BatchWireTest, EverySingleByteCorruptionFailsCleanly) {
+  ParallelPlan plan = MakePlan();
+  SchemaRegistry registry(plan);
+  TupleBatch batch(registry.Get(0));
+  FillBatch(&batch, 3);
+
+  std::vector<std::byte> wire;
+  AppendBatchWire(batch, 0, &wire);
+
+  // Flipping any bit anywhere — header, rows, or the CRC itself — must be
+  // caught by the field validation or the checksum.
+  for (size_t pos = 0; pos < wire.size(); ++pos) {
+    std::vector<std::byte> damaged = wire;
+    damaged[pos] ^= std::byte{0x01};
+    WireReader reader(damaged);
+    TupleBatch decoded(registry.Get(0));
+    Status status = ReadBatchWire(&reader, registry, &decoded);
+    EXPECT_FALSE(status.ok()) << "corrupted byte " << pos << " undetected";
+  }
+}
+
+TEST(BatchWireTest, RejectsUnknownSchemaId) {
+  ParallelPlan plan = MakePlan();
+  SchemaRegistry registry(plan);
+  TupleBatch batch(registry.Get(0));
+  FillBatch(&batch, 2);
+
+  std::vector<std::byte> wire;
+  AppendBatchWire(batch, static_cast<uint32_t>(registry.size()) + 5, &wire);
+  WireReader reader(wire);
+  TupleBatch decoded(registry.Get(0));
+  EXPECT_FALSE(ReadBatchWire(&reader, registry, &decoded).ok());
+}
+
+TEST(SchemaRegistryTest, DeterministicAcrossBuildsAndEnds) {
+  ParallelPlan plan = MakePlan();
+  // Coordinator side: registry from the in-memory plan. Worker side:
+  // registry from the plan as it arrives through the textual handshake.
+  SchemaRegistry coordinator(plan);
+  auto reparsed = ParsePlan(SerializePlan(plan));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  SchemaRegistry worker(*reparsed);
+
+  ASSERT_EQ(coordinator.size(), worker.size());
+  for (uint32_t id = 0; id < coordinator.size(); ++id) {
+    EXPECT_EQ(coordinator.Get(id)->ToString(), worker.Get(id)->ToString())
+        << "schema " << id << " diverged across the handshake";
+    auto echo = worker.IdOf(*coordinator.Get(id));
+    ASSERT_TRUE(echo.ok());
+    EXPECT_EQ(*echo, id);
+  }
+
+  Schema foreign({Column::Int64("never_in_any_plan")});
+  EXPECT_EQ(coordinator.IdOf(foreign).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(PlanHandshakeTest, SerializeParseSerializeIsAFixedPoint) {
+  // The coordinator ships SerializePlan(plan) and checks the worker's
+  // FnvHash64(SerializePlan(ParsePlan(text))) echo — so serialize->parse->
+  // serialize must be byte-identical for every strategy and shape.
+  for (StrategyKind strategy : kAllStrategies) {
+    for (QueryShape shape : kAllShapes) {
+      auto query = MakeWisconsinChainQuery(shape, 5, 400);
+      ASSERT_TRUE(query.ok());
+      auto plan =
+          MakeStrategy(strategy)->Parallelize(*query, 8, TotalCostModel());
+      ASSERT_TRUE(plan.ok()) << plan.status();
+
+      std::string text = SerializePlan(*plan);
+      auto parsed = ParsePlan(text);
+      ASSERT_TRUE(parsed.ok())
+          << parsed.status() << " strategy " << StrategyName(strategy);
+      EXPECT_EQ(SerializePlan(*parsed), text);
+      EXPECT_EQ(FnvHash64(SerializePlan(*parsed)), FnvHash64(text));
+    }
+  }
+}
+
+TEST(PlanEnvelopeTest, RoundTrips) {
+  PlanEnvelope env;
+  env.worker_id = 3;
+  env.num_workers = 7;
+  env.batch_size = 64;
+  env.materialize_result = true;
+  env.max_queued_batches = 12;
+  env.memory_budget_bytes = 1 << 20;
+  env.collect_metrics = false;
+  env.record_trace = true;
+  env.trace_origin_ns = 1234567890123;
+  env.fault_scenario = "drop-batch op=2 after=5";
+  env.plan_text = SerializePlan(MakePlan());
+
+  std::vector<std::byte> wire;
+  EncodePlanEnvelope(env, &wire);
+  WireReader reader(wire);
+  PlanEnvelope decoded;
+  ASSERT_TRUE(DecodePlanEnvelope(&reader, &decoded).ok());
+  EXPECT_EQ(decoded.protocol_version, env.protocol_version);
+  EXPECT_EQ(decoded.worker_id, env.worker_id);
+  EXPECT_EQ(decoded.num_workers, env.num_workers);
+  EXPECT_EQ(decoded.batch_size, env.batch_size);
+  EXPECT_EQ(decoded.materialize_result, env.materialize_result);
+  EXPECT_EQ(decoded.max_queued_batches, env.max_queued_batches);
+  EXPECT_EQ(decoded.memory_budget_bytes, env.memory_budget_bytes);
+  EXPECT_EQ(decoded.collect_metrics, env.collect_metrics);
+  EXPECT_EQ(decoded.record_trace, env.record_trace);
+  EXPECT_EQ(decoded.trace_origin_ns, env.trace_origin_ns);
+  EXPECT_EQ(decoded.fault_scenario, env.fault_scenario);
+  EXPECT_EQ(decoded.plan_text, env.plan_text);
+
+  // A truncated envelope (e.g. from a frame cut short) errors cleanly.
+  for (size_t len = 0; len < wire.size(); len += 13) {
+    WireReader short_reader(wire.data(), len);
+    PlanEnvelope ignored;
+    EXPECT_FALSE(DecodePlanEnvelope(&short_reader, &ignored).ok())
+        << "truncated to " << len;
+  }
+}
+
+TEST(StatusPayloadTest, RoundTripsCodeAndMessage) {
+  for (Status status :
+       {Status::Unavailable("worker 2 (pid 123) killed by signal 9"),
+        Status::ResourceExhausted("memory budget exceeded"),
+        Status::Internal("injected fault: operator 9 failed")}) {
+    std::vector<std::byte> wire;
+    EncodeStatusPayload(status, &wire);
+    WireReader reader(wire);
+    Status decoded = Status::OK();
+    ASSERT_TRUE(DecodeStatusPayload(&reader, &decoded).ok());
+    EXPECT_EQ(decoded.code(), status.code());
+    EXPECT_EQ(decoded.message(), status.message());
+  }
+}
+
+// --- FrameChannel: reassembly from arbitrary read() boundaries ------------
+
+class FrameChannelTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(SetNonBlocking(sv[0]).ok());
+    channel_ = std::make_unique<FrameChannel>(sv[0], "test peer");
+    raw_fd_ = sv[1];
+  }
+
+  void TearDown() override {
+    if (raw_fd_ >= 0) close(raw_fd_);
+  }
+
+  // Writes `bytes` to the raw end in chunks of `chunk` bytes, calling
+  // ReadAvailable after every chunk — simulating a stream that fragments
+  // frames at every possible boundary.
+  void DripFeed(const std::vector<std::byte>& bytes, size_t chunk) {
+    for (size_t off = 0; off < bytes.size(); off += chunk) {
+      size_t n = std::min(chunk, bytes.size() - off);
+      ASSERT_EQ(write(raw_fd_, bytes.data() + off, n),
+                static_cast<ssize_t>(n));
+      bool peer_closed = false;
+      ASSERT_TRUE(channel_->ReadAvailable(&peer_closed).ok());
+      ASSERT_FALSE(peer_closed);
+    }
+  }
+
+  static std::vector<std::byte> EncodeFrame(
+      FrameType type, const std::vector<std::byte>& payload) {
+    std::vector<std::byte> bytes;
+    PutU32(&bytes, static_cast<uint32_t>(1 + payload.size()));
+    PutU8(&bytes, static_cast<uint8_t>(type));
+    bytes.insert(bytes.end(), payload.begin(), payload.end());
+    return bytes;
+  }
+
+  std::unique_ptr<FrameChannel> channel_;
+  int raw_fd_ = -1;
+};
+
+TEST_F(FrameChannelTest, ReassemblesFramesFromSingleByteReads) {
+  std::vector<std::byte> payload;
+  PutU64(&payload, 0xDEADBEEFCAFEF00Dull);
+  PutString(&payload, "hello across the wire");
+  std::vector<std::byte> bytes = EncodeFrame(FrameType::kData, payload);
+  // Two back-to-back frames, dripped one byte at a time.
+  std::vector<std::byte> stream = bytes;
+  stream.insert(stream.end(), bytes.begin(), bytes.end());
+
+  DripFeed(stream, 1);
+
+  for (int i = 0; i < 2; ++i) {
+    Frame frame;
+    ASSERT_TRUE(channel_->NextFrame(&frame)) << "frame " << i;
+    EXPECT_EQ(frame.type, FrameType::kData);
+    EXPECT_EQ(frame.payload, payload);
+  }
+  Frame none;
+  EXPECT_FALSE(channel_->NextFrame(&none));
+  EXPECT_EQ(channel_->stats().frames_received, 2u);
+}
+
+TEST_F(FrameChannelTest, QueueAndFlushDeliversAcrossTheSocket) {
+  std::vector<std::byte> payload;
+  PutU32(&payload, 7);
+  channel_->QueueFrame(FrameType::kCredit, payload);
+  ASSERT_TRUE(channel_->Flush().ok());
+  EXPECT_FALSE(channel_->has_pending_output());
+
+  // Read the raw bytes off the far end and check the frame envelope.
+  std::vector<std::byte> expected = EncodeFrame(FrameType::kCredit, payload);
+  std::vector<std::byte> got(expected.size());
+  ASSERT_EQ(read(raw_fd_, got.data(), got.size()),
+            static_cast<ssize_t>(got.size()));
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(channel_->stats().frames_sent, 1u);
+  EXPECT_EQ(channel_->stats().bytes_sent, expected.size());
+}
+
+TEST_F(FrameChannelTest, OversizedLengthPoisonsTheChannel) {
+  std::vector<std::byte> bogus;
+  PutU32(&bogus, kMaxFrameBytes + 1);
+  ASSERT_EQ(write(raw_fd_, bogus.data(), bogus.size()),
+            static_cast<ssize_t>(bogus.size()));
+  bool peer_closed = false;
+  Status status = channel_->ReadAvailable(&peer_closed);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(FrameChannelTest, PeerCloseReportedAfterFinalFrames) {
+  std::vector<std::byte> payload;
+  PutU32(&payload, 42);
+  std::vector<std::byte> bytes = EncodeFrame(FrameType::kMilestone, payload);
+  ASSERT_EQ(write(raw_fd_, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  close(raw_fd_);
+  raw_fd_ = -1;
+
+  // The first call drains the frame bytes (a short read ends the recv
+  // loop); the EOF surfaces on the next call, as it does in the
+  // coordinator's poll loop when the close generates its own POLLIN.
+  bool peer_closed = false;
+  ASSERT_TRUE(channel_->ReadAvailable(&peer_closed).ok());
+  if (!peer_closed) {
+    ASSERT_TRUE(channel_->ReadAvailable(&peer_closed).ok());
+  }
+  EXPECT_TRUE(peer_closed);
+  // The frame that arrived before the close is still recoverable.
+  Frame frame;
+  ASSERT_TRUE(channel_->NextFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kMilestone);
+}
+
+}  // namespace
+}  // namespace mjoin

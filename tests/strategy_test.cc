@@ -167,7 +167,9 @@ TEST(StrategyTest, RdOnLeftLinearDegeneratesToSp) {
   ParallelPlan sp = Plan(StrategyKind::kSP, QueryShape::kLeftLinear, 10);
   EXPECT_EQ(rd.groups.size(), sp.groups.size());
   for (const XraOp& op : rd.ops) {
-    if (op.is_join()) EXPECT_EQ(op.processors.size(), 10u);
+    if (op.is_join()) {
+      EXPECT_EQ(op.processors.size(), 10u);
+    }
   }
   EXPECT_EQ(CountKind(rd, XraOpKind::kRescan),
             CountKind(sp, XraOpKind::kRescan));

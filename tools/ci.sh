@@ -30,15 +30,20 @@ cmake --build build-ci --target hotpath_suite -j "$(nproc)"
 ./build-ci/bench/hotpath_suite --smoke --out=build-ci/BENCH_hotpath_smoke.json
 echo "archived build-ci/BENCH_hotpath_smoke.json"
 
+echo "== ci: net smoke bench =="
+cmake --build build-ci --target net_throughput -j "$(nproc)"
+./build-ci/bench/net_throughput --smoke --out=build-ci/BENCH_net_smoke.json
+echo "archived build-ci/BENCH_net_smoke.json"
+
 if [ "$MODE" = fast ]; then
   echo "ci gate (fast) passed — run the full gate before merging"
   exit 0
 fi
 
 echo "== ci: thread sanitizer =="
-tools/run_sanitized_tests.sh thread thread_metrics_test
+tools/run_sanitized_tests.sh thread thread_metrics_test process_backend_fault_test
 
 echo "== ci: address sanitizer =="
-tools/run_sanitized_tests.sh address thread_metrics_test
+tools/run_sanitized_tests.sh address thread_metrics_test net_wire_test process_backend_fault_test
 
 echo "ci gate passed"

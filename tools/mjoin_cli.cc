@@ -31,6 +31,7 @@
 #include "engine/database.h"
 #include "engine/experiment.h"
 #include "engine/fault_injector.h"
+#include "engine/process_executor.h"
 #include "engine/reference.h"
 #include "engine/sim_executor.h"
 #include "engine/thread_executor.h"
@@ -76,8 +77,11 @@ int Usage() {
       "  --diagram   print the utilization diagram (run)\n"
       "  --out FILE  plan file to write (save-plan)\n"
       "  --plan FILE plan file to execute (run-plan)\n"
-      "  --backend   sim|thread (run; default sim)\n"
-      "thread-backend resilience flags (run --backend thread):\n"
+      "  --backend   sim|thread|process (run; default sim)\n"
+      "process-backend flags (run --backend process):\n"
+      "  --workers N        worker processes to fork (default: one per\n"
+      "                     plan processor)\n"
+      "resilience flags (run --backend thread|process):\n"
       "  --batch N          tuples per inter-node batch (default 256)\n"
       "  --max-queue N      bound on queued batches per node (0=unbounded)\n"
       "  --budget BYTES     per-query memory budget (0=unlimited)\n"
@@ -89,7 +93,7 @@ int Usage() {
       "  --fault-after N    fail-op: batches to let through first\n"
       "  --fault-prob P     drop/dup per-batch probability (default 1.0)\n"
       "  --fault-seed N     seed for probabilistic faults\n"
-      "thread-backend observability flags (run --backend thread):\n"
+      "observability flags (run --backend thread|process):\n"
       "  --metrics          print the per-operator metrics table and the\n"
       "                     run-level metrics registry\n"
       "  --trace-out FILE   record a wall-clock trace and write it as\n"
@@ -224,10 +228,13 @@ void PrintThreadStats(const ThreadExecStats& stats) {
       static_cast<unsigned long long>(stats.peak_memory_bytes));
 }
 
-// `run --backend thread`: execute the plan on real OS threads with the
-// resilience knobs (backpressure, budget, deadline, fault injection).
-int RunThreadBackend(const Args& args, const ParallelPlan& plan,
-                     const Common& common) {
+// `run --backend thread|process`: execute the plan on real OS threads or
+// on forked worker processes, with the shared resilience knobs
+// (backpressure, budget, deadline, fault injection) and observability
+// flags. The two backends accept the same options and produce the same
+// result shape, so one driver covers both.
+int RunExecBackend(const Args& args, const ParallelPlan& plan,
+                   const Common& common, bool process_backend) {
   FaultScenario scenario;
   if (!ParseFaultKind(args.Get("fault", "none"), &scenario.kind)) {
     std::fprintf(stderr, "unknown fault kind\n");
@@ -262,9 +269,27 @@ int RunThreadBackend(const Args& args, const ParallelPlan& plan,
 
   Database db =
       MakeWisconsinDatabase(common.relations, common.card, common.seed);
-  ThreadExecutor executor(&db);
   ThreadExecStats stats;
-  auto run = executor.Execute(plan, options, &stats);
+  ProcessNetStats net;
+  StatusOr<ThreadQueryResult> run =
+      Status::Internal("backend produced no result");  // always overwritten
+  if (process_backend) {
+    ProcessExecutor executor(&db);
+    ProcessExecOptions process_options;
+    process_options.exec = options;
+    process_options.num_workers =
+        static_cast<uint32_t>(args.GetInt("workers", 0));
+    auto outcome = executor.Execute(plan, process_options, &stats, &net);
+    if (outcome.ok()) {
+      net = outcome->net;
+      run = std::move(outcome->exec);
+    } else {
+      run = outcome.status();
+    }
+  } else {
+    ThreadExecutor executor(&db);
+    run = executor.Execute(plan, options, &stats);
+  }
   if (!run.ok()) {
     std::fprintf(stderr, "%s\npartial progress before abort:\n",
                  run.status().ToString().c_str());
@@ -275,14 +300,36 @@ int RunThreadBackend(const Args& args, const ParallelPlan& plan,
     }
     return 1;
   }
-  std::printf(
-      "strategy %s on %u threads: %.3f s wall, %llu result tuples\n",
-      plan.strategy.c_str(), plan.num_processors, run->wall_seconds,
-      static_cast<unsigned long long>(run->result.cardinality));
+  if (process_backend) {
+    std::printf(
+        "strategy %s on %u processors in %u worker processes: %.3f s wall, "
+        "%llu result tuples\n",
+        plan.strategy.c_str(), plan.num_processors, net.num_workers,
+        run->wall_seconds,
+        static_cast<unsigned long long>(run->result.cardinality));
+  } else {
+    std::printf(
+        "strategy %s on %u threads: %.3f s wall, %llu result tuples\n",
+        plan.strategy.c_str(), plan.num_processors, run->wall_seconds,
+        static_cast<unsigned long long>(run->result.cardinality));
+  }
   PrintThreadStats(run->stats);
+  if (process_backend) {
+    std::printf(
+        "network: %s sent, %llu data frames routed, %llu local "
+        "deliveries, %llu credit stalls\n",
+        FormatBytes(net.bytes_sent).c_str(),
+        static_cast<unsigned long long>(net.data_frames_routed),
+        static_cast<unsigned long long>(net.local_deliveries),
+        static_cast<unsigned long long>(net.credit_stalls));
+  }
   if (want_metrics) {
     std::printf("\nper-operator metrics:\n%s",
                 RenderThreadOpStats(run->stats).c_str());
+    if (process_backend) {
+      std::printf("\nnetwork counters:\n%s",
+                  RenderProcessNetStats(net).c_str());
+    }
     std::printf("\nmetrics registry:\n%s", registry.RenderTable().c_str());
   }
   if (want_diagram && run->trace != nullptr) {
@@ -301,10 +348,14 @@ int RunThreadBackend(const Args& args, const ParallelPlan& plan,
                 trace_out.c_str(),
                 static_cast<unsigned long long>(run->trace->num_events()));
   }
-  if (injector.faults_injected() > 0) {
+  // In the process backend the injectors fire inside the workers; their
+  // counts come back aggregated in the net stats.
+  uint64_t faults_injected =
+      process_backend ? net.faults_injected : injector.faults_injected();
+  if (faults_injected > 0) {
     std::printf("faults injected (%s): %llu\n",
                 FaultKindName(scenario.kind).c_str(),
-                static_cast<unsigned long long>(injector.faults_injected()));
+                static_cast<unsigned long long>(faults_injected));
   }
 
   // Drop/duplicate faults knowingly corrupt the result; verifying against
@@ -339,9 +390,15 @@ int CmdRun(const Args& args) {
     return 1;
   }
   std::string backend = args.Get("backend", "sim");
-  if (backend == "thread") return RunThreadBackend(args, *plan, common);
+  if (backend == "thread") {
+    return RunExecBackend(args, *plan, common, /*process_backend=*/false);
+  }
+  if (backend == "process") {
+    return RunExecBackend(args, *plan, common, /*process_backend=*/true);
+  }
   if (backend != "sim") {
-    std::fprintf(stderr, "unknown backend\n");
+    std::fprintf(stderr, "unknown backend '%s' (valid: sim|thread|process)\n",
+                 backend.c_str());
     return 2;
   }
   // Verify against the reference first.

@@ -6,6 +6,10 @@
 # Defaults to ThreadSanitizer and the threaded-executor tests (the ones
 # with real cross-thread traffic). Pass additional ctest test names to
 # widen the run, or 'address' for an ASan pass over the same set.
+#
+# The process-backend tests run under both sanitizers too (see ci.sh):
+# workers _exit() after their fork, so ASan's leak check covers the
+# coordinator — a leaked socket or un-reaped child shows up there.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -31,7 +35,9 @@ REGEX="$(IFS='|'; echo "${TESTS[*]}")"
 if [ "$SANITIZER" = thread ]; then
   export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 else
-  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1}"
+  # detect_leaks explicitly on: the process-backend coordinator must not
+  # leak channels or batch buffers even when a run aborts mid-query.
+  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
 fi
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R "^(${REGEX})$"
 echo "${SANITIZER} sanitizer pass clean: ${TESTS[*]}"
