@@ -26,7 +26,7 @@ class MemoryBudget {
 
   /// Reserves `bytes` against the budget. On overflow the reservation is
   /// rolled back and ResourceExhausted is returned.
-  Status Reserve(size_t bytes);
+  [[nodiscard]] Status Reserve(size_t bytes);
 
   /// Returns a previously reserved amount.
   void Release(size_t bytes);
@@ -62,7 +62,7 @@ class MemoryReservation {
 
   /// Grows or shrinks the reservation to `new_bytes` total. On failure the
   /// holder keeps its previous size and the budget is unchanged.
-  Status Resize(size_t new_bytes);
+  [[nodiscard]] Status Resize(size_t new_bytes);
 
   /// Releases everything held.
   void Reset();

@@ -24,47 +24,52 @@ void Gauge::RaiseMax(int64_t candidate) {
 }
 
 void Histogram::Observe(double value) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   moments_.Add(value);
   samples_.Add(value);
 }
 
-void Histogram::Merge(const Histogram& other) {
-  // Lock ordering: by address, so concurrent cross-merges cannot deadlock.
+// Analysis opt-out: the address-ordered double acquisition below is
+// conditional, which the thread-safety analysis cannot follow. The
+// discipline holds because both locks are always taken in ascending
+// address order, so concurrent cross-merges cannot deadlock.
+void Histogram::Merge(const Histogram& other) MJOIN_NO_THREAD_SAFETY_ANALYSIS {
   if (this == &other) return;
-  std::lock_guard<std::mutex> first(this < &other ? mutex_ : other.mutex_);
-  std::lock_guard<std::mutex> second(this < &other ? other.mutex_ : mutex_);
+  Mutex* first = this < &other ? &mutex_ : &other.mutex_;
+  Mutex* second = this < &other ? &other.mutex_ : &mutex_;
+  MutexLock outer(first);
+  MutexLock inner(second);
   for (double v : other.samples_.values()) moments_.Add(v);
   samples_.Merge(other.samples_);
 }
 
 int64_t Histogram::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return moments_.count();
 }
 
 double Histogram::mean() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return moments_.mean();
 }
 
 double Histogram::min() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return moments_.min();
 }
 
 double Histogram::max() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return moments_.max();
 }
 
 double Histogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return samples_.Percentile(p);
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -74,7 +79,7 @@ Counter* MetricsRegistry::counter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -83,7 +88,7 @@ Gauge* MetricsRegistry::gauge(std::string_view name) {
 }
 
 Histogram* MetricsRegistry::histogram(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
@@ -93,12 +98,12 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
 }
 
 size_t MetricsRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 
 std::string MetricsRegistry::RenderTable() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   std::map<std::string, std::pair<std::string, std::string>> rows;
   for (const auto& [name, counter] : counters_) {
     rows[name] = {"counter", StrCat(counter->value())};

@@ -5,11 +5,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 
 #include "common/stats.h"
+#include "common/sync.h"
 
 namespace mjoin {
 
@@ -58,9 +58,9 @@ class Histogram {
   double Percentile(double p) const;
 
  private:
-  mutable std::mutex mutex_;
-  StatsAccumulator moments_;
-  PercentileTracker samples_;
+  mutable Mutex mutex_;
+  StatsAccumulator moments_ MJOIN_GUARDED_BY(mutex_);
+  PercentileTracker samples_ MJOIN_GUARDED_BY(mutex_);
 };
 
 /// Named metrics for one engine component, e.g. one threaded execution.
@@ -81,10 +81,13 @@ class MetricsRegistry {
   std::string RenderTable() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MJOIN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MJOIN_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MJOIN_GUARDED_BY(mutex_);
 };
 
 }  // namespace mjoin

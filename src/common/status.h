@@ -34,7 +34,11 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// A Status holds an error code plus a message. The OK status carries no
 /// allocation and is cheap to copy.
-class Status {
+///
+/// The class is [[nodiscard]]: every call returning a Status by value must
+/// handle it, propagate it (MJOIN_RETURN_IF_ERROR), or discard it with an
+/// explicit `(void)` cast plus a comment saying why dropping it is safe.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string message)
@@ -45,38 +49,38 @@ class Status {
   Status(Status&&) = default;
   Status& operator=(Status&&) = default;
 
-  static Status OK() { return Status(); }
-  static Status InvalidArgument(std::string msg) {
+  [[nodiscard]] static Status OK() { return Status(); }
+  [[nodiscard]] static Status InvalidArgument(std::string msg) {
     return Status(StatusCode::kInvalidArgument, std::move(msg));
   }
-  static Status NotFound(std::string msg) {
+  [[nodiscard]] static Status NotFound(std::string msg) {
     return Status(StatusCode::kNotFound, std::move(msg));
   }
-  static Status AlreadyExists(std::string msg) {
+  [[nodiscard]] static Status AlreadyExists(std::string msg) {
     return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
-  static Status OutOfRange(std::string msg) {
+  [[nodiscard]] static Status OutOfRange(std::string msg) {
     return Status(StatusCode::kOutOfRange, std::move(msg));
   }
-  static Status FailedPrecondition(std::string msg) {
+  [[nodiscard]] static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
   }
-  static Status Unimplemented(std::string msg) {
+  [[nodiscard]] static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
   }
-  static Status Internal(std::string msg) {
+  [[nodiscard]] static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
-  static Status ResourceExhausted(std::string msg) {
+  [[nodiscard]] static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
-  static Status Cancelled(std::string msg) {
+  [[nodiscard]] static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
-  static Status DeadlineExceeded(std::string msg) {
+  [[nodiscard]] static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
-  static Status Unavailable(std::string msg) {
+  [[nodiscard]] static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
 

@@ -12,8 +12,11 @@ namespace mjoin {
 /// StatusOr<T> holds either an OK status plus a value of type T, or a
 /// non-OK status. It is the return type of fallible functions that produce
 /// a value (exceptions are not used in this codebase).
+///
+/// [[nodiscard]] like Status: ignoring a StatusOr return silently drops
+/// both the value and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Implicit construction from a value is intentional: `return value;`.
   StatusOr(T value) : value_(std::move(value)) {}  // NOLINT

@@ -21,9 +21,9 @@ class Database {
   Database& operator=(const Database&) = delete;
 
   /// Registers `relation` under `name`; fails if the name exists.
-  Status Add(const std::string& name, Relation relation);
+  [[nodiscard]] Status Add(const std::string& name, Relation relation);
 
-  StatusOr<const Relation*> Get(const std::string& name) const;
+  [[nodiscard]] StatusOr<const Relation*> Get(const std::string& name) const;
   bool Contains(const std::string& name) const {
     return relations_.contains(name);
   }

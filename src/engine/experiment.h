@@ -65,7 +65,8 @@ struct ExperimentResult {
 /// once from config.seed; every (strategy, P) cell is one simulated
 /// execution. Fails on the first simulation error; strategies that cannot
 /// be placed at a given P produce an empty cell instead.
-StatusOr<ExperimentResult> RunShapeExperiment(const ExperimentConfig& config);
+[[nodiscard]] StatusOr<ExperimentResult> RunShapeExperiment(
+    const ExperimentConfig& config);
 
 /// Runs the two panels of one paper figure (5K and 40K) and returns the
 /// formatted output, ready to print.
@@ -74,7 +75,7 @@ struct FigureOutput {
   ExperimentResult small;  // 5K panel
   ExperimentResult large;  // 40K panel
 };
-StatusOr<FigureOutput> RunPaperFigure(QueryShape shape,
+[[nodiscard]] StatusOr<FigureOutput> RunPaperFigure(QueryShape shape,
                                       const CostParams& costs,
                                       uint32_t small_cardinality,
                                       uint32_t large_cardinality,

@@ -148,7 +148,7 @@ Status FaultInjector::BeforeConsume(int op) {
 
 bool FaultInjector::Roll() {
   if (scenario_.probability >= 1.0) return true;
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   return std::uniform_real_distribution<double>(0.0, 1.0)(rng_) <
          scenario_.probability;
 }

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <random>
 #include <string>
 
 #include "common/statusor.h"
+#include "common/sync.h"
 
 namespace mjoin {
 
@@ -61,7 +61,8 @@ FaultPoint FaultPointOf(FaultKind kind);
 /// worker handshake of the process backend. Parse accepts exactly what
 /// Serialize produces, plus any subset of the key=value fields.
 std::string SerializeFaultScenario(const struct FaultScenario& scenario);
-StatusOr<struct FaultScenario> ParseFaultScenario(const std::string& text);
+[[nodiscard]] StatusOr<struct FaultScenario> ParseFaultScenario(
+    const std::string& text);
 
 /// Parameters of one injected fault.
 struct FaultScenario {
@@ -110,7 +111,7 @@ class FaultInjector {
   /// FaultPoint::kConsume — called before Consume() on `op`; a non-OK
   /// status is the injected mid-stream operator failure and aborts the
   /// query.
-  Status BeforeConsume(int op);
+  [[nodiscard]] Status BeforeConsume(int op);
 
   /// Number of faults actually fired (for test assertions).
   uint64_t faults_injected() const {
@@ -126,8 +127,8 @@ class FaultInjector {
   bool Roll();
 
   const FaultScenario scenario_;
-  std::mutex mutex_;  // guards rng_
-  std::mt19937_64 rng_;
+  Mutex mutex_;
+  std::mt19937_64 rng_ MJOIN_GUARDED_BY(mutex_);
   std::atomic<uint64_t> batches_seen_{0};
   std::atomic<uint64_t> injected_{0};
 };

@@ -71,12 +71,14 @@ class MultiJoinEngine {
 
   /// Executes a fully-specified query (tree + semantics), e.g. from
   /// MakeWisconsinChainQuery or GeneralQuerySpec::BindTree.
-  StatusOr<EngineQueryOutcome> ExecuteQuery(const JoinQuery& query,
+  [[nodiscard]] StatusOr<EngineQueryOutcome> ExecuteQuery(
+      const JoinQuery& query,
                                             const EngineQueryOptions& options);
 
   /// Runs both phases on a general query spec: optimizes the join order
   /// over spec.ToJoinGraph(), binds semantics, then executes.
-  StatusOr<EngineQueryOutcome> ExecuteGraph(const GeneralQuerySpec& spec,
+  [[nodiscard]] StatusOr<EngineQueryOutcome> ExecuteGraph(
+      const GeneralQuerySpec& spec,
                                             const EngineQueryOptions& options);
 
  private:

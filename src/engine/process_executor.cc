@@ -89,6 +89,7 @@ class Coordinator {
   }
   int64_t NowSinceEpochNs() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               // lint:allow-clock trace origin shipped in the handshake
                std::chrono::steady_clock::now().time_since_epoch())
         .count();
   }
@@ -283,6 +284,7 @@ bool Coordinator::CheckRuntime() {
     Abort(Status::Cancelled("query cancelled by caller"));
     return false;
   }
+  // lint:allow-clock deadline check, one read per poll iteration
   if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_point_) {
     Abort(Status::DeadlineExceeded("query ran past its deadline"));
     return false;
@@ -528,12 +530,19 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
         }
       }
       return;
-    default:
-      Abort(Status::InvalidArgument(
-          StrCat("coordinator received unexpected ",
-                 FrameTypeName(frame.type), " frame from worker ", w)));
-      return;
+    // Coordinator-to-worker frame types; the coordinator never receives
+    // them. The switch lists every FrameType so -Wswitch flags new wire
+    // frames that are silently unrouted here.
+    case FrameType::kPlan:
+    case FrameType::kFragment:
+    case FrameType::kTrigger:
+    case FrameType::kFinish:
+    case FrameType::kShutdown:
+      break;
   }
+  Abort(Status::InvalidArgument(StrCat("coordinator received unexpected ",
+                                       FrameTypeName(frame.type),
+                                       " frame from worker ", w)));
 }
 
 void Coordinator::PollOnce(int timeout_ms) {
@@ -623,6 +632,7 @@ void Coordinator::ShutdownFleet() {
   }
   // Drain the shutdown frames (tiny; one flush round normally suffices).
   auto flush_deadline =
+      // lint:allow-clock shutdown flush deadline, teardown only
       std::chrono::steady_clock::now() + std::chrono::seconds(5);
   for (;;) {
     bool pending = false;
@@ -637,6 +647,7 @@ void Coordinator::ShutdownFleet() {
       }
       if (worker.chan->has_pending_output()) pending = true;
     }
+    // lint:allow-clock shutdown flush deadline, teardown only
     if (!pending || std::chrono::steady_clock::now() >= flush_deadline) break;
     struct pollfd none;
     none.fd = -1;
@@ -746,6 +757,7 @@ void PublishProcessMetrics(const ThreadExecStats& stats,
 
 StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
                                               ProcessNetStats* net_out) {
+  // lint:allow-clock run wall-clock start, once per query
   auto start = std::chrono::steady_clock::now();
   trace_origin_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
                          start.time_since_epoch())
@@ -799,6 +811,7 @@ StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
     PollOnce(/*timeout_ms=*/20);
     if (aborted_) break;
   }
+  // lint:allow-clock run wall-clock end, once per query
   auto end = std::chrono::steady_clock::now();
 
   if (aborted_) {

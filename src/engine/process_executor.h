@@ -104,7 +104,7 @@ class ProcessExecutor {
   /// status for worker-side errors, Cancelled/DeadlineExceeded from the
   /// coordinator) and the out-parameters, when non-null, receive the
   /// partial counters known to the coordinator at the abort.
-  StatusOr<ProcessQueryResult> Execute(const ParallelPlan& plan,
+  [[nodiscard]] StatusOr<ProcessQueryResult> Execute(const ParallelPlan& plan,
                                        const ProcessExecOptions& options,
                                        ThreadExecStats* stats_out = nullptr,
                                        ProcessNetStats* net_out = nullptr)

@@ -46,7 +46,7 @@ struct PlanEnvelope {
 };
 
 void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out);
-Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env);
+[[nodiscard]] Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env);
 
 /// kHello.
 struct HelloMsg {
@@ -56,7 +56,7 @@ struct HelloMsg {
 };
 
 void EncodeHello(const HelloMsg& msg, std::vector<std::byte>* out);
-Status DecodeHello(WireReader* reader, HelloMsg* msg);
+[[nodiscard]] Status DecodeHello(WireReader* reader, HelloMsg* msg);
 
 /// Routing header of kData / kEos (the batch wire bytes follow for kData).
 struct RouteHeader {
@@ -66,7 +66,7 @@ struct RouteHeader {
 };
 
 void EncodeRouteHeader(const RouteHeader& route, std::vector<std::byte>* out);
-Status DecodeRouteHeader(WireReader* reader, RouteHeader* route);
+[[nodiscard]] Status DecodeRouteHeader(WireReader* reader, RouteHeader* route);
 
 /// kFragment header (batch wire bytes follow).
 struct FragmentHeader {
@@ -76,7 +76,8 @@ struct FragmentHeader {
 
 void EncodeFragmentHeader(const FragmentHeader& header,
                           std::vector<std::byte>* out);
-Status DecodeFragmentHeader(WireReader* reader, FragmentHeader* header);
+[[nodiscard]] Status DecodeFragmentHeader(WireReader* reader,
+                                          FragmentHeader* header);
 
 /// kMilestone.
 struct MilestoneMsg {
@@ -86,7 +87,7 @@ struct MilestoneMsg {
 };
 
 void EncodeMilestone(const MilestoneMsg& msg, std::vector<std::byte>* out);
-Status DecodeMilestone(WireReader* reader, MilestoneMsg* msg);
+[[nodiscard]] Status DecodeMilestone(WireReader* reader, MilestoneMsg* msg);
 
 /// kSummary.
 struct SummaryMsg {
@@ -95,7 +96,7 @@ struct SummaryMsg {
 };
 
 void EncodeSummary(const SummaryMsg& msg, std::vector<std::byte>* out);
-Status DecodeSummary(WireReader* reader, SummaryMsg* msg);
+[[nodiscard]] Status DecodeSummary(WireReader* reader, SummaryMsg* msg);
 
 /// kOpStats: one op's metrics merged over the sending worker's hosted
 /// instances (the coordinator further merges across workers).
@@ -106,7 +107,7 @@ struct OpStatsMsg {
 };
 
 void EncodeOpStats(const OpStatsMsg& msg, std::vector<std::byte>* out);
-Status DecodeOpStats(WireReader* reader, OpStatsMsg* msg);
+[[nodiscard]] Status DecodeOpStats(WireReader* reader, OpStatsMsg* msg);
 
 /// kNetStats: one worker's run-level counters.
 struct WorkerRunStats {
@@ -132,7 +133,8 @@ struct WorkerRunStats {
 
 void EncodeWorkerRunStats(const WorkerRunStats& stats,
                           std::vector<std::byte>* out);
-Status DecodeWorkerRunStats(WireReader* reader, WorkerRunStats* stats);
+[[nodiscard]] Status DecodeWorkerRunStats(WireReader* reader,
+                                          WorkerRunStats* stats);
 
 /// kTraceEvents: a worker's recorded busy intervals, timestamped against
 /// the coordinator's origin. `node` is the plan processor (its lane).
@@ -146,12 +148,12 @@ struct WireTraceEvent {
 
 void EncodeTraceEvents(const std::vector<WireTraceEvent>& events,
                        std::vector<std::byte>* out);
-Status DecodeTraceEvents(WireReader* reader,
+[[nodiscard]] Status DecodeTraceEvents(WireReader* reader,
                          std::vector<WireTraceEvent>* events);
 
 /// kError: a worker's fatal status, reconstructed coordinator-side.
 void EncodeStatusPayload(const Status& status, std::vector<std::byte>* out);
-Status DecodeStatusPayload(WireReader* reader, Status* status);
+[[nodiscard]] Status DecodeStatusPayload(WireReader* reader, Status* status);
 
 /// FNV-1a (64-bit) over arbitrary text; the kHello plan-echo hash.
 uint64_t FnvHash64(const std::string& text);

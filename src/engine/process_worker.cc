@@ -180,6 +180,7 @@ class WorkerRun {
   }
   int64_t NowNs() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               // lint:allow-clock trace timestamp, record_trace path only
                std::chrono::steady_clock::now().time_since_epoch())
                .count() -
            env_.trace_origin_ns;
@@ -832,11 +833,24 @@ Status WorkerRun::HandleFrame(const Frame& frame) {
     case FrameType::kShutdown:
       shutdown_ = true;
       return Status::OK();
-    default:
-      return Status::InvalidArgument(
-          StrCat("worker received unexpected ", FrameTypeName(frame.type),
-                 " frame"));
+    // Worker-to-coordinator frame types; a worker never receives them. The
+    // switch lists every FrameType so -Wswitch flags new wire frames that
+    // are silently unrouted here.
+    case FrameType::kHello:
+    case FrameType::kPlan:
+    case FrameType::kMilestone:
+    case FrameType::kCredit:
+    case FrameType::kSummary:
+    case FrameType::kResultRows:
+    case FrameType::kOpStats:
+    case FrameType::kNetStats:
+    case FrameType::kTraceEvents:
+    case FrameType::kError:
+    case FrameType::kBye:
+      break;
   }
+  return Status::InvalidArgument(StrCat(
+      "worker received unexpected ", FrameTypeName(frame.type), " frame"));
 }
 
 Status WorkerRun::Loop() {

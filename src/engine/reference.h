@@ -11,11 +11,11 @@ namespace mjoin {
 /// Single-threaded, strategy-free evaluation of a JoinQuery: the oracle
 /// against which every parallel execution is checked. Evaluates the tree
 /// bottom-up with an in-memory hash join per node.
-StatusOr<Relation> ExecuteReference(const JoinQuery& query,
+[[nodiscard]] StatusOr<Relation> ExecuteReference(const JoinQuery& query,
                                     const Database& database);
 
 /// Convenience: reference execution reduced to its result summary.
-StatusOr<ResultSummary> ReferenceSummary(const JoinQuery& query,
+[[nodiscard]] StatusOr<ResultSummary> ReferenceSummary(const JoinQuery& query,
                                          const Database& database);
 
 }  // namespace mjoin

@@ -73,7 +73,7 @@ class SimExecutor {
   /// `database` must outlive the executor.
   explicit SimExecutor(const Database* database) : database_(database) {}
 
-  StatusOr<SimQueryResult> Execute(const ParallelPlan& plan,
+  [[nodiscard]] StatusOr<SimQueryResult> Execute(const ParallelPlan& plan,
                                    const SimExecOptions& options) const;
 
  private:

@@ -2,17 +2,16 @@
 
 #include <atomic>
 #include <chrono>
-#include <condition_variable>
 #include <cstring>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "common/memory_budget.h"
+#include "common/sync.h"
 #include "common/metrics.h"
 #include "common/string_util.h"
 #include "common/table_printer.h"
@@ -127,45 +126,53 @@ class WorkerNode {
   /// Returns false — message dropped — when the run is stopping; the
   /// caller's query is being torn down anyway.
   bool PostData(std::function<void()> fn, bool bypass_bound) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    if (max_data_ != 0 && !bypass_bound) {
-      bool drained = not_full_.wait_for(lock, block_timeout_, [this] {
-        return stop_ || aborted_->load(std::memory_order_acquire) ||
-               data_in_queue_ < max_data_;
-      });
-      if (stop_ || aborted_->load(std::memory_order_acquire)) return false;
-      if (!drained) overflows_.fetch_add(1, std::memory_order_relaxed);
+    {
+      MutexLock lock(&mutex_);
+      if (max_data_ != 0 && !bypass_bound) {
+        // Absolute deadline so spurious wakeups never extend the total
+        // wait beyond block_timeout_ (matches the old wait_for predicate).
+        // lint:allow-clock backpressure timeout, read only on a full queue
+        auto deadline = std::chrono::steady_clock::now() + block_timeout_;
+        bool drained = true;
+        while (!QueueDrained()) {
+          if (!not_full_.WaitUntil(mutex_, deadline)) {
+            drained = QueueDrained();
+            break;
+          }
+        }
+        if (stop_ || aborted_->load(std::memory_order_acquire)) return false;
+        if (!drained) overflows_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (stop_) return false;
+      queue_.push_back({std::move(fn), true});
+      ++data_in_queue_;
+      peak_depth_ = std::max(peak_depth_, data_in_queue_);
     }
-    if (stop_) return false;
-    queue_.push_back({std::move(fn), true});
-    ++data_in_queue_;
-    peak_depth_ = std::max(peak_depth_, data_in_queue_);
-    lock.unlock();
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Wakes blocked producers and the loop; used when the run aborts.
   void Interrupt() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    not_full_.notify_all();
-    not_empty_.notify_all();
+    MutexLock lock(&mutex_);
+    not_full_.NotifyAll();
+    not_empty_.NotifyAll();
   }
 
   /// Drains the remaining queue (callbacks are no-ops once the run
   /// aborted) and joins the thread.
   void Stop() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       stop_ = true;
     }
-    not_full_.notify_all();
-    not_empty_.notify_one();
+    not_full_.NotifyAll();
+    not_empty_.NotifyOne();
     if (thread_.joinable()) thread_.join();
   }
 
   size_t peak_depth() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     return peak_depth_;
   }
   uint64_t processed_data() const {
@@ -181,33 +188,39 @@ class WorkerNode {
     bool is_data;
   };
 
+  /// True once a blocked producer may proceed: the run is stopping, or the
+  /// queue drained below the data bound.
+  bool QueueDrained() const MJOIN_REQUIRES(mutex_) {
+    return stop_ || aborted_->load(std::memory_order_acquire) ||
+           data_in_queue_ < max_data_;
+  }
+
   void Enqueue(std::function<void()> fn, bool is_data) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(&mutex_);
       queue_.push_back({std::move(fn), is_data});
       if (is_data) {
         ++data_in_queue_;
         peak_depth_ = std::max(peak_depth_, data_in_queue_);
       }
     }
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
   }
 
   void Loop() {
     for (;;) {
       Message msg;
       {
-        std::unique_lock<std::mutex> lock(mutex_);
-        not_empty_.wait(lock, [this] { return stop_ || !queue_.empty(); });
-        if (queue_.empty()) {
-          if (stop_) return;
-          continue;
-        }
+        MutexLock lock(&mutex_);
+        while (!stop_ && queue_.empty()) not_empty_.Wait(mutex_);
+        // stop_ drains the queue before exiting: queued callbacks are
+        // no-ops once the run aborted, but must still be destroyed here.
+        if (queue_.empty()) return;
         msg = std::move(queue_.front());
         queue_.pop_front();
         if (msg.is_data) {
           --data_in_queue_;
-          not_full_.notify_one();
+          not_full_.NotifyOne();
         }
       }
       if (injector_ != nullptr) injector_->OnDequeue(id_);
@@ -224,13 +237,13 @@ class WorkerNode {
   FaultInjector* const injector_;
   const std::atomic<bool>* const aborted_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<Message> queue_;
-  size_t data_in_queue_ = 0;
-  size_t peak_depth_ = 0;
-  bool stop_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<Message> queue_ MJOIN_GUARDED_BY(mutex_);
+  size_t data_in_queue_ MJOIN_GUARDED_BY(mutex_) = 0;
+  size_t peak_depth_ MJOIN_GUARDED_BY(mutex_) = 0;
+  bool stop_ MJOIN_GUARDED_BY(mutex_) = false;
   std::atomic<uint64_t> processed_data_{0};
   std::atomic<uint64_t> overflows_{0};
   std::thread thread_;
@@ -308,6 +321,7 @@ class ThreadRun {
         injector_(options.fault_injector),
         controller_(&plan),
         observe_(options.collect_metrics || options.record_trace),
+        // lint:allow-clock run time origin, once per query
         origin_(std::chrono::steady_clock::now()) {
     if (options.record_trace) {
       std::vector<ThreadTraceOpInfo> infos;
@@ -356,6 +370,7 @@ class ThreadRun {
   /// Nanoseconds since the run's time origin (t=0 of the trace).
   int64_t NowNs() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               // lint:allow-clock observability timestamp, observe_ only
                std::chrono::steady_clock::now() - origin_)
         .count();
   }
@@ -427,11 +442,13 @@ class ThreadRun {
 
   // Scheduler state (controller + completion flag + first error),
   // mutex-protected: any worker thread may deliver a milestone or abort.
-  std::mutex scheduler_mutex_;
-  QueryController controller_;
-  Status run_status_;
-  std::condition_variable done_cv_;
-  bool done_ = false;
+  // QueryController itself is not thread-safe; guarding the member is what
+  // serializes it (the contract its header documents).
+  Mutex scheduler_mutex_;
+  QueryController controller_ MJOIN_GUARDED_BY(scheduler_mutex_);
+  Status run_status_ MJOIN_GUARDED_BY(scheduler_mutex_);
+  CondVar done_cv_;
+  bool done_ MJOIN_GUARDED_BY(scheduler_mutex_) = false;
 
   // Observability: timing is on when either metrics or tracing is; the
   // recorder exists only when tracing is. origin_ is reset when Run()
@@ -591,13 +608,13 @@ Status ThreadRun::Prepare() {
 
 void ThreadRun::Abort(Status status) {
   {
-    std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    MutexLock lock(&scheduler_mutex_);
     if (done_ || aborted_.load(std::memory_order_relaxed)) return;
     run_status_ = std::move(status);
     aborted_.store(true, std::memory_order_release);
   }
   for (auto& node : nodes_) node->Interrupt();
-  done_cv_.notify_all();
+  done_cv_.NotifyAll();
 }
 
 bool ThreadRun::CheckRuntime() {
@@ -606,6 +623,7 @@ bool ThreadRun::CheckRuntime() {
     Abort(Status::Cancelled("query cancelled by caller"));
     return false;
   }
+  // lint:allow-clock deadline check, one read per scheduler tick
   if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_point_) {
     Abort(Status::DeadlineExceeded("query ran past its deadline"));
     return false;
@@ -867,7 +885,7 @@ void ThreadRun::ReportMilestone(int op_id, uint32_t index,
   std::vector<int> ready;
   bool all_done = false;
   {
-    std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    MutexLock lock(&scheduler_mutex_);
     if (aborted_.load(std::memory_order_relaxed)) return;
     ready = controller_.OnInstanceMilestone(op_id, index, milestone);
     all_done = controller_.AllOpsComplete();
@@ -875,10 +893,10 @@ void ThreadRun::ReportMilestone(int op_id, uint32_t index,
   if (!ready.empty()) DispatchGroups(ready);
   if (all_done) {
     {
-      std::lock_guard<std::mutex> lock(scheduler_mutex_);
+      MutexLock lock(&scheduler_mutex_);
       done_ = true;
     }
-    done_cv_.notify_all();
+    done_cv_.NotifyAll();
   }
 }
 
@@ -956,6 +974,7 @@ void PublishMetrics(const ThreadExecStats& stats, double wall_seconds,
 }
 
 StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {
+  // lint:allow-clock run wall-clock start, once per query
   auto start = std::chrono::steady_clock::now();
   origin_ = start;  // trace t=0 and metric timestamps are run-relative
   if (options_.deadline.has_value()) {
@@ -970,7 +989,7 @@ StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {
   if (CheckRuntime()) {
     std::vector<int> initial;
     {
-      std::lock_guard<std::mutex> lock(scheduler_mutex_);
+      MutexLock lock(&scheduler_mutex_);
       initial = controller_.TakeInitialGroups();
     }
     DispatchGroups(initial);
@@ -981,14 +1000,18 @@ StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {
   // an injected fault) when the token fires.
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(scheduler_mutex_);
-      done_cv_.wait_for(lock, std::chrono::milliseconds(10), [this] {
-        return done_ || aborted_.load(std::memory_order_relaxed);
-      });
+      MutexLock lock(&scheduler_mutex_);
+      auto poll_deadline =
+          // lint:allow-clock scheduler poll tick, not a per-batch read
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(10);
+      while (!done_ && !aborted_.load(std::memory_order_relaxed)) {
+        if (!done_cv_.WaitUntil(scheduler_mutex_, poll_deadline)) break;
+      }
       if (done_ || aborted_.load(std::memory_order_relaxed)) break;
     }
     if (!CheckRuntime()) break;
   }
+  // lint:allow-clock run wall-clock end, once per query
   auto end = std::chrono::steady_clock::now();
 
   // Teardown: always join every worker, success or abort. Stop() wakes
@@ -1006,7 +1029,7 @@ StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {
   }
 
   if (aborted_.load(std::memory_order_acquire)) {
-    std::lock_guard<std::mutex> lock(scheduler_mutex_);
+    MutexLock lock(&scheduler_mutex_);
     return run_status_;
   }
 
@@ -1070,7 +1093,7 @@ StatusOr<ThreadQueryResult> ThreadExecutor::Execute(
   MJOIN_RETURN_IF_ERROR(plan.Validate());
   std::vector<BatchPool*> pools;
   {
-    std::lock_guard<std::mutex> lock(pools_mutex_);
+    MutexLock lock(&pools_mutex_);
     while (pools_.size() < plan.num_processors) {
       pools_.push_back(std::make_unique<BatchPool>());
     }

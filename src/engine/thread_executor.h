@@ -4,13 +4,13 @@
 #include <chrono>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
 #include "common/cancellation.h"
 #include "common/statusor.h"
+#include "common/sync.h"
 #include "engine/database.h"
 #include "engine/result.h"
 #include "engine/thread_trace.h"
@@ -161,7 +161,7 @@ class ThreadExecutor {
   /// (ResourceExhausted, Cancelled, DeadlineExceeded, an injected fault,
   /// ...) and `stats_out`, when non-null, receives the partial-progress
   /// counters gathered up to the abort.
-  StatusOr<ThreadQueryResult> Execute(const ParallelPlan& plan,
+  [[nodiscard]] StatusOr<ThreadQueryResult> Execute(const ParallelPlan& plan,
                                       const ThreadExecOptions& options,
                                       ThreadExecStats* stats_out = nullptr)
       const;
@@ -174,8 +174,9 @@ class ThreadExecutor {
   // freelists survive, so a repeated query allocates (almost) no batch
   // buffers. BatchPool is internally thread-safe; the mutex only guards
   // the vector's growth. Pools outlive every run they serve.
-  mutable std::mutex pools_mutex_;
-  mutable std::vector<std::unique_ptr<BatchPool>> pools_;
+  mutable Mutex pools_mutex_;
+  mutable std::vector<std::unique_ptr<BatchPool>> pools_
+      MJOIN_GUARDED_BY(pools_mutex_);
 };
 
 }  // namespace mjoin

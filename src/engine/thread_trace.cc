@@ -76,6 +76,7 @@ ThreadTraceRecorder::ThreadTraceRecorder(uint32_t num_workers,
                                          std::vector<ThreadTraceOpInfo> ops)
     : ops_(std::move(ops)),
       events_(num_workers),
+      // lint:allow-clock trace origin, recorders exist only when tracing
       origin_(std::chrono::steady_clock::now()) {}
 
 void ThreadTraceRecorder::Record(uint32_t worker, int64_t start_ns,

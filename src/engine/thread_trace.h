@@ -70,6 +70,7 @@ class ThreadTraceRecorder {
   /// Nanoseconds since the origin.
   int64_t NowNs() const {
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               // lint:allow-clock trace timestamp, record_trace path only
                std::chrono::steady_clock::now() - origin_)
         .count();
   }

@@ -32,6 +32,7 @@ StatusOr<std::unique_ptr<AggregateOp>> AggregateOp::Make(
       Column::Int32(StrCat("max_", value_name)),
   }));
   return std::unique_ptr<AggregateOp>(
+      // lint:allow-new private-constructor factory, owned immediately
       new AggregateOp(std::move(input_schema), group_column, value_column,
                       std::move(output_schema)));
 }

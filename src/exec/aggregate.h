@@ -18,7 +18,7 @@ namespace mjoin {
 class AggregateOp : public Operator {
  public:
   /// Validates `group_column` and `value_column` against `input_schema`.
-  static StatusOr<std::unique_ptr<AggregateOp>> Make(
+  [[nodiscard]] static StatusOr<std::unique_ptr<AggregateOp>> Make(
       std::shared_ptr<const Schema> input_schema, size_t group_column,
       size_t value_column);
 

@@ -8,7 +8,7 @@ std::shared_ptr<TupleBatch> BatchPool::Acquire(
     std::shared_ptr<const Schema> schema) {
   std::unique_ptr<TupleBatch> batch;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     if (!free_.empty()) {
       batch = std::move(free_.back());
       free_.pop_back();
@@ -28,7 +28,7 @@ std::shared_ptr<TupleBatch> BatchPool::Acquire(
 }
 
 void BatchPool::Release(std::unique_ptr<TupleBatch> batch) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(&mutex_);
   free_.push_back(std::move(batch));
 }
 

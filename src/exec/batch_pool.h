@@ -4,9 +4,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
+#include "common/sync.h"
 #include "exec/batch.h"
 
 namespace mjoin {
@@ -48,8 +48,8 @@ class BatchPool {
  private:
   void Release(std::unique_ptr<TupleBatch> batch);
 
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<TupleBatch>> free_;
+  Mutex mutex_;
+  std::vector<std::unique_ptr<TupleBatch>> free_ MJOIN_GUARDED_BY(mutex_);
   std::atomic<uint64_t> allocated_{0};
   std::atomic<uint64_t> reused_{0};
 };

@@ -73,6 +73,7 @@ StatusOr<std::unique_ptr<FilterOp>> FilterOp::Make(
     return Status::InvalidArgument("between bounds reversed");
   }
   return std::unique_ptr<FilterOp>(
+      // lint:allow-new private-constructor factory, owned immediately
       new FilterOp(std::move(input_schema), predicate));
 }
 

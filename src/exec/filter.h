@@ -31,7 +31,7 @@ struct FilterPredicate {
 class FilterOp : public Operator {
  public:
   /// Validates the predicate's column against `input_schema`.
-  static StatusOr<std::unique_ptr<FilterOp>> Make(
+  [[nodiscard]] static StatusOr<std::unique_ptr<FilterOp>> Make(
       std::shared_ptr<const Schema> input_schema, FilterPredicate predicate);
 
   int num_input_ports() const override { return 1; }

@@ -49,7 +49,9 @@ void JoinHashTable::Clear() {
   slots_.shrink_to_fit();
   arena_.clear();
   arena_.shrink_to_fit();
-  if (reservation_.attached()) reservation_.Resize(0);
+  // Safe to drop: shrinking a reservation to zero only releases bytes and
+  // cannot fail.
+  if (reservation_.attached()) (void)reservation_.Resize(0);
 }
 
 void JoinHashTable::AttachBudget(MemoryBudget* budget) {

@@ -42,13 +42,14 @@ struct JoinSpec {
 /// Builds a JoinSpec, deriving the output schema from `output_columns`
 /// (column names are taken from the source schemas; duplicate names get a
 /// "_r" suffix). Validates key columns are int32 and all indices in range.
-StatusOr<JoinSpec> MakeJoinSpec(std::shared_ptr<const Schema> left_schema,
+[[nodiscard]] StatusOr<JoinSpec> MakeJoinSpec(
+    std::shared_ptr<const Schema> left_schema,
                                 std::shared_ptr<const Schema> right_schema,
                                 size_t left_key, size_t right_key,
                                 std::vector<JoinOutputColumn> output_columns);
 
 /// Convenience: output = all left columns followed by all right columns.
-StatusOr<JoinSpec> MakeNaturalConcatJoinSpec(
+[[nodiscard]] StatusOr<JoinSpec> MakeNaturalConcatJoinSpec(
     std::shared_ptr<const Schema> left_schema,
     std::shared_ptr<const Schema> right_schema, size_t left_key,
     size_t right_key);

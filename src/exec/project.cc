@@ -19,6 +19,7 @@ StatusOr<std::unique_ptr<ProjectOp>> ProjectOp::Make(
     out_columns.push_back(input_schema->column(c));
   }
   auto output_schema = std::make_shared<const Schema>(std::move(out_columns));
+  // lint:allow-new private-constructor factory, owned immediately
   return std::unique_ptr<ProjectOp>(new ProjectOp(
       std::move(input_schema), std::move(columns), std::move(output_schema)));
 }

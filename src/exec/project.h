@@ -15,7 +15,7 @@ namespace mjoin {
 class ProjectOp : public Operator {
  public:
   /// `columns` are input-schema column indices, in output order.
-  static StatusOr<std::unique_ptr<ProjectOp>> Make(
+  [[nodiscard]] static StatusOr<std::unique_ptr<ProjectOp>> Make(
       std::shared_ptr<const Schema> input_schema, std::vector<size_t> columns);
 
   int num_input_ports() const override { return 1; }

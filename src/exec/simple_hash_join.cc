@@ -118,7 +118,9 @@ void SimpleHashJoinOp::InputDone(int port, OpContext* ctx) {
       if (ctx->cancelled()) break;
       ConsumeProbe(batch, ctx);
     }
-    buffered_reservation_.Resize(0);
+    // Safe to drop: shrinking a reservation to zero only releases bytes
+    // and cannot fail.
+    (void)buffered_reservation_.Resize(0);
   } else {
     MJOIN_CHECK(port == kProbePort);
     MJOIN_CHECK(!probe_done_);

@@ -137,7 +137,9 @@ void SortMergeJoinOp::ReleaseMemory() {
   buffered_[0].Clear();
   buffered_[1].Clear();
   current_memory_ = 0;
-  reservation_.Resize(0);
+  // Safe to drop: shrinking a reservation to zero only releases bytes and
+  // cannot fail.
+  (void)reservation_.Resize(0);
 }
 
 }  // namespace mjoin

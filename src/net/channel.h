@@ -28,11 +28,11 @@ struct ChannelStats {
 };
 
 /// Sets O_NONBLOCK on a descriptor.
-Status SetNonBlocking(int fd);
+[[nodiscard]] Status SetNonBlocking(int fd);
 
 /// Blocks until `fd` is readable or `timeout_ms` elapses (negative waits
 /// forever). Returns true when readable; false on timeout.
-StatusOr<bool> WaitReadable(int fd, int timeout_ms);
+[[nodiscard]] StatusOr<bool> WaitReadable(int fd, int timeout_ms);
 
 /// Frame transport over one nonblocking stream socket (the process
 /// backend's coordinator<->worker socketpair). Writes are queued and
@@ -63,7 +63,7 @@ class FrameChannel {
 
   /// Writes queued bytes until the socket would block or the outbox is
   /// empty. kUnavailable when the peer is gone.
-  Status Flush();
+  [[nodiscard]] Status Flush();
 
   bool has_pending_output() const { return !outbox_.empty(); }
   /// Bytes queued but not yet accepted by the kernel.
@@ -73,7 +73,7 @@ class FrameChannel {
   /// NextFrame(). Sets `*peer_closed` when the peer shut down (after any
   /// final complete frames were recovered); oversized or malformed frame
   /// lengths poison the channel with a non-OK status.
-  Status ReadAvailable(bool* peer_closed);
+  [[nodiscard]] Status ReadAvailable(bool* peer_closed);
 
   /// Pops the next complete frame; false when none is buffered.
   bool NextFrame(Frame* out);

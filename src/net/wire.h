@@ -103,16 +103,16 @@ class WireReader {
   bool exhausted() const { return pos_ == end_; }
   const std::byte* cursor() const { return data_ + pos_; }
 
-  Status ReadU8(uint8_t* v);
-  Status ReadU16(uint16_t* v);
-  Status ReadU32(uint32_t* v);
-  Status ReadU64(uint64_t* v);
-  Status ReadI32(int32_t* v);
-  Status ReadI64(int64_t* v);
-  Status ReadF64(double* v);
-  Status ReadString(std::string* s);
+  [[nodiscard]] Status ReadU8(uint8_t* v);
+  [[nodiscard]] Status ReadU16(uint16_t* v);
+  [[nodiscard]] Status ReadU32(uint32_t* v);
+  [[nodiscard]] Status ReadU64(uint64_t* v);
+  [[nodiscard]] Status ReadI32(int32_t* v);
+  [[nodiscard]] Status ReadI64(int64_t* v);
+  [[nodiscard]] Status ReadF64(double* v);
+  [[nodiscard]] Status ReadString(std::string* s);
   /// Advances past `size` raw bytes, exposing them via `*data`.
-  Status ReadBytes(size_t size, const std::byte** data);
+  [[nodiscard]] Status ReadBytes(size_t size, const std::byte** data);
 
  private:
   const std::byte* data_;
@@ -135,7 +135,7 @@ class SchemaRegistry {
   }
   /// Id of a structurally equal schema; NotFound when the plan never
   /// declared this layout.
-  StatusOr<uint32_t> IdOf(const Schema& schema) const;
+  [[nodiscard]] StatusOr<uint32_t> IdOf(const Schema& schema) const;
 
  private:
   void Intern(const std::shared_ptr<const Schema>& schema);
@@ -176,7 +176,8 @@ size_t BatchWireSize(uint32_t tuple_size, size_t count);
 /// Decodes one batch from `reader` into `out`, which must be bound to the
 /// decoded schema id's layout already or is rebound via `registry`. The
 /// batch's previous contents are discarded; its buffer capacity survives.
-Status ReadBatchWire(WireReader* reader, const SchemaRegistry& registry,
+[[nodiscard]] Status ReadBatchWire(WireReader* reader,
+                                   const SchemaRegistry& registry,
                      TupleBatch* out);
 
 }  // namespace mjoin

@@ -7,6 +7,7 @@ namespace mjoin {
 const Schema& WisconsinSchema() {
   // Function-local static reference so the Schema (non-trivial destructor)
   // is never destroyed; see the style guide's static-storage rules.
+  // lint:allow-new intentional static leak, never destroyed
   static const Schema& schema = *new Schema({
       Column::Int32("unique1"),
       Column::Int32("unique2"),

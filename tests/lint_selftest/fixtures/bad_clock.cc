@@ -1,0 +1,19 @@
+// Seeded violation: a raw steady_clock read with no lint:allow-clock
+// annotation. The annotated read below must NOT be reported. Never
+// compiled — lint fixture only.
+#include <chrono>
+
+namespace mjoin {
+
+int64_t FixtureNow() {
+  auto t = std::chrono::steady_clock::now();  // the violation
+  return t.time_since_epoch().count();
+}
+
+int64_t FixtureNowAllowed() {
+  // lint:allow-clock fixture demonstrating an annotated site
+  auto t = std::chrono::steady_clock::now();
+  return t.time_since_epoch().count();
+}
+
+}  // namespace mjoin

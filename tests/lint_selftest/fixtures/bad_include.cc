@@ -1,0 +1,5 @@
+// Seeded violation: a quoted include that is not directory-qualified.
+// Never compiled — lint fixture only.
+#include "wire.h"
+
+namespace mjoin {}

@@ -1,0 +1,15 @@
+// Seeded violation: a naked new with no lint:allow-new annotation. The
+// annotated allocation below must NOT be reported, and the word "new" in
+// this comment must not fire either. Never compiled — lint fixture only.
+
+namespace mjoin {
+
+int* FixtureAlloc() {
+  return new int(7);  // the violation
+}
+
+int* FixtureAllocAllowed() {
+  return new int(7);  // lint:allow-new fixture annotated site
+}
+
+}  // namespace mjoin

@@ -1,0 +1,35 @@
+// Control fixture: exercises every lint-adjacent pattern in its allowed
+// form; mjoin_lint must report nothing here. Never compiled — lint
+// fixture only.
+#include "net/wire.h"
+
+namespace mjoin {
+
+const char* FixtureNameClean(FrameType type) {
+  switch (type) {
+    case FrameType::kHello:
+    case FrameType::kPlan:
+    case FrameType::kFragment:
+    case FrameType::kTrigger:
+    case FrameType::kData:
+    case FrameType::kEos:
+    case FrameType::kMilestone:
+    case FrameType::kCredit:
+    case FrameType::kFinish:
+    case FrameType::kSummary:
+    case FrameType::kResultRows:
+    case FrameType::kOpStats:
+    case FrameType::kNetStats:
+    case FrameType::kTraceEvents:
+    case FrameType::kError:
+    case FrameType::kBye:
+    case FrameType::kShutdown:
+      break;
+  }
+  // A mention of steady_clock::now() in a comment, and of new/malloc,
+  // must not fire: the lint scans code, not comments or strings.
+  const char* s = "steady_clock::now() new malloc(";
+  return s;
+}
+
+}  // namespace mjoin

@@ -64,9 +64,13 @@ TEST(BatchWireTest, RoundTripsAcrossRowCounts) {
       EXPECT_TRUE(reader.exhausted());
       ASSERT_EQ(decoded.num_tuples(), rows);
       EXPECT_EQ(&decoded.schema(), registry.Get(schema_id).get());
-      EXPECT_EQ(std::memcmp(decoded.raw_data(), batch.raw_data(),
-                            batch.byte_size()),
-                0);
+      // raw_data() is null for an empty batch, and memcmp takes nonnull
+      // arguments even for a zero length (UBSan enforces this).
+      if (rows != 0) {
+        EXPECT_EQ(std::memcmp(decoded.raw_data(), batch.raw_data(),
+                              batch.byte_size()),
+                  0);
+      }
     }
   }
 }

@@ -3,20 +3,41 @@
 #
 #   tools/ci.sh [fast]
 #
-#   1. Release build with -Wall -Wextra -Werror (MJOIN_WERROR=ON)
-#   2. the full ctest suite
-#   3. ThreadSanitizer and AddressSanitizer passes over the
-#      concurrency-sensitive tests (tools/run_sanitized_tests.sh)
+#   1. static analysis: tools/mjoin_lint.py over src/, its self-test,
+#      and (when clang-tidy is installed) a full MJOIN_LINT=ON build
+#      with --warnings-as-errors=* — any finding fails the gate
+#   2. Release build with -Wall -Wextra -Werror (MJOIN_WERROR=ON)
+#   3. the full ctest suite
+#   4. ThreadSanitizer and AddressSanitizer passes over the
+#      concurrency-sensitive tests, and an UndefinedBehaviorSanitizer
+#      pass over the full suite (tools/run_sanitized_tests.sh)
 #
-# 'fast' skips the sanitizer passes (step 3) for quick local iteration;
+# 'fast' skips the sanitizer passes (step 4) for quick local iteration;
 # a merge still requires the full run. Build trees are kept apart
-# (build-ci, build-threadsan, build-addresssan) so the gate never
-# disturbs an incremental developer build.
+# (build-ci, build-lint, build-threadsan, build-addresssan,
+# build-undefinedsan) so the gate never disturbs an incremental
+# developer build.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
+
+echo "== ci: project lint =="
+python3 tools/mjoin_lint.py
+python3 tests/lint_selftest/lint_selftest.py
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "== ci: clang-tidy (MJOIN_LINT=ON) =="
+  cmake -B build-lint -S . -DMJOIN_LINT=ON >/dev/null
+  cmake --build build-lint -j "$(nproc)"
+else
+  # The lint build needs the clang frontend; a GCC-only host still runs
+  # the project lint above, and the clang-tidy pass runs wherever LLVM is
+  # installed. MJOIN_LINT=ON itself hard-fails when clang-tidy is absent,
+  # so the gate can never silently claim a pass it did not run.
+  echo "== ci: clang-tidy not installed, skipping the MJOIN_LINT build =="
+fi
 
 echo "== ci: release build with -Werror =="
 cmake -B build-ci -S . -DCMAKE_BUILD_TYPE=Release -DMJOIN_WERROR=ON >/dev/null
@@ -45,5 +66,8 @@ tools/run_sanitized_tests.sh thread thread_metrics_test process_backend_fault_te
 
 echo "== ci: address sanitizer =="
 tools/run_sanitized_tests.sh address thread_metrics_test net_wire_test process_backend_fault_test
+
+echo "== ci: undefined-behavior sanitizer =="
+tools/run_sanitized_tests.sh undefined
 
 echo "ci gate passed"

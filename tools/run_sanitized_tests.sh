@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Builds a sanitized tree and runs the concurrency-sensitive tests under it.
 #
-#   tools/run_sanitized_tests.sh [thread|address] [extra test names...]
+#   tools/run_sanitized_tests.sh [thread|address|undefined] [extra test names...]
 #
 # Defaults to ThreadSanitizer and the threaded-executor tests (the ones
 # with real cross-thread traffic). Pass additional ctest test names to
 # widen the run, or 'address' for an ASan pass over the same set.
+# 'undefined' builds with UBSan (recovery off: the first report aborts the
+# offending test) and, with no extra test names, runs the FULL suite —
+# undefined behaviour hides in single-threaded code paths too, and UBSan
+# is cheap enough to afford the whole tree.
 #
 # The process-backend tests run under both sanitizers too (see ci.sh):
 # workers _exit() after their fork, so ASan's leak check covers the
@@ -17,27 +21,41 @@ cd "$(dirname "$0")/.."
 SANITIZER="${1:-thread}"
 shift || true
 case "$SANITIZER" in
-  thread|address) ;;
-  *) echo "usage: $0 [thread|address] [extra ctest test names...]" >&2; exit 2 ;;
+  thread|address|undefined) ;;
+  *)
+    echo "usage: $0 [thread|address|undefined] [extra ctest test names...]" >&2
+    exit 2 ;;
 esac
 
 BUILD_DIR="build-${SANITIZER}san"
-TESTS=(thread_executor_test thread_executor_fault_test "$@")
 
 cmake -B "$BUILD_DIR" -S . -DMJOIN_SANITIZE="$SANITIZER" >/dev/null
+
+# halt_on_error makes a single report fail the run instead of scrolling by.
+case "$SANITIZER" in
+  thread)
+    export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" ;;
+  address)
+    # detect_leaks explicitly on: the process-backend coordinator must not
+    # leak channels or batch buffers even when a run aborts mid-query.
+    export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}" ;;
+  undefined)
+    export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1:print_stacktrace=1}" ;;
+esac
+
+if [ "$SANITIZER" = undefined ] && [ "$#" -eq 0 ]; then
+  cmake --build "$BUILD_DIR" -j "$(nproc)"
+  ctest --test-dir "$BUILD_DIR" --output-on-failure
+  echo "undefined sanitizer pass clean: full suite"
+  exit 0
+fi
+
+TESTS=(thread_executor_test thread_executor_fault_test "$@")
 
 TARGETS=()
 for t in "${TESTS[@]}"; do TARGETS+=(--target "$t"); done
 cmake --build "$BUILD_DIR" -j "$(nproc)" "${TARGETS[@]}"
 
 REGEX="$(IFS='|'; echo "${TESTS[*]}")"
-# halt_on_error makes a single report fail the run instead of scrolling by.
-if [ "$SANITIZER" = thread ]; then
-  export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
-else
-  # detect_leaks explicitly on: the process-backend coordinator must not
-  # leak channels or batch buffers even when a run aborts mid-query.
-  export ASAN_OPTIONS="${ASAN_OPTIONS:-halt_on_error=1:detect_leaks=1}"
-fi
 ctest --test-dir "$BUILD_DIR" --output-on-failure -R "^(${REGEX})$"
 echo "${SANITIZER} sanitizer pass clean: ${TESTS[*]}"
