@@ -102,6 +102,16 @@ class [[nodiscard]] Status {
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
 
+/// True when `status` reports an environmental failure (kUnavailable: a
+/// dead worker, a dropped connection, corrupt wire bytes) — the one class
+/// of failure where re-running the same operation against a fresh
+/// executor/fleet may succeed. Deterministic failures (kInvalidArgument,
+/// kInternal, kResourceExhausted, ...) would only recur and are not
+/// retryable.
+inline bool IsRetryableFailure(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
 }  // namespace mjoin
 
 /// Evaluates `expr` (a Status expression) and returns it from the enclosing

@@ -20,6 +20,8 @@ std::string FaultKindName(FaultKind kind) {
       return "drop-batch";
     case FaultKind::kDuplicateBatch:
       return "dup-batch";
+    case FaultKind::kHangWorker:
+      return "hang-worker";
   }
   return "unknown";
 }
@@ -27,7 +29,8 @@ std::string FaultKindName(FaultKind kind) {
 bool ParseFaultKind(const std::string& text, FaultKind* kind) {
   for (FaultKind candidate :
        {FaultKind::kNone, FaultKind::kSlowWorker, FaultKind::kFailOperator,
-        FaultKind::kDropBatch, FaultKind::kDuplicateBatch}) {
+        FaultKind::kDropBatch, FaultKind::kDuplicateBatch,
+        FaultKind::kHangWorker}) {
     if (FaultKindName(candidate) == text) {
       *kind = candidate;
       return true;
@@ -52,6 +55,7 @@ FaultPoint FaultPointOf(FaultKind kind) {
   switch (kind) {
     case FaultKind::kNone:
     case FaultKind::kSlowWorker:
+    case FaultKind::kHangWorker:
       return FaultPoint::kDequeue;
     case FaultKind::kDropBatch:
     case FaultKind::kDuplicateBatch:
@@ -68,7 +72,7 @@ std::string SerializeFaultScenario(const FaultScenario& scenario) {
   return StrCat("kind=", FaultKindName(scenario.kind), " node=", scenario.node,
                 " delay-us=", scenario.delay.count(), " op=", scenario.op,
                 " after=", scenario.after_batches, " prob=", prob,
-                " seed=", scenario.seed);
+                " seed=", scenario.seed, " on-attempt=", scenario.on_attempt);
 }
 
 StatusOr<FaultScenario> ParseFaultScenario(const std::string& text) {
@@ -100,6 +104,8 @@ StatusOr<FaultScenario> ParseFaultScenario(const std::string& text) {
       scenario.probability = std::strtod(digits, nullptr);
     } else if (key == "seed") {
       scenario.seed = std::strtoull(digits, nullptr, 10);
+    } else if (key == "on-attempt") {
+      scenario.on_attempt = static_cast<int>(std::strtol(digits, nullptr, 10));
     } else {
       return Status::InvalidArgument(
           StrCat("unknown fault scenario field ", key));
@@ -112,6 +118,13 @@ FaultInjector::FaultInjector(const FaultScenario& scenario)
     : scenario_(scenario), rng_(scenario.seed) {}
 
 void FaultInjector::OnDequeue(uint32_t node) {
+  if (scenario_.kind == FaultKind::kHangWorker && node == scenario_.node) {
+    injected_.fetch_add(1, std::memory_order_relaxed);
+    // Wedge, don't exit: a hung node is alive but silent, which is exactly
+    // what distinguishes it from a crash. Only an external supervisor
+    // (SIGKILL from the coordinator's watchdog) ends this sleep.
+    for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
+  }
   if (scenario_.kind != FaultKind::kSlowWorker || node != scenario_.node) {
     return;
   }

@@ -28,6 +28,11 @@ enum class FaultKind {
   kDropBatch,
   /// Data batches toward the target op are delivered twice.
   kDuplicateBatch,
+  /// One worker node wedges forever before its next message — the silent
+  /// hang of a deadlocked or swapped-to-death machine. Only an external
+  /// liveness watchdog (the process backend's heartbeat supervision) can
+  /// end the query; the thread backend must not use this kind.
+  kHangWorker,
 };
 
 std::string FaultKindName(FaultKind kind);
@@ -78,6 +83,11 @@ struct FaultScenario {
   double probability = 1.0;
   /// Seed for the probabilistic faults (deterministic per seed).
   uint64_t seed = 0;
+  /// Restricts the fault to one execution attempt (0-based); -1 fires on
+  /// every attempt. A retrying executor ships the attempt number in the
+  /// plan envelope, so `on_attempt = 0` means "break the first try, let
+  /// the retry run clean" — the canonical recovery scenario.
+  int on_attempt = -1;
 };
 
 /// Test-controlled chaos, shared by the thread and process backends. Each

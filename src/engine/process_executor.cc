@@ -13,6 +13,8 @@
 #include <deque>
 #include <memory>
 #include <optional>
+#include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -26,6 +28,7 @@
 #include "engine/process_worker.h"
 #include "engine/result.h"
 #include "net/channel.h"
+#include "net/net_fault.h"
 #include "storage/partitioner.h"
 #include "xra/text.h"
 
@@ -55,15 +58,29 @@ struct WorkerProc {
 /// worker sockets.
 class Coordinator {
  public:
+  /// `attempt` is the 0-based retry attempt (shipped to workers in the
+  /// plan envelope); `deadline` is the absolute deadline shared by every
+  /// attempt of one Execute(); `proc` (nullable) accumulates supervision
+  /// counters and failure diagnoses across attempts.
   Coordinator(const ParallelPlan& plan, const Database& db,
-              const ProcessExecOptions& options, uint32_t num_workers)
+              const ProcessExecOptions& options, uint32_t num_workers,
+              uint32_t attempt,
+              std::optional<std::chrono::steady_clock::time_point> deadline,
+              ProcessExecStats* proc)
       : plan_(plan),
         db_(db),
         options_(options),
         exec_(options.exec),
         num_workers_(num_workers),
+        attempt_(attempt),
+        proc_(proc),
         registry_(plan),
-        controller_(&plan) {}
+        controller_(&plan) {
+    if (deadline.has_value()) {
+      has_deadline_ = true;
+      deadline_point_ = *deadline;
+    }
+  }
 
   /// Safety net for early-error returns: no child outlives the run.
   ~Coordinator() {
@@ -71,7 +88,8 @@ class Coordinator {
       if (w.pid > 0 && !w.reaped) {
         kill(w.pid, SIGKILL);
         int ignored;
-        waitpid(w.pid, &ignored, 0);
+        while (waitpid(w.pid, &ignored, 0) < 0 && errno == EINTR) {
+        }
         w.reaped = true;
       }
     }
@@ -110,6 +128,16 @@ class Coordinator {
   /// Cancellation/deadline promotion; false once the run should stop.
   bool CheckRuntime();
   void Abort(Status status);
+  /// One supervision turn: refresh per-worker liveness off received-byte
+  /// counts, broadcast kPing on the heartbeat cadence, and SIGKILL any
+  /// worker silent past liveness_timeout (diagnosed as hung).
+  void SuperviseFleet();
+  /// Appends a diagnosed worker loss to the accumulated exec stats.
+  void RecordFailure(uint32_t w, WorkerFailureClass failure,
+                     std::string detail);
+  /// A worker's bytes failed validation: record the diagnosis and abort
+  /// kUnavailable (environmental, so the retry loop may recover).
+  void AbortCorruptWire(uint32_t w, const std::string& detail);
 
   /// Graceful teardown: kShutdown + flush + reap; falls back to SIGKILL
   /// for any worker that does not drain or exit in time.
@@ -126,6 +154,8 @@ class Coordinator {
   const ProcessExecOptions& options_;
   const ThreadExecOptions& exec_;
   const uint32_t num_workers_;
+  const uint32_t attempt_;
+  ProcessExecStats* const proc_;
 
   SchemaRegistry registry_;
   QueryController controller_;
@@ -141,6 +171,15 @@ class Coordinator {
 
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_point_;
+
+  // Supervision state (lazily initialized on the first supervision turn).
+  bool supervision_started_ = false;
+  uint32_t ping_seq_ = 0;
+  std::chrono::steady_clock::time_point next_ping_;
+  /// Last time each worker was heard from (any inbound bytes, not only
+  /// pongs — a worker streaming data is evidently alive).
+  std::vector<std::chrono::steady_clock::time_point> last_heard_;
+  std::vector<uint64_t> bytes_seen_;
 
   // Finish-phase accumulators.
   SummaryMsg summary_;
@@ -182,6 +221,13 @@ Status Coordinator::SpawnFleet() {
     workers_[w].pid = pid;
     workers_[w].chan =
         std::make_unique<FrameChannel>(sv[0], StrCat("worker ", w));
+    if (options_.net_fault_injector != nullptr &&
+        options_.net_fault_injector->scenario().worker == w) {
+      // Installing on the fresh channel resets the injector's per-link
+      // latches; its fire budget spans attempts, so a one-shot fault
+      // breaks this attempt and lets the next one run clean.
+      workers_[w].chan->set_fault_injector(options_.net_fault_injector);
+    }
     if (options_.worker_observer) options_.worker_observer(w, pid);
   }
   return Status::OK();
@@ -205,6 +251,7 @@ Status Coordinator::ShipPlans() {
     env.trace_origin_ns = trace_origin_ns_;
     env.fault_scenario = fault_scenario;
     env.plan_text = plan_text_;
+    env.attempt = attempt_;
     std::vector<std::byte> payload;
     EncodePlanEnvelope(env, &payload);
     workers_[w].chan->QueueFrame(FrameType::kPlan, payload);
@@ -278,6 +325,85 @@ void Coordinator::Abort(Status status) {
   }
 }
 
+void Coordinator::RecordFailure(uint32_t w, WorkerFailureClass failure,
+                                std::string detail) {
+  if (proc_ == nullptr) return;
+  WorkerFailureRecord record;
+  record.attempt = attempt_;
+  record.worker = w;
+  record.pid = workers_[w].pid;
+  record.failure = failure;
+  record.detail = std::move(detail);
+  proc_->failures.push_back(std::move(record));
+}
+
+void Coordinator::AbortCorruptWire(uint32_t w, const std::string& detail) {
+  RecordFailure(w, WorkerFailureClass::kCorruptWire, detail);
+  Abort(Status::Unavailable(
+      StrCat("corrupt wire from worker ", w, ": ", detail)));
+}
+
+void Coordinator::SuperviseFleet() {
+  if (options_.heartbeat_interval.count() <= 0 &&
+      options_.liveness_timeout.count() <= 0) {
+    return;
+  }
+  // lint:allow-clock supervision turn: one read per poll-loop iteration
+  auto now = std::chrono::steady_clock::now();
+  if (!supervision_started_) {
+    supervision_started_ = true;
+    next_ping_ = now + options_.heartbeat_interval;
+    last_heard_.assign(num_workers_, now);
+    bytes_seen_.assign(num_workers_, 0);
+  }
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    WorkerProc& worker = workers_[w];
+    if (worker.closed) continue;
+    uint64_t bytes = worker.chan->stats().bytes_received;
+    if (bytes != bytes_seen_[w]) {
+      bytes_seen_[w] = bytes;
+      last_heard_[w] = now;
+    }
+  }
+  if (options_.heartbeat_interval.count() > 0 && now >= next_ping_) {
+    next_ping_ = now + options_.heartbeat_interval;
+    HeartbeatMsg ping;
+    ping.seq = ping_seq_++;
+    std::vector<std::byte> payload;
+    EncodeHeartbeat(ping, &payload);
+    for (WorkerProc& worker : workers_) {
+      if (worker.closed) continue;
+      worker.chan->QueueFrame(FrameType::kPing, payload);
+      if (proc_ != nullptr) ++proc_->pings_sent;
+    }
+  }
+  if (options_.liveness_timeout.count() <= 0) return;
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    WorkerProc& worker = workers_[w];
+    if (worker.closed || worker.reaped) continue;
+    if (now - last_heard_[w] < options_.liveness_timeout) continue;
+    // Hung: the process is alive (its socket is open) but has been silent
+    // past the liveness deadline — wedged, swapped to death, or cut off by
+    // a stalled link. SIGKILL is the only lever that works on all three;
+    // the abort is kUnavailable so the retry loop may recover on a fresh
+    // fleet.
+    kill(worker.pid, SIGKILL);
+    auto silent_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         now - last_heard_[w])
+                         .count();
+    RecordFailure(w, WorkerFailureClass::kHung,
+                  StrCat("silent for ", silent_ms,
+                         " ms, past the liveness timeout of ",
+                         options_.liveness_timeout.count(), " ms"));
+    if (proc_ != nullptr) ++proc_->hung_workers_killed;
+    worker.closed = true;
+    worker.chan->Close();
+    Abort(Status::Unavailable(
+        StrCat("worker ", w, " (pid ", worker.pid,
+               ") went silent past the liveness timeout and was killed")));
+  }
+}
+
 bool Coordinator::CheckRuntime() {
   if (aborted_) return false;
   if (exec_.cancellation.cancelled()) {
@@ -303,8 +429,14 @@ void Coordinator::HandleWorkerGone(uint32_t w, const Status& status) {
   // the error.
   int wstatus = 0;
   std::string cause;
-  if (waitpid(worker.pid, &wstatus, WNOHANG) == worker.pid) {
+  WorkerFailureClass failure = WorkerFailureClass::kOther;
+  pid_t got;
+  while ((got = waitpid(worker.pid, &wstatus, WNOHANG)) < 0 &&
+         errno == EINTR) {
+  }
+  if (got == worker.pid) {
     worker.reaped = true;
+    failure = WorkerFailureClass::kCrashed;
     if (WIFSIGNALED(wstatus)) {
       cause = StrCat("killed by signal ", WTERMSIG(wstatus));
     } else if (WIFEXITED(wstatus)) {
@@ -312,9 +444,15 @@ void Coordinator::HandleWorkerGone(uint32_t w, const Status& status) {
     } else {
       cause = "exited abnormally";
     }
+  } else if (status.message().rfind("corrupt", 0) == 0) {
+    // The channel's framing/checksum errors all start with "corrupt": the
+    // process is still alive but its byte stream failed validation.
+    failure = WorkerFailureClass::kCorruptWire;
+    cause = StrCat("sent corrupt bytes (", status.message(), ")");
   } else {
     cause = StrCat("closed its socket (", status.message(), ")");
   }
+  RecordFailure(w, failure, cause);
   Abort(Status::Unavailable(StrCat("worker ", w, " (pid ", worker.pid, ") ",
                                    cause, " before completing the query")));
 }
@@ -331,9 +469,8 @@ void Coordinator::RouteFrame(uint32_t from, Frame frame) {
   if (!decoded.ok() || route.consumer_op < 0 ||
       static_cast<size_t>(route.consumer_op) >= plan_.ops.size() ||
       route.dest_index >= op(route.consumer_op).processors.size()) {
-    Abort(Status::InvalidArgument(
-        StrCat("unroutable ", FrameTypeName(frame.type), " frame from worker ",
-               from)));
+    AbortCorruptWire(
+        from, StrCat("unroutable ", FrameTypeName(frame.type), " frame"));
     return;
   }
   WorkerProc& dst =
@@ -374,7 +511,7 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       HelloMsg hello;
       Status decoded = DecodeHello(&reader, &hello);
       if (!decoded.ok()) {
-        Abort(std::move(decoded));
+        AbortCorruptWire(w, decoded.message());
         return;
       }
       if (hello.protocol_version != kNetProtocolVersion) {
@@ -408,7 +545,7 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       uint32_t count = 0;
       Status decoded = reader.ReadU32(&count);
       if (!decoded.ok()) {
-        Abort(std::move(decoded));
+        AbortCorruptWire(w, decoded.message());
         return;
       }
       worker.in_flight -= std::min<size_t>(worker.in_flight, count);
@@ -421,8 +558,7 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       Status decoded = DecodeMilestone(&reader, &msg);
       if (!decoded.ok() || msg.op < 0 ||
           static_cast<size_t>(msg.op) >= plan_.ops.size()) {
-        Abort(Status::InvalidArgument(
-            StrCat("bad milestone frame from worker ", w)));
+        AbortCorruptWire(w, "bad milestone frame");
         return;
       }
       std::vector<int> ready =
@@ -441,7 +577,7 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       SummaryMsg msg;
       Status decoded = DecodeSummary(&reader, &msg);
       if (!decoded.ok()) {
-        Abort(std::move(decoded));
+        AbortCorruptWire(w, decoded.message());
         return;
       }
       // Cardinality and the row-hash checksum are sums mod 2^64, so the
@@ -452,16 +588,14 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
     }
     case FrameType::kResultRows: {
       if (!materialized_.has_value()) {
-        Abort(Status::InvalidArgument(
-            StrCat("unexpected result rows from worker ", w,
-                   " (materialization is off)")));
+        AbortCorruptWire(w, "result rows while materialization is off");
         return;
       }
       WireReader reader(frame.payload);
       TupleBatch batch(result_schema_);
       Status decoded = ReadBatchWire(&reader, registry_, &batch);
       if (!decoded.ok()) {
-        Abort(std::move(decoded));
+        AbortCorruptWire(w, decoded.message());
         return;
       }
       materialized_->AppendRows(batch.raw_data(), batch.num_tuples());
@@ -473,8 +607,7 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       Status decoded = DecodeOpStats(&reader, &msg);
       if (!decoded.ok() || msg.op < 0 ||
           static_cast<size_t>(msg.op) >= per_op_.size()) {
-        Abort(Status::InvalidArgument(
-            StrCat("bad op-stats frame from worker ", w)));
+        AbortCorruptWire(w, "bad op-stats frame");
         return;
       }
       ThreadOpStats& agg = per_op_[static_cast<size_t>(msg.op)];
@@ -487,7 +620,7 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       WorkerRunStats stats;
       Status decoded = DecodeWorkerRunStats(&reader, &stats);
       if (!decoded.ok()) {
-        Abort(std::move(decoded));
+        AbortCorruptWire(w, decoded.message());
         return;
       }
       worker_stats_.push_back(stats);
@@ -498,7 +631,7 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       std::vector<WireTraceEvent> events;
       Status decoded = DecodeTraceEvents(&reader, &events);
       if (!decoded.ok()) {
-        Abort(std::move(decoded));
+        AbortCorruptWire(w, decoded.message());
         return;
       }
       if (trace_ != nullptr) {
@@ -515,11 +648,34 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       Status worker_status = Status::OK();
       Status decoded = DecodeStatusPayload(&reader, &worker_status);
       if (!decoded.ok()) {
-        Abort(Status::Internal(
-            StrCat("worker ", w, " sent an undecodable error frame")));
+        AbortCorruptWire(w, "undecodable error frame");
         return;
       }
+      if (IsRetryableFailure(worker_status)) {
+        // An environmental failure seen from the worker's side (its half
+        // of the wire went bad, the coordinator vanished from its view):
+        // diagnose it like a coordinator-side one so the retry history
+        // names the worker.
+        RecordFailure(w,
+                      worker_status.message().rfind("corrupt", 0) == 0
+                          ? WorkerFailureClass::kCorruptWire
+                          : WorkerFailureClass::kOther,
+                      worker_status.message());
+      }
       Abort(std::move(worker_status));
+      return;
+    }
+    case FrameType::kPong: {
+      WireReader reader(frame.payload);
+      HeartbeatMsg pong;
+      Status decoded = DecodeHeartbeat(&reader, &pong);
+      if (!decoded.ok()) {
+        AbortCorruptWire(w, decoded.message());
+        return;
+      }
+      // Liveness itself is refreshed off received-byte counts in
+      // SuperviseFleet; the pong only needs to be valid and counted.
+      if (proc_ != nullptr) ++proc_->pongs_received;
       return;
     }
     case FrameType::kBye:
@@ -538,11 +694,11 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
     case FrameType::kTrigger:
     case FrameType::kFinish:
     case FrameType::kShutdown:
+    case FrameType::kPing:
       break;
   }
-  Abort(Status::InvalidArgument(StrCat("coordinator received unexpected ",
-                                       FrameTypeName(frame.type),
-                                       " frame from worker ", w)));
+  AbortCorruptWire(
+      w, StrCat("unexpected ", FrameTypeName(frame.type), " frame"));
 }
 
 void Coordinator::PollOnce(int timeout_ms) {
@@ -610,7 +766,9 @@ void Coordinator::ReapWorker(WorkerProc* w, bool force_kill) {
   if (!force_kill) {
     for (int spin = 0; spin < 500; ++spin) {
       pid_t got = waitpid(w->pid, &wstatus, WNOHANG);
+      if (got < 0 && errno == EINTR) continue;  // interrupted, not reaped
       if (got == w->pid || got < 0) {
+        // got < 0 here is ECHILD: someone already collected the child.
         w->reaped = true;
         return;
       }
@@ -622,7 +780,8 @@ void Coordinator::ReapWorker(WorkerProc* w, bool force_kill) {
     }
     kill(w->pid, SIGKILL);
   }
-  waitpid(w->pid, &wstatus, 0);
+  while (waitpid(w->pid, &wstatus, 0) < 0 && errno == EINTR) {
+  }
   w->reaped = true;
 }
 
@@ -762,10 +921,8 @@ StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
   trace_origin_ns_ = std::chrono::duration_cast<std::chrono::nanoseconds>(
                          start.time_since_epoch())
                          .count();
-  if (exec_.deadline.has_value()) {
-    has_deadline_ = true;
-    deadline_point_ = start + *exec_.deadline;
-  }
+  // has_deadline_/deadline_point_ come from the constructor: the deadline
+  // is absolute across every retry attempt of one Execute().
   if (exec_.record_trace) {
     std::vector<ThreadTraceOpInfo> infos;
     infos.reserve(plan_.ops.size());
@@ -808,6 +965,8 @@ StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
 
   while (state_ != State::kDone) {
     if (!CheckRuntime()) break;
+    SuperviseFleet();
+    if (aborted_) break;
     PollOnce(/*timeout_ms=*/20);
     if (aborted_) break;
   }
@@ -854,7 +1013,64 @@ StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
   return result;
 }
 
+/// Sleeps one retry backoff, waking early (with the matching status) if
+/// the caller's deadline or cancellation fires first.
+Status BackoffSleep(
+    std::chrono::milliseconds backoff,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    const CancellationToken& cancellation) {
+  // lint:allow-clock retry backoff window, bounded by the query deadline
+  auto now = std::chrono::steady_clock::now();
+  auto end = now + backoff;
+  for (;;) {
+    if (cancellation.cancelled()) {
+      return Status::Cancelled("query cancelled by caller");
+    }
+    if (deadline.has_value() && now >= *deadline) {
+      return Status::DeadlineExceeded(
+          "query ran past its deadline while backing off for a retry");
+    }
+    if (now >= end) return Status::OK();
+    auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        end - now);
+    std::this_thread::sleep_for(
+        std::min(remaining, std::chrono::milliseconds(10)));
+    // lint:allow-clock retry backoff window, bounded by the query deadline
+    now = std::chrono::steady_clock::now();
+  }
+}
+
+/// Publishes the recovery counters once per Execute() (the per-attempt
+/// counters go out in PublishProcessMetrics).
+void PublishRecoveryMetrics(const ProcessExecStats& proc,
+                            MetricsRegistry* registry) {
+  registry->counter("process.attempts")->Add(proc.attempts);
+  registry->counter("process.retries")->Add(proc.retries);
+  registry->counter("process.hung_workers_killed")
+      ->Add(proc.hung_workers_killed);
+  registry->counter("process.worker_failures")->Add(proc.failures.size());
+  if (proc.degraded_to_thread) {
+    registry->counter("process.degraded_to_thread")->Add(1);
+  }
+  registry->counter("net.pings_sent")->Add(proc.pings_sent);
+  registry->counter("net.pongs_received")->Add(proc.pongs_received);
+}
+
 }  // namespace
+
+std::string WorkerFailureClassName(WorkerFailureClass failure) {
+  switch (failure) {
+    case WorkerFailureClass::kCrashed:
+      return "crashed";
+    case WorkerFailureClass::kHung:
+      return "hung";
+    case WorkerFailureClass::kCorruptWire:
+      return "corrupt-wire";
+    case WorkerFailureClass::kOther:
+      return "other";
+  }
+  return "unknown";
+}
 
 std::string RenderProcessNetStats(const ProcessNetStats& net) {
   TablePrinter table({"net metric", "value"});
@@ -879,7 +1095,8 @@ ProcessExecutor::ProcessExecutor(const Database* database)
 
 StatusOr<ProcessQueryResult> ProcessExecutor::Execute(
     const ParallelPlan& plan, const ProcessExecOptions& options,
-    ThreadExecStats* stats_out, ProcessNetStats* net_out) const {
+    ThreadExecStats* stats_out, ProcessNetStats* net_out,
+    ProcessExecStats* proc_out) const {
   if (options.exec.batch_size == 0) {
     return Status::InvalidArgument(
         "ProcessExecOptions::exec.batch_size must be positive");
@@ -893,8 +1110,74 @@ StatusOr<ProcessQueryResult> ProcessExecutor::Execute(
   uint32_t num_workers =
       options.num_workers == 0 ? plan.num_processors : options.num_workers;
   num_workers = std::clamp<uint32_t>(num_workers, 1, plan.num_processors);
-  Coordinator coordinator(plan, *database_, options, num_workers);
-  return coordinator.Run(stats_out, net_out);
+
+  // The deadline is absolute across attempts: retries and their backoffs
+  // spend the same budget the query itself does.
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (options.exec.deadline.has_value()) {
+    // lint:allow-clock absolute retry-spanning deadline, once per Execute
+    deadline = std::chrono::steady_clock::now() + *options.exec.deadline;
+  }
+
+  ProcessExecStats proc;
+  auto publish = [&proc, &options] {
+    if (options.exec.metrics_registry != nullptr) {
+      PublishRecoveryMetrics(proc, options.exec.metrics_registry);
+    }
+  };
+
+  std::chrono::milliseconds backoff = options.retry_backoff;
+  Status failure = Status::OK();
+  for (uint32_t attempt = 0;; ++attempt) {
+    proc.attempts = attempt + 1;
+    Coordinator coordinator(plan, *database_, options, num_workers, attempt,
+                            deadline, &proc);
+    StatusOr<ProcessQueryResult> result = coordinator.Run(stats_out, net_out);
+    if (result.ok()) {
+      result->proc = proc;
+      if (proc_out != nullptr) *proc_out = proc;
+      publish();
+      return result;
+    }
+    failure = result.status();
+    if (!IsRetryableFailure(failure) || attempt >= options.max_retries) break;
+    ++proc.retries;
+    Status slept =
+        BackoffSleep(backoff, deadline, options.exec.cancellation);
+    if (!slept.ok()) {
+      failure = slept;
+      break;
+    }
+    backoff = std::min(backoff * 2, options.retry_backoff_cap);
+  }
+
+  if (options.degrade_to_thread && IsRetryableFailure(failure)) {
+    // The process fleet is unusable in this environment; fall back to the
+    // in-process backend. The shipped fault scenario is deliberately not
+    // carried over — degradation escapes the faulty environment, it does
+    // not re-create it.
+    proc.degraded_to_thread = true;
+    ThreadExecOptions exec = options.exec;
+    exec.fault_injector = nullptr;
+    ThreadExecutor fallback(database_);
+    StatusOr<ThreadQueryResult> degraded =
+        fallback.Execute(plan, exec, stats_out);
+    if (degraded.ok()) {
+      ProcessQueryResult result;
+      result.exec = std::move(degraded).value();
+      result.net.num_workers = 0;  // no fleet produced this result
+      result.proc = proc;
+      if (net_out != nullptr) *net_out = result.net;
+      if (proc_out != nullptr) *proc_out = proc;
+      publish();
+      return result;
+    }
+    failure = degraded.status();
+  }
+
+  if (proc_out != nullptr) *proc_out = proc;
+  publish();
+  return failure;
 }
 
 }  // namespace mjoin

@@ -3,12 +3,17 @@
 
 #include <sys/types.h>
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <vector>
 
 #include "engine/thread_executor.h"
 
 namespace mjoin {
+
+class NetFaultInjector;
 
 /// Knobs of one process-backed execution. The shared execution knobs
 /// (batch size, backpressure bound, budget, deadline, cancellation, fault
@@ -36,8 +41,77 @@ struct ProcessExecOptions {
   uint32_t num_workers = 0;
   /// Test hook: observes every forked worker (worker id, pid) right after
   /// the fork, before any query work. Lets fault tests target a live
-  /// worker with a real signal.
+  /// worker with a real signal. Called once per fork, on every attempt.
   std::function<void(uint32_t worker, pid_t pid)> worker_observer;
+  /// Automatic retries after a retryable failure (IsRetryableFailure — an
+  /// environmental fault such as a crashed worker or corrupt wire, not a
+  /// deterministic error that would only recur). Each retry reaps the old
+  /// fleet, sleeps an exponential backoff, forks a fresh fleet, and
+  /// re-ships the plan. 0 = fail on first error (the historical behavior).
+  uint32_t max_retries = 0;
+  /// First-retry backoff; doubles per retry up to retry_backoff_cap. The
+  /// sleep honors the deadline and the cancellation token.
+  std::chrono::milliseconds retry_backoff{50};
+  std::chrono::milliseconds retry_backoff_cap{2000};
+  /// When the retry budget is exhausted on a retryable failure, run the
+  /// query on the in-process thread backend instead of failing — graceful
+  /// degradation for environments whose process fleet is unusable.
+  bool degrade_to_thread = false;
+  /// Coordinator -> worker kPing cadence. Pongs refresh per-worker
+  /// liveness; so does any other traffic from the worker.
+  std::chrono::milliseconds heartbeat_interval{500};
+  /// A worker silent for longer than this is declared hung: the watchdog
+  /// SIGKILLs it and the query aborts kUnavailable (retryable). 0 = no
+  /// watchdog. Must comfortably exceed heartbeat_interval plus the longest
+  /// legitimate silent stretch (a big build side, a saturated outbox).
+  std::chrono::milliseconds liveness_timeout{0};
+  /// Network-level chaos (tests only): installed on one worker's channel
+  /// at spawn time. Caller-owned; must outlive Execute(). Its fire budget
+  /// spans retries, so a one-shot fault breaks one attempt and lets the
+  /// next run clean.
+  NetFaultInjector* net_fault_injector = nullptr;
+};
+
+/// Why a worker was lost, as diagnosed by the coordinator.
+enum class WorkerFailureClass {
+  /// The process died (signal or nonzero exit) or its socket closed.
+  kCrashed = 0,
+  /// Alive but silent past liveness_timeout; killed by the watchdog.
+  kHung = 1,
+  /// Sent bytes that failed frame, checksum, or payload validation.
+  kCorruptWire = 2,
+  kOther = 3,
+};
+
+std::string WorkerFailureClassName(WorkerFailureClass failure);
+
+/// One diagnosed worker loss (an execution can accumulate several across
+/// attempts).
+struct WorkerFailureRecord {
+  uint32_t attempt = 0;
+  uint32_t worker = 0;
+  pid_t pid = -1;
+  WorkerFailureClass failure = WorkerFailureClass::kOther;
+  /// Human-readable root cause ("killed by signal 9", "checksum
+  /// mismatch", ...).
+  std::string detail;
+};
+
+/// Supervision and recovery counters of one Execute() call, accumulated
+/// across every attempt.
+struct ProcessExecStats {
+  /// Fleets spawned (1 = no retry happened).
+  uint32_t attempts = 1;
+  /// Retries actually performed (attempts - 1 unless degradation cut in).
+  uint32_t retries = 0;
+  /// The result came from the thread backend after the retry budget was
+  /// exhausted (degrade_to_thread).
+  bool degraded_to_thread = false;
+  uint64_t pings_sent = 0;
+  uint64_t pongs_received = 0;
+  uint32_t hung_workers_killed = 0;
+  /// Every diagnosed worker loss, in order.
+  std::vector<WorkerFailureRecord> failures;
 };
 
 /// Wire-level counters of one process-backed execution, all measured at
@@ -75,6 +149,7 @@ struct ProcessNetStats {
 struct ProcessQueryResult {
   ThreadQueryResult exec;
   ProcessNetStats net;
+  ProcessExecStats proc;
 };
 
 /// Renders the net counters as a small fixed-width table.
@@ -91,23 +166,32 @@ std::string RenderProcessNetStats(const ProcessNetStats& net);
 /// own fragments.
 ///
 /// Failure model: a worker that dies mid-query (crash, OOM kill, kill -9)
-/// is detected by its socket closing; the query aborts with
-/// StatusCode::kUnavailable, the remaining fleet is killed, and every
-/// child is reaped — Execute() never leaks a process or a descriptor.
+/// is detected by its socket closing; a worker that wedges silently is
+/// detected by the heartbeat watchdog (liveness_timeout) and SIGKILLed; a
+/// worker that sends damaged bytes is caught by the per-frame checksum.
+/// All three are environmental (StatusCode::kUnavailable) and — when
+/// max_retries allows — recovered from by reaping the fleet and re-running
+/// the query on a fresh one. Deterministic failures (a worker's own typed
+/// error, a plan mismatch) are never retried. In every case the fleet is
+/// killed and every child reaped — Execute() never leaks a process or a
+/// descriptor, and never hangs.
 class ProcessExecutor {
  public:
   /// `database` must outlive the executor.
   explicit ProcessExecutor(const Database* database);
 
-  /// Runs `plan` on a freshly forked worker fleet. On failure the status
-  /// is the root cause (kUnavailable for a dead worker, the worker's own
-  /// status for worker-side errors, Cancelled/DeadlineExceeded from the
-  /// coordinator) and the out-parameters, when non-null, receive the
-  /// partial counters known to the coordinator at the abort.
+  /// Runs `plan` on a freshly forked worker fleet, retrying per
+  /// options.max_retries. On failure the status is the root cause
+  /// (kUnavailable for a dead/hung/corrupt worker after the retry budget,
+  /// the worker's own status for worker-side errors, Cancelled/
+  /// DeadlineExceeded from the coordinator) and the out-parameters, when
+  /// non-null, receive the counters known at the abort — proc_out always
+  /// carries the attempt/retry history and per-worker failure diagnoses.
   [[nodiscard]] StatusOr<ProcessQueryResult> Execute(const ParallelPlan& plan,
                                        const ProcessExecOptions& options,
                                        ThreadExecStats* stats_out = nullptr,
-                                       ProcessNetStats* net_out = nullptr)
+                                       ProcessNetStats* net_out = nullptr,
+                                       ProcessExecStats* proc_out = nullptr)
       const;
 
  private:

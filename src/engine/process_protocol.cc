@@ -30,6 +30,7 @@ void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out) {
   PutI64(out, env.trace_origin_ns);
   PutString(out, env.fault_scenario);
   PutString(out, env.plan_text);
+  PutU32(out, env.attempt);
 }
 
 Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env) {
@@ -45,6 +46,7 @@ Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env) {
   MJOIN_RETURN_IF_ERROR(reader->ReadI64(&env->trace_origin_ns));
   MJOIN_RETURN_IF_ERROR(reader->ReadString(&env->fault_scenario));
   MJOIN_RETURN_IF_ERROR(reader->ReadString(&env->plan_text));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->attempt));
   return Status::OK();
 }
 
@@ -56,6 +58,23 @@ void EncodeHello(const HelloMsg& msg, std::vector<std::byte>* out) {
 Status DecodeHello(WireReader* reader, HelloMsg* msg) {
   MJOIN_RETURN_IF_ERROR(reader->ReadU32(&msg->protocol_version));
   MJOIN_RETURN_IF_ERROR(reader->ReadU64(&msg->plan_hash));
+  return Status::OK();
+}
+
+void EncodeHeartbeat(const HeartbeatMsg& msg, std::vector<std::byte>* out) {
+  size_t base = out->size();
+  PutU32(out, msg.seq);
+  PutU32(out, Crc32(out->data() + base, 4));
+}
+
+Status DecodeHeartbeat(WireReader* reader, HeartbeatMsg* msg) {
+  const std::byte* seq_bytes = reader->cursor();
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&msg->seq));
+  uint32_t crc = 0;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&crc));
+  if (Crc32(seq_bytes, 4) != crc) {
+    return Status::InvalidArgument("heartbeat checksum mismatch");
+  }
   return Status::OK();
 }
 

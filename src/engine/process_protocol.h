@@ -43,6 +43,9 @@ struct PlanEnvelope {
   /// SerializeFaultScenario text; empty = no injection.
   std::string fault_scenario;
   std::string plan_text;
+  /// 0-based execution attempt (> 0 on coordinator-driven retries). Lets a
+  /// shipped FaultScenario with `on_attempt` fire on one attempt only.
+  uint32_t attempt = 0;
 };
 
 void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out);
@@ -57,6 +60,16 @@ struct HelloMsg {
 
 void EncodeHello(const HelloMsg& msg, std::vector<std::byte>* out);
 [[nodiscard]] Status DecodeHello(WireReader* reader, HelloMsg* msg);
+
+/// kPing / kPong: liveness probes. The payload carries its own checksum on
+/// top of the channel's frame CRC, so the codec alone (as exercised by the
+/// wire tests) detects a corrupted sequence number.
+struct HeartbeatMsg {
+  uint32_t seq = 0;
+};
+
+void EncodeHeartbeat(const HeartbeatMsg& msg, std::vector<std::byte>* out);
+[[nodiscard]] Status DecodeHeartbeat(WireReader* reader, HeartbeatMsg* msg);
 
 /// Routing header of kData / kEos (the batch wire bytes follow for kData).
 struct RouteHeader {

@@ -2,6 +2,7 @@
 
 #include <errno.h>
 #include <poll.h>
+#include <signal.h>
 
 #include <algorithm>
 #include <chrono>
@@ -270,7 +271,12 @@ Status WorkerRun::Setup() {
   if (!env_.fault_scenario.empty()) {
     MJOIN_ASSIGN_OR_RETURN(FaultScenario scenario,
                            ParseFaultScenario(env_.fault_scenario));
-    injector_ = std::make_unique<FaultInjector>(scenario);
+    // An attempt-scoped scenario arms only on its attempt: retries of a
+    // first-attempt-only fault run entirely clean.
+    if (scenario.on_attempt < 0 ||
+        scenario.on_attempt == static_cast<int>(env_.attempt)) {
+      injector_ = std::make_unique<FaultInjector>(scenario);
+    }
   }
 
   size_t num_ops = plan_.ops.size();
@@ -830,6 +836,17 @@ Status WorkerRun::HandleFrame(const Frame& frame) {
       return HandleEos(frame);
     case FrameType::kFinish:
       return SendFinishReports();
+    case FrameType::kPing: {
+      // Answer immediately, before any query work: liveness must not queue
+      // behind a long build. The pong reuses the ping's sequence number.
+      WireReader reader(frame.payload);
+      HeartbeatMsg ping;
+      MJOIN_RETURN_IF_ERROR(DecodeHeartbeat(&reader, &ping));
+      std::vector<std::byte> payload;
+      EncodeHeartbeat(ping, &payload);
+      chan_->QueueFrame(FrameType::kPong, payload);
+      return Status::OK();
+    }
     case FrameType::kShutdown:
       shutdown_ = true;
       return Status::OK();
@@ -847,6 +864,7 @@ Status WorkerRun::HandleFrame(const Frame& frame) {
     case FrameType::kTraceEvents:
     case FrameType::kError:
     case FrameType::kBye:
+    case FrameType::kPong:
       break;
   }
   return Status::InvalidArgument(StrCat(
@@ -903,6 +921,10 @@ Status WorkerRun::Loop() {
 }  // namespace
 
 int RunProcessWorker(int fd) {
+  // The channel sends with MSG_NOSIGNAL, but ignore SIGPIPE anyway so no
+  // stray write to a dead coordinator can kill the worker with a signal
+  // instead of the EPIPE -> kUnavailable path the supervisor understands.
+  signal(SIGPIPE, SIG_IGN);
   if (!SetNonBlocking(fd).ok()) return 1;
   FrameChannel chan(fd, "coordinator");
 

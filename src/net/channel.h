@@ -12,6 +12,8 @@
 
 namespace mjoin {
 
+class NetFaultInjector;
+
 /// One decoded frame off a FrameChannel.
 struct Frame {
   FrameType type = FrameType::kError;
@@ -42,9 +44,11 @@ struct ChannelStats {
 /// Not thread-safe: each channel belongs to exactly one event loop (the
 /// coordinator's poll loop or a worker's single thread).
 ///
-/// Peer death (EPIPE / ECONNRESET / read()==0) is reported as
-/// StatusCode::kUnavailable so callers can distinguish "worker gone" from
-/// protocol errors (kInvalidArgument / kOutOfRange).
+/// Peer death (EPIPE / ECONNRESET / read()==0) and wire damage (frame
+/// length out of bounds, frame checksum mismatch) are both reported as
+/// StatusCode::kUnavailable: either way the link is lost for environmental
+/// reasons and a retry on a fresh fleet may succeed. Deterministic protocol
+/// errors keep their own codes (kInvalidArgument / kOutOfRange).
 class FrameChannel {
  public:
   /// Takes ownership of `fd` (closed by the destructor). `peer` names the
@@ -58,14 +62,20 @@ class FrameChannel {
   int fd() const { return fd_; }
   const std::string& peer() const { return peer_; }
 
-  /// Encodes `[len][type][payload]` into the outbox. Cheap; no syscall.
+  /// Installs a caller-owned link-fault injector (tests and chaos runs
+  /// only; nullptr uninstalls). Resets the injector's per-link latches —
+  /// installing on a fresh channel models a fresh link.
+  void set_fault_injector(NetFaultInjector* injector);
+
+  /// Encodes `[len][type][payload][crc]` into the outbox. Cheap; no
+  /// syscall.
   void QueueFrame(FrameType type, const std::vector<std::byte>& payload);
 
   /// Writes queued bytes until the socket would block or the outbox is
   /// empty. kUnavailable when the peer is gone.
   [[nodiscard]] Status Flush();
 
-  bool has_pending_output() const { return !outbox_.empty(); }
+  bool has_pending_output() const;
   /// Bytes queued but not yet accepted by the kernel.
   size_t pending_output_bytes() const { return pending_output_bytes_; }
 
@@ -87,6 +97,11 @@ class FrameChannel {
  private:
   int fd_;
   std::string peer_;
+  NetFaultInjector* fault_ = nullptr;
+  /// A truncating fault fired: discard further outbound frames and shut
+  /// down the write side once the (shortened) outbox drains.
+  bool truncated_ = false;
+  bool write_shutdown_done_ = false;
   /// Encoded-but-unsent frames; front() is partially written up to
   /// write_offset_.
   std::deque<std::vector<std::byte>> outbox_;

@@ -63,6 +63,10 @@ const char* FrameTypeName(FrameType type) {
       return "bye";
     case FrameType::kShutdown:
       return "shutdown";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
   }
   return "unknown";
 }

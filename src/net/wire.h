@@ -18,13 +18,18 @@ struct ParallelPlan;
 /// The process backend's frame protocol. Every message on a coordinator <->
 /// worker socket is one frame:
 ///
-///   u32  length   (bytes that follow: 1 type byte + payload)
+///   u32  length   (bytes that follow: 1 type byte + payload + 4 crc bytes)
 ///   u8   type     (FrameType)
 ///   ...  payload  (type-specific, little-endian)
+///   u32  crc32    over the type byte and the payload
 ///
 /// Frames are self-delimiting, so a FrameChannel can reassemble them from
-/// arbitrary read() boundaries. `length` is bounded by kMaxFrameBytes; a
-/// larger length is a protocol violation and poisons the connection.
+/// arbitrary read() boundaries. `length` is bounded by kMaxFrameBytes; an
+/// out-of-bounds length or a checksum mismatch is corrupt wire — the
+/// channel poisons itself with kUnavailable (an environmental failure: the
+/// stream is unrecoverable, but retrying on a fresh fleet may succeed).
+/// The trailer makes any single corrupted byte detectable, so a damaged
+/// link can never silently mis-route or mis-decode a frame.
 enum class FrameType : uint8_t {
   /// worker -> coordinator: protocol version + echo hash of the plan text
   /// the worker parsed (the coordinator verifies the handshake round trip).
@@ -66,6 +71,12 @@ enum class FrameType : uint8_t {
   kBye = 16,
   /// coordinator -> worker: exit cleanly.
   kShutdown = 17,
+  /// coordinator -> worker: liveness probe (HeartbeatMsg). A worker answers
+  /// every ping with a kPong immediately; the coordinator's watchdog treats
+  /// prolonged silence as a hung worker.
+  kPing = 18,
+  /// worker -> coordinator: echo of a kPing's sequence number.
+  kPong = 19,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -76,7 +87,8 @@ const char* FrameTypeName(FrameType type);
 inline constexpr uint32_t kMaxFrameBytes = 256u << 20;
 
 /// Protocol version spoken by this build; bumped on any wire change.
-inline constexpr uint32_t kNetProtocolVersion = 1;
+/// v2: kPing/kPong heartbeat frames, PlanEnvelope attempt counter.
+inline constexpr uint32_t kNetProtocolVersion = 2;
 
 /// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) over `size` bytes.
 uint32_t Crc32(const std::byte* data, size_t size);

@@ -24,6 +24,8 @@ const char* FixtureNameClean(FrameType type) {
     case FrameType::kError:
     case FrameType::kBye:
     case FrameType::kShutdown:
+    case FrameType::kPing:
+    case FrameType::kPong:
       break;
   }
   // A mention of steady_clock::now() in a comment, and of new/malloc,

@@ -1,11 +1,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <gtest/gtest.h>
 
 #include "engine/process_protocol.h"
 #include "net/channel.h"
+#include "net/net_fault.h"
 #include "net/wire.h"
 #include "plan/wisconsin_query.h"
 #include "strategy/strategy.h"
@@ -241,6 +243,62 @@ TEST(StatusPayloadTest, RoundTripsCodeAndMessage) {
   }
 }
 
+TEST(HeartbeatTest, SerializeParseIsAFixedPoint) {
+  for (uint32_t seq : {0u, 1u, 41u, 0xFFFFFFFFu}) {
+    HeartbeatMsg ping;
+    ping.seq = seq;
+    std::vector<std::byte> wire;
+    EncodeHeartbeat(ping, &wire);
+    WireReader reader(wire);
+    HeartbeatMsg decoded;
+    ASSERT_TRUE(DecodeHeartbeat(&reader, &decoded).ok());
+    EXPECT_TRUE(reader.exhausted());
+    EXPECT_EQ(decoded.seq, seq);
+    // Re-encoding the parse reproduces the bytes exactly.
+    std::vector<std::byte> again;
+    EncodeHeartbeat(decoded, &again);
+    EXPECT_EQ(again, wire);
+  }
+}
+
+TEST(HeartbeatTest, EveryTruncationFailsCleanly) {
+  HeartbeatMsg ping;
+  ping.seq = 12345;
+  std::vector<std::byte> wire;
+  EncodeHeartbeat(ping, &wire);
+  for (size_t len = 0; len < wire.size(); ++len) {
+    WireReader reader(wire.data(), len);
+    HeartbeatMsg decoded;
+    EXPECT_FALSE(DecodeHeartbeat(&reader, &decoded).ok())
+        << "truncated to " << len << " of " << wire.size() << " bytes";
+  }
+}
+
+TEST(HeartbeatTest, EverySingleByteCorruptionFailsCleanly) {
+  // The payload carries its own checksum on top of the frame CRC, so the
+  // codec alone detects a damaged sequence number or checksum.
+  HeartbeatMsg ping;
+  ping.seq = 0xA5A5A5A5;
+  std::vector<std::byte> wire;
+  EncodeHeartbeat(ping, &wire);
+  for (size_t pos = 0; pos < wire.size(); ++pos) {
+    std::vector<std::byte> damaged = wire;
+    damaged[pos] ^= std::byte{0x01};
+    WireReader reader(damaged);
+    HeartbeatMsg decoded;
+    Status status = DecodeHeartbeat(&reader, &decoded);
+    ASSERT_FALSE(status.ok()) << "corrupted byte " << pos << " undetected";
+    EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FrameTypeTest, HeartbeatFramesHaveNames) {
+  // FrameTypeName's switch is lint-enforced exhaustive; pin the two
+  // supervision frames so a renumbering cannot swap them silently.
+  EXPECT_STREQ(FrameTypeName(FrameType::kPing), "ping");
+  EXPECT_STREQ(FrameTypeName(FrameType::kPong), "pong");
+}
+
 // --- FrameChannel: reassembly from arbitrary read() boundaries ------------
 
 class FrameChannelTest : public testing::Test {
@@ -271,12 +329,16 @@ class FrameChannelTest : public testing::Test {
     }
   }
 
+  // Hand-encodes the v2 frame envelope: [len][type][payload][crc] with the
+  // CRC over type+payload. Must stay in sync with FrameChannel::QueueFrame
+  // (the QueueAndFlush test below enforces that).
   static std::vector<std::byte> EncodeFrame(
       FrameType type, const std::vector<std::byte>& payload) {
     std::vector<std::byte> bytes;
-    PutU32(&bytes, static_cast<uint32_t>(1 + payload.size()));
+    PutU32(&bytes, static_cast<uint32_t>(1 + payload.size() + 4));
     PutU8(&bytes, static_cast<uint8_t>(type));
     bytes.insert(bytes.end(), payload.begin(), payload.end());
+    PutU32(&bytes, Crc32(bytes.data() + 4, bytes.size() - 4));
     return bytes;
   }
 
@@ -331,6 +393,48 @@ TEST_F(FrameChannelTest, OversizedLengthPoisonsTheChannel) {
   bool peer_closed = false;
   Status status = channel_->ReadAvailable(&peer_closed);
   EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FrameChannelTest, UndersizedLengthPoisonsTheChannel) {
+  // A frame length below 5 cannot hold the type byte plus the CRC: only a
+  // damaged length field produces one.
+  std::vector<std::byte> bogus;
+  PutU32(&bogus, 2);
+  ASSERT_EQ(write(raw_fd_, bogus.data(), bogus.size()),
+            static_cast<ssize_t>(bogus.size()));
+  bool peer_closed = false;
+  Status status = channel_->ReadAvailable(&peer_closed);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+}
+
+TEST_F(FrameChannelTest, AnySingleByteFrameCorruptionIsUnavailable) {
+  // Flip every byte past the length header — type, payload, and the CRC
+  // trailer itself — and require the frame CRC to catch each one as a
+  // retryable corrupt-wire error. (Damage to the length field instead
+  // mis-frames the stream: the bounds check or a checksum mismatch on the
+  // mis-framed bytes catches that, covered by the length tests above.)
+  std::vector<std::byte> payload;
+  PutU64(&payload, 0x0123456789ABCDEFull);
+  PutString(&payload, "checksummed frame");
+  std::vector<std::byte> bytes = EncodeFrame(FrameType::kSummary, payload);
+  for (size_t pos = 4; pos < bytes.size(); ++pos) {
+    // Fresh channel per corruption: a wire error poisons the stream.
+    int sv[2];
+    ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    ASSERT_TRUE(SetNonBlocking(sv[0]).ok());
+    FrameChannel channel(sv[0], "test peer");
+    std::vector<std::byte> damaged = bytes;
+    damaged[pos] ^= std::byte{0x10};
+    ASSERT_EQ(write(sv[1], damaged.data(), damaged.size()),
+              static_cast<ssize_t>(damaged.size()));
+    bool peer_closed = false;
+    Status status = channel.ReadAvailable(&peer_closed);
+    close(sv[1]);
+    ASSERT_FALSE(status.ok()) << "corrupted byte " << pos << " undetected";
+    EXPECT_EQ(status.code(), StatusCode::kUnavailable) << "byte " << pos;
+  }
 }
 
 TEST_F(FrameChannelTest, PeerCloseReportedAfterFinalFrames) {
@@ -355,6 +459,104 @@ TEST_F(FrameChannelTest, PeerCloseReportedAfterFinalFrames) {
   Frame frame;
   ASSERT_TRUE(channel_->NextFrame(&frame));
   EXPECT_EQ(frame.type, FrameType::kMilestone);
+}
+
+// --- NetFaultInjector: deterministic link damage --------------------------
+
+std::vector<std::byte> SomeFrame() {
+  std::vector<std::byte> payload;
+  PutU64(&payload, 0x1122334455667788ull);
+  std::vector<std::byte> frame;
+  PutU32(&frame, static_cast<uint32_t>(1 + payload.size() + 4));
+  PutU8(&frame, static_cast<uint8_t>(FrameType::kData));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  PutU32(&frame, Crc32(frame.data() + 4, frame.size() - 4));
+  return frame;
+}
+
+TEST(NetFaultInjectorTest, CorruptOutboundFiresOnceAfterCount) {
+  NetFaultScenario scenario;
+  scenario.kind = NetFaultKind::kCorruptOutbound;
+  scenario.after_frames = 2;
+  scenario.seed = 7;
+  NetFaultInjector injector(scenario);
+
+  const std::vector<std::byte> original = SomeFrame();
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::byte> frame = original;
+    bool shutdown_write = false;
+    injector.OnOutboundFrame(&frame, &shutdown_write);
+    EXPECT_FALSE(shutdown_write);
+    if (i == 2) {
+      EXPECT_NE(frame, original) << "fault did not fire on frame 2";
+      // The damage never lands in the length header, so the receiver sees
+      // a well-framed but checksum-broken frame.
+      EXPECT_TRUE(std::equal(frame.begin(), frame.begin() + 4,
+                             original.begin()));
+    } else {
+      EXPECT_EQ(frame, original) << "frame " << i;
+    }
+  }
+  EXPECT_EQ(injector.fires(), 1u);  // max_fires defaults to one-shot
+}
+
+TEST(NetFaultInjectorTest, TruncateShrinksAndShutsDownWrite) {
+  NetFaultScenario scenario;
+  scenario.kind = NetFaultKind::kTruncateOutbound;
+  NetFaultInjector injector(scenario);
+
+  std::vector<std::byte> frame = SomeFrame();
+  const size_t full = frame.size();
+  bool shutdown_write = false;
+  injector.OnOutboundFrame(&frame, &shutdown_write);
+  EXPECT_TRUE(shutdown_write);
+  EXPECT_LT(frame.size(), full);
+  EXPECT_GE(frame.size(), 4u);
+}
+
+TEST(NetFaultInjectorTest, ShortWritesCapEverySend) {
+  NetFaultScenario scenario;
+  scenario.kind = NetFaultKind::kShortWrites;
+  scenario.write_cap = 3;
+  NetFaultInjector injector(scenario);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(injector.CapWrite(100), 3u);
+  }
+  EXPECT_EQ(injector.CapWrite(2), 2u);
+}
+
+TEST(NetFaultInjectorTest, StallLatchesUntilRebind) {
+  NetFaultScenario scenario;
+  scenario.kind = NetFaultKind::kStallOutbound;
+  NetFaultInjector injector(scenario);
+  EXPECT_FALSE(injector.send_stalled());
+
+  std::vector<std::byte> frame = SomeFrame();
+  bool shutdown_write = false;
+  injector.OnOutboundFrame(&frame, &shutdown_write);
+  EXPECT_TRUE(injector.send_stalled());
+  EXPECT_EQ(injector.CapWrite(100), 0u);
+  EXPECT_EQ(injector.fires(), 1u);
+
+  // A retry attempt installs the injector on a fresh channel: the latch
+  // clears but the spent one-shot budget does not, so the retry runs clean.
+  injector.OnChannelRebind();
+  EXPECT_FALSE(injector.send_stalled());
+  injector.OnOutboundFrame(&frame, &shutdown_write);
+  EXPECT_FALSE(injector.send_stalled());
+  EXPECT_EQ(injector.fires(), 1u);
+}
+
+TEST(NetFaultInjectorTest, ScenarioSerializesForReproduction) {
+  NetFaultScenario scenario;
+  scenario.kind = NetFaultKind::kDropConnection;
+  scenario.worker = 3;
+  scenario.after_frames = 17;
+  scenario.seed = 42;
+  std::string text = SerializeNetFaultScenario(scenario);
+  EXPECT_NE(text.find("drop-conn"), std::string::npos);
+  EXPECT_NE(text.find("worker=3"), std::string::npos);
+  EXPECT_NE(text.find("seed=42"), std::string::npos);
 }
 
 }  // namespace

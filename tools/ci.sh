@@ -56,18 +56,29 @@ cmake --build build-ci --target net_throughput -j "$(nproc)"
 ./build-ci/bench/net_throughput --smoke --out=build-ci/BENCH_net_smoke.json
 echo "archived build-ci/BENCH_net_smoke.json"
 
+echo "== ci: process-backend chaos sweep =="
+# The full default sweep (MJOIN_CHAOS_ITERS=10, 200 seeded schedules)
+# already ran inside the ctest stage above; this stage re-runs a bounded
+# sweep with the watchdog-heavy schedules so a chaos regression names its
+# seed in the CI log even when ctest output is folded away.
+MJOIN_CHAOS_ITERS=2 ./build-ci/tests/process_chaos_test
+
 if [ "$MODE" = fast ]; then
   echo "ci gate (fast) passed — run the full gate before merging"
   exit 0
 fi
 
 echo "== ci: thread sanitizer =="
-tools/run_sanitized_tests.sh thread thread_metrics_test process_backend_fault_test
+MJOIN_CHAOS_ITERS=2 tools/run_sanitized_tests.sh thread \
+  thread_metrics_test process_backend_fault_test process_chaos_test
 
 echo "== ci: address sanitizer =="
-tools/run_sanitized_tests.sh address thread_metrics_test net_wire_test process_backend_fault_test
+MJOIN_CHAOS_ITERS=2 tools/run_sanitized_tests.sh address \
+  thread_metrics_test net_wire_test process_backend_fault_test process_chaos_test
 
 echo "== ci: undefined-behavior sanitizer =="
-tools/run_sanitized_tests.sh undefined
+# Full suite; the chaos sweep stays bounded so the UBSan pass does not
+# spend its time re-proving recovery the dedicated stage already proved.
+MJOIN_CHAOS_ITERS=2 tools/run_sanitized_tests.sh undefined
 
 echo "ci gate passed"

@@ -16,6 +16,8 @@
 // All subcommands generate the paper's Wisconsin database on the fly
 // (--relations, --card, --seed) and verify executed results against the
 // single-threaded reference.
+#include <signal.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -35,6 +37,7 @@
 #include "engine/reference.h"
 #include "engine/sim_executor.h"
 #include "engine/thread_executor.h"
+#include "net/net_fault.h"
 #include "plan/wisconsin_query.h"
 #include "strategy/strategy.h"
 #include "xra/text.h"
@@ -81,6 +84,20 @@ int Usage() {
       "process-backend flags (run --backend process):\n"
       "  --workers N        worker processes to fork (default: one per\n"
       "                     plan processor)\n"
+      "  --retries N        automatic retries on a retryable failure\n"
+      "                     (default 0)\n"
+      "  --retry-backoff-ms N  first-retry backoff, doubling per retry\n"
+      "                     (default 50)\n"
+      "  --degrade          fall back to the thread backend once the retry\n"
+      "                     budget is exhausted\n"
+      "  --heartbeat-ms N   coordinator ping cadence (default 500)\n"
+      "  --liveness-ms N    SIGKILL a worker silent this long (0=off)\n"
+      "  --net-fault KIND   none|corrupt-out|corrupt-in|truncate-out|\n"
+      "                     short-writes|stall-out|drop-conn\n"
+      "  --net-fault-worker N  worker link the fault is installed on\n"
+      "  --net-fault-after N   frames let through before firing\n"
+      "  --net-fault-fires N   total fires allowed (0=unlimited, default 1)\n"
+      "  --net-fault-seed N    seed choosing the damaged byte\n"
       "resilience flags (run --backend thread|process):\n"
       "  --batch N          tuples per inter-node batch (default 256)\n"
       "  --max-queue N      bound on queued batches per node (0=unbounded)\n"
@@ -93,6 +110,8 @@ int Usage() {
       "  --fault-after N    fail-op: batches to let through first\n"
       "  --fault-prob P     drop/dup per-batch probability (default 1.0)\n"
       "  --fault-seed N     seed for probabilistic faults\n"
+      "  --fault-on-attempt N  fire only on execution attempt N (0-based;\n"
+      "                     -1=every attempt); pairs with --retries\n"
       "observability flags (run --backend thread|process):\n"
       "  --metrics          print the per-operator metrics table and the\n"
       "                     run-level metrics registry\n"
@@ -247,7 +266,22 @@ int RunExecBackend(const Args& args, const ParallelPlan& plan,
       static_cast<uint64_t>(args.GetInt("fault-after", 0));
   scenario.probability = args.GetDouble("fault-prob", 1.0);
   scenario.seed = static_cast<uint64_t>(args.GetInt("fault-seed", 0));
+  scenario.on_attempt = args.GetInt("fault-on-attempt", -1);
   FaultInjector injector(scenario);
+
+  NetFaultScenario net_scenario;
+  if (!ParseNetFaultKind(args.Get("net-fault", "none"), &net_scenario.kind)) {
+    std::fprintf(stderr, "unknown net fault kind\n");
+    return 2;
+  }
+  net_scenario.worker =
+      static_cast<uint32_t>(args.GetInt("net-fault-worker", 0));
+  net_scenario.after_frames =
+      static_cast<uint64_t>(args.GetInt("net-fault-after", 0));
+  net_scenario.max_fires =
+      static_cast<uint64_t>(args.GetInt("net-fault-fires", 1));
+  net_scenario.seed = static_cast<uint64_t>(args.GetInt("net-fault-seed", 0));
+  NetFaultInjector net_injector(net_scenario);
 
   ThreadExecOptions options;
   options.batch_size = static_cast<uint32_t>(args.GetInt("batch", 256));
@@ -271,6 +305,7 @@ int RunExecBackend(const Args& args, const ParallelPlan& plan,
       MakeWisconsinDatabase(common.relations, common.card, common.seed);
   ThreadExecStats stats;
   ProcessNetStats net;
+  ProcessExecStats proc;
   StatusOr<ThreadQueryResult> run =
       Status::Internal("backend produced no result");  // always overwritten
   if (process_backend) {
@@ -279,9 +314,23 @@ int RunExecBackend(const Args& args, const ParallelPlan& plan,
     process_options.exec = options;
     process_options.num_workers =
         static_cast<uint32_t>(args.GetInt("workers", 0));
-    auto outcome = executor.Execute(plan, process_options, &stats, &net);
+    process_options.max_retries =
+        static_cast<uint32_t>(args.GetInt("retries", 0));
+    process_options.retry_backoff =
+        std::chrono::milliseconds(args.GetInt("retry-backoff-ms", 50));
+    process_options.degrade_to_thread = args.Has("degrade");
+    process_options.heartbeat_interval =
+        std::chrono::milliseconds(args.GetInt("heartbeat-ms", 500));
+    process_options.liveness_timeout =
+        std::chrono::milliseconds(args.GetInt("liveness-ms", 0));
+    if (net_scenario.kind != NetFaultKind::kNone) {
+      process_options.net_fault_injector = &net_injector;
+    }
+    auto outcome =
+        executor.Execute(plan, process_options, &stats, &net, &proc);
     if (outcome.ok()) {
       net = outcome->net;
+      proc = outcome->proc;
       run = std::move(outcome->exec);
     } else {
       run = outcome.status();
@@ -294,6 +343,19 @@ int RunExecBackend(const Args& args, const ParallelPlan& plan,
     std::fprintf(stderr, "%s\npartial progress before abort:\n",
                  run.status().ToString().c_str());
     PrintThreadStats(stats);
+    if (scenario.kind != FaultKind::kNone ||
+        net_scenario.kind != NetFaultKind::kNone) {
+      // Everything in both injectors is seed-deterministic: these two
+      // lines reproduce the failing schedule exactly.
+      std::fprintf(stderr,
+                   "reproduce with: --fault-seed %llu --net-fault-seed %llu\n",
+                   static_cast<unsigned long long>(scenario.seed),
+                   static_cast<unsigned long long>(net_scenario.seed));
+    }
+    if (proc.attempts > 1) {
+      std::fprintf(stderr, "recovery: %u attempts, %u retries\n",
+                   proc.attempts, proc.retries);
+    }
     if (want_metrics) {
       std::printf("\nper-operator metrics up to the abort:\n%s",
                   RenderThreadOpStats(stats).c_str());
@@ -314,6 +376,18 @@ int RunExecBackend(const Args& args, const ParallelPlan& plan,
         static_cast<unsigned long long>(run->result.cardinality));
   }
   PrintThreadStats(run->stats);
+  if (process_backend && (proc.attempts > 1 || proc.degraded_to_thread)) {
+    std::printf("recovery: %u attempts, %u retries%s\n", proc.attempts,
+                proc.retries,
+                proc.degraded_to_thread ? ", degraded to thread backend"
+                                        : "");
+    for (const WorkerFailureRecord& f : proc.failures) {
+      std::printf("  attempt %u: worker %u (pid %d) %s: %s\n", f.attempt,
+                  f.worker, static_cast<int>(f.pid),
+                  WorkerFailureClassName(f.failure).c_str(),
+                  f.detail.c_str());
+    }
+  }
   if (process_backend) {
     std::printf(
         "network: %s sent, %llu data frames routed, %llu local "
@@ -489,6 +563,11 @@ int CmdBench(const Args& args) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The process backend writes to sockets whose peers can die at any
+  // moment (that is the point of the fault-tolerance tests). Channel sends
+  // already pass MSG_NOSIGNAL; this covers any other write to a dead pipe
+  // so the coordinator sees EPIPE instead of dying silently.
+  signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return Usage();
   Args args;
   args.command = argv[1];
@@ -498,7 +577,8 @@ int main(int argc, char** argv) {
     std::string key = token.substr(2);
     if (auto eq = key.find('='); eq != std::string::npos) {
       args.flags.insert_or_assign(key.substr(0, eq), key.substr(eq + 1));
-    } else if (key == "analyze" || key == "diagram" || key == "metrics") {
+    } else if (key == "analyze" || key == "diagram" || key == "metrics" ||
+               key == "degrade") {
       args.flags.insert_or_assign(key, std::string("1"));
     } else if (i + 1 < argc) {
       args.flags.insert_or_assign(key, std::string(argv[++i]));
