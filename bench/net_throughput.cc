@@ -8,9 +8,11 @@
 //           AF_UNIX socketpair, single-threaded (queue/flush one end, read
 //           the other), so the figure includes framing, syscalls, and
 //           reassembly but no scheduler noise.
-//   query:  FP left-linear end to end, thread backend vs process backend
-//           at the same batch size — what shared-nothing isolation costs
-//           (or saves) on a real plan, with the wire traffic it generated.
+//   query:  FP left-linear end to end — thread backend vs the process
+//           backend over its two data planes (all-socket and shared-memory
+//           rings) at the same batch size: what shared-nothing isolation
+//           costs on a real plan, and how much of it the shm plane buys
+//           back, with the wire traffic each run generated.
 //
 // Flags: --smoke (tiny sweep, 1 rep — the CI guard),
 //        --out=FILE (default BENCH_net.json),
@@ -174,9 +176,9 @@ SocketRow BenchSocket(size_t payload_bytes, const Config& cfg) {
   return row;
 }
 
-struct QueryRow {
-  double thread_wall = 0;
-  double process_wall = 0;
+/// One process-backend configuration's best-of-reps run.
+struct ProcessRow {
+  double wall = 0;
   uint32_t workers = 0;
   uint64_t bytes_sent = 0;
   uint64_t bytes_received = 0;
@@ -184,7 +186,47 @@ struct QueryRow {
   uint64_t local_deliveries = 0;
   double serialize_seconds = 0;
   double deserialize_seconds = 0;
+  uint32_t shm_rings = 0;
+  uint64_t shm_records_sent = 0;
+  uint64_t shm_bytes_sent = 0;
+  uint64_t ring_full_stalls = 0;
 };
+
+struct QueryRow {
+  double thread_wall = 0;
+  ProcessRow socket_plane;  // use_shm_data_plane = false
+  ProcessRow shm_plane;     // use_shm_data_plane = true
+};
+
+ProcessRow BenchProcess(const Database& db, const ParallelPlan& plan,
+                        const Config& cfg, bool use_shm) {
+  ProcessRow row;
+  ProcessExecutor processes(&db);
+  for (int rep = 0; rep < cfg.reps; ++rep) {
+    ProcessExecOptions options;
+    options.exec.batch_size = cfg.batch_size;
+    options.exec.collect_metrics = false;
+    options.num_workers = cfg.workers;
+    options.use_shm_data_plane = use_shm;
+    auto run = processes.Execute(plan, options);
+    MJOIN_CHECK(run.ok()) << run.status();
+    if (row.wall == 0 || run->exec.wall_seconds < row.wall) {
+      row.wall = run->exec.wall_seconds;
+    }
+    row.workers = run->net.num_workers;
+    row.bytes_sent = run->net.bytes_sent;
+    row.bytes_received = run->net.bytes_received;
+    row.data_frames_routed = run->net.data_frames_routed;
+    row.local_deliveries = run->net.local_deliveries;
+    row.serialize_seconds = run->net.serialize_seconds;
+    row.deserialize_seconds = run->net.deserialize_seconds;
+    row.shm_rings = run->net.shm_rings;
+    row.shm_records_sent = run->net.shm_records_sent;
+    row.shm_bytes_sent = run->net.shm_bytes_sent;
+    row.ring_full_stalls = run->net.ring_full_stalls;
+  }
+  return row;
+}
 
 QueryRow BenchQuery(const Database& db, const ParallelPlan& plan,
                     const Config& cfg) {
@@ -202,25 +244,8 @@ QueryRow BenchQuery(const Database& db, const ParallelPlan& plan,
     }
   }
 
-  ProcessExecutor processes(&db);
-  for (int rep = 0; rep < cfg.reps; ++rep) {
-    ProcessExecOptions options;
-    options.exec.batch_size = cfg.batch_size;
-    options.exec.collect_metrics = false;
-    options.num_workers = cfg.workers;
-    auto run = processes.Execute(plan, options);
-    MJOIN_CHECK(run.ok()) << run.status();
-    if (row.process_wall == 0 || run->exec.wall_seconds < row.process_wall) {
-      row.process_wall = run->exec.wall_seconds;
-    }
-    row.workers = run->net.num_workers;
-    row.bytes_sent = run->net.bytes_sent;
-    row.bytes_received = run->net.bytes_received;
-    row.data_frames_routed = run->net.data_frames_routed;
-    row.local_deliveries = run->net.local_deliveries;
-    row.serialize_seconds = run->net.serialize_seconds;
-    row.deserialize_seconds = run->net.deserialize_seconds;
-  }
+  row.socket_plane = BenchProcess(db, plan, cfg, /*use_shm=*/false);
+  row.shm_plane = BenchProcess(db, plan, cfg, /*use_shm=*/true);
   return row;
 }
 
@@ -269,11 +294,12 @@ int Main(int argc, char** argv) {
 
   QueryRow query = BenchQuery(db, plan, cfg);
   std::fprintf(stderr,
-               "query  thread %.4fs  process %.4fs (%u workers, %llu routed "
-               "frames, %llu local)\n",
-               query.thread_wall, query.process_wall, query.workers,
-               static_cast<unsigned long long>(query.data_frames_routed),
-               static_cast<unsigned long long>(query.local_deliveries));
+               "query  thread %.4fs  process/socket %.4fs  process/shm %.4fs "
+               "(%u workers, %u rings, %llu shm records, %llu ring stalls)\n",
+               query.thread_wall, query.socket_plane.wall, query.shm_plane.wall,
+               query.shm_plane.workers, query.shm_plane.shm_rings,
+               static_cast<unsigned long long>(query.shm_plane.shm_records_sent),
+               static_cast<unsigned long long>(query.shm_plane.ring_full_stalls));
 
   FILE* f = std::fopen(cfg.out.c_str(), "w");
   if (f == nullptr) {
@@ -309,16 +335,31 @@ int Main(int argc, char** argv) {
   std::fprintf(
       f,
       "  ],\n  \"query\": {\"strategy\": \"FP\", \"shape\": \"left linear\", "
-      "\"thread_wall_seconds\": %.6f, \"process_wall_seconds\": %.6f, "
-      "\"workers\": %u, \"bytes_sent\": %llu, \"bytes_received\": %llu, "
-      "\"data_frames_routed\": %llu, \"local_deliveries\": %llu, "
-      "\"serialize_seconds\": %.6f, \"deserialize_seconds\": %.6f}\n}\n",
-      query.thread_wall, query.process_wall, query.workers,
-      static_cast<unsigned long long>(query.bytes_sent),
-      static_cast<unsigned long long>(query.bytes_received),
-      static_cast<unsigned long long>(query.data_frames_routed),
-      static_cast<unsigned long long>(query.local_deliveries),
-      query.serialize_seconds, query.deserialize_seconds);
+      "\"thread_wall_seconds\": %.6f,\n",
+      query.thread_wall);
+  auto write_plane = [f](const char* key, const ProcessRow& r, bool last) {
+    std::fprintf(
+        f,
+        "    \"%s\": {\"wall_seconds\": %.6f, \"workers\": %u, "
+        "\"bytes_sent\": %llu, \"bytes_received\": %llu, "
+        "\"data_frames_routed\": %llu, \"local_deliveries\": %llu, "
+        "\"serialize_seconds\": %.6f, \"deserialize_seconds\": %.6f, "
+        "\"shm_rings\": %u, \"shm_records_sent\": %llu, "
+        "\"shm_bytes_sent\": %llu, \"ring_full_stalls\": %llu}%s\n",
+        key, r.wall, r.workers,
+        static_cast<unsigned long long>(r.bytes_sent),
+        static_cast<unsigned long long>(r.bytes_received),
+        static_cast<unsigned long long>(r.data_frames_routed),
+        static_cast<unsigned long long>(r.local_deliveries),
+        r.serialize_seconds, r.deserialize_seconds, r.shm_rings,
+        static_cast<unsigned long long>(r.shm_records_sent),
+        static_cast<unsigned long long>(r.shm_bytes_sent),
+        static_cast<unsigned long long>(r.ring_full_stalls),
+        last ? "" : ",");
+  };
+  write_plane("process_socket", query.socket_plane, /*last=*/false);
+  write_plane("process_shm", query.shm_plane, /*last=*/true);
+  std::fprintf(f, "  }\n}\n");
   std::fclose(f);
   std::fprintf(stderr, "wrote %s\n", cfg.out.c_str());
   return 0;

@@ -29,6 +29,7 @@
 #include "engine/result.h"
 #include "net/channel.h"
 #include "net/net_fault.h"
+#include "net/shm_ring.h"
 #include "storage/partitioner.h"
 #include "xra/text.h"
 
@@ -115,11 +116,22 @@ class Coordinator {
   Status SpawnFleet();
   Status ShipPlans();
   Status ShipFragments();
+  /// Publishes one fragment chunk onto the relay ring toward `dest`,
+  /// waiting (and keeping the poll loop turning) while the ring is full.
+  Status PushFragmentRecord(uint32_t dest, const ShmFragmentHeader& hdr,
+                            const std::byte* rows, size_t row_bytes);
   void DispatchGroups(const std::vector<int>& groups);
 
-  /// One poll-loop turn: flush, poll, read, handle. Never throws work at a
-  /// closed worker.
+  /// One poll-loop turn: flush, poll, read every ready socket, drain the
+  /// relay rings, then handle the read frames. Rings drain *before* frames
+  /// are handled: a worker publishes its records and only then sends the
+  /// control frame that refers to them (kBye after result rows), so the
+  /// frame handler can rely on the records being in. Never throws work at
+  /// a closed worker.
   void PollOnce(int timeout_ms);
+  /// Consumes every published record on the coordinator's inbound relay
+  /// rings (result rows during the finish phase).
+  void DrainCoordRings();
   void HandleFrame(uint32_t w, Frame frame);
   void RouteFrame(uint32_t from, Frame frame);
   void SendRouted(WorkerProc* dst, Frame frame);
@@ -160,6 +172,9 @@ class Coordinator {
   SchemaRegistry registry_;
   QueryController controller_;
   std::vector<WorkerProc> workers_;
+  /// Created pre-fork so the fleet inherits the mapping; destroyed with
+  /// this per-attempt Coordinator, so a retried fleet maps fresh rings.
+  std::unique_ptr<ShmDataPlane> plane_;
   std::string plan_text_;
   uint64_t plan_hash_ = 0;
   int64_t trace_origin_ns_ = 0;
@@ -214,7 +229,10 @@ Status Coordinator::SpawnFleet() {
         close(workers_[prev].chan->fd());
       }
       close(sv[0]);
-      _exit(RunProcessWorker(sv[1]));
+      // The shm plane (mapping + doorbells) is deliberately inherited; the
+      // child never destroys it — _exit skips destructors and the kernel
+      // drops its mapping reference.
+      _exit(RunProcessWorker(sv[1], plane_.get()));
     }
     close(sv[1]);
     MJOIN_RETURN_IF_ERROR(SetNonBlocking(sv[0]));
@@ -252,6 +270,8 @@ Status Coordinator::ShipPlans() {
     env.fault_scenario = fault_scenario;
     env.plan_text = plan_text_;
     env.attempt = attempt_;
+    env.use_shm_data_plane = plane_ != nullptr;
+    env.shm_ring_bytes = plane_ != nullptr ? plane_->ring_bytes() : 0;
     std::vector<std::byte> payload;
     EncodePlanEnvelope(env, &payload);
     workers_[w].chan->QueueFrame(FrameType::kPlan, payload);
@@ -282,26 +302,79 @@ Status Coordinator::ShipFragments() {
     MJOIN_ASSIGN_OR_RETURN(uint32_t schema_id,
                            registry_.IdOf(*o.output_schema));
     uint32_t tuple_size = o.output_schema->tuple_size();
+    // Fragments ride the relay rings when the plane is up (the rows fit a
+    // record by construction: max_payload is checked below), the socket
+    // otherwise. Per-scan-op choice, like the workers' per-edge one.
+    const uint32_t max_payload =
+        plane_ != nullptr
+            ? plane_->ring_bytes() / 2 - kShmRecordHdrBytes * 2
+            : 0;
+    const bool use_ring =
+        plane_ != nullptr &&
+        sizeof(ShmFragmentHeader) + tuple_size <= max_payload;
     const size_t rows_per_frame =
-        std::max<size_t>(1, (4u << 20) / std::max<uint32_t>(1, tuple_size));
+        use_ring
+            ? (max_payload - sizeof(ShmFragmentHeader)) /
+                  std::max<uint32_t>(1, tuple_size)
+            : std::max<size_t>(1,
+                               (4u << 20) / std::max<uint32_t>(1, tuple_size));
     for (uint32_t i = 0; i < m; ++i) {
       const Relation& frag = fragments[i];
       if (frag.num_tuples() == 0) continue;  // workers pre-create empties
-      FrameChannel* chan = workers_[WorkerOf(o.processors[i])].chan.get();
+      const uint32_t dest = WorkerOf(o.processors[i]);
       size_t offset = 0;
       while (offset < frag.num_tuples()) {
         size_t count = std::min(rows_per_frame, frag.num_tuples() - offset);
-        std::vector<std::byte> payload;
-        payload.reserve(8 + BatchWireSize(tuple_size, count));
-        EncodeFragmentHeader(FragmentHeader{o.id, i}, &payload);
-        AppendRowsWire(schema_id, tuple_size,
-                       frag.raw_data() + offset * tuple_size, count,
-                       &payload);
-        chan->QueueFrame(FrameType::kFragment, payload);
+        if (use_ring) {
+          ShmFragmentHeader hdr;
+          hdr.op = o.id;
+          hdr.instance = i;
+          hdr.schema_id = schema_id;
+          hdr.tuple_size = tuple_size;
+          hdr.num_tuples = static_cast<uint32_t>(count);
+          MJOIN_RETURN_IF_ERROR(PushFragmentRecord(
+              dest, hdr, frag.raw_data() + offset * tuple_size,
+              count * tuple_size));
+          if (aborted_) return Status::OK();  // Run() sees aborted_
+        } else {
+          std::vector<std::byte> payload;
+          payload.reserve(8 + BatchWireSize(tuple_size, count));
+          EncodeFragmentHeader(FragmentHeader{o.id, i}, &payload);
+          AppendRowsWire(schema_id, tuple_size,
+                         frag.raw_data() + offset * tuple_size, count,
+                         &payload);
+          workers_[dest].chan->QueueFrame(FrameType::kFragment, payload);
+        }
         offset += count;
       }
     }
   }
+  return Status::OK();
+}
+
+Status Coordinator::PushFragmentRecord(uint32_t dest,
+                                       const ShmFragmentHeader& hdr,
+                                       const std::byte* rows,
+                                       size_t row_bytes) {
+  ShmRing* ring = plane_->RingTo(num_workers_, dest);
+  MJOIN_CHECK(ring != nullptr) << "no relay ring toward worker " << dest;
+  // A full ring means the worker is behind; keep the poll loop turning
+  // (hellos, errors, supervision) instead of buffering unboundedly like
+  // the socket path would. Deadline, cancellation, worker death, and the
+  // liveness watchdog all break the wait.
+  while (!ring->TryPush(ShmRecordType::kFragment, &hdr, sizeof(hdr), rows,
+                        row_bytes)) {
+    ++net_.ring_full_stalls;
+    if (!CheckRuntime()) return Status::OK();
+    SuperviseFleet();
+    if (aborted_) return Status::OK();
+    PollOnce(/*timeout_ms=*/5);
+    if (aborted_) return Status::OK();
+    if (workers_[dest].closed) return Status::OK();
+  }
+  ++net_.shm_records_sent;
+  net_.shm_bytes_sent += sizeof(hdr) + row_bytes;
+  plane_->RingDoorbell(dest);
   return Status::OK();
 }
 
@@ -421,6 +494,18 @@ bool Coordinator::CheckRuntime() {
 void Coordinator::HandleWorkerGone(uint32_t w, const Status& status) {
   WorkerProc& worker = workers_[w];
   if (worker.closed) return;
+  // Before diagnosing, drain anything the worker managed to say. A worker
+  // that reports a typed kError and exits races its buffered error frame
+  // against our next flush hitting EPIPE; the typed error must win, or a
+  // deterministic worker fault gets misdiagnosed as a crash and retried.
+  if (!aborted_ && state_ != State::kDone) {
+    bool ignored = false;
+    (void)worker.chan->ReadAvailable(&ignored);
+    Frame frame;
+    while (!aborted_ && worker.chan->NextFrame(&frame)) {
+      HandleFrame(w, std::move(frame));
+    }
+  }
   worker.closed = true;
   worker.chan->Close();
   if (aborted_ || state_ == State::kDone) return;
@@ -431,8 +516,18 @@ void Coordinator::HandleWorkerGone(uint32_t w, const Status& status) {
   std::string cause;
   WorkerFailureClass failure = WorkerFailureClass::kOther;
   pid_t got;
-  while ((got = waitpid(worker.pid, &wstatus, WNOHANG)) < 0 &&
-         errno == EINTR) {
+  // A dying process closes its descriptors before it becomes reapable, so
+  // the EOF can race waitpid: a killed worker would read as "closed its
+  // socket" instead of a diagnosed crash. Give the zombie a bounded
+  // moment to materialize (the window is widest under sanitizers, whose
+  // address-space teardown is slow); a worker that is alive with a dead
+  // socket still falls through to kOther after the budget.
+  for (int spin = 0;; ++spin) {
+    while ((got = waitpid(worker.pid, &wstatus, WNOHANG)) < 0 &&
+           errno == EINTR) {
+    }
+    if (got == worker.pid || spin >= 64) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
   if (got == worker.pid) {
     worker.reaped = true;
@@ -528,6 +623,18 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
             StrCat("worker ", w,
                    " echoed a mismatched plan hash: the textual plan did "
                    "not survive the serialize/parse round trip")));
+        return;
+      }
+      const uint64_t want_ring_hash =
+          plane_ != nullptr ? plane_->directory_hash() : 0;
+      if (hello.ring_directory_hash != want_ring_hash) {
+        // The worker derived a different ring directory from its parse:
+        // had it run, producer and consumer could disagree about which
+        // ring carries an edge. Deterministic, so never retried.
+        Abort(Status::Internal(
+            StrCat("worker ", w,
+                   " derived a mismatched shm ring directory from its "
+                   "parsed plan")));
         return;
       }
       worker.hello_received = true;
@@ -714,7 +821,7 @@ void Coordinator::PollOnce(int timeout_ms) {
 
   std::vector<struct pollfd> fds;
   std::vector<uint32_t> fd_worker;
-  fds.reserve(num_workers_);
+  fds.reserve(num_workers_ + 1);
   for (uint32_t w = 0; w < num_workers_; ++w) {
     WorkerProc& worker = workers_[w];
     if (worker.closed) continue;
@@ -727,16 +834,41 @@ void Coordinator::PollOnce(int timeout_ms) {
     fd_worker.push_back(w);
   }
   if (fds.empty()) return;
+  if (plane_ != nullptr) {
+    // Our doorbell: workers ring it after publishing onto a relay ring.
+    struct pollfd pfd;
+    pfd.fd = plane_->doorbell(num_workers_);
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    fds.push_back(pfd);
+    fd_worker.push_back(num_workers_);  // sentinel: not a worker socket
+  }
   int rc = poll(fds.data(), fds.size(), timeout_ms);
   if (rc < 0 && errno != EINTR) {
     Abort(Status::Internal(StrCat("coordinator poll failed: ",
                                   strerror(errno))));
     return;
   }
-  if (rc <= 0) return;
+  if (plane_ != nullptr) plane_->DrainDoorbell(num_workers_);
+  if (rc <= 0) {
+    // Timed out, but published records need no readable socket to exist.
+    DrainCoordRings();
+    return;
+  }
 
+  // Read every ready socket before handling any frame, and drain the
+  // relay rings in between: a control frame referring to ring records
+  // (kBye after the worker's result rows) was sent after they were
+  // published, so the read-all / drain / handle-all order guarantees the
+  // records are in by the time the frame is handled.
+  struct ReadyWorker {
+    uint32_t w;
+    bool peer_closed;
+  };
+  std::vector<ReadyWorker> ready;
+  ready.reserve(fds.size());
   for (size_t i = 0; i < fds.size(); ++i) {
-    if (fds[i].revents == 0) continue;
+    if (fds[i].revents == 0 || fd_worker[i] == num_workers_) continue;
     uint32_t w = fd_worker[i];
     WorkerProc& worker = workers_[w];
     if (worker.closed) continue;
@@ -746,13 +878,71 @@ void Coordinator::PollOnce(int timeout_ms) {
       HandleWorkerGone(w, read);
       continue;
     }
+    ready.push_back(ReadyWorker{w, peer_closed});
+  }
+  DrainCoordRings();
+  for (const ReadyWorker& r : ready) {
+    WorkerProc& worker = workers_[r.w];
+    if (worker.closed) continue;
     Frame frame;
     while (!aborted_ && worker.chan->NextFrame(&frame)) {
-      HandleFrame(w, std::move(frame));
+      HandleFrame(r.w, std::move(frame));
     }
-    if (peer_closed && state_ != State::kDone) {
-      HandleWorkerGone(w, Status::Unavailable("end of stream"));
+    if (r.peer_closed && state_ != State::kDone) {
+      HandleWorkerGone(r.w, Status::Unavailable("end of stream"));
     }
+  }
+}
+
+void Coordinator::DrainCoordRings() {
+  if (plane_ == nullptr || aborted_) return;
+  for (size_t ring_index : plane_->InboundRings(num_workers_)) {
+    ShmRing* ring = plane_->ring(ring_index);
+    const uint32_t from = plane_->spec(ring_index).from;
+    const uint64_t limit = ring->tail_cursor();
+    bool released = false;
+    while (!aborted_ && ring->head_cursor() < limit) {
+      ShmRecordView rec;
+      StatusOr<bool> any = ring->TryRead(&rec);
+      if (!any.ok()) {
+        AbortCorruptWire(from, any.status().message());
+        break;
+      }
+      if (!*any) break;  // only pads remained below the snapshot
+      ++net_.shm_records_received;
+      net_.shm_bytes_received += rec.payload_bytes;
+      if (rec.type != ShmRecordType::kResultRows) {
+        ring->Release();
+        AbortCorruptWire(from, StrCat("unexpected shm ",
+                                      ShmRecordTypeName(rec.type),
+                                      " record on a relay ring"));
+        break;
+      }
+      ShmResultRowsHeader hdr;
+      if (rec.payload_bytes < sizeof(hdr)) {
+        ring->Release();
+        AbortCorruptWire(from, "short shm result-rows header");
+        break;
+      }
+      std::memcpy(&hdr, rec.payload, sizeof(hdr));
+      if (!materialized_.has_value()) {
+        ring->Release();
+        AbortCorruptWire(from, "result rows while materialization is off");
+        break;
+      }
+      if (hdr.schema_id >= registry_.size() ||
+          registry_.Get(hdr.schema_id)->tuple_size() != hdr.tuple_size ||
+          rec.payload_bytes !=
+              sizeof(hdr) + uint64_t{hdr.num_tuples} * hdr.tuple_size) {
+        ring->Release();
+        AbortCorruptWire(from, "shm result-rows record fails validation");
+        break;
+      }
+      materialized_->AppendRows(rec.payload + sizeof(hdr), hdr.num_tuples);
+      ring->Release();
+      released = true;
+    }
+    if (released) plane_->RingDoorbell(from);
   }
 }
 
@@ -867,6 +1057,14 @@ void Coordinator::GatherNetStats() {
     net_.faults_injected += w.faults_injected;
     net_.serialize_seconds += w.serialize_seconds;
     net_.deserialize_seconds += w.deserialize_seconds;
+    net_.shm_records_sent += w.shm_records_sent;
+    net_.shm_records_received += w.shm_records_received;
+    net_.shm_bytes_sent += w.shm_bytes_sent;
+    net_.shm_bytes_received += w.shm_bytes_received;
+    net_.ring_full_stalls += w.ring_full_stalls;
+  }
+  if (plane_ != nullptr) {
+    net_.shm_rings = static_cast<uint32_t>(plane_->num_rings());
   }
 }
 
@@ -912,6 +1110,13 @@ void PublishProcessMetrics(const ThreadExecStats& stats,
   registry->histogram("net.serialize_seconds")->Observe(net.serialize_seconds);
   registry->histogram("net.deserialize_seconds")
       ->Observe(net.deserialize_seconds);
+  registry->gauge("net.shm_rings")->Set(static_cast<int64_t>(net.shm_rings));
+  registry->counter("net.shm_records_sent")->Add(net.shm_records_sent);
+  registry->counter("net.shm_records_received")
+      ->Add(net.shm_records_received);
+  registry->counter("net.shm_bytes_sent")->Add(net.shm_bytes_sent);
+  registry->counter("net.shm_bytes_received")->Add(net.shm_bytes_received);
+  registry->counter("net.ring_full_stalls")->Add(net.ring_full_stalls);
 }
 
 StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
@@ -956,6 +1161,14 @@ StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
   plan_text_ = SerializePlan(plan_);
   plan_hash_ = FnvHash64(plan_text_);
 
+  if (options_.use_shm_data_plane) {
+    // Created pre-fork so the fleet inherits the mapping; torn down with
+    // this Coordinator, so every retry attempt maps fresh zeroed rings.
+    MJOIN_ASSIGN_OR_RETURN(
+        plane_, ShmDataPlane::Create(ComputeRingDirectory(plan_, num_workers_),
+                                     num_workers_ + 1,
+                                     options_.shm_ring_bytes));
+  }
   MJOIN_RETURN_IF_ERROR(SpawnFleet());
   MJOIN_RETURN_IF_ERROR(ShipPlans());
   MJOIN_RETURN_IF_ERROR(ShipFragments());
@@ -1087,6 +1300,12 @@ std::string RenderProcessNetStats(const ProcessNetStats& net) {
   table.AddRow({"faults injected", StrCat(net.faults_injected)});
   table.AddRow({"serialize [s]", FormatDouble(net.serialize_seconds, 4)});
   table.AddRow({"deserialize [s]", FormatDouble(net.deserialize_seconds, 4)});
+  table.AddRow({"shm rings", StrCat(net.shm_rings)});
+  table.AddRow({"shm records sent", StrCat(net.shm_records_sent)});
+  table.AddRow({"shm records received", StrCat(net.shm_records_received)});
+  table.AddRow({"shm bytes sent", FormatBytes(net.shm_bytes_sent)});
+  table.AddRow({"shm bytes received", FormatBytes(net.shm_bytes_received)});
+  table.AddRow({"ring full stalls", StrCat(net.ring_full_stalls)});
   return table.ToString();
 }
 

@@ -70,6 +70,14 @@ struct ProcessExecOptions {
   /// spans retries, so a one-shot fault breaks one attempt and lets the
   /// next run clean.
   NetFaultInjector* net_fault_injector = nullptr;
+  /// Move data batches, EOS markers, fragments, and result rows over
+  /// mmap'd SPSC rings shared by the whole fleet (control frames stay on
+  /// the socket). Workers exchange data pairwise — the coordinator stops
+  /// relaying batches entirely. Off = the pre-ring all-socket data path.
+  bool use_shm_data_plane = true;
+  /// Data bytes per ring; power of two >= 4096. Rings are torn down and
+  /// re-mapped per attempt, so a retried fleet starts from zeroed rings.
+  uint32_t shm_ring_bytes = 1u << 18;
 };
 
 /// Why a worker was lost, as diagnosed by the coordinator.
@@ -138,9 +146,20 @@ struct ProcessNetStats {
   /// Faults actually fired by the per-worker injectors (summed; the
   /// coordinator-side FaultInjector object never fires in this backend).
   uint64_t faults_injected = 0;
-  /// Worker-side wire codec time (summed over workers).
+  /// Worker-side wire codec time (summed over workers). On the shm plane
+  /// this is the ring memcpy time — the codec degenerates to the copy.
   double serialize_seconds = 0;
   double deserialize_seconds = 0;
+  /// Shm data plane: rings mapped for the attempt that produced the
+  /// result (0 = plane off), records/bytes over all rings (workers'
+  /// counters plus the coordinator's own fragment/result traffic), and
+  /// records that found their ring full and were parked in a backlog.
+  uint32_t shm_rings = 0;
+  uint64_t shm_records_sent = 0;
+  uint64_t shm_records_received = 0;
+  uint64_t shm_bytes_sent = 0;
+  uint64_t shm_bytes_received = 0;
+  uint64_t ring_full_stalls = 0;
 };
 
 /// Outcome of one process-backed execution: the thread backend's result

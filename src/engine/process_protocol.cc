@@ -1,5 +1,8 @@
 #include "engine/process_protocol.h"
 
+#include <algorithm>
+#include <unordered_set>
+
 #include "common/string_util.h"
 
 namespace mjoin {
@@ -31,6 +34,8 @@ void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out) {
   PutString(out, env.fault_scenario);
   PutString(out, env.plan_text);
   PutU32(out, env.attempt);
+  PutBool(out, env.use_shm_data_plane);
+  PutU32(out, env.shm_ring_bytes);
 }
 
 Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env) {
@@ -47,17 +52,21 @@ Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env) {
   MJOIN_RETURN_IF_ERROR(reader->ReadString(&env->fault_scenario));
   MJOIN_RETURN_IF_ERROR(reader->ReadString(&env->plan_text));
   MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->attempt));
+  MJOIN_RETURN_IF_ERROR(ReadBool(reader, &env->use_shm_data_plane));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->shm_ring_bytes));
   return Status::OK();
 }
 
 void EncodeHello(const HelloMsg& msg, std::vector<std::byte>* out) {
   PutU32(out, msg.protocol_version);
   PutU64(out, msg.plan_hash);
+  PutU64(out, msg.ring_directory_hash);
 }
 
 Status DecodeHello(WireReader* reader, HelloMsg* msg) {
   MJOIN_RETURN_IF_ERROR(reader->ReadU32(&msg->protocol_version));
   MJOIN_RETURN_IF_ERROR(reader->ReadU64(&msg->plan_hash));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&msg->ring_directory_hash));
   return Status::OK();
 }
 
@@ -208,6 +217,11 @@ void EncodeWorkerRunStats(const WorkerRunStats& stats,
   PutU64(out, stats.peak_memory_bytes);
   PutF64(out, stats.serialize_seconds);
   PutF64(out, stats.deserialize_seconds);
+  PutU64(out, stats.shm_records_sent);
+  PutU64(out, stats.shm_records_received);
+  PutU64(out, stats.shm_bytes_sent);
+  PutU64(out, stats.shm_bytes_received);
+  PutU64(out, stats.ring_full_stalls);
 }
 
 Status DecodeWorkerRunStats(WireReader* reader, WorkerRunStats* stats) {
@@ -223,6 +237,11 @@ Status DecodeWorkerRunStats(WireReader* reader, WorkerRunStats* stats) {
   MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->peak_memory_bytes));
   MJOIN_RETURN_IF_ERROR(reader->ReadF64(&stats->serialize_seconds));
   MJOIN_RETURN_IF_ERROR(reader->ReadF64(&stats->deserialize_seconds));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->shm_records_sent));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->shm_records_received));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->shm_bytes_sent));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->shm_bytes_received));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&stats->ring_full_stalls));
   return Status::OK();
 }
 
@@ -290,6 +309,53 @@ uint64_t FnvHash64(const std::string& text) {
     hash *= 0x0000'0100'0000'01B3ull;
   }
   return hash;
+}
+
+std::vector<ShmRingSpec> ComputeRingDirectory(const ParallelPlan& plan,
+                                              uint32_t num_workers) {
+  std::vector<ShmRingSpec> specs;
+  std::unordered_set<uint64_t> seen;
+  auto add = [&specs, &seen](uint32_t from, uint32_t to) {
+    if (from == to) return;
+    if (seen.insert((uint64_t{from} << 32) | to).second) {
+      specs.push_back(ShmRingSpec{from, to});
+    }
+  };
+  // Relay rings first: fragments flow coordinator -> worker, materialized
+  // result rows flow worker -> coordinator.
+  const uint32_t coordinator = num_workers;
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    add(coordinator, w);
+    add(w, coordinator);
+  }
+  // Pair rings, in plan order: one directed ring per worker pair that any
+  // producer -> consumer edge can put a batch on. Hash-split edges fan out
+  // every producer instance to every consumer instance; colocated edges
+  // pair instances index-to-index (usually the same worker, so usually no
+  // ring at all).
+  for (const XraOp& o : plan.ops) {
+    if (o.consumer < 0 || o.store_result >= 0) continue;
+    const XraOp& consumer = plan.ops[static_cast<size_t>(o.consumer)];
+    const XraInput& input = consumer.inputs[o.consumer_port];
+    if (input.routing == Routing::kHashSplit) {
+      for (uint32_t p : o.processors) {
+        for (uint32_t c : consumer.processors) {
+          add(WorkerOfProcessor(p, num_workers, plan.num_processors),
+              WorkerOfProcessor(c, num_workers, plan.num_processors));
+        }
+      }
+    } else {
+      const size_t n =
+          std::min(o.processors.size(), consumer.processors.size());
+      for (size_t i = 0; i < n; ++i) {
+        add(WorkerOfProcessor(o.processors[i], num_workers,
+                              plan.num_processors),
+            WorkerOfProcessor(consumer.processors[i], num_workers,
+                              plan.num_processors));
+      }
+    }
+  }
+  return specs;
 }
 
 }  // namespace mjoin

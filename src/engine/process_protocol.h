@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/statusor.h"
 #include "engine/thread_trace.h"
 #include "exec/operator.h"
+#include "net/shm_ring.h"
 #include "net/wire.h"
 #include "xra/plan.h"
 
@@ -46,6 +48,11 @@ struct PlanEnvelope {
   /// 0-based execution attempt (> 0 on coordinator-driven retries). Lets a
   /// shipped FaultScenario with `on_attempt` fire on one attempt only.
   uint32_t attempt = 0;
+  /// Data batches travel over the inherited shm ring directory instead of
+  /// the socket (the control frames stay on AF_UNIX either way).
+  bool use_shm_data_plane = false;
+  /// Per-ring data bytes of the directory the coordinator mapped.
+  uint32_t shm_ring_bytes = 0;
 };
 
 void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out);
@@ -56,6 +63,11 @@ struct HelloMsg {
   uint32_t protocol_version = 0;
   /// FNV-1a over SerializePlan(worker's parsed plan).
   uint64_t plan_hash = 0;
+  /// ShmDataPlane::HashDirectory over the ring directory the worker derived
+  /// from its parsed plan (0 when the shm plane is off). The coordinator
+  /// compares it against the directory it actually mapped, so a divergent
+  /// plan parse can never read or write the wrong ring.
+  uint64_t ring_directory_hash = 0;
 };
 
 void EncodeHello(const HelloMsg& msg, std::vector<std::byte>* out);
@@ -142,6 +154,15 @@ struct WorkerRunStats {
   uint64_t peak_memory_bytes = 0;
   double serialize_seconds = 0;
   double deserialize_seconds = 0;
+  /// Shm data-plane traffic as seen from this worker (records carry data,
+  /// EOS, fragments, and result rows; pads are excluded).
+  uint64_t shm_records_sent = 0;
+  uint64_t shm_records_received = 0;
+  uint64_t shm_bytes_sent = 0;
+  uint64_t shm_bytes_received = 0;
+  /// Records that found their ring full and were parked in the outbound
+  /// backlog (the shm analogue of a credit stall).
+  uint64_t ring_full_stalls = 0;
 };
 
 void EncodeWorkerRunStats(const WorkerRunStats& stats,
@@ -170,6 +191,62 @@ void EncodeStatusPayload(const Status& status, std::vector<std::byte>* out);
 
 /// FNV-1a (64-bit) over arbitrary text; the kHello plan-echo hash.
 uint64_t FnvHash64(const std::string& text);
+
+/// Payload layouts of the shm data plane's records (net/shm_ring.h). These
+/// are memcpy'd PODs, not byte-order codecs: every process in the fleet is
+/// forked from one binary and shares one mapping, so the in-memory layout
+/// IS the wire layout — exactly the property that makes "serialize" a
+/// bounds-checked memcpy. Raw rows (tuple_size * num_tuples bytes) follow
+/// each header inside the record payload.
+struct ShmDataHeader {
+  int32_t consumer_op = -1;
+  uint32_t dest_index = 0;
+  uint32_t port = 0;
+  uint32_t schema_id = 0;
+  uint32_t tuple_size = 0;
+  uint32_t num_tuples = 0;
+};
+static_assert(std::is_trivially_copyable_v<ShmDataHeader> &&
+                  sizeof(ShmDataHeader) == 24,
+              "shm record headers are raw-copied PODs");
+
+struct ShmEosHeader {
+  int32_t consumer_op = -1;
+  uint32_t dest_index = 0;
+  uint32_t port = 0;
+};
+static_assert(std::is_trivially_copyable_v<ShmEosHeader> &&
+                  sizeof(ShmEosHeader) == 12,
+              "shm record headers are raw-copied PODs");
+
+struct ShmFragmentHeader {
+  int32_t op = -1;
+  uint32_t instance = 0;
+  uint32_t schema_id = 0;
+  uint32_t tuple_size = 0;
+  uint32_t num_tuples = 0;
+};
+static_assert(std::is_trivially_copyable_v<ShmFragmentHeader> &&
+                  sizeof(ShmFragmentHeader) == 20,
+              "shm record headers are raw-copied PODs");
+
+struct ShmResultRowsHeader {
+  uint32_t schema_id = 0;
+  uint32_t tuple_size = 0;
+  uint32_t num_tuples = 0;
+};
+static_assert(std::is_trivially_copyable_v<ShmResultRowsHeader> &&
+                  sizeof(ShmResultRowsHeader) == 12,
+              "shm record headers are raw-copied PODs");
+
+/// The ring directory of one plan on `num_workers` workers: the relay
+/// rings (coordinator <-> each worker, for fragments and result rows)
+/// first, then one ring per communicating worker pair in plan order. The
+/// coordinator's endpoint id is num_workers. Deterministic given (plan,
+/// num_workers): the coordinator and every worker compute it independently
+/// and cross-check HashDirectory in the kHello handshake.
+std::vector<ShmRingSpec> ComputeRingDirectory(const ParallelPlan& plan,
+                                              uint32_t num_workers);
 
 /// Block placement of plan processors onto worker processes: processor p
 /// lives in worker p*num_workers/num_processors. Contiguous processor

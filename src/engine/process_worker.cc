@@ -6,9 +6,11 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <deque>
 #include <functional>
 #include <memory>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -28,6 +30,7 @@
 #include "exec/simple_hash_join.h"
 #include "exec/sort_merge_join.h"
 #include "net/channel.h"
+#include "net/shm_ring.h"
 #include "xra/text.h"
 
 namespace mjoin {
@@ -149,12 +152,15 @@ class WorkerInstance : public OpContext, public EmitSink {
 /// stored results, the frame loop, and the finish-phase reporting.
 class WorkerRun {
  public:
-  WorkerRun(FrameChannel* chan, PlanEnvelope env, ParallelPlan plan)
+  WorkerRun(FrameChannel* chan, PlanEnvelope env, ParallelPlan plan,
+            ShmDataPlane* plane)
       : chan_(chan),
         env_(std::move(env)),
         plan_(std::move(plan)),
         registry_(plan_),
-        budget_(env_.memory_budget_bytes) {}
+        budget_(env_.memory_budget_bytes),
+        plane_(plane),
+        coord_ep_(env_.num_workers) {}
 
   Status Setup();
   /// Runs the event loop until kShutdown (returns OK) or a fatal error.
@@ -180,8 +186,10 @@ class WorkerRun {
                              plan_.num_processors) == env_.worker_id;
   }
   int64_t NowNs() const {
+    // Read per batch/phase, never per row: trace timestamps plus the
+    // always-on transport (serialize/deserialize) timers.
     return std::chrono::duration_cast<std::chrono::nanoseconds>(
-               // lint:allow-clock trace timestamp, record_trace path only
+               // lint:allow-clock per-batch transport timers + trace stamps
                std::chrono::steady_clock::now().time_since_epoch())
                .count() -
            env_.trace_origin_ns;
@@ -223,8 +231,31 @@ class WorkerRun {
   void OnEos(WorkerInstance* inst, int port);
   void AfterCallback(WorkerInstance* inst);
   void FinishInstance(WorkerInstance* inst);
-  void SendEosTo(int consumer_op, uint32_t dest, int port);
+  void SendEosTo(int producer_op, int consumer_op, uint32_t dest, int port);
   void QueueMilestone(int op_id, uint32_t index, Milestone milestone);
+
+  // -- shm data plane (all no-ops when plane_ is null) --------------------
+  /// Whether this op's remote sends travel over rings. Decided once in
+  /// Setup so an edge never mixes ring records and socket frames, which
+  /// would reorder data against its own EOS.
+  bool UseRingFor(int producer_op) const {
+    return plane_ != nullptr && op_ring_ok_[static_cast<size_t>(producer_op)];
+  }
+  uint32_t WorkerOf(uint32_t processor) const {
+    return WorkerOfProcessor(processor, env_.num_workers,
+                             plan_.num_processors);
+  }
+  void PushShmRecord(uint32_t dest_ep, ShmRecordType type, const void* hdr,
+                     size_t hdr_bytes, const std::byte* body,
+                     size_t body_bytes);
+  void RetryBacklogs();
+  void RingDirtyDoorbells();
+  bool InboundRingsNonEmpty();
+  Status DrainInboundRings();
+  Status ConsumeShmRecord(ShmRing* ring, const ShmRecordView& rec);
+  Status ConsumeShmData(ShmRing* ring, const ShmRecordView& rec);
+  Status ConsumeShmEos(ShmRing* ring, const ShmRecordView& rec);
+  Status ConsumeShmFragment(ShmRing* ring, const ShmRecordView& rec);
 
   FrameChannel* chan_;
   PlanEnvelope env_;
@@ -245,6 +276,30 @@ class WorkerRun {
   uint32_t credits_ = 0;
   WorkerRunStats stats_;
   std::vector<WireTraceEvent> trace_events_;
+
+  /// Inherited shm data plane; null means every payload rides the socket.
+  ShmDataPlane* plane_;
+  /// The coordinator's endpoint id in the ring directory.
+  const uint32_t coord_ep_;
+  /// Largest record payload any ring accepts (0 when plane_ is null).
+  uint32_t shm_max_payload_ = 0;
+  /// Per-op: this op's output rows fit in one ring record.
+  std::vector<bool> op_ring_ok_;
+  struct ShmBacklogRecord {
+    ShmRecordType type;
+    std::vector<std::byte> bytes;  // header + rows, render-complete
+  };
+  /// Per-ring FIFO of records that found their ring full. New records are
+  /// appended behind the backlog, so per-edge order is preserved; the loop
+  /// retries the backlog every turn and on the producer-side doorbell.
+  std::unordered_map<size_t, std::deque<ShmBacklogRecord>> ring_backlog_;
+  size_t ring_backlog_bytes_ = 0;
+  /// Endpoints whose doorbell should ring this loop turn (coalesced: one
+  /// eventfd write per endpoint per turn, not one per record).
+  std::vector<bool> doorbell_dirty_;
+  /// kBye is held until every backlog drained onto its ring, so the
+  /// coordinator never tears the fleet down with result rows still queued.
+  bool bye_pending_ = false;
 };
 
 void WorkerInstance::EmitRow(const std::byte* row) {
@@ -268,6 +323,18 @@ void WorkerInstance::ReportError(const Status& status) {
 
 Status WorkerRun::Setup() {
   observe_ = env_.collect_metrics || env_.record_trace;
+  op_ring_ok_.assign(plan_.ops.size(), false);
+  if (plane_ != nullptr) {
+    shm_max_payload_ =
+        plane_->ring_bytes() / 2 - kShmRecordHdrBytes * 2;
+    doorbell_dirty_.assign(plane_->num_endpoints(), false);
+    for (const XraOp& o : plan_.ops) {
+      if (o.consumer < 0 || o.store_result >= 0) continue;
+      op_ring_ok_[static_cast<size_t>(o.id)] =
+          sizeof(ShmDataHeader) + o.output_schema->tuple_size() <=
+          shm_max_payload_;
+    }
+  }
   if (!env_.fault_scenario.empty()) {
     MJOIN_ASSIGN_OR_RETURN(FaultScenario scenario,
                            ParseFaultScenario(env_.fault_scenario));
@@ -501,31 +568,115 @@ void WorkerRun::FlushDest(WorkerInstance* inst, uint32_t dest) {
     }
     return;
   }
-  // Remote consumer: one serializing copy, straight from the pending batch
-  // into the frame payload.
-  int64_t t0 = observe_ ? NowNs() : 0;
-  std::vector<std::byte> payload;
-  payload.reserve(9 + BatchWireSize(pending.schema().tuple_size(),
-                                    pending.num_tuples()));
-  EncodeRouteHeader(
-      RouteHeader{o.consumer, dest, static_cast<uint8_t>(port)}, &payload);
-  AppendBatchWire(pending, inst->out_schema_id, &payload);
-  if (observe_) {
-    int64_t t1 = NowNs();
-    stats_.serialize_seconds += static_cast<double>(t1 - t0) * 1e-9;
-    RecordTrace(inst->processor_, t0, t1, ThreadWorkType::kSerialize,
-                inst->op_id_);
+  // Remote consumer: one serializing copy. The copy is timed whether or
+  // not metrics collection is on — transport cost is what the net bench
+  // exists to surface, so the timers must not vanish with observability
+  // (they used to be observe_-gated, which reported 0.0s for any run with
+  // collect_metrics off). RecordTrace stays trace-gated internally.
+  const uint32_t tuple_size = pending.schema().tuple_size();
+  int64_t t0 = NowNs();
+  if (UseRingFor(inst->op_id_)) {
+    // Ring path: "serialize" degenerates to a bounds-checked memcpy of the
+    // raw rows, chunked so every record fits one ring reservation.
+    const uint32_t dest_ep = WorkerOf(consumer_op.processors[dest]);
+    const size_t rows_per_record =
+        (shm_max_payload_ - sizeof(ShmDataHeader)) / tuple_size;
+    for (int c = 0; c < copies; ++c) {
+      size_t offset = 0;
+      while (offset < pending.num_tuples()) {
+        size_t count =
+            std::min(rows_per_record, pending.num_tuples() - offset);
+        ShmDataHeader hdr;
+        hdr.consumer_op = o.consumer;
+        hdr.dest_index = dest;
+        hdr.port = static_cast<uint32_t>(port);
+        hdr.schema_id = inst->out_schema_id;
+        hdr.tuple_size = tuple_size;
+        hdr.num_tuples = static_cast<uint32_t>(count);
+        PushShmRecord(dest_ep, ShmRecordType::kData, &hdr, sizeof(hdr),
+                      pending.raw_data() + offset * tuple_size,
+                      count * tuple_size);
+        offset += count;
+      }
+    }
+  } else {
+    std::vector<std::byte> payload;
+    payload.reserve(9 + BatchWireSize(tuple_size, pending.num_tuples()));
+    EncodeRouteHeader(
+        RouteHeader{o.consumer, dest, static_cast<uint8_t>(port)}, &payload);
+    AppendBatchWire(pending, inst->out_schema_id, &payload);
+    for (int c = 0; c < copies; ++c) {
+      chan_->QueueFrame(FrameType::kData, payload);
+      ++stats_.data_frames_sent;
+    }
   }
-  for (int c = 0; c < copies; ++c) {
-    chan_->QueueFrame(FrameType::kData, payload);
-    ++stats_.data_frames_sent;
-  }
+  int64_t t1 = NowNs();
+  stats_.serialize_seconds += static_cast<double>(t1 - t0) * 1e-9;
+  RecordTrace(inst->processor_, t0, t1, ThreadWorkType::kSerialize,
+              inst->op_id_);
   pending.Clear();
   // Opportunistic drain keeps the outbox from ballooning inside one long
   // Consume(); errors surface at the loop's next Flush.
   if (chan_->pending_output_bytes() >= kOutboxWatermark) {
     Status drained = chan_->Flush();
     if (!drained.ok()) Abort(std::move(drained));
+  }
+}
+
+void WorkerRun::PushShmRecord(uint32_t dest_ep, ShmRecordType type,
+                              const void* hdr, size_t hdr_bytes,
+                              const std::byte* body, size_t body_bytes) {
+  const size_t ring_index = plane_->RingIndexTo(env_.worker_id, dest_ep);
+  MJOIN_CHECK(ring_index != kNoShmRing)
+      << "no ring toward endpoint " << dest_ep;
+  ++stats_.shm_records_sent;
+  stats_.shm_bytes_sent += hdr_bytes + body_bytes;
+  auto& backlog = ring_backlog_[ring_index];
+  if (backlog.empty() && plane_->ring(ring_index)
+                             ->TryPush(type, hdr, hdr_bytes, body,
+                                       body_bytes)) {
+    doorbell_dirty_[dest_ep] = true;
+    return;
+  }
+  // Ring full (or draining a backlog already): park the rendered record
+  // instead of blocking — the single-threaded worker must keep consuming
+  // its own inbound rings or two full rings facing each other deadlock.
+  ++stats_.ring_full_stalls;
+  ShmBacklogRecord rec;
+  rec.type = type;
+  rec.bytes.resize(hdr_bytes + body_bytes);
+  std::memcpy(rec.bytes.data(), hdr, hdr_bytes);
+  if (body_bytes > 0) {
+    std::memcpy(rec.bytes.data() + hdr_bytes, body, body_bytes);
+  }
+  ring_backlog_bytes_ += rec.bytes.size();
+  backlog.push_back(std::move(rec));
+}
+
+void WorkerRun::RetryBacklogs() {
+  for (auto& [ring_index, backlog] : ring_backlog_) {
+    if (backlog.empty()) continue;
+    ShmRing* ring = plane_->ring(ring_index);
+    bool pushed = false;
+    while (!backlog.empty()) {
+      ShmBacklogRecord& rec = backlog.front();
+      if (!ring->TryPush(rec.type, rec.bytes.data(), rec.bytes.size(),
+                         nullptr, 0)) {
+        break;
+      }
+      ring_backlog_bytes_ -= rec.bytes.size();
+      backlog.pop_front();
+      pushed = true;
+    }
+    if (pushed) doorbell_dirty_[plane_->spec(ring_index).to] = true;
+  }
+}
+
+void WorkerRun::RingDirtyDoorbells() {
+  for (uint32_t ep = 0; ep < doorbell_dirty_.size(); ++ep) {
+    if (!doorbell_dirty_[ep]) continue;
+    doorbell_dirty_[ep] = false;
+    plane_->RingDoorbell(ep);
   }
 }
 
@@ -585,7 +736,8 @@ void WorkerRun::AfterCallback(WorkerInstance* inst) {
   if (!inst->complete && inst->oper->finished()) FinishInstance(inst);
 }
 
-void WorkerRun::SendEosTo(int consumer_op, uint32_t dest, int port) {
+void WorkerRun::SendEosTo(int producer_op, int consumer_op, uint32_t dest,
+                          int port) {
   const XraOp& consumer = op(consumer_op);
   if (Hosts(consumer.processors[dest])) {
     WorkerInstance* target = instance(consumer_op, dest);
@@ -595,6 +747,17 @@ void WorkerRun::SendEosTo(int consumer_op, uint32_t dest, int port) {
       target->pre_start.push_back(
           [this, target, port] { OnEos(target, port); });
     }
+    return;
+  }
+  // EOS follows the exact path its data took (same ring or same socket),
+  // so it can never overtake the last batch of the stream.
+  if (UseRingFor(producer_op)) {
+    ShmEosHeader hdr;
+    hdr.consumer_op = consumer_op;
+    hdr.dest_index = dest;
+    hdr.port = static_cast<uint32_t>(port);
+    PushShmRecord(WorkerOf(consumer.processors[dest]), ShmRecordType::kEos,
+                  &hdr, sizeof(hdr), nullptr, 0);
     return;
   }
   std::vector<std::byte> payload;
@@ -618,10 +781,10 @@ void WorkerRun::FinishInstance(WorkerInstance* inst) {
         consumer_op.inputs[o.consumer_port].routing == Routing::kHashSplit;
     if (networked) {
       for (uint32_t d = 0; d < consumer_op.processors.size(); ++d) {
-        SendEosTo(o.consumer, d, o.consumer_port);
+        SendEosTo(inst->op_id_, o.consumer, d, o.consumer_port);
       }
     } else {
-      SendEosTo(o.consumer, inst->index_, o.consumer_port);
+      SendEosTo(inst->op_id_, o.consumer, inst->index_, o.consumer_port);
     }
   }
   QueueMilestone(inst->op_id_, inst->index_, Milestone::kComplete);
@@ -694,14 +857,14 @@ Status WorkerRun::HandleData(const Frame& frame) {
   // batch to the wire frame's registry schema.
   std::shared_ptr<TupleBatch> batch =
       pool_.Acquire(consumer_op.output_schema);
-  int64_t t0 = observe_ ? NowNs() : 0;
+  // Timed unconditionally, like the serialize side: the wire-time counters
+  // must survive collect_metrics=false (the bench's configuration).
+  int64_t t0 = NowNs();
   MJOIN_RETURN_IF_ERROR(ReadBatchWire(&reader, registry_, batch.get()));
-  if (observe_) {
-    int64_t t1 = NowNs();
-    stats_.deserialize_seconds += static_cast<double>(t1 - t0) * 1e-9;
-    RecordTrace(target->processor_, t0, t1, ThreadWorkType::kDeserialize,
-                route.consumer_op);
-  }
+  int64_t t1 = NowNs();
+  stats_.deserialize_seconds += static_cast<double>(t1 - t0) * 1e-9;
+  RecordTrace(target->processor_, t0, t1, ThreadWorkType::kDeserialize,
+              route.consumer_op);
   int port = route.port;
   if (target->started) {
     OnBatch(target, port, *batch);
@@ -738,6 +901,177 @@ Status WorkerRun::HandleEos(const Frame& frame) {
   return Status::OK();
 }
 
+bool WorkerRun::InboundRingsNonEmpty() {
+  for (size_t i : plane_->InboundRings(env_.worker_id)) {
+    if (!plane_->ring(i)->Empty()) return true;
+  }
+  return false;
+}
+
+Status WorkerRun::DrainInboundRings() {
+  if (plane_ == nullptr) return Status::OK();
+  for (size_t ring_index : plane_->InboundRings(env_.worker_id)) {
+    ShmRing* ring = plane_->ring(ring_index);
+    // Bounded drain: only records already published when we got here. A
+    // producer publishing at full speed cannot pin this loop turn forever.
+    const uint64_t limit = ring->tail_cursor();
+    bool released = false;
+    while (ring->head_cursor() < limit && !aborted()) {
+      ShmRecordView rec;
+      MJOIN_ASSIGN_OR_RETURN(bool any, ring->TryRead(&rec));
+      if (!any) break;  // only pads remained below the snapshot
+      MJOIN_RETURN_IF_ERROR(ConsumeShmRecord(ring, rec));
+      released = true;
+    }
+    if (released) {
+      // Space doorbell: the producer may be sitting on a full-ring backlog.
+      doorbell_dirty_[plane_->spec(ring_index).from] = true;
+    }
+  }
+  return Status::OK();
+}
+
+Status WorkerRun::ConsumeShmRecord(ShmRing* ring, const ShmRecordView& rec) {
+  ++stats_.shm_records_received;
+  stats_.shm_bytes_received += rec.payload_bytes;
+  switch (rec.type) {
+    case ShmRecordType::kData:
+      return ConsumeShmData(ring, rec);
+    case ShmRecordType::kEos:
+      return ConsumeShmEos(ring, rec);
+    case ShmRecordType::kFragment:
+      return ConsumeShmFragment(ring, rec);
+    // kResultRows flows worker -> coordinator only, and TryRead swallows
+    // pads; listing them keeps -Wswitch honest about new record types.
+    case ShmRecordType::kResultRows:
+    case ShmRecordType::kPad:
+      break;
+  }
+  ring->Release();
+  return Status::InvalidArgument(StrCat("worker received unexpected shm ",
+                                        ShmRecordTypeName(rec.type),
+                                        " record"));
+}
+
+Status WorkerRun::ConsumeShmData(ShmRing* ring, const ShmRecordView& rec) {
+  ShmDataHeader hdr;
+  if (rec.payload_bytes < sizeof(hdr)) {
+    ring->Release();
+    return Status::Unavailable("corrupt shm record: short data header");
+  }
+  std::memcpy(&hdr, rec.payload, sizeof(hdr));
+  if (hdr.consumer_op < 0 ||
+      static_cast<size_t>(hdr.consumer_op) >= plan_.ops.size() ||
+      hdr.dest_index >= op(hdr.consumer_op).processors.size()) {
+    ring->Release();
+    return Status::InvalidArgument("shm data record routed to unknown "
+                                   "instance");
+  }
+  const XraOp& consumer_op = op(hdr.consumer_op);
+  if (!Hosts(consumer_op.processors[hdr.dest_index])) {
+    ring->Release();
+    return Status::InvalidArgument(
+        StrCat("shm data record for op ", hdr.consumer_op, " instance ",
+               hdr.dest_index, " misrouted to worker ", env_.worker_id));
+  }
+  if (hdr.schema_id >= registry_.size()) {
+    ring->Release();
+    return Status::Unavailable("corrupt shm record: unknown schema id");
+  }
+  const std::shared_ptr<const Schema>& schema = registry_.Get(hdr.schema_id);
+  if (schema->tuple_size() != hdr.tuple_size ||
+      rec.payload_bytes !=
+          sizeof(hdr) + uint64_t{hdr.num_tuples} * hdr.tuple_size) {
+    ring->Release();
+    return Status::Unavailable("corrupt shm record: row bytes disagree "
+                               "with the data header");
+  }
+  WorkerInstance* target = instance(hdr.consumer_op, hdr.dest_index);
+  if (injector_ != nullptr) injector_->OnDequeue(target->processor_);
+  // "Deserialize" here is the plane's whole point: one bounds-checked
+  // memcpy out of the shared region. Timed unconditionally like the wire
+  // decode so the bench sees where transport time goes.
+  std::shared_ptr<TupleBatch> batch = pool_.Acquire(schema);
+  int64_t t0 = NowNs();
+  batch->AppendRows(rec.payload + sizeof(hdr), hdr.num_tuples);
+  int64_t t1 = NowNs();
+  stats_.deserialize_seconds += static_cast<double>(t1 - t0) * 1e-9;
+  RecordTrace(target->processor_, t0, t1, ThreadWorkType::kDeserialize,
+              hdr.consumer_op);
+  // Rows are copied out: hand the space back before the possibly long
+  // Consume below, so the producer keeps streaming while we join.
+  ring->Release();
+  const int port = static_cast<int>(hdr.port);
+  if (target->started) {
+    OnBatch(target, port, *batch);
+  } else {
+    WorkerInstance* t = target;
+    t->pre_start.push_back([this, t, port, batch] { OnBatch(t, port, *batch); });
+  }
+  return Status::OK();
+}
+
+Status WorkerRun::ConsumeShmEos(ShmRing* ring, const ShmRecordView& rec) {
+  ShmEosHeader hdr;
+  if (rec.payload_bytes != sizeof(hdr)) {
+    ring->Release();
+    return Status::Unavailable("corrupt shm record: bad eos header");
+  }
+  std::memcpy(&hdr, rec.payload, sizeof(hdr));
+  ring->Release();
+  if (hdr.consumer_op < 0 ||
+      static_cast<size_t>(hdr.consumer_op) >= plan_.ops.size() ||
+      hdr.dest_index >= op(hdr.consumer_op).processors.size() ||
+      !Hosts(op(hdr.consumer_op).processors[hdr.dest_index])) {
+    return Status::InvalidArgument("shm eos record routed to unknown "
+                                   "instance");
+  }
+  WorkerInstance* target = instance(hdr.consumer_op, hdr.dest_index);
+  if (injector_ != nullptr) injector_->OnDequeue(target->processor_);
+  const int port = static_cast<int>(hdr.port);
+  if (target->started) {
+    OnEos(target, port);
+  } else {
+    WorkerInstance* t = target;
+    t->pre_start.push_back([this, t, port] { OnEos(t, port); });
+  }
+  return Status::OK();
+}
+
+Status WorkerRun::ConsumeShmFragment(ShmRing* ring, const ShmRecordView& rec) {
+  ShmFragmentHeader hdr;
+  if (rec.payload_bytes < sizeof(hdr)) {
+    ring->Release();
+    return Status::Unavailable("corrupt shm record: short fragment header");
+  }
+  std::memcpy(&hdr, rec.payload, sizeof(hdr));
+  if (hdr.op < 0 || static_cast<size_t>(hdr.op) >= plan_.ops.size() ||
+      op(hdr.op).kind != XraOpKind::kScan) {
+    ring->Release();
+    return Status::InvalidArgument(
+        StrCat("shm fragment for non-scan op ", hdr.op));
+  }
+  auto& frags = scan_fragments_[static_cast<size_t>(hdr.op)];
+  if (hdr.instance >= frags.size() ||
+      !Hosts(op(hdr.op).processors[hdr.instance])) {
+    ring->Release();
+    return Status::InvalidArgument(
+        StrCat("shm fragment for op ", hdr.op, " instance ", hdr.instance,
+               " which this worker does not host"));
+  }
+  if (hdr.schema_id >= registry_.size() ||
+      registry_.Get(hdr.schema_id)->tuple_size() != hdr.tuple_size ||
+      rec.payload_bytes !=
+          sizeof(hdr) + uint64_t{hdr.num_tuples} * hdr.tuple_size) {
+    ring->Release();
+    return Status::Unavailable("corrupt shm record: row bytes disagree "
+                               "with the fragment header");
+  }
+  frags[hdr.instance].AppendRows(rec.payload + sizeof(hdr), hdr.num_tuples);
+  ring->Release();
+  return Status::OK();
+}
+
 Status WorkerRun::SendFinishReports() {
   const XraOp* storer = nullptr;
   for (const XraOp& o : plan_.ops) {
@@ -768,18 +1102,33 @@ Status WorkerRun::SendFinishReports() {
                            registry_.IdOf(*storer->output_schema));
     uint32_t tuple_size = storer->output_schema->tuple_size();
     // Ship fragments in bounded chunks so one giant result does not
-    // produce one giant frame.
+    // produce one giant frame (or one over-large ring record).
+    const bool use_ring =
+        plane_ != nullptr &&
+        sizeof(ShmResultRowsHeader) + tuple_size <= shm_max_payload_;
     const size_t rows_per_frame =
-        std::max<size_t>(1, (4u << 20) / tuple_size);
+        use_ring
+            ? (shm_max_payload_ - sizeof(ShmResultRowsHeader)) / tuple_size
+            : std::max<size_t>(1, (4u << 20) / tuple_size);
     for (const Relation* frag : hosted) {
       size_t offset = 0;
       while (offset < frag->num_tuples()) {
         size_t count = std::min(rows_per_frame, frag->num_tuples() - offset);
-        std::vector<std::byte> rows_payload;
-        AppendRowsWire(schema_id, tuple_size,
-                       frag->raw_data() + offset * tuple_size, count,
-                       &rows_payload);
-        chan_->QueueFrame(FrameType::kResultRows, rows_payload);
+        if (use_ring) {
+          ShmResultRowsHeader hdr;
+          hdr.schema_id = schema_id;
+          hdr.tuple_size = tuple_size;
+          hdr.num_tuples = static_cast<uint32_t>(count);
+          PushShmRecord(coord_ep_, ShmRecordType::kResultRows, &hdr,
+                        sizeof(hdr), frag->raw_data() + offset * tuple_size,
+                        count * tuple_size);
+        } else {
+          std::vector<std::byte> rows_payload;
+          AppendRowsWire(schema_id, tuple_size,
+                         frag->raw_data() + offset * tuple_size, count,
+                         &rows_payload);
+          chan_->QueueFrame(FrameType::kResultRows, rows_payload);
+        }
         offset += count;
       }
     }
@@ -820,7 +1169,10 @@ Status WorkerRun::SendFinishReports() {
     chan_->QueueFrame(FrameType::kTraceEvents, trace_payload);
   }
 
-  chan_->QueueFrame(FrameType::kBye, {});
+  // kBye is the coordinator's signal that this worker's reporting is
+  // complete, so it must trail every ring record still parked in a
+  // backlog; the loop queues it once the backlogs drain.
+  bye_pending_ = true;
   return Status::OK();
 }
 
@@ -873,9 +1225,18 @@ Status WorkerRun::HandleFrame(const Frame& frame) {
 
 Status WorkerRun::Loop() {
   for (;;) {
+    if (plane_ != nullptr) {
+      RetryBacklogs();
+      RingDirtyDoorbells();
+    }
     MJOIN_RETURN_IF_ERROR(chan_->Flush());
     bool peer_closed = false;
     MJOIN_RETURN_IF_ERROR(chan_->ReadAvailable(&peer_closed));
+    // Ring records are consumed before any control frame: the peer rings,
+    // then sends its frames, so a kTrigger or kFinish read just now can
+    // rely on every record published before it being delivered already.
+    MJOIN_RETURN_IF_ERROR(DrainInboundRings());
+    if (aborted()) return run_status_;
     Frame frame;
     while (chan_->NextFrame(&frame)) {
       MJOIN_RETURN_IF_ERROR(HandleFrame(frame));
@@ -889,38 +1250,61 @@ Status WorkerRun::Loop() {
       return Status::Unavailable("coordinator closed the socket");
     }
     if (credits_ > 0) {
+      // One coalesced credit return per poll cycle: every data frame the
+      // cycle consumed releases its credit in a single kCredit, flushed
+      // here instead of burning a dedicated send-only loop turn per frame.
       std::vector<std::byte> payload;
       PutU32(&payload, credits_);
       credits_ = 0;
       chan_->QueueFrame(FrameType::kCredit, payload);
-      continue;  // flush before doing more work
+      MJOIN_RETURN_IF_ERROR(chan_->Flush());
+    }
+    if (bye_pending_ && ring_backlog_bytes_ == 0) {
+      bye_pending_ = false;
+      chan_->QueueFrame(FrameType::kBye, {});
+      continue;  // flush before waiting
     }
     if (!pump_queue_.empty()) {
-      if (chan_->pending_output_bytes() < kOutboxWatermark) {
+      if (chan_->pending_output_bytes() < kOutboxWatermark &&
+          ring_backlog_bytes_ < kOutboxWatermark) {
         PumpSources();
         if (aborted()) return run_status_;
         continue;
       }
       ++stats_.pump_stalls;
     }
+    if (plane_ != nullptr) RingDirtyDoorbells();
     if (chan_->has_frames()) continue;
+    if (plane_ != nullptr && InboundRingsNonEmpty()) continue;
     // Nothing runnable: wait for the socket (readable, or writable when
-    // the outbox is backed up).
-    struct pollfd pfd;
-    pfd.fd = chan_->fd();
-    pfd.events = static_cast<short>(
+    // the outbox is backed up) or our doorbell (a peer published records
+    // or released ring space). A nonempty backlog caps the wait — the
+    // space we need may already exist with no doorbell owed to us.
+    struct pollfd pfds[2];
+    pfds[0].fd = chan_->fd();
+    pfds[0].events = static_cast<short>(
         POLLIN | (chan_->has_pending_output() ? POLLOUT : 0));
-    pfd.revents = 0;
-    int rc = poll(&pfd, 1, 1000);
+    pfds[0].revents = 0;
+    nfds_t nfds = 1;
+    if (plane_ != nullptr) {
+      pfds[1].fd = plane_->doorbell(env_.worker_id);
+      pfds[1].events = POLLIN;
+      pfds[1].revents = 0;
+      nfds = 2;
+    }
+    const int timeout_ms =
+        plane_ != nullptr && ring_backlog_bytes_ > 0 ? 10 : 1000;
+    int rc = poll(pfds, nfds, timeout_ms);
     if (rc < 0 && errno != EINTR) {
       return Status::Internal("worker poll failed");
     }
+    if (plane_ != nullptr) plane_->DrainDoorbell(env_.worker_id);
   }
 }
 
 }  // namespace
 
-int RunProcessWorker(int fd) {
+int RunProcessWorker(int fd, ShmDataPlane* plane) {
   // The channel sends with MSG_NOSIGNAL, but ignore SIGPIPE anyway so no
   // stray write to a dead coordinator can kill the worker with a signal
   // instead of the EPIPE -> kUnavailable path the supervisor understands.
@@ -974,16 +1358,30 @@ int RunProcessWorker(int fd) {
 
   // The hello hash is FNV over our *re-serialization* of the parsed plan:
   // every process-backend query round-trips the textual XRA format and the
-  // coordinator verifies the result.
+  // coordinator verifies the result. With the shm plane on, the hello also
+  // echoes the ring directory this worker derived from its own parse — the
+  // coordinator rejects the fleet before any record can cross a divergent
+  // directory.
+  ShmDataPlane* data_plane = nullptr;
   HelloMsg hello;
   hello.protocol_version = kNetProtocolVersion;
   hello.plan_hash = FnvHash64(SerializePlan(*plan));
+  if (env.use_shm_data_plane) {
+    if (plane == nullptr) {
+      return fail(Status::Internal(
+          "plan enables the shm data plane but the worker inherited none"));
+    }
+    hello.ring_directory_hash = ShmDataPlane::HashDirectory(
+        ComputeRingDirectory(*plan, env.num_workers), env.num_workers + 1,
+        env.shm_ring_bytes);
+    data_plane = plane;
+  }
   std::vector<std::byte> hello_payload;
   EncodeHello(hello, &hello_payload);
   chan.QueueFrame(FrameType::kHello, hello_payload);
   if (!chan.Flush().ok()) return 1;
 
-  WorkerRun run(&chan, std::move(env), std::move(plan).value());
+  WorkerRun run(&chan, std::move(env), std::move(plan).value(), data_plane);
   Status status = run.Setup();
   if (status.ok()) status = run.Loop();
   if (!status.ok()) return fail(status);

@@ -3,6 +3,8 @@
 
 namespace mjoin {
 
+class ShmDataPlane;
+
 /// The worker half of the process backend: runs in a child process forked
 /// by ProcessExecutor, speaking the net/wire.h frame protocol over `fd`
 /// (one end of a socketpair; ownership is taken).
@@ -12,12 +14,19 @@ namespace mjoin {
 /// touches thread creation (fork-safe under TSan) and its teardown is one
 /// _exit(). It receives the plan as textual XRA in the kPlan handshake,
 /// instantiates the operator instances of its hosted processors, and
-/// exchanges batches with the rest of the fleet through the coordinator.
+/// exchanges batches with the rest of the fleet.
+///
+/// `plane` (nullable) is the coordinator's pre-fork ShmDataPlane, inherited
+/// through fork so its mapping and doorbells are valid here. When the plan
+/// envelope enables the shm plane, data batches, EOS markers, fragments,
+/// and result rows travel over its rings; control frames stay on the
+/// socket. The child never destroys the plane — _exit() skips destructors,
+/// and the kernel drops its reference to the shared mapping.
 ///
 /// Returns the exit code for the child to _exit() with: 0 after a clean
 /// kShutdown, 1 on any error (a fatal status is reported to the
 /// coordinator as a kError frame first whenever the socket still works).
-int RunProcessWorker(int fd);
+int RunProcessWorker(int fd, ShmDataPlane* plane = nullptr);
 
 }  // namespace mjoin
 

@@ -88,7 +88,9 @@ inline constexpr uint32_t kMaxFrameBytes = 256u << 20;
 
 /// Protocol version spoken by this build; bumped on any wire change.
 /// v2: kPing/kPong heartbeat frames, PlanEnvelope attempt counter.
-inline constexpr uint32_t kNetProtocolVersion = 2;
+/// v3: shm data plane — PlanEnvelope ships the ring configuration, kHello
+///     echoes the ring-directory hash, kNetStats carries shm counters.
+inline constexpr uint32_t kNetProtocolVersion = 3;
 
 /// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) over `size` bytes.
 uint32_t Crc32(const std::byte* data, size_t size);

@@ -200,6 +200,8 @@ TEST(PlanEnvelopeTest, RoundTrips) {
   env.trace_origin_ns = 1234567890123;
   env.fault_scenario = "drop-batch op=2 after=5";
   env.plan_text = SerializePlan(MakePlan());
+  env.use_shm_data_plane = true;
+  env.shm_ring_bytes = 1u << 18;
 
   std::vector<std::byte> wire;
   EncodePlanEnvelope(env, &wire);
@@ -218,12 +220,76 @@ TEST(PlanEnvelopeTest, RoundTrips) {
   EXPECT_EQ(decoded.trace_origin_ns, env.trace_origin_ns);
   EXPECT_EQ(decoded.fault_scenario, env.fault_scenario);
   EXPECT_EQ(decoded.plan_text, env.plan_text);
+  EXPECT_EQ(decoded.use_shm_data_plane, env.use_shm_data_plane);
+  EXPECT_EQ(decoded.shm_ring_bytes, env.shm_ring_bytes);
 
   // A truncated envelope (e.g. from a frame cut short) errors cleanly.
   for (size_t len = 0; len < wire.size(); len += 13) {
     WireReader short_reader(wire.data(), len);
     PlanEnvelope ignored;
     EXPECT_FALSE(DecodePlanEnvelope(&short_reader, &ignored).ok())
+        << "truncated to " << len;
+  }
+}
+
+TEST(HelloTest, RoundTripsWithRingDirectoryHash) {
+  HelloMsg msg;
+  msg.protocol_version = kNetProtocolVersion;
+  msg.plan_hash = 0x0123'4567'89ab'cdefull;
+  msg.ring_directory_hash = 0xfeed'face'cafe'f00dull;
+
+  std::vector<std::byte> wire;
+  EncodeHello(msg, &wire);
+  WireReader reader(wire);
+  HelloMsg decoded;
+  ASSERT_TRUE(DecodeHello(&reader, &decoded).ok());
+  EXPECT_EQ(decoded.protocol_version, msg.protocol_version);
+  EXPECT_EQ(decoded.plan_hash, msg.plan_hash);
+  EXPECT_EQ(decoded.ring_directory_hash, msg.ring_directory_hash);
+
+  for (size_t len = 0; len < wire.size(); ++len) {
+    WireReader short_reader(wire.data(), len);
+    HelloMsg ignored;
+    EXPECT_FALSE(DecodeHello(&short_reader, &ignored).ok())
+        << "truncated to " << len;
+  }
+}
+
+TEST(WorkerRunStatsTest, RoundTripsIncludingShmCounters) {
+  WorkerRunStats stats;
+  stats.data_frames_sent = 11;
+  stats.local_deliveries = 22;
+  stats.batches_processed = 33;
+  stats.pump_stalls = 44;
+  stats.serialize_seconds = 0.125;
+  stats.deserialize_seconds = 0.0625;
+  stats.shm_records_sent = 55;
+  stats.shm_records_received = 66;
+  stats.shm_bytes_sent = 77777;
+  stats.shm_bytes_received = 88888;
+  stats.ring_full_stalls = 9;
+
+  std::vector<std::byte> wire;
+  EncodeWorkerRunStats(stats, &wire);
+  WireReader reader(wire);
+  WorkerRunStats decoded;
+  ASSERT_TRUE(DecodeWorkerRunStats(&reader, &decoded).ok());
+  EXPECT_EQ(decoded.data_frames_sent, stats.data_frames_sent);
+  EXPECT_EQ(decoded.local_deliveries, stats.local_deliveries);
+  EXPECT_EQ(decoded.batches_processed, stats.batches_processed);
+  EXPECT_EQ(decoded.pump_stalls, stats.pump_stalls);
+  EXPECT_EQ(decoded.serialize_seconds, stats.serialize_seconds);
+  EXPECT_EQ(decoded.deserialize_seconds, stats.deserialize_seconds);
+  EXPECT_EQ(decoded.shm_records_sent, stats.shm_records_sent);
+  EXPECT_EQ(decoded.shm_records_received, stats.shm_records_received);
+  EXPECT_EQ(decoded.shm_bytes_sent, stats.shm_bytes_sent);
+  EXPECT_EQ(decoded.shm_bytes_received, stats.shm_bytes_received);
+  EXPECT_EQ(decoded.ring_full_stalls, stats.ring_full_stalls);
+
+  for (size_t len = 0; len < wire.size(); len += 7) {
+    WireReader short_reader(wire.data(), len);
+    WorkerRunStats ignored;
+    EXPECT_FALSE(DecodeWorkerRunStats(&short_reader, &ignored).ok())
         << "truncated to " << len;
   }
 }

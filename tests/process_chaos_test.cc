@@ -29,8 +29,11 @@ namespace {
 // Randomized chaos harness for the process backend. Each schedule draws one
 // fault from a menu (worker kill, wire corruption in either direction,
 // truncation, connection drop, link stall, short writes, silent hang,
-// injected operator failure) from a seeded RNG and runs a full query under
-// it with retries enabled. The contract under chaos:
+// injected operator failure) from a seeded RNG, flips a coin for the data
+// plane (all-socket vs shared-memory rings — shm schedules run on
+// deliberately tiny 4 KiB rings so wrap pads, full-ring backlogs, and
+// mid-record kills all actually happen), and runs a full query under it
+// with retries enabled. The contract under chaos:
 //
 //   - recoverable faults end in a result checksum-identical to the
 //     single-threaded reference (the retry re-ran the query cleanly);
@@ -167,11 +170,15 @@ TEST_P(ProcessChaosSweepTest, SeededFaultSchedulesRecoverOrFailCleanly) {
         static_cast<uint64_t>(GetParam().shape) * 17;
     std::mt19937_64 rng(seed);
     const ChaosCase chaos = kMenu[rng() % std::size(kMenu)];
+    const bool use_shm = rng() % 2 == 1;
     SCOPED_TRACE(testing::Message()
                  << "schedule seed=" << seed << " fault="
-                 << ChaosCaseName(chaos));
+                 << ChaosCaseName(chaos)
+                 << " plane=" << (use_shm ? "shm" : "socket"));
 
     ProcessExecOptions options = ChaosOptions();
+    options.use_shm_data_plane = use_shm;
+    if (use_shm) options.shm_ring_bytes = 4096;
 
     // Worker-side fault, shipped in the plan envelope.
     FaultScenario worker_scenario;
@@ -425,6 +432,75 @@ TEST_F(ProcessChaosTest, DegradesToThreadBackendWhenBudgetExhausted) {
   EXPECT_TRUE(run->proc.degraded_to_thread);
   EXPECT_EQ(run->exec.result, golden_);
   EXPECT_EQ(run->net.num_workers, 0u) << "degraded run reported net workers";
+}
+
+TEST_F(ProcessChaosTest, KillNineMidRingTrafficRecovers) {
+  // SIGKILL a worker while the shm rings are carrying live traffic:
+  // batch_size 1 on 4 KiB rings keeps every worker mid-record most of the
+  // run, so the victim likely dies between TryReserve and Commit — the
+  // half-written slot must stay invisible (unpublished tail), the fleet is
+  // reaped, and the respawned fleet gets freshly mapped zeroed rings. The
+  // retry must be checksum-identical.
+  ProcessExecOptions options = ChaosOptions();
+  options.shm_ring_bytes = 4096;
+  options.exec.batch_size = 1;
+
+  std::thread killer;
+  uint32_t spawn_count = 0;
+  options.worker_observer = [&killer, &spawn_count](uint32_t, pid_t pid) {
+    if (spawn_count++ == 1) {  // first fleet only: the retry must run clean
+      killer = std::thread([pid] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        kill(pid, SIGKILL);
+      });
+    }
+  };
+
+  ProcessExecutor executor(db_.get());
+  ProcessExecStats proc;
+  ProcessNetStats net;
+  auto run = executor.Execute(*plan_, options, nullptr, &net, &proc);
+  killer.join();
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->exec.result, golden_);
+  EXPECT_GT(net.shm_rings, 0u) << "recovered attempt did not map rings";
+  // The kill may race query completion; when it did land, the failure is a
+  // diagnosed crash and the retry delivered the result above.
+  for (const WorkerFailureRecord& failure : proc.failures) {
+    EXPECT_EQ(failure.failure, WorkerFailureClass::kCrashed);
+  }
+}
+
+TEST_F(ProcessChaosTest, HungConsumerWithFullRingsTripsWatchdog) {
+  // A consumer wedged inside an operator callback stops draining its
+  // inbound rings; on 4 KiB rings its producers fill them, park records in
+  // backlogs, and stop pumping. Nothing on the socket is wrong, so only
+  // the liveness watchdog can break the stall: it must SIGKILL the hung
+  // worker (not wait for the deadline), classify it kHung, and the retry
+  // runs clean.
+  FaultScenario scenario;
+  scenario.kind = FaultKind::kHangWorker;
+  scenario.node = 0;
+  scenario.on_attempt = 0;
+  FaultInjector injector(scenario);
+
+  ProcessExecOptions options = ChaosOptions();
+  options.shm_ring_bytes = 4096;
+  options.exec.batch_size = 1;
+  options.exec.fault_injector = &injector;
+  options.liveness_timeout = std::chrono::milliseconds(1500);
+
+  ProcessExecutor executor(db_.get());
+  ProcessExecStats proc;
+  auto run = executor.Execute(*plan_, options, nullptr, nullptr, &proc);
+  ASSERT_TRUE(run.ok()) << run.status();
+  EXPECT_EQ(run->exec.result, golden_);
+  EXPECT_GE(proc.hung_workers_killed, 1u);
+  bool saw_hung = false;
+  for (const WorkerFailureRecord& failure : proc.failures) {
+    if (failure.failure == WorkerFailureClass::kHung) saw_hung = true;
+  }
+  EXPECT_TRUE(saw_hung) << "no kHung record in the failure log";
 }
 
 // A SIGUSR1 storm against the coordinator thread: every poll(), waitpid()

@@ -69,12 +69,16 @@ if [ "$MODE" = fast ]; then
 fi
 
 echo "== ci: thread sanitizer =="
+# shm_ring_test's SPSC stress puts the ring's release/acquire protocol
+# itself under TSan; the chaos sweep covers the cross-process plane.
 MJOIN_CHAOS_ITERS=2 tools/run_sanitized_tests.sh thread \
-  thread_metrics_test process_backend_fault_test process_chaos_test
+  thread_metrics_test shm_ring_test process_backend_fault_test \
+  process_chaos_test
 
 echo "== ci: address sanitizer =="
 MJOIN_CHAOS_ITERS=2 tools/run_sanitized_tests.sh address \
-  thread_metrics_test net_wire_test process_backend_fault_test process_chaos_test
+  thread_metrics_test net_wire_test shm_ring_test \
+  process_backend_fault_test process_chaos_test
 
 echo "== ci: undefined-behavior sanitizer =="
 # Full suite; the chaos sweep stays bounded so the UBSan pass does not

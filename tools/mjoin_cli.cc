@@ -92,6 +92,10 @@ int Usage() {
       "                     budget is exhausted\n"
       "  --heartbeat-ms N   coordinator ping cadence (default 500)\n"
       "  --liveness-ms N    SIGKILL a worker silent this long (0=off)\n"
+      "  --no-shm           keep data on the sockets instead of the\n"
+      "                     shared-memory ring data plane\n"
+      "  --shm-ring-kb N    data bytes per shm ring in KiB; power of two\n"
+      "                     (default 256)\n"
       "  --net-fault KIND   none|corrupt-out|corrupt-in|truncate-out|\n"
       "                     short-writes|stall-out|drop-conn\n"
       "  --net-fault-worker N  worker link the fault is installed on\n"
@@ -319,6 +323,9 @@ int RunExecBackend(const Args& args, const ParallelPlan& plan,
     process_options.retry_backoff =
         std::chrono::milliseconds(args.GetInt("retry-backoff-ms", 50));
     process_options.degrade_to_thread = args.Has("degrade");
+    process_options.use_shm_data_plane = !args.Has("no-shm");
+    process_options.shm_ring_bytes =
+        static_cast<uint32_t>(args.GetInt("shm-ring-kb", 256)) * 1024u;
     process_options.heartbeat_interval =
         std::chrono::milliseconds(args.GetInt("heartbeat-ms", 500));
     process_options.liveness_timeout =
@@ -578,7 +585,7 @@ int main(int argc, char** argv) {
     if (auto eq = key.find('='); eq != std::string::npos) {
       args.flags.insert_or_assign(key.substr(0, eq), key.substr(eq + 1));
     } else if (key == "analyze" || key == "diagram" || key == "metrics" ||
-               key == "degrade") {
+               key == "degrade" || key == "no-shm") {
       args.flags.insert_or_assign(key, std::string("1"));
     } else if (i + 1 < argc) {
       args.flags.insert_or_assign(key, std::string(argv[++i]));

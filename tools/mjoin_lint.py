@@ -43,6 +43,7 @@ SRC_ROOT = REPO_ROOT / "src"
 ENUM_SOURCES = {
     "FrameType": SRC_ROOT / "net" / "wire.h",
     "StatusCode": SRC_ROOT / "common" / "status.h",
+    "ShmRecordType": SRC_ROOT / "net" / "shm_ring.h",
 }
 
 CLOCK_RE = re.compile(
