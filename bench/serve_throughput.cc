@@ -1,0 +1,339 @@
+// Serving-layer throughput suite (results written as JSON, committed as
+// BENCH_serve.json): a closed-loop multi-client workload against one
+// MjoinServer — every client thread owns a connection and loops
+// submit→await over a mixed (strategy × shape) plan deck — measuring
+// sustained queries/second and client-observed p50/p99 latency per
+// backend configuration:
+//
+//   serve_thread        warm ThreadExecutor behind the server
+//   serve_process_warm  pre-forked warm worker fleet, shm data plane
+//   serve_mixed         clients alternate thread/process per query
+//   oneshot_process     baseline WITHOUT the server: the same clients
+//                       fork a fresh fleet per query (ProcessExecutor) —
+//                       the fork+mmap cost the warm fleet amortizes away
+//
+// Flags: --smoke (tiny run — the CI guard), --out=FILE (default
+// BENCH_serve.json), --clients=N (default 4), --seconds=S per config
+// (default 3), --card=N (default 1000), --workers=N (default 4).
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/stats.h"
+#include "engine/database.h"
+#include "engine/process_executor.h"
+#include "engine/reference.h"
+#include "plan/wisconsin_query.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "strategy/strategy.h"
+#include "xra/text.h"
+
+namespace mjoin {
+namespace {
+
+struct Config {
+  bool smoke = false;
+  std::string out = "BENCH_serve.json";
+  int clients = 4;
+  double seconds = 3.0;
+  int relations = 4;
+  uint32_t card = 1000;
+  uint32_t procs = 6;
+  uint32_t workers = 4;
+};
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The mixed plan deck: every strategy on a spread of shapes, all
+/// pre-serialized so the client loop costs nothing but the query itself.
+struct Deck {
+  std::vector<std::string> plan_texts;
+  std::vector<ParallelPlan> plans;  // parsed twins for the one-shot baseline
+};
+
+Deck MakeDeck(const Config& cfg) {
+  const QueryShape shapes[] = {QueryShape::kLeftLinear,
+                               QueryShape::kWideBushy,
+                               QueryShape::kRightOrientedBushy};
+  Deck deck;
+  for (StrategyKind strategy : kAllStrategies) {
+    for (QueryShape shape : shapes) {
+      auto query = MakeWisconsinChainQuery(shape, cfg.relations, cfg.card);
+      MJOIN_CHECK(query.ok());
+      auto plan = MakeStrategy(strategy)->Parallelize(*query, cfg.procs,
+                                                      TotalCostModel());
+      MJOIN_CHECK(plan.ok()) << plan.status();
+      deck.plan_texts.push_back(SerializePlan(*plan));
+      deck.plans.push_back(*std::move(plan));
+    }
+  }
+  return deck;
+}
+
+struct RunResult {
+  std::string name;
+  uint64_t queries = 0;
+  uint64_t failures = 0;
+  double elapsed = 0;
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double mean_ms = 0;
+};
+
+/// Closed loop against the server: each client owns one connection and
+/// one slice of the deck, submitting one query at a time until the clock
+/// runs out.
+RunResult RunServeConfig(const std::string& name, const std::string& socket,
+                         const Deck& deck, const Config& cfg,
+                         bool use_process, bool mixed) {
+  std::vector<std::thread> threads;
+  std::vector<PercentileTracker> latencies(cfg.clients);
+  std::vector<uint64_t> counts(cfg.clients, 0);
+  std::atomic<uint64_t> failures{0};
+  const double deadline = Now() + cfg.seconds;
+  const uint64_t min_queries = cfg.smoke ? 3 : 10;
+
+  for (int c = 0; c < cfg.clients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = ServeClient::Connect(socket);
+      if (!client.ok()) {
+        ++failures;
+        return;
+      }
+      uint64_t seq = 0;
+      while (counts[c] < min_queries || Now() < deadline) {
+        SubmitMsg submit;
+        submit.client_seq = seq;
+        submit.tenant = "bench-" + std::to_string(c);
+        const bool process = mixed ? (seq % 2 == 1) : use_process;
+        submit.backend =
+            process ? ServeBackend::kProcess : ServeBackend::kThread;
+        submit.plan_text =
+            deck.plan_texts[(c + seq) % deck.plan_texts.size()];
+        submit.deadline_ms = 60000;
+        const double start = Now();
+        if (!client.value()->Submit(submit).ok()) {
+          ++failures;
+          break;
+        }
+        auto result = client.value()->Await(60000);
+        if (!result.ok() || result->status_code != 0) {
+          ++failures;
+          break;
+        }
+        latencies[c].Add((Now() - start) * 1e3);
+        ++counts[c];
+        ++seq;
+      }
+    });
+  }
+  const double t0 = Now();
+  for (std::thread& t : threads) t.join();
+  const double elapsed = Now() - t0;
+
+  RunResult out;
+  out.name = name;
+  PercentileTracker merged;
+  for (int c = 0; c < cfg.clients; ++c) {
+    merged.Merge(latencies[c]);
+    out.queries += counts[c];
+  }
+  out.failures = failures.load();
+  out.elapsed = elapsed;
+  out.qps = elapsed > 0 ? static_cast<double>(out.queries) / elapsed : 0;
+  out.p50_ms = merged.Percentile(50);
+  out.p99_ms = merged.Percentile(99);
+  double sum = 0;
+  for (double v : merged.values()) sum += v;
+  out.mean_ms = merged.values().empty() ? 0 : sum / merged.values().size();
+  return out;
+}
+
+/// The fork-per-query baseline: the same closed loop and deck, but every
+/// query pays ProcessExecutor's full fleet fork + shm map + teardown.
+RunResult RunOneShotBaseline(const Database& db, const Deck& deck,
+                             const Config& cfg) {
+  std::vector<std::thread> threads;
+  std::vector<PercentileTracker> latencies(cfg.clients);
+  std::vector<uint64_t> counts(cfg.clients, 0);
+  std::atomic<uint64_t> failures{0};
+  const double deadline = Now() + cfg.seconds;
+  const uint64_t min_queries = cfg.smoke ? 2 : 5;
+
+  for (int c = 0; c < cfg.clients; ++c) {
+    threads.emplace_back([&, c] {
+      ProcessExecutor executor(&db);
+      uint64_t seq = 0;
+      while (counts[c] < min_queries || Now() < deadline) {
+        ProcessExecOptions options;
+        options.num_workers = cfg.workers;
+        const ParallelPlan& plan =
+            deck.plans[(c + seq) % deck.plans.size()];
+        const double start = Now();
+        auto result = executor.Execute(plan, options);
+        if (!result.ok()) {
+          ++failures;
+          break;
+        }
+        latencies[c].Add((Now() - start) * 1e3);
+        ++counts[c];
+        ++seq;
+      }
+    });
+  }
+  const double t0 = Now();
+  for (std::thread& t : threads) t.join();
+  const double elapsed = Now() - t0;
+
+  RunResult out;
+  out.name = "oneshot_process";
+  PercentileTracker merged;
+  for (int c = 0; c < cfg.clients; ++c) {
+    merged.Merge(latencies[c]);
+    out.queries += counts[c];
+  }
+  out.failures = failures.load();
+  out.elapsed = elapsed;
+  out.qps = elapsed > 0 ? static_cast<double>(out.queries) / elapsed : 0;
+  out.p50_ms = merged.Percentile(50);
+  out.p99_ms = merged.Percentile(99);
+  double sum = 0;
+  for (double v : merged.values()) sum += v;
+  out.mean_ms = merged.values().empty() ? 0 : sum / merged.values().size();
+  return out;
+}
+
+void PrintRow(const RunResult& r) {
+  std::printf("%-22s %8llu q  %7.1f q/s  p50 %8.3f ms  p99 %8.3f ms  "
+              "mean %8.3f ms  (%llu failures)\n",
+              r.name.c_str(), static_cast<unsigned long long>(r.queries),
+              r.qps, r.p50_ms, r.p99_ms, r.mean_ms,
+              static_cast<unsigned long long>(r.failures));
+}
+
+void WriteJson(const Config& cfg, const std::vector<RunResult>& rows) {
+  FILE* f = std::fopen(cfg.out.c_str(), "w");
+  MJOIN_CHECK(f != nullptr) << "cannot write " << cfg.out;
+  std::fprintf(f, "{\n");
+  std::fprintf(f,
+               "  \"workload\": {\"clients\": %d, \"seconds_per_config\": "
+               "%.1f, \"relations\": %d, \"cardinality\": %u, "
+               "\"processors\": %u, \"fleet_workers\": %u, \"deck\": "
+               "\"4 strategies x 3 shapes\", \"smoke\": %s},\n",
+               cfg.clients, cfg.seconds, cfg.relations, cfg.card, cfg.procs,
+               cfg.workers, cfg.smoke ? "true" : "false");
+  std::fprintf(f, "  \"configs\": {\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const RunResult& r = rows[i];
+    std::fprintf(f,
+                 "    \"%s\": {\"queries\": %llu, \"failures\": %llu, "
+                 "\"elapsed_s\": %.3f, \"qps\": %.2f, \"p50_ms\": %.4f, "
+                 "\"p99_ms\": %.4f, \"mean_ms\": %.4f}%s\n",
+                 r.name.c_str(), static_cast<unsigned long long>(r.queries),
+                 static_cast<unsigned long long>(r.failures), r.elapsed,
+                 r.qps, r.p50_ms, r.p99_ms, r.mean_ms,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  }\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", cfg.out.c_str());
+}
+
+int Run(const Config& cfg) {
+  Database db = MakeWisconsinDatabase(cfg.relations, cfg.card, /*seed=*/1995);
+  Deck deck = MakeDeck(cfg);
+  std::printf("serve_throughput: %d clients, %.1fs per config, deck of %zu "
+              "plans, %d relations x %u tuples\n",
+              cfg.clients, cfg.seconds, deck.plan_texts.size(),
+              cfg.relations, cfg.card);
+
+  MjoinServeOptions options;
+  options.socket_path =
+      "/tmp/mjoin_serve_bench_" + std::to_string(getpid()) + ".sock";
+  options.exec_threads = static_cast<uint32_t>(cfg.clients);
+  options.fleet.num_workers = cfg.workers;
+  auto server = MjoinServer::Start(&db, options);
+  MJOIN_CHECK(server.ok()) << server.status();
+
+  std::vector<RunResult> rows;
+  rows.push_back(RunServeConfig("serve_thread", options.socket_path, deck,
+                                cfg, /*use_process=*/false, /*mixed=*/false));
+  PrintRow(rows.back());
+  rows.push_back(RunServeConfig("serve_process_warm", options.socket_path,
+                                deck, cfg, /*use_process=*/true,
+                                /*mixed=*/false));
+  PrintRow(rows.back());
+  rows.push_back(RunServeConfig("serve_mixed", options.socket_path, deck,
+                                cfg, /*use_process=*/false, /*mixed=*/true));
+  PrintRow(rows.back());
+  server.value()->Shutdown();
+
+  rows.push_back(RunOneShotBaseline(db, deck, cfg));
+  PrintRow(rows.back());
+
+  WriteJson(cfg, rows);
+
+  // The whole point of the warm fleet: its per-query latency must beat
+  // fork-per-query. Smoke mode enforces it so CI notices a regression.
+  const RunResult& warm = rows[1];
+  const RunResult& oneshot = rows[3];
+  if (warm.failures != 0 || oneshot.failures != 0) {
+    std::fprintf(stderr, "FAIL: benchmark queries failed\n");
+    return 1;
+  }
+  if (warm.p50_ms >= oneshot.p50_ms) {
+    std::fprintf(stderr,
+                 "FAIL: warm fleet p50 %.3f ms not below one-shot fork p50 "
+                 "%.3f ms\n",
+                 warm.p50_ms, oneshot.p50_ms);
+    return 1;
+  }
+  std::printf("warm fleet closes %.0f%% of the fork-cost gap at p50\n",
+              100.0 * (1.0 - warm.p50_ms / oneshot.p50_ms));
+  return 0;
+}
+
+}  // namespace
+}  // namespace mjoin
+
+int main(int argc, char** argv) {
+  mjoin::Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* prefix) -> const char* {
+      const size_t n = std::strlen(prefix);
+      return arg.compare(0, n, prefix) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (arg == "--smoke") {
+      cfg.smoke = true;
+      cfg.seconds = 0.2;
+      cfg.card = 400;
+    } else if (const char* v = value("--out=")) {
+      cfg.out = v;
+    } else if (const char* v = value("--clients=")) {
+      cfg.clients = std::atoi(v);
+    } else if (const char* v = value("--seconds=")) {
+      cfg.seconds = std::atof(v);
+    } else if (const char* v = value("--card=")) {
+      cfg.card = static_cast<uint32_t>(std::atoi(v));
+    } else if (const char* v = value("--workers=")) {
+      cfg.workers = static_cast<uint32_t>(std::atoi(v));
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  return mjoin::Run(cfg);
+}

@@ -63,9 +63,37 @@ double Histogram::max() const {
   return moments_.max();
 }
 
+double Histogram::sum() const {
+  MutexLock lock(&mutex_);
+  return moments_.sum();
+}
+
 double Histogram::Percentile(double p) const {
   MutexLock lock(&mutex_);
   return samples_.Percentile(p);
+}
+
+MetricsSnapshot MetricsDelta(const MetricsSnapshot& before,
+                             const MetricsSnapshot& after) {
+  MetricsSnapshot delta;
+  for (const auto& [name, value] : after.counters) {
+    auto it = before.counters.find(name);
+    delta.counters[name] =
+        value - (it == before.counters.end() ? 0 : it->second);
+  }
+  for (const auto& [name, value] : after.gauges) {
+    delta.gauges[name] = value;
+  }
+  for (const auto& [name, point] : after.histograms) {
+    auto it = before.histograms.find(name);
+    MetricsSnapshot::HistogramPoint d = point;
+    if (it != before.histograms.end()) {
+      d.count -= it->second.count;
+      d.sum -= it->second.sum;
+    }
+    delta.histograms[name] = d;
+  }
+  return delta;
 }
 
 Counter* MetricsRegistry::counter(std::string_view name) {
@@ -100,6 +128,22 @@ Histogram* MetricsRegistry::histogram(std::string_view name) {
 size_t MetricsRegistry::size() const {
   MutexLock lock(&mutex_);
   return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MutexLock lock(&mutex_);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms[name] =
+        MetricsSnapshot::HistogramPoint{histogram->count(), histogram->sum()};
+  }
+  return snap;
 }
 
 std::string MetricsRegistry::RenderTable() const {

@@ -55,6 +55,7 @@ class Histogram {
   double mean() const;
   double min() const;
   double max() const;
+  double sum() const;
   double Percentile(double p) const;
 
  private:
@@ -62,6 +63,28 @@ class Histogram {
   StatsAccumulator moments_ MJOIN_GUARDED_BY(mutex_);
   PercentileTracker samples_ MJOIN_GUARDED_BY(mutex_);
 };
+
+/// Point-in-time copy of a registry's values, cheap to take and to diff.
+/// Histograms collapse to (count, sum) — enough for per-interval rates and
+/// means; percentiles are read off the live registry, whose trackers are
+/// bounded (PercentileTracker::kMaxSamples) and so never need resetting.
+struct MetricsSnapshot {
+  struct HistogramPoint {
+    int64_t count = 0;
+    double sum = 0;
+  };
+  std::map<std::string, uint64_t, std::less<>> counters;
+  std::map<std::string, int64_t, std::less<>> gauges;
+  std::map<std::string, HistogramPoint, std::less<>> histograms;
+};
+
+/// after - before, per metric: counters and histogram points subtract
+/// (a metric absent from `before` counts from zero), gauges keep `after`'s
+/// level — a gauge is a level, not a flow. Metrics absent from `after` are
+/// dropped. Lets a long-lived registry report per-query activity without
+/// any reset: snapshot before, snapshot after, diff.
+MetricsSnapshot MetricsDelta(const MetricsSnapshot& before,
+                             const MetricsSnapshot& after);
 
 /// Named metrics for one engine component, e.g. one threaded execution.
 /// counter()/gauge()/histogram() create-or-get by name; returned pointers
@@ -75,6 +98,9 @@ class MetricsRegistry {
   Histogram* histogram(std::string_view name);
 
   size_t size() const;
+
+  /// Copies every metric's current value (see MetricsSnapshot).
+  MetricsSnapshot Snapshot() const;
 
   /// All metrics, sorted by name, as an aligned table: counters print
   /// their value, gauges value and max, histograms count/mean/p50/p95/max.

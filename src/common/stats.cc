@@ -42,9 +42,23 @@ double PercentileTracker::Percentile(double p) const {
 }
 
 void PercentileTracker::Merge(const PercentileTracker& other) {
-  if (other.values_.empty()) return;
-  values_.insert(values_.end(), other.values_.begin(), other.values_.end());
-  sorted_ = false;
+  if (other.total_ == 0) return;
+  // Totals add first so the reservoir replacement probability below sees
+  // the combined population.
+  total_ += other.total_ - other.values_.size();
+  for (double v : other.values_) {
+    ++total_;
+    if (values_.size() < kMaxSamples) {
+      values_.push_back(v);
+      sorted_ = false;
+      continue;
+    }
+    const uint64_t slot = NextRandom() % total_;
+    if (slot < kMaxSamples) {
+      values_[static_cast<size_t>(slot)] = v;
+      sorted_ = false;
+    }
+  }
 }
 
 }  // namespace mjoin

@@ -12,6 +12,7 @@
 #include <chrono>
 #include <deque>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -27,6 +28,7 @@
 #include "engine/process_protocol.h"
 #include "engine/process_worker.h"
 #include "engine/result.h"
+#include "engine/warm_fleet.h"
 #include "net/channel.h"
 #include "net/net_fault.h"
 #include "net/shm_ring.h"
@@ -37,15 +39,50 @@ namespace mjoin {
 
 namespace {
 
-/// One forked worker as the coordinator sees it.
-struct WorkerProc {
+/// One member of a warm fleet, as it persists between queries: the child
+/// pid and the coordinator end of its socketpair. The channel accumulates
+/// its byte/frame counters across queries; each attaching Coordinator
+/// snapshots a baseline to report per-query deltas.
+struct FleetMember {
   pid_t pid = -1;
   std::unique_ptr<FrameChannel> chan;
+  bool reaped = false;
+};
+
+/// A warm fleet's coordinator-side state (WarmProcessFleet::Impl wraps
+/// one). Attempts borrow it: a per-attempt Coordinator attaches to the
+/// members instead of forking its own, and never kills or reaps them on
+/// its own — except diagnosing an already-dead member, which marks it
+/// reaped here.
+struct FleetState {
+  std::vector<FleetMember> members;
+  /// Fleet-lifetime shm arena (nullptr = socket data plane). Each query
+  /// lays its own ring directory over it.
+  std::unique_ptr<ShmArena> arena;
+  uint32_t ring_bytes = 0;
+  /// A failed run leaves workers in an unknown state (possibly mid-query);
+  /// the fleet must be killed and respawned before the next run.
+  bool poisoned = false;
+};
+
+/// One forked worker as the coordinator sees it. `chan` points at either
+/// `owned_chan` (one-shot mode: SpawnFleet forked this worker) or a warm
+/// fleet member's channel (borrowed; outlives the Coordinator).
+struct WorkerProc {
+  pid_t pid = -1;
+  FrameChannel* chan = nullptr;
+  std::unique_ptr<FrameChannel> owned_chan;
   bool hello_received = false;
   bool bye_received = false;
+  /// Worker acked the end-of-query kShutdown with kIdle and parked
+  /// (warm fleets only).
+  bool idle_received = false;
   /// The socket is dead (EOF or error); no further I/O on this worker.
   bool closed = false;
   bool reaped = false;
+  /// Channel counters at attach time; warm channels accumulate across
+  /// queries, so per-query stats subtract this baseline.
+  ChannelStats base;
   /// Routed data frames sent but not yet credited back (credit window).
   size_t in_flight = 0;
   /// Routed frames (data and EOS, in arrival order) waiting for credit.
@@ -63,11 +100,15 @@ class Coordinator {
   /// plan envelope); `deadline` is the absolute deadline shared by every
   /// attempt of one Execute(); `proc` (nullable) accumulates supervision
   /// counters and failure diagnoses across attempts.
+  /// `fleet` (nullable) switches the Coordinator into warm mode: it
+  /// attaches to the fleet's pre-forked members instead of forking its
+  /// own, ships the plan with persistent = true, and ends the query with
+  /// an idle handshake instead of worker exits.
   Coordinator(const ParallelPlan& plan, const Database& db,
               const ProcessExecOptions& options, uint32_t num_workers,
               uint32_t attempt,
               std::optional<std::chrono::steady_clock::time_point> deadline,
-              ProcessExecStats* proc)
+              ProcessExecStats* proc, FleetState* fleet = nullptr)
       : plan_(plan),
         db_(db),
         options_(options),
@@ -75,6 +116,7 @@ class Coordinator {
         num_workers_(num_workers),
         attempt_(attempt),
         proc_(proc),
+        fleet_(fleet),
         registry_(plan),
         controller_(&plan) {
     if (deadline.has_value()) {
@@ -83,8 +125,19 @@ class Coordinator {
     }
   }
 
-  /// Safety net for early-error returns: no child outlives the run.
+  /// Safety net for early-error returns: no child outlives the run. A
+  /// warm-mode Coordinator only borrows its workers, so it propagates what
+  /// it learned (a member it reaped, a dead socket) back to the fleet and
+  /// leaves the killing to WarmProcessFleet.
   ~Coordinator() {
+    if (fleet_ != nullptr) {
+      for (uint32_t w = 0; w < workers_.size() && w < fleet_->members.size();
+           ++w) {
+        if (workers_[w].reaped) fleet_->members[w].reaped = true;
+        if (workers_[w].closed) fleet_->poisoned = true;
+      }
+      return;
+    }
     for (WorkerProc& w : workers_) {
       if (w.pid > 0 && !w.reaped) {
         kill(w.pid, SIGKILL);
@@ -114,6 +167,17 @@ class Coordinator {
   }
 
   Status SpawnFleet();
+  /// Warm mode: binds workers_ to the fleet's members and (when the fleet
+  /// carries an arena) formats this query's ring directory over it. Only
+  /// called with every member parked idle — the previous query's idle
+  /// handshake (or the fleet's spawn) guarantees no worker is touching the
+  /// arena while the rings are reformatted.
+  Status AttachFleet();
+  /// Warm mode end-of-query: kShutdown to every worker (ending its query,
+  /// not its process), then polls until each acks with kIdle and is parked.
+  /// Any failure here means the fleet's state is unknown — the caller must
+  /// poison it — but the query's own result stands.
+  Status AwaitFleetIdle();
   Status ShipPlans();
   Status ShipFragments();
   /// Publishes one fragment chunk onto the relay ring toward `dest`,
@@ -168,6 +232,9 @@ class Coordinator {
   const uint32_t num_workers_;
   const uint32_t attempt_;
   ProcessExecStats* const proc_;
+  /// Warm fleet this attempt borrows its workers from (nullptr = one-shot
+  /// mode: fork a fleet, let it exit with the query).
+  FleetState* const fleet_;
 
   SchemaRegistry registry_;
   QueryController controller_;
@@ -237,8 +304,9 @@ Status Coordinator::SpawnFleet() {
     close(sv[1]);
     MJOIN_RETURN_IF_ERROR(SetNonBlocking(sv[0]));
     workers_[w].pid = pid;
-    workers_[w].chan =
+    workers_[w].owned_chan =
         std::make_unique<FrameChannel>(sv[0], StrCat("worker ", w));
+    workers_[w].chan = workers_[w].owned_chan.get();
     if (options_.net_fault_injector != nullptr &&
         options_.net_fault_injector->scenario().worker == w) {
       // Installing on the fresh channel resets the injector's per-link
@@ -249,6 +317,68 @@ Status Coordinator::SpawnFleet() {
     if (options_.worker_observer) options_.worker_observer(w, pid);
   }
   return Status::OK();
+}
+
+Status Coordinator::AttachFleet() {
+  if (fleet_->poisoned) {
+    return Status::Internal("attaching to a poisoned warm fleet");
+  }
+  if (fleet_->members.size() != num_workers_) {
+    return Status::Internal(
+        StrCat("warm fleet has ", fleet_->members.size(), " members but the "
+               "attempt expects ", num_workers_, " workers"));
+  }
+  if (fleet_->arena != nullptr && options_.use_shm_data_plane) {
+    // Format this query's ring directory over the fleet's arena. Every
+    // member is parked idle right now, so nobody else touches the region.
+    MJOIN_ASSIGN_OR_RETURN(
+        plane_, ShmDataPlane::CreateInArena(
+                    fleet_->arena.get(),
+                    ComputeRingDirectory(plan_, num_workers_),
+                    num_workers_ + 1, fleet_->ring_bytes, /*format=*/true));
+  }
+  workers_.resize(num_workers_);
+  for (uint32_t w = 0; w < num_workers_; ++w) {
+    FleetMember& member = fleet_->members[w];
+    if (member.pid <= 0 || member.chan == nullptr || member.reaped) {
+      return Status::Internal(
+          StrCat("warm fleet member ", w, " is not attachable"));
+    }
+    workers_[w].pid = member.pid;
+    workers_[w].chan = member.chan.get();
+    workers_[w].base = member.chan->stats();
+    if (options_.net_fault_injector != nullptr &&
+        options_.net_fault_injector->scenario().worker == w) {
+      workers_[w].chan->set_fault_injector(options_.net_fault_injector);
+    }
+    if (options_.worker_observer) options_.worker_observer(w, member.pid);
+  }
+  return Status::OK();
+}
+
+Status Coordinator::AwaitFleetIdle() {
+  for (WorkerProc& w : workers_) {
+    if (!w.closed) w.chan->QueueFrame(FrameType::kShutdown, {});
+  }
+  // lint:allow-clock idle-handshake deadline, end-of-query only
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  for (;;) {
+    bool all_idle = true;
+    for (const WorkerProc& w : workers_) {
+      if (w.closed) {
+        return Status::Unavailable(
+            "a warm worker died during the idle handshake");
+      }
+      if (!w.idle_received) all_idle = false;
+    }
+    if (all_idle) return Status::OK();
+    if (aborted_) return abort_status_;
+    // lint:allow-clock idle-handshake deadline, end-of-query only
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::Unavailable("warm fleet idle handshake timed out");
+    }
+    PollOnce(/*timeout_ms=*/20);
+  }
 }
 
 Status Coordinator::ShipPlans() {
@@ -272,6 +402,7 @@ Status Coordinator::ShipPlans() {
     env.attempt = attempt_;
     env.use_shm_data_plane = plane_ != nullptr;
     env.shm_ring_bytes = plane_ != nullptr ? plane_->ring_bytes() : 0;
+    env.persistent = fleet_ != nullptr;
     std::vector<std::byte> payload;
     EncodePlanEnvelope(env, &payload);
     workers_[w].chan->QueueFrame(FrameType::kPlan, payload);
@@ -793,6 +924,12 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
         }
       }
       return;
+    case FrameType::kIdle:
+      // A persistent worker's ack that it tore down the query's state and
+      // parked; only a warm-mode end-of-query handshake expects it.
+      if (fleet_ == nullptr) break;
+      worker.idle_received = true;
+      return;
     // Coordinator-to-worker frame types; the coordinator never receives
     // them. The switch lists every FrameType so -Wswitch flags new wire
     // frames that are silently unrouted here.
@@ -802,6 +939,9 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
     case FrameType::kFinish:
     case FrameType::kShutdown:
     case FrameType::kPing:
+    // Serve-layer frame types; they never appear on a worker socket.
+    case FrameType::kSubmit:
+    case FrameType::kQueryResult:
       break;
   }
   AbortCorruptWire(
@@ -1045,11 +1185,13 @@ void Coordinator::GatherNetStats() {
   net_.num_workers = num_workers_;
   for (const WorkerProc& w : workers_) {
     if (w.chan == nullptr) continue;
+    // Warm channels accumulate across queries; `base` (zero in one-shot
+    // mode) pins the counters to this query.
     const ChannelStats& ch = w.chan->stats();
-    net_.bytes_sent += ch.bytes_sent;
-    net_.bytes_received += ch.bytes_received;
-    net_.frames_sent += ch.frames_sent;
-    net_.frames_received += ch.frames_received;
+    net_.bytes_sent += ch.bytes_sent - w.base.bytes_sent;
+    net_.bytes_received += ch.bytes_received - w.base.bytes_received;
+    net_.frames_sent += ch.frames_sent - w.base.frames_sent;
+    net_.frames_received += ch.frames_received - w.base.frames_received;
   }
   for (const WorkerRunStats& w : worker_stats_) {
     net_.local_deliveries += w.local_deliveries;
@@ -1161,15 +1303,19 @@ StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
   plan_text_ = SerializePlan(plan_);
   plan_hash_ = FnvHash64(plan_text_);
 
-  if (options_.use_shm_data_plane) {
-    // Created pre-fork so the fleet inherits the mapping; torn down with
-    // this Coordinator, so every retry attempt maps fresh zeroed rings.
-    MJOIN_ASSIGN_OR_RETURN(
-        plane_, ShmDataPlane::Create(ComputeRingDirectory(plan_, num_workers_),
-                                     num_workers_ + 1,
-                                     options_.shm_ring_bytes));
+  if (fleet_ != nullptr) {
+    MJOIN_RETURN_IF_ERROR(AttachFleet());
+  } else {
+    if (options_.use_shm_data_plane) {
+      // Created pre-fork so the fleet inherits the mapping; torn down with
+      // this Coordinator, so every retry attempt maps fresh zeroed rings.
+      MJOIN_ASSIGN_OR_RETURN(
+          plane_,
+          ShmDataPlane::Create(ComputeRingDirectory(plan_, num_workers_),
+                               num_workers_ + 1, options_.shm_ring_bytes));
+    }
+    MJOIN_RETURN_IF_ERROR(SpawnFleet());
   }
-  MJOIN_RETURN_IF_ERROR(SpawnFleet());
   MJOIN_RETURN_IF_ERROR(ShipPlans());
   MJOIN_RETURN_IF_ERROR(ShipFragments());
   if (CheckRuntime()) {
@@ -1186,7 +1332,20 @@ StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
   // lint:allow-clock run wall-clock end, once per query
   auto end = std::chrono::steady_clock::now();
 
-  if (aborted_) {
+  // The teardown can itself abort (a worker dying during the warm idle
+  // handshake); that poisons the fleet but must not fail a query whose
+  // result is already in, so the final verdict is snapshotted here.
+  const bool run_failed = aborted_;
+  if (fleet_ != nullptr) {
+    if (run_failed) {
+      // Workers may be mid-query and unwilling to park; the fleet owner
+      // kills and respawns them. Never kill borrowed members here.
+      fleet_->poisoned = true;
+    } else {
+      Status idle = AwaitFleetIdle();
+      if (!idle.ok()) fleet_->poisoned = true;
+    }
+  } else if (run_failed) {
     KillFleet();
   } else {
     ShutdownFleet();
@@ -1203,7 +1362,7 @@ StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
     PublishProcessMetrics(stats, net_, wall_seconds, exec_.metrics_registry);
   }
 
-  if (aborted_) return abort_status_;
+  if (run_failed) return abort_status_;
 
   ProcessQueryResult result;
   result.exec.wall_seconds = wall_seconds;
@@ -1269,7 +1428,250 @@ void PublishRecoveryMetrics(const ProcessExecStats& proc,
   registry->counter("net.pongs_received")->Add(proc.pongs_received);
 }
 
+/// Forks `num_workers` persistent workers into `state` (arena and
+/// ring_bytes must already be set). Children inherit the arena mapping and
+/// run RunProcessWorker with it; sibling sockets are closed in each child.
+Status SpawnFleetMembers(FleetState* state, uint32_t num_workers) {
+  state->members.resize(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    int sv[2];
+    if (socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+      return Status::Internal(StrCat("socketpair failed: ", strerror(errno)));
+    }
+    pid_t pid = fork();
+    if (pid < 0) {
+      close(sv[0]);
+      close(sv[1]);
+      return Status::Internal(StrCat("fork failed: ", strerror(errno)));
+    }
+    if (pid == 0) {
+      for (uint32_t prev = 0; prev < w; ++prev) {
+        close(state->members[prev].chan->fd());
+      }
+      close(sv[0]);
+      _exit(RunProcessWorker(sv[1], /*plane=*/nullptr, state->arena.get()));
+    }
+    close(sv[1]);
+    MJOIN_RETURN_IF_ERROR(SetNonBlocking(sv[0]));
+    state->members[w].pid = pid;
+    state->members[w].chan =
+        std::make_unique<FrameChannel>(sv[0], StrCat("worker ", w));
+    state->members[w].reaped = false;
+  }
+  state->poisoned = false;
+  return Status::OK();
+}
+
+/// Kills (gracefully when asked and possible) and reaps every member, then
+/// drops their channels. Tolerates members that already died or were
+/// reaped by a diagnosing Coordinator.
+void TearDownFleetMembers(FleetState* state, bool graceful) {
+  if (graceful) {
+    // Parked workers exit on a bare kShutdown; give each a bounded moment
+    // before escalating. A poisoned fleet skips this: its workers may be
+    // mid-query and deaf to polite requests.
+    for (FleetMember& member : state->members) {
+      if (member.chan == nullptr || member.reaped) continue;
+      member.chan->QueueFrame(FrameType::kShutdown, {});
+      (void)member.chan->Flush();
+    }
+    for (FleetMember& member : state->members) {
+      if (member.pid <= 0 || member.reaped) continue;
+      for (int spin = 0; spin < 200; ++spin) {
+        int wstatus = 0;
+        pid_t got = waitpid(member.pid, &wstatus, WNOHANG);
+        if (got < 0 && errno == EINTR) continue;
+        if (got == member.pid || got < 0) {  // got < 0: ECHILD, collected
+          member.reaped = true;
+          break;
+        }
+        struct pollfd none;
+        none.fd = -1;
+        none.events = 0;
+        none.revents = 0;
+        poll(&none, 1, 10);  // portable 10 ms sleep
+      }
+    }
+  }
+  for (FleetMember& member : state->members) {
+    if (member.pid > 0 && !member.reaped) {
+      kill(member.pid, SIGKILL);
+      int wstatus = 0;
+      while (waitpid(member.pid, &wstatus, 0) < 0 && errno == EINTR) {
+      }
+      member.reaped = true;
+    }
+    member.chan.reset();
+  }
+  state->members.clear();
+}
+
 }  // namespace
+
+struct WarmProcessFleet::Impl {
+  const Database* database = nullptr;
+  WarmFleetOptions options;
+  /// Serializes Execute() calls and fleet mutation (respawn, teardown).
+  mutable std::mutex mutex;
+  FleetState state;
+  uint64_t respawn_count = 0;
+
+  /// Replaces a poisoned (or dead) fleet with a fresh one. The arena is
+  /// reused — its rings are reformatted at the next attach anyway.
+  Status Respawn() {
+    TearDownFleetMembers(&state, /*graceful=*/false);
+    ++respawn_count;
+    return SpawnFleetMembers(&state, options.num_workers);
+  }
+};
+
+WarmProcessFleet::WarmProcessFleet() : impl_(std::make_unique<Impl>()) {}
+
+WarmProcessFleet::~WarmProcessFleet() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  TearDownFleetMembers(&impl_->state, /*graceful=*/!impl_->state.poisoned);
+}
+
+StatusOr<std::unique_ptr<WarmProcessFleet>> WarmProcessFleet::Spawn(
+    const Database* database, const WarmFleetOptions& options) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("WarmProcessFleet needs a database");
+  }
+  if (options.num_workers == 0) {
+    return Status::InvalidArgument(
+        "WarmFleetOptions::num_workers must be positive");
+  }
+  // lint:allow-new private ctor; make_unique cannot reach it
+  std::unique_ptr<WarmProcessFleet> fleet(new WarmProcessFleet());
+  Impl* impl = fleet->impl_.get();
+  impl->database = database;
+  impl->options = options;
+  if (options.use_shm_data_plane) {
+    // Size the arena for the worst-case directory of an n-worker fleet:
+    // both relay directions per worker plus every ordered worker pair,
+    // n(n+1) rings in all — any plan's directory fits.
+    const uint64_t n = options.num_workers;
+    const uint64_t slot = sizeof(ShmRingHdr) + options.shm_ring_bytes;
+    MJOIN_ASSIGN_OR_RETURN(
+        impl->state.arena,
+        ShmArena::Create(options.num_workers + 1, slot * n * (n + 1)));
+    impl->state.ring_bytes = options.shm_ring_bytes;
+  }
+  MJOIN_RETURN_IF_ERROR(
+      SpawnFleetMembers(&impl->state, options.num_workers));
+  return fleet;
+}
+
+uint32_t WarmProcessFleet::num_workers() const {
+  return impl_->options.num_workers;
+}
+
+pid_t WarmProcessFleet::worker_pid(uint32_t w) const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return w < impl_->state.members.size() ? impl_->state.members[w].pid : -1;
+}
+
+uint64_t WarmProcessFleet::respawns() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  return impl_->respawn_count;
+}
+
+StatusOr<ProcessQueryResult> WarmProcessFleet::Execute(
+    const ParallelPlan& plan, const ProcessExecOptions& options,
+    ThreadExecStats* stats_out, ProcessNetStats* net_out,
+    ProcessExecStats* proc_out) {
+  if (options.exec.batch_size == 0) {
+    return Status::InvalidArgument(
+        "ProcessExecOptions::exec.batch_size must be positive");
+  }
+  if (options.exec.deadline.has_value() &&
+      options.exec.deadline->count() <= 0) {
+    return Status::InvalidArgument(
+        "ProcessExecOptions::exec.deadline must be positive when set");
+  }
+  MJOIN_RETURN_IF_ERROR(plan.Validate());
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+
+  // The fleet's spawn-time shape wins over the per-query knobs: the
+  // workers and the arena already exist.
+  ProcessExecOptions opts = options;
+  opts.num_workers = impl_->options.num_workers;
+  opts.use_shm_data_plane = impl_->state.arena != nullptr;
+  opts.shm_ring_bytes = impl_->state.ring_bytes;
+
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  if (opts.exec.deadline.has_value()) {
+    // lint:allow-clock absolute retry-spanning deadline, once per Execute
+    deadline = std::chrono::steady_clock::now() + *opts.exec.deadline;
+  }
+
+  ProcessExecStats proc;
+  auto publish = [&proc, &opts] {
+    if (opts.exec.metrics_registry != nullptr) {
+      PublishRecoveryMetrics(proc, opts.exec.metrics_registry);
+    }
+  };
+
+  std::chrono::milliseconds backoff = opts.retry_backoff;
+  Status failure = Status::OK();
+  for (uint32_t attempt = 0;; ++attempt) {
+    proc.attempts = attempt + 1;
+    if (impl_->state.poisoned || impl_->state.members.empty()) {
+      Status respawned = impl_->Respawn();
+      if (!respawned.ok()) {
+        failure = respawned;
+        break;
+      }
+    }
+    Coordinator coordinator(plan, *impl_->database, opts,
+                            impl_->options.num_workers, attempt, deadline,
+                            &proc, &impl_->state);
+    StatusOr<ProcessQueryResult> result = coordinator.Run(stats_out, net_out);
+    if (result.ok()) {
+      result->proc = proc;
+      if (proc_out != nullptr) *proc_out = proc;
+      publish();
+      return result;
+    }
+    // Any failure — even a deterministic one — leaves workers possibly
+    // mid-query and unable to take a new plan; a respawn is the only safe
+    // way back to a serviceable fleet.
+    impl_->state.poisoned = true;
+    failure = result.status();
+    if (!IsRetryableFailure(failure) || attempt >= opts.max_retries) break;
+    ++proc.retries;
+    Status slept = BackoffSleep(backoff, deadline, opts.exec.cancellation);
+    if (!slept.ok()) {
+      failure = slept;
+      break;
+    }
+    backoff = std::min(backoff * 2, opts.retry_backoff_cap);
+  }
+
+  if (opts.degrade_to_thread && IsRetryableFailure(failure)) {
+    proc.degraded_to_thread = true;
+    ThreadExecOptions exec = opts.exec;
+    exec.fault_injector = nullptr;
+    ThreadExecutor fallback(impl_->database);
+    StatusOr<ThreadQueryResult> degraded =
+        fallback.Execute(plan, exec, stats_out);
+    if (degraded.ok()) {
+      ProcessQueryResult result;
+      result.exec = std::move(degraded).value();
+      result.net.num_workers = 0;  // no fleet produced this result
+      result.proc = proc;
+      if (net_out != nullptr) *net_out = result.net;
+      if (proc_out != nullptr) *proc_out = proc;
+      publish();
+      return result;
+    }
+    failure = degraded.status();
+  }
+
+  if (proc_out != nullptr) *proc_out = proc;
+  publish();
+  return failure;
+}
 
 std::string WorkerFailureClassName(WorkerFailureClass failure) {
   switch (failure) {

@@ -36,6 +36,7 @@ void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out) {
   PutU32(out, env.attempt);
   PutBool(out, env.use_shm_data_plane);
   PutU32(out, env.shm_ring_bytes);
+  PutBool(out, env.persistent);
 }
 
 Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env) {
@@ -54,6 +55,7 @@ Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env) {
   MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->attempt));
   MJOIN_RETURN_IF_ERROR(ReadBool(reader, &env->use_shm_data_plane));
   MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->shm_ring_bytes));
+  MJOIN_RETURN_IF_ERROR(ReadBool(reader, &env->persistent));
   return Status::OK();
 }
 

@@ -53,6 +53,12 @@ struct PlanEnvelope {
   bool use_shm_data_plane = false;
   /// Per-ring data bytes of the directory the coordinator mapped.
   uint32_t shm_ring_bytes = 0;
+  /// Warm-fleet mode: after this query's kShutdown the worker tears down
+  /// its query state, acks with kIdle, and parks waiting for the next
+  /// kPlan instead of exiting. kShutdown received while parked (or EOF)
+  /// exits the worker. Off (the default) keeps the one-shot lifecycle:
+  /// kShutdown exits immediately.
+  bool persistent = false;
 };
 
 void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out);

@@ -153,12 +153,15 @@ class WorkerInstance : public OpContext, public EmitSink {
 class WorkerRun {
  public:
   WorkerRun(FrameChannel* chan, PlanEnvelope env, ParallelPlan plan,
-            ShmDataPlane* plane)
+            ShmDataPlane* plane, BatchPool* pool)
       : chan_(chan),
         env_(std::move(env)),
         plan_(std::move(plan)),
         registry_(plan_),
         budget_(env_.memory_budget_bytes),
+        pool_(pool),
+        pool_allocated_base_(pool->allocated()),
+        pool_reused_base_(pool->reused()),
         plane_(plane),
         coord_ep_(env_.num_workers) {}
 
@@ -262,7 +265,14 @@ class WorkerRun {
   ParallelPlan plan_;
   SchemaRegistry registry_;
   MemoryBudget budget_;
-  BatchPool pool_;
+  /// Worker-lifetime buffer pool (owned by RunProcessWorker): a persistent
+  /// worker's buffers survive across queries, so steady-state runs reuse
+  /// instead of allocating. The *_base_ counters pin the pool's lifetime
+  /// totals at run start — the reported buffer stats are per-run deltas,
+  /// identical from a warm or a freshly forked worker.
+  BatchPool* pool_;
+  const uint64_t pool_allocated_base_;
+  const uint64_t pool_reused_base_;
   std::unique_ptr<FaultInjector> injector_;
 
   std::vector<std::vector<std::unique_ptr<WorkerInstance>>> instances_;
@@ -558,7 +568,7 @@ void WorkerRun::FlushDest(WorkerInstance* inst, uint32_t dest) {
       pending.Clear();
     } else {
       std::shared_ptr<TupleBatch> batch =
-          pool_.Acquire(o.output_schema);
+          pool_->Acquire(o.output_schema);
       std::swap(*batch, pending);
       for (int c = 0; c < copies; ++c) {
         consumer->pre_start.push_back([this, consumer, port, batch] {
@@ -830,7 +840,7 @@ Status WorkerRun::HandleFragment(const Frame& frame) {
                " which this worker does not host"));
   }
   std::shared_ptr<TupleBatch> batch =
-      pool_.Acquire(op(header.op).output_schema);
+      pool_->Acquire(op(header.op).output_schema);
   MJOIN_RETURN_IF_ERROR(ReadBatchWire(&reader, registry_, batch.get()));
   frags[header.instance].AppendRows(batch->raw_data(), batch->num_tuples());
   return Status::OK();
@@ -856,7 +866,7 @@ Status WorkerRun::HandleData(const Frame& frame) {
   // The initial schema binding is a placeholder — ReadBatchWire rebinds the
   // batch to the wire frame's registry schema.
   std::shared_ptr<TupleBatch> batch =
-      pool_.Acquire(consumer_op.output_schema);
+      pool_->Acquire(consumer_op.output_schema);
   // Timed unconditionally, like the serialize side: the wire-time counters
   // must survive collect_metrics=false (the bench's configuration).
   int64_t t0 = NowNs();
@@ -991,7 +1001,7 @@ Status WorkerRun::ConsumeShmData(ShmRing* ring, const ShmRecordView& rec) {
   // "Deserialize" here is the plane's whole point: one bounds-checked
   // memcpy out of the shared region. Timed unconditionally like the wire
   // decode so the bench sees where transport time goes.
-  std::shared_ptr<TupleBatch> batch = pool_.Acquire(schema);
+  std::shared_ptr<TupleBatch> batch = pool_->Acquire(schema);
   int64_t t0 = NowNs();
   batch->AppendRows(rec.payload + sizeof(hdr), hdr.num_tuples);
   int64_t t1 = NowNs();
@@ -1153,8 +1163,8 @@ Status WorkerRun::SendFinishReports() {
     }
   }
 
-  stats_.buffers_allocated = pool_.allocated();
-  stats_.buffers_reused = pool_.reused();
+  stats_.buffers_allocated = pool_->allocated() - pool_allocated_base_;
+  stats_.buffers_reused = pool_->reused() - pool_reused_base_;
   stats_.peak_memory_bytes = budget_.peak();
   if (injector_ != nullptr) {
     stats_.faults_injected = injector_->faults_injected();
@@ -1217,6 +1227,10 @@ Status WorkerRun::HandleFrame(const Frame& frame) {
     case FrameType::kError:
     case FrameType::kBye:
     case FrameType::kPong:
+    case FrameType::kIdle:
+    // Serve-layer frame types; they never reach a worker socket.
+    case FrameType::kSubmit:
+    case FrameType::kQueryResult:
       break;
   }
   return Status::InvalidArgument(StrCat(
@@ -1304,25 +1318,16 @@ Status WorkerRun::Loop() {
 
 }  // namespace
 
-int RunProcessWorker(int fd, ShmDataPlane* plane) {
+int RunProcessWorker(int fd, ShmDataPlane* plane, ShmArena* arena) {
   // The channel sends with MSG_NOSIGNAL, but ignore SIGPIPE anyway so no
   // stray write to a dead coordinator can kill the worker with a signal
   // instead of the EPIPE -> kUnavailable path the supervisor understands.
   signal(SIGPIPE, SIG_IGN);
   if (!SetNonBlocking(fd).ok()) return 1;
   FrameChannel chan(fd, "coordinator");
-
-  // Handshake: wait for the kPlan frame.
-  Frame plan_frame;
-  for (;;) {
-    bool peer_closed = false;
-    if (!chan.ReadAvailable(&peer_closed).ok()) return 1;
-    if (chan.NextFrame(&plan_frame)) break;
-    if (peer_closed) return 1;
-    StatusOr<bool> readable = WaitReadable(fd, 30'000);
-    if (!readable.ok() || !*readable) return 1;
-  }
-  if (plan_frame.type != FrameType::kPlan) return 1;
+  // Worker-lifetime buffer pool: in persistent mode, steady-state queries
+  // after the first reuse its freelist instead of allocating.
+  BatchPool pool;
 
   auto fail = [&chan, fd](const Status& status) {
     std::vector<std::byte> payload;
@@ -1341,51 +1346,105 @@ int RunProcessWorker(int fd, ShmDataPlane* plane) {
     return 1;
   };
 
-  PlanEnvelope env;
-  {
-    WireReader reader(plan_frame.payload);
-    Status status = DecodePlanEnvelope(&reader, &env);
-    if (!status.ok()) return fail(status);
-  }
-  if (env.protocol_version != kNetProtocolVersion) {
-    return fail(Status::FailedPrecondition(
-        StrCat("protocol version mismatch: coordinator speaks ",
-               env.protocol_version, ", worker speaks ",
-               kNetProtocolVersion)));
-  }
-  StatusOr<ParallelPlan> plan = ParsePlan(env.plan_text);
-  if (!plan.ok()) return fail(plan.status());
-
-  // The hello hash is FNV over our *re-serialization* of the parsed plan:
-  // every process-backend query round-trips the textual XRA format and the
-  // coordinator verifies the result. With the shm plane on, the hello also
-  // echoes the ring directory this worker derived from its own parse — the
-  // coordinator rejects the fleet before any record can cross a divergent
-  // directory.
-  ShmDataPlane* data_plane = nullptr;
-  HelloMsg hello;
-  hello.protocol_version = kNetProtocolVersion;
-  hello.plan_hash = FnvHash64(SerializePlan(*plan));
-  if (env.use_shm_data_plane) {
-    if (plane == nullptr) {
-      return fail(Status::Internal(
-          "plan enables the shm data plane but the worker inherited none"));
+  for (;;) {
+    // Parked: wait for the next kPlan. A warm fleet idles here for
+    // arbitrarily long between queries, so a WaitReadable timeout just
+    // re-arms the wait; death of the coordinating process surfaces as EOF
+    // (peer_closed) because the socketpair end it held is closed then.
+    Frame plan_frame;
+    for (;;) {
+      bool peer_closed = false;
+      if (!chan.ReadAvailable(&peer_closed).ok()) return 1;
+      if (chan.NextFrame(&plan_frame)) break;
+      if (peer_closed) return 1;
+      StatusOr<bool> readable = WaitReadable(fd, 30'000);
+      if (!readable.ok()) return 1;
     }
-    hello.ring_directory_hash = ShmDataPlane::HashDirectory(
-        ComputeRingDirectory(*plan, env.num_workers), env.num_workers + 1,
-        env.shm_ring_bytes);
-    data_plane = plane;
-  }
-  std::vector<std::byte> hello_payload;
-  EncodeHello(hello, &hello_payload);
-  chan.QueueFrame(FrameType::kHello, hello_payload);
-  if (!chan.Flush().ok()) return 1;
+    // A persistent worker parks after its kIdle ack; the fleet's teardown
+    // then sends a bare kShutdown to exit it cleanly.
+    if (plan_frame.type == FrameType::kShutdown) return 0;
+    if (plan_frame.type != FrameType::kPlan) return 1;
 
-  WorkerRun run(&chan, std::move(env), std::move(plan).value(), data_plane);
-  Status status = run.Setup();
-  if (status.ok()) status = run.Loop();
-  if (!status.ok()) return fail(status);
-  return 0;
+    PlanEnvelope env;
+    {
+      WireReader reader(plan_frame.payload);
+      Status status = DecodePlanEnvelope(&reader, &env);
+      if (!status.ok()) return fail(status);
+    }
+    if (env.protocol_version != kNetProtocolVersion) {
+      return fail(Status::FailedPrecondition(
+          StrCat("protocol version mismatch: coordinator speaks ",
+                 env.protocol_version, ", worker speaks ",
+                 kNetProtocolVersion)));
+    }
+    StatusOr<ParallelPlan> plan = ParsePlan(env.plan_text);
+    if (!plan.ok()) return fail(plan.status());
+
+    // The hello hash is FNV over our *re-serialization* of the parsed plan:
+    // every process-backend query round-trips the textual XRA format and
+    // the coordinator verifies the result. With the shm plane on, the hello
+    // also echoes the ring directory this worker derived from its own parse
+    // — the coordinator rejects the fleet before any record can cross a
+    // divergent directory.
+    ShmDataPlane* data_plane = nullptr;
+    std::unique_ptr<ShmDataPlane> arena_view;
+    HelloMsg hello;
+    hello.protocol_version = kNetProtocolVersion;
+    hello.plan_hash = FnvHash64(SerializePlan(*plan));
+    if (env.use_shm_data_plane) {
+      std::vector<ShmRingSpec> directory =
+          ComputeRingDirectory(*plan, env.num_workers);
+      hello.ring_directory_hash = ShmDataPlane::HashDirectory(
+          directory, env.num_workers + 1, env.shm_ring_bytes);
+      if (arena != nullptr) {
+        // Warm fleet: lay this query's ring view over the inherited arena.
+        // The coordinator formatted the rings before sending kPlan, so the
+        // worker only attaches.
+        StatusOr<std::unique_ptr<ShmDataPlane>> view =
+            ShmDataPlane::CreateInArena(arena, std::move(directory),
+                                        env.num_workers + 1,
+                                        env.shm_ring_bytes,
+                                        /*format=*/false);
+        if (!view.ok()) return fail(view.status());
+        arena_view = std::move(view).value();
+        data_plane = arena_view.get();
+      } else if (plane != nullptr) {
+        data_plane = plane;
+      } else {
+        return fail(Status::Internal(
+            "plan enables the shm data plane but the worker inherited none"));
+      }
+    }
+    std::vector<std::byte> hello_payload;
+    EncodeHello(hello, &hello_payload);
+    chan.QueueFrame(FrameType::kHello, hello_payload);
+    if (!chan.Flush().ok()) return 1;
+
+    const bool persistent = env.persistent;
+    {
+      WorkerRun run(&chan, std::move(env), std::move(plan).value(),
+                    data_plane, &pool);
+      Status status = run.Setup();
+      if (status.ok()) status = run.Loop();
+      if (!status.ok()) return fail(status);
+    }
+    // The query's state (and its arena view) is down before the idle ack:
+    // once the coordinator sees kIdle from every worker it may reformat the
+    // arena's rings for the next query.
+    arena_view.reset();
+    if (!persistent) return 0;
+    chan.QueueFrame(FrameType::kIdle, {});
+    for (int i = 0; i < 100 && chan.has_pending_output(); ++i) {
+      if (!chan.Flush().ok()) return 1;
+      if (!chan.has_pending_output()) break;
+      struct pollfd pfd;
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      pfd.revents = 0;
+      poll(&pfd, 1, 50);
+    }
+    if (chan.has_pending_output()) return 1;
+  }
 }
 
 }  // namespace mjoin

@@ -3,30 +3,43 @@
 
 namespace mjoin {
 
+class ShmArena;
 class ShmDataPlane;
 
 /// The worker half of the process backend: runs in a child process forked
-/// by ProcessExecutor, speaking the net/wire.h frame protocol over `fd`
-/// (one end of a socketpair; ownership is taken).
+/// by ProcessExecutor (one-shot) or by a WarmProcessFleet (persistent),
+/// speaking the net/wire.h frame protocol over `fd` (one end of a
+/// socketpair; ownership is taken).
 ///
 /// The worker is deliberately single-threaded — one poll loop interleaves
 /// frame handling with source pumping — so a fork-without-exec child never
 /// touches thread creation (fork-safe under TSan) and its teardown is one
-/// _exit(). It receives the plan as textual XRA in the kPlan handshake,
+/// _exit(). It receives each plan as textual XRA in a kPlan frame,
 /// instantiates the operator instances of its hosted processors, and
 /// exchanges batches with the rest of the fleet.
 ///
-/// `plane` (nullable) is the coordinator's pre-fork ShmDataPlane, inherited
-/// through fork so its mapping and doorbells are valid here. When the plan
-/// envelope enables the shm plane, data batches, EOS markers, fragments,
-/// and result rows travel over its rings; control frames stay on the
-/// socket. The child never destroys the plane — _exit() skips destructors,
-/// and the kernel drops its reference to the shared mapping.
+/// `plane` (nullable) is a one-shot coordinator's pre-fork ShmDataPlane,
+/// inherited through fork so its mapping and doorbells are valid here.
+/// `arena` (nullable) is a warm fleet's fleet-lifetime ShmArena; when the
+/// plan envelope enables the shm plane and an arena was inherited, the
+/// worker lays a per-query ShmDataPlane view over it instead. Either way,
+/// data batches, EOS markers, fragments, and result rows travel over the
+/// rings while control frames stay on the socket. The child never destroys
+/// the plane or arena — _exit() skips destructors, and the kernel drops its
+/// reference to the shared mapping.
+///
+/// Lifecycle: after a one-shot query (PlanEnvelope::persistent false) the
+/// worker exits on kShutdown. In persistent mode it tears down the query's
+/// state, acks with kIdle, and parks waiting for the next kPlan; kShutdown
+/// received while parked (or EOF) exits it. The batch pool is
+/// worker-lifetime, so a warm worker's steady-state queries reuse buffers
+/// instead of allocating.
 ///
 /// Returns the exit code for the child to _exit() with: 0 after a clean
 /// kShutdown, 1 on any error (a fatal status is reported to the
 /// coordinator as a kError frame first whenever the socket still works).
-int RunProcessWorker(int fd, ShmDataPlane* plane = nullptr);
+int RunProcessWorker(int fd, ShmDataPlane* plane = nullptr,
+                     ShmArena* arena = nullptr);
 
 }  // namespace mjoin
 

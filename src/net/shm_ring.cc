@@ -169,7 +169,42 @@ void ShmRing::Release() {
   hdr_->head.store(pending_release_, std::memory_order_release);
 }
 
+ShmArena::~ShmArena() {
+  for (int fd : doorbells_) {
+    if (fd >= 0) close(fd);
+  }
+  if (region_ != nullptr) munmap(region_, region_bytes_);
+}
+
+StatusOr<std::unique_ptr<ShmArena>> ShmArena::Create(uint32_t num_endpoints,
+                                                     size_t bytes) {
+  if (bytes == 0) {
+    return Status::InvalidArgument("shm arena bytes must be positive");
+  }
+  auto arena = std::make_unique<ShmArena>();
+  arena->num_endpoints_ = num_endpoints;
+  // MAP_POPULATE prefaults the whole region once, pre-fork; every fleet
+  // member inherits the populated page tables for its entire life.
+  void* mem = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                   MAP_SHARED | MAP_ANONYMOUS | MAP_POPULATE, -1, 0);
+  if (mem == MAP_FAILED) {
+    return Status::ResourceExhausted("mmap of shm arena failed");
+  }
+  arena->region_ = static_cast<std::byte*>(mem);
+  arena->region_bytes_ = bytes;
+  arena->doorbells_.assign(num_endpoints, -1);
+  for (uint32_t e = 0; e < num_endpoints; ++e) {
+    const int fd = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (fd < 0) {
+      return Status::ResourceExhausted("eventfd for shm doorbell failed");
+    }
+    arena->doorbells_[e] = fd;
+  }
+  return StatusOr<std::unique_ptr<ShmArena>>(std::move(arena));
+}
+
 ShmDataPlane::~ShmDataPlane() {
+  if (!owns_resources_) return;
   for (int fd : doorbells_) {
     if (fd >= 0) close(fd);
   }
@@ -188,6 +223,25 @@ uint64_t ShmDataPlane::HashDirectory(const std::vector<ShmRingSpec>& specs,
   return hash;
 }
 
+Status ShmDataPlane::IndexSpecs(std::vector<ShmRingSpec> specs) {
+  inbound_.assign(num_endpoints_, {});
+  index_.clear();
+  for (size_t i = 0; i < specs.size(); ++i) {
+    const ShmRingSpec& spec = specs[i];
+    if (spec.from >= num_endpoints_ || spec.to >= num_endpoints_ ||
+        spec.from == spec.to) {
+      return Status::InvalidArgument("shm ring spec endpoint out of range");
+    }
+    const uint64_t key = (uint64_t{spec.from} << 32) | spec.to;
+    if (!index_.emplace(key, i).second) {
+      return Status::InvalidArgument("duplicate shm ring spec");
+    }
+    inbound_[spec.to].push_back(i);
+  }
+  specs_ = std::move(specs);
+  return Status::OK();
+}
+
 StatusOr<std::unique_ptr<ShmDataPlane>> ShmDataPlane::Create(
     std::vector<ShmRingSpec> specs, uint32_t num_endpoints,
     uint32_t ring_bytes) {
@@ -199,20 +253,7 @@ StatusOr<std::unique_ptr<ShmDataPlane>> ShmDataPlane::Create(
   plane->num_endpoints_ = num_endpoints;
   plane->ring_bytes_ = ring_bytes;
   plane->directory_hash_ = HashDirectory(specs, num_endpoints, ring_bytes);
-  plane->inbound_.resize(num_endpoints);
-  for (size_t i = 0; i < specs.size(); ++i) {
-    const ShmRingSpec& spec = specs[i];
-    if (spec.from >= num_endpoints || spec.to >= num_endpoints ||
-        spec.from == spec.to) {
-      return Status::InvalidArgument("shm ring spec endpoint out of range");
-    }
-    const uint64_t key = (uint64_t{spec.from} << 32) | spec.to;
-    if (!plane->index_.emplace(key, i).second) {
-      return Status::InvalidArgument("duplicate shm ring spec");
-    }
-    plane->inbound_[spec.to].push_back(i);
-  }
-  plane->specs_ = std::move(specs);
+  MJOIN_RETURN_IF_ERROR(plane->IndexSpecs(std::move(specs)));
 
   const size_t slot = sizeof(ShmRingHdr) + ring_bytes;
   plane->region_bytes_ = slot * plane->specs_.size();
@@ -240,6 +281,43 @@ StatusOr<std::unique_ptr<ShmDataPlane>> ShmDataPlane::Create(
     }
     plane->doorbells_[e] = fd;
   }
+  return StatusOr<std::unique_ptr<ShmDataPlane>>(std::move(plane));
+}
+
+StatusOr<std::unique_ptr<ShmDataPlane>> ShmDataPlane::CreateInArena(
+    ShmArena* arena, std::vector<ShmRingSpec> specs, uint32_t num_endpoints,
+    uint32_t ring_bytes, bool format) {
+  if (!IsPowerOfTwo(ring_bytes) || ring_bytes < kMinRingBytes) {
+    return Status::InvalidArgument("shm ring_bytes must be a power of two "
+                                   ">= 4096");
+  }
+  if (num_endpoints != arena->num_endpoints()) {
+    return Status::InvalidArgument(
+        "shm plane endpoint count disagrees with the arena's");
+  }
+  const size_t slot = sizeof(ShmRingHdr) + ring_bytes;
+  if (slot * specs.size() > arena->bytes()) {
+    return Status::ResourceExhausted(
+        "the plan's ring directory does not fit the warm fleet's arena");
+  }
+  auto plane = std::make_unique<ShmDataPlane>();
+  plane->owns_resources_ = false;
+  plane->num_endpoints_ = num_endpoints;
+  plane->ring_bytes_ = ring_bytes;
+  plane->directory_hash_ = HashDirectory(specs, num_endpoints, ring_bytes);
+  MJOIN_RETURN_IF_ERROR(plane->IndexSpecs(std::move(specs)));
+  plane->region_ = arena->base();
+  plane->region_bytes_ = 0;  // borrowed; never unmapped by this view
+  plane->rings_.resize(plane->specs_.size());
+  for (size_t i = 0; i < plane->specs_.size(); ++i) {
+    std::byte* mem = arena->base() + i * slot;
+    if (format) {
+      plane->rings_[i].Init(mem, ring_bytes);
+    } else {
+      MJOIN_RETURN_IF_ERROR(plane->rings_[i].Attach(mem));
+    }
+  }
+  plane->doorbells_ = arena->doorbells();
   return StatusOr<std::unique_ptr<ShmDataPlane>>(std::move(plane));
 }
 

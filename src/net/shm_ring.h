@@ -164,6 +164,40 @@ struct ShmRingSpec {
   uint32_t to = 0;
 };
 
+/// A fleet-lifetime shared region plus per-endpoint doorbells, created once
+/// (pre-fork) by the owner of a persistent worker fleet and inherited by
+/// every member. Per query, both sides lay a ShmDataPlane *view* over the
+/// arena (ShmDataPlane::CreateInArena): the coordinator formats the rings,
+/// the workers attach to them. The arena outlives every view, so a warm
+/// fleet maps and prefaults its shared memory exactly once instead of once
+/// per query — the fork/copy-out cost the serving layer exists to remove.
+class ShmArena {
+ public:
+  ShmArena() = default;
+  ~ShmArena();
+  ShmArena(const ShmArena&) = delete;
+  ShmArena& operator=(const ShmArena&) = delete;
+
+  /// Maps `bytes` of MAP_SHARED|MAP_ANONYMOUS memory and opens one eventfd
+  /// doorbell per endpoint. Size the region for the worst-case directory
+  /// the fleet may ever run: every ordered endpoint pair needs at most
+  /// `sizeof(ShmRingHdr) + ring_bytes`.
+  [[nodiscard]] static StatusOr<std::unique_ptr<ShmArena>> Create(
+      uint32_t num_endpoints, size_t bytes);
+
+  uint32_t num_endpoints() const { return num_endpoints_; }
+  size_t bytes() const { return region_bytes_; }
+  std::byte* base() const { return region_; }
+  int doorbell(uint32_t endpoint) const { return doorbells_[endpoint]; }
+  const std::vector<int>& doorbells() const { return doorbells_; }
+
+ private:
+  std::byte* region_ = nullptr;
+  size_t region_bytes_ = 0;
+  uint32_t num_endpoints_ = 0;
+  std::vector<int> doorbells_;
+};
+
 /// The full data plane for one fleet attempt: one shared mapping holding
 /// every ring, plus one eventfd doorbell per endpoint. Created by the
 /// coordinator pre-fork; children inherit the mapping and the doorbell
@@ -181,6 +215,18 @@ class ShmDataPlane {
   [[nodiscard]] static StatusOr<std::unique_ptr<ShmDataPlane>> Create(
       std::vector<ShmRingSpec> specs, uint32_t num_endpoints,
       uint32_t ring_bytes);
+
+  /// A per-query view over a fleet-lifetime arena: rings are laid out
+  /// sequentially from the arena base in `specs` order (both sides derive
+  /// identical specs from the plan, so the layout needs no negotiation).
+  /// The formatting side (`format` = true, the coordinator) re-initializes
+  /// every ring header — it must do so only while every fleet member is
+  /// parked idle; the attaching side validates the headers it finds. The
+  /// view borrows the arena's mapping and doorbells, so destroying it
+  /// releases nothing.
+  [[nodiscard]] static StatusOr<std::unique_ptr<ShmDataPlane>> CreateInArena(
+      ShmArena* arena, std::vector<ShmRingSpec> specs, uint32_t num_endpoints,
+      uint32_t ring_bytes, bool format);
 
   /// Order- and size-sensitive hash of the directory; coordinator and
   /// workers cross-check it in the kHello handshake so a plan mismatch can
@@ -214,6 +260,9 @@ class ShmDataPlane {
   int doorbell(uint32_t endpoint) const { return doorbells_[endpoint]; }
 
  private:
+  /// Validates and indexes `specs` into index_/inbound_/specs_.
+  [[nodiscard]] Status IndexSpecs(std::vector<ShmRingSpec> specs);
+
   std::vector<ShmRingSpec> specs_;
   std::vector<ShmRing> rings_;
   std::vector<std::vector<size_t>> inbound_;
@@ -224,6 +273,9 @@ class ShmDataPlane {
   uint32_t num_endpoints_ = 0;
   uint32_t ring_bytes_ = 0;
   uint64_t directory_hash_ = 0;
+  /// False for CreateInArena views: the mapping and doorbells belong to
+  /// the arena, so the destructor must not munmap or close them.
+  bool owns_resources_ = true;
 };
 
 }  // namespace mjoin

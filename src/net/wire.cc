@@ -67,6 +67,12 @@ const char* FrameTypeName(FrameType type) {
       return "ping";
     case FrameType::kPong:
       return "pong";
+    case FrameType::kSubmit:
+      return "submit";
+    case FrameType::kQueryResult:
+      return "query-result";
+    case FrameType::kIdle:
+      return "idle";
   }
   return "unknown";
 }

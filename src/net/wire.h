@@ -77,6 +77,19 @@ enum class FrameType : uint8_t {
   kPing = 18,
   /// worker -> coordinator: echo of a kPing's sequence number.
   kPong = 19,
+  /// client -> server (mjoin_serve): submit one query (SubmitMsg — tenant,
+  /// backend, plan text, per-query limits). A connection may pipeline
+  /// submits; results come back in completion order, matched by
+  /// client_seq — submission order is not guaranteed.
+  kSubmit = 20,
+  /// server -> client: outcome of one kSubmit (QueryResultMsg — status,
+  /// result summary, wall/queue seconds, cache/backend provenance).
+  kQueryResult = 21,
+  /// worker -> coordinator (persistent fleets only): the worker tore down
+  /// the previous query's state and is parked waiting for the next kPlan.
+  /// The coordinator must not reformat the shared arena or ship a new plan
+  /// until every fleet member has acked idle.
+  kIdle = 22,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -90,7 +103,9 @@ inline constexpr uint32_t kMaxFrameBytes = 256u << 20;
 /// v2: kPing/kPong heartbeat frames, PlanEnvelope attempt counter.
 /// v3: shm data plane — PlanEnvelope ships the ring configuration, kHello
 ///     echoes the ring-directory hash, kNetStats carries shm counters.
-inline constexpr uint32_t kNetProtocolVersion = 3;
+/// v4: warm fleets and the serving layer — PlanEnvelope `persistent` flag,
+///     kIdle end-of-query ack, kSubmit/kQueryResult serve frames.
+inline constexpr uint32_t kNetProtocolVersion = 4;
 
 /// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) over `size` bytes.
 uint32_t Crc32(const std::byte* data, size_t size);

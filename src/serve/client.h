@@ -1,0 +1,45 @@
+#ifndef MJOIN_SERVE_CLIENT_H_
+#define MJOIN_SERVE_CLIENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/statusor.h"
+#include "serve/serve_protocol.h"
+
+namespace mjoin {
+
+class FrameChannel;
+
+/// Blocking client of one MjoinServer connection. Submits may be
+/// pipelined (several Submit() calls before the first Await()); results
+/// arrive in whatever order the server finishes them, carrying the
+/// submit's client_seq for matching. Not thread-safe — one connection
+/// belongs to one thread (open several clients for concurrency).
+class ServeClient {
+ public:
+  /// Connects to the server's AF_UNIX socket.
+  [[nodiscard]] static StatusOr<std::unique_ptr<ServeClient>> Connect(
+      const std::string& socket_path);
+
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Sends one query; returns once the submit frame is fully written.
+  [[nodiscard]] Status Submit(const SubmitMsg& msg);
+
+  /// Blocks for the next result frame. `timeout_ms` bounds the whole
+  /// wait (negative = forever); expiry returns DeadlineExceeded, a dead
+  /// server Unavailable.
+  [[nodiscard]] StatusOr<QueryResultMsg> Await(int timeout_ms = -1);
+
+ private:
+  explicit ServeClient(std::unique_ptr<FrameChannel> chan);
+
+  std::unique_ptr<FrameChannel> chan_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_SERVE_CLIENT_H_

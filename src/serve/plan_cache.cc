@@ -1,0 +1,72 @@
+#include "serve/plan_cache.h"
+
+#include <utility>
+
+#include "engine/process_protocol.h"
+#include "xra/text.h"
+
+namespace mjoin {
+
+PlanCache::PlanCache(size_t capacity,
+                     std::function<uint64_t(const std::string&)> hash)
+    : capacity_(capacity),
+      hash_(hash ? std::move(hash)
+                 : [](const std::string& text) { return FnvHash64(text); }) {}
+
+StatusOr<std::shared_ptr<const ParallelPlan>> PlanCache::Lookup(
+    const std::string& plan_text, bool* was_hit) {
+  if (was_hit != nullptr) *was_hit = false;
+  const uint64_t key = hash_(plan_text);
+  {
+    MutexLock lock(&mutex_);
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      if (it->second->plan_text == plan_text) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        if (was_hit != nullptr) *was_hit = true;
+        return it->second->plan;
+      }
+      // Same 64-bit key, different plan text: a real collision. Served as
+      // a miss; the resident entry keeps the slot (so the colliding pair
+      // ping-pongs on the counter, never on each other's plans).
+      ++stats_.collisions;
+    }
+    ++stats_.misses;
+  }
+
+  // Parse outside the lock — it is the expensive part and needs no cache
+  // state. Two racing parses of the same text both succeed; the second
+  // insert below finds the slot taken and simply uses its own copy.
+  MJOIN_ASSIGN_OR_RETURN(ParallelPlan parsed, ParsePlan(plan_text));
+  auto plan = std::make_shared<const ParallelPlan>(std::move(parsed));
+
+  if (capacity_ == 0) return plan;
+  MutexLock lock(&mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Raced with another inserter (or collides with a resident entry):
+    // leave the resident entry alone.
+    return plan;
+  }
+  lru_.push_front(Entry{key, plan_text, plan});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    ++stats_.evictions;
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return plan;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  MutexLock lock(&mutex_);
+  return stats_;
+}
+
+size_t PlanCache::size() const {
+  MutexLock lock(&mutex_);
+  return lru_.size();
+}
+
+}  // namespace mjoin

@@ -1,0 +1,75 @@
+#ifndef MJOIN_SERVE_PLAN_CACHE_H_
+#define MJOIN_SERVE_PLAN_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/statusor.h"
+#include "common/sync.h"
+#include "xra/plan.h"
+
+namespace mjoin {
+
+/// Cumulative cache traffic (monotonic; read under the cache's own lock).
+struct PlanCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  /// Lookups whose 64-bit key matched a resident entry whose full plan
+  /// text did not — a genuine hash collision, served as a miss. A nonzero
+  /// count is expected to be astronomically rare in production; the
+  /// counter exists so a collision can never be silent.
+  uint64_t collisions = 0;
+  uint64_t evictions = 0;
+};
+
+/// LRU cache of parsed plans keyed by a 64-bit hash of their textual XRA.
+/// The hash is only a locator: every hit re-validates by comparing the
+/// stored plan text byte-for-byte against the query's, so two distinct
+/// plans whose texts collide under the hash can never alias each other —
+/// the collision is counted and handled as a miss (the colliding entry
+/// stays; first-come keeps the slot until evicted by LRU).
+///
+/// Thread-safe. Entries are immutable and shared: a returned plan stays
+/// valid after eviction for as long as the caller holds the shared_ptr.
+class PlanCache {
+ public:
+  /// `hash` is injectable for tests (forcing collisions deterministically);
+  /// the default is FnvHash64 over the plan text. `capacity` bounds
+  /// resident entries; 0 disables caching entirely (every Lookup parses).
+  explicit PlanCache(size_t capacity,
+                     std::function<uint64_t(const std::string&)> hash = {});
+
+  /// The parsed plan for `plan_text`, from cache or freshly parsed (and
+  /// inserted). `was_hit`, when non-null, reports cache provenance.
+  /// Parse failures are returned verbatim and never cached.
+  [[nodiscard]] StatusOr<std::shared_ptr<const ParallelPlan>> Lookup(
+      const std::string& plan_text, bool* was_hit = nullptr);
+
+  PlanCacheStats stats() const;
+  size_t size() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    std::string plan_text;
+    std::shared_ptr<const ParallelPlan> plan;
+  };
+
+  const size_t capacity_;
+  const std::function<uint64_t(const std::string&)> hash_;
+
+  mutable Mutex mutex_;
+  /// Most-recently-used first; lookups splice their entry to the front.
+  std::list<Entry> lru_ MJOIN_GUARDED_BY(mutex_);
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_
+      MJOIN_GUARDED_BY(mutex_);
+  PlanCacheStats stats_ MJOIN_GUARDED_BY(mutex_);
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_SERVE_PLAN_CACHE_H_

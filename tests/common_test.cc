@@ -342,6 +342,73 @@ TEST(StatsTest, PercentileTrackerMerge) {
   EXPECT_NEAR(a.Percentile(50), 50.5, 1e-9);
 }
 
+// Past kMaxSamples the tracker reservoir-samples: the total count keeps
+// climbing, memory stays capped, and order statistics remain usable (for a
+// uniform stream the sampled percentiles land near the true ones).
+TEST(StatsTest, PercentileTrackerCapsRetainedSamples) {
+  PercentileTracker tracker;
+  const size_t total = PercentileTracker::kMaxSamples * 4;
+  for (size_t i = 0; i < total; ++i) {
+    tracker.Add(static_cast<double>(i));
+  }
+  EXPECT_EQ(tracker.count(), total);
+  EXPECT_EQ(tracker.values().size(), PercentileTracker::kMaxSamples);
+  const double span = static_cast<double>(total - 1);
+  EXPECT_NEAR(tracker.Percentile(50), span / 2, span * 0.05);
+  EXPECT_NEAR(tracker.Percentile(99), span * 0.99, span * 0.05);
+}
+
+TEST(StatsTest, PercentileTrackerMergePastCapKeepsTotals) {
+  PercentileTracker a;
+  PercentileTracker b;
+  const size_t n = PercentileTracker::kMaxSamples;
+  for (size_t i = 0; i < n; ++i) a.Add(1.0);
+  for (size_t i = 0; i < n; ++i) b.Add(2.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2 * n);
+  EXPECT_EQ(a.values().size(), PercentileTracker::kMaxSamples);
+}
+
+TEST(MetricsTest, SnapshotDeltaIsolatesOneQuery) {
+  MetricsRegistry registry;
+  registry.counter("q.batches")->Add(100);
+  registry.gauge("q.depth")->Set(3);
+  registry.histogram("q.latency")->Observe(1.0);
+
+  // Snapshot, run "one query", delta: only that query's traffic shows.
+  const MetricsSnapshot before = registry.Snapshot();
+  registry.counter("q.batches")->Add(7);
+  registry.counter("q.new")->Add(2);
+  registry.gauge("q.depth")->Set(9);
+  registry.histogram("q.latency")->Observe(3.0);
+  registry.histogram("q.latency")->Observe(5.0);
+  const MetricsSnapshot after = registry.Snapshot();
+
+  const MetricsSnapshot delta = MetricsDelta(before, after);
+  EXPECT_EQ(delta.counters.at("q.batches"), 7u);
+  EXPECT_EQ(delta.counters.at("q.new"), 2u);
+  // Gauges are levels, not totals: the delta reports the current level.
+  EXPECT_EQ(delta.gauges.at("q.depth"), 9);
+  EXPECT_EQ(delta.histograms.at("q.latency").count, 2);
+  EXPECT_DOUBLE_EQ(delta.histograms.at("q.latency").sum, 8.0);
+
+  // A second identical "query" yields an identical delta — the registry's
+  // cumulative growth never leaks into per-query accounting.
+  const MetricsSnapshot before2 = registry.Snapshot();
+  registry.counter("q.batches")->Add(7);
+  registry.counter("q.new")->Add(2);
+  registry.gauge("q.depth")->Set(9);
+  registry.histogram("q.latency")->Observe(3.0);
+  registry.histogram("q.latency")->Observe(5.0);
+  const MetricsSnapshot delta2 = MetricsDelta(before2, registry.Snapshot());
+  EXPECT_EQ(delta2.counters, delta.counters);
+  EXPECT_EQ(delta2.gauges, delta.gauges);
+  EXPECT_EQ(delta2.histograms.at("q.latency").count,
+            delta.histograms.at("q.latency").count);
+  EXPECT_DOUBLE_EQ(delta2.histograms.at("q.latency").sum,
+                   delta.histograms.at("q.latency").sum);
+}
+
 TEST(MetricsTest, CounterAndGauge) {
   MetricsRegistry registry;
   Counter* counter = registry.counter("batches");

@@ -26,6 +26,9 @@ const char* FixtureNameClean(FrameType type) {
     case FrameType::kShutdown:
     case FrameType::kPing:
     case FrameType::kPong:
+    case FrameType::kSubmit:
+    case FrameType::kQueryResult:
+    case FrameType::kIdle:
       break;
   }
   // A mention of steady_clock::now() in a comment, and of new/malloc,

@@ -1,0 +1,155 @@
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "plan/wisconsin_query.h"
+#include "serve/plan_cache.h"
+#include "strategy/strategy.h"
+#include "xra/text.h"
+
+namespace mjoin {
+namespace {
+
+// The plan cache's contract: the 64-bit key is only a locator — every hit
+// re-validates the full plan text, so colliding texts can never alias each
+// other's plans; collisions are counted, LRU bounds residency, capacity 0
+// disables caching.
+
+std::string PlanText(uint32_t procs) {
+  auto query = MakeWisconsinChainQuery(QueryShape::kLeftLinear, 3, 100);
+  EXPECT_TRUE(query.ok());
+  auto plan =
+      MakeStrategy(StrategyKind::kFP)->Parallelize(*query, procs,
+                                                   TotalCostModel());
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return SerializePlan(*plan);
+}
+
+TEST(PlanCacheTest, MissThenHitThenEviction) {
+  PlanCache cache(/*capacity=*/2);
+  const std::string a = PlanText(2);
+  const std::string b = PlanText(4);
+  const std::string c = PlanText(6);
+
+  bool hit = true;
+  auto first = cache.Lookup(a, &hit);
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(hit);
+  EXPECT_EQ((*first)->num_processors, 2u);
+
+  ASSERT_TRUE(cache.Lookup(b, &hit).ok());
+  EXPECT_FALSE(hit);
+
+  // Refresh a (now MRU), then insert c: the LRU entry — b — is evicted.
+  auto again = cache.Lookup(a, &hit);
+  ASSERT_TRUE(again.ok());
+  EXPECT_TRUE(hit);
+  // A hit returns the resident object, not a reparse.
+  EXPECT_EQ(first->get(), again->get());
+  ASSERT_TRUE(cache.Lookup(c, &hit).ok());
+  EXPECT_EQ(cache.size(), 2u);
+
+  ASSERT_TRUE(cache.Lookup(a, &hit).ok());
+  EXPECT_TRUE(hit) << "the refreshed entry was evicted instead of the LRU";
+  ASSERT_TRUE(cache.Lookup(b, &hit).ok());
+  EXPECT_FALSE(hit) << "the LRU entry survived past capacity";
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_GE(stats.evictions, 2u);
+  EXPECT_EQ(stats.collisions, 0u);
+}
+
+TEST(PlanCacheTest, SeededCollisionNeverAliasesPlans) {
+  // Force every text onto one 64-bit key: the hash says "same plan", the
+  // mandatory full-text compare says otherwise. The cache must never hand
+  // query B plan A.
+  PlanCache cache(/*capacity=*/8, [](const std::string&) { return 42ull; });
+  const std::string a = PlanText(2);
+  const std::string b = PlanText(6);
+
+  bool hit = true;
+  auto plan_a = cache.Lookup(a, &hit);
+  ASSERT_TRUE(plan_a.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ((*plan_a)->num_processors, 2u);
+
+  // B collides with resident A: served as a miss with B's own plan.
+  auto plan_b = cache.Lookup(b, &hit);
+  ASSERT_TRUE(plan_b.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ((*plan_b)->num_processors, 6u) << "cross-query plan reuse!";
+  EXPECT_NE(plan_a->get(), plan_b->get());
+
+  // A still hits (first-come keeps the slot); B keeps colliding, and
+  // every B lookup still yields B's plan.
+  auto again_a = cache.Lookup(a, &hit);
+  ASSERT_TRUE(again_a.ok());
+  EXPECT_TRUE(hit);
+  EXPECT_EQ(again_a->get(), plan_a->get());
+  auto again_b = cache.Lookup(b, &hit);
+  ASSERT_TRUE(again_b.ok());
+  EXPECT_FALSE(hit);
+  EXPECT_EQ((*again_b)->num_processors, 6u);
+
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.collisions, 2u);
+  EXPECT_EQ(cache.size(), 1u) << "collisions must not insert";
+}
+
+TEST(PlanCacheTest, CapacityZeroDisablesCaching) {
+  PlanCache cache(/*capacity=*/0);
+  const std::string a = PlanText(2);
+  bool hit = true;
+  for (int i = 0; i < 3; ++i) {
+    auto plan = cache.Lookup(a, &hit);
+    ASSERT_TRUE(plan.ok());
+    EXPECT_FALSE(hit);
+    EXPECT_EQ((*plan)->num_processors, 2u);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().misses, 3u);
+}
+
+TEST(PlanCacheTest, ParseErrorsAreNeverCached) {
+  PlanCache cache(/*capacity=*/4);
+  bool hit = true;
+  for (int i = 0; i < 2; ++i) {
+    auto plan = cache.Lookup("not a plan", &hit);
+    EXPECT_FALSE(plan.ok());
+    EXPECT_FALSE(hit);
+  }
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PlanCacheTest, ConcurrentLookupsAreCoherent) {
+  PlanCache cache(/*capacity=*/4);
+  const std::string a = PlanText(2);
+  const std::string b = PlanText(4);
+  std::vector<std::thread> threads;
+  std::atomic<int> wrong{0};
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const bool use_a = (t + i) % 2 == 0;
+        auto plan = cache.Lookup(use_a ? a : b);
+        if (!plan.ok() ||
+            (*plan)->num_processors != (use_a ? 2u : 4u)) {
+          ++wrong;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  const PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses, 200u);
+  EXPECT_EQ(stats.collisions, 0u);
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -56,6 +56,13 @@ cmake --build build-ci --target net_throughput -j "$(nproc)"
 ./build-ci/bench/net_throughput --smoke --out=build-ci/BENCH_net_smoke.json
 echo "archived build-ci/BENCH_net_smoke.json"
 
+echo "== ci: serve smoke bench =="
+# Also the warm-fleet latency guard: --smoke fails if the warm process
+# path stops beating fork-per-query at p50.
+cmake --build build-ci --target serve_throughput -j "$(nproc)"
+./build-ci/bench/serve_throughput --smoke --out=build-ci/BENCH_serve_smoke.json
+echo "archived build-ci/BENCH_serve_smoke.json"
+
 echo "== ci: process-backend chaos sweep =="
 # The full default sweep (MJOIN_CHAOS_ITERS=10, 200 seeded schedules)
 # already ran inside the ctest stage above; this stage re-runs a bounded
@@ -73,12 +80,13 @@ echo "== ci: thread sanitizer =="
 # itself under TSan; the chaos sweep covers the cross-process plane.
 MJOIN_CHAOS_ITERS=2 tools/run_sanitized_tests.sh thread \
   thread_metrics_test shm_ring_test process_backend_fault_test \
-  process_chaos_test
+  process_chaos_test serve_test warm_fleet_test plan_cache_test
 
 echo "== ci: address sanitizer =="
 MJOIN_CHAOS_ITERS=2 tools/run_sanitized_tests.sh address \
   thread_metrics_test net_wire_test shm_ring_test \
-  process_backend_fault_test process_chaos_test
+  process_backend_fault_test process_chaos_test serve_test \
+  warm_fleet_test plan_cache_test
 
 echo "== ci: undefined-behavior sanitizer =="
 # Full suite; the chaos sweep stays bounded so the UBSan pass does not
