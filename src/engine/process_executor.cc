@@ -16,6 +16,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -32,6 +33,7 @@
 #include "net/channel.h"
 #include "net/net_fault.h"
 #include "net/shm_ring.h"
+#include "skew/defense.h"
 #include "storage/partitioner.h"
 #include "xra/text.h"
 
@@ -263,6 +265,21 @@ class Coordinator {
   std::vector<std::chrono::steady_clock::time_point> last_heard_;
   std::vector<uint64_t> bytes_seen_;
 
+  /// One defended join's in-flight report collection. `seen` rejects a
+  /// duplicate instance report before it can trip the merger's internal
+  /// invariants (the coordinator must never crash on worker bytes).
+  struct SkewExchange {
+    SkewExchange(int op, uint32_t num_instances,
+                 const SkewDefenseOptions& options)
+        : merger(op, num_instances, options), seen(num_instances, false) {}
+    SkewReportMerger merger;
+    std::vector<bool> seen;
+  };
+  std::unordered_map<int, std::unique_ptr<SkewExchange>> skew_exchanges_;
+  /// Bloom size every report must carry (filters are OR-merged, so a
+  /// divergent size is corrupt wire, not a tuning choice).
+  uint32_t skew_bloom_bits_ = 0;
+
   // Finish-phase accumulators.
   SummaryMsg summary_;
   std::optional<Relation> materialized_;
@@ -403,6 +420,9 @@ Status Coordinator::ShipPlans() {
     env.use_shm_data_plane = plane_ != nullptr;
     env.shm_ring_bytes = plane_ != nullptr ? plane_->ring_bytes() : 0;
     env.persistent = fleet_ != nullptr;
+    // Shipped in full so the worker derives the same defended-join set
+    // and thresholds the coordinator sized its mergers from.
+    env.skew_defense = exec_.skew_defense;
     std::vector<std::byte> payload;
     EncodePlanEnvelope(env, &payload);
     workers_[w].chan->QueueFrame(FrameType::kPlan, payload);
@@ -930,6 +950,47 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       if (fleet_ == nullptr) break;
       worker.idle_received = true;
       return;
+    case FrameType::kSkewReport: {
+      WireReader reader(frame.payload);
+      SkewJoinReport report;
+      Status decoded = DecodeSkewReport(&reader, &report);
+      if (!decoded.ok()) {
+        AbortCorruptWire(w, decoded.message());
+        return;
+      }
+      auto it = skew_exchanges_.find(report.op);
+      // Everything the merger would CHECK is validated here first: a
+      // report for an undefended op, an out-of-range or duplicate
+      // instance, or a bloom sized unlike the one the plan shipped is
+      // corrupt wire, and corrupt wire aborts instead of crashing.
+      if (it == skew_exchanges_.end() ||
+          report.instance >= plan_.ops[static_cast<size_t>(report.op)]
+                                 .processors.size() ||
+          it->second->seen[report.instance] ||
+          (report.bloom.built() &&
+           report.bloom.num_bits() != skew_bloom_bits_)) {
+        AbortCorruptWire(w, "bad skew-report frame");
+        return;
+      }
+      SkewExchange& exchange = *it->second;
+      exchange.seen[report.instance] = true;
+      exchange.merger.Add(std::move(report));
+      if (exchange.merger.complete()) {
+        // The last report arrives before the last kBuildDone milestone on
+        // the same socket, so this broadcast is queued ahead of every
+        // probe trigger — but correctness never depends on that: workers
+        // defer the join's build InputDone until the directive lands.
+        SkewDirective directive = exchange.merger.Finish();
+        std::vector<std::byte> payload;
+        EncodeSkewDirective(directive, &payload);
+        for (WorkerProc& each : workers_) {
+          if (!each.closed) {
+            each.chan->QueueFrame(FrameType::kSkewDirective, payload);
+          }
+        }
+      }
+      return;
+    }
     // Coordinator-to-worker frame types; the coordinator never receives
     // them. The switch lists every FrameType so -Wswitch flags new wire
     // frames that are silently unrouted here.
@@ -939,6 +1000,7 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
     case FrameType::kFinish:
     case FrameType::kShutdown:
     case FrameType::kPing:
+    case FrameType::kSkewDirective:
     // Serve-layer frame types; they never appear on a worker socket.
     case FrameType::kSubmit:
     case FrameType::kQueryResult:
@@ -1230,13 +1292,29 @@ void PublishProcessMetrics(const ThreadExecStats& stats,
   registry->histogram("process.wall_seconds")->Observe(wall_seconds);
   Histogram* batch_hist = registry->histogram("process.batch_seconds");
   uint64_t rows_out = 0;
+  uint64_t hot_keys = 0;
+  uint64_t replicated = 0;
+  uint64_t repartitioned = 0;
+  uint64_t bloom_filtered = 0;
+  double bloom_fp_rate = 0;
   for (const ThreadOpStats& per_op : stats.per_op) {
     for (double sample : per_op.metrics.batch_seconds.values()) {
       batch_hist->Observe(sample);
     }
     rows_out += per_op.metrics.rows_out;
+    hot_keys += per_op.metrics.skew_hot_keys;
+    replicated += per_op.metrics.skew_replicated_rows;
+    repartitioned += per_op.metrics.skew_repartitioned_rows;
+    bloom_filtered += per_op.metrics.skew_bloom_filtered_rows;
+    bloom_fp_rate =
+        std::max(bloom_fp_rate, per_op.metrics.skew_bloom_fp_rate);
   }
   registry->counter("process.rows_emitted")->Add(rows_out);
+  registry->counter("skew.hot_keys_detected")->Add(hot_keys);
+  registry->counter("skew.replicated_rows")->Add(replicated);
+  registry->counter("skew.repartitioned_rows")->Add(repartitioned);
+  registry->counter("skew.bloom_filtered_rows")->Add(bloom_filtered);
+  registry->histogram("skew.bloom_fp_rate")->Observe(bloom_fp_rate);
 
   registry->counter("net.bytes_sent")->Add(net.bytes_sent);
   registry->counter("net.bytes_received")->Add(net.bytes_received);
@@ -1297,6 +1375,15 @@ StatusOr<ProcessQueryResult> Coordinator::Run(ThreadExecStats* stats_out,
         materialized_.emplace(*o.output_schema);
         result_schema_ = o.output_schema;
       }
+    }
+  }
+  if (exec_.skew_defense.enabled()) {
+    skew_bloom_bits_ = BloomFilter(exec_.skew_defense.bloom_bits).num_bits();
+    for (int id : DefendedJoinOps(plan_)) {
+      auto n = static_cast<uint32_t>(
+          plan_.ops[static_cast<size_t>(id)].processors.size());
+      skew_exchanges_.emplace(
+          id, std::make_unique<SkewExchange>(id, n, exec_.skew_defense));
     }
   }
 

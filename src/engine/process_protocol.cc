@@ -1,6 +1,7 @@
 #include "engine/process_protocol.h"
 
 #include <algorithm>
+#include <cstring>
 #include <unordered_set>
 
 #include "common/string_util.h"
@@ -37,6 +38,13 @@ void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out) {
   PutBool(out, env.use_shm_data_plane);
   PutU32(out, env.shm_ring_bytes);
   PutBool(out, env.persistent);
+  PutU8(out, static_cast<uint8_t>(env.skew_defense.mode));
+  PutU32(out, env.skew_defense.bloom_bits);
+  PutU32(out, env.skew_defense.sketch_capacity);
+  PutF64(out, env.skew_defense.hot_fraction);
+  PutU64(out, env.skew_defense.min_hot_count);
+  PutF64(out, env.skew_defense.auto_imbalance_threshold);
+  PutU64(out, env.skew_defense.max_hot_row_bytes);
 }
 
 Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env) {
@@ -56,6 +64,23 @@ Status DecodePlanEnvelope(WireReader* reader, PlanEnvelope* env) {
   MJOIN_RETURN_IF_ERROR(ReadBool(reader, &env->use_shm_data_plane));
   MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->shm_ring_bytes));
   MJOIN_RETURN_IF_ERROR(ReadBool(reader, &env->persistent));
+  uint8_t mode;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU8(&mode));
+  if (mode > static_cast<uint8_t>(SkewDefenseMode::kAuto)) {
+    return Status::InvalidArgument(
+        StrCat("unknown skew defense mode code ", mode));
+  }
+  env->skew_defense.mode = static_cast<SkewDefenseMode>(mode);
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->skew_defense.bloom_bits));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&env->skew_defense.sketch_capacity));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&env->skew_defense.hot_fraction));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&env->skew_defense.min_hot_count));
+  MJOIN_RETURN_IF_ERROR(
+      reader->ReadF64(&env->skew_defense.auto_imbalance_threshold));
+  uint64_t max_hot_row_bytes;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&max_hot_row_bytes));
+  env->skew_defense.max_hot_row_bytes =
+      static_cast<size_t>(max_hot_row_bytes);
   return Status::OK();
 }
 
@@ -165,6 +190,12 @@ void EncodeOpStats(const OpStatsMsg& msg, std::vector<std::byte>* out) {
   PutU64(out, m.hash_table_rows);
   PutU64(out, m.hash_collisions);
   PutU64(out, m.peak_memory_bytes);
+  PutU64(out, m.skew_hot_keys);
+  PutU64(out, m.skew_replicated_rows);
+  PutU64(out, m.skew_repartitioned_rows);
+  PutU64(out, m.skew_bloom_filtered_rows);
+  PutF64(out, m.skew_bloom_build_seconds);
+  PutF64(out, m.skew_bloom_fp_rate);
   const std::vector<double>& samples = m.batch_seconds.values();
   PutU32(out, static_cast<uint32_t>(samples.size()));
   for (double sample : samples) PutF64(out, sample);
@@ -190,6 +221,12 @@ Status DecodeOpStats(WireReader* reader, OpStatsMsg* msg) {
   uint64_t peak;
   MJOIN_RETURN_IF_ERROR(reader->ReadU64(&peak));
   m.peak_memory_bytes = static_cast<size_t>(peak);
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&m.skew_hot_keys));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&m.skew_replicated_rows));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&m.skew_repartitioned_rows));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&m.skew_bloom_filtered_rows));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&m.skew_bloom_build_seconds));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&m.skew_bloom_fp_rate));
   uint32_t num_samples;
   MJOIN_RETURN_IF_ERROR(reader->ReadU32(&num_samples));
   if (static_cast<size_t>(num_samples) * 8 > reader->remaining()) {
@@ -202,6 +239,153 @@ Status DecodeOpStats(WireReader* reader, OpStatsMsg* msg) {
     MJOIN_RETURN_IF_ERROR(reader->ReadF64(&sample));
     m.batch_seconds.Add(sample);
   }
+  return Status::OK();
+}
+
+namespace {
+
+/// Raw length-prefixed byte blobs (candidate rows, Bloom bits). The
+/// u32 length is bounds-checked against the payload before any copy, so a
+/// corrupted count cannot drive a huge allocation past the frame.
+void PutBlob(std::vector<std::byte>* out, const std::byte* data,
+             size_t size) {
+  PutU32(out, static_cast<uint32_t>(size));
+  out->insert(out->end(), data, data + size);
+}
+
+Status ReadBlob(WireReader* reader, std::vector<std::byte>* blob,
+                const char* what) {
+  uint32_t size;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&size));
+  if (size > reader->remaining()) {
+    return Status::OutOfRange(StrCat(what, " claims ", size,
+                                     " bytes but only ", reader->remaining(),
+                                     " remain"));
+  }
+  const std::byte* data;
+  MJOIN_RETURN_IF_ERROR(reader->ReadBytes(size, &data));
+  blob->assign(data, data + size);
+  return Status::OK();
+}
+
+void PutBloom(std::vector<std::byte>* out, const BloomFilter& bloom) {
+  const std::vector<uint8_t>& bytes = bloom.bytes();
+  PutBlob(out, reinterpret_cast<const std::byte*>(bytes.data()),
+          bytes.size());
+}
+
+Status ReadBloom(WireReader* reader, BloomFilter* bloom) {
+  std::vector<std::byte> blob;
+  MJOIN_RETURN_IF_ERROR(ReadBlob(reader, &blob, "bloom filter"));
+  const size_t size = blob.size();
+  if (size != 0 && (size < 8 || (size & (size - 1)) != 0)) {
+    return Status::InvalidArgument(
+        StrCat("bloom filter payload of ", size, " bytes is not a power of",
+               " two"));
+  }
+  std::vector<uint8_t> bytes(size);
+  if (size != 0) std::memcpy(bytes.data(), blob.data(), size);
+  *bloom = BloomFilter::FromBytes(std::move(bytes));
+  return Status::OK();
+}
+
+}  // namespace
+
+void EncodeSkewReport(const SkewJoinReport& report,
+                      std::vector<std::byte>* out) {
+  PutI32(out, report.op);
+  PutU32(out, report.instance);
+  PutU64(out, report.build_rows);
+  PutU32(out, report.tuple_size);
+  PutU32(out, static_cast<uint32_t>(report.candidates.size()));
+  for (const SkewCandidate& candidate : report.candidates) {
+    PutI32(out, candidate.key);
+    PutU64(out, candidate.count);
+    PutBool(out, candidate.rows_included);
+    PutBlob(out, candidate.rows.data(), candidate.rows.size());
+  }
+  PutBloom(out, report.bloom);
+}
+
+Status DecodeSkewReport(WireReader* reader, SkewJoinReport* report) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadI32(&report->op));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&report->instance));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&report->build_rows));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&report->tuple_size));
+  uint32_t num_candidates;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&num_candidates));
+  constexpr size_t kCandidateMinBytes = 4 + 8 + 1 + 4;
+  if (static_cast<size_t>(num_candidates) * kCandidateMinBytes >
+      reader->remaining()) {
+    return Status::OutOfRange(
+        StrCat("skew report claims ", num_candidates,
+               " candidates but only ", reader->remaining(),
+               " bytes remain"));
+  }
+  report->candidates.clear();
+  report->candidates.reserve(num_candidates);
+  for (uint32_t i = 0; i < num_candidates; ++i) {
+    SkewCandidate candidate;
+    MJOIN_RETURN_IF_ERROR(reader->ReadI32(&candidate.key));
+    MJOIN_RETURN_IF_ERROR(reader->ReadU64(&candidate.count));
+    MJOIN_RETURN_IF_ERROR(ReadBool(reader, &candidate.rows_included));
+    MJOIN_RETURN_IF_ERROR(
+        ReadBlob(reader, &candidate.rows, "skew candidate rows"));
+    if (report->tuple_size != 0 &&
+        candidate.rows.size() % report->tuple_size != 0) {
+      return Status::InvalidArgument(
+          StrCat("skew candidate carries ", candidate.rows.size(),
+                 " row bytes, not a multiple of tuple size ",
+                 report->tuple_size));
+    }
+    report->candidates.push_back(std::move(candidate));
+  }
+  return ReadBloom(reader, &report->bloom);
+}
+
+void EncodeSkewDirective(const SkewDirective& directive,
+                         std::vector<std::byte>* out) {
+  PutI32(out, directive.op);
+  PutBool(out, directive.repartition);
+  PutU32(out, static_cast<uint32_t>(directive.hot_keys.size()));
+  for (int32_t key : directive.hot_keys) PutI32(out, key);
+  PutU32(out, directive.tuple_size);
+  PutBlob(out, directive.hot_rows.data(), directive.hot_rows.size());
+  PutBloom(out, directive.bloom);
+  PutU64(out, directive.total_build_rows);
+  PutF64(out, directive.imbalance);
+}
+
+Status DecodeSkewDirective(WireReader* reader, SkewDirective* directive) {
+  MJOIN_RETURN_IF_ERROR(reader->ReadI32(&directive->op));
+  MJOIN_RETURN_IF_ERROR(ReadBool(reader, &directive->repartition));
+  uint32_t num_keys;
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&num_keys));
+  if (static_cast<size_t>(num_keys) * 4 > reader->remaining()) {
+    return Status::OutOfRange(
+        StrCat("skew directive claims ", num_keys, " hot keys but only ",
+               reader->remaining(), " bytes remain"));
+  }
+  directive->hot_keys.clear();
+  directive->hot_keys.reserve(num_keys);
+  for (uint32_t i = 0; i < num_keys; ++i) {
+    int32_t key;
+    MJOIN_RETURN_IF_ERROR(reader->ReadI32(&key));
+    directive->hot_keys.push_back(key);
+  }
+  MJOIN_RETURN_IF_ERROR(reader->ReadU32(&directive->tuple_size));
+  MJOIN_RETURN_IF_ERROR(
+      ReadBlob(reader, &directive->hot_rows, "skew directive rows"));
+  if (directive->tuple_size != 0 &&
+      directive->hot_rows.size() % directive->tuple_size != 0) {
+    return Status::InvalidArgument(
+        StrCat("skew directive carries ", directive->hot_rows.size(),
+               " row bytes, not a multiple of tuple size ",
+               directive->tuple_size));
+  }
+  MJOIN_RETURN_IF_ERROR(ReadBloom(reader, &directive->bloom));
+  MJOIN_RETURN_IF_ERROR(reader->ReadU64(&directive->total_build_rows));
+  MJOIN_RETURN_IF_ERROR(reader->ReadF64(&directive->imbalance));
   return Status::OK();
 }
 

@@ -11,6 +11,7 @@
 #include "exec/operator.h"
 #include "net/shm_ring.h"
 #include "net/wire.h"
+#include "skew/defense.h"
 #include "xra/plan.h"
 
 namespace mjoin {
@@ -59,6 +60,10 @@ struct PlanEnvelope {
   /// exits the worker. Off (the default) keeps the one-shot lifecycle:
   /// kShutdown exits immediately.
   bool persistent = false;
+  /// Skew defense configuration. Shipped in full so the worker derives the
+  /// same defended-join set (DefendedJoinOps + enabled()) and the same
+  /// local hot thresholds the coordinator's merger assumes.
+  SkewDefenseOptions skew_defense;
 };
 
 void EncodePlanEnvelope(const PlanEnvelope& env, std::vector<std::byte>* out);
@@ -139,6 +144,21 @@ struct OpStatsMsg {
 
 void EncodeOpStats(const OpStatsMsg& msg, std::vector<std::byte>* out);
 [[nodiscard]] Status DecodeOpStats(WireReader* reader, OpStatsMsg* msg);
+
+/// kSkewReport: one defended join instance's build-side summary
+/// (skew/defense.h). Candidate build rows travel inline in the frame —
+/// never over the shm rings — so the report can overtake no data record
+/// it logically follows.
+void EncodeSkewReport(const SkewJoinReport& report,
+                      std::vector<std::byte>* out);
+[[nodiscard]] Status DecodeSkewReport(WireReader* reader,
+                                      SkewJoinReport* report);
+
+/// kSkewDirective: the merged plan of action for one defended join.
+void EncodeSkewDirective(const SkewDirective& directive,
+                         std::vector<std::byte>* out);
+[[nodiscard]] Status DecodeSkewDirective(WireReader* reader,
+                                         SkewDirective* directive);
 
 /// kNetStats: one worker's run-level counters.
 struct WorkerRunStats {

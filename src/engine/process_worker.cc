@@ -31,6 +31,7 @@
 #include "exec/sort_merge_join.h"
 #include "net/channel.h"
 #include "net/shm_ring.h"
+#include "skew/defense.h"
 #include "xra/text.h"
 
 namespace mjoin {
@@ -89,6 +90,8 @@ double* PhaseBucket(OpMetrics* m, ThreadWorkType type) {
       return &m->scan_seconds;
     case ThreadWorkType::kEmit:
       return &m->emit_seconds;
+    case ThreadWorkType::kBloomBuild:
+      return &m->skew_bloom_build_seconds;
     case ThreadWorkType::kSerialize:
     case ThreadWorkType::kDeserialize:
     default:
@@ -144,6 +147,9 @@ class WorkerInstance : public OpContext, public EmitSink {
   /// Wire schema id of out_pending's layout (only used on remote sends).
   uint32_t out_schema_id = 0;
   std::deque<std::function<void()>> pre_start;
+  /// Installed on probe-edge producers when a skew directive arrives;
+  /// owned here so it outlives every writer use.
+  std::unique_ptr<EmitDefense> skew_hook;
 
   CostParams cost_params_;
 };
@@ -232,6 +238,14 @@ class WorkerRun {
   void PumpSources();
   void OnBatch(WorkerInstance* inst, int port, const TupleBatch& batch);
   void OnEos(WorkerInstance* inst, int port);
+  /// Defended joins defer InputDone(build): the last build EOS produces a
+  /// kSkewReport (candidate rows inline in the frame) and the kBuildDone
+  /// milestone, and the deferred InputDone runs when the coordinator's
+  /// kSkewDirective comes back. Probe rows arriving in between buffer
+  /// inside the join, so the deferral absorbs every ordering race.
+  void HandleDefendedBuildEos(WorkerInstance* inst);
+  Status HandleSkewDirective(const Frame& frame);
+  void ApplyDirectiveTo(WorkerInstance* inst, const SkewDirective& directive);
   void AfterCallback(WorkerInstance* inst);
   void FinishInstance(WorkerInstance* inst);
   void SendEosTo(int producer_op, int consumer_op, uint32_t dest, int port);
@@ -279,6 +293,10 @@ class WorkerRun {
   std::vector<std::vector<Relation>> stored_;
   std::vector<std::vector<Relation>> scan_fragments_;
   std::deque<WorkerInstance*> pump_queue_;
+  /// Per-op: this join defers its build milestone behind a skew report.
+  /// Derived from the shipped SkewDefenseOptions and the parsed plan, so
+  /// it always matches the coordinator's defended set.
+  std::vector<bool> defended_;
 
   Status run_status_;
   bool observe_ = false;
@@ -333,6 +351,12 @@ void WorkerInstance::ReportError(const Status& status) {
 
 Status WorkerRun::Setup() {
   observe_ = env_.collect_metrics || env_.record_trace;
+  defended_.assign(plan_.ops.size(), false);
+  if (env_.skew_defense.enabled()) {
+    for (int id : DefendedJoinOps(plan_)) {
+      defended_[static_cast<size_t>(id)] = true;
+    }
+  }
   op_ring_ok_.assign(plan_.ops.size(), false);
   if (plane_ != nullptr) {
     shm_max_payload_ =
@@ -726,10 +750,94 @@ void WorkerRun::OnEos(WorkerInstance* inst, int port) {
   if (aborted()) return;
   MJOIN_CHECK(inst->eos_remaining[port] > 0);
   if (--inst->eos_remaining[port] == 0) {
+    if (port == SimpleHashJoinOp::kBuildPort &&
+        defended_[static_cast<size_t>(inst->op_id_)]) {
+      HandleDefendedBuildEos(inst);
+      return;
+    }
     ThreadWorkType type = InputDoneWorkType(op(inst->op_id_).kind, port);
     Observed(inst, type,
              [inst, port] { inst->oper->InputDone(port, inst); });
   }
+  AfterCallback(inst);
+}
+
+void WorkerRun::HandleDefendedBuildEos(WorkerInstance* inst) {
+  auto* join = static_cast<SimpleHashJoinOp*>(inst->oper.get());
+  SkewJoinReport report;
+  Observed(inst, ThreadWorkType::kBloomBuild, [this, inst, join, &report] {
+    report = BuildSkewReport(
+        join->table(), inst->op_id_, inst->index_,
+        static_cast<uint32_t>(op(inst->op_id_).processors.size()),
+        env_.skew_defense);
+  });
+  std::vector<std::byte> payload;
+  EncodeSkewReport(report, &payload);
+  // Report before milestone, on the same FIFO socket: by the time the
+  // coordinator's scheduler can act on this build being done, it already
+  // holds the report.
+  chan_->QueueFrame(FrameType::kSkewReport, payload);
+  inst->build_done_reported = true;
+  QueueMilestone(inst->op_id_, inst->index_, Milestone::kBuildDone);
+}
+
+Status WorkerRun::HandleSkewDirective(const Frame& frame) {
+  WireReader reader(frame.payload);
+  SkewDirective directive;
+  MJOIN_RETURN_IF_ERROR(DecodeSkewDirective(&reader, &directive));
+  if (directive.op < 0 ||
+      static_cast<size_t>(directive.op) >= plan_.ops.size() ||
+      !defended_[static_cast<size_t>(directive.op)]) {
+    return Status::InvalidArgument(
+        StrCat("skew directive for undefended op ", directive.op));
+  }
+  const XraOp& o = op(directive.op);
+  // Producers first: once the deferred InputDone below releases the
+  // probe, every row this worker emits afterwards is already defended.
+  const int producer_id = o.inputs[SimpleHashJoinOp::kProbePort].producer;
+  if (producer_id >= 0) {
+    for (auto& p : instances_[static_cast<size_t>(producer_id)]) {
+      // A producer that already finished emitted its rows undefended —
+      // correct (hot rows at their owner still match), just unsprayed.
+      if (p == nullptr || p->complete) continue;
+      p->skew_hook = std::make_unique<SkewEmitDefense>(directive);
+      p->writer.SetDefense(p->skew_hook.get());
+      if (p->observe_metrics) {
+        double fp = directive.bloom.EstimateFpRate();
+        if (fp > p->op_metrics.skew_bloom_fp_rate) {
+          p->op_metrics.skew_bloom_fp_rate = fp;
+        }
+      }
+    }
+  }
+  for (auto& j : instances_[static_cast<size_t>(directive.op)]) {
+    if (j == nullptr) continue;
+    ApplyDirectiveTo(j.get(), directive);
+    if (aborted()) return run_status_;
+  }
+  return Status::OK();
+}
+
+void WorkerRun::ApplyDirectiveTo(WorkerInstance* inst,
+                                 const SkewDirective& directive) {
+  if (aborted()) return;
+  auto* join = static_cast<SimpleHashJoinOp*>(inst->oper.get());
+  uint64_t inserted = ApplySkewDirective(directive, join->mutable_table());
+  join->NoteTableGrowth();
+  if (inst->observe_metrics) {
+    inst->op_metrics.skew_replicated_rows += inserted;
+    // Hot-key count is a per-join fact, not per-instance: record it once,
+    // on instance 0, so the cross-worker merge does not multiply it.
+    if (inst->index_ == 0) {
+      inst->op_metrics.skew_hot_keys += directive.hot_keys.size();
+    }
+  }
+  Observed(inst,
+           InputDoneWorkType(XraOpKind::kSimpleHashJoin,
+                             SimpleHashJoinOp::kBuildPort),
+           [inst] {
+             inst->oper->InputDone(SimpleHashJoinOp::kBuildPort, inst);
+           });
   AfterCallback(inst);
 }
 
@@ -1153,6 +1261,9 @@ Status WorkerRun::SendFinishReports() {
         ++msg.instances;
         msg.metrics.MergeFrom(inst->op_metrics);
         msg.metrics.rows_out += inst->writer.rows_committed();
+        msg.metrics.skew_bloom_filtered_rows += inst->writer.rows_dropped();
+        msg.metrics.skew_repartitioned_rows +=
+            inst->writer.rows_repartitioned();
         inst->oper->CollectMetrics(&msg.metrics);
         msg.metrics.peak_memory_bytes += inst->oper->peak_memory_bytes();
       }
@@ -1196,6 +1307,8 @@ Status WorkerRun::HandleFrame(const Frame& frame) {
       return HandleData(frame);
     case FrameType::kEos:
       return HandleEos(frame);
+    case FrameType::kSkewDirective:
+      return HandleSkewDirective(frame);
     case FrameType::kFinish:
       return SendFinishReports();
     case FrameType::kPing: {
@@ -1228,6 +1341,7 @@ Status WorkerRun::HandleFrame(const Frame& frame) {
     case FrameType::kBye:
     case FrameType::kPong:
     case FrameType::kIdle:
+    case FrameType::kSkewReport:
     // Serve-layer frame types; they never reach a worker socket.
     case FrameType::kSubmit:
     case FrameType::kQueryResult:

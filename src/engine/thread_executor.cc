@@ -7,6 +7,7 @@
 #include <functional>
 #include <memory>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -27,6 +28,7 @@
 #include "exec/scan.h"
 #include "exec/simple_hash_join.h"
 #include "exec/sort_merge_join.h"
+#include "skew/defense.h"
 #include "storage/partitioner.h"
 
 namespace mjoin {
@@ -84,6 +86,8 @@ double* PhaseBucket(OpMetrics* m, ThreadWorkType type) {
       return &m->scan_seconds;
     case ThreadWorkType::kEmit:
       return &m->emit_seconds;
+    case ThreadWorkType::kBloomBuild:
+      return &m->skew_bloom_build_seconds;
     default:
       return &m->other_seconds;
   }
@@ -303,6 +307,10 @@ class ThreadInstance : public OpContext, public EmitSink {
   bool writer_ready = false;
   size_t row_bytes = 0;
   std::deque<std::function<void()>> pre_start;
+  /// The skew-defense routing hook installed on this instance's writer
+  /// when a directive for its consumer join arrives (probe-edge producers
+  /// only). Owned here so it lives exactly as long as the writer uses it.
+  std::unique_ptr<EmitDefense> skew_hook;
 
   /// Only batch_size is consulted by operators in this backend.
   CostParams cost_params_;
@@ -408,6 +416,18 @@ class ThreadRun {
   void DispatchGroups(const std::vector<int>& groups);
   ThreadExecStats GatherStats() const;
 
+  /// Skew defense (see skew/defense.h). A defended join instance whose
+  /// build input finished scans its table into a report instead of
+  /// completing the build: the kBuildDone milestone fires immediately (so
+  /// dependent probe groups dispatch) but InputDone(kBuildPort) is
+  /// deferred until the merged directive comes back — probe batches,
+  /// including hot-key rows sprayed by already-defended producers, buffer
+  /// inside the operator until then.
+  void HandleDefendedBuildEos(ThreadInstance* inst);
+  void BroadcastDirective(int op_id,
+                          std::shared_ptr<const SkewDirective> directive);
+  void ApplyDirectiveAt(ThreadInstance* inst, const SkewDirective& directive);
+
   const ParallelPlan& plan_;
   const Database& db_;
   const ThreadExecOptions& options_;
@@ -431,6 +451,18 @@ class ThreadRun {
   std::vector<std::vector<std::unique_ptr<ThreadInstance>>> instances_;
   std::vector<std::vector<Relation>> stored_;
   std::vector<std::vector<Relation>> scan_fragments_;
+
+  /// Per-defended-join report merger. Instances of one join report from
+  /// different worker threads; the mutex serializes the merge (the only
+  /// cross-thread skew state — directives travel by value afterwards).
+  struct SkewExchange {
+    SkewExchange(int op, uint32_t num_instances,
+                 const SkewDefenseOptions& options)
+        : merger(op, num_instances, options) {}
+    Mutex mutex;
+    SkewReportMerger merger MJOIN_GUARDED_BY(mutex);
+  };
+  std::unordered_map<int, std::unique_ptr<SkewExchange>> skew_exchanges_;
 
   std::atomic<bool> aborted_{false};
   std::atomic<uint64_t> batches_sent_{0};
@@ -492,6 +524,15 @@ Status ThreadRun::Prepare() {
   for (const BatchPool* pool : pools_) {
     pool_base_allocated_ += pool->allocated();
     pool_base_reused_ += pool->reused();
+  }
+
+  if (options_.skew_defense.enabled()) {
+    for (int id : DefendedJoinOps(plan_)) {
+      skew_exchanges_.emplace(
+          id, std::make_unique<SkewExchange>(
+                  id, static_cast<uint32_t>(op(id).processors.size()),
+                  options_.skew_defense));
+    }
   }
 
   for (const XraOp& o : plan_.ops) {
@@ -831,10 +872,104 @@ void ThreadRun::OnEos(ThreadInstance* inst, int port) {
   if (!CheckRuntime()) return;
   MJOIN_CHECK(inst->eos_remaining[port] > 0);
   if (--inst->eos_remaining[port] == 0) {
+    if (port == SimpleHashJoinOp::kBuildPort &&
+        skew_exchanges_.count(inst->op_id_) != 0) {
+      // Defended join: the build table is complete but InputDone(build)
+      // waits for the merged skew directive (probe batches buffer inside
+      // the operator meanwhile).
+      HandleDefendedBuildEos(inst);
+      return;
+    }
     ThreadWorkType type = InputDoneWorkType(op(inst->op_id_).kind, port);
     Observed(inst, type,
              [inst, port] { inst->oper->InputDone(port, inst); });
   }
+  AfterCallback(inst);
+}
+
+void ThreadRun::HandleDefendedBuildEos(ThreadInstance* inst) {
+  auto* join = static_cast<SimpleHashJoinOp*>(inst->oper.get());
+  const uint32_t num_instances =
+      static_cast<uint32_t>(op(inst->op_id_).processors.size());
+  SkewJoinReport report;
+  Observed(inst, ThreadWorkType::kBloomBuild, [&] {
+    report = BuildSkewReport(join->table(), inst->op_id_, inst->index_,
+                             num_instances, options_.skew_defense);
+  });
+  SkewExchange* exchange = skew_exchanges_.at(inst->op_id_).get();
+  std::shared_ptr<const SkewDirective> directive;
+  {
+    MutexLock lock(&exchange->mutex);
+    exchange->merger.Add(std::move(report));
+    if (exchange->merger.complete()) {
+      directive =
+          std::make_shared<const SkewDirective>(exchange->merger.Finish());
+    }
+  }
+  // Broadcast before the milestone: install/apply posts enqueue ahead of
+  // any probe-group trigger the milestone may dispatch, so a probe
+  // producer's writer is defended before its first Produce() runs.
+  if (directive != nullptr) BroadcastDirective(inst->op_id_, directive);
+  // The table itself is done — report the milestone now so dependent
+  // groups overlap with the directive round-trip. AfterCallback must not
+  // re-report it once InputDone(build) eventually runs.
+  inst->build_done_reported = true;
+  ReportMilestone(inst->op_id_, inst->index_, Milestone::kBuildDone);
+}
+
+void ThreadRun::BroadcastDirective(
+    int op_id, std::shared_ptr<const SkewDirective> directive) {
+  const XraOp& o = op(op_id);
+  // Defense hooks go to every producer instance of the probe edge; each
+  // gets its own SkewEmitDefense (writers are single-threaded, the hook
+  // holds per-instance state).
+  int producer = o.inputs[SimpleHashJoinOp::kProbePort].producer;
+  const XraOp& producer_op = op(producer);
+  for (uint32_t i = 0; i < producer_op.processors.size(); ++i) {
+    ThreadInstance* p = instance(producer, i);
+    PostToInstance(p, [p, directive] {
+      if (p->complete) return;  // already flushed everything undefended
+      p->skew_hook = std::make_unique<SkewEmitDefense>(*directive);
+      p->writer.SetDefense(p->skew_hook.get());
+      if (p->observe_metrics) {
+        double fp = directive->bloom.EstimateFpRate();
+        if (fp > p->op_metrics.skew_bloom_fp_rate) {
+          p->op_metrics.skew_bloom_fp_rate = fp;
+        }
+      }
+    });
+  }
+  // Replicated hot rows + the deferred InputDone(build) go to every join
+  // instance (including the one that merged the directive).
+  for (uint32_t i = 0; i < o.processors.size(); ++i) {
+    ThreadInstance* j = instance(op_id, i);
+    PostToInstance(j, [this, j, directive] {
+      ApplyDirectiveAt(j, *directive);
+    });
+  }
+}
+
+void ThreadRun::ApplyDirectiveAt(ThreadInstance* inst,
+                                 const SkewDirective& directive) {
+  if (!CheckRuntime()) return;
+  auto* join = static_cast<SimpleHashJoinOp*>(inst->oper.get());
+  uint64_t inserted = ApplySkewDirective(directive, join->mutable_table());
+  join->NoteTableGrowth();
+  if (inst->observe_metrics) {
+    inst->op_metrics.skew_replicated_rows += inserted;
+    // Hot-key count is a per-join fact, not per-instance: record it once
+    // (instance 0) so the post-run merge does not multiply it.
+    if (inst->index_ == 0) {
+      inst->op_metrics.skew_hot_keys +=
+          static_cast<uint64_t>(directive.hot_keys.size());
+    }
+  }
+  Observed(inst,
+           InputDoneWorkType(XraOpKind::kSimpleHashJoin,
+                             SimpleHashJoinOp::kBuildPort),
+           [inst] {
+             inst->oper->InputDone(SimpleHashJoinOp::kBuildPort, inst);
+           });
   AfterCallback(inst);
 }
 
@@ -932,8 +1067,13 @@ ThreadExecStats ThreadRun::GatherStats() const {
       for (const auto& inst : list) {
         per_op.metrics.MergeFrom(inst->op_metrics);
         // Every emit path (zero-copy and fallback) runs through the
-        // writer, so its commit count is the instance's rows-out.
+        // writer, so its commit count is the instance's rows-out; the
+        // writer also carries the skew-defense drop/re-route counts
+        // (attributed to the producer that saved the wire bytes).
         per_op.metrics.rows_out += inst->writer.rows_committed();
+        per_op.metrics.skew_bloom_filtered_rows += inst->writer.rows_dropped();
+        per_op.metrics.skew_repartitioned_rows +=
+            inst->writer.rows_repartitioned();
         inst->oper->CollectMetrics(&per_op.metrics);
         per_op.metrics.peak_memory_bytes += inst->oper->peak_memory_bytes();
       }
@@ -964,13 +1104,29 @@ void PublishMetrics(const ThreadExecStats& stats, double wall_seconds,
   registry->histogram("thread.wall_seconds")->Observe(wall_seconds);
   Histogram* batch_hist = registry->histogram("thread.batch_seconds");
   uint64_t rows_out = 0;
+  uint64_t hot_keys = 0;
+  uint64_t replicated = 0;
+  uint64_t repartitioned = 0;
+  uint64_t bloom_filtered = 0;
+  double bloom_fp_rate = 0;
   for (const ThreadOpStats& per_op : stats.per_op) {
     for (double sample : per_op.metrics.batch_seconds.values()) {
       batch_hist->Observe(sample);
     }
     rows_out += per_op.metrics.rows_out;
+    hot_keys += per_op.metrics.skew_hot_keys;
+    replicated += per_op.metrics.skew_replicated_rows;
+    repartitioned += per_op.metrics.skew_repartitioned_rows;
+    bloom_filtered += per_op.metrics.skew_bloom_filtered_rows;
+    bloom_fp_rate =
+        std::max(bloom_fp_rate, per_op.metrics.skew_bloom_fp_rate);
   }
   registry->counter("thread.rows_emitted")->Add(rows_out);
+  registry->counter("skew.hot_keys_detected")->Add(hot_keys);
+  registry->counter("skew.replicated_rows")->Add(replicated);
+  registry->counter("skew.repartitioned_rows")->Add(repartitioned);
+  registry->counter("skew.bloom_filtered_rows")->Add(bloom_filtered);
+  registry->histogram("skew.bloom_fp_rate")->Observe(bloom_fp_rate);
 }
 
 StatusOr<ThreadQueryResult> ThreadRun::Run(ThreadExecStats* stats_out) {

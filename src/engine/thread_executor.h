@@ -15,6 +15,7 @@
 #include "engine/result.h"
 #include "engine/thread_trace.h"
 #include "exec/operator.h"
+#include "skew/defense.h"
 #include "xra/plan.h"
 
 namespace mjoin {
@@ -75,6 +76,11 @@ struct ThreadExecOptions {
   /// the batch-latency histogram are published here after the run; must
   /// outlive the execution.
   MetricsRegistry* metrics_registry = nullptr;
+
+  /// Skew defense (hot-key repartitioning + Bloom predicate transfer)
+  /// over the plan's defendable joins; off by default. Never changes
+  /// results, only row placement and wire volume.
+  SkewDefenseOptions skew_defense;
 };
 
 /// Merged runtime metrics of one plan operation (all its instances), with

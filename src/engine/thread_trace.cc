@@ -66,6 +66,8 @@ const char* ThreadWorkTypeName(ThreadWorkType type) {
       return "serialize";
     case ThreadWorkType::kDeserialize:
       return "deserialize";
+    case ThreadWorkType::kBloomBuild:
+      return "bloom-build";
     case ThreadWorkType::kOther:
       return "other";
   }

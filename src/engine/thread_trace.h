@@ -24,6 +24,7 @@ enum class ThreadWorkType : uint8_t {
   kBlocked,      // producer blocked on a full consumer queue
   kSerialize,    // batch -> wire-format encoding (process backend)
   kDeserialize,  // wire-format -> batch decoding (process backend)
+  kBloomBuild,   // skew defense: sketch + Bloom scan of a build table
   kOther,
 };
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <cstring>
+#include <optional>
 
 #include "common/logging.h"
 #include "exec/batch.h"
@@ -23,6 +24,27 @@ class EmitSink {
   /// intentionally keeps accumulating); the pending batch must be in a
   /// clean appendable state when this returns.
   virtual void BatchFull(uint32_t dest) = 0;
+};
+
+/// Per-row routing override consulted by a hash-splitting EmitWriter
+/// before each row is placed (the skew defense's hook): a row may pass
+/// through to its hash destination, be dropped entirely (Bloom predicate
+/// transfer proved it can match nothing), or be sprayed round-robin
+/// across all destinations (hot-key repartitioning — the consumer holds a
+/// replicated build side for such keys, so any destination is correct).
+/// Classify() runs once per emitted row on the hot path; implementations
+/// must be cheap and must not call back into the writer.
+class EmitDefense {
+ public:
+  enum class Verdict : uint8_t {
+    kPass,
+    kDrop,
+    kRepartition,
+  };
+
+  virtual ~EmitDefense() = default;
+
+  virtual Verdict Classify(int32_t split_value) = 0;
 };
 
 /// Zero-copy output channel handed to operators by hosts that support it
@@ -76,15 +98,52 @@ class EmitWriter {
   /// when routing does not depend on row contents (single destination).
   int split_column() const { return split_column_; }
 
+  /// Installs (or clears, with nullptr) the per-row routing override.
+  /// Only meaningful on hash-splitting writers; `defense` must outlive
+  /// the writer's use of it. Safe to call between rows at any time —
+  /// rows already placed keep their destination.
+  void SetDefense(EmitDefense* defense) {
+    MJOIN_CHECK(dests_ != nullptr) << "SetDefense before Configure";
+    defense_ = defense;
+    if (defense_ != nullptr && !scratch_.has_value()) {
+      scratch_.emplace(dests_[0].shared_schema());
+    }
+  }
+
   /// Starts one output row destined for wherever `split_value` routes.
+  /// With a defense installed the row may instead be redirected round-
+  /// robin, or built in discard scratch and dropped at Commit() — the
+  /// operator fills the row identically either way.
   TupleWriter Begin(int32_t split_value) {
-    dest_ = split_column_ < 0 ? fixed_dest_
-                              : FragmentOf(split_value, num_dests_);
+    if (split_column_ < 0) {
+      dest_ = fixed_dest_;
+      return dests_[dest_].AppendTuple();
+    }
+    if (defense_ != nullptr) {
+      switch (defense_->Classify(split_value)) {
+        case EmitDefense::Verdict::kPass:
+          break;
+        case EmitDefense::Verdict::kDrop:
+          ++rows_dropped_;
+          discard_ = true;
+          scratch_->Clear();
+          return scratch_->AppendTuple();
+        case EmitDefense::Verdict::kRepartition:
+          ++rows_repartitioned_;
+          dest_ = rr_next_++ % num_dests_;
+          return dests_[dest_].AppendTuple();
+      }
+    }
+    dest_ = FragmentOf(split_value, num_dests_);
     return dests_[dest_].AppendTuple();
   }
 
   /// The row started by the last Begin() is complete.
   void Commit() {
+    if (discard_) {
+      discard_ = false;
+      return;
+    }
     ++rows_committed_;
     if (dests_[dest_].byte_size() >= flush_bytes_) sink_->BatchFull(dest_);
   }
@@ -115,6 +174,12 @@ class EmitWriter {
   /// rows-out accounting (the EmitRow path counts separately).
   uint64_t rows_committed() const { return rows_committed_; }
 
+  /// Rows the installed defense dropped (Bloom predicate transfer) and
+  /// re-routed (hot-key repartitioning). Dropped rows are not counted in
+  /// rows_committed().
+  uint64_t rows_dropped() const { return rows_dropped_; }
+  uint64_t rows_repartitioned() const { return rows_repartitioned_; }
+
  private:
   TupleBatch* dests_ = nullptr;
   uint32_t num_dests_ = 0;
@@ -124,6 +189,14 @@ class EmitWriter {
   size_t flush_bytes_ = 0;
   EmitSink* sink_ = nullptr;
   uint64_t rows_committed_ = 0;
+  EmitDefense* defense_ = nullptr;
+  /// Discard target for dropped rows: the operator still fills a row, but
+  /// into this one-row scratch batch that Commit() throws away.
+  std::optional<TupleBatch> scratch_;
+  bool discard_ = false;
+  uint32_t rr_next_ = 0;
+  uint64_t rows_dropped_ = 0;
+  uint64_t rows_repartitioned_ = 0;
 };
 
 }  // namespace mjoin

@@ -81,6 +81,14 @@ class JoinHashTable {
     return matches;
   }
 
+  /// Invokes `fn(TupleRef)` for every stored row, in insertion order —
+  /// the arena scan the skew defense uses to sketch and Bloom-index the
+  /// completed build side.
+  template <typename Fn>
+  void ForEachRow(Fn&& fn) const {
+    for (size_t i = 0; i < num_rows_; ++i) fn(RowAt(i));
+  }
+
   size_t size() const { return num_rows_; }
   /// Arena + slot array footprint, for the paper's FP-uses-more-memory
   /// observation.

@@ -46,12 +46,25 @@ struct OpMetrics {
   /// Peak operator-held memory (hash tables, run buffers), in bytes.
   size_t peak_memory_bytes = 0;
 
+  /// Skew-defense detail (zero when the defense is off). Detection and
+  /// replication are attributed to the defended join; the drop/re-route
+  /// counters are attributed to the producer whose EmitWriter carried the
+  /// defense (the op that *saved* the wire bytes).
+  uint64_t skew_hot_keys = 0;           // hot keys detected at build time
+  uint64_t skew_replicated_rows = 0;    // build rows inserted from directives
+  uint64_t skew_repartitioned_rows = 0; // probe rows sprayed round-robin
+  uint64_t skew_bloom_filtered_rows = 0;  // probe rows dropped pre-wire
+  double skew_bloom_build_seconds = 0;  // sketch + Bloom arena scans
+  /// Estimated false-positive rate of the Bloom filter this op's writer
+  /// probed against (max over instances; 0 when no filter was installed).
+  double skew_bloom_fp_rate = 0;
+
   /// Per-batch consume latency samples, in seconds.
   PercentileTracker batch_seconds;
 
   double busy_seconds() const {
     return build_seconds + probe_seconds + pipeline_seconds + scan_seconds +
-           emit_seconds + other_seconds;
+           emit_seconds + other_seconds + skew_bloom_build_seconds;
   }
 
   /// Accumulates `other` into this (merging instances of one operation).
@@ -70,6 +83,14 @@ struct OpMetrics {
     hash_table_rows += other.hash_table_rows;
     hash_collisions += other.hash_collisions;
     peak_memory_bytes += other.peak_memory_bytes;
+    skew_hot_keys += other.skew_hot_keys;
+    skew_replicated_rows += other.skew_replicated_rows;
+    skew_repartitioned_rows += other.skew_repartitioned_rows;
+    skew_bloom_filtered_rows += other.skew_bloom_filtered_rows;
+    skew_bloom_build_seconds += other.skew_bloom_build_seconds;
+    if (other.skew_bloom_fp_rate > skew_bloom_fp_rate) {
+      skew_bloom_fp_rate = other.skew_bloom_fp_rate;
+    }
     batch_seconds.Merge(other.batch_seconds);
   }
 };

@@ -59,6 +59,16 @@ class SimpleHashJoinOp : public Operator {
   bool build_done() const { return build_done_; }
   size_t hash_table_size() const { return table_.size(); }
 
+  /// The build hash table, for the skew defense: hosts scan it (sketch +
+  /// Bloom over build keys) once the build input has finished, and insert
+  /// replicated hot-key rows through the mutable accessor before calling
+  /// InputDone(kBuildPort). Only valid between those two points — the
+  /// operator itself never exposes a half-built or released table.
+  const JoinHashTable& table() const { return table_; }
+  JoinHashTable* mutable_table() { return &table_; }
+  /// Re-checks peak memory after defense inserts grew the table.
+  void NoteTableGrowth() { UpdatePeakMemory(); }
+
  private:
   void ConsumeBuild(const TupleBatch& batch, OpContext* ctx);
   void ConsumeProbe(const TupleBatch& batch, OpContext* ctx);

@@ -73,6 +73,10 @@ const char* FrameTypeName(FrameType type) {
       return "query-result";
     case FrameType::kIdle:
       return "idle";
+    case FrameType::kSkewReport:
+      return "skew-report";
+    case FrameType::kSkewDirective:
+      return "skew-directive";
   }
   return "unknown";
 }

@@ -90,6 +90,20 @@ enum class FrameType : uint8_t {
   /// The coordinator must not reformat the shared arena or ship a new plan
   /// until every fleet member has acked idle.
   kIdle = 22,
+  /// worker -> coordinator: one defended join instance's build-side skew
+  /// summary (SkewReportMsg — heavy-hitter candidates with their build
+  /// rows inline, plus the instance's build-key Bloom filter). Sent after
+  /// the instance's build input finished; its kBuildDone milestone follows
+  /// in the same flush, so the coordinator always holds the report before
+  /// it can schedule the probe.
+  kSkewReport = 23,
+  /// coordinator -> worker: the merged plan of action for one defended
+  /// join (SkewDirectiveMsg — hot keys, replicated build rows, OR'd Bloom
+  /// filter). Broadcast to every worker once all of the join's instances
+  /// have reported; each worker applies it to hosted join instances and
+  /// installs the emit-side defense on hosted probe producers, then
+  /// releases the deferred build-done processing.
+  kSkewDirective = 24,
 };
 
 const char* FrameTypeName(FrameType type);
@@ -105,7 +119,9 @@ inline constexpr uint32_t kMaxFrameBytes = 256u << 20;
 ///     echoes the ring-directory hash, kNetStats carries shm counters.
 /// v4: warm fleets and the serving layer — PlanEnvelope `persistent` flag,
 ///     kIdle end-of-query ack, kSubmit/kQueryResult serve frames.
-inline constexpr uint32_t kNetProtocolVersion = 4;
+/// v5: skew defense — PlanEnvelope ships SkewDefenseOptions, kOpStats
+///     carries the skew counters, kSkewReport/kSkewDirective frames.
+inline constexpr uint32_t kNetProtocolVersion = 5;
 
 /// CRC-32 (IEEE 802.3 polynomial, the zlib crc32) over `size` bytes.
 uint32_t Crc32(const std::byte* data, size_t size);

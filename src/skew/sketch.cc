@@ -1,0 +1,50 @@
+#include "skew/sketch.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace mjoin {
+
+SpaceSavingSketch::SpaceSavingSketch(size_t capacity) : capacity_(capacity) {
+  MJOIN_CHECK(capacity > 0) << "SpaceSavingSketch needs capacity >= 1";
+  entries_.reserve(capacity);
+  index_.reserve(capacity);
+}
+
+void SpaceSavingSketch::Observe(int32_t key) {
+  ++total_;
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    ++entries_[it->second].count;
+    return;
+  }
+  if (entries_.size() < capacity_) {
+    index_.emplace(key, entries_.size());
+    entries_.push_back(Entry{key, 1, 0});
+    return;
+  }
+  // Full and the key is untracked: evict the minimum-count candidate and
+  // let the newcomer inherit its count as the error bound.
+  size_t min_i = 0;
+  for (size_t i = 1; i < entries_.size(); ++i) {
+    if (entries_[i].count < entries_[min_i].count) min_i = i;
+  }
+  Entry& slot = entries_[min_i];
+  index_.erase(slot.key);
+  index_.emplace(key, min_i);
+  slot.error = slot.count;
+  ++slot.count;
+  slot.key = key;
+}
+
+std::vector<SpaceSavingSketch::Entry> SpaceSavingSketch::Entries() const {
+  std::vector<Entry> out = entries_;
+  std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+}  // namespace mjoin

@@ -1,0 +1,58 @@
+#ifndef MJOIN_SKEW_SKETCH_H_
+#define MJOIN_SKEW_SKETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mjoin {
+
+/// SpaceSaving heavy-hitter sketch [Metwally et al., ICDT'05] over int32
+/// join keys. Tracks at most `capacity` candidate keys; when a new key
+/// arrives with the sketch full, the minimum-count candidate is evicted
+/// and the newcomer inherits its count (recorded as the entry's `error`).
+/// Guarantees: every key with true count > N/capacity is retained, and a
+/// retained entry's stored count overestimates its true count by at most
+/// `error`. That makes the sketch safe for hot-key detection — a hot key
+/// can never be missed, and a false positive merely replicates a few
+/// build rows it did not need to.
+///
+/// The sketch is single-threaded (one per join instance, bumped on the
+/// build path) and deliberately tiny: with the default capacity of 64 the
+/// eviction scan is a linear pass over 64 entries, only taken on a miss
+/// when full, which under skew (the only time the sketch matters) is the
+/// rare path.
+class SpaceSavingSketch {
+ public:
+  struct Entry {
+    int32_t key = 0;
+    uint64_t count = 0;
+    /// Maximum possible overcount inherited from evicted predecessors.
+    uint64_t error = 0;
+  };
+
+  explicit SpaceSavingSketch(size_t capacity);
+
+  /// Counts one occurrence of `key`.
+  void Observe(int32_t key);
+
+  /// Total observations (exact, independent of capacity).
+  uint64_t total() const { return total_; }
+  size_t capacity() const { return capacity_; }
+
+  /// All tracked candidates, sorted by count descending (ties by key
+  /// ascending, so the order is deterministic for tests and the wire).
+  std::vector<Entry> Entries() const;
+
+ private:
+  size_t capacity_;
+  uint64_t total_ = 0;
+  std::vector<Entry> entries_;
+  /// key -> index into entries_.
+  std::unordered_map<int32_t, size_t> index_;
+};
+
+}  // namespace mjoin
+
+#endif  // MJOIN_SKEW_SKETCH_H_

@@ -1,0 +1,185 @@
+#include "workload/workload.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "plan/wisconsin_query.h"
+#include "storage/wisconsin.h"
+#include "storage/zipf.h"
+
+namespace mjoin {
+
+uint32_t WorkloadSpec::domain() const {
+  uint32_t f = std::max(1u, fanout);
+  return std::max(1u, cardinality / f);
+}
+
+Status WorkloadSpec::Validate() const {
+  if (num_relations < 2) {
+    return Status::InvalidArgument("workload needs >= 2 relations");
+  }
+  if (cardinality == 0) {
+    return Status::InvalidArgument("workload cardinality must be positive");
+  }
+  if (zipf_theta < 0) {
+    return Status::InvalidArgument("zipf theta must be >= 0");
+  }
+  if (!(selectivity > 0.0 && selectivity <= 1.0)) {
+    return Status::InvalidArgument("selectivity must be in (0, 1]");
+  }
+  if (fanout < 1 || fanout > cardinality) {
+    return Status::InvalidArgument("fanout must be in [1, cardinality]");
+  }
+  for (const FilterPredicate& filter : filters) {
+    if (filter.column >= kStringU1) {
+      return Status::InvalidArgument(
+          StrCat("workload filter column ", filter.column,
+                 " is not an int32 Wisconsin column"));
+    }
+  }
+  return Status::OK();
+}
+
+std::string WorkloadSpec::ToString() const {
+  std::string out = StrCat(name, "(n=", num_relations, " card=", cardinality,
+                           " theta=", zipf_theta, " sel=", selectivity,
+                           " fanout=", fanout, " seed=", seed);
+  for (const FilterPredicate& filter : filters) {
+    out += StrCat(" filter=", filter.ToString(WisconsinSchema()));
+  }
+  out += ")";
+  return out;
+}
+
+StatusOr<WorkloadSpec> WorkloadPreset(const std::string& name) {
+  WorkloadSpec spec;
+  spec.name = name;
+  // The skewed presets ship smaller default cardinalities than the 1:1
+  // ones: a theta-1 join's output is ~ cardinality * sum(p_i^2) times its
+  // input, so each join of a chain multiplies the stream — the preset
+  // sizes keep a 3-relation chain's final result in the low hundreds of
+  // thousands of rows. Callers who override --card own the blowup.
+  if (name == "uniform") return spec;
+  if (name == "zipf1") {
+    spec.zipf_theta = 1.0;
+    spec.cardinality = 400;
+    return spec;
+  }
+  if (name == "zipf1-mn") {
+    spec.zipf_theta = 1.0;
+    spec.fanout = 4;
+    spec.cardinality = 400;
+    return spec;
+  }
+  if (name == "mn") {
+    spec.fanout = 4;
+    spec.cardinality = 2000;
+    return spec;
+  }
+  if (name == "filtered") {
+    spec.selectivity = 0.5;
+    return spec;
+  }
+  if (name == "adversarial") {
+    spec.zipf_theta = 1.0;
+    spec.fanout = 4;
+    spec.selectivity = 0.5;
+    spec.cardinality = 1000;
+    return spec;
+  }
+  std::string valid;
+  for (const std::string& preset : WorkloadPresetNames()) {
+    valid += valid.empty() ? preset : StrCat(", ", preset);
+  }
+  return Status::InvalidArgument(
+      StrCat("unknown workload preset '", name, "' (valid: ", valid, ")"));
+}
+
+std::vector<std::string> WorkloadPresetNames() {
+  return {"uniform", "zipf1", "zipf1-mn", "mn", "filtered", "adversarial"};
+}
+
+Relation GenerateWorkloadRelation(const WorkloadSpec& spec,
+                                  int relation_index) {
+  MJOIN_CHECK(spec.Validate().ok());
+  MJOIN_CHECK(relation_index >= 0 && relation_index < spec.num_relations);
+  static const char* kString4Values[] = {"AAAA", "HHHH", "OOOO", "VVVV"};
+
+  const uint32_t domain = spec.domain();
+  const int64_t cardinality = spec.cardinality;
+  // Miss values are unique per (relation, column): above the match domain
+  // and in disjoint per-column ranges, so a missed row matches nothing in
+  // any relation — exactly the (1 - selectivity) fraction the Bloom
+  // transfer can prove away.
+  int64_t miss_next_u1 = domain + (2 * relation_index) * cardinality;
+  int64_t miss_next_u2 = domain + (2 * relation_index + 1) * cardinality;
+
+  Relation rel(WisconsinSchema());
+  rel.Reserve(spec.cardinality);
+  Random rng(Mix64(spec.seed) ^
+             Mix64(static_cast<uint64_t>(relation_index) + 1));
+  ZipfGenerator zipf(domain, spec.zipf_theta);
+
+  for (uint32_t i = 0; i < spec.cardinality; ++i) {
+    // The Zipf rank-to-value map is the identity for every relation and
+    // both columns: value 0 is the hottest everywhere, so build-side hot
+    // keys meet probe-side hot keys at every join of the chain.
+    int32_t u1 = rng.NextDouble() < spec.selectivity
+                     ? static_cast<int32_t>(zipf.Next(&rng))
+                     : static_cast<int32_t>(miss_next_u1++);
+    int32_t u2 = rng.NextDouble() < spec.selectivity
+                     ? static_cast<int32_t>(zipf.Next(&rng))
+                     : static_cast<int32_t>(miss_next_u2++);
+    const int32_t values[kStringU1] = {
+        u1,           u2,          u1 % 2,  u1 % 4,
+        u1 % 10,      u1 % 20,     u1 % 100, u1 % 10,
+        u1 % 5,       u1 % 2,      u1,       (u1 % 100) * 2,
+        (u1 % 100) * 2 + 1};
+    bool keep = true;
+    for (const FilterPredicate& filter : spec.filters) {
+      if (!filter.Matches(values[filter.column])) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    TupleWriter w = rel.AppendTuple();
+    for (size_t c = 0; c < kStringU1; ++c) {
+      w.SetInt32(c, values[c]);
+    }
+    w.SetString(kStringU1, WisconsinString(u1));
+    w.SetString(kStringU2, WisconsinString(u2));
+    w.SetString(kString4, std::string(52, kString4Values[i % 4][0]));
+  }
+  return rel;
+}
+
+StatusOr<Database> MakeWorkloadDatabase(const WorkloadSpec& spec) {
+  Status valid = spec.Validate();
+  if (!valid.ok()) return valid;
+  Database db;
+  std::vector<std::string> names = WisconsinRelationNames(spec.num_relations);
+  for (int r = 0; r < spec.num_relations; ++r) {
+    Status added = db.Add(names[r], GenerateWorkloadRelation(spec, r));
+    if (!added.ok()) return added;
+  }
+  return db;
+}
+
+Status AnalyzeWorkload(const WorkloadSpec& spec, const Database& db,
+                       Catalog* catalog) {
+  std::vector<std::string> names = WisconsinRelationNames(spec.num_relations);
+  for (const std::string& name : names) {
+    StatusOr<const Relation*> rel = db.Get(name);
+    if (!rel.ok()) return rel.status();
+    for (size_t column : {kUnique1, kUnique2}) {
+      Status analyzed = catalog->Analyze(name, **rel, column);
+      if (!analyzed.ok()) return analyzed;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mjoin

@@ -1,0 +1,92 @@
+#ifndef MJOIN_WORKLOAD_WORKLOAD_H_
+#define MJOIN_WORKLOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/database.h"
+#include "exec/filter.h"
+#include "plan/catalog.h"
+#include "storage/relation.h"
+
+namespace mjoin {
+
+/// Declarative workload description: how adversarial the data fed to the
+/// Wisconsin chain query should be. The generator produces
+/// Wisconsin-shaped relations (same 16-column schema, same derived and
+/// string attributes) whose *join columns* (unique1/unique2) follow the
+/// spec instead of being 1:1 permutations:
+///
+///  - zipf_theta: both join columns draw iid Zipf(theta) values over a
+///    shared domain of `domain()` distinct values. Theta 0 is uniform;
+///    theta 1 the classic Zipf. The Zipf rank-to-value mapping is the
+///    identity for every relation and both columns, so the hot values of
+///    a build side are the hot values of its probe side — worst case for
+///    hash declustering, by design (the paper's §3.5 assumption broken
+///    as hard as the theta allows).
+///  - fanout: shrinks the value domain to cardinality/fanout, making each
+///    join m:n with an average multiplicity of `fanout` per side.
+///  - selectivity: each join-column value is, with probability
+///    1 - selectivity, replaced by a "miss" value unique to that
+///    (relation, column) pair — it matches nothing anywhere, so about
+///    `selectivity` of each probe side can find partners and the rest is
+///    provably prunable (what Bloom predicate transfer exploits).
+///  - filters: generation-time predicates; rows failing any predicate are
+///    dropped, so the relation lands pre-filtered with honest statistics.
+///
+/// Every field is part of the reproducible identity of the workload: the
+/// same spec (including seed) generates byte-identical relations.
+struct WorkloadSpec {
+  std::string name = "custom";
+  int num_relations = 3;
+  uint32_t cardinality = 10000;
+  double zipf_theta = 0.0;
+  double selectivity = 1.0;
+  uint32_t fanout = 1;
+  std::vector<FilterPredicate> filters;
+  uint64_t seed = 0x5eed;
+
+  /// Distinct matchable join-column values: cardinality / fanout, >= 1.
+  uint32_t domain() const;
+
+  /// Field sanity: >= 2 relations, positive cardinality, theta >= 0,
+  /// selectivity in (0, 1], fanout in [1, cardinality], filter columns
+  /// int32 and in range.
+  [[nodiscard]] Status Validate() const;
+
+  /// One line naming every axis, e.g.
+  /// "zipf1-mn(n=3 card=10000 theta=1 sel=1 fanout=4 seed=0x5eed)" —
+  /// printed by failing runs so the exact workload can be regenerated.
+  std::string ToString() const;
+};
+
+/// Named reproducible shapes, usable from benches, tests and mjoin_cli:
+///   uniform     theta 0, 1:1, selectivity 1 (the baseline)
+///   zipf1       theta 1.0, 1:1
+///   zipf1-mn    theta 1.0, fanout 4 (the acceptance shape)
+///   mn          theta 0, fanout 4
+///   filtered    theta 0, selectivity 0.5 (half of each probe prunable)
+///   adversarial theta 1.0, fanout 4, selectivity 0.5
+/// Unknown names are InvalidArgument listing the valid ones.
+StatusOr<WorkloadSpec> WorkloadPreset(const std::string& name);
+std::vector<std::string> WorkloadPresetNames();
+
+/// Generates relation `relation_index` of the spec (deterministic in
+/// (spec, index)). Requires spec.Validate().ok().
+Relation GenerateWorkloadRelation(const WorkloadSpec& spec,
+                                  int relation_index);
+
+/// Generates the whole database: rel0..relN-1 per the spec.
+StatusOr<Database> MakeWorkloadDatabase(const WorkloadSpec& spec);
+
+/// Scans the generated relations' join columns (unique1, unique2) into
+/// `catalog` — honest statistics of what was actually generated, filters
+/// and misses included, for the optimizer and for skew diagnostics.
+[[nodiscard]] Status AnalyzeWorkload(const WorkloadSpec& spec,
+                                     const Database& db, Catalog* catalog);
+
+}  // namespace mjoin
+
+#endif  // MJOIN_WORKLOAD_WORKLOAD_H_

@@ -29,6 +29,8 @@ const char* FixtureNameClean(FrameType type) {
     case FrameType::kSubmit:
     case FrameType::kQueryResult:
     case FrameType::kIdle:
+    case FrameType::kSkewReport:
+    case FrameType::kSkewDirective:
       break;
   }
   // A mention of steady_clock::now() in a comment, and of new/malloc,

@@ -21,6 +21,7 @@
 #include "engine/reference.h"
 #include "net/net_fault.h"
 #include "plan/wisconsin_query.h"
+#include "skew/defense.h"
 #include "strategy/strategy.h"
 
 namespace mjoin {
@@ -171,14 +172,24 @@ TEST_P(ProcessChaosSweepTest, SeededFaultSchedulesRecoverOrFailCleanly) {
     std::mt19937_64 rng(seed);
     const ChaosCase chaos = kMenu[rng() % std::size(kMenu)];
     const bool use_shm = rng() % 2 == 1;
+    const bool defend = rng() % 2 == 1;
     SCOPED_TRACE(testing::Message()
                  << "schedule seed=" << seed << " fault="
                  << ChaosCaseName(chaos)
-                 << " plane=" << (use_shm ? "shm" : "socket"));
+                 << " plane=" << (use_shm ? "shm" : "socket")
+                 << " defense=" << (defend ? "on" : "off"));
 
     ProcessExecOptions options = ChaosOptions();
     options.use_shm_data_plane = use_shm;
     if (use_shm) options.shm_ring_bytes = 4096;
+    // Defense under chaos: the report/directive round-trip and the
+    // deferred probe replay must survive worker kills and wire faults
+    // with the checksum unchanged. Test-sized thresholds so the Bloom
+    // transfer engages even on this small uniform data.
+    options.exec.skew_defense.mode =
+        defend ? SkewDefenseMode::kOn : SkewDefenseMode::kOff;
+    options.exec.skew_defense.min_hot_count = 4;
+    options.exec.skew_defense.hot_fraction = 0.05;
 
     // Worker-side fault, shipped in the plan envelope.
     FaultScenario worker_scenario;

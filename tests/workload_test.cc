@@ -1,0 +1,180 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+
+#include "plan/catalog.h"
+#include "plan/wisconsin_query.h"
+#include "storage/wisconsin.h"
+
+namespace mjoin {
+namespace {
+
+// Frequency of each unique1 value in a generated relation.
+std::map<int32_t, size_t> Unique1Histogram(const Relation& rel) {
+  std::map<int32_t, size_t> counts;
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    ++counts[rel.tuple(i).GetInt32(kUnique1)];
+  }
+  return counts;
+}
+
+TEST(WorkloadSpecTest, ValidateRejectsBadAxes) {
+  WorkloadSpec spec;
+  spec.num_relations = 1;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = WorkloadSpec();
+  spec.selectivity = 0.0;
+  EXPECT_FALSE(spec.Validate().ok());
+  spec.selectivity = 1.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = WorkloadSpec();
+  spec.fanout = spec.cardinality + 1;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = WorkloadSpec();
+  spec.zipf_theta = -0.5;
+  EXPECT_FALSE(spec.Validate().ok());
+
+  spec = WorkloadSpec();
+  spec.filters.push_back({kStringU1, CompareOp::kEq, 0, 0});
+  EXPECT_FALSE(spec.Validate().ok());
+
+  EXPECT_TRUE(WorkloadSpec().Validate().ok());
+}
+
+TEST(WorkloadSpecTest, UnknownPresetListsValidNames) {
+  auto preset = WorkloadPreset("bogus");
+  ASSERT_FALSE(preset.ok());
+  for (const std::string& name : WorkloadPresetNames()) {
+    EXPECT_NE(preset.status().message().find(name), std::string::npos)
+        << "error should list '" << name << "'";
+  }
+}
+
+TEST(WorkloadSpecTest, EveryPresetValidatesAndNamesItself) {
+  for (const std::string& name : WorkloadPresetNames()) {
+    auto preset = WorkloadPreset(name);
+    ASSERT_TRUE(preset.ok()) << name;
+    EXPECT_TRUE(preset->Validate().ok()) << name;
+    EXPECT_EQ(preset->name, name);
+    EXPECT_NE(preset->ToString().find(name), std::string::npos);
+  }
+}
+
+TEST(WorkloadGeneratorTest, DeterministicInSpecAndIndex) {
+  auto spec = WorkloadPreset("adversarial");
+  ASSERT_TRUE(spec.ok());
+  Relation a = GenerateWorkloadRelation(*spec, 1);
+  Relation b = GenerateWorkloadRelation(*spec, 1);
+  ASSERT_EQ(a.num_tuples(), b.num_tuples());
+  EXPECT_EQ(std::memcmp(a.raw_data(), b.raw_data(), a.byte_size()), 0);
+
+  // A different relation index or seed changes the data.
+  Relation c = GenerateWorkloadRelation(*spec, 2);
+  WorkloadSpec reseeded = *spec;
+  reseeded.seed ^= 1;
+  Relation d = GenerateWorkloadRelation(reseeded, 1);
+  EXPECT_NE(std::memcmp(a.raw_data(), c.raw_data(),
+                        std::min(a.byte_size(), c.byte_size())),
+            0);
+  EXPECT_NE(std::memcmp(a.raw_data(), d.raw_data(),
+                        std::min(a.byte_size(), d.byte_size())),
+            0);
+}
+
+TEST(WorkloadGeneratorTest, ZipfThetaConcentratesTheHotKey) {
+  WorkloadSpec uniform;
+  uniform.cardinality = 4000;
+  WorkloadSpec zipf = uniform;
+  zipf.zipf_theta = 1.0;
+
+  auto uniform_counts = Unique1Histogram(GenerateWorkloadRelation(uniform, 0));
+  auto zipf_counts = Unique1Histogram(GenerateWorkloadRelation(zipf, 0));
+
+  // The identity rank-to-value map makes value 0 the hottest. Under
+  // Zipf(1) over 4000 values it draws ~ N/H(4000) ~ 450 rows; uniform
+  // gives every value ~1.
+  size_t uniform_hot = uniform_counts.count(0) ? uniform_counts[0] : 0;
+  size_t zipf_hot = zipf_counts.count(0) ? zipf_counts[0] : 0;
+  EXPECT_LT(uniform_hot, 20u);
+  EXPECT_GT(zipf_hot, 100u);
+}
+
+TEST(WorkloadGeneratorTest, FanoutShrinksTheDomain) {
+  WorkloadSpec spec;
+  spec.cardinality = 4000;
+  spec.fanout = 8;
+  EXPECT_EQ(spec.domain(), 500u);
+  Relation rel = GenerateWorkloadRelation(spec, 0);
+  for (const auto& [value, count] : Unique1Histogram(rel)) {
+    EXPECT_GE(value, 0);
+    EXPECT_LT(value, 500);
+  }
+}
+
+TEST(WorkloadGeneratorTest, SelectivityProducesDisjointMissValues) {
+  WorkloadSpec spec;
+  spec.cardinality = 4000;
+  spec.selectivity = 0.5;
+  Relation r0 = GenerateWorkloadRelation(spec, 0);
+  Relation r1 = GenerateWorkloadRelation(spec, 1);
+
+  auto h0 = Unique1Histogram(r0);
+  auto h1 = Unique1Histogram(r1);
+  size_t misses = 0;
+  for (const auto& [value, count] : h0) {
+    if (static_cast<uint32_t>(value) >= spec.domain()) {
+      misses += count;
+      // Miss values are unique to (relation, column): they never appear
+      // in any other relation, so every one of them is Bloom-prunable.
+      EXPECT_EQ(h1.count(value), 0u) << value;
+    }
+  }
+  double miss_fraction =
+      static_cast<double>(misses) / static_cast<double>(r0.num_tuples());
+  EXPECT_NEAR(miss_fraction, 0.5, 0.05);
+}
+
+TEST(WorkloadGeneratorTest, FiltersDropRowsAtGeneration) {
+  WorkloadSpec spec;
+  spec.cardinality = 4000;
+  // two == 0 keeps every even unique1: about half the rows.
+  spec.filters.push_back({kTwo, CompareOp::kEq, 0, 0});
+  ASSERT_TRUE(spec.Validate().ok());
+  Relation rel = GenerateWorkloadRelation(spec, 0);
+  EXPECT_GT(rel.num_tuples(), 0u);
+  EXPECT_LT(rel.num_tuples(), spec.cardinality);
+  for (size_t i = 0; i < rel.num_tuples(); ++i) {
+    EXPECT_EQ(rel.tuple(i).GetInt32(kTwo), 0);
+  }
+}
+
+TEST(WorkloadGeneratorTest, DatabaseAndCatalogAreHonest) {
+  auto spec = WorkloadPreset("zipf1-mn");
+  ASSERT_TRUE(spec.ok());
+  auto db = MakeWorkloadDatabase(*spec);
+  ASSERT_TRUE(db.ok());
+
+  Catalog catalog;
+  ASSERT_TRUE(AnalyzeWorkload(*spec, *db, &catalog).ok());
+  for (const std::string& name :
+       WisconsinRelationNames(spec->num_relations)) {
+    auto rel = db->Get(name);
+    ASSERT_TRUE(rel.ok()) << name;
+    EXPECT_EQ((*rel)->num_tuples(), spec->cardinality);
+    auto stats = catalog.Get(name, kUnique1);
+    ASSERT_TRUE(stats.ok()) << name;
+    // Stats describe what was generated: row count matches, and the
+    // distinct count is bounded by the shrunken m:n domain.
+    EXPECT_EQ(stats->num_tuples, spec->cardinality);
+    EXPECT_LE(stats->distinct, static_cast<uint64_t>(spec->domain()));
+  }
+}
+
+}  // namespace
+}  // namespace mjoin

@@ -12,10 +12,14 @@
 //                       --out plan.xra
 //   mjoin_cli run-plan  --plan plan.xra --card 5000
 //   mjoin_cli bench     --shape wide-bushy --card 5000
+//   mjoin_cli run       --backend process --workload zipf1-mn
+//                       --skew-defense auto --metrics
 //
 // All subcommands generate the paper's Wisconsin database on the fly
 // (--relations, --card, --seed) and verify executed results against the
-// single-threaded reference.
+// single-threaded reference. The workload flags (--workload,
+// --zipf-theta, --selectivity, --fanout) swap the 1:1 permutation data
+// for the adversarial generator's skewed / filtered / m:n relations.
 #include <signal.h>
 
 #include <cstdio>
@@ -39,7 +43,9 @@
 #include "engine/thread_executor.h"
 #include "net/net_fault.h"
 #include "plan/wisconsin_query.h"
+#include "skew/defense.h"
 #include "strategy/strategy.h"
+#include "workload/workload.h"
 #include "xra/text.h"
 
 using namespace mjoin;
@@ -81,6 +87,18 @@ int Usage() {
       "  --out FILE  plan file to write (save-plan)\n"
       "  --plan FILE plan file to execute (run-plan)\n"
       "  --backend   sim|thread|process (run; default sim)\n"
+      "workload flags (all commands; default: the paper's 1:1 data):\n"
+      "  --workload NAME    preset: uniform|zipf1|zipf1-mn|mn|filtered|\n"
+      "                     adversarial (--card/--relations/--seed still\n"
+      "                     override the preset)\n"
+      "  --zipf-theta T     Zipf skew of the join columns (0=uniform)\n"
+      "  --selectivity S    matchable fraction per join column, in (0,1]\n"
+      "  --fanout N         average join multiplicity (m:n when > 1)\n"
+      "skew defense flags (run --backend thread|process):\n"
+      "  --skew-defense M   off|on|auto (default off): Bloom predicate\n"
+      "                     transfer + hot-key repartitioning on probe\n"
+      "                     edges; auto repartitions only on measured\n"
+      "                     imbalance\n"
       "process-backend flags (run --backend process):\n"
       "  --workers N        worker processes to fork (default: one per\n"
       "                     plan processor)\n"
@@ -156,6 +174,10 @@ struct Common {
   uint32_t card = 5000;
   int relations = 10;
   uint64_t seed = 1995;
+  // Set by --workload / --zipf-theta / --selectivity / --fanout; when
+  // use_workload is false the classic 1:1 Wisconsin generator runs.
+  WorkloadSpec workload;
+  bool use_workload = false;
 };
 
 bool ParseCommon(const Args& args, Common* common) {
@@ -167,11 +189,54 @@ bool ParseCommon(const Args& args, Common* common) {
     std::fprintf(stderr, "unknown strategy\n");
     return false;
   }
+  if (args.Has("workload")) {
+    auto preset = WorkloadPreset(args.Get("workload", ""));
+    if (!preset.ok()) {
+      std::fprintf(stderr, "%s\n", preset.status().ToString().c_str());
+      return false;
+    }
+    common->workload = *preset;
+    common->use_workload = true;
+    // The preset's size defines the query too; explicit flags below still
+    // override both.
+    common->relations = common->workload.num_relations;
+    common->card = common->workload.cardinality;
+    common->seed = common->workload.seed;
+  }
   common->procs = static_cast<uint32_t>(args.GetInt("procs", 40));
-  common->card = static_cast<uint32_t>(args.GetInt("card", 5000));
-  common->relations = args.GetInt("relations", 10);
-  common->seed = static_cast<uint64_t>(args.GetInt("seed", 1995));
+  common->card =
+      static_cast<uint32_t>(args.GetInt("card", static_cast<int>(common->card)));
+  common->relations = args.GetInt("relations", common->relations);
+  common->seed = static_cast<uint64_t>(
+      args.GetInt("seed", static_cast<int>(common->seed)));
+  common->workload.num_relations = common->relations;
+  common->workload.cardinality = common->card;
+  common->workload.seed = common->seed;
+  if (args.Has("zipf-theta")) {
+    common->use_workload = true;
+    common->workload.zipf_theta = args.GetDouble("zipf-theta", 0.0);
+  }
+  if (args.Has("selectivity")) {
+    common->use_workload = true;
+    common->workload.selectivity = args.GetDouble("selectivity", 1.0);
+  }
+  if (args.Has("fanout")) {
+    common->use_workload = true;
+    common->workload.fanout = static_cast<uint32_t>(args.GetInt("fanout", 1));
+  }
+  if (common->use_workload) {
+    Status valid = common->workload.Validate();
+    if (!valid.ok()) {
+      std::fprintf(stderr, "%s\n", valid.ToString().c_str());
+      return false;
+    }
+  }
   return true;
+}
+
+StatusOr<Database> MakeCliDatabase(const Common& common) {
+  if (common.use_workload) return MakeWorkloadDatabase(common.workload);
+  return MakeWisconsinDatabase(common.relations, common.card, common.seed);
 }
 
 StatusOr<ParallelPlan> BuildPlan(const Common& common) {
@@ -204,8 +269,12 @@ int CmdExplain(const Args& args) {
 
 int RunAndReport(const ParallelPlan& plan, const Common& common,
                  bool analyze, bool diagram) {
-  Database db =
-      MakeWisconsinDatabase(common.relations, common.card, common.seed);
+  auto made = MakeCliDatabase(common);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  Database db = std::move(*made);
 
   // Reference for verification: rebuild the query the plan came from. For
   // run-plan we only verify the cardinality invariant.
@@ -298,6 +367,13 @@ int RunExecBackend(const Args& args, const ParallelPlan& plan,
   }
   if (scenario.kind != FaultKind::kNone) options.fault_injector = &injector;
 
+  auto defense_mode = ParseSkewDefenseMode(args.Get("skew-defense", "off"));
+  if (!defense_mode.ok()) {
+    std::fprintf(stderr, "%s\n", defense_mode.status().ToString().c_str());
+    return 2;
+  }
+  options.skew_defense.mode = *defense_mode;
+
   bool want_metrics = args.Has("metrics");
   bool want_diagram = args.Has("diagram");
   std::string trace_out = args.Get("trace-out", "");
@@ -305,8 +381,12 @@ int RunExecBackend(const Args& args, const ParallelPlan& plan,
   options.record_trace = want_diagram || !trace_out.empty();
   if (want_metrics) options.metrics_registry = &registry;
 
-  Database db =
-      MakeWisconsinDatabase(common.relations, common.card, common.seed);
+  auto made = MakeCliDatabase(common);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  Database db = std::move(*made);
   ThreadExecStats stats;
   ProcessNetStats net;
   ProcessExecStats proc;
@@ -358,6 +438,14 @@ int RunExecBackend(const Args& args, const ParallelPlan& plan,
                    "reproduce with: --fault-seed %llu --net-fault-seed %llu\n",
                    static_cast<unsigned long long>(scenario.seed),
                    static_cast<unsigned long long>(net_scenario.seed));
+    }
+    if (common.use_workload) {
+      // Same idea as --fault-seed: the spec (seed included) regenerates
+      // the exact data the failure happened on.
+      std::fprintf(
+          stderr, "workload: %s\nreproduce the data with: --seed %llu\n",
+          common.workload.ToString().c_str(),
+          static_cast<unsigned long long>(common.workload.seed));
     }
     if (proc.attempts > 1) {
       std::fprintf(stderr, "recovery: %u attempts, %u retries\n",
@@ -483,8 +571,12 @@ int CmdRun(const Args& args) {
     return 2;
   }
   // Verify against the reference first.
-  Database db =
-      MakeWisconsinDatabase(common.relations, common.card, common.seed);
+  auto made = MakeCliDatabase(common);
+  if (!made.ok()) {
+    std::fprintf(stderr, "%s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  Database db = std::move(*made);
   auto query =
       MakeWisconsinChainQuery(common.shape, common.relations, common.card);
   auto reference = ReferenceSummary(*query, db);
