@@ -1,0 +1,56 @@
+#ifndef MJOIN_CHECK_MODEL_POLICY_H_
+#define MJOIN_CHECK_MODEL_POLICY_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "check/model_runtime.h"
+#include "check/mutations.h"
+
+/// The model-checking side of the net/shm_memory_model.h seam. Only the
+/// mjoin_check binary compiles shm_ring.cc against this header
+/// (-DMJOIN_SHM_MEMORY_MODEL); everything else gets the production
+/// std::atomic definitions.
+namespace mjoin {
+
+/// Drop-in for std::atomic<uint64_t> in ShmRingHdr. Layout must stay a
+/// bare u64 so sizeof(ShmRingHdr) == 192 keeps holding. `mutable` because
+/// the const load path (tail_cursor/head_cursor) still routes through the
+/// runtime.
+class ModelAtomicU64 {
+ public:
+  ModelAtomicU64() = default;
+
+  void store(uint64_t v, std::memory_order order) {
+    check::ModelRuntime::Get().AtomicStore64(&value_, v, order);
+  }
+  uint64_t load(std::memory_order order) const {
+    return check::ModelRuntime::Get().AtomicLoad64(&value_, order);
+  }
+
+ private:
+  mutable uint64_t value_ = 0;
+};
+
+static_assert(sizeof(ModelAtomicU64) == sizeof(uint64_t),
+              "model atomic must not change ShmRingHdr layout");
+
+using ShmAtomicU64 = ModelAtomicU64;
+
+inline void ShmStoreU32(uint32_t* p, uint32_t v) {
+  check::ModelRuntime::Get().StoreWord(p, v);
+}
+inline uint32_t ShmLoadU32(const uint32_t* p) {
+  return check::ModelRuntime::Get().LoadWord(p);
+}
+inline void ShmCopyIn(void* dst, const void* src, size_t n) {
+  check::ModelRuntime::Get().CopyIn(dst, src, n);
+}
+
+}  // namespace mjoin
+
+#define MJOIN_SHM_MUTATION(id) \
+  ::mjoin::check::MutationEnabled(::mjoin::check::Mutation::id)
+
+#endif  // MJOIN_CHECK_MODEL_POLICY_H_

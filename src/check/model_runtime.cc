@@ -1,0 +1,582 @@
+#include "check/model_runtime.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mjoin {
+namespace check {
+namespace {
+
+// Identifies the calling scenario thread inside runtime ops; -1 is the
+// scheduler / direct-mode caller.
+thread_local int t_self = -1;
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E37'79B9'7F4A'7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58'476D'1CE4'E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D0'49BB'1331'11EBull;
+  return z ^ (z >> 31);
+}
+
+bool Overlaps(const void* a, size_t an, const void* b, size_t bn) {
+  auto lo_a = reinterpret_cast<uintptr_t>(a);
+  auto lo_b = reinterpret_cast<uintptr_t>(b);
+  return lo_a < lo_b + bn && lo_b < lo_a + an;
+}
+
+}  // namespace
+
+ModelRuntime& ModelRuntime::Get() {
+  // lint:allow-new intentionally leaked process-lifetime singleton
+  static ModelRuntime* runtime = new ModelRuntime();
+  return *runtime;
+}
+
+void ModelRuntime::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  concurrent_ = false;
+  abort_ = false;
+  granted_ = -1;
+  threads_.clear();
+  locations_.clear();
+  epoch_ = 0;
+  region_base_ = nullptr;
+  region_bytes_ = 0;
+  cursors_.clear();
+  doorbells_.clear();
+  crash_happened_ = false;
+  violated_ = false;
+  violation_message_.clear();
+  trace_.clear();
+}
+
+void ModelRuntime::RegisterRegion(void* base, size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  region_base_ = static_cast<std::byte*>(base);
+  region_bytes_ = bytes;
+}
+
+void ModelRuntime::RegisterCursor(void* addr, const char* name,
+                                  uint64_t max_step) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cursors_[addr] = CursorInfo{name, max_step};
+}
+
+std::string ModelRuntime::Addr(const void* addr) const {
+  const auto* p = static_cast<const std::byte*>(addr);
+  if (region_base_ != nullptr && p >= region_base_ &&
+      p < region_base_ + region_bytes_) {
+    return "ring+" + std::to_string(p - region_base_);
+  }
+  return "<outside>";
+}
+
+void ModelRuntime::RecordStep(std::string what) {
+  std::string who =
+      t_self >= 0 && t_self < static_cast<int>(threads_.size())
+          ? threads_[t_self].name
+          : (concurrent_ ? std::string("sched") : std::string("main"));
+  trace_.push_back(who + ": " + std::move(what));
+}
+
+void ModelRuntime::ViolationLocked(const std::string& message) {
+  if (!violated_) {
+    violated_ = true;
+    violation_message_ = message;
+  }
+  trace_.push_back("VIOLATION: " + message);
+  abort_ = true;
+  cv_.notify_all();
+  throw ModelAbort{};
+}
+
+void ModelRuntime::Violation(const std::string& message) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ViolationLocked(message);
+}
+
+void ModelRuntime::CheckBounds(const void* addr, size_t n, const char* what) {
+  const auto* p = static_cast<const std::byte*>(addr);
+  if (region_base_ == nullptr || p < region_base_ ||
+      p + n > region_base_ + region_bytes_) {
+    ViolationLocked(std::string(what) + " of " + std::to_string(n) +
+                    " bytes outside the shared region (offset " +
+                    std::to_string(p - region_base_) + ")");
+  }
+}
+
+uint64_t ModelRuntime::ReadFresh(const void* addr, uint8_t size) const {
+  uint64_t v = 0;
+  std::memcpy(&v, addr, size);
+  return v;
+}
+
+uint64_t ModelRuntime::ReadModel(const void* addr, uint8_t size) {
+  auto it = locations_.find(addr);
+  if (it == locations_.end()) return ReadFresh(addr, size);
+  const Location& loc = it->second;
+  const uint64_t acquired = t_self >= 0 ? threads_[t_self].acquired : epoch_;
+  if (loc.stamp > acquired && loc.writer != t_self) {
+    // The write is not ordered before anything this thread has acquired:
+    // an unsynchronized CPU may legally serve the previous value.
+    return loc.prev;
+  }
+  return ReadFresh(addr, size);
+}
+
+uint64_t ModelRuntime::Forwarded(const void* addr, uint8_t size, bool* hit) {
+  *hit = false;
+  if (t_self < 0) return 0;
+  const auto& buffer = threads_[t_self].buffer;
+  for (auto it = buffer.rbegin(); it != buffer.rend(); ++it) {
+    if (it->addr == addr && it->size == size) {
+      *hit = true;
+      return it->value;
+    }
+  }
+  return 0;
+}
+
+void ModelRuntime::ApplyWrite(void* addr, uint8_t size, uint64_t value,
+                              int writer) {
+  CheckBounds(addr, size, "write");
+  auto cur = cursors_.find(addr);
+  if (cur != cursors_.end()) {
+    const uint64_t old = ReadFresh(addr, size);
+    // Wrap-safe monotonicity: the modular forward step must be small.
+    if (value - old > cur->second.max_step) {
+      ViolationLocked("cursor " + cur->second.name +
+                      " moved backwards or overjumped: " +
+                      std::to_string(old) + " -> " + std::to_string(value));
+    }
+  }
+  Location& loc = locations_[addr];
+  loc.prev = ReadFresh(addr, size);
+  loc.stamp = ++epoch_;
+  loc.writer = writer;
+  std::memcpy(addr, &value, size);
+}
+
+void ModelRuntime::FlushEntry(int thread, size_t index) {
+  auto& buffer = threads_[thread].buffer;
+  StoreEntry entry = buffer[index];
+  buffer.erase(buffer.begin() + static_cast<ptrdiff_t>(index));
+  RecordStep("flush " + entry.what + " " + Addr(entry.addr) + " = " +
+             std::to_string(entry.value) + " [" + threads_[thread].name + "]");
+  ApplyWrite(entry.addr, entry.size, entry.value, thread);
+}
+
+void ModelRuntime::ParkAndAwaitGrant(std::unique_lock<std::mutex>& lock) {
+  ThreadCtx& t = threads_[t_self];
+  t.state = ThreadState::kParked;
+  cv_.notify_all();
+  cv_.wait(lock, [&] { return granted_ == t_self || abort_ || t.killed; });
+  if (abort_ || t.killed) throw ModelAbort{};
+  granted_ = -1;
+  t.state = ThreadState::kRunning;
+}
+
+void ModelRuntime::StoreWord(uint32_t* addr, uint32_t v) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!concurrent_) {
+    CheckBounds(addr, 4, "store32");
+    RecordStep("store32 " + Addr(addr) + " = " + std::to_string(v));
+    *addr = v;
+    return;
+  }
+  ParkAndAwaitGrant(lock);
+  CheckBounds(addr, 4, "store32");
+  RecordStep("buffer store32 " + Addr(addr) + " = " + std::to_string(v));
+  threads_[t_self].buffer.push_back(StoreEntry{addr, 4, v, "store32"});
+}
+
+uint32_t ModelRuntime::LoadWord(const uint32_t* addr) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!concurrent_) {
+    CheckBounds(addr, 4, "load32");
+    return *addr;
+  }
+  ParkAndAwaitGrant(lock);
+  CheckBounds(addr, 4, "load32");
+  bool hit = false;
+  uint64_t v = Forwarded(addr, 4, &hit);
+  if (!hit) v = ReadModel(addr, 4);
+  RecordStep("load32 " + Addr(addr) + " -> " + std::to_string(v));
+  return static_cast<uint32_t>(v);
+}
+
+void ModelRuntime::CopyIn(void* dst, const void* src, size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!concurrent_) {
+    CheckBounds(dst, n, "copy");
+    RecordStep("copy " + std::to_string(n) + "B -> " + Addr(dst));
+    std::memcpy(dst, src, n);
+    return;
+  }
+  // One schedule point covering the whole memcpy; the copy lands in the
+  // store buffer as word entries so individual words flush independently.
+  ParkAndAwaitGrant(lock);
+  CheckBounds(dst, n, "copy");
+  RecordStep("buffer copy " + std::to_string(n) + "B -> " + Addr(dst));
+  auto* d = static_cast<std::byte*>(dst);
+  const auto* s = static_cast<const std::byte*>(src);
+  for (size_t off = 0; off < n; off += 4) {
+    const uint8_t size = static_cast<uint8_t>(std::min<size_t>(4, n - off));
+    uint64_t v = 0;
+    std::memcpy(&v, s + off, size);
+    threads_[t_self].buffer.push_back(StoreEntry{d + off, size, v, "copyw"});
+  }
+}
+
+void ModelRuntime::AtomicStore64(uint64_t* addr, uint64_t v,
+                                 std::memory_order order) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!concurrent_) {
+    RecordStep("store64 " + Addr(addr) + " = " + std::to_string(v));
+    ApplyWrite(addr, 8, v, t_self);
+    return;
+  }
+  ParkAndAwaitGrant(lock);
+  if (order == std::memory_order_release ||
+      order == std::memory_order_seq_cst ||
+      order == std::memory_order_acq_rel) {
+    // Release semantics: everything this thread buffered becomes visible
+    // no later than the cursor itself — drain the buffer in program
+    // order, then write, all as one indivisible step.
+    RecordStep("release-store64 " + Addr(addr) + " = " + std::to_string(v));
+    auto& buffer = threads_[t_self].buffer;
+    while (!buffer.empty()) FlushEntry(t_self, 0);
+    ApplyWrite(addr, 8, v, t_self);
+    return;
+  }
+  // Relaxed: the cursor store is just another buffered write, free to
+  // overtake the record bytes — exactly the reordering a relaxed publish
+  // permits.
+  RecordStep("buffer relaxed-store64 " + Addr(addr) + " = " +
+             std::to_string(v));
+  threads_[t_self].buffer.push_back(StoreEntry{addr, 8, v, "store64"});
+}
+
+uint64_t ModelRuntime::AtomicLoad64(const uint64_t* addr,
+                                    std::memory_order order) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!concurrent_) return ReadFresh(addr, 8);
+  ParkAndAwaitGrant(lock);
+  bool hit = false;
+  uint64_t v = Forwarded(addr, 8, &hit);
+  if (!hit) {
+    v = ReadFresh(addr, 8);
+    if (order == std::memory_order_acquire ||
+        order == std::memory_order_seq_cst ||
+        order == std::memory_order_acq_rel) {
+      // Acquire adopts the writer's history: every write stamped at or
+      // before this location's last write is now fresh for this thread.
+      auto it = locations_.find(addr);
+      if (it != locations_.end()) {
+        threads_[t_self].acquired =
+            std::max(threads_[t_self].acquired, it->second.stamp);
+      }
+    }
+    // A relaxed load may return the current value but acquires nothing:
+    // the record bytes "published" by the cursor stay stale to us.
+  }
+  RecordStep("load64 " + Addr(addr) + " -> " + std::to_string(v));
+  return v;
+}
+
+void ModelRuntime::ReadPayload(void* dst, const void* src, size_t n) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!concurrent_) {
+    CheckBounds(src, n, "payload read");
+    std::memcpy(dst, src, n);
+    return;
+  }
+  ParkAndAwaitGrant(lock);
+  CheckBounds(src, n, "payload read");
+  RecordStep("read payload " + std::to_string(n) + "B @ " + Addr(src));
+  auto* d = static_cast<std::byte*>(dst);
+  const auto* s = static_cast<const std::byte*>(src);
+  // Word-wise stale-aware read, mirroring CopyIn's buffering granularity.
+  for (size_t off = 0; off < n; off += 4) {
+    const uint8_t size = static_cast<uint8_t>(std::min<size_t>(4, n - off));
+    const uint64_t v = ReadModel(s + off, size);
+    std::memcpy(d + off, &v, size);
+  }
+}
+
+void ModelRuntime::DoorbellRing(int id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!concurrent_) {
+    ++doorbells_[id];
+    return;
+  }
+  ParkAndAwaitGrant(lock);
+  RecordStep("ring doorbell " + std::to_string(id));
+  ++doorbells_[id];
+  // Transition woken waiters synchronously: the scheduler must never
+  // observe a satisfied waiter still parked and misread it as stranded.
+  for (ThreadCtx& t : threads_) {
+    if (t.state == ThreadState::kWaiting && t.waiting_doorbell == id) {
+      t.state = ThreadState::kRunning;
+    }
+  }
+  cv_.notify_all();
+}
+
+void ModelRuntime::DoorbellWait(int id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!concurrent_) {
+    if (doorbells_[id] == 0) {
+      ViolationLocked("direct-mode doorbell wait would hang");
+    }
+    doorbells_[id] = 0;
+    return;
+  }
+  ParkAndAwaitGrant(lock);
+  ThreadCtx& t = threads_[t_self];
+  if (doorbells_[id] == 0 && !crash_happened_) {
+    RecordStep("wait doorbell " + std::to_string(id));
+    t.state = ThreadState::kWaiting;
+    t.waiting_doorbell = id;
+    cv_.notify_all();
+    cv_.wait(lock, [&] {
+      return doorbells_[id] > 0 || crash_happened_ || abort_ || t.killed;
+    });
+    if (abort_ || t.killed) throw ModelAbort{};
+    t.state = ThreadState::kRunning;
+    t.waiting_doorbell = -1;
+  }
+  RecordStep("drain doorbell " + std::to_string(id));
+  doorbells_[id] = 0;  // eventfd read semantics: consume every pending ring
+}
+
+bool ModelRuntime::CrashHappened() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crash_happened_;
+}
+
+std::vector<ModelRuntime::Action> ModelRuntime::RunnableActions() const {
+  std::vector<Action> actions;
+  for (int i = 0; i < static_cast<int>(threads_.size()); ++i) {
+    if (threads_[i].state == ThreadState::kParked) {
+      actions.push_back(Action{Action::kStep, i, 0});
+    }
+  }
+  for (int i = 0; i < static_cast<int>(threads_.size()); ++i) {
+    const auto& buffer = threads_[i].buffer;
+    for (size_t e = 0; e < buffer.size(); ++e) {
+      // Same-address entries keep program order (a store buffer never
+      // reorders writes to one location); distinct addresses may flush
+      // in any order.
+      bool blocked = false;
+      for (size_t j = 0; j < e; ++j) {
+        if (Overlaps(buffer[j].addr, buffer[j].size, buffer[e].addr,
+                     buffer[e].size)) {
+          blocked = true;
+          break;
+        }
+      }
+      if (!blocked) actions.push_back(Action{Action::kFlush, i, e});
+    }
+  }
+  return actions;
+}
+
+uint32_t ModelRuntime::PickChoiceLocked(uint32_t num_options) {
+  uint32_t choice = 0;
+  const size_t depth = choice_taken_->size();
+  if (rng_state_ != 0) {
+    choice = static_cast<uint32_t>(SplitMix64(&rng_state_) % num_options);
+  } else if (choice_prefix_ != nullptr && depth < choice_prefix_->size()) {
+    choice = std::min((*choice_prefix_)[depth], num_options - 1);
+  }
+  choice_taken_->push_back(choice);
+  choice_options_->push_back(num_options);
+  return choice;
+}
+
+void ModelRuntime::RunOneExecution(const ExploreSpec& spec,
+                                   const std::vector<uint32_t>& prefix,
+                                   std::vector<uint32_t>* taken,
+                                   std::vector<uint32_t>* options,
+                                   uint64_t seed) {
+  Reset();
+  if (spec.setup) spec.setup();
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    concurrent_ = true;
+    choice_prefix_ = &prefix;
+    choice_taken_ = taken;
+    choice_options_ = options;
+    rng_state_ = seed;
+    threads_.resize(spec.threads.size());
+    for (size_t i = 0; i < spec.threads.size(); ++i) {
+      threads_[i].name = spec.threads[i].name;
+    }
+  }
+  for (size_t i = 0; i < spec.threads.size(); ++i) {
+    std::function<void()> body = spec.threads[i].body;
+    threads_[i].thread = std::thread([this, i, body] {
+      t_self = static_cast<int>(i);
+      try {
+        body();
+      } catch (const ModelAbort&) {
+      }
+      std::lock_guard<std::mutex> lock(mu_);
+      if (threads_[i].state != ThreadState::kCrashed) {
+        threads_[i].state = ThreadState::kFinished;
+      }
+      cv_.notify_all();
+    });
+  }
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    int steps = 0;
+    for (;;) {
+      cv_.wait(lock, [&] {
+        if (granted_ != -1) return false;
+        for (const ThreadCtx& t : threads_) {
+          if (t.state == ThreadState::kRunning) return false;
+        }
+        return true;
+      });
+      if (abort_) break;
+      std::vector<Action> actions = RunnableActions();
+      const bool crash_possible =
+          spec.crash_thread >= 0 && !crash_happened_ &&
+          threads_[spec.crash_thread].state == ThreadState::kParked;
+      if (crash_possible) {
+        actions.push_back(Action{Action::kCrash, spec.crash_thread, 0});
+      }
+      if (actions.empty()) {
+        bool waiting = false;
+        for (const ThreadCtx& t : threads_) {
+          if (t.state == ThreadState::kWaiting) waiting = true;
+        }
+        if (waiting) {
+          try {
+            ViolationLocked(
+                "lost doorbell wakeup: a consumer is parked with no "
+                "publisher left to ring it");
+          } catch (const ModelAbort&) {
+          }
+        }
+        break;
+      }
+      if (++steps > spec.max_steps) {
+        try {
+          ViolationLocked("scheduler step cap exceeded (livelock?)");
+        } catch (const ModelAbort&) {
+        }
+        break;
+      }
+      const Action act =
+          actions[PickChoiceLocked(static_cast<uint32_t>(actions.size()))];
+      try {
+        switch (act.kind) {
+          case Action::kStep:
+            granted_ = act.thread;
+            cv_.notify_all();
+            break;
+          case Action::kFlush:
+            FlushEntry(act.thread, act.buffer_index);
+            break;
+          case Action::kCrash: {
+            ThreadCtx& t = threads_[act.thread];
+            RecordStep("CRASH " + t.name +
+                       " (SIGKILL between instructions; buffered stores "
+                       "remain flushable)");
+            t.state = ThreadState::kCrashed;
+            t.killed = true;
+            crash_happened_ = true;
+            // Peer death wakes every doorbell waiter (the poll loop gets
+            // a hangup); transition them synchronously so the scheduler
+            // never misreads a woken waiter as stranded.
+            for (ThreadCtx& w : threads_) {
+              if (w.state == ThreadState::kWaiting) {
+                w.state = ThreadState::kRunning;
+              }
+            }
+            cv_.notify_all();
+            break;
+          }
+        }
+      } catch (const ModelAbort&) {
+        break;
+      }
+    }
+    // Unwind: every gated thread observes abort_ (or has finished).
+    abort_ = abort_ || violated_;
+    if (abort_) cv_.notify_all();
+  }
+  // Threads parked for a grant see neither abort_ nor a grant when the
+  // scheduler exits cleanly; release them so join() returns.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    bool straggler = false;
+    for (const ThreadCtx& t : threads_) {
+      if (t.state == ThreadState::kParked ||
+          t.state == ThreadState::kWaiting) {
+        straggler = true;
+      }
+    }
+    if (straggler) {
+      abort_ = true;
+      cv_.notify_all();
+    }
+  }
+  for (ThreadCtx& t : threads_) {
+    if (t.thread.joinable()) t.thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    concurrent_ = false;
+    choice_prefix_ = nullptr;
+  }
+  if (!violated_ && spec.final_check) {
+    try {
+      spec.final_check();
+    } catch (const ModelAbort&) {
+    }
+  }
+}
+
+ExploreResult ModelRuntime::Explore(const ExploreSpec& spec,
+                                    uint64_t max_schedules,
+                                    bool stop_at_first_violation,
+                                    uint64_t seed) {
+  ExploreResult result;
+  std::vector<uint32_t> prefix;
+  for (uint64_t e = 0; e < max_schedules; ++e) {
+    std::vector<uint32_t> taken;
+    std::vector<uint32_t> options;
+    RunOneExecution(spec, prefix, &taken, &options,
+                    seed == 0 ? 0 : seed + e);
+    ++result.executions;
+    if (violated_) {
+      ++result.violations;
+      if (result.first_violation.empty()) {
+        result.first_violation = violation_message_;
+        result.first_trace = trace_;
+      }
+      if (stop_at_first_violation) return result;
+    }
+    if (seed == 0) {
+      // DFS: advance the deepest branch point with an untaken option.
+      int i = static_cast<int>(taken.size()) - 1;
+      while (i >= 0 && taken[i] + 1 >= options[i]) --i;
+      if (i < 0) {
+        result.exhausted = true;
+        return result;
+      }
+      prefix.assign(taken.begin(), taken.begin() + i);
+      prefix.push_back(taken[i] + 1);
+    }
+  }
+  return result;
+}
+
+}  // namespace check
+}  // namespace mjoin

@@ -1,0 +1,232 @@
+#ifndef MJOIN_CHECK_MODEL_RUNTIME_H_
+#define MJOIN_CHECK_MODEL_RUNTIME_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "check/mutations.h"
+
+/// The interleaving scheduler and relaxed-memory simulator behind
+/// mjoin_check.
+///
+/// The production ring code (recompiled with -DMJOIN_SHM_MEMORY_MODEL)
+/// performs every shared access through this runtime. Two modes:
+///
+///   Direct mode (default): accesses execute immediately on the calling
+///   thread. Invariant checks (region bounds, cursor monotonicity) still
+///   fire, so deterministic single-threaded scenarios catch the ring's
+///   arithmetic bugs without any interleaving search.
+///
+///   Concurrent mode (Explore): scenario threads run for real but are
+///   gated one shared access at a time by a scheduler that replays a
+///   DFS-enumerated choice sequence. The memory simulation:
+///
+///     - Relaxed atomic stores and all plain stores enter the writing
+///       thread's store buffer. Each buffered entry is flushed to memory
+///       as its own schedulable step, and entries to distinct addresses
+///       may flush out of program order — modelling both hardware store
+///       buffers and compiler reordering of unordered stores.
+///     - A release store flushes the thread's buffer in order, then
+///       writes its own value, as one atomic step.
+///     - Every flushed write stamps its location with a global epoch and
+///       remembers the previous value. An acquire load adopts the
+///       location's stamp into the reader's acquired horizon; a plain or
+///       relaxed load of a location stamped *beyond* the reader's horizon
+///       by another thread returns the previous value — the stale read
+///       an unsynchronized CPU is entitled to serve.
+///     - A crash action (enabled per scenario) kills a thread between
+///       steps. Its buffered stores remain flushable — SIGKILL does not
+///       roll back stores the CPU already executed — but no further
+///       instruction runs, which is exactly the mid-write-kill the ring's
+///       publish protocol must make unobservable.
+///
+///   Doorbells model the data plane's eventfd wakeups: Ring increments a
+///   counter and unparks waiters, Wait consumes the counter or parks.
+///   A state where some thread is parked and no thread can run again is
+///   reported as a lost wakeup.
+namespace mjoin {
+namespace check {
+
+/// Thrown by runtime calls on an invariant violation in direct mode, and
+/// by gated threads when the exploration aborts. Scenario threads must
+/// let it propagate (the thread wrapper catches it).
+struct ModelAbort {};
+
+/// One scenario thread: a body plus a human-readable name for traces.
+struct ModelThread {
+  std::string name;
+  std::function<void()> body;
+};
+
+/// One fully-specified concurrent exploration.
+struct ExploreSpec {
+  /// Re-establishes the initial shared state (ring Init, region/cursor
+  /// registration) before each execution, in direct mode.
+  std::function<void()> setup;
+  std::vector<ModelThread> threads;
+  /// Index into `threads` of the thread the scheduler may crash (one
+  /// crash per execution, at any step), or -1 to disable crash points.
+  int crash_thread = -1;
+  /// Runs after every non-violating execution, in direct mode, with all
+  /// threads joined. Throw via ModelRuntime::Violation on failure.
+  std::function<void()> final_check;
+  /// Hard cap on scheduler steps per execution (runaway guard).
+  int max_steps = 20000;
+};
+
+struct ExploreResult {
+  uint64_t executions = 0;
+  uint64_t violations = 0;
+  bool exhausted = false;  // DFS covered the whole bounded space
+  std::string first_violation;
+  std::vector<std::string> first_trace;
+};
+
+class ModelRuntime {
+ public:
+  static ModelRuntime& Get();
+
+  /// Clears regions, cursors, locations, doorbells, and violation state.
+  void Reset();
+
+  /// Registers the legal shared region; any modelled store outside it is
+  /// an out-of-region violation (a record straddling the data region's
+  /// end lands here before it can corrupt adjacent memory).
+  void RegisterRegion(void* base, size_t bytes);
+  /// Marks an atomic location as a ring cursor: every store must move it
+  /// forward by at most `max_step` bytes (DESIGN.md §14 monotonicity,
+  /// phrased wrap-safely: cursors are free-running u64s that may cross
+  /// 2^64, so "non-decreasing" means a small modular forward step).
+  void RegisterCursor(void* addr, const char* name, uint64_t max_step);
+
+  // -- shared accesses (the model_policy seam calls these) --------------
+  void StoreWord(uint32_t* addr, uint32_t v);
+  uint32_t LoadWord(const uint32_t* addr);
+  void CopyIn(void* dst, const void* src, size_t n);
+  void AtomicStore64(uint64_t* addr, uint64_t v, std::memory_order order);
+  uint64_t AtomicLoad64(const uint64_t* addr, std::memory_order order);
+
+  /// Stale-aware bulk read for harness-side payload validation (the
+  /// production consumer hands out a raw pointer; reading through the
+  /// model keeps the simulated memory semantics).
+  void ReadPayload(void* dst, const void* src, size_t n);
+
+  // -- doorbells ---------------------------------------------------------
+  void DoorbellRing(int id);
+  void DoorbellWait(int id);
+
+  /// True once the crash action has fired this execution (models the
+  /// peer-death notification a poll loop gets when a worker dies).
+  bool CrashHappened() const;
+
+  /// Records a violation and aborts the current execution/scenario step.
+  [[noreturn]] void Violation(const std::string& message);
+
+  /// Explores interleavings of `spec` by stateless DFS replay, up to
+  /// `max_schedules` executions. `stop_at_first_violation` short-circuits
+  /// mutant runs. `seed` != 0 switches to uniform random walks instead of
+  /// DFS (for spot-checking bigger spaces).
+  ExploreResult Explore(const ExploreSpec& spec, uint64_t max_schedules,
+                        bool stop_at_first_violation, uint64_t seed);
+
+  bool violated() const { return violated_; }
+  const std::string& violation_message() const { return violation_message_; }
+  const std::vector<std::string>& trace() const { return trace_; }
+
+ private:
+  ModelRuntime() = default;
+
+  struct StoreEntry {
+    void* addr = nullptr;
+    uint8_t size = 0;  // 4 or 8
+    uint64_t value = 0;
+    std::string what;
+  };
+
+  struct Location {
+    uint64_t stamp = 0;
+    int writer = -1;
+    uint64_t prev = 0;
+  };
+
+  enum class ThreadState {
+    kRunning,   // executing scenario code between shared accesses
+    kParked,    // waiting at a shared access for the scheduler's grant
+    kWaiting,   // parked on a doorbell
+    kFinished,
+    kCrashed,
+  };
+
+  struct ThreadCtx {
+    std::string name;
+    std::thread thread;
+    ThreadState state = ThreadState::kRunning;
+    int waiting_doorbell = -1;
+    bool killed = false;
+    std::vector<StoreEntry> buffer;
+    uint64_t acquired = 0;
+  };
+
+  struct Action {
+    enum Kind { kStep, kFlush, kCrash } kind = kStep;
+    int thread = -1;
+    size_t buffer_index = 0;
+  };
+
+  // All private helpers run with mu_ held.
+  void ParkAndAwaitGrant(std::unique_lock<std::mutex>& lock);
+  [[noreturn]] void ViolationLocked(const std::string& message);
+  void FlushEntry(int thread, size_t index);
+  void ApplyWrite(void* addr, uint8_t size, uint64_t value, int writer);
+  uint64_t ReadFresh(const void* addr, uint8_t size) const;
+  uint64_t ReadModel(const void* addr, uint8_t size);  // stale-aware
+  uint64_t Forwarded(const void* addr, uint8_t size, bool* hit);
+  void CheckBounds(const void* addr, size_t n, const char* what);
+  void RecordStep(std::string what);
+  std::string Addr(const void* addr) const;
+  std::vector<Action> RunnableActions() const;
+  uint32_t PickChoiceLocked(uint32_t num_options);
+  void RunOneExecution(const ExploreSpec& spec,
+                       const std::vector<uint32_t>& prefix,
+                       std::vector<uint32_t>* taken,
+                       std::vector<uint32_t>* options, uint64_t seed);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool concurrent_ = false;
+  bool abort_ = false;
+  int granted_ = -1;
+  std::vector<ThreadCtx> threads_;
+  std::unordered_map<const void*, Location> locations_;
+  uint64_t epoch_ = 0;
+  std::byte* region_base_ = nullptr;
+  size_t region_bytes_ = 0;
+  struct CursorInfo {
+    std::string name;
+    uint64_t max_step = 0;
+  };
+  std::unordered_map<void*, CursorInfo> cursors_;
+  std::unordered_map<int, uint64_t> doorbells_;
+  bool crash_happened_ = false;
+  bool violated_ = false;
+  std::string violation_message_;
+  std::vector<std::string> trace_;
+  // Per-execution choice state (scheduler side).
+  const std::vector<uint32_t>* choice_prefix_ = nullptr;
+  std::vector<uint32_t>* choice_taken_ = nullptr;
+  std::vector<uint32_t>* choice_options_ = nullptr;
+  uint64_t rng_state_ = 0;
+};
+
+}  // namespace check
+}  // namespace mjoin
+
+#endif  // MJOIN_CHECK_MODEL_RUNTIME_H_

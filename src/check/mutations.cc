@@ -1,0 +1,48 @@
+#include "check/mutations.h"
+
+#include <cstring>
+
+namespace mjoin {
+namespace check {
+namespace {
+
+// Index order must match the Mutation enum (kNone at 0).
+constexpr const char* kNames[] = {
+    "none",
+    "commit-tail-relaxed",
+    "publish-before-write",
+    "read-tail-relaxed",
+    "straddle-record",
+    "overclaim-avail",
+    "pad-overwrite",
+    "pad-skip-no-release",
+    "wrap-unsafe-compare",
+    "doorbell-dropped",
+};
+static_assert(sizeof(kNames) / sizeof(kNames[0]) == kNumMutations + 1,
+              "name table out of sync with the Mutation enum");
+
+Mutation g_current = Mutation::kNone;
+
+}  // namespace
+
+const char* MutationName(Mutation m) {
+  const int i = static_cast<int>(m);
+  if (i < 0 || i > kNumMutations) return "?";
+  return kNames[i];
+}
+
+Mutation MutationFromName(const char* name) {
+  for (int i = 1; i <= kNumMutations; ++i) {
+    if (std::strcmp(kNames[i], name) == 0) return static_cast<Mutation>(i);
+  }
+  return Mutation::kNone;
+}
+
+Mutation CurrentMutation() { return g_current; }
+void SetMutation(Mutation m) { g_current = m; }
+
+bool MutationEnabled(Mutation m) { return g_current == m; }
+
+}  // namespace check
+}  // namespace mjoin

@@ -1,0 +1,64 @@
+#ifndef MJOIN_CHECK_MUTATIONS_H_
+#define MJOIN_CHECK_MUTATIONS_H_
+
+/// Seeded bugs for mjoin_check's mutation self-test.
+///
+/// Each mutation weakens one specific guarantee of the production shm
+/// ring (src/net/shm_ring.cc); the self-test proves the checker's teeth
+/// by enabling them one at a time and requiring every one to be caught.
+/// The hooks live in the production source as MJOIN_SHM_MUTATION(id)
+/// sites, which compile to the constant false outside the checker.
+namespace mjoin {
+namespace check {
+
+enum class Mutation {
+  kNone = 0,
+  /// Commit's tail publish drops its release ordering, so the cursor may
+  /// become visible before the record bytes it claims to publish.
+  kCommitTailRelaxed,
+  /// Commit publishes the tail before writing the record header.
+  kPublishBeforeWrite,
+  /// TryRead's tail load drops its acquire ordering, so the record bytes
+  /// the cursor covers may not be visible to the consumer yet.
+  kReadTailRelaxed,
+  /// TryReserve's wrap threshold is off by one alignment unit, letting a
+  /// record straddle the end of the data region.
+  kStraddleRecord,
+  /// TryReserve admits a record one alignment unit larger than the free
+  /// space, overlapping records the consumer has not released.
+  kOverclaimAvail,
+  /// TryReserve publishes a wrap pad even when it would overwrite
+  /// records the consumer has not released.
+  kPadOverwrite,
+  /// TryRead's pad skip advances only the local cursor, never returning
+  /// the pad's space to the producer.
+  kPadSkipNoRelease,
+  /// TryRead's span validation uses the overflow-unsafe `head + rec >
+  /// tail` form, which misfires near 2^64 cursor wrap.
+  kWrapUnsafeCompare,
+  /// The producer's doorbell coalescing drops every ring after the
+  /// first, losing the wakeup a parked consumer depends on.
+  kDoorbellDropped,
+};
+
+inline constexpr int kNumMutations = 9;
+
+const char* MutationName(Mutation m);
+
+/// Parses a MutationName back to its enum; kNone when unknown.
+Mutation MutationFromName(const char* name);
+
+/// The currently armed mutation (kNone outside mutant runs). Read by the
+/// MJOIN_SHM_MUTATION sites in the recompiled production code and by the
+/// harness's doorbell logic.
+Mutation CurrentMutation();
+void SetMutation(Mutation m);
+
+/// True when `m` is the armed mutation. The expansion target of
+/// MJOIN_SHM_MUTATION(id) under -DMJOIN_SHM_MEMORY_MODEL.
+bool MutationEnabled(Mutation m);
+
+}  // namespace check
+}  // namespace mjoin
+
+#endif  // MJOIN_CHECK_MUTATIONS_H_

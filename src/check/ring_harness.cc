@@ -1,0 +1,424 @@
+#include "check/ring_harness.h"
+
+#include <cstring>
+#include <utility>
+
+#include "check/model_runtime.h"
+#include "net/shm_ring.h"
+
+namespace mjoin {
+namespace check {
+namespace {
+
+// A 64-byte data region (max_payload 16) keeps every interesting wrap and
+// full-ring state reachable in a handful of records. Init() deliberately
+// does not enforce the 4 KiB production minimum, so tiny rings are legal
+// here.
+constexpr uint32_t kRingBytes = 64;
+constexpr size_t kBlockBytes = sizeof(ShmRingHdr) + kRingBytes;
+
+ModelRuntime& RT() { return ModelRuntime::Get(); }
+
+/// One model ring: backing storage + the production ShmRing view over it.
+struct RingBox {
+  alignas(64) std::byte mem[kBlockBytes];
+  ShmRing ring;
+
+  ShmRingHdr* hdr() { return reinterpret_cast<ShmRingHdr*>(mem); }
+
+  /// Re-establishes a pristine ring with both cursors at `base_cursor`.
+  /// Resets the whole runtime, so direct scenarios call it once per
+  /// phase; Explore setups call it once per execution.
+  void Prepare(uint64_t base_cursor) {
+    RT().Reset();
+    std::memset(mem, 0, sizeof(mem));
+    RT().RegisterRegion(mem, sizeof(mem));
+    ring = ShmRing();
+    ring.Init(mem, kRingBytes);
+    if (base_cursor != 0) {
+      // Seed the free-running cursors (registered below, so the
+      // monotonicity check does not see this jump from zero).
+      hdr()->tail.store(base_cursor, std::memory_order_relaxed);
+      hdr()->head.store(base_cursor, std::memory_order_relaxed);
+    }
+    RT().RegisterCursor(&hdr()->tail, "tail", kRingBytes);
+    RT().RegisterCursor(&hdr()->head, "head", kRingBytes);
+  }
+};
+
+uint8_t PatternByte(uint8_t seed, size_t i) {
+  return static_cast<uint8_t>(seed * 31 + i * 7 + 13);
+}
+
+/// Pushes one kData record whose payload is the deterministic pattern for
+/// `seed`; returns TryPush's verdict.
+bool PushPattern(ShmRing* ring, uint32_t payload_bytes, uint8_t seed) {
+  std::byte buf[32] = {};
+  for (size_t i = 0; i < payload_bytes; ++i) {
+    buf[i] = static_cast<std::byte>(PatternByte(seed, i));
+  }
+  return ring->TryPush(ShmRecordType::kData, buf, payload_bytes, nullptr, 0);
+}
+
+/// Reads the next record (skipping pads); violations on corrupt ring.
+/// Returns false when drained.
+bool ReadNext(ShmRing* ring, ShmRecordView* view) {
+  StatusOr<bool> got = ring->TryRead(view);
+  if (!got.ok()) RT().Violation("consumer: " + got.status().message());
+  return got.value();
+}
+
+void VerifyPayload(const ShmRecordView& view, uint32_t payload_bytes,
+                   uint8_t seed) {
+  if (view.type != ShmRecordType::kData) {
+    RT().Violation("record type mismatch: " +
+                   std::string(ShmRecordTypeName(view.type)));
+  }
+  if (view.payload_bytes != payload_bytes) {
+    RT().Violation("payload size mismatch: got " +
+                   std::to_string(view.payload_bytes) + " want " +
+                   std::to_string(payload_bytes));
+  }
+  std::byte buf[32] = {};
+  RT().ReadPayload(buf, view.payload, payload_bytes);
+  for (size_t i = 0; i < payload_bytes; ++i) {
+    if (buf[i] != static_cast<std::byte>(PatternByte(seed, i))) {
+      RT().Violation("torn payload at byte " + std::to_string(i));
+    }
+  }
+}
+
+struct Expected {
+  uint32_t payload_bytes;
+  uint8_t seed;
+};
+
+/// Drains the ring, validating the exact surviving record sequence, then
+/// asserts the §14 accounting invariant: a drained ring has returned
+/// every byte, pads included (head == tail).
+void DrainAndVerify(ShmRing* ring, const std::vector<Expected>& expected) {
+  size_t got = 0;
+  ShmRecordView view;
+  while (ReadNext(ring, &view)) {
+    if (got >= expected.size()) {
+      RT().Violation("drained more records than were published");
+    }
+    VerifyPayload(view, expected[got].payload_bytes, expected[got].seed);
+    ring->Release();
+    ++got;
+  }
+  if (got != expected.size()) {
+    RT().Violation("drained " + std::to_string(got) + " records, expected " +
+                   std::to_string(expected.size()));
+  }
+  if (ring->head_cursor() != ring->tail_cursor()) {
+    RT().Violation("drained ring did not return all space: head " +
+                   std::to_string(ring->head_cursor()) + " != tail " +
+                   std::to_string(ring->tail_cursor()));
+  }
+}
+
+void MustPush(ShmRing* ring, uint32_t payload_bytes, uint8_t seed) {
+  if (!PushPattern(ring, payload_bytes, seed)) {
+    RT().Violation("push refused with space available");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Direct scenarios (single-threaded, deterministic).
+// ---------------------------------------------------------------------
+
+/// Wrap behaviour: a record that would straddle the region end forces a
+/// pad; a pad that would trample unreleased records is refused; both
+/// recover once the consumer drains.
+void ScenarioWrapPad() {
+  RingBox box;
+
+  // Phase A: straddle. Fill to offset 48, drain, then push a maximal
+  // record whose 24 bytes cannot fit the 16 bytes left before the end.
+  box.Prepare(0);
+  MustPush(&box.ring, 8, 1);
+  MustPush(&box.ring, 8, 2);
+  MustPush(&box.ring, 8, 3);
+  DrainAndVerify(&box.ring, {{8, 1}, {8, 2}, {8, 3}});
+  // kStraddleRecord skips the pad here and copies 16 payload bytes
+  // through the end of the data region: caught as an out-of-region write.
+  MustPush(&box.ring, 16, 4);
+  DrainAndVerify(&box.ring, {{16, 4}});
+
+  // Phase B: pad refusal. Build a second-lap state where the tail is 16
+  // bytes short of the end but the consumer still owns part of the
+  // previous lap (avail 8 < to_end 16), then ask for a wrapping record.
+  box.Prepare(0);
+  MustPush(&box.ring, 16, 5);  // [0,24)
+  MustPush(&box.ring, 16, 6);  // [24,48)
+  MustPush(&box.ring, 0, 7);   // [48,56)
+  DrainAndVerify(&box.ring, {{16, 5}, {16, 6}, {0, 7}});
+  MustPush(&box.ring, 8, 8);   // pad [56,64), then [0,16)
+  MustPush(&box.ring, 16, 9);  // [16,40)
+  MustPush(&box.ring, 8, 10);  // [40,56): tail off 48, head off 56
+  // kPadOverwrite publishes the pad anyway, trampling the unconsumed pad
+  // at [56,64) and driving tail-head past the ring size: the drain below
+  // reports corrupt cursors.
+  const bool pushed = PushPattern(&box.ring, 16, 11);
+  DrainAndVerify(&box.ring, {{8, 8}, {16, 9}, {8, 10}});
+  if (pushed) {
+    RT().Violation("push succeeded though its pad would trample "
+                   "unreleased records");
+  }
+  // Recovery: the refused push goes through verbatim once drained.
+  MustPush(&box.ring, 16, 11);
+  DrainAndVerify(&box.ring, {{16, 11}});
+}
+
+/// Full-ring accounting: capacity is exactly data_bytes, a full ring
+/// refuses, a drained ring has head == tail even when the last thing
+/// consumed was a pad, and the refused push succeeds after draining.
+void ScenarioAccounting() {
+  RingBox box;
+
+  // Phase A: capacity. Eight 8-byte records fill the 64-byte region
+  // exactly; the ninth must be refused. kOverclaimAvail admits it (and
+  // everything after — avail underflows), corrupting the cursors.
+  box.Prepare(0);
+  int pushed = 0;
+  std::vector<Expected> all;
+  while (pushed < 12 && PushPattern(&box.ring, 0, static_cast<uint8_t>(pushed))) {
+    all.push_back({0, static_cast<uint8_t>(pushed)});
+    ++pushed;
+  }
+  DrainAndVerify(&box.ring, all);
+  if (pushed != 8) {
+    RT().Violation("a 64-byte ring accepted " + std::to_string(pushed) +
+                   " 8-byte records, expected exactly 8");
+  }
+
+  // Phase B: pad space must return to the producer. Leave the consumer
+  // mid-ring, force a pad-then-refuse (avail 16 < rec 24), then drain:
+  // the skipped pad must move head all the way to tail.
+  // kPadSkipNoRelease leaves head 16 bytes short.
+  box.Prepare(0);
+  MustPush(&box.ring, 8, 20);   // [0,16)
+  MustPush(&box.ring, 16, 21);  // [16,40)
+  MustPush(&box.ring, 0, 22);   // [40,48)
+  ShmRecordView view;
+  if (!ReadNext(&box.ring, &view)) RT().Violation("ring empty after pushes");
+  VerifyPayload(view, 8, 20);
+  box.ring.Release();  // head 16
+  const bool mid_pushed = PushPattern(&box.ring, 16, 23);  // pad [48,64), refuse
+  DrainAndVerify(&box.ring, {{16, 21}, {0, 22}});
+  if (mid_pushed) {
+    RT().Violation("push succeeded with only 16 of 24 bytes free");
+  }
+  // Recovery proves the refusal was full-ring back-pressure, not a wedge.
+  MustPush(&box.ring, 16, 23);
+  DrainAndVerify(&box.ring, {{16, 23}});
+}
+
+/// Cursor numeric wrap: both cursors seeded 24 bytes below 2^64; pushes
+/// and reads must cross the wrap with the modular arithmetic intact.
+/// kWrapUnsafeCompare's `head + rec > tail` misfires on the first read.
+void ScenarioNearWrap() {
+  RingBox box;
+  box.Prepare(~uint64_t{0} - 23);  // 2^64 - 24, 8-byte aligned, offset 40
+  MustPush(&box.ring, 8, 30);  // [40,56)
+  MustPush(&box.ring, 8, 31);  // pad [56,64), tail crosses 2^64, [0,16)
+  MustPush(&box.ring, 8, 32);  // [16,32)
+  DrainAndVerify(&box.ring, {{8, 30}, {8, 31}, {8, 32}});
+  if (box.ring.tail_cursor() != 32) {
+    RT().Violation("tail did not wrap cleanly across 2^64");
+  }
+}
+
+// ---------------------------------------------------------------------
+// Interleaved scenarios.
+// ---------------------------------------------------------------------
+
+constexpr int kBell = 0;
+
+/// One record, producer vs doorbell-paced consumer. Store-buffer
+/// reordering and stale reads make the publish protocol's release/acquire
+/// pairing load-bearing here: kCommitTailRelaxed, kPublishBeforeWrite and
+/// kReadTailRelaxed all surface as a garbage header, a torn payload, or a
+/// stranded consumer.
+ExploreSpec SpecRacePublish(RingBox* box) {
+  ExploreSpec spec;
+  spec.setup = [box] { box->Prepare(0); };
+  spec.threads.push_back({"prod", [box] {
+    if (!PushPattern(&box->ring, 4, 40)) {
+      RT().Violation("push refused on an empty ring");
+    }
+    RT().DoorbellRing(kBell);
+  }});
+  spec.threads.push_back({"cons", [box] {
+    for (;;) {
+      ShmRecordView view;
+      if (ReadNext(&box->ring, &view)) {
+        VerifyPayload(view, 4, 40);
+        box->ring.Release();
+        return;
+      }
+      RT().DoorbellWait(kBell);
+    }
+  }});
+  spec.final_check = [box] {
+    if (box->ring.head_cursor() != box->ring.tail_cursor()) {
+      RT().Violation("record space not returned after consume");
+    }
+  };
+  return spec;
+}
+
+/// Two records, one doorbell ring per publish. The §14 no-lost-wakeup
+/// invariant: no interleaving may leave the consumer parked while a
+/// published record sits unread. kDoorbellDropped elides the second ring.
+ExploreSpec SpecDoorbell(RingBox* box) {
+  ExploreSpec spec;
+  spec.setup = [box] { box->Prepare(0); };
+  spec.threads.push_back({"prod", [box] {
+    for (uint8_t i = 0; i < 2; ++i) {
+      if (!PushPattern(&box->ring, 4, static_cast<uint8_t>(50 + i))) {
+        RT().Violation("push refused with space available");
+      }
+      if (i == 0 || !MutationEnabled(Mutation::kDoorbellDropped)) {
+        RT().DoorbellRing(kBell);
+      }
+    }
+  }});
+  spec.threads.push_back({"cons", [box] {
+    int got = 0;
+    while (got < 2) {
+      ShmRecordView view;
+      if (ReadNext(&box->ring, &view)) {
+        VerifyPayload(view, 4, static_cast<uint8_t>(50 + got));
+        box->ring.Release();
+        ++got;
+        continue;
+      }
+      RT().DoorbellWait(kBell);
+    }
+  }});
+  spec.final_check = [box] {
+    if (box->ring.head_cursor() != box->ring.tail_cursor()) {
+      RT().Violation("record space not returned after consume");
+    }
+  };
+  return spec;
+}
+
+/// Producer killed between any two instructions (SIGKILL model: buffered
+/// stores may still land, no further instruction runs). The consumer must
+/// observe an intact prefix of the published records — a half-written
+/// record must be unpublishable.
+ExploreSpec SpecCrashPublish(RingBox* box) {
+  ExploreSpec spec;
+  spec.setup = [box] { box->Prepare(0); };
+  spec.crash_thread = 0;
+  spec.threads.push_back({"prod", [box] {
+    for (uint8_t i = 0; i < 3; ++i) {
+      if (!PushPattern(&box->ring, 8, static_cast<uint8_t>(60 + i))) {
+        RT().Violation("push refused with space available");
+      }
+      RT().DoorbellRing(kBell);
+    }
+  }});
+  spec.threads.push_back({"cons", [box] {
+    int got = 0;
+    while (got < 3) {
+      ShmRecordView view;
+      if (ReadNext(&box->ring, &view)) {
+        VerifyPayload(view, 8, static_cast<uint8_t>(60 + got));
+        box->ring.Release();
+        ++got;
+        continue;
+      }
+      // Drained. A dead producer publishes nothing further; a live one
+      // will ring again.
+      if (RT().CrashHappened()) return;
+      RT().DoorbellWait(kBell);
+    }
+  }});
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> ScenarioNames() {
+  return {"wrap_pad", "accounting", "near_wrap",
+          "race_publish", "doorbell", "crash_publish"};
+}
+
+const char* CatchingScenario(Mutation m) {
+  switch (m) {
+    case Mutation::kCommitTailRelaxed:
+    case Mutation::kPublishBeforeWrite:
+    case Mutation::kReadTailRelaxed:
+      return "race_publish";
+    case Mutation::kStraddleRecord:
+    case Mutation::kPadOverwrite:
+      return "wrap_pad";
+    case Mutation::kOverclaimAvail:
+    case Mutation::kPadSkipNoRelease:
+      return "accounting";
+    case Mutation::kWrapUnsafeCompare:
+      return "near_wrap";
+    case Mutation::kDoorbellDropped:
+      return "doorbell";
+    case Mutation::kNone:
+      break;
+  }
+  return "";
+}
+
+ScenarioResult RunScenario(const std::string& name, Mutation mutation,
+                           uint64_t max_schedules, uint64_t seed) {
+  ScenarioResult result;
+  result.name = name;
+  SetMutation(mutation);
+  ModelRuntime& rt = RT();
+
+  void (*direct)() = nullptr;
+  if (name == "wrap_pad") direct = &ScenarioWrapPad;
+  if (name == "accounting") direct = &ScenarioAccounting;
+  if (name == "near_wrap") direct = &ScenarioNearWrap;
+  if (direct != nullptr) {
+    try {
+      direct();
+    } catch (const ModelAbort&) {
+    }
+    result.executions = 1;
+    result.exhausted = true;
+    result.violated = rt.violated();
+    result.message = rt.violation_message();
+    result.trace = rt.trace();
+    SetMutation(Mutation::kNone);
+    return result;
+  }
+
+  RingBox box;
+  ExploreSpec spec;
+  if (name == "race_publish") {
+    spec = SpecRacePublish(&box);
+  } else if (name == "doorbell") {
+    spec = SpecDoorbell(&box);
+  } else if (name == "crash_publish") {
+    spec = SpecCrashPublish(&box);
+  } else {
+    SetMutation(Mutation::kNone);
+    result.violated = true;
+    result.message = "unknown scenario: " + name;
+    return result;
+  }
+  const ExploreResult explored =
+      rt.Explore(spec, max_schedules, /*stop_at_first_violation=*/true, seed);
+  result.executions = explored.executions;
+  result.exhausted = explored.exhausted;
+  result.violated = explored.violations > 0;
+  result.message = explored.first_violation;
+  result.trace = explored.first_trace;
+  SetMutation(Mutation::kNone);
+  return result;
+}
+
+}  // namespace check
+}  // namespace mjoin

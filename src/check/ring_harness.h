@@ -1,0 +1,58 @@
+#ifndef MJOIN_CHECK_RING_HARNESS_H_
+#define MJOIN_CHECK_RING_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "check/mutations.h"
+
+/// The scenario catalogue mjoin_check runs against the production ShmRing
+/// (recompiled over the model-checking memory policy). Each scenario
+/// asserts the DESIGN.md §14 ring invariants; the mutation self-test
+/// additionally requires each seeded bug to be caught by its designated
+/// scenario.
+namespace mjoin {
+namespace check {
+
+struct ScenarioResult {
+  std::string name;
+  bool violated = false;
+  std::string message;
+  uint64_t executions = 0;
+  bool exhausted = false;
+  std::vector<std::string> trace;
+};
+
+/// All scenario names, in catalogue order:
+///   wrap_pad     direct: pad publication at the wrap point, record
+///                straddle refusal, pad refusal when it would trample
+///                unreleased records, second-lap recovery.
+///   accounting   direct: full-ring refusal, drain accounting
+///                (drained ring implies head == tail), pad space
+///                returned to the producer, refuse/recover cycle.
+///   near_wrap    direct: cursors seeded just below 2^64 push and read
+///                across the numeric wrap.
+///   race_publish interleaved: one producer record vs a doorbell-paced
+///                consumer; publish/consume ordering under store-buffer
+///                reordering and stale reads.
+///   doorbell     interleaved: two records with per-publish doorbell
+///                rings; no interleaving may strand a parked consumer.
+///   crash_publish interleaved + crash points: producer may be killed
+///                between any two instructions; the consumer must see an
+///                intact record prefix, never a torn or phantom record.
+std::vector<std::string> ScenarioNames();
+
+/// The scenario whose violation proves `m` is caught.
+const char* CatchingScenario(Mutation m);
+
+/// Runs one scenario with `mutation` armed (kNone for baseline).
+/// `max_schedules` bounds interleaved exploration; `seed` != 0 switches
+/// from DFS to random walks. Direct scenarios run exactly once.
+ScenarioResult RunScenario(const std::string& name, Mutation mutation,
+                           uint64_t max_schedules, uint64_t seed);
+
+}  // namespace check
+}  // namespace mjoin
+
+#endif  // MJOIN_CHECK_RING_HARNESS_H_

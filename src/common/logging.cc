@@ -35,8 +35,12 @@ const char* Basename(const char* path) {
 
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_log_level.store(level); }
-LogLevel GetLogLevel() { return g_log_level.load(); }
+void SetLogLevel(LogLevel level) {
+  g_log_level.store(level, std::memory_order_relaxed);
+}
+LogLevel GetLogLevel() {
+  return g_log_level.load(std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 

@@ -323,6 +323,7 @@ Status Coordinator::SpawnFleet() {
     workers_[w].pid = pid;
     workers_[w].owned_chan =
         std::make_unique<FrameChannel>(sv[0], StrCat("worker ", w));
+    workers_[w].owned_chan->EnableConformance(LinkRole::kCoordinator);
     workers_[w].chan = workers_[w].owned_chan.get();
     if (options_.net_fault_injector != nullptr &&
         options_.net_fault_injector->scenario().worker == w) {
@@ -991,19 +992,11 @@ void Coordinator::HandleFrame(uint32_t w, Frame frame) {
       }
       return;
     }
-    // Coordinator-to-worker frame types; the coordinator never receives
-    // them. The switch lists every FrameType so -Wswitch flags new wire
-    // frames that are silently unrouted here.
-    case FrameType::kPlan:
-    case FrameType::kFragment:
-    case FrameType::kTrigger:
-    case FrameType::kFinish:
-    case FrameType::kShutdown:
-    case FrameType::kPing:
-    case FrameType::kSkewDirective:
-    // Serve-layer frame types; they never appear on a worker socket.
-    case FrameType::kSubmit:
-    case FrameType::kQueryResult:
+    // Frames the table says never arrive at the coordinator (coordinator-
+    // to-worker and serve-layer classes), generated from
+    // MJOIN_FRAME_TABLE. The switch stays default:-free so -Wswitch flags
+    // any new wire frame that is silently unrouted here.
+    MJOIN_FRAME_CASES(NOT_WC)
       break;
   }
   AbortCorruptWire(
@@ -1543,6 +1536,7 @@ Status SpawnFleetMembers(FleetState* state, uint32_t num_workers) {
     state->members[w].pid = pid;
     state->members[w].chan =
         std::make_unique<FrameChannel>(sv[0], StrCat("worker ", w));
+    state->members[w].chan->EnableConformance(LinkRole::kCoordinator);
     state->members[w].reaped = false;
   }
   state->poisoned = false;

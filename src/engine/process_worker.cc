@@ -1325,26 +1325,13 @@ Status WorkerRun::HandleFrame(const Frame& frame) {
     case FrameType::kShutdown:
       shutdown_ = true;
       return Status::OK();
-    // Worker-to-coordinator frame types; a worker never receives them. The
-    // switch lists every FrameType so -Wswitch flags new wire frames that
-    // are silently unrouted here.
-    case FrameType::kHello:
+    // Frames the table says never arrive at a worker (worker-to-
+    // coordinator and serve-layer classes), generated from
+    // MJOIN_FRAME_TABLE. kPlan is class CW but handled by the parked
+    // outer loop, never here. The switch stays default:-free so -Wswitch
+    // flags any new wire frame that is silently unrouted here.
     case FrameType::kPlan:
-    case FrameType::kMilestone:
-    case FrameType::kCredit:
-    case FrameType::kSummary:
-    case FrameType::kResultRows:
-    case FrameType::kOpStats:
-    case FrameType::kNetStats:
-    case FrameType::kTraceEvents:
-    case FrameType::kError:
-    case FrameType::kBye:
-    case FrameType::kPong:
-    case FrameType::kIdle:
-    case FrameType::kSkewReport:
-    // Serve-layer frame types; they never reach a worker socket.
-    case FrameType::kSubmit:
-    case FrameType::kQueryResult:
+    MJOIN_FRAME_CASES(NOT_CW)
       break;
   }
   return Status::InvalidArgument(StrCat(
@@ -1439,6 +1426,7 @@ int RunProcessWorker(int fd, ShmDataPlane* plane, ShmArena* arena) {
   signal(SIGPIPE, SIG_IGN);
   if (!SetNonBlocking(fd).ok()) return 1;
   FrameChannel chan(fd, "coordinator");
+  chan.EnableConformance(LinkRole::kWorker);
   // Worker-lifetime buffer pool: in persistent mode, steady-state queries
   // after the first reuse its freelist instead of allocating.
   BatchPool pool;

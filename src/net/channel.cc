@@ -63,8 +63,16 @@ bool FrameChannel::has_pending_output() const {
   return !outbox_.empty();
 }
 
+void FrameChannel::EnableConformance(LinkRole role) {
+  if (!FrameConformanceEnabled()) return;
+  conformance_ = std::make_unique<FrameConformance>(role, peer_);
+}
+
 void FrameChannel::QueueFrame(FrameType type,
                               const std::vector<std::byte>& payload) {
+  if (conformance_ != nullptr && conformance_violation_.ok()) {
+    conformance_violation_ = conformance_->Observe(type, /*outbound=*/true);
+  }
   if (truncated_) return;  // the link already died mid-frame
   std::vector<std::byte> frame;
   frame.reserve(4 + 1 + payload.size() + 4);
@@ -82,6 +90,7 @@ void FrameChannel::QueueFrame(FrameType type,
 }
 
 Status FrameChannel::Flush() {
+  if (!conformance_violation_.ok()) return conformance_violation_;
   if (fault_ != nullptr && fault_->ShouldDropConnection() &&
       !write_shutdown_done_) {
     // An abrupt link drop: both directions die at once. The send below
@@ -127,6 +136,7 @@ Status FrameChannel::Flush() {
 
 Status FrameChannel::ReadAvailable(bool* peer_closed) {
   *peer_closed = false;
+  if (!conformance_violation_.ok()) return conformance_violation_;
   char buf[64 * 1024];
   for (;;) {
     ssize_t n = recv(fd_, buf, sizeof(buf), 0);
@@ -180,6 +190,13 @@ Status FrameChannel::ReadAvailable(bool* peer_closed) {
                                         " frame from ", peer_,
                                         ": checksum mismatch"));
     }
+    // The type byte must be a frame the table defines; handler switches
+    // rely on never seeing an out-of-enum value.
+    if (!ValidFrameType(static_cast<uint8_t>(p[4]))) {
+      return Status::Unavailable(
+          StrCat("corrupt frame from ", peer_, ": unknown frame type ",
+                 static_cast<unsigned>(static_cast<uint8_t>(p[4]))));
+    }
     Frame frame;
     frame.type = static_cast<FrameType>(static_cast<uint8_t>(p[4]));
     frame.payload.assign(p + 5, p + 4 + body_len);
@@ -201,6 +218,10 @@ bool FrameChannel::NextFrame(Frame* out) {
   if (frames_.empty()) return false;
   *out = std::move(frames_.front());
   frames_.pop_front();
+  if (conformance_ != nullptr && conformance_violation_.ok()) {
+    conformance_violation_ = conformance_->Observe(out->type,
+                                                   /*outbound=*/false);
+  }
   return true;
 }
 

@@ -4,10 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/statusor.h"
+#include "net/frame_conformance.h"
 #include "net/wire.h"
 
 namespace mjoin {
@@ -67,6 +69,14 @@ class FrameChannel {
   /// installing on a fresh channel models a fresh link.
   void set_fault_injector(NetFaultInjector* injector);
 
+  /// Arms the runtime frame-protocol conformance checker for this channel
+  /// when MJOIN_CONFORMANCE is set (no-op otherwise). Every endpoint calls
+  /// this right after constructing its channel, naming its own role; a
+  /// frame that then violates the frame table's direction or phase rules
+  /// poisons the channel with kInternal, surfaced by the next Flush() or
+  /// ReadAvailable() like corrupt wire.
+  void EnableConformance(LinkRole role);
+
   /// Encodes `[len][type][payload][crc]` into the outbox. Cheap; no
   /// syscall.
   void QueueFrame(FrameType type, const std::vector<std::byte>& payload);
@@ -98,6 +108,10 @@ class FrameChannel {
   int fd_;
   std::string peer_;
   NetFaultInjector* fault_ = nullptr;
+  /// Armed by EnableConformance; null (and cost-free) in production runs.
+  std::unique_ptr<FrameConformance> conformance_;
+  /// First conformance violation observed; poisons Flush/ReadAvailable.
+  Status conformance_violation_ = Status::OK();
   /// A truncating fault fired: discard further outbound frames and shut
   /// down the write side once the (shortened) outbox drains.
   bool truncated_ = false;

@@ -1,0 +1,59 @@
+#ifndef MJOIN_NET_SHM_MEMORY_MODEL_H_
+#define MJOIN_NET_SHM_MEMORY_MODEL_H_
+
+/// The memory-model seam of the shm ring.
+///
+/// shm_ring.cc performs every shared-visible access through the aliases
+/// declared here, so the *same production source* can be compiled two
+/// ways:
+///
+///   - Production (default): ShmAtomicU64 is std::atomic<uint64_t>, the
+///     plain-word helpers compile to raw loads/stores/memcpy, and
+///     MJOIN_SHM_MUTATION(id) is the constant false. Object code is
+///     identical to writing the accesses directly.
+///
+///   - Model checking (-DMJOIN_SHM_MEMORY_MODEL, the mjoin_check binary
+///     only): the aliases resolve to src/check/model_policy.h, whose
+///     instrumented types yield to an interleaving scheduler at every
+///     shared access, simulate store-buffer reordering for relaxed
+///     stores, serve stale values to unsynchronized plain loads, and let
+///     seeded mutations (MJOIN_SHM_MUTATION) weaken the code under test.
+///
+/// The seam exists so the checker exercises the production ring logic
+/// itself — TryReserve's pad arithmetic, Commit's publish order,
+/// TryRead's validation — rather than a hand-written model of it.
+
+#ifdef MJOIN_SHM_MEMORY_MODEL
+
+#include "check/model_policy.h"  // IWYU pragma: export
+
+#else  // production
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+namespace mjoin {
+
+using ShmAtomicU64 = std::atomic<uint64_t>;
+
+/// Plain (non-atomic) word access to the shared data region. The record
+/// header and payload bytes are ordinary stores whose visibility is
+/// entirely carried by the release store of the ring cursor.
+inline void ShmStoreU32(uint32_t* p, uint32_t v) { *p = v; }
+inline uint32_t ShmLoadU32(const uint32_t* p) { return *p; }
+inline void ShmCopyIn(void* dst, const void* src, size_t n) {
+  std::memcpy(dst, src, n);
+}
+
+}  // namespace mjoin
+
+/// Seeded-bug hook: every mutation site compiles to a branch on false,
+/// which the optimizer deletes. mjoin_check's mutation self-test enables
+/// one id at a time to prove the checker catches the weakened code.
+#define MJOIN_SHM_MUTATION(id) false
+
+#endif  // MJOIN_SHM_MEMORY_MODEL
+
+#endif  // MJOIN_NET_SHM_MEMORY_MODEL_H_

@@ -94,21 +94,31 @@ std::byte* ShmRing::TryReserve(uint32_t payload_bytes) {
   uint64_t head = hdr_->head.load(std::memory_order_acquire);
   uint64_t avail = data_bytes_ - (tail - head);
   uint32_t to_end = data_bytes_ - static_cast<uint32_t>(tail & mask_);
-  if (rec > to_end) {
+  // Mutation kStraddleRecord relaxes the wrap threshold by one alignment
+  // unit, letting a maximal record straddle the end of the data region.
+  const uint32_t wrap_threshold =
+      MJOIN_SHM_MUTATION(kStraddleRecord) ? to_end + kShmRecordAlign : to_end;
+  if (rec > wrap_threshold) {
     // The record would straddle the wrap point: publish a pad covering the
     // remainder so the real record can start at offset 0. Publishing the
     // pad eagerly (instead of bundling it with the reservation) guarantees
     // progress — the consumer swallows the pad, and once the ring drains
     // the next reservation starts at a clean wrap.
-    if (to_end > avail) return nullptr;
+    // Mutation kPadOverwrite drops the refusal, so the pad tramples
+    // records the consumer has not released yet.
+    if (to_end > avail && !MJOIN_SHM_MUTATION(kPadOverwrite)) return nullptr;
     auto* pad = reinterpret_cast<uint32_t*>(data_ + (tail & mask_));
-    pad[0] = to_end - kShmRecordHdrBytes;
-    pad[1] = static_cast<uint32_t>(ShmRecordType::kPad);
+    ShmStoreU32(&pad[0], to_end - kShmRecordHdrBytes);
+    ShmStoreU32(&pad[1], static_cast<uint32_t>(ShmRecordType::kPad));
     tail += to_end;
     avail -= to_end;
     hdr_->tail.store(tail, std::memory_order_release);
   }
-  if (rec > avail) return nullptr;
+  // Mutation kOverclaimAvail admits a record one alignment unit larger
+  // than the free space, so the reservation overlaps unreleased records.
+  const uint64_t claimable =
+      MJOIN_SHM_MUTATION(kOverclaimAvail) ? avail + kShmRecordAlign : avail;
+  if (rec > claimable) return nullptr;
   pending_base_ = tail;
   pending_rec_ = rec;
   return data_ + (tail & mask_) + kShmRecordHdrBytes;
@@ -116,12 +126,25 @@ std::byte* ShmRing::TryReserve(uint32_t payload_bytes) {
 
 void ShmRing::Commit(ShmRecordType type, uint32_t payload_bytes) {
   auto* hdr = reinterpret_cast<uint32_t*>(data_ + (pending_base_ & mask_));
-  hdr[0] = payload_bytes;
-  hdr[1] = static_cast<uint32_t>(type);
+  if (MJOIN_SHM_MUTATION(kPublishBeforeWrite)) {
+    // Mutation: the record is published before its header exists, so a
+    // consumer scheduled between the two stores reads garbage.
+    hdr_->tail.store(pending_base_ + pending_rec_, std::memory_order_release);
+    ShmStoreU32(&hdr[0], payload_bytes);
+    ShmStoreU32(&hdr[1], static_cast<uint32_t>(type));
+    return;
+  }
+  ShmStoreU32(&hdr[0], payload_bytes);
+  ShmStoreU32(&hdr[1], static_cast<uint32_t>(type));
   // The release publishes the header and every payload byte written since
   // TryReserve; until this store the record is invisible, which is what
-  // makes a producer killed mid-write harmless.
-  hdr_->tail.store(pending_base_ + pending_rec_, std::memory_order_release);
+  // makes a producer killed mid-write harmless. Mutation
+  // kCommitTailRelaxed drops the release, so the cursor may become
+  // visible before the bytes it publishes.
+  hdr_->tail.store(pending_base_ + pending_rec_,
+                   MJOIN_SHM_MUTATION(kCommitTailRelaxed)
+                       ? std::memory_order_relaxed
+                       : std::memory_order_release);
 }
 
 bool ShmRing::TryPush(ShmRecordType type, const void* hdr, size_t hdr_bytes,
@@ -129,8 +152,8 @@ bool ShmRing::TryPush(ShmRecordType type, const void* hdr, size_t hdr_bytes,
   const uint32_t payload = static_cast<uint32_t>(hdr_bytes + body_bytes);
   std::byte* slot = TryReserve(payload);
   if (slot == nullptr) return false;
-  if (hdr_bytes > 0) std::memcpy(slot, hdr, hdr_bytes);
-  if (body_bytes > 0) std::memcpy(slot + hdr_bytes, body, body_bytes);
+  if (hdr_bytes > 0) ShmCopyIn(slot, hdr, hdr_bytes);
+  if (body_bytes > 0) ShmCopyIn(slot + hdr_bytes, body, body_bytes);
   Commit(type, payload);
   return true;
 }
@@ -138,23 +161,40 @@ bool ShmRing::TryPush(ShmRecordType type, const void* hdr, size_t hdr_bytes,
 StatusOr<bool> ShmRing::TryRead(ShmRecordView* out) {
   uint64_t head = hdr_->head.load(std::memory_order_relaxed);
   for (;;) {
-    const uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+    // Mutation kReadTailRelaxed drops the acquire, so the record bytes the
+    // cursor claims to publish may not be visible yet.
+    const uint64_t tail =
+        hdr_->tail.load(MJOIN_SHM_MUTATION(kReadTailRelaxed)
+                            ? std::memory_order_relaxed
+                            : std::memory_order_acquire);
     if (tail - head > data_bytes_) {
       return Status::Unavailable("corrupt shm ring: cursors out of bounds");
     }
     if (head == tail) return false;
     const uint32_t off = static_cast<uint32_t>(head & mask_);
     const auto* hdr = reinterpret_cast<const uint32_t*>(data_ + off);
-    const uint32_t payload_bytes = hdr[0];
-    const uint32_t type = hdr[1];
+    const uint32_t payload_bytes = ShmLoadU32(&hdr[0]);
+    const uint32_t type = ShmLoadU32(&hdr[1]);
     const uint32_t rec = kShmRecordHdrBytes + PadUp(payload_bytes);
+    // `rec > tail - head` (never `head + rec > tail`): cursors are free-
+    // running u64 counters, so near-2^64 values make `head + rec` wrap to
+    // a small number while the modular difference stays correct. Mutation
+    // kWrapUnsafeCompare restores the overflowing form.
+    const bool overclaims = MJOIN_SHM_MUTATION(kWrapUnsafeCompare)
+                                ? head + rec > tail
+                                : rec > tail - head;
     if (!ValidRecordType(type) || payload_bytes > data_bytes_ ||
-        off + rec > data_bytes_ || head + rec > tail) {
+        off + rec > data_bytes_ || overclaims) {
       return Status::Unavailable("corrupt shm ring: bad record header");
     }
     if (static_cast<ShmRecordType>(type) == ShmRecordType::kPad) {
       head += rec;
-      hdr_->head.store(head, std::memory_order_release);
+      // Mutation kPadSkipNoRelease keeps the pad's space from the
+      // producer: harmless while records follow (the next Release covers
+      // it), but a ring drained right after a pad never returns it.
+      if (!MJOIN_SHM_MUTATION(kPadSkipNoRelease)) {
+        hdr_->head.store(head, std::memory_order_release);
+      }
       continue;
     }
     out->type = static_cast<ShmRecordType>(type);

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "net/shm_memory_model.h"
 
 namespace mjoin {
 
@@ -60,13 +61,16 @@ const char* ShmRecordTypeName(ShmRecordType type);
 /// so the producer and consumer never false-share; both are *cursors*
 /// (total bytes ever published/released), not offsets — offsets are the
 /// cursor masked by data_bytes-1.
+/// The cursor type is the ShmAtomicU64 seam alias: std::atomic<uint64_t>
+/// in production, the model checker's instrumented atomic in mjoin_check
+/// (see net/shm_memory_model.h).
 struct ShmRingHdr {
   uint32_t magic;       // kShmRingMagic
   uint32_t version;     // kShmRingVersion
   uint32_t data_bytes;  // power of two
   uint32_t reserved;
-  alignas(64) std::atomic<uint64_t> tail;  // producer-owned, release-stored
-  alignas(64) std::atomic<uint64_t> head;  // consumer-owned, release-stored
+  alignas(64) ShmAtomicU64 tail;  // producer-owned, release-stored
+  alignas(64) ShmAtomicU64 head;  // consumer-owned, release-stored
 };
 
 inline constexpr uint32_t kShmRingMagic = 0x4252'4A4Du;  // "MJRB"

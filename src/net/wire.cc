@@ -29,56 +29,67 @@ const uint32_t* Crc32Table() {
 
 const char* FrameTypeName(FrameType type) {
   switch (type) {
-    case FrameType::kHello:
-      return "hello";
-    case FrameType::kPlan:
-      return "plan";
-    case FrameType::kFragment:
-      return "fragment";
-    case FrameType::kTrigger:
-      return "trigger";
-    case FrameType::kData:
-      return "data";
-    case FrameType::kEos:
-      return "eos";
-    case FrameType::kMilestone:
-      return "milestone";
-    case FrameType::kCredit:
-      return "credit";
-    case FrameType::kFinish:
-      return "finish";
-    case FrameType::kSummary:
-      return "summary";
-    case FrameType::kResultRows:
-      return "result-rows";
-    case FrameType::kOpStats:
-      return "op-stats";
-    case FrameType::kNetStats:
-      return "net-stats";
-    case FrameType::kTraceEvents:
-      return "trace-events";
-    case FrameType::kError:
-      return "error";
-    case FrameType::kBye:
-      return "bye";
-    case FrameType::kShutdown:
-      return "shutdown";
-    case FrameType::kPing:
-      return "ping";
-    case FrameType::kPong:
-      return "pong";
-    case FrameType::kSubmit:
-      return "submit";
-    case FrameType::kQueryResult:
-      return "query-result";
-    case FrameType::kIdle:
-      return "idle";
-    case FrameType::kSkewReport:
-      return "skew-report";
-    case FrameType::kSkewDirective:
-      return "skew-directive";
+#define MJOIN_FRAME_NAME_ROW(id, name, wire, klass, dirs, phases, next) \
+  case FrameType::k##name:                                              \
+    return wire;
+    MJOIN_FRAME_TABLE(MJOIN_FRAME_NAME_ROW)
+#undef MJOIN_FRAME_NAME_ROW
   }
   return "unknown";
+}
+
+bool ValidFrameType(uint8_t raw) {
+  switch (static_cast<FrameType>(raw)) {
+#define MJOIN_FRAME_VALID_ROW(id, name, wire, klass, dirs, phases, next) \
+  case FrameType::k##name:                                               \
+    return true;
+    MJOIN_FRAME_TABLE(MJOIN_FRAME_VALID_ROW)
+#undef MJOIN_FRAME_VALID_ROW
+  }
+  return false;
+}
+
+uint32_t FrameDirs(FrameType type) {
+  switch (type) {
+#define MJOIN_FRAME_DIRS_ROW(id, name, wire, klass, dirs, phases, next) \
+  case FrameType::k##name:                                              \
+    return dirs;
+    MJOIN_FRAME_TABLE(MJOIN_FRAME_DIRS_ROW)
+#undef MJOIN_FRAME_DIRS_ROW
+  }
+  return 0;
+}
+
+uint32_t FramePhases(FrameType type) {
+  switch (type) {
+#define MJOIN_FRAME_PHASES_ROW(id, name, wire, klass, dirs, phases, next) \
+  case FrameType::k##name:                                                \
+    return phases;
+    MJOIN_FRAME_TABLE(MJOIN_FRAME_PHASES_ROW)
+#undef MJOIN_FRAME_PHASES_ROW
+  }
+  return 0;
+}
+
+// `next` is a bare phase token (or Keep); map it through these constants.
+namespace {
+inline constexpr uint32_t kPhNextKeep = kPhKeep;
+inline constexpr uint32_t kPhNextAwaitPlan = kPhAwaitPlan;
+inline constexpr uint32_t kPhNextHandshake = kPhHandshake;
+inline constexpr uint32_t kPhNextExecute = kPhExecute;
+inline constexpr uint32_t kPhNextReport = kPhReport;
+inline constexpr uint32_t kPhNextDone = kPhDone;
+}  // namespace
+
+uint32_t FrameNextPhase(FrameType type) {
+  switch (type) {
+#define MJOIN_FRAME_NEXT_ROW(id, name, wire, klass, dirs, phases, next) \
+  case FrameType::k##name:                                              \
+    return kPhNext##next;
+    MJOIN_FRAME_TABLE(MJOIN_FRAME_NEXT_ROW)
+#undef MJOIN_FRAME_NEXT_ROW
+  }
+  return kPhKeep;
 }
 
 uint32_t Crc32(const std::byte* data, size_t size) {

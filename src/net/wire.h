@@ -9,6 +9,7 @@
 
 #include "common/statusor.h"
 #include "exec/batch.h"
+#include "net/frame_table.h"
 #include "storage/schema.h"
 
 namespace mjoin {
@@ -30,83 +31,31 @@ struct ParallelPlan;
 /// stream is unrecoverable, but retrying on a fresh fleet may succeed).
 /// The trailer makes any single corrupted byte detectable, so a damaged
 /// link can never silently mis-route or mis-decode a frame.
+///
+/// The enum is generated from MJOIN_FRAME_TABLE (net/frame_table.h), the
+/// protocol's single definition site: per-frame documentation, directions,
+/// and phase rules all live in the table rows.
 enum class FrameType : uint8_t {
-  /// worker -> coordinator: protocol version + echo hash of the plan text
-  /// the worker parsed (the coordinator verifies the handshake round trip).
-  kHello = 1,
-  /// coordinator -> worker: run options + the plan in textual XRA.
-  kPlan = 2,
-  /// coordinator -> worker: one chunk of a scan instance's base-relation
-  /// fragment (op, instance, wire batch). All fragments precede triggers.
-  kFragment = 3,
-  /// coordinator -> worker: start every hosted instance of a trigger group.
-  kTrigger = 4,
-  /// data batch toward a consumer instance; routed by the coordinator
-  /// (worker -> coordinator -> worker) and subject to credit flow control.
-  kData = 5,
-  /// end-of-stream from one producer instance to one consumer instance;
-  /// routed like kData (and ordered behind it), but consumes no credit.
-  kEos = 6,
-  /// worker -> coordinator: instance milestone for the scheduler.
-  kMilestone = 7,
-  /// worker -> coordinator: the worker finished processing `count` data
-  /// frames; the coordinator releases that much of its credit window.
-  kCredit = 8,
-  /// coordinator -> worker: the plan completed; report results and stats.
-  kFinish = 9,
-  /// worker -> coordinator: partial ResultSummary of a stored result.
-  kSummary = 10,
-  /// worker -> coordinator: final-result rows (only when materializing).
-  kResultRows = 11,
-  /// worker -> coordinator: merged OpMetrics of one hosted op.
-  kOpStats = 12,
-  /// worker -> coordinator: the worker's run counters (serialize seconds,
-  /// local deliveries, faults injected, peak memory, ...).
-  kNetStats = 13,
-  /// worker -> coordinator: recorded trace intervals.
-  kTraceEvents = 14,
-  /// worker -> coordinator: fatal worker-side status; the run aborts.
-  kError = 15,
-  /// worker -> coordinator: finish-phase reporting done, awaiting shutdown.
-  kBye = 16,
-  /// coordinator -> worker: exit cleanly.
-  kShutdown = 17,
-  /// coordinator -> worker: liveness probe (HeartbeatMsg). A worker answers
-  /// every ping with a kPong immediately; the coordinator's watchdog treats
-  /// prolonged silence as a hung worker.
-  kPing = 18,
-  /// worker -> coordinator: echo of a kPing's sequence number.
-  kPong = 19,
-  /// client -> server (mjoin_serve): submit one query (SubmitMsg — tenant,
-  /// backend, plan text, per-query limits). A connection may pipeline
-  /// submits; results come back in completion order, matched by
-  /// client_seq — submission order is not guaranteed.
-  kSubmit = 20,
-  /// server -> client: outcome of one kSubmit (QueryResultMsg — status,
-  /// result summary, wall/queue seconds, cache/backend provenance).
-  kQueryResult = 21,
-  /// worker -> coordinator (persistent fleets only): the worker tore down
-  /// the previous query's state and is parked waiting for the next kPlan.
-  /// The coordinator must not reformat the shared arena or ship a new plan
-  /// until every fleet member has acked idle.
-  kIdle = 22,
-  /// worker -> coordinator: one defended join instance's build-side skew
-  /// summary (SkewReportMsg — heavy-hitter candidates with their build
-  /// rows inline, plus the instance's build-key Bloom filter). Sent after
-  /// the instance's build input finished; its kBuildDone milestone follows
-  /// in the same flush, so the coordinator always holds the report before
-  /// it can schedule the probe.
-  kSkewReport = 23,
-  /// coordinator -> worker: the merged plan of action for one defended
-  /// join (SkewDirectiveMsg — hot keys, replicated build rows, OR'd Bloom
-  /// filter). Broadcast to every worker once all of the join's instances
-  /// have reported; each worker applies it to hosted join instances and
-  /// installs the emit-side defense on hosted probe producers, then
-  /// releases the deferred build-done processing.
-  kSkewDirective = 24,
+#define MJOIN_FRAME_ENUM_ROW(id, name, wire, klass, dirs, phases, next) \
+  k##name = id,
+  MJOIN_FRAME_TABLE(MJOIN_FRAME_ENUM_ROW)
+#undef MJOIN_FRAME_ENUM_ROW
 };
 
 const char* FrameTypeName(FrameType type);
+
+/// True when `raw` is a FrameType the table defines. The channel rejects
+/// frames whose type byte is not in the table as corrupt wire, so a
+/// handler switch can never be reached with an out-of-enum value.
+bool ValidFrameType(uint8_t raw);
+
+/// Table lookups for the conformance checker: the directions a frame may
+/// legally travel (FrameDir mask), the link phases it may be observed in
+/// (FramePhase mask), and the phase it advances the link to (kPhKeep when
+/// it leaves the phase alone).
+uint32_t FrameDirs(FrameType type);
+uint32_t FramePhases(FrameType type);
+uint32_t FrameNextPhase(FrameType type);
 
 /// Hard upper bound on one frame's length field. Generous (base-relation
 /// fragments ship as single frames) but small enough that a corrupted

@@ -57,8 +57,10 @@ StatusOr<std::unique_ptr<ServeClient>> ServeClient::Connect(
     ::close(fd);
     return s;
   }
+  auto chan = std::make_unique<FrameChannel>(fd, "server");
+  chan->EnableConformance(LinkRole::kClient);
   return std::unique_ptr<ServeClient>(new ServeClient(  // lint:allow-new private ctor
-      std::make_unique<FrameChannel>(fd, "server")));
+      std::move(chan)));
 }
 
 ServeClient::ServeClient(std::unique_ptr<FrameChannel> chan)

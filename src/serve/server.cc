@@ -461,6 +461,7 @@ void MjoinServer::Impl::IoLoop() {
         conn.id = id;
         conn.chan = std::make_unique<FrameChannel>(
             fd, "client " + std::to_string(id));
+        conn.chan->EnableConformance(LinkRole::kServer);
         conns.emplace(id, std::move(conn));
         connections->Add(1);
       }

@@ -1,0 +1,13 @@
+// Seeded violation: std::atomic accesses that rely on the implicit
+// seq_cst default instead of naming their ordering. mjoin_lint must
+// report both. Never compiled — lint fixture only.
+#include "net/wire.h"
+
+namespace mjoin {
+
+void FixtureBadAtomics(std::atomic<int>* counter) {
+  counter->load();
+  counter->store(1);
+}
+
+}  // namespace mjoin

@@ -29,9 +29,11 @@ FIXTURES = HERE / "fixtures"
 # entry per expected finding.
 EXPECTED = {
     "bad_switch.cc": ["switch-exhaustive", "switch-exhaustive"],
+    "bad_frame_cases.cc": ["switch-exhaustive"],
     "bad_clock.cc": ["clock"],
     "bad_new.cc": ["new"],
     "bad_include.cc": ["include"],
+    "bad_atomic.cc": ["atomic-order", "atomic-order"],
     "clean.cc": [],
 }
 

@@ -7,6 +7,7 @@
 
 #include "engine/process_protocol.h"
 #include "net/channel.h"
+#include "net/frame_conformance.h"
 #include "net/net_fault.h"
 #include "net/wire.h"
 #include "plan/wisconsin_query.h"
@@ -525,6 +526,153 @@ TEST_F(FrameChannelTest, PeerCloseReportedAfterFinalFrames) {
   Frame frame;
   ASSERT_TRUE(channel_->NextFrame(&frame));
   EXPECT_EQ(frame.type, FrameType::kMilestone);
+}
+
+// --- Frame-protocol conformance: the table's rules at runtime -------------
+
+// Armed before main() so FrameConformanceEnabled()'s one-shot env read
+// sees it no matter which test in this binary runs first.
+const bool kConformanceArmed = [] {
+  setenv("MJOIN_CONFORMANCE", "1", /*overwrite=*/0);
+  return true;
+}();
+
+TEST(FrameConformanceTest, WorkerLinkWalksThePhaseMachine) {
+  // One full query on a warm link, observed from the coordinator end:
+  // plan -> hello -> fragments/data -> finish -> report -> idle, and the
+  // idle frame returns the link to await-plan for the next query.
+  FrameConformance link(LinkRole::kCoordinator, "worker 0");
+  EXPECT_EQ(link.phase(), kPhAwaitPlan);
+  ASSERT_TRUE(link.Observe(FrameType::kPlan, /*outbound=*/true).ok());
+  EXPECT_EQ(link.phase(), kPhHandshake);
+  // Fragments pipeline behind kPlan before the kHello echo arrives.
+  ASSERT_TRUE(link.Observe(FrameType::kFragment, /*outbound=*/true).ok());
+  ASSERT_TRUE(link.Observe(FrameType::kHello, /*outbound=*/false).ok());
+  EXPECT_EQ(link.phase(), kPhExecute);
+  ASSERT_TRUE(link.Observe(FrameType::kTrigger, /*outbound=*/true).ok());
+  ASSERT_TRUE(link.Observe(FrameType::kData, /*outbound=*/false).ok());
+  ASSERT_TRUE(link.Observe(FrameType::kData, /*outbound=*/true).ok());
+  ASSERT_TRUE(link.Observe(FrameType::kMilestone, /*outbound=*/false).ok());
+  ASSERT_TRUE(link.Observe(FrameType::kFinish, /*outbound=*/true).ok());
+  EXPECT_EQ(link.phase(), kPhReport);
+  ASSERT_TRUE(link.Observe(FrameType::kSummary, /*outbound=*/false).ok());
+  ASSERT_TRUE(link.Observe(FrameType::kNetStats, /*outbound=*/false).ok());
+  ASSERT_TRUE(link.Observe(FrameType::kIdle, /*outbound=*/false).ok());
+  EXPECT_EQ(link.phase(), kPhAwaitPlan);
+  // The warm loop: the next query's plan is legal again.
+  EXPECT_TRUE(link.Observe(FrameType::kPlan, /*outbound=*/true).ok());
+}
+
+TEST(FrameConformanceTest, DirectionViolationIsCaughtInAnyPhase) {
+  // kPlan only ever travels coordinator->worker; a coordinator that
+  // *receives* one has a confused or malicious peer, whatever phase the
+  // link is in.
+  FrameConformance coord(LinkRole::kCoordinator, "worker 0");
+  Status status = coord.Observe(FrameType::kPlan, /*outbound=*/false);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("may never travel"), std::string::npos)
+      << status.message();
+
+  // Symmetrically, a worker never sends one.
+  FrameConformance worker(LinkRole::kWorker, "coordinator");
+  EXPECT_FALSE(worker.Observe(FrameType::kPlan, /*outbound=*/true).ok());
+}
+
+TEST(FrameConformanceTest, PhaseViolationNamesFrameAndPhase) {
+  // kSummary is a report-phase frame; arriving on a parked link (no query
+  // in flight) is a violation, and the message must name both the frame
+  // and the phase so the log is actionable.
+  FrameConformance link(LinkRole::kCoordinator, "worker 3");
+  Status status = link.Observe(FrameType::kSummary, /*outbound=*/false);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("summary"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("await-plan"), std::string::npos)
+      << status.message();
+}
+
+TEST(FrameConformanceTest, ServeLinksStayInTheServePhase) {
+  FrameConformance server(LinkRole::kServer, "client");
+  EXPECT_EQ(server.phase(), kPhServe);
+  ASSERT_TRUE(server.Observe(FrameType::kSubmit, /*outbound=*/false).ok());
+  ASSERT_TRUE(
+      server.Observe(FrameType::kQueryResult, /*outbound=*/true).ok());
+  // kBye doubles as the serve-layer close notice (client->server).
+  ASSERT_TRUE(server.Observe(FrameType::kBye, /*outbound=*/false).ok());
+  EXPECT_EQ(server.phase(), kPhServe);
+  // Worker-protocol frames never appear on a serve link.
+  EXPECT_FALSE(server.Observe(FrameType::kPlan, /*outbound=*/false).ok());
+}
+
+TEST_F(FrameChannelTest, ConformanceViolationPoisonsTheChannel) {
+  ASSERT_TRUE(kConformanceArmed);
+  ASSERT_TRUE(FrameConformanceEnabled());
+  const uint64_t before = FrameConformanceViolations();
+  channel_->EnableConformance(LinkRole::kCoordinator);
+
+  // A coordinator emitting kHello is sending a worker's frame the wrong
+  // way down the link. The violation lands at queue time and poisons the
+  // channel exactly like corrupt wire: Flush and ReadAvailable both
+  // surface it from then on.
+  std::vector<std::byte> payload;
+  channel_->QueueFrame(FrameType::kHello, payload);
+  Status status = channel_->Flush();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("hello"), std::string::npos)
+      << status.message();
+  bool peer_closed = false;
+  EXPECT_FALSE(channel_->ReadAvailable(&peer_closed).ok());
+  EXPECT_EQ(FrameConformanceViolations(), before + 1);
+}
+
+TEST_F(FrameChannelTest, ConformanceAcceptsALegalHandshake) {
+  ASSERT_TRUE(FrameConformanceEnabled());
+  const uint64_t before = FrameConformanceViolations();
+  channel_->EnableConformance(LinkRole::kCoordinator);
+  ASSERT_TRUE(SetNonBlocking(raw_fd_).ok());
+  FrameChannel worker(raw_fd_, "coordinator");
+  raw_fd_ = -1;  // the channel owns (and closes) the fd now
+  worker.EnableConformance(LinkRole::kWorker);
+
+  // Coordinator ships the plan; the worker echoes hello. Both checkers
+  // observe both frames (each its own send and the other's receive) and
+  // neither trips.
+  std::vector<std::byte> plan_payload;
+  PutString(&plan_payload, "plan text");
+  channel_->QueueFrame(FrameType::kPlan, plan_payload);
+  ASSERT_TRUE(channel_->Flush().ok());
+  bool peer_closed = false;
+  ASSERT_TRUE(worker.ReadAvailable(&peer_closed).ok());
+  Frame frame;
+  ASSERT_TRUE(worker.NextFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kPlan);
+
+  std::vector<std::byte> hello_payload;
+  PutU32(&hello_payload, 2);
+  worker.QueueFrame(FrameType::kHello, hello_payload);
+  ASSERT_TRUE(worker.Flush().ok());
+  ASSERT_TRUE(channel_->ReadAvailable(&peer_closed).ok());
+  ASSERT_TRUE(channel_->NextFrame(&frame));
+  EXPECT_EQ(frame.type, FrameType::kHello);
+  EXPECT_EQ(FrameConformanceViolations(), before);
+}
+
+TEST_F(FrameChannelTest, UnknownFrameTypePoisonsTheChannel) {
+  // A type byte the table does not define must never reach a handler
+  // switch; the channel rejects it at reassembly time, CRC-valid or not.
+  std::vector<std::byte> payload;
+  PutU32(&payload, 99);
+  std::vector<std::byte> bytes =
+      EncodeFrame(static_cast<FrameType>(200), payload);
+  ASSERT_EQ(write(raw_fd_, bytes.data(), bytes.size()),
+            static_cast<ssize_t>(bytes.size()));
+  bool peer_closed = false;
+  Status status = channel_->ReadAvailable(&peer_closed);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(status.message().find("unknown frame type 200"),
+            std::string::npos)
+      << status.message();
 }
 
 // --- NetFaultInjector: deterministic link damage --------------------------

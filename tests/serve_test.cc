@@ -10,6 +10,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "engine/database.h"
 #include "engine/reference.h"
 #include "net/wire.h"
@@ -22,6 +24,15 @@
 
 namespace mjoin {
 namespace {
+
+// Conformance is part of the tier-1 contract for this suite: every frame
+// either endpoint sends or receives is validated against the frame
+// table's direction and phase rules, and a violation poisons the link.
+// Armed before main() so every FrameChannel the suite constructs sees it.
+const bool kConformanceArmed = [] {
+  setenv("MJOIN_CONFORMANCE", "1", /*overwrite=*/0);
+  return true;
+}();
 
 // The serving layer end to end: wire codecs, a live server with warm
 // executors serving concurrent clients on both backends (results checked

@@ -267,6 +267,61 @@ TEST(ShmRingTest, SpscThreadStress) {
   EXPECT_TRUE(consumer.Empty());
 }
 
+TEST(ShmRingTest, CursorsSurviveNumericWrapAtUint64Max) {
+  // Cursors are free-running u64 counters, so a long-lived serve-mode
+  // ring eventually crosses 2^64. Seed both cursors two laps below the
+  // wrap and stream enough records that tail and head each cross it; the
+  // record validation in TryRead must use modular arithmetic throughout
+  // (`rec > tail - head`, never `head + rec > tail`, which overflows).
+  constexpr uint32_t kBytes = 4096;
+  RingMem mem = MakeRingMem(kBytes);
+  ShmRing ring;
+  ring.Init(mem.get(), kBytes);
+  auto* hdr = reinterpret_cast<ShmRingHdr*>(mem.get());
+  // 2 * kBytes below 2^64: ring offset 0, so no pad is implied by the
+  // seed itself — pads still occur naturally as records wrap the region.
+  const uint64_t base = ~uint64_t{0} - 2 * kBytes + 1;
+  hdr->tail.store(base, std::memory_order_relaxed);
+  hdr->head.store(base, std::memory_order_relaxed);
+
+  uint32_t push_seed = 0;
+  uint32_t read_seed = 0;
+  // Push/drain in small bursts until both cursors are well past 2^64.
+  while (ring.tail_cursor() >= base || ring.tail_cursor() < 3 * kBytes) {
+    for (int burst = 0; burst < 3; ++burst) {
+      const uint32_t bytes = 24 + (push_seed % 7) * 40;
+      std::vector<std::byte> payload = Pattern(bytes, push_seed);
+      if (!ring.TryPush(ShmRecordType::kData, payload.data(), payload.size(),
+                        nullptr, 0)) {
+        break;
+      }
+      ++push_seed;
+    }
+    for (;;) {
+      ShmRecordView rec;
+      StatusOr<bool> any = ring.TryRead(&rec);
+      ASSERT_TRUE(any.ok()) << "tail=" << ring.tail_cursor()
+                            << " head=" << ring.head_cursor() << ": "
+                            << any.status();
+      if (!*any) break;
+      const uint32_t bytes = 24 + (read_seed % 7) * 40;
+      ASSERT_EQ(rec.payload_bytes, bytes);
+      std::vector<std::byte> expect = Pattern(bytes, read_seed);
+      ASSERT_EQ(std::memcmp(rec.payload, expect.data(), bytes), 0)
+          << "record " << read_seed << " near cursor " << ring.head_cursor();
+      ring.Release();
+      ++read_seed;
+    }
+    ASSERT_EQ(read_seed, push_seed);
+    ASSERT_EQ(ring.head_cursor(), ring.tail_cursor());
+  }
+  // Both cursors crossed 2^64 and kept the full modular contract. The
+  // last burst may overshoot the 3*kBytes loop threshold by a few
+  // records, never by a full lap.
+  EXPECT_LT(ring.tail_cursor(), 4 * uint64_t{kBytes});
+  EXPECT_TRUE(ring.Empty());
+}
+
 TEST(ShmDataPlaneTest, DirectoryLookupsAndDoorbells) {
   std::vector<ShmRingSpec> specs = {{2, 0}, {2, 1}, {0, 2}, {1, 0}};
   auto plane = ShmDataPlane::Create(specs, /*num_endpoints=*/3,

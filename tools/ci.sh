@@ -7,8 +7,11 @@
 #      and (when clang-tidy is installed) a full MJOIN_LINT=ON build
 #      with --warnings-as-errors=* — any finding fails the gate
 #   2. Release build with -Wall -Wextra -Werror (MJOIN_WERROR=ON)
-#   3. the full ctest suite
-#   4. ThreadSanitizer and AddressSanitizer passes over the
+#   3. the full ctest suite, with MJOIN_CONFORMANCE=1 so every frame on
+#      every channel is validated against the frame-table phase machine
+#   4. mjoin_check: the shm-ring interleaving model checker (baseline
+#      scenarios clean + all nine seeded ring bugs caught)
+#   5. ThreadSanitizer and AddressSanitizer passes over the
 #      concurrency-sensitive tests, and an UndefinedBehaviorSanitizer
 #      pass over the full suite (tools/run_sanitized_tests.sh)
 #
@@ -22,6 +25,13 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 MODE="${1:-full}"
+
+# Every test and chaos stage below runs with runtime frame-protocol
+# conformance armed: each frame is checked against the declarative table
+# in src/net/frame_table.h (direction + phase), and a violation poisons
+# the channel into a hard error. The golden/serve/chaos suites arm this
+# themselves, but exporting it here covers every other binary too.
+export MJOIN_CONFORMANCE=1
 
 echo "== ci: project lint =="
 python3 tools/mjoin_lint.py
@@ -45,6 +55,13 @@ cmake --build build-ci -j "$(nproc)"
 
 echo "== ci: test suite =="
 ctest --test-dir build-ci --output-on-failure -j "$(nproc)"
+
+echo "== ci: shm-ring model check =="
+# Interleaving exploration of the production ring code (recompiled over
+# the model memory policy), then the mutation self-test: nine seeded ring
+# bugs, each of which must be caught. Proves both that the ring's §14
+# invariants hold across schedules/crashes and that the checker has teeth.
+./build-ci/src/check/mjoin_check selftest
 
 echo "== ci: hot-path smoke bench =="
 cmake --build build-ci --target hotpath_suite -j "$(nproc)"
@@ -120,8 +137,10 @@ if [ "$MODE" = fast ]; then
 fi
 
 echo "== ci: thread sanitizer =="
-# shm_ring_test's SPSC stress puts the ring's release/acquire protocol
-# itself under TSan; the chaos sweep covers the cross-process plane.
+# shm_ring_test's SPSC stress and shm_ring_tsan_test's dual-endpoint
+# doorbell harness (in the default set) put the ring's release/acquire
+# protocol itself under TSan; the chaos sweep covers the cross-process
+# plane.
 MJOIN_CHAOS_ITERS=2 tools/run_sanitized_tests.sh thread \
   thread_metrics_test shm_ring_test process_backend_fault_test \
   process_chaos_test serve_test warm_fleet_test plan_cache_test \

@@ -27,6 +27,20 @@ clang-tidy expresses:
                      its own header first, and quoted includes are
                      directory-qualified ("engine/foo.h", not "foo.h").
 
+  atomic-order       Every std::atomic access (.load/.store/.fetch_*/
+                     .exchange/.compare_exchange_*) must name an explicit
+                     std::memory_order argument, except at sites annotated
+                     `// lint:allow-atomic <reason>`. The default
+                     seq_cst hides the author's actual ordering intent,
+                     which the shm-ring model checker needs spelled out.
+
+FrameType is NOT read from the generated enum in net/wire.h: the member
+list and each member's routing class come from the frame table rows in
+net/frame_table.h, and an occurrence of MJOIN_FRAME_CASES(NOT_CW) /
+MJOIN_FRAME_CASES(NOT_WC) inside a switch body credits exactly the case
+labels that selector expands to. The table is therefore the only
+definition site a new frame has to touch.
+
 Usage: mjoin_lint.py [paths...]     (default: the repo's src/ tree)
 Exit status 1 when any finding is reported, 0 on a clean run.
 """
@@ -40,11 +54,31 @@ SRC_ROOT = REPO_ROOT / "src"
 
 # Enum definitions are always read from the canonical headers, so fixture
 # files under test can reference FrameType without redefining it.
+# FrameType is special: its source of truth is the frame table, not the
+# generated enum (see FRAME_TABLE below).
 ENUM_SOURCES = {
-    "FrameType": SRC_ROOT / "net" / "wire.h",
     "StatusCode": SRC_ROOT / "common" / "status.h",
     "ShmRecordType": SRC_ROOT / "net" / "shm_ring.h",
 }
+
+FRAME_TABLE = SRC_ROOT / "net" / "frame_table.h"
+
+# One table row: X(id, Name, "wire-name", KLASS, ...). strip_code() blanks
+# the wire-name's characters but keeps the quotes, so the row shape
+# survives comment/string stripping.
+FRAME_ROW_RE = re.compile(
+    r'\bX\(\s*(\d+)\s*,\s*([A-Za-z_]\w*)\s*,\s*"[^"]*"\s*,\s*([A-Z_]+)')
+
+# Which routing classes each MJOIN_FRAME_CASES selector expands into case
+# labels for. Must mirror the MJOIN_FRAME_SEL_* macros in frame_table.h:
+# ROUTED frames arrive at both endpoints, so neither selector emits them.
+FRAME_SELECTOR_CLASSES = {
+    "NOT_CW": {"WC", "SERVE"},
+    "NOT_WC": {"CW", "SERVE"},
+}
+
+FRAME_CASES_RE = re.compile(r"\bMJOIN_FRAME_CASES\(\s*([A-Z_]+)\s*\)")
+FRAME_TABLE_USE_RE = re.compile(r"\bMJOIN_FRAME_TABLE\(")
 
 CLOCK_RE = re.compile(
     r"\b(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\("
@@ -54,6 +88,9 @@ CLOCK_RE = re.compile(
 NEW_RE = re.compile(r"\bnew\b|\b(?:malloc|calloc|realloc)\s*\(")
 CASE_RE = re.compile(r"\bcase\s+([A-Za-z_][A-Za-z0-9_:]*)\s*:")
 DEFAULT_RE = re.compile(r"\bdefault\s*:")
+ATOMIC_OP_RE = re.compile(
+    r"(?:\.|->)(?:load|store|exchange|fetch_(?:add|sub|and|or|xor)"
+    r"|compare_exchange_(?:weak|strong))\s*\(")
 
 
 def strip_code(text):
@@ -128,10 +165,26 @@ def parse_enum(name):
     return members
 
 
+def parse_frame_table():
+    """Returns ([member, ...], {member: klass}) from frame_table.h rows."""
+    text = strip_code(FRAME_TABLE.read_text())
+    members = []
+    klasses = {}
+    for m in FRAME_ROW_RE.finditer(text):
+        name = "k" + m.group(2)
+        members.append(name)
+        klasses[name] = m.group(3)
+    if not members:
+        sys.exit(f"mjoin_lint: no X(...) rows found in {FRAME_TABLE}")
+    return members, klasses
+
+
 class Linter:
     def __init__(self):
         self.findings = []
         self.enums = {name: parse_enum(name) for name in ENUM_SOURCES}
+        frame_members, self.frame_klasses = parse_frame_table()
+        self.enums["FrameType"] = frame_members
 
     def report(self, path, line, check, message):
         self.findings.append((path, line, check, message))
@@ -153,6 +206,39 @@ class Linter:
                              "make_shared or annotate with "
                              "'// lint:allow-new <reason>'")
         self.check_includes(path, raw_lines, code_lines)
+        self.check_atomic_order(path, raw_lines, code)
+
+    # -- atomic-order -------------------------------------------------------
+
+    def check_atomic_order(self, path, raw_lines, code):
+        # Scans the whole stripped text, not line by line: the ordering
+        # argument of a compare_exchange often sits on a continuation line
+        # inside the call's parentheses.
+        for m in ATOMIC_OP_RE.finditer(code):
+            open_idx = code.index("(", m.start())
+            depth = 0
+            close_idx = -1
+            for i in range(open_idx, len(code)):
+                if code[i] == "(":
+                    depth += 1
+                elif code[i] == ")":
+                    depth -= 1
+                    if depth == 0:
+                        close_idx = i
+                        break
+            if close_idx < 0:
+                continue  # unbalanced (macro fragment); nothing to judge
+            if "memory_order" in code[open_idx:close_idx]:
+                continue
+            line_no = code.count("\n", 0, m.start()) + 1
+            here = raw_lines[line_no - 1] if line_no <= len(raw_lines) else ""
+            prev = raw_lines[line_no - 2] if line_no >= 2 else ""
+            if "lint:allow-atomic" in here or "lint:allow-atomic" in prev:
+                continue
+            self.report(path, line_no, "atomic-order",
+                        "atomic access without an explicit std::memory_order"
+                        "; name the ordering (or annotate with "
+                        "'// lint:allow-atomic <reason>')")
 
     # -- switch-exhaustive ------------------------------------------------
 
@@ -189,9 +275,25 @@ class Linter:
             line = code.count("\n", 0, start) + 1
 
             cases = CASE_RE.findall(body)
+            # An MJOIN_FRAME_CASES(sel) occurrence expands to the case
+            # labels of every frame-table row in the selector's classes;
+            # credit those members as listed.
+            macro_cases = set()
+            for sm in FRAME_CASES_RE.finditer(body):
+                sel = FRAME_SELECTOR_CLASSES.get(sm.group(1))
+                if sel is None:
+                    line2 = line + body.count("\n", 0, sm.start())
+                    self.report(path, line2, "switch-exhaustive",
+                                f"unknown MJOIN_FRAME_CASES selector "
+                                f"{sm.group(1)}")
+                    continue
+                macro_cases.update(m2 for m2, k in self.frame_klasses.items()
+                                   if k in sel)
             for enum_name, members in self.enums.items():
                 prefix = enum_name + "::"
                 used = {c.split("::")[-1] for c in cases if prefix in c}
+                if enum_name == "FrameType":
+                    used |= macro_cases
                 if not used:
                     continue
                 missing = [m2 for m2 in members if m2 not in used]

@@ -50,7 +50,11 @@ if [ "$SANITIZER" = undefined ] && [ "$#" -eq 0 ]; then
   exit 0
 fi
 
-TESTS=(thread_executor_test thread_executor_fault_test "$@")
+# shm_ring_tsan_test puts the shm ring's release/acquire publish protocol
+# and eventfd doorbell discipline on real threads in one address space —
+# the only harness TSan can see into (the fork-based backends are opaque
+# to it).
+TESTS=(thread_executor_test thread_executor_fault_test shm_ring_tsan_test "$@")
 
 TARGETS=()
 for t in "${TESTS[@]}"; do TARGETS+=(--target "$t"); done
